@@ -1,0 +1,267 @@
+// Benchmark harness: one benchmark per paper artifact, measuring the
+// operations whose runtimes the paper's evaluation reports. Run with
+//
+//	go test -bench=. -benchmem
+//
+// Mapping to the paper:
+//
+//	BenchmarkFig1/label-*            cost of one scatter point in Fig. 1
+//	                                 (ground-truth labeling of a variant)
+//	BenchmarkFig2/*                  per-iteration cost of the baseline vs
+//	                                 ground-truth flows (Fig. 2 bars)
+//	BenchmarkTable3/train            GBDT training (§III-C)
+//	BenchmarkTable3/inference        one model prediction
+//	BenchmarkTable4/*                per-iteration evaluation cost of the
+//	                                 three flows (Table IV columns)
+//	BenchmarkFig5/sweep-point        one annealing run of the Fig. 5 sweep
+//	BenchmarkAblation/*              design-choice ablations from DESIGN.md
+package aigtimer_test
+
+import (
+	"math/rand"
+	"sync"
+	"testing"
+
+	"aigtimer/internal/aig"
+	"aigtimer/internal/anneal"
+	"aigtimer/internal/bench"
+	"aigtimer/internal/cell"
+	"aigtimer/internal/cut"
+	"aigtimer/internal/dataset"
+	"aigtimer/internal/features"
+	"aigtimer/internal/flows"
+	"aigtimer/internal/gbdt"
+	"aigtimer/internal/signoff"
+	"aigtimer/internal/sta"
+	"aigtimer/internal/techmap"
+	"aigtimer/internal/transform"
+)
+
+// fixtures are shared across benchmarks and built once.
+var (
+	fixOnce    sync.Once
+	fixDesigns map[string]*aig.AIG
+	fixSamples []dataset.Sample
+	fixModel   *gbdt.Model
+)
+
+func fixtures(b *testing.B) (map[string]*aig.AIG, []dataset.Sample, *gbdt.Model) {
+	b.Helper()
+	fixOnce.Do(func() {
+		fixDesigns = map[string]*aig.AIG{}
+		for _, d := range bench.Suite() {
+			fixDesigns[d.Name] = d.Build()
+		}
+		fixDesigns["mult5x5"] = bench.Multiplier(5)
+		ss, err := dataset.Generate("EX00", fixDesigns["EX00"], dataset.DefaultGenParams(80, 1))
+		if err != nil {
+			panic(err)
+		}
+		fixSamples = ss
+		X, delay, _ := dataset.Matrix(ss)
+		p := gbdt.DefaultParams
+		p.NumTrees = 120
+		m, err := gbdt.Train(X, delay, p)
+		if err != nil {
+			panic(err)
+		}
+		fixModel = m
+	})
+	return fixDesigns, fixSamples, fixModel
+}
+
+// BenchmarkFig1 measures the cost of producing one (levels, delay) scatter
+// point: a full ground-truth labeling of a multiplier variant.
+func BenchmarkFig1(b *testing.B) {
+	designs, _, _ := fixtures(b)
+	g := designs["mult5x5"]
+	lib := cell.Builtin()
+	b.Run("label-mult5x5", func(b *testing.B) {
+		for i := 0; i < b.N; i++ {
+			if _, err := signoff.Evaluate(g, lib); err != nil {
+				b.Fatal(err)
+			}
+		}
+	})
+	b.Run("levels-proxy", func(b *testing.B) {
+		for i := 0; i < b.N; i++ {
+			gc := g.Copy()
+			_ = gc.MaxLevel()
+		}
+	})
+}
+
+// BenchmarkFig2 measures one optimization iteration of the baseline and
+// ground-truth flows on each suite design (move + evaluation).
+func BenchmarkFig2(b *testing.B) {
+	designs, _, _ := fixtures(b)
+	lib := cell.Builtin()
+	recipes := transform.Recipes()
+	for _, d := range bench.Suite() {
+		g := designs[d.Name]
+		b.Run("baseline/"+d.Name, func(b *testing.B) {
+			rng := rand.New(rand.NewSource(1))
+			for i := 0; i < b.N; i++ {
+				cand := recipes[rng.Intn(len(recipes))].Apply(g, rng)
+				_ = cand.MaxLevel()
+				_ = cand.NumAnds()
+			}
+		})
+		b.Run("ground-truth/"+d.Name, func(b *testing.B) {
+			rng := rand.New(rand.NewSource(1))
+			for i := 0; i < b.N; i++ {
+				cand := recipes[rng.Intn(len(recipes))].Apply(g, rng)
+				if _, err := signoff.Evaluate(cand, lib); err != nil {
+					b.Fatal(err)
+				}
+			}
+		})
+	}
+}
+
+// BenchmarkTable3 measures model training and inference (§III-C).
+func BenchmarkTable3(b *testing.B) {
+	_, samples, model := fixtures(b)
+	X, delay, _ := dataset.Matrix(samples)
+	b.Run("train", func(b *testing.B) {
+		p := gbdt.DefaultParams
+		p.NumTrees = 60
+		for i := 0; i < b.N; i++ {
+			if _, err := gbdt.Train(X, delay, p); err != nil {
+				b.Fatal(err)
+			}
+		}
+	})
+	b.Run("inference", func(b *testing.B) {
+		x := X[0]
+		for i := 0; i < b.N; i++ {
+			_ = model.Predict(x)
+		}
+	})
+}
+
+// BenchmarkTable4 measures the per-iteration evaluation cost of the three
+// flows on each design: the proxy lookup, the ground-truth mapping+STA,
+// and the ML feature extraction + inference.
+func BenchmarkTable4(b *testing.B) {
+	designs, _, model := fixtures(b)
+	lib := cell.Builtin()
+	for _, d := range bench.Suite() {
+		g := designs[d.Name]
+		b.Run("proxy-eval/"+d.Name, func(b *testing.B) {
+			ev := flows.Proxy{}
+			for i := 0; i < b.N; i++ {
+				_ = ev.Evaluate(g)
+			}
+		})
+		b.Run("gt-eval/"+d.Name, func(b *testing.B) {
+			ev := flows.NewGroundTruth(lib)
+			for i := 0; i < b.N; i++ {
+				_ = ev.Evaluate(g)
+			}
+		})
+		b.Run("ml-eval/"+d.Name, func(b *testing.B) {
+			ev := &flows.ML{DelayModel: model}
+			for i := 0; i < b.N; i++ {
+				_ = ev.Evaluate(g)
+			}
+		})
+	}
+}
+
+// BenchmarkFig5 measures one annealing run of the kind the Fig. 5 / §II-B
+// hyperparameter sweeps execute many of.
+func BenchmarkFig5(b *testing.B) {
+	designs, _, model := fixtures(b)
+	g := designs["EX54"]
+	p := anneal.DefaultParams
+	p.Iterations = 10
+	b.Run("sweep-point-ml", func(b *testing.B) {
+		for i := 0; i < b.N; i++ {
+			p.Seed = int64(i + 1)
+			if _, err := anneal.Run(g, &flows.ML{DelayModel: model}, p); err != nil {
+				b.Fatal(err)
+			}
+		}
+	})
+	b.Run("sweep-point-baseline", func(b *testing.B) {
+		for i := 0; i < b.N; i++ {
+			p.Seed = int64(i + 1)
+			if _, err := anneal.Run(g, flows.Proxy{}, p); err != nil {
+				b.Fatal(err)
+			}
+		}
+	})
+}
+
+// BenchmarkAblation covers the design choices called out in DESIGN.md.
+func BenchmarkAblation(b *testing.B) {
+	designs, _, _ := fixtures(b)
+	g := designs["EX08"]
+	lib := cell.Builtin()
+
+	b.Run("map-with-area-recovery", func(b *testing.B) {
+		p := techmap.DefaultParams
+		p.AreaRecovery = true
+		for i := 0; i < b.N; i++ {
+			if _, err := techmap.Map(g, lib, p); err != nil {
+				b.Fatal(err)
+			}
+		}
+	})
+	b.Run("map-without-area-recovery", func(b *testing.B) {
+		p := techmap.DefaultParams
+		p.AreaRecovery = false
+		for i := 0; i < b.N; i++ {
+			if _, err := techmap.Map(g, lib, p); err != nil {
+				b.Fatal(err)
+			}
+		}
+	})
+	for _, mc := range []int{2, 8, 24} {
+		p := techmap.DefaultParams
+		p.Cut = cut.Params{K: 4, MaxCuts: mc}
+		b.Run("map-maxcuts-"+itoa(mc), func(b *testing.B) {
+			for i := 0; i < b.N; i++ {
+				if _, err := techmap.Map(g, lib, p); err != nil {
+					b.Fatal(err)
+				}
+			}
+		})
+	}
+	nl, err := techmap.Map(g, lib, techmap.DefaultParams)
+	if err != nil {
+		b.Fatal(err)
+	}
+	b.Run("sta-linear", func(b *testing.B) {
+		for i := 0; i < b.N; i++ {
+			_ = sta.Analyze(nl)
+		}
+	})
+	b.Run("sta-nldm-3corner", func(b *testing.B) {
+		for i := 0; i < b.N; i++ {
+			if _, err := sta.Signoff(nl, sta.SignoffParams{}); err != nil {
+				b.Fatal(err)
+			}
+		}
+	})
+	b.Run("feature-extraction", func(b *testing.B) {
+		for i := 0; i < b.N; i++ {
+			_ = features.Extract(g)
+		}
+	})
+}
+
+func itoa(v int) string {
+	if v == 0 {
+		return "0"
+	}
+	var buf [8]byte
+	i := len(buf)
+	for v > 0 {
+		i--
+		buf[i] = byte('0' + v%10)
+		v /= 10
+	}
+	return string(buf[i:])
+}

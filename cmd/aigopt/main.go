@@ -1,0 +1,177 @@
+// Command aigopt optimizes a benchmark design (or an AIG file) with one of
+// the three flows from the paper: baseline (proxy metrics), ground-truth
+// (mapping + signoff STA per iteration), or ML (trained timing/area
+// predictors).
+//
+// Examples:
+//
+//	aigopt -design EX08 -flow ground-truth -iters 200
+//	aigopt -in mydesign.aag -flow ml -model model.json -area-model area.json
+//	aigopt -design EX54 -flow baseline -w-delay 1 -w-area 0.5 -out best.aag
+package main
+
+import (
+	"flag"
+	"fmt"
+	"os"
+
+	"aigtimer/internal/aig"
+	"aigtimer/internal/anneal"
+	"aigtimer/internal/bench"
+	"aigtimer/internal/cell"
+	"aigtimer/internal/flows"
+	"aigtimer/internal/gbdt"
+	"aigtimer/internal/signoff"
+)
+
+func main() {
+	var (
+		designName = flag.String("design", "", "benchmark suite design (EX00..EX68)")
+		inPath     = flag.String("in", "", "input AIG file (aag text format)")
+		outPath    = flag.String("out", "", "write the optimized AIG here")
+		flowName   = flag.String("flow", "baseline", "baseline | ground-truth | ml")
+		modelPath  = flag.String("model", "", "delay model JSON (required for -flow ml)")
+		areaPath   = flag.String("area-model", "", "area model JSON (optional for -flow ml)")
+		iters      = flag.Int("iters", 150, "annealing iterations")
+		wDelay     = flag.Float64("w-delay", 1.0, "delay weight in the cost function")
+		wArea      = flag.Float64("w-area", 0.5, "area weight in the cost function")
+		startTemp  = flag.Float64("temp", 0.05, "initial annealing temperature")
+		decay      = flag.Float64("decay", 0.97, "temperature decay rate per iteration")
+		seed       = flag.Int64("seed", 1, "random seed")
+		verbose    = flag.Bool("v", false, "print per-iteration progress")
+	)
+	flag.Parse()
+
+	g, name, err := loadInput(*designName, *inPath)
+	if err != nil {
+		fatal(err)
+	}
+	lib := cell.Builtin()
+
+	ev, err := makeEvaluator(*flowName, lib, *modelPath, *areaPath)
+	if err != nil {
+		fatal(err)
+	}
+
+	p := anneal.Params{
+		Iterations:  *iters,
+		StartTemp:   *startTemp,
+		DecayRate:   *decay,
+		DelayWeight: *wDelay,
+		AreaWeight:  *wArea,
+		Seed:        *seed,
+	}
+	fmt.Printf("optimizing %s (%d PIs, %d POs, %d nodes, %d levels) with the %s flow\n",
+		name, g.NumPIs(), g.NumPOs(), g.NumAnds(), g.MaxLevel(), ev.Name())
+	res, err := anneal.Run(g, ev, p)
+	if err != nil {
+		fatal(err)
+	}
+	if *verbose {
+		for _, s := range res.History {
+			mark := " "
+			if s.Accepted {
+				mark = "*"
+			}
+			fmt.Printf("%s iter %3d  %-12s cost %.4f  ands %4d  lev %3d\n",
+				mark, s.Iter, s.Recipe, s.Cost, s.Ands, s.Levels)
+		}
+	}
+	fmt.Printf("accepted %d/%d moves; move %v/iter, eval %v/iter\n",
+		res.Accepted, len(res.History), res.PerIterationMove(), res.PerIterationEval())
+	fmt.Printf("best (by %s cost): %d nodes, %d levels\n",
+		ev.Name(), res.Best.NumAnds(), res.Best.MaxLevel())
+
+	// Always report final ground-truth quality regardless of flow.
+	sr, err := signoff.Evaluate(res.Best, lib)
+	if err != nil {
+		fatal(err)
+	}
+	s0, err := signoff.Evaluate(g, lib)
+	if err != nil {
+		fatal(err)
+	}
+	fmt.Printf("signoff: delay %.1f ps -> %.1f ps (%+.1f%%), area %.1f -> %.1f um2 (%+.1f%%)\n",
+		s0.DelayPS, sr.DelayPS, 100*(sr.DelayPS-s0.DelayPS)/s0.DelayPS,
+		s0.AreaUM2, sr.AreaUM2, 100*(sr.AreaUM2-s0.AreaUM2)/s0.AreaUM2)
+
+	if *outPath != "" {
+		f, err := os.Create(*outPath)
+		if err != nil {
+			fatal(err)
+		}
+		defer f.Close()
+		if err := res.Best.WriteText(f); err != nil {
+			fatal(err)
+		}
+		fmt.Printf("wrote %s\n", *outPath)
+	}
+}
+
+func loadInput(design, in string) (*aig.AIG, string, error) {
+	switch {
+	case design != "" && in != "":
+		return nil, "", fmt.Errorf("aigopt: -design and -in are mutually exclusive")
+	case design != "":
+		d, err := bench.ByName(design)
+		if err != nil {
+			return nil, "", err
+		}
+		return d.Build(), d.Name, nil
+	case in != "":
+		f, err := os.Open(in)
+		if err != nil {
+			return nil, "", err
+		}
+		defer f.Close()
+		g, err := aig.Parse(f)
+		if err != nil {
+			return nil, "", err
+		}
+		return g, in, nil
+	default:
+		return nil, "", fmt.Errorf("aigopt: one of -design or -in is required")
+	}
+}
+
+func makeEvaluator(flow string, lib *cell.Library, modelPath, areaPath string) (anneal.Evaluator, error) {
+	switch flow {
+	case "baseline":
+		return flows.Proxy{}, nil
+	case "ground-truth":
+		return flows.NewGroundTruth(lib), nil
+	case "ml":
+		if modelPath == "" {
+			return nil, fmt.Errorf("aigopt: -flow ml requires -model")
+		}
+		dm, err := loadModel(modelPath)
+		if err != nil {
+			return nil, err
+		}
+		ml := &flows.ML{DelayModel: dm}
+		if areaPath != "" {
+			am, err := loadModel(areaPath)
+			if err != nil {
+				return nil, err
+			}
+			ml.AreaModel = am
+		}
+		return ml, nil
+	default:
+		return nil, fmt.Errorf("aigopt: unknown flow %q", flow)
+	}
+}
+
+func loadModel(path string) (*gbdt.Model, error) {
+	f, err := os.Open(path)
+	if err != nil {
+		return nil, err
+	}
+	defer f.Close()
+	return gbdt.Load(f)
+}
+
+func fatal(err error) {
+	fmt.Fprintln(os.Stderr, err)
+	os.Exit(1)
+}

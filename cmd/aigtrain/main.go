@@ -1,0 +1,156 @@
+// Command aigtrain runs the paper's data-generation and model-training
+// pipeline (§III-C): generate labeled AIG variants for the benchmark
+// suite, train XGBoost-style delay and area regressors on the training
+// designs, report Table III-style accuracy, and save the models and the
+// dataset.
+//
+// Examples:
+//
+//	aigtrain -n 200 -model delay.json -area-model area.json -data data.csv
+//	aigtrain -n 40000 -paper-params     # the paper's full configuration
+//	aigtrain -data data.csv -reuse      # retrain from a saved dataset
+package main
+
+import (
+	"flag"
+	"fmt"
+	"os"
+	"time"
+
+	"aigtimer/internal/bench"
+	"aigtimer/internal/dataset"
+	"aigtimer/internal/gbdt"
+	"aigtimer/internal/stats"
+)
+
+func main() {
+	var (
+		n        = flag.Int("n", 200, "variants per design (paper: 40000)")
+		seed     = flag.Int64("seed", 1, "random seed")
+		modelOut = flag.String("model", "", "write the delay model JSON here")
+		areaOut  = flag.String("area-model", "", "write the area model JSON here")
+		dataPath = flag.String("data", "", "dataset CSV path (written, or read with -reuse)")
+		reuse    = flag.Bool("reuse", false, "read the dataset from -data instead of generating")
+		paperHP  = flag.Bool("paper-params", false, "use the paper's hyperparameters (5000 trees, depth 16, lr 0.01)")
+	)
+	flag.Parse()
+
+	samples, err := obtainSamples(*n, *seed, *dataPath, *reuse)
+	if err != nil {
+		fatal(err)
+	}
+
+	trainSet := map[string]bool{}
+	for _, d := range bench.Suite() {
+		if d.Train {
+			trainSet[d.Name] = true
+		}
+	}
+	train := dataset.FilterByDesign(samples, func(s string) bool { return trainSet[s] })
+	if len(train) == 0 {
+		fatal(fmt.Errorf("aigtrain: no training samples"))
+	}
+	X, delay, area := dataset.Matrix(train)
+	hp := gbdt.DefaultParams
+	if *paperHP {
+		hp = gbdt.PaperParams
+	}
+	hp.Seed = *seed
+
+	cut := len(X) * 9 / 10
+	t0 := time.Now()
+	delayModel, _, err := gbdt.TrainValid(X[:cut], delay[:cut], X[cut:], delay[cut:], hp)
+	if err != nil {
+		fatal(err)
+	}
+	areaModel, _, err := gbdt.TrainValid(X[:cut], area[:cut], X[cut:], area[cut:], hp)
+	if err != nil {
+		fatal(err)
+	}
+	fmt.Printf("trained on %d samples in %v (delay: %d trees, area: %d trees)\n",
+		cut, time.Since(t0).Round(time.Millisecond), len(delayModel.Trees), len(areaModel.Trees))
+
+	fmt.Printf("%-8s %-6s %12s %12s %12s\n", "design", "split", "mean %err", "max %err", "std %err")
+	for _, d := range bench.Suite() {
+		ss := dataset.FilterByDesign(samples, func(s string) bool { return s == d.Name })
+		if len(ss) == 0 {
+			continue
+		}
+		dx, dd, _ := dataset.Matrix(ss)
+		sum := stats.Summarize(stats.AbsPctErrors(dd, delayModel.PredictAll(dx)))
+		split := "test"
+		if d.Train {
+			split = "train"
+		}
+		fmt.Printf("%-8s %-6s %11.2f%% %11.2f%% %11.2f%%\n",
+			d.Name, split, sum.MeanPct, sum.MaxPct, sum.StdPct)
+	}
+
+	if *modelOut != "" {
+		if err := saveModel(delayModel, *modelOut); err != nil {
+			fatal(err)
+		}
+		fmt.Printf("wrote %s\n", *modelOut)
+	}
+	if *areaOut != "" {
+		if err := saveModel(areaModel, *areaOut); err != nil {
+			fatal(err)
+		}
+		fmt.Printf("wrote %s\n", *areaOut)
+	}
+}
+
+func obtainSamples(n int, seed int64, dataPath string, reuse bool) ([]dataset.Sample, error) {
+	if reuse {
+		if dataPath == "" {
+			return nil, fmt.Errorf("aigtrain: -reuse requires -data")
+		}
+		f, err := os.Open(dataPath)
+		if err != nil {
+			return nil, err
+		}
+		defer f.Close()
+		samples, err := dataset.ReadCSV(f)
+		if err != nil {
+			return nil, err
+		}
+		fmt.Printf("loaded %d samples from %s\n", len(samples), dataPath)
+		return samples, nil
+	}
+	var all []dataset.Sample
+	for _, d := range bench.Suite() {
+		t0 := time.Now()
+		ss, err := dataset.Generate(d.Name, d.Build(), dataset.DefaultGenParams(n, seed))
+		if err != nil {
+			return nil, err
+		}
+		fmt.Printf("%-6s %5d samples in %v\n", d.Name, len(ss), time.Since(t0).Round(time.Millisecond))
+		all = append(all, ss...)
+	}
+	if dataPath != "" {
+		f, err := os.Create(dataPath)
+		if err != nil {
+			return nil, err
+		}
+		defer f.Close()
+		if err := dataset.WriteCSV(f, all); err != nil {
+			return nil, err
+		}
+		fmt.Printf("wrote %s\n", dataPath)
+	}
+	return all, nil
+}
+
+func saveModel(m *gbdt.Model, path string) error {
+	f, err := os.Create(path)
+	if err != nil {
+		return err
+	}
+	defer f.Close()
+	return m.Save(f)
+}
+
+func fatal(err error) {
+	fmt.Fprintln(os.Stderr, err)
+	os.Exit(1)
+}

@@ -1,0 +1,108 @@
+package main
+
+import (
+	"fmt"
+	"strings"
+
+	"aigtimer/internal/bench"
+	"aigtimer/internal/dataset"
+	"aigtimer/internal/features"
+	"aigtimer/internal/gbdt"
+	"aigtimer/internal/stats"
+)
+
+// runAblate quantifies the value of each Table II feature family: the
+// delay model is retrained with one family removed at a time and the
+// unseen-design accuracy is compared with the full model. This backs the
+// paper's feature-engineering narrative (§III-B): the depth features alone
+// are the proxy the paper criticizes; the fanout and merge-probability
+// families carry the post-mapping information.
+func runAblate(cfg config) error {
+	ms, err := trainedModels(cfg)
+	if err != nil {
+		return err
+	}
+	groups := []struct {
+		name string
+		pred func(string) bool
+	}{
+		{"none (full model)", func(string) bool { return false }},
+		{"binary-weighted depths", prefix("aig_1st_binary", "aig_2nd_binary", "aig_3rd_binary")},
+		{"fanout-weighted depths", prefix("aig_1st_weighted", "aig_2nd_weighted", "aig_3rd_weighted")},
+		{"global fanout stats", prefix("fanout_")},
+		{"long-path fanout stats", prefix("long_path_fanout")},
+		{"path counts", prefix("num_paths")},
+		{"all but node count & level", func(n string) bool {
+			return n != "number_of_node" && n != "aig_level"
+		}},
+	}
+
+	X, delay, _ := dataset.Matrix(ms.trainS)
+	var testX [][]float64
+	var testY []float64
+	for _, d := range bench.Suite() {
+		if d.Train {
+			continue
+		}
+		tx, ty, _ := dataset.Matrix(ms.samples[d.Name])
+		testX = append(testX, tx...)
+		testY = append(testY, ty...)
+	}
+
+	fmt.Printf("%-28s %12s %12s\n", "removed feature family", "test %err", "delta")
+	var csvB strings.Builder
+	csvB.WriteString("removed,mean_err_pct\n")
+	baseErr := -1.0
+	for _, grp := range groups {
+		mask := make([]bool, features.NumFeatures)
+		for i, n := range features.Names {
+			mask[i] = grp.pred(n)
+		}
+		mX := maskColumns(X, mask)
+		mTestX := maskColumns(testX, mask)
+		p := gbdt.DefaultParams
+		p.Seed = cfg.seed
+		cut := len(mX) * 9 / 10
+		model, _, err := gbdt.TrainValid(mX[:cut], delay[:cut], mX[cut:], delay[cut:], p)
+		if err != nil {
+			return err
+		}
+		sum := stats.Summarize(stats.AbsPctErrors(testY, model.PredictAll(mTestX)))
+		delta := ""
+		if baseErr < 0 {
+			baseErr = sum.MeanPct
+		} else {
+			delta = fmt.Sprintf("%+.2f%%", sum.MeanPct-baseErr)
+		}
+		fmt.Printf("%-28s %11.2f%% %12s\n", grp.name, sum.MeanPct, delta)
+		fmt.Fprintf(&csvB, "%s,%.3f\n", grp.name, sum.MeanPct)
+	}
+	return writeCSV(cfg, "ablation_features.csv", csvB.String())
+}
+
+func prefix(ps ...string) func(string) bool {
+	return func(n string) bool {
+		for _, p := range ps {
+			if strings.HasPrefix(n, p) {
+				return true
+			}
+		}
+		return false
+	}
+}
+
+// maskColumns zeroes the masked feature columns (a constant column is
+// never split on, which removes the feature from the model's view).
+func maskColumns(X [][]float64, mask []bool) [][]float64 {
+	out := make([][]float64, len(X))
+	for i, row := range X {
+		r := append([]float64(nil), row...)
+		for j, m := range mask {
+			if m {
+				r[j] = 0
+			}
+		}
+		out[i] = r
+	}
+	return out
+}

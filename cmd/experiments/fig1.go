@@ -1,0 +1,134 @@
+package main
+
+import (
+	"fmt"
+	"math"
+	"strings"
+	"sync"
+
+	"aigtimer/internal/bench"
+	"aigtimer/internal/dataset"
+	"aigtimer/internal/stats"
+)
+
+// multiplierVariants generates labeled variants of the 5×5 multiplier used
+// by Fig. 1 / Table I / §II-B, cached across subcommands of one run.
+var (
+	multOnce sync.Once
+	multVal  []dataset.Sample
+	multErr  error
+)
+
+func multiplierVariants(cfg config, n int) ([]dataset.Sample, error) {
+	multOnce.Do(func() {
+		g := bench.Multiplier(5)
+		p := dataset.DefaultGenParams(n, cfg.seed)
+		multVal, multErr = dataset.Generate("mult5x5", g, p)
+	})
+	return multVal, multErr
+}
+
+// runFig1 reproduces Fig. 1: post-mapping maximum delay vs. AIG level
+// count over multiplier variants, with the Pearson correlation (the paper
+// reports r = 0.74) and the headline observations about the best-delay
+// point.
+func runFig1(cfg config) error {
+	samples, err := multiplierVariants(cfg, cfg.fig1N)
+	if err != nil {
+		return err
+	}
+	levels := make([]float64, len(samples))
+	delays := make([]float64, len(samples))
+	for i, s := range samples {
+		levels[i] = float64(s.Levels)
+		delays[i] = s.DelayPS
+	}
+	r := stats.Pearson(levels, delays)
+
+	// Best-delay AIG vs minimum-level AIGs.
+	bestDelay := 0
+	minLevel := samples[0].Levels
+	for i, s := range samples {
+		if s.DelayPS < samples[bestDelay].DelayPS {
+			bestDelay = i
+		}
+		if s.Levels < minLevel {
+			minLevel = s.Levels
+		}
+	}
+	worstAtFewerLevels := 0.0
+	for _, s := range samples {
+		if s.Levels <= samples[bestDelay].Levels && s.DelayPS > worstAtFewerLevels {
+			worstAtFewerLevels = s.DelayPS
+		}
+	}
+
+	fmt.Printf("design: mult5x5, %d unique AIG variants\n", len(samples))
+	fmt.Printf("Pearson correlation (levels vs post-mapping delay): %.2f   [paper: 0.74]\n", r)
+	fmt.Printf("best post-mapping delay: %.1f ps at %d levels (minimum level observed: %d)\n",
+		samples[bestDelay].DelayPS, samples[bestDelay].Levels, minLevel)
+	if samples[bestDelay].Levels > minLevel {
+		fmt.Printf("=> the best-delay AIG does NOT have the fewest levels (as in the paper)\n")
+	}
+	if worstAtFewerLevels > 0 {
+		fmt.Printf("an AIG with <= best-delay levels is %.2fx slower than the optimum  [paper: >1.5x]\n",
+			worstAtFewerLevels/samples[bestDelay].DelayPS)
+	}
+
+	var sb strings.Builder
+	sb.WriteString("levels,delay_ps\n")
+	for i := range samples {
+		fmt.Fprintf(&sb, "%d,%.2f\n", samples[i].Levels, samples[i].DelayPS)
+	}
+	return writeCSV(cfg, "fig1_scatter.csv", sb.String())
+}
+
+// runTable1 reproduces Table I: two AIGs of the same design with identical
+// (level, node count) but clearly different post-mapping delay and area.
+func runTable1(cfg config) error {
+	samples, err := multiplierVariants(cfg, cfg.fig1N)
+	if err != nil {
+		return err
+	}
+	// Group by (levels, nodes) and pick the pair with the widest delay gap.
+	type key struct {
+		lev  int32
+		ands int
+	}
+	groups := map[key][]int{}
+	for i, s := range samples {
+		k := key{s.Levels, s.Ands}
+		groups[k] = append(groups[k], i)
+	}
+	var bestA, bestB int
+	bestGap := 0.0
+	for _, idxs := range groups {
+		if len(idxs) < 2 {
+			continue
+		}
+		lo, hi := idxs[0], idxs[0]
+		for _, i := range idxs[1:] {
+			if samples[i].DelayPS < samples[lo].DelayPS {
+				lo = i
+			}
+			if samples[i].DelayPS > samples[hi].DelayPS {
+				hi = i
+			}
+		}
+		if gap := samples[hi].DelayPS - samples[lo].DelayPS; gap > bestGap {
+			bestGap, bestA, bestB = gap, hi, lo
+		}
+	}
+	if bestGap == 0 {
+		fmt.Println("no (level, node)-identical pair found; increase -fig1-n")
+		return nil
+	}
+	a, b := samples[bestA], samples[bestB]
+	fmt.Println("two AIGs with identical proxy metrics but different post-mapping results:")
+	fmt.Printf("%-6s %6s %6s %14s %16s\n", "AIG", "Level", "Nodes", "Delay (ns)", "Area (um2)")
+	fmt.Printf("%-6s %6d %6d %14.3f %16.2f\n", "AIG1", a.Levels, a.Ands, a.DelayPS/1000, a.AreaUM2)
+	fmt.Printf("%-6s %6d %6d %14.3f %16.2f\n", "AIG2", b.Levels, b.Ands, b.DelayPS/1000, b.AreaUM2)
+	fmt.Printf("delay ratio %.2fx at identical (level, node count)  [paper: 1.75 vs 1.33 ns]\n",
+		a.DelayPS/math.Max(b.DelayPS, 1))
+	return nil
+}

@@ -1,0 +1,156 @@
+package main
+
+import (
+	"fmt"
+	"math"
+	"strings"
+
+	"aigtimer/internal/anneal"
+	"aigtimer/internal/bench"
+	"aigtimer/internal/cell"
+	"aigtimer/internal/flows"
+	"aigtimer/internal/stats"
+)
+
+// sweepConfig builds the hyperparameter grid of §IV-B scaled by the
+// configured iteration budget.
+func sweepConfig(cfg config) flows.SweepConfig {
+	sc := flows.DefaultSweep
+	sc.Base = anneal.Params{
+		Iterations:  cfg.saIters,
+		StartTemp:   0.05,
+		DecayRate:   0.97,
+		DelayWeight: 1,
+		AreaWeight:  0.5,
+		Seed:        cfg.seed,
+	}
+	return sc
+}
+
+// frontSummary prints a front and returns its CSV block.
+func frontSummary(name string, front []stats.Point) string {
+	fmt.Printf("  %s front (%d points):\n", name, len(front))
+	var sb strings.Builder
+	for _, p := range front {
+		fmt.Printf("    area %9.2f um2   delay %9.2f ps\n", p.X, p.Y)
+		fmt.Fprintf(&sb, "%s,%.3f,%.3f\n", name, p.X, p.Y)
+	}
+	return sb.String()
+}
+
+// frontGap measures how much worse front b is than front a in delay, at
+// matched area budgets (evaluated at every area on either front); positive
+// means a is better.
+func frontGap(a, b []stats.Point) (worstPct float64, meanPct float64) {
+	var xs []float64
+	for _, p := range a {
+		xs = append(xs, p.X)
+	}
+	for _, p := range b {
+		xs = append(xs, p.X)
+	}
+	n := 0
+	for _, x := range xs {
+		da := stats.FrontDelayAtArea(a, x)
+		db := stats.FrontDelayAtArea(b, x)
+		if math.IsInf(da, 1) || math.IsInf(db, 1) {
+			continue
+		}
+		pct := (db - da) / db * 100
+		meanPct += pct
+		if pct > worstPct {
+			worstPct = pct
+		}
+		n++
+	}
+	if n > 0 {
+		meanPct /= float64(n)
+	}
+	return worstPct, meanPct
+}
+
+// runSec2B reproduces the §II-B study: on the multiplier, the
+// ground-truth-driven flow reaches delays up to ~22.7% better than the
+// proxy-driven baseline at equal area.
+func runSec2B(cfg config) error {
+	g := bench.Multiplier(5)
+	lib := cell.Builtin()
+	sc := sweepConfig(cfg)
+
+	fmt.Println("sweeping baseline (proxy) flow...")
+	basePts, err := flows.Sweep(g, flows.Proxy{}, lib, sc)
+	if err != nil {
+		return err
+	}
+	fmt.Println("sweeping ground-truth flow...")
+	gtPts, err := flows.Sweep(g, flows.NewGroundTruth(lib), lib, sc)
+	if err != nil {
+		return err
+	}
+	baseF := flows.Front(basePts)
+	gtF := flows.Front(gtPts)
+	var csvB strings.Builder
+	csvB.WriteString("flow,area_um2,delay_ps\n")
+	csvB.WriteString(frontSummary("baseline", baseF))
+	csvB.WriteString(frontSummary("ground-truth", gtF))
+	worst, mean := frontGap(gtF, baseF)
+	fmt.Printf("ground-truth flow beats baseline by up to %.1f%% delay at equal area (mean %.1f%%)  [paper: up to 22.7%%]\n",
+		worst, mean)
+	return writeCSV(cfg, "sec2b_fronts.csv", csvB.String())
+}
+
+// runFig5 reproduces Fig. 5: Pareto fronts of the three flows on a test
+// design. The ML flow's model is trained on the four training designs only
+// — the test design is unseen, as in the paper.
+func runFig5(cfg config) error {
+	d, err := bench.ByName(cfg.design)
+	if err != nil {
+		return err
+	}
+	if d.Train {
+		return fmt.Errorf("fig5: %s is a training design; pick a test design", d.Name)
+	}
+	ms, err := trainedModels(cfg)
+	if err != nil {
+		return err
+	}
+	g := d.Build()
+	lib := cell.Builtin()
+	sc := sweepConfig(cfg)
+	ml := &flows.ML{DelayModel: ms.delay, AreaModel: ms.area, AreaPerNode: true}
+
+	fmt.Printf("test design %s (%d nodes)\n", d.Name, g.NumAnds())
+	fmt.Println("sweeping baseline flow...")
+	basePts, err := flows.Sweep(g, flows.Proxy{}, lib, sc)
+	if err != nil {
+		return err
+	}
+	fmt.Println("sweeping ground-truth flow...")
+	gtPts, err := flows.Sweep(g, flows.NewGroundTruth(lib), lib, sc)
+	if err != nil {
+		return err
+	}
+	fmt.Println("sweeping ML flow...")
+	mlPts, err := flows.Sweep(g, ml, lib, sc)
+	if err != nil {
+		return err
+	}
+
+	baseF := flows.Front(basePts)
+	gtF := flows.Front(gtPts)
+	mlF := flows.Front(mlPts)
+	var csvB strings.Builder
+	csvB.WriteString("flow,area_um2,delay_ps\n")
+	csvB.WriteString(frontSummary("baseline", baseF))
+	csvB.WriteString(frontSummary("ground-truth", gtF))
+	csvB.WriteString(frontSummary("ml", mlF))
+
+	gtOverBase, _ := frontGap(gtF, baseF)
+	mlOverBase, _ := frontGap(mlF, baseF)
+	mlVsGt, mlVsGtMean := frontGap(gtF, mlF)
+	fmt.Printf("ground-truth beats baseline by up to %.1f%% delay at equal area\n", gtOverBase)
+	fmt.Printf("ML flow beats baseline by up to %.1f%% delay at equal area\n", mlOverBase)
+	fmt.Printf("ML flow trails ground truth by at most %.1f%% (mean %.1f%%)  [paper: fronts nearly coincide]\n",
+		mlVsGt, mlVsGtMean)
+	return writeCSV(cfg, "fig5_fronts.csv", csvB.String())
+}

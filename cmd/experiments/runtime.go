@@ -1,0 +1,116 @@
+package main
+
+import (
+	"fmt"
+	"strings"
+	"time"
+
+	"aigtimer/internal/aig"
+	"aigtimer/internal/anneal"
+	"aigtimer/internal/bench"
+	"aigtimer/internal/cell"
+	"aigtimer/internal/flows"
+)
+
+// timeFlowIterations measures the average per-iteration wall time of one
+// optimization flow on a design, decomposed like Fig. 2 / Table IV:
+// every iteration applies a random recipe (the part all flows share) and
+// then pays its flow-specific evaluation cost.
+type iterTiming struct {
+	movePerIter time.Duration // transform + graph processing
+	evalPerIter time.Duration // flow-specific cost-oracle time
+}
+
+func timeFlow(g0 *aig.AIG, ev anneal.Evaluator, iters int, seed int64) (iterTiming, error) {
+	p := anneal.DefaultParams
+	p.Iterations = iters
+	p.Seed = seed
+	res, err := anneal.Run(g0, ev, p)
+	if err != nil {
+		return iterTiming{}, err
+	}
+	return iterTiming{movePerIter: res.PerIterationMove(), evalPerIter: res.PerIterationEval()}, nil
+}
+
+// runFig2 reproduces Fig. 2: per-iteration runtime of the baseline flow
+// vs. the ground-truth flow on the eight-design suite (the paper reports
+// slowdowns up to ~20x).
+func runFig2(cfg config) error {
+	lib := cell.Builtin()
+	fmt.Printf("%-8s %8s %14s %18s %10s\n", "design", "nodes", "baseline(s)", "ground-truth(s)", "slowdown")
+	var csvB strings.Builder
+	csvB.WriteString("design,nodes,baseline_s,ground_truth_s,slowdown\n")
+	maxSlow, sumSlow := 0.0, 0.0
+	for _, d := range bench.Suite() {
+		g := d.Build()
+		base, err := timeFlow(g, flows.Proxy{}, cfg.fig2Iter, cfg.seed)
+		if err != nil {
+			return err
+		}
+		gt, err := timeFlow(g, flows.NewGroundTruth(lib), cfg.fig2Iter, cfg.seed)
+		if err != nil {
+			return err
+		}
+		// Baseline per-iteration = move + (cheap) proxy evaluation;
+		// ground-truth per-iteration = same move cost + mapping/STA.
+		baseIter := base.movePerIter + base.evalPerIter
+		gtIter := base.movePerIter + gt.evalPerIter
+		slow := float64(gtIter) / float64(baseIter)
+		sumSlow += slow
+		if slow > maxSlow {
+			maxSlow = slow
+		}
+		fmt.Printf("%-8s %8d %14.4f %18.4f %9.1fx\n",
+			fmt.Sprintf("%s(%d)", d.Name, g.NumAnds()), g.NumAnds(),
+			baseIter.Seconds(), gtIter.Seconds(), slow)
+		fmt.Fprintf(&csvB, "%s,%d,%.6f,%.6f,%.2f\n",
+			d.Name, g.NumAnds(), baseIter.Seconds(), gtIter.Seconds(), slow)
+	}
+	fmt.Printf("average slowdown %.1fx, max %.1fx  [paper: up to ~20x]\n", sumSlow/8, maxSlow)
+	return writeCSV(cfg, "fig2_runtime.csv", csvB.String())
+}
+
+// runTable4 reproduces Table IV: per-iteration runtime of the three flows,
+// reporting the ML flow's evaluation-time reduction relative to the
+// ground-truth flow (the paper reports -80.8% on average, up to -88.8%).
+func runTable4(cfg config) error {
+	lib := cell.Builtin()
+	ms, err := trainedModels(cfg)
+	if err != nil {
+		return err
+	}
+	ml := &flows.ML{DelayModel: ms.delay, AreaModel: ms.area, AreaPerNode: true}
+
+	fmt.Printf("%-8s %14s %22s %24s\n", "design", "baseline(s)", "GT map+STA(s)", "ML feat+infer(s)")
+	var csvB strings.Builder
+	csvB.WriteString("design,baseline_s,gt_eval_s,ml_eval_s,reduction_pct\n")
+	sumRed, maxRed := 0.0, 0.0
+	for _, d := range bench.Suite() {
+		g := d.Build()
+		base, err := timeFlow(g, flows.Proxy{}, cfg.fig2Iter, cfg.seed)
+		if err != nil {
+			return err
+		}
+		gt, err := timeFlow(g, flows.NewGroundTruth(lib), cfg.fig2Iter, cfg.seed)
+		if err != nil {
+			return err
+		}
+		mlT, err := timeFlow(g, ml, cfg.fig2Iter, cfg.seed)
+		if err != nil {
+			return err
+		}
+		baseIter := base.movePerIter + base.evalPerIter
+		red := 100 * (1 - float64(mlT.evalPerIter)/float64(gt.evalPerIter))
+		sumRed += red
+		if red > maxRed {
+			maxRed = red
+		}
+		fmt.Printf("%-8s %14.4f %22.4f %17.4f (%+.2f%%)\n",
+			d.Name, baseIter.Seconds(), gt.evalPerIter.Seconds(), mlT.evalPerIter.Seconds(), -red)
+		fmt.Fprintf(&csvB, "%s,%.6f,%.6f,%.6f,%.2f\n",
+			d.Name, baseIter.Seconds(), gt.evalPerIter.Seconds(), mlT.evalPerIter.Seconds(), red)
+	}
+	fmt.Printf("average evaluation-time reduction: -%.2f%%, max -%.2f%%  [paper: -80.83%% avg, -88.79%% max]\n",
+		sumRed/8, maxRed)
+	return writeCSV(cfg, "table4_runtime.csv", csvB.String())
+}

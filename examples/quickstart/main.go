@@ -1,0 +1,67 @@
+// Quickstart: build a small circuit as an AIG, optimize it, map it onto
+// the built-in 130nm-class library, and run signoff timing analysis.
+//
+//	go run ./examples/quickstart
+package main
+
+import (
+	"fmt"
+	"log"
+	"math/rand"
+
+	"aigtimer/internal/aig"
+	"aigtimer/internal/cell"
+	"aigtimer/internal/sta"
+	"aigtimer/internal/techmap"
+	"aigtimer/internal/transform"
+)
+
+func main() {
+	// 1. Describe a circuit: an 8-bit ripple-carry adder built directly
+	// with the AIG builder API.
+	b := aig.NewBuilder(16)
+	carry := aig.ConstFalse
+	for i := 0; i < 8; i++ {
+		x, y := b.PI(i), b.PI(8+i)
+		sum := b.Xor(b.Xor(x, y), carry)
+		carry = b.Maj(x, y, carry)
+		b.AddPO(sum)
+	}
+	b.AddPO(carry)
+	g := b.Build()
+	fmt.Printf("adder AIG: %v\n", g.Stats())
+
+	// 2. Optimize the structure with classic transformation scripts.
+	rng := rand.New(rand.NewSource(1))
+	opt := transform.Recipe{Name: "resyn2", Steps: []string{"b", "rw", "rf", "b", "rw", "rwz", "b", "rfz", "rwz", "b"}}.Apply(g, rng)
+	fmt.Printf("after resyn2:  %v\n", opt.Stats())
+	if !aig.EquivalentExhaustive(g, opt) {
+		log.Fatal("optimization changed the function!")
+	}
+
+	// 3. Map onto the built-in standard-cell library.
+	lib := cell.Builtin()
+	nl, err := techmap.Map(opt, lib, techmap.DefaultParams)
+	if err != nil {
+		log.Fatal(err)
+	}
+	fmt.Printf("mapped netlist: %s\n", nl.Stats())
+	fmt.Println("cell usage:")
+	for _, h := range nl.CellHistogram() {
+		fmt.Printf("  %-10s x%d\n", h.Name, h.Count)
+	}
+
+	// 4. Linear-model STA for a quick look...
+	r := sta.Analyze(nl)
+	fmt.Printf("\n%s", r.Report())
+
+	// ...and multi-corner NLDM signoff for the number that counts.
+	sr, err := sta.Signoff(nl, sta.SignoffParams{})
+	if err != nil {
+		log.Fatal(err)
+	}
+	for _, cr := range sr.Corners {
+		fmt.Printf("corner %-3s max delay %8.1f ps\n", cr.Corner.Name, cr.MaxDelayPS)
+	}
+	fmt.Printf("signoff delay (%s): %.1f ps\n", sr.WorstCorner, sr.WorstDelayPS)
+}

@@ -1,0 +1,81 @@
+// Three flows: run the paper's baseline, ground-truth, and ML-based
+// optimization flows side by side on one design and compare the signoff
+// quality of what each finds (a miniature of the paper's Fig. 5 study).
+//
+//	go run ./examples/threeflows
+package main
+
+import (
+	"fmt"
+	"log"
+	"time"
+
+	"aigtimer/internal/anneal"
+	"aigtimer/internal/bench"
+	"aigtimer/internal/cell"
+	"aigtimer/internal/dataset"
+	"aigtimer/internal/flows"
+	"aigtimer/internal/gbdt"
+	"aigtimer/internal/signoff"
+)
+
+func main() {
+	design, err := bench.ByName("EX54")
+	if err != nil {
+		log.Fatal(err)
+	}
+	g := design.Build()
+	lib := cell.Builtin()
+	fmt.Printf("design %s: %v\n", design.Name, g.Stats())
+
+	// Train a quick predictor on variants of a *different* design — the
+	// model must generalize, as in the paper's train/test split.
+	trainDesign, err := bench.ByName("EX00")
+	if err != nil {
+		log.Fatal(err)
+	}
+	samples, err := dataset.Generate(trainDesign.Name, trainDesign.Build(), dataset.DefaultGenParams(100, 3))
+	if err != nil {
+		log.Fatal(err)
+	}
+	X, delay, area := dataset.Matrix(samples)
+	delayModel, err := gbdt.Train(X, delay, gbdt.DefaultParams)
+	if err != nil {
+		log.Fatal(err)
+	}
+	areaModel, err := gbdt.Train(X, area, gbdt.DefaultParams)
+	if err != nil {
+		log.Fatal(err)
+	}
+
+	p := anneal.DefaultParams
+	p.Iterations = 80
+	p.Seed = 11
+
+	evals := []anneal.Evaluator{
+		flows.Proxy{},
+		flows.NewGroundTruth(lib),
+		&flows.ML{DelayModel: delayModel, AreaModel: areaModel},
+	}
+	fmt.Printf("\n%-14s %12s %12s %12s %14s\n",
+		"flow", "delay (ps)", "area (um2)", "runtime", "eval/iter")
+	for _, ev := range evals {
+		t0 := time.Now()
+		res, err := anneal.Run(g, ev, p)
+		if err != nil {
+			log.Fatal(err)
+		}
+		elapsed := time.Since(t0)
+		// Judge every flow's winner with the same ground-truth signoff.
+		final, err := signoff.Evaluate(res.Best, lib)
+		if err != nil {
+			log.Fatal(err)
+		}
+		fmt.Printf("%-14s %12.1f %12.1f %12v %14v\n",
+			ev.Name(), final.DelayPS, final.AreaUM2,
+			elapsed.Round(time.Millisecond), res.PerIterationEval().Round(time.Microsecond))
+	}
+	fmt.Println("\nexpected shape (as in the paper): ground-truth and ml find better")
+	fmt.Println("delay/area than baseline; ml pays far less per evaluation than")
+	fmt.Println("ground truth.")
+}

@@ -1,0 +1,468 @@
+// Package aig implements And-Inverter Graphs (AIGs), the netlist
+// representation used throughout this repository.
+//
+// An AIG is a directed acyclic graph whose internal nodes are two-input AND
+// gates and whose edges may be complemented (the "inverter" part). It is the
+// standard intermediate representation for logic optimization: the paper's
+// proxy metrics are the AIG node count (area proxy) and the AIG level count
+// (delay proxy).
+//
+// Representation. Nodes are stored in a flat slice in topological order:
+// index 0 is the constant-false node, indices 1..NumPIs() are the primary
+// inputs, and every subsequent index is an AND node whose fanins precede it.
+// Signals are referred to by literals (type Lit): a node index shifted left
+// by one, with the low bit indicating complementation, exactly as in the
+// AIGER format.
+//
+// AIGs built through a Builder are structurally hashed: requesting an AND of
+// the same (possibly swapped) literal pair twice yields the same node, and
+// trivial cases (x·0, x·x, x·x̄ ...) are simplified on the fly.
+package aig
+
+import (
+	"fmt"
+	"math/bits"
+)
+
+// Lit is an AIG literal: node index << 1 | complement bit.
+type Lit uint32
+
+// Predefined literals for the constant node.
+const (
+	ConstFalse Lit = 0 // constant false (node 0, plain)
+	ConstTrue  Lit = 1 // constant true (node 0, complemented)
+)
+
+// MakeLit builds a literal from a node index and a complement flag.
+func MakeLit(node int32, compl bool) Lit {
+	l := Lit(node) << 1
+	if compl {
+		l |= 1
+	}
+	return l
+}
+
+// Node returns the node index of the literal.
+func (l Lit) Node() int32 { return int32(l >> 1) }
+
+// IsCompl reports whether the literal is complemented.
+func (l Lit) IsCompl() bool { return l&1 == 1 }
+
+// Not returns the complemented literal.
+func (l Lit) Not() Lit { return l ^ 1 }
+
+// NotIf returns the literal complemented when c is true.
+func (l Lit) NotIf(c bool) Lit {
+	if c {
+		return l ^ 1
+	}
+	return l
+}
+
+// Regular returns the non-complemented version of the literal.
+func (l Lit) Regular() Lit { return l &^ 1 }
+
+// IsConst reports whether the literal refers to the constant node.
+func (l Lit) IsConst() bool { return l>>1 == 0 }
+
+func (l Lit) String() string {
+	if l.IsCompl() {
+		return fmt.Sprintf("!n%d", l.Node())
+	}
+	return fmt.Sprintf("n%d", l.Node())
+}
+
+// node is a single AND node. Primary inputs and the constant node store
+// the sentinel value noFanin in both fields.
+type node struct {
+	fanin0, fanin1 Lit
+}
+
+const noFanin = Lit(0xffffffff)
+
+// AIG is an immutable-after-construction And-Inverter Graph. Use a Builder
+// to create one, or Parse to read the textual format.
+type AIG struct {
+	nodes  []node
+	numPIs int
+	pos    []Lit
+
+	// lazily computed caches; reset by Builder mutations
+	levels  []int32
+	fanouts []int32
+}
+
+// NumPIs returns the number of primary inputs.
+func (g *AIG) NumPIs() int { return g.numPIs }
+
+// NumPOs returns the number of primary outputs.
+func (g *AIG) NumPOs() int { return len(g.pos) }
+
+// NumAnds returns the number of AND nodes (the paper's "node count" /
+// area proxy).
+func (g *AIG) NumAnds() int { return len(g.nodes) - 1 - g.numPIs }
+
+// NumNodes returns the total number of nodes including the constant node
+// and primary inputs.
+func (g *AIG) NumNodes() int { return len(g.nodes) }
+
+// PI returns the literal of the i-th primary input (0-based).
+func (g *AIG) PI(i int) Lit {
+	if i < 0 || i >= g.numPIs {
+		panic(fmt.Sprintf("aig: PI index %d out of range [0,%d)", i, g.numPIs))
+	}
+	return MakeLit(int32(i+1), false)
+}
+
+// PO returns the literal driving the i-th primary output.
+func (g *AIG) PO(i int) Lit { return g.pos[i] }
+
+// POs returns the primary output literals (the caller must not modify the
+// returned slice).
+func (g *AIG) POs() []Lit { return g.pos }
+
+// IsPI reports whether n is a primary input node index.
+func (g *AIG) IsPI(n int32) bool { return n >= 1 && int(n) <= g.numPIs }
+
+// IsAnd reports whether n is an AND node index.
+func (g *AIG) IsAnd(n int32) bool { return int(n) > g.numPIs && int(n) < len(g.nodes) }
+
+// Fanins returns the two fanin literals of an AND node.
+func (g *AIG) Fanins(n int32) (Lit, Lit) {
+	nd := g.nodes[n]
+	return nd.fanin0, nd.fanin1
+}
+
+// FirstAnd returns the node index of the first AND node.
+func (g *AIG) FirstAnd() int32 { return int32(g.numPIs + 1) }
+
+// Builder incrementally constructs an AIG with structural hashing.
+// The zero value is not usable; call NewBuilder.
+type Builder struct {
+	g      AIG
+	strash map[uint64]int32
+	levels []int32 // incremental per-node levels
+}
+
+// NewBuilder returns a builder for an AIG with numPIs primary inputs.
+func NewBuilder(numPIs int) *Builder {
+	b := &Builder{
+		strash: make(map[uint64]int32),
+	}
+	b.g.numPIs = numPIs
+	b.g.nodes = make([]node, numPIs+1, numPIs+17)
+	for i := range b.g.nodes {
+		b.g.nodes[i] = node{noFanin, noFanin}
+	}
+	b.levels = make([]int32, numPIs+1, numPIs+17)
+	return b
+}
+
+// LevelOf returns the logic level of a literal's node in the AIG under
+// construction (PIs and the constant are level 0).
+func (b *Builder) LevelOf(l Lit) int32 { return b.levels[l.Node()] }
+
+// PI returns the literal of the i-th primary input.
+func (b *Builder) PI(i int) Lit { return b.g.PI(i) }
+
+// NumPIs returns the number of primary inputs.
+func (b *Builder) NumPIs() int { return b.g.numPIs }
+
+// NumAnds returns the number of AND nodes created so far.
+func (b *Builder) NumAnds() int { return b.g.NumAnds() }
+
+func strashKey(f0, f1 Lit) uint64 { return uint64(f0)<<32 | uint64(f1) }
+
+// And returns a literal for the conjunction of a and b, reusing an existing
+// node when one computes the same function structurally and simplifying
+// the trivial cases.
+func (b *Builder) And(a, c Lit) Lit {
+	// Normalize order: larger literal first (ABC convention keeps
+	// fanin0 >= fanin1; any consistent order works for hashing).
+	if a < c {
+		a, c = c, a
+	}
+	// Trivial cases.
+	switch {
+	case c == ConstFalse:
+		return ConstFalse
+	case c == ConstTrue:
+		return a
+	case a == c:
+		return a
+	case a == c.Not():
+		return ConstFalse
+	}
+	key := strashKey(a, c)
+	if n, ok := b.strash[key]; ok {
+		return MakeLit(n, false)
+	}
+	n := int32(len(b.g.nodes))
+	b.g.nodes = append(b.g.nodes, node{a, c})
+	b.strash[key] = n
+	lv := b.levels[a.Node()]
+	if l1 := b.levels[c.Node()]; l1 > lv {
+		lv = l1
+	}
+	b.levels = append(b.levels, lv+1)
+	b.g.levels = nil
+	b.g.fanouts = nil
+	return MakeLit(n, false)
+}
+
+// Or returns a literal for the disjunction of a and b.
+func (b *Builder) Or(a, c Lit) Lit { return b.And(a.Not(), c.Not()).Not() }
+
+// Xor returns a literal for the exclusive-or of a and b.
+func (b *Builder) Xor(a, c Lit) Lit {
+	// a^c = (a·!c) + (!a·c)
+	t0 := b.And(a, c.Not())
+	t1 := b.And(a.Not(), c)
+	return b.Or(t0, t1)
+}
+
+// Xnor returns a literal for the complement of the exclusive-or.
+func (b *Builder) Xnor(a, c Lit) Lit { return b.Xor(a, c).Not() }
+
+// Mux returns a literal for (sel ? t : e).
+func (b *Builder) Mux(sel, t, e Lit) Lit {
+	a0 := b.And(sel, t)
+	a1 := b.And(sel.Not(), e)
+	return b.Or(a0, a1)
+}
+
+// Maj returns the majority of three literals.
+func (b *Builder) Maj(a, c, d Lit) Lit {
+	ab := b.And(a, c)
+	ad := b.And(a, d)
+	cd := b.And(c, d)
+	return b.Or(ab, b.Or(ad, cd))
+}
+
+// AndN folds And over the given literals; an empty list yields ConstTrue.
+func (b *Builder) AndN(ls ...Lit) Lit {
+	out := ConstTrue
+	for _, l := range ls {
+		out = b.And(out, l)
+	}
+	return out
+}
+
+// OrN folds Or over the given literals; an empty list yields ConstFalse.
+func (b *Builder) OrN(ls ...Lit) Lit {
+	out := ConstFalse
+	for _, l := range ls {
+		out = b.Or(out, l)
+	}
+	return out
+}
+
+// AddPO registers l as the next primary output and returns its index.
+func (b *Builder) AddPO(l Lit) int {
+	b.g.pos = append(b.g.pos, l)
+	return len(b.g.pos) - 1
+}
+
+// Build finalizes and returns the AIG. The builder must not be used
+// afterwards.
+func (b *Builder) Build() *AIG {
+	g := b.g
+	b.strash = nil
+	return &g
+}
+
+// Copy returns a deep copy of the AIG.
+func (g *AIG) Copy() *AIG {
+	ng := &AIG{
+		nodes:  append([]node(nil), g.nodes...),
+		numPIs: g.numPIs,
+		pos:    append([]Lit(nil), g.pos...),
+	}
+	return ng
+}
+
+// Levels returns per-node logic levels: the constant and PIs are at level 0,
+// and an AND node is one more than the maximum of its fanin levels. The
+// returned slice is cached; callers must not modify it.
+func (g *AIG) Levels() []int32 {
+	if g.levels != nil {
+		return g.levels
+	}
+	lv := make([]int32, len(g.nodes))
+	for i := g.numPIs + 1; i < len(g.nodes); i++ {
+		nd := g.nodes[i]
+		l0 := lv[nd.fanin0.Node()]
+		l1 := lv[nd.fanin1.Node()]
+		if l0 < l1 {
+			l0 = l1
+		}
+		lv[i] = l0 + 1
+	}
+	g.levels = lv
+	return lv
+}
+
+// MaxLevel returns the number of AIG levels over all primary outputs (the
+// paper's delay proxy). A PO driven directly by a PI or constant contributes
+// level 0.
+func (g *AIG) MaxLevel() int32 {
+	lv := g.Levels()
+	var m int32
+	for _, po := range g.pos {
+		if l := lv[po.Node()]; l > m {
+			m = l
+		}
+	}
+	return m
+}
+
+// FanoutCounts returns the number of fanout references of every node:
+// occurrences as a fanin of an AND node plus occurrences as a PO driver.
+// The returned slice is cached; callers must not modify it.
+func (g *AIG) FanoutCounts() []int32 {
+	if g.fanouts != nil {
+		return g.fanouts
+	}
+	fo := make([]int32, len(g.nodes))
+	for i := g.numPIs + 1; i < len(g.nodes); i++ {
+		nd := g.nodes[i]
+		fo[nd.fanin0.Node()]++
+		fo[nd.fanin1.Node()]++
+	}
+	for _, po := range g.pos {
+		fo[po.Node()]++
+	}
+	g.fanouts = fo
+	return fo
+}
+
+// Compact returns a functionally identical AIG containing only nodes
+// reachable from the primary outputs, rebuilt with structural hashing
+// (so duplicate or trivially reducible structure is also removed).
+func (g *AIG) Compact() *AIG {
+	nb := NewBuilder(g.numPIs)
+	m := make([]Lit, len(g.nodes))
+	for i := range m {
+		m[i] = noFanin
+	}
+	m[0] = ConstFalse
+	for i := 1; i <= g.numPIs; i++ {
+		m[i] = nb.PI(i - 1)
+	}
+	mark := g.reachable()
+	for i := g.numPIs + 1; i < len(g.nodes); i++ {
+		if !mark[i] {
+			continue
+		}
+		nd := g.nodes[i]
+		f0 := m[nd.fanin0.Node()].NotIf(nd.fanin0.IsCompl())
+		f1 := m[nd.fanin1.Node()].NotIf(nd.fanin1.IsCompl())
+		m[i] = nb.And(f0, f1)
+	}
+	for _, po := range g.pos {
+		nb.AddPO(m[po.Node()].NotIf(po.IsCompl()))
+	}
+	return nb.Build()
+}
+
+// reachable marks all nodes in the transitive fanin of any PO.
+func (g *AIG) reachable() []bool {
+	mark := make([]bool, len(g.nodes))
+	var stack []int32
+	for _, po := range g.pos {
+		n := po.Node()
+		if !mark[n] {
+			mark[n] = true
+			stack = append(stack, n)
+		}
+	}
+	for len(stack) > 0 {
+		n := stack[len(stack)-1]
+		stack = stack[:len(stack)-1]
+		if !g.IsAnd(n) {
+			continue
+		}
+		nd := g.nodes[n]
+		for _, f := range [2]Lit{nd.fanin0, nd.fanin1} {
+			fn := f.Node()
+			if !mark[fn] {
+				mark[fn] = true
+				stack = append(stack, fn)
+			}
+		}
+	}
+	return mark
+}
+
+// DanglingCount returns the number of AND nodes not reachable from any PO.
+func (g *AIG) DanglingCount() int {
+	mark := g.reachable()
+	n := 0
+	for i := g.numPIs + 1; i < len(g.nodes); i++ {
+		if !mark[i] {
+			n++
+		}
+	}
+	return n
+}
+
+// Stats summarizes an AIG for logging and feature extraction.
+type Stats struct {
+	PIs, POs, Ands int
+	Levels         int32
+}
+
+// Stats returns summary statistics for the AIG.
+func (g *AIG) Stats() Stats {
+	return Stats{
+		PIs:    g.numPIs,
+		POs:    len(g.pos),
+		Ands:   g.NumAnds(),
+		Levels: g.MaxLevel(),
+	}
+}
+
+func (s Stats) String() string {
+	return fmt.Sprintf("pi=%d po=%d and=%d lev=%d", s.PIs, s.POs, s.Ands, s.Levels)
+}
+
+// Hash returns a structural hash of the AIG (node array plus outputs).
+// Equal hashes strongly suggest (but do not prove) identical structure;
+// it is used to deduplicate generated AIG variants.
+func (g *AIG) Hash() uint64 {
+	const (
+		offset64 = 14695981039346656037
+		prime64  = 1099511628211
+	)
+	h := uint64(offset64)
+	mix := func(v uint64) {
+		h ^= v
+		h *= prime64
+	}
+	mix(uint64(g.numPIs))
+	for i := g.numPIs + 1; i < len(g.nodes); i++ {
+		nd := g.nodes[i]
+		mix(uint64(nd.fanin0)<<32 | uint64(nd.fanin1))
+	}
+	for _, po := range g.pos {
+		mix(uint64(po) | 1<<63)
+	}
+	return h
+}
+
+// TopoForEachAnd calls f for every AND node in topological order.
+func (g *AIG) TopoForEachAnd(f func(n int32, f0, f1 Lit)) {
+	for i := g.numPIs + 1; i < len(g.nodes); i++ {
+		nd := g.nodes[i]
+		f(int32(i), nd.fanin0, nd.fanin1)
+	}
+}
+
+// popcount64s counts set bits over a word slice.
+func popcount64s(ws []uint64) int {
+	n := 0
+	for _, w := range ws {
+		n += bits.OnesCount64(w)
+	}
+	return n
+}

@@ -1,0 +1,169 @@
+package aig
+
+import (
+	"bufio"
+	"fmt"
+	"io"
+	"strconv"
+	"strings"
+)
+
+// Binary AIGER ("aig") format support, for interoperability with ABC,
+// aigertools, and the IWLS benchmark distributions.
+//
+// The binary format stores the header line "aig M I L O A", then O output
+// literals in ASCII (one per line), then A AND definitions as two
+// LEB128-style varints per node: delta0 = lhs - rhs0 and delta1 =
+// rhs0 - rhs1, where lhs is the (even) literal of the i-th AND node in
+// ascending order. The encoding requires rhs0 >= rhs1 and lhs > rhs0,
+// which this package's topologically-ordered, normalized node array
+// guarantees.
+
+// WriteBinary serializes the AIG in binary AIGER format.
+func (g *AIG) WriteBinary(w io.Writer) error {
+	bw := bufio.NewWriter(w)
+	maxVar := len(g.nodes) - 1
+	fmt.Fprintf(bw, "aig %d %d 0 %d %d\n", maxVar, g.numPIs, len(g.pos), g.NumAnds())
+	for _, po := range g.pos {
+		fmt.Fprintf(bw, "%d\n", uint32(po))
+	}
+	for i := g.numPIs + 1; i < len(g.nodes); i++ {
+		nd := g.nodes[i]
+		lhs := uint32(i) << 1
+		rhs0, rhs1 := uint32(nd.fanin0), uint32(nd.fanin1)
+		if rhs0 < rhs1 {
+			rhs0, rhs1 = rhs1, rhs0
+		}
+		if lhs <= rhs0 {
+			return fmt.Errorf("aig: node %d not in topological order", i)
+		}
+		if err := writeVarint(bw, lhs-rhs0); err != nil {
+			return err
+		}
+		if err := writeVarint(bw, rhs0-rhs1); err != nil {
+			return err
+		}
+	}
+	return bw.Flush()
+}
+
+func writeVarint(w io.ByteWriter, v uint32) error {
+	for v >= 0x80 {
+		if err := w.WriteByte(byte(v) | 0x80); err != nil {
+			return err
+		}
+		v >>= 7
+	}
+	return w.WriteByte(byte(v))
+}
+
+func readVarint(r io.ByteReader) (uint32, error) {
+	var v uint32
+	shift := 0
+	for {
+		b, err := r.ReadByte()
+		if err != nil {
+			return 0, err
+		}
+		v |= uint32(b&0x7F) << shift
+		if b&0x80 == 0 {
+			return v, nil
+		}
+		shift += 7
+		if shift > 28 {
+			return 0, fmt.Errorf("aig: varint overflow")
+		}
+	}
+}
+
+// ParseBinary reads an AIG in binary AIGER format. The graph is rebuilt
+// through a Builder, so the result is structurally hashed.
+func ParseBinary(r io.Reader) (*AIG, error) {
+	br := bufio.NewReader(r)
+	header, err := br.ReadString('\n')
+	if err != nil {
+		return nil, fmt.Errorf("aig: reading binary header: %w", err)
+	}
+	fields := strings.Fields(header)
+	if len(fields) != 6 || fields[0] != "aig" {
+		return nil, fmt.Errorf("aig: bad binary header %q", strings.TrimSpace(header))
+	}
+	nums := make([]int, 5)
+	for i := 0; i < 5; i++ {
+		v, err := strconv.Atoi(fields[i+1])
+		if err != nil || v < 0 {
+			return nil, fmt.Errorf("aig: bad header field %q", fields[i+1])
+		}
+		nums[i] = v
+	}
+	maxVar, numPIs, numLatches, numPOs, numAnds := nums[0], nums[1], nums[2], nums[3], nums[4]
+	if numLatches != 0 {
+		return nil, fmt.Errorf("aig: latches not supported (%d declared)", numLatches)
+	}
+	if maxVar != numPIs+numAnds {
+		return nil, fmt.Errorf("aig: inconsistent binary header")
+	}
+
+	poRaw := make([]uint32, numPOs)
+	for i := range poRaw {
+		line, err := br.ReadString('\n')
+		if err != nil {
+			return nil, fmt.Errorf("aig: truncated output list: %w", err)
+		}
+		v, err := strconv.ParseUint(strings.TrimSpace(line), 10, 32)
+		if err != nil {
+			return nil, fmt.Errorf("aig: bad output literal %q", strings.TrimSpace(line))
+		}
+		poRaw[i] = uint32(v)
+	}
+
+	b := NewBuilder(numPIs)
+	m := make([]Lit, maxVar+1)
+	m[0] = ConstFalse
+	for i := 1; i <= numPIs; i++ {
+		m[i] = b.PI(i - 1)
+	}
+	mapLit := func(raw, limit uint32) (Lit, error) {
+		if raw>>1 > limit {
+			return 0, fmt.Errorf("aig: literal %d out of range", raw)
+		}
+		return m[raw>>1].NotIf(raw&1 == 1), nil
+	}
+	for i := 0; i < numAnds; i++ {
+		lhs := uint32(numPIs+1+i) << 1
+		d0, err := readVarint(br)
+		if err != nil {
+			return nil, fmt.Errorf("aig: AND %d: %w", i, err)
+		}
+		d1, err := readVarint(br)
+		if err != nil {
+			return nil, fmt.Errorf("aig: AND %d: %w", i, err)
+		}
+		if d0 == 0 || d0 > lhs {
+			return nil, fmt.Errorf("aig: AND %d: bad delta0 %d", i, d0)
+		}
+		rhs0 := lhs - d0
+		if d1 > rhs0 {
+			return nil, fmt.Errorf("aig: AND %d: bad delta1 %d", i, d1)
+		}
+		rhs1 := rhs0 - d1
+		limit := uint32(numPIs + i)
+		l0, err := mapLit(rhs0, limit)
+		if err != nil {
+			return nil, err
+		}
+		l1, err := mapLit(rhs1, limit)
+		if err != nil {
+			return nil, err
+		}
+		m[numPIs+1+i] = b.And(l0, l1)
+	}
+	for _, raw := range poRaw {
+		l, err := mapLit(raw, uint32(maxVar))
+		if err != nil {
+			return nil, err
+		}
+		b.AddPO(l)
+	}
+	return b.Build(), nil
+}

@@ -1,0 +1,131 @@
+package aig
+
+import (
+	"bytes"
+	"math/rand"
+	"strings"
+	"testing"
+	"testing/quick"
+)
+
+func TestBinaryRoundTrip(t *testing.T) {
+	prop := func(seed int64) bool {
+		rng := rand.New(rand.NewSource(seed))
+		g := randomAIG(rng, 2+rng.Intn(10), 1+rng.Intn(120), 1+rng.Intn(6))
+		var buf bytes.Buffer
+		if err := g.WriteBinary(&buf); err != nil {
+			return false
+		}
+		g2, err := ParseBinary(&buf)
+		if err != nil {
+			return false
+		}
+		return g2.NumPIs() == g.NumPIs() && g2.NumPOs() == g.NumPOs() &&
+			EquivalentExhaustive(g, g2)
+	}
+	if err := quick.Check(prop, &quick.Config{MaxCount: 60}); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestBinarySmallerThanText(t *testing.T) {
+	rng := rand.New(rand.NewSource(1))
+	g := randomAIG(rng, 10, 400, 5)
+	var bin, txt bytes.Buffer
+	if err := g.WriteBinary(&bin); err != nil {
+		t.Fatal(err)
+	}
+	if err := g.WriteText(&txt); err != nil {
+		t.Fatal(err)
+	}
+	if bin.Len() >= txt.Len() {
+		t.Fatalf("binary (%d bytes) not smaller than text (%d bytes)", bin.Len(), txt.Len())
+	}
+}
+
+func TestBinaryDeltaEncoding(t *testing.T) {
+	// One AND of the two PIs: lhs=6(node 3)... with 2 PIs node 3 is the
+	// AND; lhs=6, rhs0=4, rhs1=2 -> deltas 2, 2.
+	b := NewBuilder(2)
+	b.AddPO(b.And(b.PI(0), b.PI(1)))
+	g := b.Build()
+	var buf bytes.Buffer
+	if err := g.WriteBinary(&buf); err != nil {
+		t.Fatal(err)
+	}
+	s := buf.Bytes()
+	// Header + "6\n" + two varint bytes {2, 2}.
+	want := "aig 3 2 0 1 1\n6\n"
+	if !bytes.HasPrefix(s, []byte(want)) {
+		t.Fatalf("prefix = %q", s[:len(want)])
+	}
+	tail := s[len(want):]
+	if len(tail) != 2 || tail[0] != 2 || tail[1] != 2 {
+		t.Fatalf("delta bytes = %v, want [2 2]", tail)
+	}
+}
+
+func TestBinaryVarintBoundary(t *testing.T) {
+	var buf bytes.Buffer
+	bw := &buf
+	for _, v := range []uint32{0, 1, 127, 128, 300, 1 << 20} {
+		buf.Reset()
+		w := &byteBuf{b: bw}
+		if err := writeVarint(w, v); err != nil {
+			t.Fatal(err)
+		}
+		got, err := readVarint(bytes.NewReader(buf.Bytes()))
+		if err != nil || got != v {
+			t.Fatalf("varint %d round trip = %d, %v", v, got, err)
+		}
+	}
+}
+
+type byteBuf struct{ b *bytes.Buffer }
+
+func (w *byteBuf) WriteByte(c byte) error { return w.b.WriteByte(c) }
+
+func TestParseBinaryErrors(t *testing.T) {
+	cases := []string{
+		"",
+		"not a header\n",
+		"aig 1 1 0 1\n",       // short header
+		"aig 2 1 1 1 1\n2\n",  // latches
+		"aig 9 1 0 1 1\n2\n",  // inconsistent
+		"aig 2 1 0 1 1\n2\n",  // truncated ANDs
+		"aig 2 1 0 1 1\nxx\n", // bad output literal
+	}
+	for _, c := range cases {
+		if _, err := ParseBinary(strings.NewReader(c)); err == nil {
+			t.Errorf("ParseBinary(%q) succeeded", c)
+		}
+	}
+	// Bad delta: delta0 = 0 is illegal (lhs == rhs0).
+	bad := append([]byte("aig 2 1 0 1 1\n2\n"), 0, 0)
+	if _, err := ParseBinary(bytes.NewReader(bad)); err == nil {
+		t.Error("zero delta accepted")
+	}
+}
+
+func TestBinaryMatchesTextSemantics(t *testing.T) {
+	rng := rand.New(rand.NewSource(9))
+	g := randomAIG(rng, 6, 60, 3)
+	var bin, txt bytes.Buffer
+	if err := g.WriteBinary(&bin); err != nil {
+		t.Fatal(err)
+	}
+	if err := g.WriteText(&txt); err != nil {
+		t.Fatal(err)
+	}
+	gb, err := ParseBinary(&bin)
+	if err != nil {
+		t.Fatal(err)
+	}
+	gt, err := Parse(&txt)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !EquivalentExhaustive(gb, gt) {
+		t.Fatal("binary and text disagree")
+	}
+}

@@ -1,0 +1,155 @@
+package aig
+
+// ConeNodes returns the AND-node indices in the transitive fanin cone of
+// root (an AND node index), in topological order, stopping at PIs.
+func (g *AIG) ConeNodes(root int32) []int32 {
+	if !g.IsAnd(root) {
+		return nil
+	}
+	seen := make(map[int32]bool)
+	var out []int32
+	var visit func(n int32)
+	visit = func(n int32) {
+		if seen[n] || !g.IsAnd(n) {
+			return
+		}
+		seen[n] = true
+		nd := g.nodes[n]
+		visit(nd.fanin0.Node())
+		visit(nd.fanin1.Node())
+		out = append(out, n)
+	}
+	visit(root)
+	return out
+}
+
+// POCone describes the logic cone of a single primary output.
+type POCone struct {
+	PO        int     // output index
+	Ands      int     // AND nodes in the cone
+	Depth     int32   // maximum level within the cone
+	Supports  int     // number of PIs in the transitive fanin
+	PathCount float64 // number of PI-to-PO paths (saturating float)
+}
+
+// POCones computes, for every primary output, the size, depth, support and
+// path count of its logic cone. Path counts follow the paper's
+// "number_of_paths" feature: the number of distinct directed paths from any
+// PI to the PO, computed by dynamic programming over the DAG (float64 to
+// tolerate exponential growth on multiplier-like cones).
+func (g *AIG) POCones() []POCone {
+	lv := g.Levels()
+	// paths[n] = number of PI-to-n paths through the fanin cone.
+	paths := make([]float64, len(g.nodes))
+	for i := 1; i <= g.numPIs; i++ {
+		paths[i] = 1
+	}
+	for i := g.numPIs + 1; i < len(g.nodes); i++ {
+		nd := g.nodes[i]
+		paths[i] = paths[nd.fanin0.Node()] + paths[nd.fanin1.Node()]
+	}
+
+	out := make([]POCone, len(g.pos))
+	for pi, po := range g.pos {
+		n := po.Node()
+		c := POCone{PO: pi, PathCount: paths[n], Depth: lv[n]}
+		if g.IsAnd(n) {
+			cone := g.ConeNodes(n)
+			c.Ands = len(cone)
+			sup := make(map[int32]bool)
+			for _, cn := range cone {
+				nd := g.nodes[cn]
+				for _, f := range [2]Lit{nd.fanin0, nd.fanin1} {
+					if g.IsPI(f.Node()) {
+						sup[f.Node()] = true
+					}
+				}
+			}
+			c.Supports = len(sup)
+		} else if g.IsPI(n) {
+			c.Supports = 1
+		}
+		out[pi] = c
+	}
+	return out
+}
+
+// MFFCSize returns the size of the maximum fanout-free cone of node n:
+// the number of AND nodes (including n) that would become dangling if n
+// were removed. fanouts must come from FanoutCounts of the same AIG.
+func (g *AIG) MFFCSize(n int32, fanouts []int32) int {
+	if !g.IsAnd(n) {
+		return 0
+	}
+	// Simulate reference-count dereferencing without mutating shared state.
+	deref := make(map[int32]int32)
+	var count func(m int32) int
+	count = func(m int32) int {
+		if !g.IsAnd(m) {
+			return 0
+		}
+		total := 1
+		nd := g.nodes[m]
+		for _, f := range [2]Lit{nd.fanin0, nd.fanin1} {
+			fn := f.Node()
+			deref[fn]++
+			if g.IsAnd(fn) && deref[fn] == fanouts[fn] {
+				total += count(fn)
+			}
+		}
+		return total
+	}
+	return count(n)
+}
+
+// CriticalPIToPOPath returns one maximum-level path from a PI to the
+// latest-arriving PO as a sequence of node indices (PI first). It is the
+// AIG-level analogue of the critical path and feeds the paper's
+// long-path-fanout features.
+func (g *AIG) CriticalPIToPOPath() []int32 {
+	lv := g.Levels()
+	// Find the latest PO driver.
+	var root int32 = -1
+	var best int32 = -1
+	for _, po := range g.pos {
+		if l := lv[po.Node()]; l > best {
+			best = l
+			root = po.Node()
+		}
+	}
+	if root < 0 || !g.IsAnd(root) {
+		if root >= 0 {
+			return []int32{root}
+		}
+		return nil
+	}
+	// Walk back through max-level fanins.
+	var rev []int32
+	n := root
+	for g.IsAnd(n) {
+		rev = append(rev, n)
+		nd := g.nodes[n]
+		n0, n1 := nd.fanin0.Node(), nd.fanin1.Node()
+		if lv[n0] >= lv[n1] {
+			n = n0
+		} else {
+			n = n1
+		}
+	}
+	rev = append(rev, n) // the PI (or constant)
+	// Reverse to PI-first order.
+	for i, j := 0, len(rev)-1; i < j; i, j = i+1, j-1 {
+		rev[i], rev[j] = rev[j], rev[i]
+	}
+	return rev
+}
+
+// NodesAtLevel buckets AND node indices by level.
+func (g *AIG) NodesAtLevel() map[int32][]int32 {
+	lv := g.Levels()
+	out := make(map[int32][]int32)
+	for i := g.numPIs + 1; i < len(g.nodes); i++ {
+		out[lv[i]] = append(out[lv[i]], int32(i))
+	}
+	return out
+}

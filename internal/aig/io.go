@@ -1,0 +1,151 @@
+package aig
+
+import (
+	"bufio"
+	"fmt"
+	"io"
+	"strconv"
+	"strings"
+)
+
+// WriteText serializes the AIG in a line-oriented ASCII format modeled on
+// AIGER's "aag" variant:
+//
+//	aag <maxNode> <numPIs> 0 <numPOs> <numAnds>
+//	<po literal>              (one line per PO)
+//	<and literal> <f0> <f1>   (one line per AND node, topological order)
+//
+// Literals follow AIGER numbering (node<<1 | complement; node 0 is the
+// constant false). Latches are always zero: this repository works with
+// combinational logic only, as does the paper.
+func (g *AIG) WriteText(w io.Writer) error {
+	bw := bufio.NewWriter(w)
+	maxNode := len(g.nodes) - 1
+	fmt.Fprintf(bw, "aag %d %d 0 %d %d\n", maxNode, g.numPIs, len(g.pos), g.NumAnds())
+	for _, po := range g.pos {
+		fmt.Fprintf(bw, "%d\n", uint32(po))
+	}
+	for i := g.numPIs + 1; i < len(g.nodes); i++ {
+		nd := g.nodes[i]
+		fmt.Fprintf(bw, "%d %d %d\n", uint32(MakeLit(int32(i), false)), uint32(nd.fanin0), uint32(nd.fanin1))
+	}
+	return bw.Flush()
+}
+
+// String returns the textual serialization of the AIG.
+func (g *AIG) String() string {
+	var sb strings.Builder
+	if err := g.WriteText(&sb); err != nil {
+		return "aig<error>"
+	}
+	return sb.String()
+}
+
+// Parse reads an AIG in the format produced by WriteText. The node stream
+// is rebuilt through a Builder, so the parsed AIG is structurally hashed.
+func Parse(r io.Reader) (*AIG, error) {
+	sc := bufio.NewScanner(r)
+	sc.Buffer(make([]byte, 1<<20), 1<<24)
+	if !sc.Scan() {
+		return nil, fmt.Errorf("aig: empty input")
+	}
+	header := strings.Fields(sc.Text())
+	if len(header) != 6 || header[0] != "aag" {
+		return nil, fmt.Errorf("aig: bad header %q", sc.Text())
+	}
+	nums := make([]int, 5)
+	for i := 0; i < 5; i++ {
+		v, err := strconv.Atoi(header[i+1])
+		if err != nil || v < 0 {
+			return nil, fmt.Errorf("aig: bad header field %q", header[i+1])
+		}
+		nums[i] = v
+	}
+	maxNode, numPIs, numLatches, numPOs, numAnds := nums[0], nums[1], nums[2], nums[3], nums[4]
+	if numLatches != 0 {
+		return nil, fmt.Errorf("aig: latches not supported (%d declared)", numLatches)
+	}
+	if maxNode != numPIs+numAnds {
+		return nil, fmt.Errorf("aig: inconsistent header: maxNode=%d pis=%d ands=%d", maxNode, numPIs, numAnds)
+	}
+	b := NewBuilder(numPIs)
+	// Map from serialized node index to rebuilt literal.
+	m := make([]Lit, maxNode+1)
+	m[0] = ConstFalse
+	for i := 1; i <= numPIs; i++ {
+		m[i] = b.PI(i - 1)
+	}
+	mapLit := func(raw uint32) (Lit, error) {
+		n := raw >> 1
+		if int(n) > maxNode {
+			return 0, fmt.Errorf("aig: literal %d out of range", raw)
+		}
+		l := m[n]
+		if l == noFanin {
+			return 0, fmt.Errorf("aig: literal %d referenced before definition", raw)
+		}
+		return l.NotIf(raw&1 == 1), nil
+	}
+
+	poRaw := make([]uint32, 0, numPOs)
+	for i := 0; i < numPOs; i++ {
+		if !sc.Scan() {
+			return nil, fmt.Errorf("aig: truncated PO list")
+		}
+		v, err := strconv.ParseUint(strings.TrimSpace(sc.Text()), 10, 32)
+		if err != nil {
+			return nil, fmt.Errorf("aig: bad PO literal %q", sc.Text())
+		}
+		poRaw = append(poRaw, uint32(v))
+	}
+	for i := numPIs + 1; i <= maxNode; i++ {
+		m[i] = noFanin
+	}
+	for i := 0; i < numAnds; i++ {
+		if !sc.Scan() {
+			return nil, fmt.Errorf("aig: truncated AND list")
+		}
+		f := strings.Fields(sc.Text())
+		if len(f) != 3 {
+			return nil, fmt.Errorf("aig: bad AND line %q", sc.Text())
+		}
+		var raw [3]uint32
+		for j := 0; j < 3; j++ {
+			v, err := strconv.ParseUint(f[j], 10, 32)
+			if err != nil {
+				return nil, fmt.Errorf("aig: bad AND literal %q", f[j])
+			}
+			raw[j] = uint32(v)
+		}
+		if raw[0]&1 != 0 {
+			return nil, fmt.Errorf("aig: AND output literal %d is complemented", raw[0])
+		}
+		n := raw[0] >> 1
+		if int(n) > maxNode || m[n] != noFanin {
+			return nil, fmt.Errorf("aig: AND node %d redefined or out of range", n)
+		}
+		l0, err := mapLit(raw[1])
+		if err != nil {
+			return nil, err
+		}
+		l1, err := mapLit(raw[2])
+		if err != nil {
+			return nil, err
+		}
+		m[n] = b.And(l0, l1)
+	}
+	for _, raw := range poRaw {
+		l, err := mapLit(raw)
+		if err != nil {
+			return nil, err
+		}
+		b.AddPO(l)
+	}
+	if err := sc.Err(); err != nil {
+		return nil, err
+	}
+	return b.Build(), nil
+}
+
+// ParseString parses an AIG from a string.
+func ParseString(s string) (*AIG, error) { return Parse(strings.NewReader(s)) }

@@ -1,0 +1,157 @@
+// Package anneal implements the simulated-annealing logic optimization
+// paradigm used by all three of the paper's flows (§IV): at each iteration
+// a randomly selected transformation recipe is applied to the current AIG,
+// the candidate is scored by a pluggable Evaluator (proxy metrics,
+// ground-truth mapping+STA, or ML inference — the only difference between
+// the flows), and the move is accepted if it improves the weighted cost or
+// probabilistically via the Metropolis criterion, allowing the
+// hill-climbing the paper motivates.
+package anneal
+
+import (
+	"fmt"
+	"math"
+	"math/rand"
+	"time"
+
+	"aigtimer/internal/aig"
+	"aigtimer/internal/transform"
+)
+
+// Metrics is an evaluator's estimate of a candidate's post-mapping
+// quality. Proxy evaluators report proxy units (levels, node count);
+// physical evaluators report ps and um².
+type Metrics struct {
+	DelayPS float64
+	AreaUM2 float64
+}
+
+// Evaluator scores candidate AIGs; it is the cost oracle of Fig. 3.
+type Evaluator interface {
+	Name() string
+	Evaluate(g *aig.AIG) Metrics
+}
+
+// Params configures one annealing run.
+type Params struct {
+	Iterations  int
+	StartTemp   float64 // in normalized cost units (typical: 0.02-0.2)
+	DecayRate   float64 // temperature multiplier per iteration (0,1]
+	DelayWeight float64
+	AreaWeight  float64
+	Seed        int64
+	Recipes     []transform.Recipe // move set; nil = full 103-recipe catalog
+}
+
+// DefaultParams is a reasonable medium-effort configuration.
+var DefaultParams = Params{
+	Iterations:  120,
+	StartTemp:   0.05,
+	DecayRate:   0.97,
+	DelayWeight: 1.0,
+	AreaWeight:  0.5,
+	Seed:        1,
+}
+
+// Step records one annealing iteration for analysis.
+type Step struct {
+	Iter     int
+	Recipe   string
+	Metrics  Metrics
+	Cost     float64
+	Accepted bool
+	Ands     int
+	Levels   int32
+}
+
+// Result is the outcome of an annealing run.
+type Result struct {
+	Best        *aig.AIG
+	BestMetrics Metrics
+	BestCost    float64
+	Initial     Metrics
+	History     []Step
+	Accepted    int
+
+	// Time decomposition, the quantities behind Fig. 2 and Table IV:
+	// MoveTime covers transformation application and graph processing,
+	// EvalTime covers the evaluator (mapping+STA or feature+inference).
+	MoveTime time.Duration
+	EvalTime time.Duration
+}
+
+// PerIterationEval returns the average evaluator time per iteration.
+func (r *Result) PerIterationEval() time.Duration {
+	if len(r.History) == 0 {
+		return 0
+	}
+	return r.EvalTime / time.Duration(len(r.History))
+}
+
+// PerIterationMove returns the average move (transform) time per iteration.
+func (r *Result) PerIterationMove() time.Duration {
+	if len(r.History) == 0 {
+		return 0
+	}
+	return r.MoveTime / time.Duration(len(r.History))
+}
+
+// Run performs simulated annealing from g0 under the given evaluator.
+func Run(g0 *aig.AIG, ev Evaluator, p Params) (*Result, error) {
+	if p.Iterations <= 0 {
+		return nil, fmt.Errorf("anneal: Iterations must be positive")
+	}
+	if p.DecayRate <= 0 || p.DecayRate > 1 {
+		return nil, fmt.Errorf("anneal: DecayRate must be in (0,1]")
+	}
+	if p.DelayWeight < 0 || p.AreaWeight < 0 || p.DelayWeight+p.AreaWeight == 0 {
+		return nil, fmt.Errorf("anneal: need nonnegative weights with positive sum")
+	}
+	recipes := p.Recipes
+	if recipes == nil {
+		recipes = transform.Recipes()
+	}
+	rng := rand.New(rand.NewSource(p.Seed))
+
+	t0 := time.Now()
+	init := ev.Evaluate(g0)
+	res := &Result{Best: g0, BestMetrics: init, Initial: init}
+	res.EvalTime += time.Since(t0)
+	if init.DelayPS <= 0 || init.AreaUM2 <= 0 {
+		return nil, fmt.Errorf("anneal: evaluator %s returned nonpositive initial metrics %+v", ev.Name(), init)
+	}
+	cost := func(m Metrics) float64 {
+		return p.DelayWeight*m.DelayPS/init.DelayPS + p.AreaWeight*m.AreaUM2/init.AreaUM2
+	}
+	cur, curCost := g0, cost(init)
+	res.BestCost = curCost
+	temp := p.StartTemp
+
+	for it := 0; it < p.Iterations; it++ {
+		r := recipes[rng.Intn(len(recipes))]
+		tMove := time.Now()
+		cand := r.Apply(cur, rng)
+		res.MoveTime += time.Since(tMove)
+
+		tEval := time.Now()
+		m := ev.Evaluate(cand)
+		res.EvalTime += time.Since(tEval)
+
+		c := cost(m)
+		delta := c - curCost
+		accepted := delta < 0 || (temp > 0 && rng.Float64() < math.Exp(-delta/temp))
+		if accepted {
+			cur, curCost = cand, c
+			res.Accepted++
+			if c < res.BestCost {
+				res.Best, res.BestCost, res.BestMetrics = cand, c, m
+			}
+		}
+		res.History = append(res.History, Step{
+			Iter: it, Recipe: r.Name, Metrics: m, Cost: c, Accepted: accepted,
+			Ands: cand.NumAnds(), Levels: cand.MaxLevel(),
+		})
+		temp *= p.DecayRate
+	}
+	return res, nil
+}

@@ -1,0 +1,177 @@
+package anneal
+
+import (
+	"math/rand"
+	"testing"
+
+	"aigtimer/internal/aig"
+	"aigtimer/internal/transform"
+)
+
+// proxyEval is a local stand-in to avoid importing flows (which imports
+// this package).
+type proxyEval struct{}
+
+func (proxyEval) Name() string { return "proxy" }
+func (proxyEval) Evaluate(g *aig.AIG) Metrics {
+	return Metrics{DelayPS: float64(g.MaxLevel()) + 1, AreaUM2: float64(g.NumAnds()) + 1}
+}
+
+func testAIG(seed int64) *aig.AIG {
+	rng := rand.New(rand.NewSource(seed))
+	b := aig.NewBuilder(8)
+	lits := make([]aig.Lit, 0, 120)
+	for i := 0; i < 8; i++ {
+		lits = append(lits, b.PI(i))
+	}
+	for len(lits) < 120 {
+		a := lits[rng.Intn(len(lits))].NotIf(rng.Intn(2) == 0)
+		c := lits[rng.Intn(len(lits))].NotIf(rng.Intn(2) == 0)
+		lits = append(lits, b.And(a, c))
+	}
+	for i := 0; i < 4; i++ {
+		b.AddPO(lits[len(lits)-1-rng.Intn(30)])
+	}
+	return b.Build().Compact()
+}
+
+func TestRunImprovesProxyCost(t *testing.T) {
+	g := testAIG(1)
+	p := DefaultParams
+	p.Iterations = 60
+	p.Seed = 7
+	res, err := Run(g, proxyEval{}, p)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if res.BestCost >= p.DelayWeight+p.AreaWeight {
+		t.Fatalf("no improvement: best cost %.4f vs initial %.4f",
+			res.BestCost, p.DelayWeight+p.AreaWeight)
+	}
+	if len(res.History) != p.Iterations {
+		t.Fatalf("history length %d", len(res.History))
+	}
+	if res.Accepted == 0 {
+		t.Fatal("no moves accepted")
+	}
+	// The best AIG must stay functionally equivalent to the input.
+	if !aig.EquivalentExhaustive(g, res.Best) {
+		t.Fatal("optimization changed function")
+	}
+}
+
+func TestRunDeterministicUnderSeed(t *testing.T) {
+	g := testAIG(2)
+	p := DefaultParams
+	p.Iterations = 25
+	p.Seed = 11
+	r1, err := Run(g, proxyEval{}, p)
+	if err != nil {
+		t.Fatal(err)
+	}
+	r2, err := Run(g, proxyEval{}, p)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if r1.BestCost != r2.BestCost || r1.Accepted != r2.Accepted {
+		t.Fatalf("nondeterministic: %v/%v vs %v/%v", r1.BestCost, r1.Accepted, r2.BestCost, r2.Accepted)
+	}
+	if r1.Best.Hash() != r2.Best.Hash() {
+		t.Fatal("best AIGs differ")
+	}
+}
+
+func TestHillClimbingAcceptsUphill(t *testing.T) {
+	g := testAIG(3)
+	p := DefaultParams
+	p.Iterations = 80
+	p.StartTemp = 0.5 // hot: uphill moves must appear
+	p.DecayRate = 1.0
+	p.Seed = 3
+	res, err := Run(g, proxyEval{}, p)
+	if err != nil {
+		t.Fatal(err)
+	}
+	uphill := 0
+	prevCost := p.DelayWeight + p.AreaWeight
+	for _, s := range res.History {
+		if s.Accepted && s.Cost > prevCost {
+			uphill++
+		}
+		if s.Accepted {
+			prevCost = s.Cost
+		}
+	}
+	if uphill == 0 {
+		t.Fatal("hot annealer never accepted an uphill move")
+	}
+}
+
+func TestZeroTemperatureIsGreedy(t *testing.T) {
+	g := testAIG(4)
+	p := DefaultParams
+	p.Iterations = 50
+	p.StartTemp = 0
+	p.Seed = 5
+	res, err := Run(g, proxyEval{}, p)
+	if err != nil {
+		t.Fatal(err)
+	}
+	prevCost := p.DelayWeight + p.AreaWeight
+	for _, s := range res.History {
+		if s.Accepted {
+			if s.Cost >= prevCost && s.Cost != prevCost {
+				t.Fatalf("greedy run accepted uphill move: %.4f -> %.4f", prevCost, s.Cost)
+			}
+			prevCost = s.Cost
+		}
+	}
+}
+
+func TestParamValidation(t *testing.T) {
+	g := testAIG(5)
+	cases := []Params{
+		{Iterations: 0, DecayRate: 0.9, DelayWeight: 1},
+		{Iterations: 5, DecayRate: 0, DelayWeight: 1},
+		{Iterations: 5, DecayRate: 1.5, DelayWeight: 1},
+		{Iterations: 5, DecayRate: 0.9, DelayWeight: 0, AreaWeight: 0},
+		{Iterations: 5, DecayRate: 0.9, DelayWeight: -1, AreaWeight: 2},
+	}
+	for i, p := range cases {
+		if _, err := Run(g, proxyEval{}, p); err == nil {
+			t.Errorf("params %d accepted: %+v", i, p)
+		}
+	}
+}
+
+func TestCustomRecipeSet(t *testing.T) {
+	g := testAIG(6)
+	p := DefaultParams
+	p.Iterations = 10
+	p.Recipes = []transform.Recipe{{Name: "only-balance", Steps: []string{"b"}}}
+	res, err := Run(g, proxyEval{}, p)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for _, s := range res.History {
+		if s.Recipe != "only-balance" {
+			t.Fatalf("unexpected recipe %q", s.Recipe)
+		}
+	}
+}
+
+func TestTimeDecomposition(t *testing.T) {
+	g := testAIG(7)
+	p := DefaultParams
+	p.Iterations = 10
+	res, err := Run(g, proxyEval{}, p)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if res.MoveTime <= 0 || res.EvalTime <= 0 {
+		t.Fatalf("missing time decomposition: move=%v eval=%v", res.MoveTime, res.EvalTime)
+	}
+	if res.PerIterationMove() <= 0 || res.PerIterationEval() < 0 {
+		t.Fatal("per-iteration times wrong")
+	}
+}

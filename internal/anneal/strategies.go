@@ -1,0 +1,54 @@
+package anneal
+
+import (
+	"fmt"
+
+	"aigtimer/internal/aig"
+)
+
+// Alternative search strategies. The paper notes (§IV) that the learned
+// cost oracle "can also be integrated into other conventional approaches
+// besides SA"; these are the two standard ones. Both reuse the annealing
+// engine, differing only in acceptance behavior and restart structure.
+
+// RunHillClimb performs pure greedy descent: only improving moves are
+// accepted (zero-temperature annealing).
+func RunHillClimb(g0 *aig.AIG, ev Evaluator, p Params) (*Result, error) {
+	p.StartTemp = 0
+	p.DecayRate = 1
+	return Run(g0, ev, p)
+}
+
+// RunMultiStart runs `restarts` independent annealing searches with
+// derived seeds and returns the best result by final cost. With the cheap
+// ML oracle, restarts are the natural way to spend the runtime saved over
+// the ground-truth flow.
+func RunMultiStart(g0 *aig.AIG, ev Evaluator, p Params, restarts int) (*Result, error) {
+	if restarts < 1 {
+		return nil, fmt.Errorf("anneal: restarts must be positive")
+	}
+	var best *Result
+	for k := 0; k < restarts; k++ {
+		pk := p
+		pk.Seed = p.Seed + int64(k)*1000003
+		r, err := Run(g0, ev, pk)
+		if err != nil {
+			return nil, err
+		}
+		if best == nil || r.BestCost < best.BestCost {
+			// Aggregate bookkeeping so per-iteration timings remain
+			// meaningful across the whole multi-start budget.
+			if best != nil {
+				r.MoveTime += best.MoveTime
+				r.EvalTime += best.EvalTime
+				r.Accepted += best.Accepted
+			}
+			best = r
+		} else {
+			best.MoveTime += r.MoveTime
+			best.EvalTime += r.EvalTime
+			best.Accepted += r.Accepted
+		}
+	}
+	return best, nil
+}

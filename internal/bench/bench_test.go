@@ -1,0 +1,271 @@
+package bench
+
+import (
+	"math/rand"
+	"testing"
+
+	"aigtimer/internal/aig"
+)
+
+// evalAIG evaluates the AIG on a single input assignment.
+func evalAIG(g *aig.AIG, in []bool) []bool {
+	words := make([][]uint64, g.NumPIs())
+	for i := range words {
+		w := uint64(0)
+		if in[i] {
+			w = 1
+		}
+		words[i] = []uint64{w}
+	}
+	res := g.Simulate(words)
+	out := make([]bool, g.NumPOs())
+	for i := range out {
+		out[i] = res.LitValues(g.PO(i))[0]&1 == 1
+	}
+	return out
+}
+
+func TestRippleAdderCorrect(t *testing.T) {
+	b := aig.NewBuilder(8)
+	x := pis(b, 0, 4)
+	y := pis(b, 4, 4)
+	for _, s := range RippleAdder(b, x, y) {
+		b.AddPO(s)
+	}
+	g := b.Build()
+	for a := 0; a < 16; a++ {
+		for c := 0; c < 16; c++ {
+			in := make([]bool, 8)
+			for i := 0; i < 4; i++ {
+				in[i] = a>>i&1 == 1
+				in[4+i] = c>>i&1 == 1
+			}
+			out := evalAIG(g, in)
+			got := 0
+			for i, o := range out {
+				if o {
+					got |= 1 << i
+				}
+			}
+			if got != a+c {
+				t.Fatalf("%d+%d = %d, got %d", a, c, a+c, got)
+			}
+		}
+	}
+}
+
+func TestCLAAdderMatchesRipple(t *testing.T) {
+	rng := rand.New(rand.NewSource(1))
+	b1 := aig.NewBuilder(12)
+	b2 := aig.NewBuilder(12)
+	x1, y1 := pis(b1, 0, 6), pis(b1, 6, 6)
+	x2, y2 := pis(b2, 0, 6), pis(b2, 6, 6)
+	for _, s := range RippleAdder(b1, x1, y1) {
+		b1.AddPO(s)
+	}
+	for _, s := range CLAAdder(b2, x2, y2) {
+		b2.AddPO(s)
+	}
+	g1, g2 := b1.Build(), b2.Build()
+	if !aig.EquivalentExhaustive(g1, g2) {
+		t.Fatal("CLA and ripple adders differ")
+	}
+	_ = rng
+}
+
+func TestMultiplyCorrect(t *testing.T) {
+	b := aig.NewBuilder(8)
+	x := pis(b, 0, 4)
+	y := pis(b, 4, 4)
+	for _, p := range Multiply(b, x, y) {
+		b.AddPO(p)
+	}
+	g := b.Build()
+	for a := 0; a < 16; a++ {
+		for c := 0; c < 16; c++ {
+			in := make([]bool, 8)
+			for i := 0; i < 4; i++ {
+				in[i] = a>>i&1 == 1
+				in[4+i] = c>>i&1 == 1
+			}
+			out := evalAIG(g, in)
+			got := 0
+			for i, o := range out {
+				if o {
+					got |= 1 << i
+				}
+			}
+			if got != a*c {
+				t.Fatalf("%d*%d = %d, got %d", a, c, a*c, got)
+			}
+		}
+	}
+}
+
+func TestComparatorCorrect(t *testing.T) {
+	b := aig.NewBuilder(8)
+	x := pis(b, 0, 4)
+	y := pis(b, 4, 4)
+	eq, lt, gt := Comparator(b, x, y)
+	b.AddPO(eq)
+	b.AddPO(lt)
+	b.AddPO(gt)
+	g := b.Build()
+	for a := 0; a < 16; a++ {
+		for c := 0; c < 16; c++ {
+			in := make([]bool, 8)
+			for i := 0; i < 4; i++ {
+				in[i] = a>>i&1 == 1
+				in[4+i] = c>>i&1 == 1
+			}
+			out := evalAIG(g, in)
+			if out[0] != (a == c) || out[1] != (a < c) || out[2] != (a > c) {
+				t.Fatalf("cmp(%d,%d) = %v", a, c, out)
+			}
+		}
+	}
+}
+
+func TestMuxTreeAndParity(t *testing.T) {
+	b := aig.NewBuilder(11)
+	sel := pis(b, 0, 3)
+	data := pis(b, 3, 8)
+	b.AddPO(MuxTree(b, sel, data))
+	b.AddPO(ParityTree(b, data))
+	g := b.Build()
+	rng := rand.New(rand.NewSource(2))
+	for trial := 0; trial < 200; trial++ {
+		in := make([]bool, 11)
+		for i := range in {
+			in[i] = rng.Intn(2) == 1
+		}
+		out := evalAIG(g, in)
+		s := 0
+		for i := 0; i < 3; i++ {
+			if in[i] {
+				s |= 1 << i
+			}
+		}
+		if out[0] != in[3+s] {
+			t.Fatalf("mux sel=%d got %v want %v", s, out[0], in[3+s])
+		}
+		par := false
+		for _, v := range in[3:] {
+			par = par != v
+		}
+		if out[1] != par {
+			t.Fatalf("parity wrong")
+		}
+	}
+}
+
+func TestPriorityEncoderCorrect(t *testing.T) {
+	b := aig.NewBuilder(8)
+	xs := pis(b, 0, 8)
+	for _, o := range PriorityEncoder(b, xs, 3) {
+		b.AddPO(o)
+	}
+	g := b.Build()
+	for m := 0; m < 256; m++ {
+		in := make([]bool, 8)
+		for i := range in {
+			in[i] = m>>i&1 == 1
+		}
+		out := evalAIG(g, in)
+		if m == 0 {
+			if out[3] {
+				t.Fatalf("valid set on zero input")
+			}
+			continue
+		}
+		// Highest set bit.
+		want := 0
+		for i := 7; i >= 0; i-- {
+			if in[i] {
+				want = i
+				break
+			}
+		}
+		got := 0
+		for k := 0; k < 3; k++ {
+			if out[k] {
+				got |= 1 << k
+			}
+		}
+		if !out[3] || got != want {
+			t.Fatalf("penc(%08b): got %d valid=%v want %d", m, got, out[3], want)
+		}
+	}
+}
+
+func TestSuiteInterfaces(t *testing.T) {
+	ds := Suite()
+	if len(ds) != 8 {
+		t.Fatalf("suite has %d designs", len(ds))
+	}
+	train := 0
+	for _, d := range ds {
+		g := d.Build()
+		if g.NumPIs() != d.PIs || g.NumPOs() != d.POs {
+			t.Errorf("%s: got %d/%d PIs/POs, want %d/%d", d.Name, g.NumPIs(), g.NumPOs(), d.PIs, d.POs)
+		}
+		if d.POs <= 3 {
+			t.Errorf("%s: paper requires >3 POs", d.Name)
+		}
+		if g.NumAnds() < 40 {
+			t.Errorf("%s: trivially small (%d ands)", d.Name, g.NumAnds())
+		}
+		if g.DanglingCount() != 0 {
+			t.Errorf("%s: dangling nodes", d.Name)
+		}
+		if d.Train {
+			train++
+		}
+		t.Logf("%-6s %-15s pi=%d po=%d ands=%d lev=%d",
+			d.Name, d.Category, g.NumPIs(), g.NumPOs(), g.NumAnds(), g.MaxLevel())
+	}
+	if train != 4 {
+		t.Errorf("train split = %d, want 4", train)
+	}
+}
+
+func TestSuiteDeterministic(t *testing.T) {
+	for _, d := range Suite() {
+		g1 := d.Build()
+		g2 := d.Build()
+		if g1.Hash() != g2.Hash() {
+			t.Errorf("%s not deterministic", d.Name)
+		}
+	}
+}
+
+func TestByName(t *testing.T) {
+	d, err := ByName("EX08")
+	if err != nil || d.Name != "EX08" {
+		t.Fatalf("ByName(EX08) = %+v, %v", d, err)
+	}
+	if _, err := ByName("EX99"); err == nil {
+		t.Fatal("phantom design")
+	}
+}
+
+func TestMultiplierDesign(t *testing.T) {
+	g := Multiplier(4)
+	if g.NumPIs() != 8 || g.NumPOs() != 8 {
+		t.Fatalf("mult4 interface: %d/%d", g.NumPIs(), g.NumPOs())
+	}
+	in := make([]bool, 8)
+	// 5 * 6 = 30
+	in[0], in[2] = true, true // x=5
+	in[5], in[6] = true, true // y=6
+	out := evalAIG(g, in)
+	got := 0
+	for i, o := range out {
+		if o {
+			got |= 1 << i
+		}
+	}
+	if got != 30 {
+		t.Fatalf("5*6 = %d", got)
+	}
+}

@@ -1,0 +1,181 @@
+// Package bench provides deterministic synthetic benchmark designs.
+//
+// The paper evaluates on eight IWLS 2024 contest designs (EX00…EX68),
+// chosen from distinct functional categories, each with more than three
+// primary outputs and median AIG sizes between 69 and 2290 nodes. The
+// contest netlists are not redistributable here, so this package builds
+// functional stand-ins from the same categories — multipliers, adders,
+// ALUs, comparators, encoders, MUX datapaths, parity/Gray logic and random
+// control — with the paper's exact PI/PO counts (Table III) and comparable
+// size spreads. See DESIGN.md for the substitution rationale.
+package bench
+
+import (
+	"math/rand"
+
+	"aigtimer/internal/aig"
+)
+
+// fullAdder returns (sum, carry) of three literals.
+func fullAdder(b *aig.Builder, x, y, cin aig.Lit) (aig.Lit, aig.Lit) {
+	s := b.Xor(b.Xor(x, y), cin)
+	c := b.Maj(x, y, cin)
+	return s, c
+}
+
+// RippleAdder builds an n-bit adder over the given operand literals and
+// returns the n sum bits plus the carry-out.
+func RippleAdder(b *aig.Builder, x, y []aig.Lit) []aig.Lit {
+	if len(x) != len(y) {
+		panic("bench: RippleAdder: operand width mismatch")
+	}
+	out := make([]aig.Lit, 0, len(x)+1)
+	carry := aig.ConstFalse
+	for i := range x {
+		var s aig.Lit
+		s, carry = fullAdder(b, x[i], y[i], carry)
+		out = append(out, s)
+	}
+	return append(out, carry)
+}
+
+// CLAAdder builds an n-bit carry-lookahead-style adder (generate/propagate
+// expansion) and returns sum bits plus carry-out.
+func CLAAdder(b *aig.Builder, x, y []aig.Lit) []aig.Lit {
+	if len(x) != len(y) {
+		panic("bench: CLAAdder: operand width mismatch")
+	}
+	n := len(x)
+	p := make([]aig.Lit, n)
+	g := make([]aig.Lit, n)
+	for i := 0; i < n; i++ {
+		p[i] = b.Xor(x[i], y[i])
+		g[i] = b.And(x[i], y[i])
+	}
+	c := make([]aig.Lit, n+1)
+	c[0] = aig.ConstFalse
+	for i := 0; i < n; i++ {
+		// c[i+1] = g[i] + p[i]·c[i], expanded for lookahead flavor.
+		c[i+1] = b.Or(g[i], b.And(p[i], c[i]))
+	}
+	out := make([]aig.Lit, 0, n+1)
+	for i := 0; i < n; i++ {
+		out = append(out, b.Xor(p[i], c[i]))
+	}
+	return append(out, c[n])
+}
+
+// Multiply builds an array multiplier over the operand literals and
+// returns all len(x)+len(y) product bits.
+func Multiply(b *aig.Builder, x, y []aig.Lit) []aig.Lit {
+	n, m := len(x), len(y)
+	acc := make([]aig.Lit, n+m)
+	for i := range acc {
+		acc[i] = aig.ConstFalse
+	}
+	for j := 0; j < m; j++ {
+		// Partial product row j, shifted by j.
+		row := make([]aig.Lit, n+m)
+		for i := range row {
+			row[i] = aig.ConstFalse
+		}
+		for i := 0; i < n; i++ {
+			row[i+j] = b.And(x[i], y[j])
+		}
+		sum := RippleAdder(b, acc, row)
+		copy(acc, sum[:n+m])
+	}
+	return acc
+}
+
+// Comparator builds an n-bit unsigned comparator and returns (eq, lt, gt).
+func Comparator(b *aig.Builder, x, y []aig.Lit) (aig.Lit, aig.Lit, aig.Lit) {
+	eq := aig.ConstTrue
+	lt := aig.ConstFalse
+	gt := aig.ConstFalse
+	for i := len(x) - 1; i >= 0; i-- {
+		bitEq := b.Xnor(x[i], y[i])
+		lt = b.Or(lt, b.AndN(eq, x[i].Not(), y[i]))
+		gt = b.Or(gt, b.AndN(eq, x[i], y[i].Not()))
+		eq = b.And(eq, bitEq)
+	}
+	return eq, lt, gt
+}
+
+// ParityTree returns the XOR of all literals.
+func ParityTree(b *aig.Builder, xs []aig.Lit) aig.Lit {
+	out := aig.ConstFalse
+	for _, x := range xs {
+		out = b.Xor(out, x)
+	}
+	return out
+}
+
+// MuxTree selects among the data literals with the given select literals
+// (len(data) must be 1<<len(sel)).
+func MuxTree(b *aig.Builder, sel, data []aig.Lit) aig.Lit {
+	if len(data) != 1<<len(sel) {
+		panic("bench: MuxTree: data width must be 2^sel")
+	}
+	layer := append([]aig.Lit(nil), data...)
+	for _, s := range sel {
+		next := make([]aig.Lit, len(layer)/2)
+		for i := range next {
+			next[i] = b.Mux(s, layer[2*i+1], layer[2*i])
+		}
+		layer = next
+	}
+	return layer[0]
+}
+
+// PriorityEncoder returns the index (one-hot valid) of the highest set
+// input: out has ceil(log2(n)) bits plus a valid bit.
+func PriorityEncoder(b *aig.Builder, xs []aig.Lit, bits int) []aig.Lit {
+	// higher[i] = some input above i is set.
+	out := make([]aig.Lit, bits+1)
+	for i := range out {
+		out[i] = aig.ConstFalse
+	}
+	noneAbove := aig.ConstTrue
+	for i := len(xs) - 1; i >= 0; i-- {
+		sel := b.And(xs[i], noneAbove) // xs[i] is the winner
+		for k := 0; k < bits; k++ {
+			if i>>k&1 == 1 {
+				out[k] = b.Or(out[k], sel)
+			}
+		}
+		out[bits] = b.Or(out[bits], xs[i])
+		noneAbove = b.And(noneAbove, xs[i].Not())
+	}
+	return out
+}
+
+// RandomControl builds a deterministic pseudo-random control network with
+// the given seed: layered random AND/OR/XOR logic ending in numPOs
+// outputs. It stands in for the irregular control-dominated IWLS
+// categories.
+func RandomControl(b *aig.Builder, ins []aig.Lit, numPOs, numNodes int, seed int64) []aig.Lit {
+	rng := rand.New(rand.NewSource(seed))
+	pool := append([]aig.Lit(nil), ins...)
+	for len(pool) < len(ins)+numNodes {
+		a := pool[rng.Intn(len(pool))].NotIf(rng.Intn(2) == 0)
+		c := pool[rng.Intn(len(pool))].NotIf(rng.Intn(2) == 0)
+		var l aig.Lit
+		switch rng.Intn(3) {
+		case 0:
+			l = b.And(a, c)
+		case 1:
+			l = b.Or(a, c)
+		default:
+			l = b.Xor(a, c)
+		}
+		pool = append(pool, l)
+	}
+	outs := make([]aig.Lit, numPOs)
+	for i := range outs {
+		// Bias outputs toward deep nodes so cones are nontrivial.
+		idx := len(pool) - 1 - rng.Intn(len(pool)/4+1)
+		outs[i] = pool[idx].NotIf(rng.Intn(2) == 0)
+	}
+	return outs
+}

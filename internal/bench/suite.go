@@ -1,0 +1,228 @@
+package bench
+
+import (
+	"fmt"
+
+	"aigtimer/internal/aig"
+)
+
+// Design is one benchmark entry of the experimental suite.
+type Design struct {
+	Name     string
+	Category string
+	Train    bool // paper's train/test split (Table III)
+	PIs, POs int  // expected interface, from Table III
+	Build    func() *aig.AIG
+}
+
+// Suite returns the eight-design experimental suite mirroring Table III:
+// four training designs (EX00, EX08, EX28, EX68) and four test designs
+// (EX02, EX11, EX16, EX54), with the paper's PI/PO counts and one design
+// per functional category.
+func Suite() []Design {
+	ds := []Design{
+		{Name: "EX00", Category: "comparator", Train: true, PIs: 16, POs: 7, Build: buildEX00},
+		{Name: "EX02", Category: "mac-datapath", Train: false, PIs: 18, POs: 6, Build: buildEX02},
+		{Name: "EX08", Category: "multiplier", Train: true, PIs: 18, POs: 5, Build: buildEX08},
+		{Name: "EX11", Category: "alu", Train: false, PIs: 17, POs: 7, Build: buildEX11},
+		{Name: "EX16", Category: "multiplier-acc", Train: false, PIs: 16, POs: 5, Build: buildEX16},
+		{Name: "EX28", Category: "random-control", Train: true, PIs: 17, POs: 7, Build: buildEX28},
+		{Name: "EX54", Category: "mux-datapath", Train: false, PIs: 17, POs: 7, Build: buildEX54},
+		{Name: "EX68", Category: "parity-gray", Train: true, PIs: 14, POs: 7, Build: buildEX68},
+	}
+	return ds
+}
+
+// ByName returns the named suite design.
+func ByName(name string) (Design, error) {
+	for _, d := range Suite() {
+		if d.Name == name {
+			return d, nil
+		}
+	}
+	return Design{}, fmt.Errorf("bench: unknown design %q", name)
+}
+
+// Multiplier returns a full n×n array multiplier with all product bits as
+// outputs; the paper's Fig. 1 / Table I / §II-B experiments use an 8×8
+// instance.
+func Multiplier(n int) *aig.AIG {
+	b := aig.NewBuilder(2 * n)
+	x := make([]aig.Lit, n)
+	y := make([]aig.Lit, n)
+	for i := 0; i < n; i++ {
+		x[i] = b.PI(i)
+		y[i] = b.PI(n + i)
+	}
+	for _, p := range Multiply(b, x, y) {
+		b.AddPO(p)
+	}
+	return b.Build().Compact()
+}
+
+// buildEX00: 8-bit comparator plus reduction logic. 16 PIs, 7 POs.
+func buildEX00() *aig.AIG {
+	b := aig.NewBuilder(16)
+	x := pis(b, 0, 8)
+	y := pis(b, 8, 8)
+	eq, lt, gt := Comparator(b, x, y)
+	b.AddPO(eq)
+	b.AddPO(lt)
+	b.AddPO(gt)
+	b.AddPO(ParityTree(b, x))
+	b.AddPO(ParityTree(b, y))
+	b.AddPO(b.AndN(x...))
+	b.AddPO(b.OrN(y...))
+	return b.Build().Compact()
+}
+
+// buildEX02: multiply-accumulate slice: s = a*b + (a||b), middle 6 bits.
+// 18 PIs, 6 POs.
+func buildEX02() *aig.AIG {
+	b := aig.NewBuilder(18)
+	x := pis(b, 0, 9)
+	y := pis(b, 9, 9)
+	prod := Multiply(b, x, y) // 18 bits
+	addend := make([]aig.Lit, 18)
+	for i := range addend {
+		if i < 9 {
+			addend[i] = x[i]
+		} else {
+			addend[i] = y[i-9]
+		}
+	}
+	sum := CLAAdder(b, prod, addend)
+	for i := 5; i < 11; i++ {
+		b.AddPO(sum[i])
+	}
+	return b.Build().Compact()
+}
+
+// buildEX08: 9×9 multiplier, middle 5 product bits. 18 PIs, 5 POs.
+func buildEX08() *aig.AIG {
+	b := aig.NewBuilder(18)
+	x := pis(b, 0, 9)
+	y := pis(b, 9, 9)
+	prod := Multiply(b, x, y)
+	for i := 6; i < 11; i++ {
+		b.AddPO(prod[i])
+	}
+	return b.Build().Compact()
+}
+
+// buildEX11: 7-bit ALU with 3 op-select bits: add, and, or, xor, nand,
+// low-multiply, shifted-add, comparator-extend. 17 PIs, 7 POs.
+func buildEX11() *aig.AIG {
+	b := aig.NewBuilder(17)
+	x := pis(b, 0, 7)
+	y := pis(b, 7, 7)
+	op := pis(b, 14, 3)
+
+	add := CLAAdder(b, x, y)[:7]
+	mul := Multiply(b, x, y)[:7]
+	shAdd := make([]aig.Lit, 7) // x + (y<<1)
+	ysh := make([]aig.Lit, 7)
+	ysh[0] = aig.ConstFalse
+	copy(ysh[1:], y[:6])
+	copy(shAdd, CLAAdder(b, x, ysh)[:7])
+	eq, lt, gt := Comparator(b, x, y)
+
+	for i := 0; i < 7; i++ {
+		data := []aig.Lit{
+			add[i],
+			b.And(x[i], y[i]),
+			b.Or(x[i], y[i]),
+			b.Xor(x[i], y[i]),
+			b.And(x[i], y[i]).Not(),
+			mul[i],
+			shAdd[i],
+			b.Mux(x[i], b.Mux(y[i], eq, lt), gt),
+		}
+		b.AddPO(MuxTree(b, op, data))
+	}
+	return b.Build().Compact()
+}
+
+// buildEX16: 8×8 multiplier accumulated with its own swapped operands,
+// middle 5 bits. 16 PIs, 5 POs.
+func buildEX16() *aig.AIG {
+	b := aig.NewBuilder(16)
+	x := pis(b, 0, 8)
+	y := pis(b, 8, 8)
+	prod := Multiply(b, x, y) // 16 bits
+	rev := make([]aig.Lit, 16)
+	for i := range rev {
+		if i < 8 {
+			rev[i] = y[7-i]
+		} else {
+			rev[i] = x[15-i]
+		}
+	}
+	sum := RippleAdder(b, prod, rev)
+	for i := 5; i < 10; i++ {
+		b.AddPO(sum[i])
+	}
+	return b.Build().Compact()
+}
+
+// buildEX28: layered pseudo-random control logic. 17 PIs, 7 POs.
+func buildEX28() *aig.AIG {
+	b := aig.NewBuilder(17)
+	ins := pis(b, 0, 17)
+	outs := RandomControl(b, ins, 7, 4500, 0x28)
+	for _, o := range outs {
+		b.AddPO(o)
+	}
+	return b.Build().Compact()
+}
+
+// buildEX54: MUX-tree datapath: barrel-selected operands into an adder
+// with encoded select. 17 PIs, 7 POs.
+func buildEX54() *aig.AIG {
+	b := aig.NewBuilder(17)
+	sel := pis(b, 0, 3)
+	data := pis(b, 3, 14)
+	// Seven outputs: each output i muxes a rotated view of the data and
+	// xors it with a priority-encoded summary, then feeds a small adder.
+	enc := PriorityEncoder(b, data, 4)
+	var lhs, rhs []aig.Lit
+	for i := 0; i < 7; i++ {
+		window := make([]aig.Lit, 8)
+		for j := range window {
+			window[j] = data[(i*3+j*2)%14]
+		}
+		lhs = append(lhs, MuxTree(b, sel, window))
+		rhs = append(rhs, b.Xor(enc[i%len(enc)], data[(i*5)%14]))
+	}
+	sum := CLAAdder(b, lhs, rhs)
+	for i := 0; i < 7; i++ {
+		b.AddPO(sum[i])
+	}
+	return b.Build().Compact()
+}
+
+// buildEX68: parity trees, Gray coding, and a small comparator. 14 PIs,
+// 7 POs.
+func buildEX68() *aig.AIG {
+	b := aig.NewBuilder(14)
+	x := pis(b, 0, 7)
+	y := pis(b, 7, 7)
+	// Gray encode x: g[i] = x[i] ^ x[i+1].
+	for i := 0; i < 3; i++ {
+		b.AddPO(b.Xor(x[i], x[i+1]))
+	}
+	eq, lt, _ := Comparator(b, x[:4], y[:4])
+	b.AddPO(eq)
+	b.AddPO(lt)
+	b.AddPO(ParityTree(b, append(append([]aig.Lit(nil), x...), y...)))
+	b.AddPO(b.Maj(ParityTree(b, x[:3]), ParityTree(b, y[2:5]), b.And(x[6], y[6])))
+	return b.Build().Compact()
+}
+
+func pis(b *aig.Builder, start, n int) []aig.Lit {
+	out := make([]aig.Lit, n)
+	for i := range out {
+		out[i] = b.PI(start + i)
+	}
+	return out
+}

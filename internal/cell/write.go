@@ -1,0 +1,26 @@
+package cell
+
+import (
+	"bufio"
+	"fmt"
+	"io"
+)
+
+// WriteLibrary serializes a library in the text format accepted by
+// ParseLibrary, for round-tripping modified libraries to disk.
+func WriteLibrary(w io.Writer, l *Library) error {
+	bw := bufio.NewWriter(w)
+	fmt.Fprintf(bw, "library %s\n", l.Name)
+	fmt.Fprintf(bw, "wire_cap %g\n", l.WireCapFF)
+	fmt.Fprintf(bw, "output_load %g\n", l.OutputLoadFF)
+	for _, c := range l.Cells {
+		mask := uint16(1)<<(1<<c.NumInputs) - 1
+		if c.NumInputs == 4 {
+			mask = 0xFFFF
+		}
+		fmt.Fprintf(bw, "cell %s inputs=%d func=0x%x area=%g cap=%g intrinsic=%g drive=%g\n",
+			c.Name, c.NumInputs, c.Function&mask, c.AreaUM2, c.InputCapFF,
+			c.IntrinsicPS, c.DrivePSPerFF)
+	}
+	return bw.Flush()
+}

@@ -1,0 +1,38 @@
+package cell
+
+import (
+	"strings"
+	"testing"
+)
+
+func TestWriteLibraryRoundTrip(t *testing.T) {
+	orig := Builtin()
+	var sb strings.Builder
+	if err := WriteLibrary(&sb, orig); err != nil {
+		t.Fatal(err)
+	}
+	back, err := ParseLibrary(strings.NewReader(sb.String()))
+	if err != nil {
+		t.Fatalf("re-parsing written library: %v\n%s", err, sb.String())
+	}
+	if back.Name != orig.Name || len(back.Cells) != len(orig.Cells) {
+		t.Fatalf("shape differs: %s/%d vs %s/%d",
+			back.Name, len(back.Cells), orig.Name, len(orig.Cells))
+	}
+	if back.WireCapFF != orig.WireCapFF || back.OutputLoadFF != orig.OutputLoadFF {
+		t.Fatalf("params differ")
+	}
+	for i, c := range orig.Cells {
+		b := back.Cells[i]
+		if b.Name != c.Name || b.NumInputs != c.NumInputs || b.Function != c.Function ||
+			b.AreaUM2 != c.AreaUM2 || b.InputCapFF != c.InputCapFF ||
+			b.IntrinsicPS != c.IntrinsicPS || b.DrivePSPerFF != c.DrivePSPerFF {
+			t.Fatalf("cell %s differs after round trip", c.Name)
+		}
+	}
+	// Matching behavior must be identical.
+	if back.NumMatchableFunctions() != orig.NumMatchableFunctions() {
+		t.Fatalf("match index differs: %d vs %d",
+			back.NumMatchableFunctions(), orig.NumMatchableFunctions())
+	}
+}

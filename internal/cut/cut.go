@@ -1,0 +1,228 @@
+// Package cut implements k-feasible priority-cut enumeration over AIGs.
+//
+// A cut of node n is a set of "leaf" nodes such that every path from a
+// primary input to n passes through a leaf; the cut's function is n's
+// function expressed over the leaves. Cuts are the working unit of both
+// cut rewriting (resynthesize the cut function with fewer nodes) and
+// structural technology mapping (replace the cut with a library cell whose
+// function matches).
+//
+// The enumeration is the standard bottom-up merge: cuts(n) is the set of
+// pairwise unions of cuts(fanin0) × cuts(fanin1) with at most K leaves,
+// plus the trivial cut {n}. To bound work, only the MaxCuts best cuts are
+// kept per node (priority cuts). K is limited to 4 so that cut functions
+// fit in a uint16 truth table.
+package cut
+
+import (
+	"sort"
+
+	"aigtimer/internal/aig"
+	"aigtimer/internal/truth"
+)
+
+// Cut is a k-feasible cut: sorted leaf node indices and the function of
+// the root over those leaves, padded to a 4-variable table.
+type Cut struct {
+	Leaves []int32
+	Table  uint16
+}
+
+// IsTrivial reports whether the cut is the trivial cut {root}.
+func (c Cut) IsTrivial(root int32) bool {
+	return len(c.Leaves) == 1 && c.Leaves[0] == root
+}
+
+// Params configures enumeration.
+type Params struct {
+	K       int // max leaves per cut (2..4)
+	MaxCuts int // max cuts kept per node (priority cuts)
+}
+
+// DefaultParams are suitable for both rewriting and mapping.
+var DefaultParams = Params{K: 4, MaxCuts: 8}
+
+// Enumerate computes priority cuts for every node of g. The result is
+// indexed by node; PIs and the constant node get their trivial cut only.
+func Enumerate(g *aig.AIG, p Params) [][]Cut {
+	if p.K < 2 || p.K > 4 {
+		panic("cut: K must be in [2,4]")
+	}
+	if p.MaxCuts < 1 {
+		panic("cut: MaxCuts must be positive")
+	}
+	cuts := make([][]Cut, g.NumNodes())
+	cuts[0] = []Cut{{Leaves: nil, Table: 0}} // constant false
+	for i := 1; i <= g.NumPIs(); i++ {
+		cuts[i] = []Cut{trivialCut(int32(i))}
+	}
+	g.TopoForEachAnd(func(n int32, f0, f1 aig.Lit) {
+		c0 := cuts[f0.Node()]
+		c1 := cuts[f1.Node()]
+		merged := make([]Cut, 0, len(c0)*len(c1)+1)
+		for _, a := range c0 {
+			for _, b := range c1 {
+				leaves, ok := mergeLeaves(a.Leaves, b.Leaves, p.K)
+				if !ok {
+					continue
+				}
+				tt := mergeTables(a, b, leaves, f0.IsCompl(), f1.IsCompl())
+				merged = append(merged, Cut{Leaves: leaves, Table: tt})
+			}
+		}
+		merged = filter(merged, p.MaxCuts)
+		merged = append(merged, trivialCut(n))
+		cuts[n] = merged
+	})
+	return cuts
+}
+
+func trivialCut(n int32) Cut {
+	// Projection of the single leaf: variable 0 padded to 4 vars.
+	return Cut{Leaves: []int32{n}, Table: truth.PadTo4(0xA, 2)}
+}
+
+// mergeLeaves unions two sorted leaf sets, failing when the union exceeds k.
+func mergeLeaves(a, b []int32, k int) ([]int32, bool) {
+	out := make([]int32, 0, k)
+	i, j := 0, 0
+	for i < len(a) || j < len(b) {
+		var v int32
+		switch {
+		case i == len(a):
+			v = b[j]
+			j++
+		case j == len(b):
+			v = a[i]
+			i++
+		case a[i] < b[j]:
+			v = a[i]
+			i++
+		case a[i] > b[j]:
+			v = b[j]
+			j++
+		default:
+			v = a[i]
+			i++
+			j++
+		}
+		if len(out) == k {
+			return nil, false
+		}
+		out = append(out, v)
+	}
+	return out, true
+}
+
+// mergeTables computes the AND-node function over the union leaves.
+func mergeTables(a, b Cut, leaves []int32, inv0, inv1 bool) uint16 {
+	ta := expand(a, leaves)
+	tb := expand(b, leaves)
+	if inv0 {
+		ta = ^ta
+	}
+	if inv1 {
+		tb = ^tb
+	}
+	return ta & tb
+}
+
+// expand rewires a cut's table from its own leaves to positions within
+// the union leaf set.
+func expand(c Cut, leaves []int32) uint16 {
+	var pinVar [4]int
+	for j, l := range c.Leaves {
+		pinVar[j] = indexOf(leaves, l)
+	}
+	// Unused pins of the padded table may point anywhere.
+	for j := len(c.Leaves); j < 4; j++ {
+		pinVar[j] = 0
+	}
+	return truth.TransformPins(c.Table, 4, pinVar[:], 0)
+}
+
+func indexOf(s []int32, v int32) int {
+	for i, x := range s {
+		if x == v {
+			return i
+		}
+	}
+	panic("cut: leaf not in union")
+}
+
+// filter deduplicates, removes dominated cuts (a cut is dominated when a
+// strict subset of its leaves is also a cut), sorts by leaf count, and
+// keeps at most maxCuts.
+func filter(cs []Cut, maxCuts int) []Cut {
+	sort.Slice(cs, func(i, j int) bool {
+		if len(cs[i].Leaves) != len(cs[j].Leaves) {
+			return len(cs[i].Leaves) < len(cs[j].Leaves)
+		}
+		return lessLeaves(cs[i].Leaves, cs[j].Leaves)
+	})
+	var out []Cut
+	for _, c := range cs {
+		if containsEqual(out, c) || dominated(out, c) {
+			continue
+		}
+		out = append(out, c)
+		if len(out) == maxCuts {
+			break
+		}
+	}
+	return out
+}
+
+func lessLeaves(a, b []int32) bool {
+	for i := range a {
+		if i >= len(b) {
+			return false
+		}
+		if a[i] != b[i] {
+			return a[i] < b[i]
+		}
+	}
+	return len(a) < len(b)
+}
+
+func containsEqual(cs []Cut, c Cut) bool {
+	for _, x := range cs {
+		if equalLeaves(x.Leaves, c.Leaves) {
+			return true
+		}
+	}
+	return false
+}
+
+func equalLeaves(a, b []int32) bool {
+	if len(a) != len(b) {
+		return false
+	}
+	for i := range a {
+		if a[i] != b[i] {
+			return false
+		}
+	}
+	return true
+}
+
+// dominated reports whether some kept cut's leaves are a subset of c's.
+func dominated(kept []Cut, c Cut) bool {
+	for _, x := range kept {
+		if len(x.Leaves) < len(c.Leaves) && subset(x.Leaves, c.Leaves) {
+			return true
+		}
+	}
+	return false
+}
+
+// subset reports whether sorted a ⊆ sorted b.
+func subset(a, b []int32) bool {
+	i := 0
+	for _, v := range b {
+		if i < len(a) && a[i] == v {
+			i++
+		}
+	}
+	return i == len(a)
+}

@@ -1,0 +1,212 @@
+package cut
+
+import (
+	"math/rand"
+	"testing"
+	"testing/quick"
+
+	"aigtimer/internal/aig"
+	"aigtimer/internal/truth"
+)
+
+// buildSmall returns f = (a·b)·(c+d) with intermediate literals.
+func buildSmall() (*aig.AIG, aig.Lit, aig.Lit, aig.Lit) {
+	b := aig.NewBuilder(4)
+	n1 := b.And(b.PI(0), b.PI(1))
+	n2 := b.Or(b.PI(2), b.PI(3))
+	n3 := b.And(n1, n2)
+	b.AddPO(n3)
+	return b.Build(), n1, n2, n3
+}
+
+func TestEnumerateSmall(t *testing.T) {
+	g, n1, n2, n3 := buildSmall()
+	cuts := Enumerate(g, DefaultParams)
+
+	// Every node must include its trivial cut.
+	for n := int32(1); n < int32(g.NumNodes()); n++ {
+		found := false
+		for _, c := range cuts[n] {
+			if c.IsTrivial(n) {
+				found = true
+			}
+		}
+		if !found {
+			t.Errorf("node %d has no trivial cut", n)
+		}
+	}
+
+	// The root must have a 4-leaf cut over the PIs with function
+	// (a·b)·(c+d).
+	var root *Cut
+	for i := range cuts[n3.Node()] {
+		c := &cuts[n3.Node()][i]
+		if len(c.Leaves) == 4 {
+			root = c
+			break
+		}
+	}
+	if root == nil {
+		t.Fatalf("no 4-leaf cut on root; cuts: %+v", cuts[n3.Node()])
+	}
+	for i, want := range []int32{1, 2, 3, 4} {
+		if root.Leaves[i] != want {
+			t.Fatalf("root cut leaves = %v", root.Leaves)
+		}
+	}
+	want := computeWant(func(m int) bool {
+		a, b := m&1 == 1, m&2 == 2
+		c, d := m&4 == 4, m&8 == 8
+		return a && b && (c || d)
+	})
+	if root.Table != want {
+		t.Errorf("root cut table = %04x, want %04x", root.Table, want)
+	}
+	_ = n1
+	_ = n2
+}
+
+func computeWant(f func(m int) bool) uint16 {
+	var tt uint16
+	for m := 0; m < 16; m++ {
+		if f(m) {
+			tt |= 1 << m
+		}
+	}
+	return tt
+}
+
+// TestCutFunctionsMatchSimulation cross-validates every enumerated cut's
+// truth table against direct AIG simulation on random graphs.
+func TestCutFunctionsMatchSimulation(t *testing.T) {
+	prop := func(seed int64) bool {
+		rng := rand.New(rand.NewSource(seed))
+		g := randomAIG(rng, 4+rng.Intn(5), 10+rng.Intn(50))
+		cuts := Enumerate(g, DefaultParams)
+		pats := aig.ExhaustivePatterns(g.NumPIs())
+		res := g.Simulate(pats)
+		nBits := 1 << g.NumPIs()
+		for n := int32(g.FirstAnd()); n < int32(g.NumNodes()); n++ {
+			for _, c := range cuts[n] {
+				if !cutConsistent(res, n, c, nBits) {
+					return false
+				}
+			}
+		}
+		return true
+	}
+	if err := quick.Check(prop, &quick.Config{MaxCount: 40}); err != nil {
+		t.Fatal(err)
+	}
+}
+
+// cutConsistent checks that for every simulated minterm, applying the
+// cut's table to the leaf values reproduces the root value.
+func cutConsistent(res *aig.SimResult, root int32, c Cut, nBits int) bool {
+	for m := 0; m < nBits; m++ {
+		idx := 0
+		for j, leaf := range c.Leaves {
+			if res.Values[leaf][m/64]>>(m%64)&1 == 1 {
+				idx |= 1 << j
+			}
+		}
+		want := res.Values[root][m/64]>>(m%64)&1 == 1
+		got := c.Table>>idx&1 == 1
+		if got != want {
+			return false
+		}
+	}
+	return true
+}
+
+func randomAIG(rng *rand.Rand, numPIs, numAnds int) *aig.AIG {
+	b := aig.NewBuilder(numPIs)
+	lits := make([]aig.Lit, 0, numPIs+numAnds)
+	for i := 0; i < numPIs; i++ {
+		lits = append(lits, b.PI(i))
+	}
+	for len(lits) < numPIs+numAnds {
+		a := lits[rng.Intn(len(lits))].NotIf(rng.Intn(2) == 0)
+		c := lits[rng.Intn(len(lits))].NotIf(rng.Intn(2) == 0)
+		lits = append(lits, b.And(a, c))
+	}
+	b.AddPO(lits[len(lits)-1])
+	return b.Build()
+}
+
+func TestCutSizesRespectK(t *testing.T) {
+	rng := rand.New(rand.NewSource(3))
+	g := randomAIG(rng, 8, 80)
+	for k := 2; k <= 4; k++ {
+		cuts := Enumerate(g, Params{K: k, MaxCuts: 6})
+		for n := range cuts {
+			if len(cuts[n]) > 7 { // MaxCuts + trivial
+				t.Fatalf("k=%d node %d has %d cuts", k, n, len(cuts[n]))
+			}
+			for _, c := range cuts[n] {
+				if len(c.Leaves) > k {
+					t.Fatalf("k=%d: cut with %d leaves", k, len(c.Leaves))
+				}
+			}
+		}
+	}
+}
+
+func TestNoDominatedCuts(t *testing.T) {
+	rng := rand.New(rand.NewSource(5))
+	g := randomAIG(rng, 6, 60)
+	cuts := Enumerate(g, DefaultParams)
+	for n := range cuts {
+		cs := cuts[n]
+		for i := range cs {
+			for j := range cs {
+				if i == j {
+					continue
+				}
+				if len(cs[i].Leaves) < len(cs[j].Leaves) && subset(cs[i].Leaves, cs[j].Leaves) {
+					// The trivial cut appended last may be dominated only
+					// if {n} ⊂ other leaves, impossible since leaves
+					// precede n topologically... report any violation.
+					t.Fatalf("node %d: cut %v dominates kept cut %v", n, cs[i].Leaves, cs[j].Leaves)
+				}
+			}
+		}
+	}
+}
+
+func TestMergeLeaves(t *testing.T) {
+	got, ok := mergeLeaves([]int32{1, 3}, []int32{2, 3}, 4)
+	if !ok || len(got) != 3 || got[0] != 1 || got[1] != 2 || got[2] != 3 {
+		t.Fatalf("mergeLeaves = %v ok=%v", got, ok)
+	}
+	if _, ok := mergeLeaves([]int32{1, 2, 3}, []int32{4, 5}, 4); ok {
+		t.Fatalf("merge should fail on overflow")
+	}
+	got, ok = mergeLeaves(nil, []int32{7}, 4)
+	if !ok || len(got) != 1 || got[0] != 7 {
+		t.Fatalf("merge with empty = %v", got)
+	}
+}
+
+func TestTrivialCutTable(t *testing.T) {
+	c := trivialCut(9)
+	// Projection of variable 0.
+	want := truth.PadTo4(0xA, 2)
+	if c.Table != want {
+		t.Fatalf("trivial table %04x want %04x", c.Table, want)
+	}
+}
+
+func TestEnumerateParamsValidation(t *testing.T) {
+	g, _, _, _ := buildSmall()
+	for _, p := range []Params{{K: 1, MaxCuts: 4}, {K: 5, MaxCuts: 4}, {K: 4, MaxCuts: 0}} {
+		func() {
+			defer func() {
+				if recover() == nil {
+					t.Errorf("Enumerate(%+v) should panic", p)
+				}
+			}()
+			Enumerate(g, p)
+		}()
+	}
+}

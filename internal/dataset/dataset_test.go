@@ -1,0 +1,182 @@
+package dataset
+
+import (
+	"math/rand"
+	"strings"
+	"testing"
+
+	"aigtimer/internal/aig"
+	"aigtimer/internal/features"
+)
+
+func testAIG(seed int64) *aig.AIG {
+	rng := rand.New(rand.NewSource(seed))
+	b := aig.NewBuilder(8)
+	lits := make([]aig.Lit, 0, 100)
+	for i := 0; i < 8; i++ {
+		lits = append(lits, b.PI(i))
+	}
+	for len(lits) < 100 {
+		a := lits[rng.Intn(len(lits))].NotIf(rng.Intn(2) == 0)
+		c := lits[rng.Intn(len(lits))].NotIf(rng.Intn(2) == 0)
+		lits = append(lits, b.And(a, c))
+	}
+	for i := 0; i < 4; i++ {
+		b.AddPO(lits[len(lits)-1-rng.Intn(30)])
+	}
+	return b.Build().Compact()
+}
+
+func TestGenerateProducesLabeledUniqueVariants(t *testing.T) {
+	g := testAIG(1)
+	samples, err := Generate("tiny", g, DefaultGenParams(25, 7))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(samples) < 15 {
+		t.Fatalf("only %d samples generated", len(samples))
+	}
+	for i, s := range samples {
+		if s.Design != "tiny" {
+			t.Fatalf("sample %d design %q", i, s.Design)
+		}
+		if len(s.Features) != features.NumFeatures {
+			t.Fatalf("sample %d has %d features", i, len(s.Features))
+		}
+		if s.DelayPS <= 0 || s.AreaUM2 <= 0 || s.Ands <= 0 || s.Levels <= 0 {
+			t.Fatalf("sample %d has implausible labels: %+v", i, s)
+		}
+	}
+	// The first sample is the unmodified design.
+	if samples[0].Ands != g.NumAnds() {
+		t.Fatalf("first sample is not g0")
+	}
+}
+
+func TestGenerateDeterministic(t *testing.T) {
+	g := testAIG(2)
+	s1, err := Generate("d", g, DefaultGenParams(15, 3))
+	if err != nil {
+		t.Fatal(err)
+	}
+	s2, err := Generate("d", g, DefaultGenParams(15, 3))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(s1) != len(s2) {
+		t.Fatalf("lengths differ: %d vs %d", len(s1), len(s2))
+	}
+	for i := range s1 {
+		if s1[i].DelayPS != s2[i].DelayPS || s1[i].Ands != s2[i].Ands {
+			t.Fatalf("sample %d differs", i)
+		}
+	}
+}
+
+func TestGenerateValidation(t *testing.T) {
+	g := testAIG(3)
+	if _, err := Generate("x", g, GenParams{N: 0}); err == nil {
+		t.Fatal("N=0 accepted")
+	}
+}
+
+func TestMatrixAndFilter(t *testing.T) {
+	samples := []Sample{
+		{Design: "a", Features: []float64{1, 2}, DelayPS: 10, AreaUM2: 100},
+		{Design: "b", Features: []float64{3, 4}, DelayPS: 20, AreaUM2: 200},
+		{Design: "a", Features: []float64{5, 6}, DelayPS: 30, AreaUM2: 300},
+	}
+	X, d, ar := Matrix(samples)
+	if len(X) != 3 || d[1] != 20 || ar[2] != 300 || X[2][0] != 5 {
+		t.Fatalf("matrix wrong: %v %v %v", X, d, ar)
+	}
+	onlyA := FilterByDesign(samples, func(n string) bool { return n == "a" })
+	if len(onlyA) != 2 {
+		t.Fatalf("filter wrong: %d", len(onlyA))
+	}
+}
+
+func TestCSVRoundTrip(t *testing.T) {
+	g := testAIG(4)
+	samples, err := Generate("csv", g, DefaultGenParams(8, 5))
+	if err != nil {
+		t.Fatal(err)
+	}
+	var sb strings.Builder
+	if err := WriteCSV(&sb, samples); err != nil {
+		t.Fatal(err)
+	}
+	back, err := ReadCSV(strings.NewReader(sb.String()))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(back) != len(samples) {
+		t.Fatalf("round trip length %d vs %d", len(back), len(samples))
+	}
+	for i := range back {
+		if back[i].Design != samples[i].Design ||
+			back[i].DelayPS != samples[i].DelayPS ||
+			back[i].AreaUM2 != samples[i].AreaUM2 ||
+			back[i].Ands != samples[i].Ands ||
+			back[i].Levels != samples[i].Levels {
+			t.Fatalf("sample %d differs after round trip", i)
+		}
+		for j := range back[i].Features {
+			if back[i].Features[j] != samples[i].Features[j] {
+				t.Fatalf("sample %d feature %d differs", i, j)
+			}
+		}
+	}
+}
+
+func TestReadCSVErrors(t *testing.T) {
+	if _, err := ReadCSV(strings.NewReader("")); err == nil {
+		t.Fatal("empty CSV accepted")
+	}
+	if _, err := ReadCSV(strings.NewReader("a,b\n1,2\n")); err == nil {
+		t.Fatal("wrong column count accepted")
+	}
+	// Right column count but non-numeric value.
+	header := "design,delay_ps,area_um2,ands,levels"
+	for _, n := range features.Names {
+		header += "," + n
+	}
+	row := "d,xx,1,1,1"
+	for range features.Names {
+		row += ",0"
+	}
+	if _, err := ReadCSV(strings.NewReader(header + "\n" + row + "\n")); err == nil {
+		t.Fatal("bad number accepted")
+	}
+}
+
+func TestGenerateGraphsMatchesSamples(t *testing.T) {
+	g := testAIG(9)
+	p := DefaultGenParams(10, 21)
+	samples, err := Generate("x", g, p)
+	if err != nil {
+		t.Fatal(err)
+	}
+	graphs, err := GenerateGraphs("x", g, p)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(graphs) != len(samples) {
+		t.Fatalf("lengths differ: %d vs %d", len(graphs), len(samples))
+	}
+	for i := range graphs {
+		if graphs[i].DelayPS != samples[i].DelayPS || graphs[i].AreaUM2 != samples[i].AreaUM2 {
+			t.Fatalf("labels differ at %d", i)
+		}
+		if graphs[i].G.NumAnds() != samples[i].Ands {
+			t.Fatalf("graph %d does not match sample", i)
+		}
+		if graphs[i].Design != "x" {
+			t.Fatalf("design name lost")
+		}
+		// Every variant must be functionally equivalent to the source.
+		if !aig.EquivalentRandom(g, graphs[i].G, 32, 7) {
+			t.Fatalf("variant %d not equivalent to source design", i)
+		}
+	}
+}

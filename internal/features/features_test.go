@@ -1,0 +1,180 @@
+package features
+
+import (
+	"math"
+	"math/rand"
+	"testing"
+	"testing/quick"
+
+	"aigtimer/internal/aig"
+)
+
+func idx(name string) int {
+	for i, n := range Names {
+		if n == name {
+			return i
+		}
+	}
+	panic("unknown feature " + name)
+}
+
+func TestNamesAndSizeConsistent(t *testing.T) {
+	if NumFeatures != 22 {
+		t.Fatalf("NumFeatures = %d, want 22", NumFeatures)
+	}
+	seen := map[string]bool{}
+	for _, n := range Names {
+		if seen[n] {
+			t.Fatalf("duplicate feature name %q", n)
+		}
+		seen[n] = true
+	}
+}
+
+// chain builds a linear AND chain: po = ((a·b)·c)·d ...
+func chain(n int) *aig.AIG {
+	b := aig.NewBuilder(n)
+	out := b.PI(0)
+	for i := 1; i < n; i++ {
+		out = b.And(out, b.PI(i))
+	}
+	b.AddPO(out)
+	return b.Build()
+}
+
+func TestChainFeatures(t *testing.T) {
+	g := chain(5) // 4 AND nodes, level 4, single PO
+	v := Extract(g)
+	if v[idx("number_of_node")] != 4 {
+		t.Errorf("number_of_node = %v", v[idx("number_of_node")])
+	}
+	if v[idx("aig_level")] != 4 {
+		t.Errorf("aig_level = %v", v[idx("aig_level")])
+	}
+	// One PO: all three top-n depths repeat the same value.
+	for _, name := range []string{"aig_1st_long_path_depth", "aig_2nd_long_path_depth", "aig_3rd_long_path_depth"} {
+		if v[idx(name)] != 4 {
+			t.Errorf("%s = %v, want 4", name, v[idx(name)])
+		}
+	}
+	// Every node and PI has fanout exactly 1 in a chain.
+	if v[idx("fanout_max")] != 1 || v[idx("fanout_mean")] != 1 || v[idx("fanout_std")] != 0 {
+		t.Errorf("fanout stats wrong: mean=%v max=%v std=%v",
+			v[idx("fanout_mean")], v[idx("fanout_max")], v[idx("fanout_std")])
+	}
+	// 9 fanout references total: 5 PIs + 4 ANDs each fanout 1.
+	if v[idx("fanout_sum")] != 9 {
+		t.Errorf("fanout_sum = %v, want 9", v[idx("fanout_sum")])
+	}
+	// Binary-weighted depth: no node has fanout >= 2, so 0.
+	if v[idx("aig_1st_binary_weighted_path_depth")] != 0 {
+		t.Errorf("binary weighted depth = %v, want 0", v[idx("aig_1st_binary_weighted_path_depth")])
+	}
+	// Chain has exactly 5 PI-to-PO paths -> log1p(5).
+	want := math.Log1p(5)
+	if got := v[idx("num_paths_1st")]; math.Abs(got-want) > 1e-12 {
+		t.Errorf("num_paths_1st = %v, want %v", got, want)
+	}
+	// All AND nodes are on the critical path; their fanouts are all 1.
+	if v[idx("long_path_fanout_sum")] != 4 {
+		t.Errorf("long_path_fanout_sum = %v, want 4", v[idx("long_path_fanout_sum")])
+	}
+}
+
+func TestBinaryWeightedCountsSharedNodes(t *testing.T) {
+	// shared = a·b feeds two consumers -> fanout 2 -> binary weight 1.
+	b := aig.NewBuilder(3)
+	shared := b.And(b.PI(0), b.PI(1))
+	x := b.And(shared, b.PI(2))
+	y := b.And(shared, b.PI(2).Not())
+	b.AddPO(x)
+	b.AddPO(y)
+	g := b.Build()
+	v := Extract(g)
+	if got := v[idx("aig_1st_binary_weighted_path_depth")]; got != 1 {
+		t.Errorf("binary weighted depth = %v, want 1", got)
+	}
+	if got := v[idx("fanout_max")]; got != 2 {
+		t.Errorf("fanout_max = %v, want 2", got)
+	}
+}
+
+func TestWeightedDepthDominatesPlainDepth(t *testing.T) {
+	prop := func(seed int64) bool {
+		rng := rand.New(rand.NewSource(seed))
+		g := randomAIG(rng, 4+rng.Intn(8), 10+rng.Intn(120), 2+rng.Intn(5))
+		v := Extract(g)
+		// Every node on a path has fanout >= 1, so the fanout-weighted
+		// depth is at least the plain depth (which counts 1 per AND,
+		// and the weighted version also counts the PI's weight).
+		return v[idx("aig_1st_weighted_path_depth")] >= v[idx("aig_1st_long_path_depth")] &&
+			v[idx("aig_1st_binary_weighted_path_depth")] <= v[idx("aig_1st_weighted_path_depth")]
+	}
+	if err := quick.Check(prop, &quick.Config{MaxCount: 60}); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestTopNOrdering(t *testing.T) {
+	prop := func(seed int64) bool {
+		rng := rand.New(rand.NewSource(seed))
+		g := randomAIG(rng, 5+rng.Intn(6), 20+rng.Intn(100), 3+rng.Intn(5))
+		v := Extract(g)
+		groups := [][3]int{
+			{idx("aig_1st_long_path_depth"), idx("aig_2nd_long_path_depth"), idx("aig_3rd_long_path_depth")},
+			{idx("aig_1st_weighted_path_depth"), idx("aig_2nd_weighted_path_depth"), idx("aig_3rd_weighted_path_depth")},
+			{idx("aig_1st_binary_weighted_path_depth"), idx("aig_2nd_binary_weighted_path_depth"), idx("aig_3rd_binary_weighted_path_depth")},
+			{idx("num_paths_1st"), idx("num_paths_2nd"), idx("num_paths_3rd")},
+		}
+		for _, gr := range groups {
+			if v[gr[0]] < v[gr[1]] || v[gr[1]] < v[gr[2]] {
+				return false
+			}
+		}
+		return true
+	}
+	if err := quick.Check(prop, &quick.Config{MaxCount: 60}); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestExtractDeterministic(t *testing.T) {
+	rng := rand.New(rand.NewSource(9))
+	g := randomAIG(rng, 8, 100, 4)
+	a := Extract(g)
+	b := Extract(g)
+	for i := range a {
+		if a[i] != b[i] {
+			t.Fatalf("feature %s not deterministic", Names[i])
+		}
+	}
+}
+
+func TestLevelEqualsTopDepth(t *testing.T) {
+	prop := func(seed int64) bool {
+		rng := rand.New(rand.NewSource(seed))
+		g := randomAIG(rng, 4+rng.Intn(6), 10+rng.Intn(80), 1+rng.Intn(6))
+		v := Extract(g)
+		return v[idx("aig_level")] == v[idx("aig_1st_long_path_depth")]
+	}
+	if err := quick.Check(prop, &quick.Config{MaxCount: 40}); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func randomAIG(rng *rand.Rand, numPIs, numAnds, numPOs int) *aig.AIG {
+	b := aig.NewBuilder(numPIs)
+	lits := make([]aig.Lit, 0, numPIs+numAnds)
+	for i := 0; i < numPIs; i++ {
+		lits = append(lits, b.PI(i))
+	}
+	for len(lits) < numPIs+numAnds {
+		a := lits[rng.Intn(len(lits))].NotIf(rng.Intn(2) == 0)
+		c := lits[rng.Intn(len(lits))].NotIf(rng.Intn(2) == 0)
+		lits = append(lits, b.And(a, c))
+	}
+	for i := 0; i < numPOs; i++ {
+		b.AddPO(lits[len(lits)-1-rng.Intn(len(lits))].NotIf(rng.Intn(2) == 0))
+	}
+	return b.Build().Compact()
+}

@@ -1,0 +1,193 @@
+// Package flows wires together the three AIG optimization flows of the
+// paper's Fig. 3. All three share the annealing engine and the move set;
+// they differ only in the cost oracle:
+//
+//	Baseline      proxy metrics — AIG levels for delay, node count for area
+//	Ground truth  technology mapping + STA at every iteration
+//	ML            Table II features + trained GBDT inference
+//
+// The package also provides the hyperparameter sweep / Pareto machinery
+// used for §II-B and Fig. 5: each flow is swept over cost weights and
+// annealing decay rates, every run's best AIG is re-evaluated with the
+// ground-truth oracle (mapping+STA), and the Pareto front of (area, delay)
+// is reported.
+package flows
+
+import (
+	"fmt"
+	"runtime"
+	"sync"
+
+	"aigtimer/internal/aig"
+	"aigtimer/internal/anneal"
+	"aigtimer/internal/cell"
+	"aigtimer/internal/features"
+	"aigtimer/internal/gbdt"
+	"aigtimer/internal/signoff"
+	"aigtimer/internal/stats"
+)
+
+// Proxy is the baseline evaluator: delay ∝ AIG levels, area ∝ node count.
+// The returned units are proxy units; only relative values matter to the
+// annealer's normalized cost.
+type Proxy struct{}
+
+// Name implements anneal.Evaluator.
+func (Proxy) Name() string { return "baseline" }
+
+// Evaluate implements anneal.Evaluator.
+func (Proxy) Evaluate(g *aig.AIG) anneal.Metrics {
+	// +1 keeps metrics positive for degenerate (constant/wire) graphs.
+	return anneal.Metrics{
+		DelayPS: float64(g.MaxLevel()) + 1,
+		AreaUM2: float64(g.NumAnds()) + 1,
+	}
+}
+
+// GroundTruth runs the full signoff pipeline (dual-effort technology
+// mapping + multi-corner NLDM STA) per evaluation.
+type GroundTruth struct {
+	Lib *cell.Library
+}
+
+// NewGroundTruth returns a ground-truth evaluator over the library.
+func NewGroundTruth(lib *cell.Library) *GroundTruth {
+	return &GroundTruth{Lib: lib}
+}
+
+// Name implements anneal.Evaluator.
+func (*GroundTruth) Name() string { return "ground-truth" }
+
+// Evaluate implements anneal.Evaluator.
+func (e *GroundTruth) Evaluate(g *aig.AIG) anneal.Metrics {
+	r, err := signoff.Evaluate(g, e.Lib)
+	if err != nil {
+		// Unmatchable graphs cannot occur with the built-in library; make
+		// such a candidate maximally unattractive rather than failing the
+		// whole optimization.
+		return anneal.Metrics{DelayPS: 1e12, AreaUM2: 1e12}
+	}
+	return anneal.Metrics{DelayPS: r.DelayPS + 1, AreaUM2: r.AreaUM2 + 1}
+}
+
+// ML predicts post-mapping delay and area from Table II features with
+// trained GBDT models.
+type ML struct {
+	DelayModel *gbdt.Model
+	AreaModel  *gbdt.Model // optional; node count is used when nil
+	// AreaPerNode indicates AreaModel predicts um^2 per AND node (the
+	// residual of the nearly-linear area/node-count relation), which
+	// generalizes across designs far better than absolute area.
+	AreaPerNode bool
+}
+
+// Name implements anneal.Evaluator.
+func (*ML) Name() string { return "ml" }
+
+// Evaluate implements anneal.Evaluator.
+func (e *ML) Evaluate(g *aig.AIG) anneal.Metrics {
+	v := features.Extract(g)
+	m := anneal.Metrics{DelayPS: e.DelayModel.Predict(v) + 1}
+	switch {
+	case e.AreaModel != nil && e.AreaPerNode:
+		m.AreaUM2 = e.AreaModel.Predict(v)*float64(g.NumAnds()) + 1
+	case e.AreaModel != nil:
+		m.AreaUM2 = e.AreaModel.Predict(v) + 1
+	default:
+		m.AreaUM2 = float64(g.NumAnds()) + 1
+	}
+	return m
+}
+
+// SweepConfig defines the hyperparameter grid of §IV-B: relative cost
+// weights and annealing decay rates.
+type SweepConfig struct {
+	Base         anneal.Params
+	DelayWeights []float64
+	AreaWeights  []float64
+	DecayRates   []float64
+}
+
+// DefaultSweep is a compact grid that still traces a front.
+var DefaultSweep = SweepConfig{
+	Base:         anneal.DefaultParams,
+	DelayWeights: []float64{1.0},
+	AreaWeights:  []float64{0.0, 0.15, 0.3, 0.6, 1.0, 1.8, 3.0},
+	DecayRates:   []float64{0.95, 0.975, 0.99},
+}
+
+// SweepPoint is one optimization run within a sweep.
+type SweepPoint struct {
+	DelayWeight, AreaWeight, Decay float64
+	Result                         *anneal.Result
+	// Ground-truth metrics of the run's best AIG (mapping + STA),
+	// regardless of which evaluator guided the search.
+	TrueDelayPS float64
+	TrueAreaUM2 float64
+}
+
+// Sweep runs the flow once per grid point (in parallel) and re-evaluates
+// every winner with the ground-truth oracle for fair cross-flow
+// comparison.
+func Sweep(g0 *aig.AIG, ev anneal.Evaluator, lib *cell.Library, cfg SweepConfig) ([]SweepPoint, error) {
+	type job struct {
+		dw, aw, decay float64
+		seedOff       int64
+	}
+	var jobs []job
+	off := int64(0)
+	for _, dw := range cfg.DelayWeights {
+		for _, aw := range cfg.AreaWeights {
+			for _, dr := range cfg.DecayRates {
+				jobs = append(jobs, job{dw, aw, dr, off})
+				off++
+			}
+		}
+	}
+	if len(jobs) == 0 {
+		return nil, fmt.Errorf("flows: empty sweep grid")
+	}
+	gt := NewGroundTruth(lib)
+	pts := make([]SweepPoint, len(jobs))
+	errs := make([]error, len(jobs))
+	var wg sync.WaitGroup
+	sem := make(chan struct{}, runtime.GOMAXPROCS(0))
+	for ji := range jobs {
+		wg.Add(1)
+		go func(ji int) {
+			defer wg.Done()
+			sem <- struct{}{}
+			defer func() { <-sem }()
+			j := jobs[ji]
+			p := cfg.Base
+			p.DelayWeight, p.AreaWeight, p.DecayRate = j.dw, j.aw, j.decay
+			p.Seed = cfg.Base.Seed + j.seedOff
+			r, err := anneal.Run(g0, ev, p)
+			if err != nil {
+				errs[ji] = err
+				return
+			}
+			m := gt.Evaluate(r.Best)
+			pts[ji] = SweepPoint{
+				DelayWeight: j.dw, AreaWeight: j.aw, Decay: j.decay,
+				Result: r, TrueDelayPS: m.DelayPS, TrueAreaUM2: m.AreaUM2,
+			}
+		}(ji)
+	}
+	wg.Wait()
+	for _, err := range errs {
+		if err != nil {
+			return nil, err
+		}
+	}
+	return pts, nil
+}
+
+// Front extracts the ground-truth (area, delay) Pareto front of a sweep.
+func Front(pts []SweepPoint) []stats.Point {
+	raw := make([]stats.Point, len(pts))
+	for i, p := range pts {
+		raw[i] = stats.Point{X: p.TrueAreaUM2, Y: p.TrueDelayPS, Tag: i}
+	}
+	return stats.ParetoFront(raw)
+}

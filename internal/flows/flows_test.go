@@ -1,0 +1,135 @@
+package flows
+
+import (
+	"math/rand"
+	"testing"
+
+	"aigtimer/internal/aig"
+	"aigtimer/internal/anneal"
+	"aigtimer/internal/cell"
+	"aigtimer/internal/dataset"
+	"aigtimer/internal/gbdt"
+)
+
+func testAIG(seed int64) *aig.AIG {
+	rng := rand.New(rand.NewSource(seed))
+	b := aig.NewBuilder(8)
+	lits := make([]aig.Lit, 0, 150)
+	for i := 0; i < 8; i++ {
+		lits = append(lits, b.PI(i))
+	}
+	for len(lits) < 150 {
+		a := lits[rng.Intn(len(lits))].NotIf(rng.Intn(2) == 0)
+		c := lits[rng.Intn(len(lits))].NotIf(rng.Intn(2) == 0)
+		lits = append(lits, b.And(a, c))
+	}
+	for i := 0; i < 4; i++ {
+		b.AddPO(lits[len(lits)-1-rng.Intn(40)])
+	}
+	return b.Build().Compact()
+}
+
+func TestProxyEvaluator(t *testing.T) {
+	g := testAIG(1)
+	m := Proxy{}.Evaluate(g)
+	if m.DelayPS != float64(g.MaxLevel())+1 || m.AreaUM2 != float64(g.NumAnds())+1 {
+		t.Fatalf("proxy metrics wrong: %+v", m)
+	}
+	if (Proxy{}).Name() != "baseline" {
+		t.Fatal("name wrong")
+	}
+}
+
+func TestGroundTruthEvaluator(t *testing.T) {
+	g := testAIG(2)
+	gt := NewGroundTruth(cell.Builtin())
+	m := gt.Evaluate(g)
+	if m.DelayPS <= 1 || m.AreaUM2 <= 1 {
+		t.Fatalf("implausible ground truth: %+v", m)
+	}
+	// Deterministic.
+	if m2 := gt.Evaluate(g); m2 != m {
+		t.Fatalf("ground truth not deterministic: %+v vs %+v", m, m2)
+	}
+}
+
+// trainTinyML fits a quick model on a small variant set of g.
+func trainTinyML(t *testing.T, g *aig.AIG) *ML {
+	t.Helper()
+	samples, err := dataset.Generate("test", g, dataset.DefaultGenParams(40, 3))
+	if err != nil {
+		t.Fatal(err)
+	}
+	X, delay, area := dataset.Matrix(samples)
+	p := gbdt.DefaultParams
+	p.NumTrees = 60
+	dm, err := gbdt.Train(X, delay, p)
+	if err != nil {
+		t.Fatal(err)
+	}
+	am, err := gbdt.Train(X, area, p)
+	if err != nil {
+		t.Fatal(err)
+	}
+	return &ML{DelayModel: dm, AreaModel: am}
+}
+
+func TestMLEvaluatorTracksGroundTruth(t *testing.T) {
+	g := testAIG(3)
+	ml := trainTinyML(t, g)
+	gt := NewGroundTruth(cell.Builtin())
+	mlM := ml.Evaluate(g)
+	gtM := gt.Evaluate(g)
+	// Trained on variants of this very graph, prediction should be within
+	// 30% of ground truth.
+	ratio := mlM.DelayPS / gtM.DelayPS
+	if ratio < 0.7 || ratio > 1.3 {
+		t.Fatalf("ML delay %.1f vs GT %.1f (ratio %.2f)", mlM.DelayPS, gtM.DelayPS, ratio)
+	}
+}
+
+func TestMLEvaluatorWithoutAreaModel(t *testing.T) {
+	g := testAIG(4)
+	ml := trainTinyML(t, g)
+	ml.AreaModel = nil
+	m := ml.Evaluate(g)
+	if m.AreaUM2 != float64(g.NumAnds())+1 {
+		t.Fatalf("area fallback wrong: %+v", m)
+	}
+}
+
+func TestSweepProducesFront(t *testing.T) {
+	g := testAIG(5)
+	cfg := SweepConfig{
+		Base:         anneal.Params{Iterations: 15, StartTemp: 0.05, DecayRate: 0.95, Seed: 1},
+		DelayWeights: []float64{1},
+		AreaWeights:  []float64{0, 1},
+		DecayRates:   []float64{0.95},
+	}
+	pts, err := Sweep(g, Proxy{}, cell.Builtin(), cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(pts) != 2 {
+		t.Fatalf("sweep points = %d", len(pts))
+	}
+	for _, p := range pts {
+		if p.TrueDelayPS <= 0 || p.TrueAreaUM2 <= 0 {
+			t.Fatalf("missing ground-truth re-evaluation: %+v", p)
+		}
+		if !aig.EquivalentExhaustive(g, p.Result.Best) {
+			t.Fatal("sweep result not equivalent")
+		}
+	}
+	front := Front(pts)
+	if len(front) == 0 || len(front) > 2 {
+		t.Fatalf("front size %d", len(front))
+	}
+}
+
+func TestSweepEmptyGrid(t *testing.T) {
+	g := testAIG(6)
+	if _, err := Sweep(g, Proxy{}, cell.Builtin(), SweepConfig{}); err == nil {
+		t.Fatal("empty grid accepted")
+	}
+}

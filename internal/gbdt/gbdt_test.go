@@ -1,0 +1,246 @@
+package gbdt
+
+import (
+	"bytes"
+	"math"
+	"math/rand"
+	"testing"
+
+	"aigtimer/internal/stats"
+)
+
+// synth generates a noisy nonlinear regression problem.
+func synth(rng *rand.Rand, n, nf int, noise float64) ([][]float64, []float64) {
+	X := make([][]float64, n)
+	y := make([]float64, n)
+	for i := range X {
+		row := make([]float64, nf)
+		for j := range row {
+			row[j] = rng.Float64()*4 - 2
+		}
+		X[i] = row
+		y[i] = target(row) + rng.NormFloat64()*noise
+	}
+	return X, y
+}
+
+func target(x []float64) float64 {
+	v := 3*x[0] + x[1]*x[1] - 2*math.Sin(2*x[2])
+	if x[3] > 0.5 {
+		v += 4
+	}
+	return v
+}
+
+func TestTrainFitsNonlinearFunction(t *testing.T) {
+	rng := rand.New(rand.NewSource(1))
+	X, y := synth(rng, 1500, 6, 0.05)
+	tX, tY := synth(rng, 400, 6, 0.0)
+
+	m, err := Train(X, y, Params{
+		NumTrees: 250, MaxDepth: 5, LearningRate: 0.1,
+		Subsample: 0.8, Lambda: 1, MinChildWeight: 1, Seed: 7,
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	pred := m.PredictAll(tX)
+	rmse := stats.RMSE(tY, pred)
+	// Label std is about 2.9; a fitted model should be far below.
+	if rmse > 0.8 {
+		t.Fatalf("test RMSE = %.3f, too high", rmse)
+	}
+}
+
+func TestBoostingImprovesOverBase(t *testing.T) {
+	rng := rand.New(rand.NewSource(2))
+	X, y := synth(rng, 600, 6, 0.1)
+	m, err := Train(X, y, Params{
+		NumTrees: 50, MaxDepth: 4, LearningRate: 0.2,
+		Subsample: 1, Lambda: 1, MinChildWeight: 1, Seed: 3,
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	basePred := make([]float64, len(y))
+	for i := range basePred {
+		basePred[i] = m.Base
+	}
+	if stats.RMSE(y, m.PredictAll(X)) >= stats.RMSE(y, basePred) {
+		t.Fatal("boosting no better than predicting the mean")
+	}
+}
+
+func TestEarlyStoppingTruncates(t *testing.T) {
+	rng := rand.New(rand.NewSource(3))
+	X, y := synth(rng, 500, 6, 0.3)
+	vX, vY := synth(rng, 200, 6, 0.3)
+	p := Params{
+		NumTrees: 400, MaxDepth: 6, LearningRate: 0.3,
+		Subsample: 0.7, Lambda: 1, MinChildWeight: 1,
+		EarlyStoppingRounds: 10, Seed: 4,
+	}
+	m, hist, err := TrainValid(X, y, vX, vY, p)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(hist) == 0 {
+		t.Fatal("no validation history")
+	}
+	if len(m.Trees) >= p.NumTrees {
+		t.Fatalf("early stopping did not trigger (%d trees)", len(m.Trees))
+	}
+	// The kept model must correspond to the best validation round.
+	best := 0
+	for i, v := range hist {
+		if v < hist[best] {
+			best = i
+		}
+	}
+	if len(m.Trees) != best+1 {
+		t.Fatalf("kept %d trees, best round was %d", len(m.Trees), best)
+	}
+}
+
+func TestConstantLabels(t *testing.T) {
+	X := [][]float64{{1, 2}, {3, 4}, {5, 6}, {7, 8}}
+	y := []float64{5, 5, 5, 5}
+	m, err := Train(X, y, Params{
+		NumTrees: 10, MaxDepth: 3, LearningRate: 0.5,
+		Subsample: 1, Lambda: 1, MinChildWeight: 1,
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	for _, x := range X {
+		if math.Abs(m.Predict(x)-5) > 1e-9 {
+			t.Fatalf("constant prediction = %v", m.Predict(x))
+		}
+	}
+}
+
+func TestFeatureImportanceIdentifiesSignal(t *testing.T) {
+	rng := rand.New(rand.NewSource(5))
+	n := 800
+	X := make([][]float64, n)
+	y := make([]float64, n)
+	for i := range X {
+		X[i] = []float64{rng.Float64(), rng.Float64(), rng.Float64()}
+		y[i] = 10 * X[i][1] // only feature 1 matters
+	}
+	m, err := Train(X, y, Params{
+		NumTrees: 30, MaxDepth: 4, LearningRate: 0.3,
+		Subsample: 1, Lambda: 1, MinChildWeight: 1,
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	imp := m.FeatureImportance()
+	if imp[1] < 0.95 {
+		t.Fatalf("importance = %v, want feature 1 dominant", imp)
+	}
+	sum := imp[0] + imp[1] + imp[2]
+	if math.Abs(sum-1) > 1e-9 {
+		t.Fatalf("importance sums to %v", sum)
+	}
+}
+
+func TestSaveLoadRoundTrip(t *testing.T) {
+	rng := rand.New(rand.NewSource(6))
+	X, y := synth(rng, 300, 6, 0.1)
+	m, err := Train(X, y, Params{
+		NumTrees: 20, MaxDepth: 4, LearningRate: 0.2,
+		Subsample: 0.9, Lambda: 1, MinChildWeight: 1, Seed: 9,
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	var buf bytes.Buffer
+	if err := m.Save(&buf); err != nil {
+		t.Fatal(err)
+	}
+	m2, err := Load(&buf)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for i := 0; i < 50; i++ {
+		x := X[rng.Intn(len(X))]
+		if m.Predict(x) != m2.Predict(x) {
+			t.Fatal("loaded model predicts differently")
+		}
+	}
+	if _, err := Load(bytes.NewBufferString("{bad")); err == nil {
+		t.Fatal("bad JSON accepted")
+	}
+}
+
+func TestParamValidation(t *testing.T) {
+	X := [][]float64{{1}, {2}}
+	y := []float64{1, 2}
+	bad := []Params{
+		{NumTrees: 0, MaxDepth: 3, LearningRate: 0.1, Subsample: 1},
+		{NumTrees: 5, MaxDepth: 0, LearningRate: 0.1, Subsample: 1},
+		{NumTrees: 5, MaxDepth: 3, LearningRate: 0, Subsample: 1},
+		{NumTrees: 5, MaxDepth: 3, LearningRate: 0.1, Subsample: 0},
+		{NumTrees: 5, MaxDepth: 3, LearningRate: 0.1, Subsample: 1, Lambda: -1},
+	}
+	for i, p := range bad {
+		if _, err := Train(X, y, p); err == nil {
+			t.Errorf("params %d accepted", i)
+		}
+	}
+	if _, err := Train(nil, nil, DefaultParams); err == nil {
+		t.Error("empty data accepted")
+	}
+	if _, err := Train([][]float64{{1}, {2, 3}}, []float64{1, 2}, DefaultParams); err == nil {
+		t.Error("ragged data accepted")
+	}
+}
+
+func TestDeterministicWithSeed(t *testing.T) {
+	rng := rand.New(rand.NewSource(8))
+	X, y := synth(rng, 300, 6, 0.1)
+	p := Params{NumTrees: 15, MaxDepth: 4, LearningRate: 0.2, Subsample: 0.7, Lambda: 1, MinChildWeight: 1, Seed: 42}
+	m1, err := Train(X, y, p)
+	if err != nil {
+		t.Fatal(err)
+	}
+	m2, err := Train(X, y, p)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for i := 0; i < 30; i++ {
+		x := X[rng.Intn(len(X))]
+		if m1.Predict(x) != m2.Predict(x) {
+			t.Fatal("training not deterministic under fixed seed")
+		}
+	}
+}
+
+func TestPredictPanicsOnWrongArity(t *testing.T) {
+	m := &Model{Base: 1, NumFeatures: 3}
+	defer func() {
+		if recover() == nil {
+			t.Fatal("expected panic")
+		}
+	}()
+	m.Predict([]float64{1, 2})
+}
+
+func TestMinChildWeightRespected(t *testing.T) {
+	// With MinChildWeight = n, no split is possible: single leaf trees.
+	X := [][]float64{{1}, {2}, {3}, {4}}
+	y := []float64{1, 2, 3, 4}
+	m, err := Train(X, y, Params{
+		NumTrees: 5, MaxDepth: 4, LearningRate: 0.5,
+		Subsample: 1, Lambda: 0, MinChildWeight: 4,
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	for _, tr := range m.Trees {
+		if len(tr.Nodes) != 1 || tr.Nodes[0].Feature != -1 {
+			t.Fatalf("tree has splits despite MinChildWeight: %+v", tr.Nodes)
+		}
+	}
+}

@@ -1,0 +1,526 @@
+// Package gnn implements a small message-passing graph neural network for
+// AIG delay regression, used to reproduce the paper's negative result
+// (§III-B): on graph-level timing prediction with simple per-node
+// features, a GNN underperforms the decision-tree model by a small margin
+// while costing far more to train. The architecture is a standard GCN
+// variant: per-node input features, two mean-aggregation message-passing
+// layers with ReLU, mean+max global pooling, and a linear head. Training
+// is full-batch gradient descent with Adam on the MSE of normalized
+// labels; all gradients are derived and implemented by hand (no autograd
+// dependency).
+package gnn
+
+import (
+	"fmt"
+	"math"
+	"math/rand"
+
+	"aigtimer/internal/aig"
+)
+
+// NumNodeFeatures is the per-node input dimensionality.
+const NumNodeFeatures = 6
+
+// NumGlobals is the number of graph-level scalars appended to the pooled
+// readout: log(1+#AND nodes), the level count, and the mean fanout.
+// Without them the size-normalized node features cannot express the
+// absolute delay scale and the regressor cannot converge.
+const NumGlobals = 3
+
+// Graph is the dense representation the network consumes.
+type Graph struct {
+	X       [][]float64 // node features [n][NumNodeFeatures]
+	Nbrs    [][]int32   // undirected neighbor lists (fanins + fanouts)
+	Globals []float64   // graph-level scalars [NumGlobals]
+	Label   float64     // ground-truth delay (ps)
+}
+
+// FromAIG extracts the GNN input graph. Node features: is-PI, is-PO
+// driver, normalized level, normalized height, fanout count, count of
+// complemented fanin edges.
+func FromAIG(g *aig.AIG, labelPS float64) *Graph {
+	n := g.NumNodes()
+	lv := g.Levels()
+	fo := g.FanoutCounts()
+	maxLv := float64(g.MaxLevel())
+	if maxLv == 0 {
+		maxLv = 1
+	}
+	isPO := make([]bool, n)
+	for _, po := range g.POs() {
+		isPO[po.Node()] = true
+	}
+	meanFo := 0.0
+	for _, f := range fo {
+		meanFo += float64(f)
+	}
+	meanFo /= float64(n)
+	gr := &Graph{
+		X:       make([][]float64, n),
+		Nbrs:    make([][]int32, n),
+		Globals: []float64{math.Log1p(float64(g.NumAnds())), maxLv / 10, meanFo},
+		Label:   labelPS,
+	}
+	for i := 0; i < n; i++ {
+		f := make([]float64, NumNodeFeatures)
+		if g.IsPI(int32(i)) {
+			f[0] = 1
+		}
+		if isPO[i] {
+			f[1] = 1
+		}
+		f[2] = float64(lv[i]) / maxLv
+		f[4] = float64(fo[i])
+		gr.X[i] = f
+	}
+	height := make([]int32, n)
+	for i := n - 1; i >= int(g.FirstAnd()); i-- {
+		f0, f1 := g.Fanins(int32(i))
+		for _, fl := range [2]aig.Lit{f0, f1} {
+			fn := fl.Node()
+			if height[i]+1 > height[fn] {
+				height[fn] = height[i] + 1
+			}
+		}
+	}
+	maxH := float64(1)
+	for _, h := range height {
+		if float64(h) > maxH {
+			maxH = float64(h)
+		}
+	}
+	g.TopoForEachAnd(func(nn int32, f0, f1 aig.Lit) {
+		inv := 0.0
+		if f0.IsCompl() {
+			inv++
+		}
+		if f1.IsCompl() {
+			inv++
+		}
+		gr.X[nn][5] = inv
+		gr.Nbrs[nn] = append(gr.Nbrs[nn], f0.Node(), f1.Node())
+		gr.Nbrs[f0.Node()] = append(gr.Nbrs[f0.Node()], nn)
+		gr.Nbrs[f1.Node()] = append(gr.Nbrs[f1.Node()], nn)
+	})
+	for i := 0; i < n; i++ {
+		gr.X[i][3] = float64(height[i]) / maxH
+	}
+	return gr
+}
+
+// Params configures the model and training.
+type Params struct {
+	Hidden   int
+	Epochs   int
+	LR       float64
+	Seed     int64
+	LogEvery int // 0 = silent
+	OnEpoch  func(epoch int, trainRMSE float64)
+}
+
+// DefaultParams is a compact configuration suited to this repository's
+// dataset sizes.
+var DefaultParams = Params{Hidden: 12, Epochs: 60, LR: 3e-3, Seed: 1}
+
+// Model is a trained GNN regressor.
+type Model struct {
+	hidden int
+	// Layer 1: in -> h, layer 2: h -> h.
+	wSelf1, wNbr1 [][]float64
+	b1            []float64
+	wSelf2, wNbr2 [][]float64
+	b2            []float64
+	// Head: 2h (mean||max pool) + globals -> 1.
+	wOut []float64
+	bOut float64
+	// Label normalization.
+	labelMean, labelStd float64
+}
+
+func newModel(hidden int, rng *rand.Rand) *Model {
+	m := &Model{hidden: hidden}
+	m.wSelf1 = randMat(rng, NumNodeFeatures, hidden)
+	m.wNbr1 = randMat(rng, NumNodeFeatures, hidden)
+	m.b1 = randVec(rng, hidden)
+	m.wSelf2 = randMat(rng, hidden, hidden)
+	m.wNbr2 = randMat(rng, hidden, hidden)
+	m.b2 = randVec(rng, hidden)
+	m.wOut = make([]float64, 2*hidden+NumGlobals)
+	for i := range m.wOut {
+		m.wOut[i] = rng.NormFloat64() * 0.3
+	}
+	m.labelStd = 1
+	return m
+}
+
+// randVec initializes biases with small noise; exactly-zero biases would
+// put zero-feature nodes (e.g. the constant node) precisely on the ReLU
+// kink, which is both a dead spot for learning and a trap for
+// finite-difference gradient verification.
+func randVec(rng *rand.Rand, n int) []float64 {
+	v := make([]float64, n)
+	for i := range v {
+		v[i] = rng.NormFloat64() * 0.05
+	}
+	return v
+}
+
+func randMat(rng *rand.Rand, in, out int) [][]float64 {
+	s := math.Sqrt(2.0 / float64(in))
+	m := make([][]float64, in)
+	for i := range m {
+		m[i] = make([]float64, out)
+		for j := range m[i] {
+			m[i][j] = rng.NormFloat64() * s
+		}
+	}
+	return m
+}
+
+// forward runs the network, returning intermediates for backprop.
+type activations struct {
+	agg0   [][]float64 // mean-aggregated input features
+	z1, h1 [][]float64
+	agg1   [][]float64
+	z2, h2 [][]float64
+	pool   []float64 // mean || max
+	argmax []int     // node index of max per dim
+	out    float64   // normalized prediction
+}
+
+func (m *Model) forward(g *Graph) *activations {
+	n := len(g.X)
+	a := &activations{}
+	a.agg0 = meanAgg(g, g.X)
+	a.z1 = make([][]float64, n)
+	a.h1 = make([][]float64, n)
+	for i := 0; i < n; i++ {
+		z := affine(g.X[i], a.agg0[i], m.wSelf1, m.wNbr1, m.b1)
+		a.z1[i] = z
+		a.h1[i] = relu(z)
+	}
+	a.agg1 = meanAgg(g, a.h1)
+	a.z2 = make([][]float64, n)
+	a.h2 = make([][]float64, n)
+	for i := 0; i < n; i++ {
+		z := affine(a.h1[i], a.agg1[i], m.wSelf2, m.wNbr2, m.b2)
+		a.z2[i] = z
+		a.h2[i] = relu(z)
+	}
+	h := m.hidden
+	a.pool = make([]float64, 2*h+NumGlobals)
+	a.argmax = make([]int, h)
+	for j := 0; j < h; j++ {
+		best := math.Inf(-1)
+		arg := 0
+		sum := 0.0
+		for i := 0; i < n; i++ {
+			v := a.h2[i][j]
+			sum += v
+			if v > best {
+				best = v
+				arg = i
+			}
+		}
+		a.pool[j] = sum / float64(n)
+		a.pool[h+j] = best
+		a.argmax[j] = arg
+	}
+	copy(a.pool[2*h:], g.Globals)
+	a.out = m.bOut
+	for j, w := range m.wOut {
+		a.out += w * a.pool[j]
+	}
+	return a
+}
+
+// Predict returns the delay prediction (in label units) for a graph.
+func (m *Model) Predict(g *Graph) float64 {
+	a := m.forward(g)
+	return a.out*m.labelStd + m.labelMean
+}
+
+func affine(self, agg []float64, wSelf, wNbr [][]float64, b []float64) []float64 {
+	out := append([]float64(nil), b...)
+	for i, v := range self {
+		if v == 0 {
+			continue
+		}
+		row := wSelf[i]
+		for j := range out {
+			out[j] += v * row[j]
+		}
+	}
+	for i, v := range agg {
+		if v == 0 {
+			continue
+		}
+		row := wNbr[i]
+		for j := range out {
+			out[j] += v * row[j]
+		}
+	}
+	return out
+}
+
+func relu(z []float64) []float64 {
+	out := make([]float64, len(z))
+	for i, v := range z {
+		if v > 0 {
+			out[i] = v
+		}
+	}
+	return out
+}
+
+// meanAgg averages neighbor features (zero vector for isolated nodes).
+func meanAgg(g *Graph, X [][]float64) [][]float64 {
+	n := len(X)
+	dim := len(X[0])
+	out := make([][]float64, n)
+	for i := 0; i < n; i++ {
+		acc := make([]float64, dim)
+		nbrs := g.Nbrs[i]
+		for _, nb := range nbrs {
+			for j, v := range X[nb] {
+				acc[j] += v
+			}
+		}
+		if len(nbrs) > 0 {
+			inv := 1.0 / float64(len(nbrs))
+			for j := range acc {
+				acc[j] *= inv
+			}
+		}
+		out[i] = acc
+	}
+	return out
+}
+
+// grads mirrors the parameter structure.
+type grads struct {
+	wSelf1, wNbr1 [][]float64
+	b1            []float64
+	wSelf2, wNbr2 [][]float64
+	b2            []float64
+	wOut          []float64
+	bOut          float64
+}
+
+func newGrads(hidden int) *grads {
+	return &grads{
+		wSelf1: zeroMat(NumNodeFeatures, hidden),
+		wNbr1:  zeroMat(NumNodeFeatures, hidden),
+		b1:     make([]float64, hidden),
+		wSelf2: zeroMat(hidden, hidden),
+		wNbr2:  zeroMat(hidden, hidden),
+		b2:     make([]float64, hidden),
+		wOut:   make([]float64, 2*hidden+NumGlobals),
+	}
+}
+
+func zeroMat(in, out int) [][]float64 {
+	m := make([][]float64, in)
+	for i := range m {
+		m[i] = make([]float64, out)
+	}
+	return m
+}
+
+// backward accumulates gradients of 0.5*(out-target)^2 into gr.
+func (m *Model) backward(g *Graph, a *activations, target float64, gr *grads) {
+	n := len(g.X)
+	h := m.hidden
+	dOut := a.out - target
+	gr.bOut += dOut
+	dPool := make([]float64, 2*h+NumGlobals)
+	for j := range m.wOut {
+		gr.wOut[j] += dOut * a.pool[j]
+		dPool[j] = dOut * m.wOut[j]
+	}
+	// Pool backward into dH2.
+	dH2 := zeroMat(n, h)
+	invN := 1.0 / float64(n)
+	for j := 0; j < h; j++ {
+		for i := 0; i < n; i++ {
+			dH2[i][j] += dPool[j] * invN
+		}
+		dH2[a.argmax[j]][j] += dPool[h+j]
+	}
+	// Layer 2 backward.
+	dH1 := zeroMat(n, h)
+	dAgg1 := zeroMat(n, h)
+	for i := 0; i < n; i++ {
+		dZ := maskRelu(dH2[i], a.z2[i])
+		for j := 0; j < h; j++ {
+			gr.b2[j] += dZ[j]
+		}
+		accumOuter(gr.wSelf2, a.h1[i], dZ)
+		accumOuter(gr.wNbr2, a.agg1[i], dZ)
+		accumMatT(dH1[i], m.wSelf2, dZ)
+		accumMatT(dAgg1[i], m.wNbr2, dZ)
+	}
+	// Aggregation transpose: agg1[i] = mean over nbrs(i) of h1[nb].
+	for i := 0; i < n; i++ {
+		nbrs := g.Nbrs[i]
+		if len(nbrs) == 0 {
+			continue
+		}
+		inv := 1.0 / float64(len(nbrs))
+		for _, nb := range nbrs {
+			for j := 0; j < h; j++ {
+				dH1[nb][j] += dAgg1[i][j] * inv
+			}
+		}
+	}
+	// Layer 1 backward (input gradients are not needed).
+	for i := 0; i < n; i++ {
+		dZ := maskRelu(dH1[i], a.z1[i])
+		for j := 0; j < h; j++ {
+			gr.b1[j] += dZ[j]
+		}
+		accumOuter(gr.wSelf1, g.X[i], dZ)
+		accumOuter(gr.wNbr1, a.agg0[i], dZ)
+	}
+}
+
+func maskRelu(d, z []float64) []float64 {
+	out := make([]float64, len(d))
+	for i := range d {
+		if z[i] > 0 {
+			out[i] = d[i]
+		}
+	}
+	return out
+}
+
+// accumOuter adds x ⊗ dZ into W (W[i][j] += x[i]*dZ[j]).
+func accumOuter(W [][]float64, x, dZ []float64) {
+	for i, v := range x {
+		if v == 0 {
+			continue
+		}
+		row := W[i]
+		for j, d := range dZ {
+			row[j] += v * d
+		}
+	}
+}
+
+// accumMatT adds W · dZ into dx (dx[i] += Σ_j W[i][j]*dZ[j]).
+func accumMatT(dx []float64, W [][]float64, dZ []float64) {
+	for i := range dx {
+		row := W[i]
+		s := 0.0
+		for j, d := range dZ {
+			s += row[j] * d
+		}
+		dx[i] += s
+	}
+}
+
+// Train fits a model on the given graphs.
+func Train(graphs []*Graph, p Params) (*Model, error) {
+	if len(graphs) == 0 {
+		return nil, fmt.Errorf("gnn: no training graphs")
+	}
+	if p.Hidden <= 0 || p.Epochs <= 0 || p.LR <= 0 {
+		return nil, fmt.Errorf("gnn: bad params %+v", p)
+	}
+	rng := rand.New(rand.NewSource(p.Seed))
+	m := newModel(p.Hidden, rng)
+	// Label normalization.
+	var mean float64
+	for _, g := range graphs {
+		mean += g.Label
+	}
+	mean /= float64(len(graphs))
+	var vr float64
+	for _, g := range graphs {
+		vr += (g.Label - mean) * (g.Label - mean)
+	}
+	std := math.Sqrt(vr / float64(len(graphs)))
+	if std == 0 {
+		std = 1
+	}
+	m.labelMean, m.labelStd = mean, std
+
+	opt := newAdam(p.LR)
+	order := rng.Perm(len(graphs))
+	const batch = 8
+	for epoch := 0; epoch < p.Epochs; epoch++ {
+		rng.Shuffle(len(order), func(i, j int) { order[i], order[j] = order[j], order[i] })
+		var se float64
+		for s := 0; s < len(order); s += batch {
+			e := s + batch
+			if e > len(order) {
+				e = len(order)
+			}
+			gr := newGrads(p.Hidden)
+			for _, gi := range order[s:e] {
+				g := graphs[gi]
+				a := m.forward(g)
+				t := (g.Label - mean) / std
+				se += (a.out - t) * (a.out - t)
+				m.backward(g, a, t, gr)
+			}
+			scale := 1.0 / float64(e-s)
+			opt.step(m, gr, scale)
+		}
+		if p.OnEpoch != nil {
+			p.OnEpoch(epoch, math.Sqrt(se/float64(len(order))))
+		}
+	}
+	return m, nil
+}
+
+// adam is a flattened-parameter Adam optimizer.
+type adam struct {
+	lr         float64
+	beta1      float64
+	beta2      float64
+	eps        float64
+	t          int
+	mBuf, vBuf map[*float64]*[2]float64
+}
+
+func newAdam(lr float64) *adam {
+	return &adam{lr: lr, beta1: 0.9, beta2: 0.999, eps: 1e-8, mBuf: map[*float64]*[2]float64{}}
+}
+
+func (o *adam) step(m *Model, gr *grads, scale float64) {
+	o.t++
+	upd := func(p *float64, g float64) {
+		g *= scale
+		st, ok := o.mBuf[p]
+		if !ok {
+			st = &[2]float64{}
+			o.mBuf[p] = st
+		}
+		st[0] = o.beta1*st[0] + (1-o.beta1)*g
+		st[1] = o.beta2*st[1] + (1-o.beta2)*g*g
+		mh := st[0] / (1 - math.Pow(o.beta1, float64(o.t)))
+		vh := st[1] / (1 - math.Pow(o.beta2, float64(o.t)))
+		*p -= o.lr * mh / (math.Sqrt(vh) + o.eps)
+	}
+	updMat := func(W, G [][]float64) {
+		for i := range W {
+			for j := range W[i] {
+				upd(&W[i][j], G[i][j])
+			}
+		}
+	}
+	updVec := func(w, g []float64) {
+		for i := range w {
+			upd(&w[i], g[i])
+		}
+	}
+	updMat(m.wSelf1, gr.wSelf1)
+	updMat(m.wNbr1, gr.wNbr1)
+	updVec(m.b1, gr.b1)
+	updMat(m.wSelf2, gr.wSelf2)
+	updMat(m.wNbr2, gr.wNbr2)
+	updVec(m.b2, gr.b2)
+	updVec(m.wOut, gr.wOut)
+	upd(&m.bOut, gr.bOut)
+}

@@ -1,0 +1,169 @@
+package gnn
+
+import (
+	"math"
+	"math/rand"
+	"testing"
+
+	"aigtimer/internal/aig"
+	"aigtimer/internal/stats"
+)
+
+func randomAIG(rng *rand.Rand, numPIs, numAnds, numPOs int) *aig.AIG {
+	b := aig.NewBuilder(numPIs)
+	lits := make([]aig.Lit, 0, numPIs+numAnds)
+	for i := 0; i < numPIs; i++ {
+		lits = append(lits, b.PI(i))
+	}
+	for len(lits) < numPIs+numAnds {
+		a := lits[rng.Intn(len(lits))].NotIf(rng.Intn(2) == 0)
+		c := lits[rng.Intn(len(lits))].NotIf(rng.Intn(2) == 0)
+		lits = append(lits, b.And(a, c))
+	}
+	for i := 0; i < numPOs; i++ {
+		b.AddPO(lits[len(lits)-1-rng.Intn(len(lits))].NotIf(rng.Intn(2) == 0))
+	}
+	return b.Build().Compact()
+}
+
+func TestFromAIGShapes(t *testing.T) {
+	rng := rand.New(rand.NewSource(1))
+	g := randomAIG(rng, 6, 40, 3)
+	gr := FromAIG(g, 123.0)
+	if len(gr.X) != g.NumNodes() || len(gr.Nbrs) != g.NumNodes() {
+		t.Fatalf("shape mismatch")
+	}
+	if gr.Label != 123 {
+		t.Fatalf("label lost")
+	}
+	for i, f := range gr.X {
+		if len(f) != NumNodeFeatures {
+			t.Fatalf("node %d has %d features", i, len(f))
+		}
+		// Normalized level/height in [0,1].
+		if f[2] < 0 || f[2] > 1 || f[3] < 0 || f[3] > 1 {
+			t.Fatalf("node %d normalized features out of range: %v", i, f)
+		}
+	}
+	// Neighbor symmetry: fanin edges appear in both lists.
+	g.TopoForEachAnd(func(n int32, f0, f1 aig.Lit) {
+		if !containsInt32(gr.Nbrs[n], f0.Node()) || !containsInt32(gr.Nbrs[f0.Node()], n) {
+			t.Fatalf("edge %d-%d not symmetric", n, f0.Node())
+		}
+	})
+}
+
+func containsInt32(s []int32, v int32) bool {
+	for _, x := range s {
+		if x == v {
+			return true
+		}
+	}
+	return false
+}
+
+// TestGradientCheck verifies the hand-written backprop against numerical
+// differentiation on a tiny graph.
+func TestGradientCheck(t *testing.T) {
+	rng := rand.New(rand.NewSource(2))
+	g := FromAIG(randomAIG(rng, 3, 8, 2), 0)
+	m := newModel(4, rng)
+	target := 0.7
+
+	loss := func() float64 {
+		a := m.forward(g)
+		return 0.5 * (a.out - target) * (a.out - target)
+	}
+	gr := newGrads(4)
+	a := m.forward(g)
+	m.backward(g, a, target, gr)
+
+	check := func(name string, p *float64, analytic float64) {
+		t.Helper()
+		const eps = 1e-6
+		orig := *p
+		*p = orig + eps
+		lp := loss()
+		*p = orig - eps
+		lm := loss()
+		*p = orig
+		numeric := (lp - lm) / (2 * eps)
+		if math.Abs(numeric-analytic) > 1e-4*(1+math.Abs(numeric)) {
+			t.Errorf("%s: numeric %.8f vs analytic %.8f", name, numeric, analytic)
+		}
+	}
+	check("wOut[0]", &m.wOut[0], gr.wOut[0])
+	check("wOut[5]", &m.wOut[5], gr.wOut[5])
+	check("bOut", &m.bOut, gr.bOut)
+	check("wSelf2[1][2]", &m.wSelf2[1][2], gr.wSelf2[1][2])
+	check("wNbr2[0][3]", &m.wNbr2[0][3], gr.wNbr2[0][3])
+	check("b2[1]", &m.b2[1], gr.b2[1])
+	check("wSelf1[2][1]", &m.wSelf1[2][1], gr.wSelf1[2][1])
+	check("wNbr1[4][0]", &m.wNbr1[4][0], gr.wNbr1[4][0])
+	check("b1[0]", &m.b1[0], gr.b1[0])
+}
+
+// TestTrainingLearnsSizeSignal: labels proportional to node count must be
+// learnable (fanout/level features carry the signal through pooling).
+func TestTrainingLearnsSizeSignal(t *testing.T) {
+	rng := rand.New(rand.NewSource(3))
+	var graphs []*Graph
+	for i := 0; i < 60; i++ {
+		n := 10 + rng.Intn(60)
+		g := randomAIG(rng, 5, n, 2)
+		graphs = append(graphs, FromAIG(g, float64(g.MaxLevel())*100))
+	}
+	p := DefaultParams
+	p.Epochs = 80
+	p.Seed = 5
+	m, err := Train(graphs, p)
+	if err != nil {
+		t.Fatal(err)
+	}
+	var truth, pred []float64
+	for _, g := range graphs {
+		truth = append(truth, g.Label)
+		pred = append(pred, m.Predict(g))
+	}
+	r := stats.Pearson(truth, pred)
+	if r < 0.7 {
+		t.Fatalf("train-set correlation %.3f too low; model did not learn", r)
+	}
+}
+
+func TestTrainValidation(t *testing.T) {
+	if _, err := Train(nil, DefaultParams); err == nil {
+		t.Error("empty training set accepted")
+	}
+	rng := rand.New(rand.NewSource(4))
+	g := FromAIG(randomAIG(rng, 4, 10, 1), 1)
+	bad := []Params{
+		{Hidden: 0, Epochs: 5, LR: 0.01},
+		{Hidden: 4, Epochs: 0, LR: 0.01},
+		{Hidden: 4, Epochs: 5, LR: 0},
+	}
+	for i, p := range bad {
+		if _, err := Train([]*Graph{g}, p); err == nil {
+			t.Errorf("bad params %d accepted", i)
+		}
+	}
+}
+
+func TestConstantLabels(t *testing.T) {
+	rng := rand.New(rand.NewSource(6))
+	var graphs []*Graph
+	for i := 0; i < 10; i++ {
+		graphs = append(graphs, FromAIG(randomAIG(rng, 4, 20, 2), 42))
+	}
+	p := DefaultParams
+	p.Epochs = 10
+	m, err := Train(graphs, p)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for _, g := range graphs {
+		if math.Abs(m.Predict(g)-42) > 20 {
+			t.Fatalf("constant labels poorly fit: %v", m.Predict(g))
+		}
+	}
+}

@@ -1,0 +1,50 @@
+package netlist
+
+// Eval evaluates the netlist on one primary-input assignment and returns
+// the value of every primary output. It is used to cross-validate mapped
+// netlists against their source AIGs.
+func (nl *Netlist) Eval(piBits []bool) []bool {
+	if len(piBits) != nl.NumPIs {
+		panic("netlist: Eval: wrong PI count")
+	}
+	vals := make([]bool, nl.numNets)
+	copy(vals, piBits)
+	for gi := range nl.Gates {
+		g := &nl.Gates[gi]
+		minterm := 0
+		for j, in := range g.Inputs {
+			if vals[in] {
+				minterm |= 1 << j
+			}
+		}
+		vals[g.Output] = g.Cell.Function>>minterm&1 == 1
+	}
+	out := make([]bool, len(nl.POs))
+	for i, po := range nl.POs {
+		out[i] = vals[po]
+	}
+	return out
+}
+
+// LogicDepth returns the maximum number of gates on any PI-to-PO path,
+// a structural (load-independent) depth metric of the mapped netlist.
+func (nl *Netlist) LogicDepth() int {
+	depth := make([]int, nl.numNets)
+	for gi := range nl.Gates {
+		g := &nl.Gates[gi]
+		d := 0
+		for _, in := range g.Inputs {
+			if depth[in] > d {
+				d = depth[in]
+			}
+		}
+		depth[g.Output] = d + 1
+	}
+	m := 0
+	for _, po := range nl.POs {
+		if depth[po] > m {
+			m = depth[po]
+		}
+	}
+	return m
+}

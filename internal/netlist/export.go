@@ -1,0 +1,86 @@
+package netlist
+
+import (
+	"bufio"
+	"fmt"
+	"io"
+)
+
+// WriteVerilog emits the netlist as structural Verilog, one cell instance
+// per gate, using generic cell-port names A, B, C, D and Y. This is the
+// usual hand-off format from mapping into place and route.
+func (nl *Netlist) WriteVerilog(w io.Writer, moduleName string) error {
+	bw := bufio.NewWriter(w)
+	fmt.Fprintf(bw, "module %s (", moduleName)
+	for i := 0; i < nl.NumPIs; i++ {
+		if i > 0 {
+			fmt.Fprint(bw, ", ")
+		}
+		fmt.Fprintf(bw, "pi%d", i)
+	}
+	for i := range nl.POs {
+		fmt.Fprintf(bw, ", po%d", i)
+	}
+	fmt.Fprintln(bw, ");")
+	for i := 0; i < nl.NumPIs; i++ {
+		fmt.Fprintf(bw, "  input pi%d;\n", i)
+	}
+	for i := range nl.POs {
+		fmt.Fprintf(bw, "  output po%d;\n", i)
+	}
+	for gi := range nl.Gates {
+		fmt.Fprintf(bw, "  wire n%d;\n", nl.Gates[gi].Output)
+	}
+	portNames := [4]string{"A", "B", "C", "D"}
+	for gi := range nl.Gates {
+		g := &nl.Gates[gi]
+		fmt.Fprintf(bw, "  %s g%d (", g.Cell.Name, gi)
+		for j, in := range g.Inputs {
+			fmt.Fprintf(bw, ".%s(%s), ", portNames[j], netName(nl, in))
+		}
+		fmt.Fprintf(bw, ".Y(n%d));\n", g.Output)
+	}
+	for i, po := range nl.POs {
+		fmt.Fprintf(bw, "  assign po%d = %s;\n", i, netName(nl, po))
+	}
+	fmt.Fprintln(bw, "endmodule")
+	return bw.Flush()
+}
+
+func netName(nl *Netlist, n NetID) string {
+	if int(n) < nl.NumPIs {
+		return fmt.Sprintf("pi%d", n)
+	}
+	return fmt.Sprintf("n%d", n)
+}
+
+// WriteDOT emits a Graphviz rendering of the netlist, gates labeled by
+// cell name.
+func (nl *Netlist) WriteDOT(w io.Writer, name string) error {
+	bw := bufio.NewWriter(w)
+	fmt.Fprintf(bw, "digraph %q {\n  rankdir=LR;\n", name)
+	for i := 0; i < nl.NumPIs; i++ {
+		fmt.Fprintf(bw, "  pi%d [shape=triangle,label=\"pi%d\"];\n", i, i)
+	}
+	for gi := range nl.Gates {
+		g := &nl.Gates[gi]
+		fmt.Fprintf(bw, "  g%d [shape=box,label=\"%s\"];\n", gi, g.Cell.Name)
+		for _, in := range g.Inputs {
+			if d := nl.Driver(in); d >= 0 {
+				fmt.Fprintf(bw, "  g%d -> g%d;\n", d, gi)
+			} else {
+				fmt.Fprintf(bw, "  pi%d -> g%d;\n", in, gi)
+			}
+		}
+	}
+	for i, po := range nl.POs {
+		fmt.Fprintf(bw, "  po%d [shape=invtriangle,label=\"po%d\"];\n", i, i)
+		if d := nl.Driver(po); d >= 0 {
+			fmt.Fprintf(bw, "  g%d -> po%d;\n", d, i)
+		} else {
+			fmt.Fprintf(bw, "  pi%d -> po%d;\n", po, i)
+		}
+	}
+	fmt.Fprintln(bw, "}")
+	return bw.Flush()
+}

@@ -1,0 +1,183 @@
+// Package netlist represents mapped gate-level netlists: the output of
+// technology mapping and the input to static timing analysis.
+//
+// Nets are integers. Nets 0..NumPIs-1 are driven by the primary inputs;
+// every other net is driven by exactly one gate.
+package netlist
+
+import (
+	"fmt"
+	"sort"
+
+	"aigtimer/internal/cell"
+)
+
+// NetID identifies a net.
+type NetID int32
+
+// Gate is one standard-cell instance.
+type Gate struct {
+	Cell   *cell.Cell
+	Inputs []NetID // one entry per cell pin
+	Output NetID
+}
+
+// Netlist is a combinational mapped design.
+type Netlist struct {
+	Lib    *cell.Library
+	NumPIs int
+	Gates  []Gate  // in topological order (inputs precede outputs)
+	POs    []NetID // primary output nets
+
+	numNets int
+	fanouts [][]int32 // net -> indices of gates reading it; lazily built
+	poLoads []int32   // net -> number of POs attached
+}
+
+// Builder incrementally constructs a netlist.
+type Builder struct {
+	n Netlist
+}
+
+// NewBuilder returns a netlist builder over the given library.
+func NewBuilder(lib *cell.Library, numPIs int) *Builder {
+	return &Builder{n: Netlist{Lib: lib, NumPIs: numPIs, numNets: numPIs}}
+}
+
+// PINet returns the net driven by primary input i.
+func (b *Builder) PINet(i int) NetID {
+	if i < 0 || i >= b.n.NumPIs {
+		panic(fmt.Sprintf("netlist: PI %d out of range", i))
+	}
+	return NetID(i)
+}
+
+// AddGate instantiates a cell reading the given nets and returns its
+// output net. The number of inputs must equal the cell's pin count, and
+// every input net must already exist.
+func (b *Builder) AddGate(c *cell.Cell, inputs ...NetID) NetID {
+	if len(inputs) != c.NumInputs {
+		panic(fmt.Sprintf("netlist: cell %s wants %d inputs, got %d", c.Name, c.NumInputs, len(inputs)))
+	}
+	for _, in := range inputs {
+		if int(in) >= b.n.numNets || in < 0 {
+			panic(fmt.Sprintf("netlist: input net %d does not exist", in))
+		}
+	}
+	out := NetID(b.n.numNets)
+	b.n.numNets++
+	b.n.Gates = append(b.n.Gates, Gate{Cell: c, Inputs: append([]NetID(nil), inputs...), Output: out})
+	return out
+}
+
+// AddPO marks a net as a primary output.
+func (b *Builder) AddPO(n NetID) {
+	if int(n) >= b.n.numNets || n < 0 {
+		panic(fmt.Sprintf("netlist: PO net %d does not exist", n))
+	}
+	b.n.POs = append(b.n.POs, n)
+}
+
+// Build finalizes the netlist.
+func (b *Builder) Build() *Netlist {
+	n := b.n
+	return &n
+}
+
+// NumNets returns the total net count.
+func (nl *Netlist) NumNets() int { return nl.numNets }
+
+// NumGates returns the number of cell instances.
+func (nl *Netlist) NumGates() int { return len(nl.Gates) }
+
+// AreaUM2 returns the summed cell area.
+func (nl *Netlist) AreaUM2() float64 {
+	a := 0.0
+	for i := range nl.Gates {
+		a += nl.Gates[i].Cell.AreaUM2
+	}
+	return a
+}
+
+// Driver returns the index of the gate driving net n, or -1 for PI nets.
+func (nl *Netlist) Driver(n NetID) int {
+	if int(n) < nl.NumPIs {
+		return -1
+	}
+	// Gates are appended in net order: gate i drives net NumPIs+i.
+	return int(n) - nl.NumPIs
+}
+
+// buildFanouts computes reader lists and PO attachment counts.
+func (nl *Netlist) buildFanouts() {
+	if nl.fanouts != nil {
+		return
+	}
+	nl.fanouts = make([][]int32, nl.numNets)
+	nl.poLoads = make([]int32, nl.numNets)
+	for gi := range nl.Gates {
+		for _, in := range nl.Gates[gi].Inputs {
+			nl.fanouts[in] = append(nl.fanouts[in], int32(gi))
+		}
+	}
+	for _, po := range nl.POs {
+		nl.poLoads[po]++
+	}
+}
+
+// Fanouts returns the indices of gates reading net n.
+func (nl *Netlist) Fanouts(n NetID) []int32 {
+	nl.buildFanouts()
+	return nl.fanouts[n]
+}
+
+// LoadFF returns the capacitive load on net n: the input capacitance of
+// every reading pin, wire capacitance per fanout branch, and the default
+// output load for each PO attachment.
+func (nl *Netlist) LoadFF(n NetID) float64 {
+	nl.buildFanouts()
+	load := 0.0
+	branches := 0
+	for _, gi := range nl.fanouts[n] {
+		g := &nl.Gates[gi]
+		for _, in := range g.Inputs {
+			if in == n {
+				load += g.Cell.InputCapFF
+				branches++
+			}
+		}
+	}
+	load += float64(branches+int(nl.poLoads[n])) * nl.Lib.WireCapFF
+	load += float64(nl.poLoads[n]) * nl.Lib.OutputLoadFF
+	return load
+}
+
+// CellHistogram returns cell-name usage counts, for reports.
+func (nl *Netlist) CellHistogram() []struct {
+	Name  string
+	Count int
+} {
+	m := map[string]int{}
+	for i := range nl.Gates {
+		m[nl.Gates[i].Cell.Name]++
+	}
+	names := make([]string, 0, len(m))
+	for k := range m {
+		names = append(names, k)
+	}
+	sort.Strings(names)
+	out := make([]struct {
+		Name  string
+		Count int
+	}, len(names))
+	for i, name := range names {
+		out[i].Name = name
+		out[i].Count = m[name]
+	}
+	return out
+}
+
+// Stats summarizes the netlist.
+func (nl *Netlist) Stats() string {
+	return fmt.Sprintf("gates=%d nets=%d area=%.2fum2", nl.NumGates(), nl.NumNets(), nl.AreaUM2())
+}

@@ -1,0 +1,98 @@
+package signoff
+
+import (
+	"math/rand"
+	"testing"
+
+	"aigtimer/internal/aig"
+	"aigtimer/internal/cell"
+	"aigtimer/internal/sta"
+	"aigtimer/internal/techmap"
+)
+
+func randomAIG(rng *rand.Rand, numPIs, numAnds, numPOs int) *aig.AIG {
+	b := aig.NewBuilder(numPIs)
+	lits := make([]aig.Lit, 0, numPIs+numAnds)
+	for i := 0; i < numPIs; i++ {
+		lits = append(lits, b.PI(i))
+	}
+	for len(lits) < numPIs+numAnds {
+		a := lits[rng.Intn(len(lits))].NotIf(rng.Intn(2) == 0)
+		c := lits[rng.Intn(len(lits))].NotIf(rng.Intn(2) == 0)
+		lits = append(lits, b.And(a, c))
+	}
+	for i := 0; i < numPOs; i++ {
+		b.AddPO(lits[len(lits)-1-rng.Intn(40)])
+	}
+	return b.Build().Compact()
+}
+
+func TestEvaluateBeatsOrMatchesSingleEffort(t *testing.T) {
+	rng := rand.New(rand.NewSource(1))
+	lib := cell.Builtin()
+	for i := 0; i < 8; i++ {
+		g := randomAIG(rng, 8, 150, 4)
+		r, err := Evaluate(g, lib)
+		if err != nil {
+			t.Fatal(err)
+		}
+		// Single default-effort pipeline for comparison.
+		nl, err := techmap.Map(g, lib, techmap.DefaultParams)
+		if err != nil {
+			t.Fatal(err)
+		}
+		sr, err := sta.Signoff(nl, sta.SignoffParams{})
+		if err != nil {
+			t.Fatal(err)
+		}
+		if r.DelayPS > sr.WorstDelayPS+1e-9 {
+			t.Fatalf("dual-effort evaluate worse than single: %.1f vs %.1f", r.DelayPS, sr.WorstDelayPS)
+		}
+	}
+}
+
+func TestEvaluateDeterministic(t *testing.T) {
+	rng := rand.New(rand.NewSource(2))
+	lib := cell.Builtin()
+	g := randomAIG(rng, 8, 120, 4)
+	r1, err := Evaluate(g, lib)
+	if err != nil {
+		t.Fatal(err)
+	}
+	r2, err := Evaluate(g, lib)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if r1.DelayPS != r2.DelayPS || r1.AreaUM2 != r2.AreaUM2 {
+		t.Fatalf("nondeterministic: %+v vs %+v", r1, r2)
+	}
+	if r1.Corner == "" || r1.Netlist == nil {
+		t.Fatalf("missing fields: %+v", r1)
+	}
+}
+
+func TestEvaluatePreservesFunction(t *testing.T) {
+	rng := rand.New(rand.NewSource(3))
+	lib := cell.Builtin()
+	g := randomAIG(rng, 6, 80, 3)
+	r, err := Evaluate(g, lib)
+	if err != nil {
+		t.Fatal(err)
+	}
+	// The chosen netlist must implement g.
+	pats := aig.ExhaustivePatterns(g.NumPIs())
+	res := g.Simulate(pats)
+	in := make([]bool, g.NumPIs())
+	for m := 0; m < 1<<g.NumPIs(); m++ {
+		for i := range in {
+			in[i] = m>>i&1 == 1
+		}
+		got := r.Netlist.Eval(in)
+		for i := 0; i < g.NumPOs(); i++ {
+			v := res.LitValues(g.PO(i))
+			if got[i] != (v[m/64]>>(m%64)&1 == 1) {
+				t.Fatalf("netlist differs from AIG at minterm %d PO %d", m, i)
+			}
+		}
+	}
+}

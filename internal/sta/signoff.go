@@ -1,0 +1,103 @@
+package sta
+
+import (
+	"fmt"
+
+	"aigtimer/internal/cell"
+	"aigtimer/internal/netlist"
+)
+
+// Signoff-grade STA: NLDM table lookup with slew propagation, swept over
+// process corners. This is the expensive, accurate analysis that the
+// ground-truth optimization flow pays for at every iteration — the cost
+// the paper's learned predictor amortizes away.
+
+// SignoffParams configures signoff analysis.
+type SignoffParams struct {
+	Corners     []cell.Corner // default: cell.SignoffCorners
+	InputSlewPS float64       // slew at primary inputs; default 20 ps
+}
+
+// CornerResult is the analysis at one process corner.
+type CornerResult struct {
+	Corner     cell.Corner
+	ArrivalPS  []float64
+	SlewPS     []float64
+	MaxDelayPS float64
+	CriticalPO int
+}
+
+// SignoffResult aggregates all corners.
+type SignoffResult struct {
+	Netlist      *netlist.Netlist
+	Corners      []CornerResult
+	WorstDelayPS float64 // max-delay over corners (the slow corner governs)
+	WorstCorner  string
+	AreaUM2      float64
+}
+
+// Signoff runs slew-propagating NLDM STA at every corner.
+func Signoff(nl *netlist.Netlist, p SignoffParams) (*SignoffResult, error) {
+	if p.Corners == nil {
+		p.Corners = cell.SignoffCorners
+	}
+	if p.InputSlewPS <= 0 {
+		p.InputSlewPS = 20
+	}
+	res := &SignoffResult{Netlist: nl, AreaUM2: nl.AreaUM2()}
+	for _, corner := range p.Corners {
+		cr, err := analyzeCorner(nl, corner, p.InputSlewPS)
+		if err != nil {
+			return nil, err
+		}
+		res.Corners = append(res.Corners, cr)
+		if cr.MaxDelayPS > res.WorstDelayPS {
+			res.WorstDelayPS = cr.MaxDelayPS
+			res.WorstCorner = corner.Name
+		}
+	}
+	return res, nil
+}
+
+func analyzeCorner(nl *netlist.Netlist, corner cell.Corner, inputSlew float64) (CornerResult, error) {
+	numNets := nl.NumNets()
+	cr := CornerResult{
+		Corner:     corner,
+		ArrivalPS:  make([]float64, numNets),
+		SlewPS:     make([]float64, numNets),
+		CriticalPO: -1,
+	}
+	for i := 0; i < nl.NumPIs; i++ {
+		cr.SlewPS[i] = inputSlew
+	}
+	for gi := range nl.Gates {
+		g := &nl.Gates[gi]
+		c := g.Cell
+		if c.NLDM == nil {
+			return cr, fmt.Errorf("sta: cell %s has no NLDM tables", c.Name)
+		}
+		load := nl.LoadFF(g.Output)
+		// Worst-slew merging: the latest-arriving transition is assumed
+		// to carry the worst slew seen at any pin (a standard
+		// conservative simplification of per-arc analysis).
+		arr, slew := 0.0, inputSlew
+		for _, in := range g.Inputs {
+			if a := cr.ArrivalPS[in]; a > arr {
+				arr = a
+			}
+			if s := cr.SlewPS[in]; s > slew {
+				slew = s
+			}
+		}
+		d := c.NLDM.Delay.Lookup(slew, load) * corner.Scale
+		cr.ArrivalPS[g.Output] = arr + d
+		cr.SlewPS[g.Output] = c.NLDM.SlewOut.Lookup(slew, load) * corner.Scale
+	}
+	for i, po := range nl.POs {
+		if a := cr.ArrivalPS[po]; cr.CriticalPO < 0 || a > cr.MaxDelayPS {
+			cr.MaxDelayPS = a
+			cr.CriticalPO = i
+		}
+	}
+	return cr, nil
+}

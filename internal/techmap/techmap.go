@@ -1,0 +1,454 @@
+// Package techmap implements cut-based structural technology mapping of
+// AIGs onto a standard-cell library.
+//
+// For every AND node the mapper enumerates k-feasible cuts (k ≤ 4),
+// matches each cut's truth table — in both output phases — against the
+// library's match index, and keeps the best implementation per phase under
+// a delay-oriented cost with a nominal load. Signals are polarity-aware:
+// every node may be realized in positive phase, negative phase, or one
+// phase plus a shared inverter; pin complementations demanded by a match
+// consume the complement phase of the leaf. Cut functions that degenerate
+// to a projection of one leaf become wires, and constant cut functions
+// become tie cells. An optional area-recovery pass then downsizes drive
+// strengths off the critical path under required-time constraints (pure
+// sizing: the netlist structure is unchanged, so total area can only
+// decrease).
+//
+// This is the "technology mapping" step whose delay the paper's three
+// optimization flows either compute exactly (ground-truth flow), proxy by
+// AIG levels (baseline flow), or predict with a learned model (ML flow).
+// The mapper is intentionally the expensive step: its cost is what the
+// learned predictor amortizes away.
+package techmap
+
+import (
+	"fmt"
+	"math"
+
+	"aigtimer/internal/aig"
+	"aigtimer/internal/cell"
+	"aigtimer/internal/cut"
+	"aigtimer/internal/netlist"
+	"aigtimer/internal/truth"
+)
+
+// Params configures mapping.
+type Params struct {
+	Cut           cut.Params
+	NominalLoadFF float64 // load assumed while ranking matches
+	AreaRecovery  bool    // run the required-time sizing pass
+}
+
+// DefaultParams is a sensible delay-oriented configuration.
+var DefaultParams = Params{
+	Cut:           cut.Params{K: 4, MaxCuts: 8},
+	NominalLoadFF: 4.0,
+	AreaRecovery:  true,
+}
+
+// phase selects a signal polarity: pos is the node's function, neg its
+// complement.
+const (
+	pos = 0
+	neg = 1
+)
+
+type implKind uint8
+
+const (
+	kindNone implKind = iota
+	kindGate          // a library cell over a cut
+	kindInv           // inverter over the opposite phase
+	kindWire          // alias of a leaf signal (degenerate cut function)
+	kindTie           // constant cut function
+)
+
+// impl is one realization of (node, phase).
+type impl struct {
+	kind      implKind
+	cutIdx    int
+	match     cell.Match
+	leaf      int32 // kindWire: aliased node
+	leafPhase int   // kindWire: aliased phase
+	tieVal    bool  // kindTie
+	arrival   float64
+	area      float64
+}
+
+// projections[j] is the padded table of "leaf j" as a function.
+var projections = [4]uint16{
+	truth.PadTo4(0xA, 2),
+	truth.PadTo4(0xC, 2),
+	truth.TransformPins(truth.PadTo4(0xA, 2), 4, []int{2, 0, 0, 0}, 0),
+	truth.TransformPins(truth.PadTo4(0xA, 2), 4, []int{3, 0, 0, 0}, 0),
+}
+
+type mapper struct {
+	g      *aig.AIG
+	lib    *cell.Library
+	p      Params
+	cuts   [][]cut.Cut
+	impls  [][2]impl // per node, chosen implementation
+	direct [][2]impl // best non-inverter impl per phase
+	used   [][2]bool
+	req    [][2]float64
+}
+
+// Map maps the AIG onto the library and returns the gate-level netlist.
+func Map(g *aig.AIG, lib *cell.Library, p Params) (*netlist.Netlist, error) {
+	if p.Cut.K == 0 {
+		p.Cut = DefaultParams.Cut
+	}
+	if p.NominalLoadFF == 0 {
+		p.NominalLoadFF = DefaultParams.NominalLoadFF
+	}
+	m := &mapper{
+		g:      g,
+		lib:    lib,
+		p:      p,
+		cuts:   cut.Enumerate(g, p.Cut),
+		impls:  make([][2]impl, g.NumNodes()),
+		direct: make([][2]impl, g.NumNodes()),
+	}
+	if err := m.selectImpls(); err != nil {
+		return nil, err
+	}
+	if p.AreaRecovery {
+		m.recoverArea()
+	}
+	return m.emit(), nil
+}
+
+// invDelay returns the nominal delay of the shared inverter.
+func (m *mapper) invDelay() float64 {
+	return m.lib.Inverter().DelayPS(m.p.NominalLoadFF)
+}
+
+// arrivalOf returns the arrival time of (node, phase), deriving the
+// complement phase through an inverter when necessary.
+func (m *mapper) arrivalOf(n int32, ph int) float64 {
+	if !m.g.IsAnd(n) {
+		// PIs and constants arrive at t=0; a PI's complement costs an
+		// inverter, tie cells are free in either phase.
+		if m.g.IsPI(n) && ph == neg {
+			return m.invDelay()
+		}
+		return 0
+	}
+	return m.impls[n][ph].arrival
+}
+
+// selectImpls chooses the best implementation for both phases of every
+// AND node in topological order.
+func (m *mapper) selectImpls() error {
+	var firstErr error
+	m.g.TopoForEachAnd(func(n int32, f0, f1 aig.Lit) {
+		if firstErr != nil {
+			return
+		}
+		for ph := pos; ph <= neg; ph++ {
+			best := impl{kind: kindNone, arrival: math.Inf(1)}
+			for ci, c := range m.cuts[n] {
+				if c.IsTrivial(n) || len(c.Leaves) == 0 {
+					continue
+				}
+				tbl := c.Table
+				if ph == neg {
+					tbl = ^tbl
+				}
+				for _, cand := range m.cutCandidates(c, ci, tbl) {
+					if better(cand, best) {
+						best = cand
+					}
+				}
+			}
+			m.direct[n][ph] = best
+		}
+		// Relax with the inverter alternative: phase ph via INV over the
+		// direct impl of the opposite phase.
+		for ph := pos; ph <= neg; ph++ {
+			best := m.direct[n][ph]
+			other := m.direct[n][1-ph]
+			if other.kind != kindNone {
+				cand := impl{
+					kind:    kindInv,
+					arrival: other.arrival + m.invDelay(),
+					area:    m.lib.Inverter().AreaUM2,
+				}
+				if better(cand, best) {
+					best = cand
+				}
+			}
+			if best.kind == kindNone {
+				firstErr = fmt.Errorf("techmap: node %d phase %d unmatchable with library %s", n, ph, m.lib.Name)
+				return
+			}
+			m.impls[n][ph] = best
+		}
+	})
+	return firstErr
+}
+
+// cutCandidates yields all realizations of the table tbl over cut c:
+// tie cells for constants, wires for projections, and library matches.
+func (m *mapper) cutCandidates(c cut.Cut, ci int, tbl uint16) []impl {
+	var out []impl
+	switch tbl {
+	case 0:
+		return []impl{{kind: kindTie, tieVal: false, area: m.lib.Tie(false).AreaUM2}}
+	case 0xFFFF:
+		return []impl{{kind: kindTie, tieVal: true, area: m.lib.Tie(true).AreaUM2}}
+	}
+	for j := range c.Leaves {
+		if tbl == projections[j] {
+			out = append(out, impl{
+				kind: kindWire, leaf: c.Leaves[j], leafPhase: pos,
+				arrival: m.arrivalOf(c.Leaves[j], pos),
+			})
+		}
+		if tbl == ^projections[j] {
+			out = append(out, impl{
+				kind: kindWire, leaf: c.Leaves[j], leafPhase: neg,
+				arrival: m.arrivalOf(c.Leaves[j], neg),
+			})
+		}
+	}
+	for _, match := range m.lib.Matches(tbl, len(c.Leaves)) {
+		out = append(out, m.evalMatch(c, ci, match))
+	}
+	return out
+}
+
+// evalMatch scores a cut/cell pairing under the nominal-load delay model.
+func (m *mapper) evalMatch(c cut.Cut, cutIdx int, match cell.Match) impl {
+	d := match.Cell.DelayPS(m.p.NominalLoadFF)
+	arr := 0.0
+	for j := 0; j < match.Cell.NumInputs; j++ {
+		leaf := c.Leaves[match.PinVar[j]]
+		ph := pos
+		if match.PinInv>>j&1 == 1 {
+			ph = neg
+		}
+		if a := m.arrivalOf(leaf, ph); a > arr {
+			arr = a
+		}
+	}
+	return impl{
+		kind:    kindGate,
+		cutIdx:  cutIdx,
+		match:   match,
+		arrival: arr + d,
+		area:    match.Cell.AreaUM2,
+	}
+}
+
+// better orders implementations by (arrival, area).
+func better(a, b impl) bool {
+	if a.kind == kindNone {
+		return false
+	}
+	if b.kind == kindNone {
+		return true
+	}
+	if a.arrival != b.arrival {
+		return a.arrival < b.arrival
+	}
+	return a.area < b.area
+}
+
+// markUsed flags the (node, phase) pairs reachable from the POs through
+// the chosen implementations.
+func (m *mapper) markUsed() {
+	m.used = make([][2]bool, m.g.NumNodes())
+	type item struct {
+		n  int32
+		ph int
+	}
+	var stack []item
+	push := func(n int32, ph int) {
+		if !m.g.IsAnd(n) {
+			return
+		}
+		if !m.used[n][ph] {
+			m.used[n][ph] = true
+			stack = append(stack, item{n, ph})
+		}
+	}
+	for _, po := range m.g.POs() {
+		push(po.Node(), phaseOf(po))
+	}
+	for len(stack) > 0 {
+		it := stack[len(stack)-1]
+		stack = stack[:len(stack)-1]
+		im := m.impls[it.n][it.ph]
+		switch im.kind {
+		case kindInv:
+			push(it.n, 1-it.ph)
+		case kindWire:
+			push(im.leaf, im.leafPhase)
+		case kindGate:
+			c := m.cuts[it.n][im.cutIdx]
+			for j := 0; j < im.match.Cell.NumInputs; j++ {
+				ph := pos
+				if im.match.PinInv>>j&1 == 1 {
+					ph = neg
+				}
+				push(c.Leaves[im.match.PinVar[j]], ph)
+			}
+		}
+	}
+}
+
+func phaseOf(l aig.Lit) int {
+	if l.IsCompl() {
+		return neg
+	}
+	return pos
+}
+
+// recoverArea downsizes drive strengths off the critical path: for every
+// used gate implementation, the cheapest cell with identical function and
+// identical pin wiring that still meets the required time is selected.
+// Because only the cell choice changes (never the structure), the total
+// area is monotonically non-increasing.
+func (m *mapper) recoverArea() {
+	m.markUsed()
+	m.req = make([][2]float64, m.g.NumNodes())
+	for i := range m.req {
+		m.req[i][pos] = math.Inf(1)
+		m.req[i][neg] = math.Inf(1)
+	}
+	maxArr := 0.0
+	for _, po := range m.g.POs() {
+		if a := m.arrivalOf(po.Node(), phaseOf(po)); a > maxArr {
+			maxArr = a
+		}
+	}
+	for _, po := range m.g.POs() {
+		n := po.Node()
+		ph := phaseOf(po)
+		if m.g.IsAnd(n) && m.req[n][ph] > maxArr {
+			m.req[n][ph] = maxArr
+		}
+	}
+	// Propagate requirements in reverse topological order.
+	for n := int32(m.g.NumNodes() - 1); n >= m.g.FirstAnd(); n-- {
+		for ph := pos; ph <= neg; ph++ {
+			if !m.used[n][ph] || math.IsInf(m.req[n][ph], 1) {
+				continue
+			}
+			im := m.impls[n][ph]
+			switch im.kind {
+			case kindInv:
+				lower(&m.req[n][1-ph], m.req[n][ph]-m.invDelay())
+			case kindWire:
+				if m.g.IsAnd(im.leaf) {
+					lower(&m.req[im.leaf][im.leafPhase], m.req[n][ph])
+				}
+			case kindGate:
+				c := m.cuts[n][im.cutIdx]
+				d := im.match.Cell.DelayPS(m.p.NominalLoadFF)
+				for j := 0; j < im.match.Cell.NumInputs; j++ {
+					lph := pos
+					if im.match.PinInv>>j&1 == 1 {
+						lph = neg
+					}
+					leaf := c.Leaves[im.match.PinVar[j]]
+					if m.g.IsAnd(leaf) {
+						lower(&m.req[leaf][lph], m.req[n][ph]-d)
+					}
+				}
+			}
+		}
+	}
+	// Sizing pass in topological order: arrivals can only improve, so a
+	// single forward pass is sound.
+	m.g.TopoForEachAnd(func(n int32, f0, f1 aig.Lit) {
+		for ph := pos; ph <= neg; ph++ {
+			if !m.used[n][ph] {
+				continue
+			}
+			im := m.impls[n][ph]
+			if im.kind != kindGate {
+				continue
+			}
+			req := m.req[n][ph]
+			c := m.cuts[n][im.cutIdx]
+			tbl := c.Table
+			if ph == neg {
+				tbl = ^tbl
+			}
+			best := m.evalMatch(c, im.cutIdx, im.match) // refresh arrival
+			for _, match := range m.lib.Matches(tbl, len(c.Leaves)) {
+				if match.PinVar != im.match.PinVar || match.PinInv != im.match.PinInv {
+					continue
+				}
+				cand := m.evalMatch(c, im.cutIdx, match)
+				if cand.arrival <= req && (cand.area < best.area ||
+					(cand.area == best.area && cand.arrival < best.arrival)) {
+					best = cand
+				}
+			}
+			m.impls[n][ph] = best
+		}
+	})
+}
+
+func lower(dst *float64, v float64) {
+	if v < *dst {
+		*dst = v
+	}
+}
+
+// emit materializes the chosen implementations as a netlist.
+func (m *mapper) emit() *netlist.Netlist {
+	nb := netlist.NewBuilder(m.lib, m.g.NumPIs())
+	memo := make(map[[2]int32]netlist.NetID)
+	var need func(n int32, ph int) netlist.NetID
+	need = func(n int32, ph int) netlist.NetID {
+		key := [2]int32{n, int32(ph)}
+		if net, ok := memo[key]; ok {
+			return net
+		}
+		var net netlist.NetID
+		switch {
+		case n == 0: // constant false node
+			net = nb.AddGate(m.lib.Tie(ph == neg))
+		case m.g.IsPI(n):
+			if ph == pos {
+				net = nb.PINet(int(n) - 1)
+			} else {
+				net = nb.AddGate(m.lib.Inverter(), nb.PINet(int(n)-1))
+			}
+		default:
+			im := m.impls[n][ph]
+			switch im.kind {
+			case kindInv:
+				net = nb.AddGate(m.lib.Inverter(), need(n, 1-ph))
+			case kindWire:
+				net = need(im.leaf, im.leafPhase)
+			case kindTie:
+				net = nb.AddGate(m.lib.Tie(im.tieVal))
+			case kindGate:
+				c := m.cuts[n][im.cutIdx]
+				ins := make([]netlist.NetID, im.match.Cell.NumInputs)
+				for j := range ins {
+					lph := pos
+					if im.match.PinInv>>j&1 == 1 {
+						lph = neg
+					}
+					ins[j] = need(c.Leaves[im.match.PinVar[j]], lph)
+				}
+				net = nb.AddGate(im.match.Cell, ins...)
+			default:
+				panic("techmap: emitting unimplemented node")
+			}
+		}
+		memo[key] = net
+		return net
+	}
+	for _, po := range m.g.POs() {
+		nb.AddPO(need(po.Node(), phaseOf(po)))
+	}
+	return nb.Build()
+}

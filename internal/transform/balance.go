@@ -1,0 +1,88 @@
+package transform
+
+import (
+	"math/rand"
+	"sort"
+
+	"aigtimer/internal/aig"
+)
+
+// Balance rebuilds every multi-input AND tree with minimum depth: the
+// conjuncts of each tree are combined two at a time, always pairing the
+// two shallowest (a Huffman-style reduction). It is the analogue of ABC's
+// "balance" command and is the primary level-reducing transform.
+func Balance(g *aig.AIG, rng *rand.Rand) *aig.AIG {
+	return balanceImpl(g, rng, false)
+}
+
+// BalanceRandom rebuilds AND trees with random association instead of
+// depth-minimal association. It preserves function while perturbing both
+// level and sharing structure, providing diversity moves for annealing
+// (the structural analogue of exploring a different ABC script ordering).
+func BalanceRandom(g *aig.AIG, rng *rand.Rand) *aig.AIG {
+	return balanceImpl(g, rng, true)
+}
+
+func balanceImpl(g *aig.AIG, rng *rand.Rand, randomize bool) *aig.AIG {
+	fo := g.FanoutCounts()
+	r := newRebuilder(g)
+	done := make([]bool, g.NumNodes())
+
+	var build func(n int32)
+	build = func(n int32) {
+		if done[n] || !g.IsAnd(n) {
+			return
+		}
+		done[n] = true
+		conj := collectConjuncts(g, n, fo)
+		// Map every conjunct first (recursively balancing sub-trees).
+		lits := make([]aig.Lit, len(conj))
+		for i, c := range conj {
+			build(c.Node())
+			lits[i] = r.lit(c)
+		}
+		if randomize {
+			rng.Shuffle(len(lits), func(i, j int) { lits[i], lits[j] = lits[j], lits[i] })
+			out := lits[0]
+			for _, l := range lits[1:] {
+				out = r.nb.And(out, l)
+			}
+			r.m[n] = out
+			return
+		}
+		// Min-depth pairing: repeatedly combine the two shallowest.
+		for len(lits) > 1 {
+			sort.SliceStable(lits, func(i, j int) bool {
+				return r.nb.LevelOf(lits[i]) < r.nb.LevelOf(lits[j])
+			})
+			merged := r.nb.And(lits[0], lits[1])
+			lits = append([]aig.Lit{merged}, lits[2:]...)
+		}
+		r.m[n] = lits[0]
+	}
+
+	g.TopoForEachAnd(func(n int32, f0, f1 aig.Lit) { build(n) })
+	return r.finish()
+}
+
+// collectConjuncts gathers the leaves of the AND tree rooted at n:
+// fanin edges are followed while they are non-complemented references to
+// single-fanout AND nodes (the classic balance decomposition boundary).
+func collectConjuncts(g *aig.AIG, n int32, fanouts []int32) []aig.Lit {
+	var out []aig.Lit
+	var visit func(l aig.Lit)
+	visit = func(l aig.Lit) {
+		nn := l.Node()
+		if !l.IsCompl() && g.IsAnd(nn) && fanouts[nn] == 1 {
+			f0, f1 := g.Fanins(nn)
+			visit(f0)
+			visit(f1)
+			return
+		}
+		out = append(out, l)
+	}
+	f0, f1 := g.Fanins(n)
+	visit(f0)
+	visit(f1)
+	return out
+}

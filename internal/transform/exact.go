@@ -1,0 +1,148 @@
+package transform
+
+import (
+	"math/bits"
+
+	"aigtimer/internal/aig"
+	"aigtimer/internal/truth"
+)
+
+// Exact verification of candidate node equivalences. Random simulation is
+// an efficient screen but cannot *prove* equivalence: two functions that
+// differ on a handful of minterms will usually survive thousands of random
+// patterns. Since this repository is SAT-free, candidate merges are
+// instead verified by exact truth-table evaluation of both cones over the
+// union of their primary-input supports — and candidates whose union
+// support exceeds exactVerifyMaxSupport are conservatively rejected. This
+// keeps every transform exactly function-preserving.
+
+// exactVerifyMaxSupport bounds the union support for exact verification
+// (2^12 bits = 64 words per table). Larger-support candidates are
+// conservatively rejected: correctness is never traded for optimization
+// power, and the bound keeps the verifier cheap enough for the annealing
+// inner loop.
+const exactVerifyMaxSupport = 12
+
+// piSupports returns, per node, the bitmask of primary inputs in its
+// transitive fanin. Panics when the design has more than 64 inputs (far
+// beyond the paper's suite).
+func piSupports(g *aig.AIG) []uint64 {
+	if g.NumPIs() > 64 {
+		panic("transform: piSupports supports at most 64 PIs")
+	}
+	sup := make([]uint64, g.NumNodes())
+	for i := 1; i <= g.NumPIs(); i++ {
+		sup[i] = 1 << (i - 1)
+	}
+	g.TopoForEachAnd(func(n int32, f0, f1 aig.Lit) {
+		sup[n] = sup[f0.Node()] | sup[f1.Node()]
+	})
+	return sup
+}
+
+// verifier performs exact cone comparisons over bounded supports.
+type verifier struct {
+	g   *aig.AIG
+	sup []uint64
+}
+
+func newVerifier(g *aig.AIG) *verifier {
+	return &verifier{g: g, sup: piSupports(g)}
+}
+
+// varMap assigns truth-table variable positions to the PIs in mask.
+func varMap(mask uint64) ([]int, int) {
+	m := make([]int, 64)
+	k := 0
+	for pi := 0; pi < 64; pi++ {
+		if mask>>pi&1 == 1 {
+			m[pi] = k
+			k++
+		}
+	}
+	return m, k
+}
+
+// coneTT evaluates node n's function as a truth table over the k support
+// variables assigned by vm.
+func (v *verifier) coneTT(n int32, vm []int, k int, memo map[int32]truth.TT) truth.TT {
+	if t, ok := memo[n]; ok {
+		return t
+	}
+	var t truth.TT
+	switch {
+	case n == 0:
+		t = truth.New(k)
+	case v.g.IsPI(n):
+		t = truth.Var(k, vm[n-1])
+	default:
+		f0, f1 := v.g.Fanins(n)
+		t0 := v.coneTT(f0.Node(), vm, k, memo)
+		t1 := v.coneTT(f1.Node(), vm, k, memo)
+		if f0.IsCompl() {
+			t0 = t0.Not()
+		}
+		if f1.IsCompl() {
+			t1 = t1.Not()
+		}
+		t = t0.And(t1)
+	}
+	memo[n] = t
+	return t
+}
+
+// verifiable reports whether the union support of the given nodes is
+// small enough for exact verification; callers use it to skip screening
+// candidates that could never be accepted.
+func (v *verifier) verifiable(nodes ...int32) bool {
+	var mask uint64
+	for _, n := range nodes {
+		mask |= v.sup[n]
+	}
+	return bits.OnesCount64(mask) <= exactVerifyMaxSupport
+}
+
+// equal proves (or refutes) a == b up to the given complement. The second
+// return is false when the union support is too large to verify, in which
+// case the caller must not merge.
+func (v *verifier) equal(a, b int32, compl bool) (eq, verified bool) {
+	mask := v.sup[a] | v.sup[b]
+	k := bits.OnesCount64(mask)
+	if k > exactVerifyMaxSupport {
+		return false, false
+	}
+	vm, k := varMap(mask)
+	memo := make(map[int32]truth.TT)
+	ta := v.coneTT(a, vm, k, memo)
+	tb := v.coneTT(b, vm, k, memo)
+	if compl {
+		tb = tb.Not()
+	}
+	return ta.Equal(tb), true
+}
+
+// andEquals proves n == outC ^ ((d0^i0) · (d1^i1)) exactly, with the same
+// support bound.
+func (v *verifier) andEquals(n, d0, d1 int32, i0, i1, outC bool) (eq, verified bool) {
+	mask := v.sup[n] | v.sup[d0] | v.sup[d1]
+	k := bits.OnesCount64(mask)
+	if k > exactVerifyMaxSupport {
+		return false, false
+	}
+	vm, k := varMap(mask)
+	memo := make(map[int32]truth.TT)
+	tn := v.coneTT(n, vm, k, memo)
+	t0 := v.coneTT(d0, vm, k, memo)
+	t1 := v.coneTT(d1, vm, k, memo)
+	if i0 {
+		t0 = t0.Not()
+	}
+	if i1 {
+		t1 = t1.Not()
+	}
+	t := t0.And(t1)
+	if outC {
+		t = t.Not()
+	}
+	return tn.Equal(t), true
+}

@@ -1,0 +1,230 @@
+package transform
+
+import (
+	"math/rand"
+	"sync"
+
+	"aigtimer/internal/aig"
+	"aigtimer/internal/truth"
+)
+
+// refactorMaxLeaves bounds the reconvergence-driven cut used by Refactor.
+// Eight leaves keeps the cone truth table at 4 words.
+const refactorMaxLeaves = 8
+
+// Refactor resynthesizes large reconvergence-driven cones (up to 10
+// leaves) through ISOP factoring, accepting strict node-count reductions.
+// It is the analogue of ABC's "refactor" and reduces structures that
+// 4-cut rewriting cannot see.
+func Refactor(g *aig.AIG, rng *rand.Rand) *aig.AIG {
+	return refactorImpl(g, rng, 1)
+}
+
+// RefactorZ is Refactor accepting zero-cost replacements (ABC's
+// "refactor -z").
+func RefactorZ(g *aig.AIG, rng *rand.Rand) *aig.AIG {
+	return refactorImpl(g, rng, 0)
+}
+
+func refactorImpl(g *aig.AIG, rng *rand.Rand, minGain int) *aig.AIG {
+	fo := g.FanoutCounts()
+	r := newRebuilder(g)
+	sav := newSavings(g)
+	mffcHint := mffcLowerBound(g, fo)
+	isRoot := refactorRoots(g, fo)
+	g.TopoForEachAnd(func(n int32, f0, f1 aig.Lit) {
+		// Prefilter: resynthesis is only attempted at cone boundaries
+		// (shared nodes and PO drivers — interior fanout-free nodes are
+		// covered by their root's cone) whose fanout-free closure is big
+		// enough for a gain to be possible. This skips the expensive cone
+		// evaluation on the vast majority of nodes.
+		if !isRoot[n] || int(mffcHint[n]) < 2-minGain {
+			r.copyNode(n, f0, f1)
+			return
+		}
+		leaves := reconvCut(g, n, refactorMaxLeaves, fo)
+		if len(leaves) < 3 || len(leaves) > refactorMaxLeaves {
+			r.copyNode(n, f0, f1)
+			return
+		}
+		tt, ok := coneFunction(g, n, leaves)
+		if !ok {
+			r.copyNode(n, f0, f1)
+			return
+		}
+		saved := sav.compute(n, leaves, fo)
+		cost := refactorCost(tt)
+		if saved-cost < minGain {
+			r.copyNode(n, f0, f1)
+			return
+		}
+		ins := make([]aig.Lit, len(leaves))
+		for i, leaf := range leaves {
+			ins[i] = r.m[leaf]
+		}
+		r.m[n] = truth.SynthesizeTT(r.nb, ins, tt)
+	})
+	return r.finish()
+}
+
+// refactorCostCache memoizes standalone synthesis costs of cone functions
+// (up to 8 variables = 4 words) across all refactor invocations.
+var refactorCostCache sync.Map // [5]uint64{words..., k} -> int
+
+// refactorCost returns the AND count of tt's factored form in isolation.
+func refactorCost(tt truth.TT) int {
+	var key [5]uint64
+	copy(key[:4], tt.W)
+	key[4] = uint64(tt.N)
+	if v, ok := refactorCostCache.Load(key); ok {
+		return v.(int)
+	}
+	sb := aig.NewBuilder(tt.N)
+	sins := make([]aig.Lit, tt.N)
+	for i := range sins {
+		sins[i] = sb.PI(i)
+	}
+	truth.SynthesizeTT(sb, sins, tt)
+	c := sb.NumAnds()
+	refactorCostCache.Store(key, c)
+	return c
+}
+
+// mffcLowerBound computes a fast per-node lower bound on the MFFC size:
+// 1 + the bound of every fanout-1 AND fanin (the fanout-free chain
+// closure). Nodes whose bound is already large are the profitable
+// refactoring roots; the prefilter trades a few missed reconvergent
+// opportunities for skipping the expensive cone evaluation on most nodes.
+func mffcLowerBound(g *aig.AIG, fanouts []int32) []int32 {
+	lb := make([]int32, g.NumNodes())
+	g.TopoForEachAnd(func(n int32, f0, f1 aig.Lit) {
+		v := int32(1)
+		for _, f := range [2]aig.Lit{f0, f1} {
+			fn := f.Node()
+			if g.IsAnd(fn) && fanouts[fn] == 1 {
+				v += lb[fn]
+			}
+		}
+		lb[n] = v
+	})
+	return lb
+}
+
+// refactorRoots marks cone boundaries: nodes with shared fanout or
+// driving a primary output.
+func refactorRoots(g *aig.AIG, fanouts []int32) []bool {
+	isRoot := make([]bool, g.NumNodes())
+	for n := g.FirstAnd(); n < int32(g.NumNodes()); n++ {
+		if fanouts[n] != 1 {
+			isRoot[n] = true
+		}
+	}
+	for _, po := range g.POs() {
+		isRoot[po.Node()] = true
+	}
+	return isRoot
+}
+
+// reconvCut grows a cut from n's fanins, greedily expanding the leaf whose
+// replacement by its own fanins increases the leaf count least (preferring
+// reconvergence). Expansion stops at the leaf budget.
+func reconvCut(g *aig.AIG, n int32, maxLeaves int, fanouts []int32) []int32 {
+	f0, f1 := g.Fanins(n)
+	leaves := make([]int32, 0, maxLeaves+1)
+	contains := func(x int32) bool {
+		for _, l := range leaves {
+			if l == x {
+				return true
+			}
+		}
+		return false
+	}
+	add := func(x int32) {
+		if !contains(x) {
+			leaves = append(leaves, x)
+		}
+	}
+	add(f0.Node())
+	add(f1.Node())
+	// Bound the internal cone so per-node refactoring stays cheap.
+	for expansions := 0; expansions < 20; expansions++ {
+		best := -1
+		bestDelta := 2
+		for i, l := range leaves {
+			if !g.IsAnd(l) {
+				continue
+			}
+			lf0, lf1 := g.Fanins(l)
+			delta := -1
+			if !contains(lf0.Node()) {
+				delta++
+			}
+			if !contains(lf1.Node()) && lf0.Node() != lf1.Node() {
+				delta++
+			}
+			if delta < bestDelta {
+				bestDelta = delta
+				best = i
+			}
+		}
+		if best < 0 || len(leaves)+bestDelta > maxLeaves {
+			break
+		}
+		l := leaves[best]
+		lf0, lf1 := g.Fanins(l)
+		leaves[best] = leaves[len(leaves)-1]
+		leaves = leaves[:len(leaves)-1]
+		add(lf0.Node())
+		add(lf1.Node())
+	}
+	sortAsc(leaves)
+	return leaves
+}
+
+func sortAsc(s []int32) {
+	for i := 1; i < len(s); i++ {
+		for j := i; j > 0 && s[j] < s[j-1]; j-- {
+			s[j], s[j-1] = s[j-1], s[j]
+		}
+	}
+}
+
+// coneFunction evaluates node n's function over the given cut leaves by
+// truth-table propagation through the cone. It fails (ok=false) when the
+// cone reaches a non-leaf PI or the constant node, which indicates the cut
+// is not a complete boundary for n.
+func coneFunction(g *aig.AIG, n int32, leaves []int32) (truth.TT, bool) {
+	k := len(leaves)
+	memo := make(map[int32]truth.TT, 2*k)
+	for i, l := range leaves {
+		memo[l] = truth.Var(k, i)
+	}
+	var eval func(x int32) (truth.TT, bool)
+	eval = func(x int32) (truth.TT, bool) {
+		if t, ok := memo[x]; ok {
+			return t, true
+		}
+		if !g.IsAnd(x) {
+			return truth.TT{}, false
+		}
+		f0, f1 := g.Fanins(x)
+		t0, ok := eval(f0.Node())
+		if !ok {
+			return truth.TT{}, false
+		}
+		t1, ok := eval(f1.Node())
+		if !ok {
+			return truth.TT{}, false
+		}
+		if f0.IsCompl() {
+			t0 = t0.Not()
+		}
+		if f1.IsCompl() {
+			t1 = t1.Not()
+		}
+		t := t0.And(t1)
+		memo[x] = t
+		return t, true
+	}
+	return eval(n)
+}

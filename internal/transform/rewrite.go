@@ -1,0 +1,128 @@
+package transform
+
+import (
+	"math/rand"
+
+	"aigtimer/internal/aig"
+	"aigtimer/internal/cut"
+	"aigtimer/internal/truth"
+)
+
+// Rewrite performs 4-cut rewriting: every AND node's best cut function is
+// resynthesized through ISOP factoring and the replacement is kept when it
+// strictly reduces the node count (accounting for the maximum fanout-free
+// cone the replacement frees). This is the analogue of ABC's "rewrite".
+func Rewrite(g *aig.AIG, rng *rand.Rand) *aig.AIG {
+	return rewriteImpl(g, rng, 1)
+}
+
+// RewriteZ is Rewrite with zero-cost replacements allowed (ABC's
+// "rewrite -z"): structural changes that keep the node count are also
+// accepted, which perturbs structure and unlocks later reductions.
+func RewriteZ(g *aig.AIG, rng *rand.Rand) *aig.AIG {
+	return rewriteImpl(g, rng, 0)
+}
+
+func rewriteImpl(g *aig.AIG, rng *rand.Rand, minGain int) *aig.AIG {
+	cuts := cut.Enumerate(g, cut.Params{K: 4, MaxCuts: 8})
+	fo := g.FanoutCounts()
+	sav := newSavings(g)
+	r := newRebuilder(g)
+	g.TopoForEachAnd(func(n int32, f0, f1 aig.Lit) {
+		type cand struct {
+			c    cut.Cut
+			gain int
+		}
+		var best []cand // all candidates tied at the best gain
+		bestGain := minGain - 1
+		for _, c := range cuts[n] {
+			if c.IsTrivial(n) || len(c.Leaves) < 2 {
+				continue
+			}
+			saved := sav.compute(n, c.Leaves, fo)
+			cost := synthCost(c.Table, len(c.Leaves))
+			gain := saved - cost
+			if gain > bestGain {
+				bestGain = gain
+				best = best[:0]
+			}
+			if gain == bestGain {
+				best = append(best, cand{c, gain})
+			}
+		}
+		if bestGain < minGain || len(best) == 0 {
+			r.copyNode(n, f0, f1)
+			return
+		}
+		chosen := best[rng.Intn(len(best))]
+		ins := make([]aig.Lit, len(chosen.c.Leaves))
+		for i, leaf := range chosen.c.Leaves {
+			ins[i] = r.m[leaf]
+		}
+		tt := truth.FromUint16K(chosen.c.Table, len(chosen.c.Leaves))
+		r.m[n] = truth.SynthesizeTT(r.nb, ins, tt)
+	})
+	return r.finish()
+}
+
+// Expand is a deliberate de-optimization used as a diversity move: a
+// random subset of nodes is resynthesized from a random non-trivial cut
+// into flat two-level (SOP) form without factoring or sharing. Function is
+// preserved while node count typically grows, letting the annealer escape
+// the locally-optimal structures that greedy transforms converge to. This
+// plays the role of the node-increasing members of the paper's 103
+// industry transformation combinations.
+func Expand(g *aig.AIG, rng *rand.Rand) *aig.AIG {
+	const prob = 0.2
+	cuts := cut.Enumerate(g, cut.Params{K: 4, MaxCuts: 8})
+	r := newRebuilder(g)
+	g.TopoForEachAnd(func(n int32, f0, f1 aig.Lit) {
+		if rng.Float64() >= prob {
+			r.copyNode(n, f0, f1)
+			return
+		}
+		// Pick a random non-trivial cut.
+		var options []cut.Cut
+		for _, c := range cuts[n] {
+			if !c.IsTrivial(n) && len(c.Leaves) >= 2 {
+				options = append(options, c)
+			}
+		}
+		if len(options) == 0 {
+			r.copyNode(n, f0, f1)
+			return
+		}
+		c := options[rng.Intn(len(options))]
+		ins := make([]aig.Lit, len(c.Leaves))
+		for i, leaf := range c.Leaves {
+			ins[i] = r.m[leaf]
+		}
+		tt := truth.FromUint16K(c.Table, len(c.Leaves))
+		r.m[n] = flatSOP(r.nb, ins, tt)
+	})
+	return r.finish()
+}
+
+// flatSOP emits an unfactored two-level implementation: one AND chain per
+// cube, OR-chained in order.
+func flatSOP(b *aig.Builder, inputs []aig.Lit, t truth.TT) aig.Lit {
+	if t.IsZero() {
+		return aig.ConstFalse
+	}
+	if t.IsOne() {
+		return aig.ConstTrue
+	}
+	cover := truth.ISOP(t, t)
+	out := aig.ConstFalse
+	for _, cube := range cover {
+		term := aig.ConstTrue
+		for v := 0; v < t.N; v++ {
+			if !cube.Has(v) {
+				continue
+			}
+			term = b.And(term, inputs[v].NotIf(!cube.Positive(v)))
+		}
+		out = b.Or(out, term)
+	}
+	return out
+}

@@ -1,0 +1,172 @@
+package truth
+
+import (
+	"aigtimer/internal/aig"
+)
+
+// Factoring turns a sum-of-products cover into a multi-level AND/OR
+// expression tree ("quick factoring"): the most frequent literal is
+// factored out recursively, i.e. cover = lit·Q + R. The tree is then
+// emitted into an AIG builder. This is the resynthesis engine behind the
+// refactor transformation and the fallback path of cut rewriting.
+
+// FactorInto synthesizes the cover over the given input literals into the
+// builder and returns the output literal. An empty cover yields constant
+// false; a cover containing the tautology cube yields constant true.
+func FactorInto(b *aig.Builder, inputs []aig.Lit, cv Cover) aig.Lit {
+	return factorRec(b, inputs, cv)
+}
+
+func factorRec(b *aig.Builder, inputs []aig.Lit, cv Cover) aig.Lit {
+	if len(cv) == 0 {
+		return aig.ConstFalse
+	}
+	for _, c := range cv {
+		if c.Mask == 0 {
+			return aig.ConstTrue
+		}
+	}
+	if len(cv) == 1 {
+		return cubeInto(b, inputs, cv[0])
+	}
+	v, pos, cnt := bestLiteral(cv)
+	if cnt <= 1 {
+		// No shared literal: emit the plain OR of cubes, balanced.
+		terms := make([]aig.Lit, len(cv))
+		for i, c := range cv {
+			terms[i] = cubeInto(b, inputs, c)
+		}
+		return orTree(b, terms)
+	}
+	// Divide: cv = lit·Q + R.
+	var q, r Cover
+	for _, c := range cv {
+		if c.Has(v) && c.Positive(v) == pos {
+			q = append(q, c.WithoutLit(v))
+		} else {
+			r = append(r, c)
+		}
+	}
+	lit := inputs[v].NotIf(!pos)
+	qf := factorRec(b, inputs, q)
+	out := b.And(lit, qf)
+	if len(r) > 0 {
+		out = b.Or(out, factorRec(b, inputs, r))
+	}
+	return out
+}
+
+// bestLiteral returns the literal (variable, polarity) occurring in the
+// most cubes, along with its count.
+func bestLiteral(cv Cover) (v int, pos bool, count int) {
+	var cnt [MaxVars][2]int
+	for _, c := range cv {
+		for x := 0; x < MaxVars; x++ {
+			if c.Has(x) {
+				if c.Positive(x) {
+					cnt[x][1]++
+				} else {
+					cnt[x][0]++
+				}
+			}
+		}
+	}
+	count = -1
+	for x := 0; x < MaxVars; x++ {
+		for p := 0; p < 2; p++ {
+			if cnt[x][p] > count {
+				count = cnt[x][p]
+				v = x
+				pos = p == 1
+			}
+		}
+	}
+	return v, pos, count
+}
+
+// cubeInto emits the AND of a cube's literals as a balanced tree.
+func cubeInto(b *aig.Builder, inputs []aig.Lit, c Cube) aig.Lit {
+	var lits []aig.Lit
+	for v := 0; v < MaxVars; v++ {
+		if c.Has(v) {
+			lits = append(lits, inputs[v].NotIf(!c.Positive(v)))
+		}
+	}
+	return andTree(b, lits)
+}
+
+func andTree(b *aig.Builder, ls []aig.Lit) aig.Lit {
+	switch len(ls) {
+	case 0:
+		return aig.ConstTrue
+	case 1:
+		return ls[0]
+	}
+	for len(ls) > 1 {
+		var next []aig.Lit
+		for i := 0; i+1 < len(ls); i += 2 {
+			next = append(next, b.And(ls[i], ls[i+1]))
+		}
+		if len(ls)%2 == 1 {
+			next = append(next, ls[len(ls)-1])
+		}
+		ls = next
+	}
+	return ls[0]
+}
+
+func orTree(b *aig.Builder, ls []aig.Lit) aig.Lit {
+	switch len(ls) {
+	case 0:
+		return aig.ConstFalse
+	case 1:
+		return ls[0]
+	}
+	for len(ls) > 1 {
+		var next []aig.Lit
+		for i := 0; i+1 < len(ls); i += 2 {
+			next = append(next, b.Or(ls[i], ls[i+1]))
+		}
+		if len(ls)%2 == 1 {
+			next = append(next, ls[len(ls)-1])
+		}
+		ls = next
+	}
+	return ls[0]
+}
+
+// SynthesizeTT builds an implementation of table t over the given inputs
+// into the builder, choosing the cheaper of the factored ISOP of t and of
+// its complement (measured in a scratch builder, so the choice is
+// deterministic and sharing-independent). len(inputs) must equal t.N.
+func SynthesizeTT(b *aig.Builder, inputs []aig.Lit, t TT) aig.Lit {
+	if len(inputs) != t.N {
+		panic("truth: SynthesizeTT: input count mismatch")
+	}
+	if t.IsZero() {
+		return aig.ConstFalse
+	}
+	if t.IsOne() {
+		return aig.ConstTrue
+	}
+	cvPos := ISOP(t, t)
+	cvNeg := ISOP(t.Not(), t.Not())
+	costP := standaloneCost(t.N, cvPos)
+	costN := standaloneCost(t.N, cvNeg)
+	if costN < costP {
+		return factorRec(b, inputs, cvNeg).Not()
+	}
+	return factorRec(b, inputs, cvPos)
+}
+
+// standaloneCost counts the AND nodes a cover's factored form needs in
+// isolation.
+func standaloneCost(n int, cv Cover) int {
+	sb := aig.NewBuilder(n)
+	ins := make([]aig.Lit, n)
+	for i := range ins {
+		ins[i] = sb.PI(i)
+	}
+	factorRec(sb, ins, cv)
+	return sb.NumAnds()
+}

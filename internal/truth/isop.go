@@ -1,0 +1,163 @@
+package truth
+
+import (
+	"math/bits"
+	"strings"
+)
+
+// Cube is a product term over up to MaxVars variables. Variable i appears
+// in the cube iff bit i of Mask is set; it appears positively iff bit i of
+// Pol is also set, otherwise negatively. The empty cube is the tautology.
+type Cube struct {
+	Mask, Pol uint32
+}
+
+// NumLits returns the number of literals in the cube.
+func (c Cube) NumLits() int { return bits.OnesCount32(c.Mask) }
+
+// Has reports whether the cube contains variable v (either polarity).
+func (c Cube) Has(v int) bool { return c.Mask>>v&1 == 1 }
+
+// Positive reports whether variable v appears positively. Only meaningful
+// when Has(v) is true.
+func (c Cube) Positive(v int) bool { return c.Pol>>v&1 == 1 }
+
+// WithLit returns the cube extended with a literal of variable v.
+func (c Cube) WithLit(v int, positive bool) Cube {
+	c.Mask |= 1 << v
+	if positive {
+		c.Pol |= 1 << v
+	} else {
+		c.Pol &^= 1 << v
+	}
+	return c
+}
+
+// WithoutLit returns the cube with variable v removed.
+func (c Cube) WithoutLit(v int) Cube {
+	c.Mask &^= 1 << v
+	c.Pol &^= 1 << v
+	return c
+}
+
+func (c Cube) String() string {
+	if c.Mask == 0 {
+		return "1"
+	}
+	var sb strings.Builder
+	for v := 0; v < MaxVars; v++ {
+		if !c.Has(v) {
+			continue
+		}
+		if !c.Positive(v) {
+			sb.WriteByte('!')
+		}
+		sb.WriteByte(byte('a' + v))
+	}
+	return sb.String()
+}
+
+// TT returns the truth table of the cube over n variables.
+func (c Cube) TT(n int) TT {
+	t := Const(n, true)
+	for v := 0; v < n; v++ {
+		if !c.Has(v) {
+			continue
+		}
+		vt := Var(n, v)
+		if !c.Positive(v) {
+			vt = vt.Not()
+		}
+		t = t.And(vt)
+	}
+	return t
+}
+
+// Cover is a sum of cubes.
+type Cover []Cube
+
+// TT returns the truth table of the cover over n variables.
+func (cv Cover) TT(n int) TT {
+	t := New(n)
+	for _, c := range cv {
+		t = t.Or(c.TT(n))
+	}
+	return t
+}
+
+// NumLits returns the total literal count of the cover.
+func (cv Cover) NumLits() int {
+	n := 0
+	for _, c := range cv {
+		n += c.NumLits()
+	}
+	return n
+}
+
+func (cv Cover) String() string {
+	if len(cv) == 0 {
+		return "0"
+	}
+	parts := make([]string, len(cv))
+	for i, c := range cv {
+		parts[i] = c.String()
+	}
+	return strings.Join(parts, " + ")
+}
+
+// ISOP computes an irredundant sum-of-products for any function f with
+// on-set containing L and contained in U (L ⊆ f ⊆ U), using the
+// Minato-Morreale procedure. For a completely specified function pass
+// L = U = f. The returned cover's function g satisfies L ⊆ g ⊆ U.
+func ISOP(L, U TT) Cover {
+	L.check(U)
+	if !L.AndNot(U).IsZero() {
+		panic("truth: ISOP: L not contained in U")
+	}
+	cover, _ := isop(L, U, L.N-1)
+	return cover
+}
+
+// isop returns (cover, function-of-cover). topVar is the highest variable
+// index that may still be in the support.
+func isop(L, U TT, topVar int) (Cover, TT) {
+	if L.IsZero() {
+		return nil, New(L.N)
+	}
+	if U.IsOne() {
+		return Cover{{}}, Const(L.N, true)
+	}
+	// Find the top variable that L or U actually depends on.
+	v := topVar
+	for v >= 0 && !L.DependsOn(v) && !U.DependsOn(v) {
+		v--
+	}
+	if v < 0 {
+		// L nonzero and U not tautology but no support: impossible since
+		// L ⊆ U; L must be 0 or U must be 1 for constant functions.
+		panic("truth: isop: inconsistent bounds")
+	}
+	L0, L1 := L.Cofactor(v, false), L.Cofactor(v, true)
+	U0, U1 := U.Cofactor(v, false), U.Cofactor(v, true)
+
+	// Cubes that must contain literal !v: cover L0 minus what U1 allows.
+	c0, f0 := isop(L0.AndNot(U1), U0, v-1)
+	// Cubes that must contain literal v.
+	c1, f1 := isop(L1.AndNot(U0), U1, v-1)
+	// The remainder is covered without a v literal.
+	Lr := L0.AndNot(f0).Or(L1.AndNot(f1))
+	c2, f2 := isop(Lr, U0.And(U1), v-1)
+
+	out := make(Cover, 0, len(c0)+len(c1)+len(c2))
+	for _, c := range c0 {
+		out = append(out, c.WithLit(v, false))
+	}
+	for _, c := range c1 {
+		out = append(out, c.WithLit(v, true))
+	}
+	out = append(out, c2...)
+
+	vt := Var(L.N, v)
+	fn := vt.Not().And(f0).Or(vt.And(f1)).Or(f2)
+	return out, fn
+}
