@@ -70,6 +70,51 @@ func fixtures(b *testing.B) (map[string]*aig.AIG, []dataset.Sample, *gbdt.Model)
 	return fixDesigns, fixSamples, fixModel
 }
 
+// BenchmarkSimulate compares the legacy one-shot sequential simulation path
+// with the reusable parallel engine across pattern widths, on the 8x8
+// multiplier (the paper's Fig. 1 workload). The engine should win on every
+// width ≥64 words on multi-core, and allocate nothing in steady state.
+func BenchmarkSimulate(b *testing.B) {
+	g := bench.Multiplier(8)
+	for _, words := range []int{4, 64, 256, 1024} {
+		rng := rand.New(rand.NewSource(7))
+		pats := aig.RandomPatterns(g.NumPIs(), words, rng)
+		b.Run("sequential/words-"+itoa(words), func(b *testing.B) {
+			b.ReportAllocs()
+			for i := 0; i < b.N; i++ {
+				_ = g.SimulateSequential(pats)
+			}
+		})
+		b.Run("engine/words-"+itoa(words), func(b *testing.B) {
+			sim := aig.NewSimulator(g)
+			sim.Simulate(pats) // size buffers outside the timed region
+			b.ReportAllocs()
+			b.ResetTimer()
+			for i := 0; i < b.N; i++ {
+				_ = sim.Simulate(pats)
+			}
+		})
+	}
+	// Exhaustive-pattern shape used by fraig and equivalence checking.
+	b.Run("engine/exhaustive-16pi", func(b *testing.B) {
+		pats := aig.ExhaustivePatterns(g.NumPIs())
+		sim := aig.NewSimulator(g)
+		sim.Simulate(pats)
+		b.ReportAllocs()
+		b.ResetTimer()
+		for i := 0; i < b.N; i++ {
+			_ = sim.Simulate(pats)
+		}
+	})
+	b.Run("sequential/exhaustive-16pi", func(b *testing.B) {
+		pats := aig.ExhaustivePatterns(g.NumPIs())
+		b.ReportAllocs()
+		for i := 0; i < b.N; i++ {
+			_ = g.SimulateSequential(pats)
+		}
+	})
+}
+
 // BenchmarkFig1 measures the cost of producing one (levels, delay) scatter
 // point: a full ground-truth labeling of a multiplier variant.
 func BenchmarkFig1(b *testing.B) {

@@ -1,0 +1,3 @@
+module aigtimer
+
+go 1.24

@@ -14,7 +14,20 @@ type SimResult struct {
 // Simulate evaluates the AIG under the given PI patterns. piValues must
 // have NumPIs rows of equal width (in 64-bit words). The constant node
 // simulates to all-zero.
+//
+// It is a thin compatibility wrapper over a one-shot Simulator; callers
+// that simulate repeatedly should hold a Simulator of their own so its
+// buffers are reused across calls.
 func (g *AIG) Simulate(piValues [][]uint64) *SimResult {
+	return NewSimulator(g).Simulate(piValues)
+}
+
+// SimulateSequential is the scalar reference implementation of Simulate: a
+// single-threaded topological pass with the complement handling inlined in
+// the word loop. It allocates fresh buffers on every call. The parallel
+// engine is validated against it, and the BenchmarkSimulate suite measures
+// the engine's speedup over it; functional code should prefer a Simulator.
+func (g *AIG) SimulateSequential(piValues [][]uint64) *SimResult {
 	if len(piValues) != g.numPIs {
 		panic("aig: Simulate: wrong number of PI patterns")
 	}
@@ -82,6 +95,14 @@ func RandomPatterns(numPIs, words int, rng *rand.Rand) [][]uint64 {
 	return out
 }
 
+// ExhaustiveWords returns the word width of the ExhaustivePatterns rows
+// for numPIs inputs: one word per 64 minterms, at least one. Pass it to
+// Simulator.SimulateWords so the width survives even when there are no
+// pattern rows to infer it from (a 0-PI AIG).
+func ExhaustiveWords(numPIs int) int {
+	return ((1 << numPIs) + 63) / 64
+}
+
 // ExhaustivePatterns generates the complete truth-table input patterns for
 // numPIs inputs (numPIs must be at most 16). Row i is the canonical truth
 // table of input variable i.
@@ -89,8 +110,7 @@ func ExhaustivePatterns(numPIs int) [][]uint64 {
 	if numPIs > 16 {
 		panic("aig: ExhaustivePatterns: too many PIs (max 16)")
 	}
-	nBits := 1 << numPIs
-	words := (nBits + 63) / 64
+	words := ExhaustiveWords(numPIs)
 	out := make([][]uint64, numPIs)
 	for v := 0; v < numPIs; v++ {
 		row := make([]uint64, words)
@@ -129,7 +149,7 @@ func ExhaustivePatterns(numPIs int) [][]uint64 {
 func (g *AIG) Signature(words int, seed int64) uint64 {
 	rng := rand.New(rand.NewSource(seed))
 	pats := RandomPatterns(g.numPIs, words, rng)
-	res := g.Simulate(pats)
+	res := NewSimulator(g).SimulateWords(pats, words)
 	const prime64 = 1099511628211
 	h := uint64(14695981039346656037)
 	for _, po := range g.pos {
@@ -157,8 +177,9 @@ func EquivalentExhaustive(a, b *AIG) bool {
 	}
 	pats := ExhaustivePatterns(a.numPIs)
 	nBits := 1 << a.numPIs
-	ra := a.Simulate(pats)
-	rb := b.Simulate(pats)
+	words := ExhaustiveWords(a.numPIs)
+	ra := NewSimulator(a).SimulateWords(pats, words)
+	rb := NewSimulator(b).SimulateWords(pats, words)
 	for i := range a.pos {
 		va := ra.LitValues(a.pos[i])
 		vb := rb.LitValues(b.pos[i])
@@ -178,8 +199,8 @@ func EquivalentRandom(a, b *AIG, words int, seed int64) bool {
 	}
 	rng := rand.New(rand.NewSource(seed))
 	pats := RandomPatterns(a.numPIs, words, rng)
-	ra := a.Simulate(pats)
-	rb := b.Simulate(pats)
+	ra := NewSimulator(a).SimulateWords(pats, words)
+	rb := NewSimulator(b).SimulateWords(pats, words)
 	for i := range a.pos {
 		va := ra.LitValues(a.pos[i])
 		vb := rb.LitValues(b.pos[i])

@@ -1,0 +1,126 @@
+package aig
+
+import "testing"
+
+// rep returns a slice of n copies of w.
+func rep(w uint64, n int) []uint64 {
+	out := make([]uint64, n)
+	for i := range out {
+		out[i] = w
+	}
+	return out
+}
+
+const ones = ^uint64(0)
+
+// TestExhaustivePatternsRows pins down the two generator regimes: variables
+// below 6 repeat a sub-word pattern inside every word, variables at 6 and
+// above alternate runs of all-zero and all-one words.
+func TestExhaustivePatternsRows(t *testing.T) {
+	cases := []struct {
+		name  string
+		numPI int
+		v     int
+		want  []uint64
+	}{
+		// v < 6: the period-2^(v+1) pattern fills each word.
+		{"v0-one-word", 6, 0, []uint64{0xAAAAAAAAAAAAAAAA}},
+		{"v1-one-word", 6, 1, []uint64{0xCCCCCCCCCCCCCCCC}},
+		{"v2-one-word", 6, 2, []uint64{0xF0F0F0F0F0F0F0F0}},
+		{"v3-one-word", 6, 3, []uint64{0xFF00FF00FF00FF00}},
+		{"v4-one-word", 6, 4, []uint64{0xFFFF0000FFFF0000}},
+		{"v5-one-word", 6, 5, []uint64{0xFFFFFFFF00000000}},
+		// v < 6 with fewer than 64 meaningful bits still fills the word.
+		{"v0-subword", 3, 0, []uint64{0xAAAAAAAAAAAAAAAA}},
+		{"v2-subword", 3, 2, []uint64{0xF0F0F0F0F0F0F0F0}},
+		// v < 6 repeats across every word of a multi-word table.
+		{"v0-four-words", 8, 0, rep(0xAAAAAAAAAAAAAAAA, 4)},
+		{"v5-four-words", 8, 5, rep(0xFFFFFFFF00000000, 4)},
+		// v >= 6: whole words alternate with period 2^(v-5).
+		{"v6-two-words", 7, 6, []uint64{0, ones}},
+		{"v6-four-words", 8, 6, []uint64{0, ones, 0, ones}},
+		{"v7-four-words", 8, 7, []uint64{0, 0, ones, ones}},
+		{"v7-eight-words", 9, 7, []uint64{0, 0, ones, ones, 0, 0, ones, ones}},
+		{"v8-eight-words", 9, 8, []uint64{0, 0, 0, 0, ones, ones, ones, ones}},
+	}
+	for _, tc := range cases {
+		t.Run(tc.name, func(t *testing.T) {
+			pats := ExhaustivePatterns(tc.numPI)
+			row := pats[tc.v]
+			if len(row) != len(tc.want) {
+				t.Fatalf("row %d of %d PIs: %d words, want %d", tc.v, tc.numPI, len(row), len(tc.want))
+			}
+			for i := range row {
+				if row[i] != tc.want[i] {
+					t.Errorf("row %d word %d = %#x, want %#x", tc.v, i, row[i], tc.want[i])
+				}
+			}
+		})
+	}
+}
+
+// TestExhaustivePatternsGroundTruth checks the defining property for every
+// width on both sides of the word boundary: bit b of row v is bit v of the
+// minterm index b.
+func TestExhaustivePatternsGroundTruth(t *testing.T) {
+	for n := 1; n <= 10; n++ {
+		pats := ExhaustivePatterns(n)
+		if len(pats) != n {
+			t.Fatalf("n=%d: %d rows", n, len(pats))
+		}
+		nBits := 1 << n
+		wantWords := (nBits + 63) / 64
+		for v, row := range pats {
+			if len(row) != wantWords {
+				t.Fatalf("n=%d row %d: %d words, want %d", n, v, len(row), wantWords)
+			}
+			for b := 0; b < nBits; b++ {
+				got := row[b/64]>>(b%64)&1 == 1
+				want := b>>v&1 == 1
+				if got != want {
+					t.Fatalf("n=%d row %d bit %d = %v, want %v", n, v, b, got, want)
+				}
+			}
+		}
+	}
+}
+
+// TestEqualBits exercises the partial-word masking: only the low nBits may
+// decide the comparison, and bits beyond them must be ignored.
+func TestEqualBits(t *testing.T) {
+	cases := []struct {
+		name  string
+		a, b  []uint64
+		nBits int
+		want  bool
+	}{
+		{"zero-bits-nil", nil, nil, 0, true},
+		{"zero-bits-ignores-word", []uint64{5}, []uint64{9}, 0, true},
+		{"full-word-equal", []uint64{0xDEADBEEF}, []uint64{0xDEADBEEF}, 64, true},
+		{"full-word-differ", []uint64{0xDEADBEEF}, []uint64{0xDEADBEEE}, 64, false},
+		{"one-bit-equal-junk-above", []uint64{0xFFFFFFFFFFFFFFF1}, []uint64{1}, 1, true},
+		{"one-bit-differ", []uint64{0}, []uint64{1}, 1, false},
+		{"high-bit-of-rem", []uint64{0x80}, []uint64{0}, 8, false},
+		{"just-above-rem", []uint64{0x100}, []uint64{0}, 8, true},
+		{"rem-63-top-bit-masked", []uint64{1 << 63}, []uint64{0}, 63, true},
+		{"rem-63-bit-62-differs", []uint64{1 << 62}, []uint64{0}, 63, false},
+		{"two-words-equal", []uint64{1, 2}, []uint64{1, 2}, 128, true},
+		{"second-word-differ", []uint64{1, 2}, []uint64{1, 3}, 128, false},
+		{"partial-second-word-equal", []uint64{7, 0xAB}, []uint64{7, 0xFAB}, 72, true},
+		{"partial-second-word-differ", []uint64{7, 0xF0}, []uint64{7, 0x0F}, 68, false},
+		{"first-word-differ-with-rem", []uint64{1, 0}, []uint64{2, 0}, 65, false},
+	}
+	for _, tc := range cases {
+		t.Run(tc.name, func(t *testing.T) {
+			if got := equalBits(tc.a, tc.b, tc.nBits); got != tc.want {
+				t.Errorf("equalBits(%#x, %#x, %d) = %v, want %v", tc.a, tc.b, tc.nBits, got, tc.want)
+			}
+		})
+	}
+	// Symmetry: the mask must apply to both operands.
+	for _, tc := range cases {
+		if got := equalBits(tc.b, tc.a, tc.nBits); got != tc.want {
+			t.Errorf("equalBits(%s) not symmetric", tc.name)
+		}
+	}
+}

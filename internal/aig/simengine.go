@@ -1,0 +1,371 @@
+package aig
+
+import (
+	"fmt"
+	"runtime"
+	"sync"
+)
+
+// Simulator is a reusable bit-parallel simulation engine for one AIG.
+//
+// Compared to the one-shot SimulateSequential reference path it:
+//
+//   - owns pre-sized value buffers that are reused across calls, so repeated
+//     simulation (fraiging, resubstitution, annealed recipe search,
+//     signatures) does not churn the allocator;
+//   - dispatches every AND node through one of four specialized word-loop
+//     kernels, hoisting the fanin-complement branches out of the inner loop;
+//   - fans simulation out across a pool of up to runtime.GOMAXPROCS worker
+//     goroutines, either striping the pattern words across workers (wide
+//     patterns) or chunking the nodes of each level (wide levels, narrow
+//     patterns); the AIG is levelized lazily, once, when the level-chunked
+//     path first runs — the striped and sequential paths never pay for it;
+//   - supports incremental re-simulation of only the cone affected by a
+//     changed primary input (SetPI followed by Resimulate).
+//
+// Both parallel decompositions compute exactly the word a sequential pass
+// would: word striping partitions the pattern columns (each worker runs the
+// full topological pass over its disjoint word range), and level chunking
+// only runs nodes of equal level concurrently (their fanins are strictly
+// below the level barrier). Results are therefore bit-identical to
+// SimulateSequential regardless of worker count or scheduling.
+//
+// A Simulator may be reused for any number of Simulate calls of varying
+// pattern width. It must not be used from multiple goroutines at once;
+// create one Simulator per goroutine instead (the underlying AIG is
+// read-only and can be shared, and NewSimulator itself does not touch the
+// AIG's lazily cached state).
+type Simulator struct {
+	g       *AIG
+	workers int
+
+	levelized bool
+	byLevel   [][]int32 // AND node indices bucketed by logic level, ascending
+
+	words int
+	buf   []uint64   // backing storage for all node value rows
+	vals  [][]uint64 // per-node views into buf
+	dirty []bool     // per-node change marks for incremental re-simulation
+}
+
+// Parallelism thresholds. Work is measured in kernel word-operations: a
+// parallel hand-off only pays for its goroutine wake-ups when each worker
+// receives a few thousand of them.
+const (
+	minParallelWork   = 1 << 13
+	minWordsPerStripe = 8
+)
+
+// NewSimulator returns an engine for g with nothing allocated yet: the
+// first Simulate call sizes the buffers, and levelization happens only if
+// the level-chunked parallel path is ever taken.
+func NewSimulator(g *AIG) *Simulator {
+	return &Simulator{g: g, workers: runtime.GOMAXPROCS(0)}
+}
+
+// levelize buckets the AND nodes by logic level for the level-chunked
+// parallel path. It works from the node array directly rather than through
+// g.Levels so that simulators for one shared AIG never race on the AIG's
+// lazy caches.
+func (s *Simulator) levelize() {
+	if s.levelized {
+		return
+	}
+	s.levelized = true
+	g := s.g
+	lv := make([]int32, len(g.nodes))
+	maxLv := int32(0)
+	for i := g.numPIs + 1; i < len(g.nodes); i++ {
+		nd := g.nodes[i]
+		l0, l1 := lv[nd.fanin0.Node()], lv[nd.fanin1.Node()]
+		if l0 < l1 {
+			l0 = l1
+		}
+		lv[i] = l0 + 1
+		if l0+1 > maxLv {
+			maxLv = l0 + 1
+		}
+	}
+	if g.NumAnds() > 0 {
+		counts := make([]int32, maxLv+1)
+		for i := g.numPIs + 1; i < len(g.nodes); i++ {
+			counts[lv[i]]++
+		}
+		backing := make([]int32, g.NumAnds())
+		s.byLevel = make([][]int32, maxLv+1)
+		for l := int32(1); l <= maxLv; l++ {
+			s.byLevel[l] = backing[:0:counts[l]]
+			backing = backing[counts[l]:]
+		}
+		for i := g.numPIs + 1; i < len(g.nodes); i++ {
+			s.byLevel[lv[i]] = append(s.byLevel[lv[i]], int32(i))
+		}
+		s.byLevel = s.byLevel[1:] // level 0 holds no AND nodes
+	}
+}
+
+// AIG returns the graph this simulator was built for.
+func (s *Simulator) AIG() *AIG { return s.g }
+
+// SetWorkers overrides the worker-pool size (default runtime.GOMAXPROCS).
+// Values below 1 force the sequential path. It returns s for chaining.
+func (s *Simulator) SetWorkers(n int) *Simulator {
+	if n < 1 {
+		n = 1
+	}
+	s.workers = n
+	return s
+}
+
+// ensure sizes the value buffers for the given pattern width, reusing the
+// backing array whenever it is large enough.
+func (s *Simulator) ensure(words int) {
+	if s.vals != nil && s.words == words {
+		return
+	}
+	n := len(s.g.nodes)
+	if cap(s.buf) < n*words {
+		s.buf = make([]uint64, n*words)
+	}
+	buf := s.buf[:n*words]
+	if s.vals == nil {
+		s.vals = make([][]uint64, n)
+	}
+	for i := range s.vals {
+		s.vals[i] = buf[:words:words]
+		buf = buf[words:]
+	}
+	if s.dirty == nil {
+		s.dirty = make([]bool, n)
+	}
+	s.words = words
+}
+
+// Simulate evaluates the AIG under the given PI patterns; piValues must
+// have NumPIs rows of equal word width. The returned result aliases the
+// simulator's internal buffers and stays valid until the next Simulate,
+// SetPI, or Resimulate call on this simulator.
+func (s *Simulator) Simulate(piValues [][]uint64) *SimResult {
+	if len(piValues) != s.g.numPIs {
+		panic("aig: Simulate: wrong number of PI patterns")
+	}
+	words := 0
+	if len(piValues) > 0 {
+		words = len(piValues[0])
+	}
+	return s.SimulateWords(piValues, words)
+}
+
+// SimulateWords is Simulate with an explicit pattern width. It exists for
+// AIGs without primary inputs, whose width cannot be inferred from the
+// (empty) pattern rows, and for callers that want constant-width buffers
+// regardless of PI count.
+func (s *Simulator) SimulateWords(piValues [][]uint64, words int) *SimResult {
+	if len(piValues) != s.g.numPIs {
+		panic("aig: Simulate: wrong number of PI patterns")
+	}
+	s.ensure(words)
+	clear(s.vals[0]) // constant false
+	for i, row := range piValues {
+		if len(row) != words {
+			panic("aig: Simulate: ragged PI patterns")
+		}
+		copy(s.vals[i+1], row)
+	}
+	clear(s.dirty)
+	s.run()
+	return &SimResult{Words: words, Values: s.vals}
+}
+
+// run simulates every AND node, picking the cheapest decomposition for the
+// shape of the workload. Only the level-chunked branch needs levelization;
+// the striped and sequential passes walk the topological node array.
+func (s *Simulator) run() {
+	g := s.g
+	if s.workers > 1 && g.NumAnds()*s.words >= minParallelWork {
+		if s.words >= 2*minWordsPerStripe {
+			s.runWordStriped()
+			return
+		}
+		s.levelize()
+		for _, nodes := range s.byLevel {
+			s.simLevel(nodes)
+		}
+		return
+	}
+	for i := g.numPIs + 1; i < len(g.nodes); i++ {
+		s.simNode(int32(i))
+	}
+}
+
+// runWordStriped partitions the pattern words into one contiguous stripe
+// per worker; each worker runs the whole topological pass restricted to its
+// stripe. Stripes are disjoint, so no synchronization is needed beyond the
+// final join, and narrow deep graphs parallelize as well as wide ones.
+func (s *Simulator) runWordStriped() {
+	stripes := s.workers
+	if most := s.words / minWordsPerStripe; stripes > most {
+		stripes = most
+	}
+	per := (s.words + stripes - 1) / stripes
+	var wg sync.WaitGroup
+	for k := 0; k < stripes; k++ {
+		lo := k * per
+		hi := min(lo+per, s.words)
+		if lo >= hi {
+			break
+		}
+		wg.Add(1)
+		go func(lo, hi int) {
+			defer wg.Done()
+			g := s.g
+			for i := g.numPIs + 1; i < len(g.nodes); i++ {
+				nd := &g.nodes[i]
+				simKernel(nd.fanin0.IsCompl(), nd.fanin1.IsCompl(),
+					s.vals[i][lo:hi],
+					s.vals[nd.fanin0.Node()][lo:hi],
+					s.vals[nd.fanin1.Node()][lo:hi])
+			}
+		}(lo, hi)
+	}
+	wg.Wait()
+}
+
+// simLevel simulates one level, chunking its nodes across the worker pool
+// when the level carries enough work to amortize the hand-off.
+func (s *Simulator) simLevel(nodes []int32) {
+	if s.workers <= 1 || len(nodes) < 2 || len(nodes)*s.words < minParallelWork {
+		for _, n := range nodes {
+			s.simNode(n)
+		}
+		return
+	}
+	chunks := min(s.workers, len(nodes))
+	per := (len(nodes) + chunks - 1) / chunks
+	var wg sync.WaitGroup
+	for start := 0; start < len(nodes); start += per {
+		end := min(start+per, len(nodes))
+		wg.Add(1)
+		go func(ns []int32) {
+			defer wg.Done()
+			for _, n := range ns {
+				s.simNode(n)
+			}
+		}(nodes[start:end])
+	}
+	wg.Wait()
+}
+
+func (s *Simulator) simNode(n int32) {
+	nd := &s.g.nodes[n]
+	simKernel(nd.fanin0.IsCompl(), nd.fanin1.IsCompl(),
+		s.vals[n], s.vals[nd.fanin0.Node()], s.vals[nd.fanin1.Node()])
+}
+
+// simKernel dispatches to one of four specialized word loops, one per fanin
+// complement case, keeping the hot loops branch-free.
+func simKernel(c0, c1 bool, out, a, b []uint64) {
+	switch {
+	case !c0 && !c1:
+		andKernel(out, a, b)
+	case c0 && !c1:
+		andc0Kernel(out, a, b)
+	case !c0:
+		andc1Kernel(out, a, b)
+	default:
+		norKernel(out, a, b)
+	}
+}
+
+func andKernel(out, a, b []uint64) {
+	a = a[:len(out)]
+	b = b[:len(out)]
+	for i := range out {
+		out[i] = a[i] & b[i]
+	}
+}
+
+func andc0Kernel(out, a, b []uint64) {
+	a = a[:len(out)]
+	b = b[:len(out)]
+	for i := range out {
+		out[i] = b[i] &^ a[i]
+	}
+}
+
+func andc1Kernel(out, a, b []uint64) {
+	a = a[:len(out)]
+	b = b[:len(out)]
+	for i := range out {
+		out[i] = a[i] &^ b[i]
+	}
+}
+
+func norKernel(out, a, b []uint64) {
+	a = a[:len(out)]
+	b = b[:len(out)]
+	for i := range out {
+		out[i] = ^(a[i] | b[i])
+	}
+}
+
+// SetPI replaces the pattern row of primary input i (0-based) ahead of an
+// incremental Resimulate. The row width must match the preceding Simulate
+// call; the input is marked dirty only when the new row actually differs.
+func (s *Simulator) SetPI(i int, row []uint64) {
+	if s.vals == nil {
+		panic("aig: SetPI: no prior Simulate call")
+	}
+	if i < 0 || i >= s.g.numPIs {
+		panic(fmt.Sprintf("aig: SetPI: input %d out of range [0,%d)", i, s.g.numPIs))
+	}
+	if len(row) != s.words {
+		panic("aig: SetPI: wrong row width")
+	}
+	dst := s.vals[i+1]
+	for w := range dst {
+		if dst[w] != row[w] {
+			dst[w] = row[w]
+			s.dirty[i+1] = true
+		}
+	}
+}
+
+// Resimulate incrementally refreshes the simulation after SetPI calls.
+// Word-level recomputation is limited to nodes with a dirty fanin, and a
+// node whose recomputed value is unchanged stops propagation, so the
+// expensive kernel work is proportional to the affected cone; the pass
+// still performs one O(NumAnds) sweep of per-node flag checks. The
+// returned result aliases the simulator's buffers like Simulate's.
+func (s *Simulator) Resimulate() *SimResult {
+	if s.vals == nil {
+		panic("aig: Resimulate: no prior Simulate call")
+	}
+	// The topological node order already guarantees fanins are refreshed
+	// before their fanouts, so no levelization is needed here.
+	g := s.g
+	for n := g.numPIs + 1; n < len(g.nodes); n++ {
+		nd := &g.nodes[n]
+		if !s.dirty[nd.fanin0.Node()] && !s.dirty[nd.fanin1.Node()] {
+			continue
+		}
+		var m0, m1 uint64
+		if nd.fanin0.IsCompl() {
+			m0 = ^uint64(0)
+		}
+		if nd.fanin1.IsCompl() {
+			m1 = ^uint64(0)
+		}
+		a := s.vals[nd.fanin0.Node()]
+		b := s.vals[nd.fanin1.Node()]
+		out := s.vals[n]
+		for w := range out {
+			if nv := (a[w] ^ m0) & (b[w] ^ m1); nv != out[w] {
+				out[w] = nv
+				s.dirty[n] = true
+			}
+		}
+	}
+	clear(s.dirty)
+	return &SimResult{Words: s.words, Values: s.vals}
+}

@@ -7,8 +7,11 @@ import (
 	"aigtimer/internal/aig"
 )
 
-// evalAIG evaluates the AIG on a single input assignment.
-func evalAIG(g *aig.AIG, in []bool) []bool {
+// evalAIG evaluates the AIG on a single input assignment through a
+// reusable simulation engine (one Simulator per test, buffers shared
+// across calls).
+func evalAIG(sim *aig.Simulator, in []bool) []bool {
+	g := sim.AIG()
 	words := make([][]uint64, g.NumPIs())
 	for i := range words {
 		w := uint64(0)
@@ -17,7 +20,7 @@ func evalAIG(g *aig.AIG, in []bool) []bool {
 		}
 		words[i] = []uint64{w}
 	}
-	res := g.Simulate(words)
+	res := sim.Simulate(words)
 	out := make([]bool, g.NumPOs())
 	for i := range out {
 		out[i] = res.LitValues(g.PO(i))[0]&1 == 1
@@ -33,6 +36,7 @@ func TestRippleAdderCorrect(t *testing.T) {
 		b.AddPO(s)
 	}
 	g := b.Build()
+	sim := aig.NewSimulator(g)
 	for a := 0; a < 16; a++ {
 		for c := 0; c < 16; c++ {
 			in := make([]bool, 8)
@@ -40,7 +44,7 @@ func TestRippleAdderCorrect(t *testing.T) {
 				in[i] = a>>i&1 == 1
 				in[4+i] = c>>i&1 == 1
 			}
-			out := evalAIG(g, in)
+			out := evalAIG(sim, in)
 			got := 0
 			for i, o := range out {
 				if o {
@@ -81,6 +85,7 @@ func TestMultiplyCorrect(t *testing.T) {
 		b.AddPO(p)
 	}
 	g := b.Build()
+	sim := aig.NewSimulator(g)
 	for a := 0; a < 16; a++ {
 		for c := 0; c < 16; c++ {
 			in := make([]bool, 8)
@@ -88,7 +93,7 @@ func TestMultiplyCorrect(t *testing.T) {
 				in[i] = a>>i&1 == 1
 				in[4+i] = c>>i&1 == 1
 			}
-			out := evalAIG(g, in)
+			out := evalAIG(sim, in)
 			got := 0
 			for i, o := range out {
 				if o {
@@ -111,6 +116,7 @@ func TestComparatorCorrect(t *testing.T) {
 	b.AddPO(lt)
 	b.AddPO(gt)
 	g := b.Build()
+	sim := aig.NewSimulator(g)
 	for a := 0; a < 16; a++ {
 		for c := 0; c < 16; c++ {
 			in := make([]bool, 8)
@@ -118,7 +124,7 @@ func TestComparatorCorrect(t *testing.T) {
 				in[i] = a>>i&1 == 1
 				in[4+i] = c>>i&1 == 1
 			}
-			out := evalAIG(g, in)
+			out := evalAIG(sim, in)
 			if out[0] != (a == c) || out[1] != (a < c) || out[2] != (a > c) {
 				t.Fatalf("cmp(%d,%d) = %v", a, c, out)
 			}
@@ -133,13 +139,14 @@ func TestMuxTreeAndParity(t *testing.T) {
 	b.AddPO(MuxTree(b, sel, data))
 	b.AddPO(ParityTree(b, data))
 	g := b.Build()
+	sim := aig.NewSimulator(g)
 	rng := rand.New(rand.NewSource(2))
 	for trial := 0; trial < 200; trial++ {
 		in := make([]bool, 11)
 		for i := range in {
 			in[i] = rng.Intn(2) == 1
 		}
-		out := evalAIG(g, in)
+		out := evalAIG(sim, in)
 		s := 0
 		for i := 0; i < 3; i++ {
 			if in[i] {
@@ -166,12 +173,13 @@ func TestPriorityEncoderCorrect(t *testing.T) {
 		b.AddPO(o)
 	}
 	g := b.Build()
+	sim := aig.NewSimulator(g)
 	for m := 0; m < 256; m++ {
 		in := make([]bool, 8)
 		for i := range in {
 			in[i] = m>>i&1 == 1
 		}
-		out := evalAIG(g, in)
+		out := evalAIG(sim, in)
 		if m == 0 {
 			if out[3] {
 				t.Fatalf("valid set on zero input")
@@ -258,7 +266,7 @@ func TestMultiplierDesign(t *testing.T) {
 	// 5 * 6 = 30
 	in[0], in[2] = true, true // x=5
 	in[5], in[6] = true, true // y=6
-	out := evalAIG(g, in)
+	out := evalAIG(aig.NewSimulator(g), in)
 	got := 0
 	for i, o := range out {
 		if o {

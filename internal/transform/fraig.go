@@ -16,12 +16,13 @@ import (
 // are therefore exact; no SAT solver is needed.
 func MergeEquiv(g *aig.AIG, rng *rand.Rand) *aig.AIG {
 	var res *aig.SimResult
+	sim := aig.NewSimulator(g)
 	exhaustive := g.NumPIs() <= 14
 	if exhaustive {
-		res = g.Simulate(aig.ExhaustivePatterns(g.NumPIs()))
+		res = sim.SimulateWords(aig.ExhaustivePatterns(g.NumPIs()), aig.ExhaustiveWords(g.NumPIs()))
 	} else {
 		simRng := rand.New(rand.NewSource(rng.Int63()))
-		res = g.Simulate(aig.RandomPatterns(g.NumPIs(), 256, simRng))
+		res = sim.SimulateWords(aig.RandomPatterns(g.NumPIs(), 256, simRng), 256)
 	}
 	var ver *verifier
 	if !exhaustive {

@@ -1,0 +1,81 @@
+package transform
+
+import (
+	"math/rand"
+	"testing"
+
+	"aigtimer/internal/aig"
+)
+
+// randAIG builds a pseudo-random strashed AIG for property testing.
+func randAIG(rng *rand.Rand, pis, ands, pos int) *aig.AIG {
+	b := aig.NewBuilder(pis)
+	lits := []aig.Lit{aig.ConstFalse}
+	for i := 0; i < pis; i++ {
+		lits = append(lits, b.PI(i))
+	}
+	for tries := 0; b.NumAnds() < ands && tries < 50*ands; tries++ {
+		a := lits[rng.Intn(len(lits))].NotIf(rng.Intn(2) == 1)
+		c := lits[rng.Intn(len(lits))].NotIf(rng.Intn(2) == 1)
+		lits = append(lits, b.And(a, c))
+	}
+	for i := 0; i < pos; i++ {
+		b.AddPO(lits[rng.Intn(len(lits))].NotIf(rng.Intn(2) == 1))
+	}
+	return b.Build()
+}
+
+// TestTransformsPreserveFunction is the property-based safety net for every
+// optimization pass: on random AIGs each transform must preserve the exact
+// function — verified exhaustively while the input count permits, and by
+// wide random simulation as well. A failure here means a transform
+// miscompiles, most likely via the simulation engine that screens its
+// candidate merges.
+func TestTransformsPreserveFunction(t *testing.T) {
+	passes := []struct {
+		name string
+		f    func(*aig.AIG, *rand.Rand) *aig.AIG
+	}{
+		{"rewrite", Rewrite},
+		{"rewrite-z", RewriteZ},
+		{"resub", Resub},
+		{"resub-z", ResubZ},
+		{"refactor", Refactor},
+		{"balance", Balance},
+		{"fraig", MergeEquiv},
+		{"expand", Expand},
+	}
+	rng := rand.New(rand.NewSource(2025))
+	for trial := 0; trial < 8; trial++ {
+		pis := 4 + rng.Intn(9) // 4..12: exhaustive check stays cheap
+		ands := 60 + rng.Intn(240)
+		g := randAIG(rng, pis, ands, 3+rng.Intn(4))
+		for _, p := range passes {
+			prng := rand.New(rand.NewSource(int64(trial)*1000 + 7))
+			opt := p.f(g, prng)
+			if !aig.EquivalentExhaustive(g, opt) {
+				t.Fatalf("trial %d: %s miscompiled (pis=%d ands=%d→%d)",
+					trial, p.name, pis, g.NumAnds(), opt.NumAnds())
+			}
+			if !aig.EquivalentRandom(g, opt, 16, int64(trial)+1) {
+				t.Fatalf("trial %d: %s failed random equivalence", trial, p.name)
+			}
+		}
+	}
+}
+
+// TestRecipesPreserveFunction chains whole recipes (the shapes the annealer
+// explores) and checks end-to-end equivalence through the engine.
+func TestRecipesPreserveFunction(t *testing.T) {
+	rng := rand.New(rand.NewSource(77))
+	for trial := 0; trial < 3; trial++ {
+		g := randAIG(rng, 6+rng.Intn(5), 80+rng.Intn(160), 4)
+		for _, r := range Recipes() {
+			prng := rand.New(rand.NewSource(int64(trial) + 13))
+			opt := r.Apply(g, prng)
+			if !aig.EquivalentExhaustive(g, opt) {
+				t.Fatalf("trial %d: recipe %s miscompiled", trial, r)
+			}
+		}
+	}
+}

@@ -40,11 +40,12 @@ func resubImpl(g *aig.AIG, rng *rand.Rand, minGain int) *aig.AIG {
 	// Simulation signatures for screening.
 	simRng := rand.New(rand.NewSource(rng.Int63()))
 	var res *aig.SimResult
+	sim := aig.NewSimulator(g)
 	exhaustive := g.NumPIs() <= 12
 	if exhaustive {
-		res = g.Simulate(aig.ExhaustivePatterns(g.NumPIs()))
+		res = sim.SimulateWords(aig.ExhaustivePatterns(g.NumPIs()), aig.ExhaustiveWords(g.NumPIs()))
 	} else {
-		res = g.Simulate(aig.RandomPatterns(g.NumPIs(), resubSimWords, simRng))
+		res = sim.SimulateWords(aig.RandomPatterns(g.NumPIs(), resubSimWords, simRng), resubSimWords)
 	}
 	var ver *verifier
 	if !exhaustive {
