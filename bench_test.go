@@ -239,6 +239,62 @@ func BenchmarkFig5(b *testing.B) {
 	})
 }
 
+// BenchmarkAnneal compares the sequential seed-style annealer
+// configuration against the batched+cached evaluation layer at equal
+// iteration count with the ground-truth oracle (and the proxy oracle as
+// a floor). The trajectories are bit-identical by construction — only
+// wall-clock and the eval/cache accounting differ. CI runs this
+// old-vs-new pair and archives the richer BENCH_anneal.json artifact via
+// `experiments bench-anneal`.
+func BenchmarkAnneal(b *testing.B) {
+	designs, _, _ := fixtures(b)
+	g := designs["EX08"]
+	lib := cell.Builtin()
+	base := anneal.DefaultParams
+	base.Iterations = 12
+	base.Seed = 3
+
+	run := func(b *testing.B, ev anneal.Evaluator, p anneal.Params) {
+		b.Helper()
+		for i := 0; i < b.N; i++ {
+			res, err := anneal.Run(g, ev, p)
+			if err != nil {
+				b.Fatal(err)
+			}
+			if i == b.N-1 {
+				// Runs are deterministic, so the last run's counters are
+				// every run's counters.
+				b.ReportMetric(100*res.CacheHitRate(), "hit%")
+				b.ReportMetric(float64(res.SpeculativeEvals), "spec-evals")
+				b.ReportMetric(res.EvalTime.Seconds()/float64(res.TotalSteps()), "eval-s/iter")
+				b.ReportMetric(res.MoveTime.Seconds()/float64(res.TotalSteps()), "move-s/iter")
+			}
+		}
+	}
+	b.Run("gt-sequential", func(b *testing.B) {
+		p := base
+		p.BatchSize, p.Workers = 1, 1
+		p.CacheMode = anneal.CacheOff
+		run(b, flows.NewGroundTruth(lib), p)
+	})
+	b.Run("gt-batched-cached", func(b *testing.B) {
+		p := base
+		p.BatchSize = 8
+		p.CacheMode = anneal.CacheOn
+		run(b, flows.NewGroundTruth(lib), p)
+	})
+	b.Run("gt-multichain-4", func(b *testing.B) {
+		p := base
+		p.Chains = 4
+		run(b, flows.NewGroundTruth(lib), p)
+	})
+	b.Run("proxy-batched", func(b *testing.B) {
+		p := base
+		p.BatchSize = 8
+		run(b, flows.Proxy{}, p)
+	})
+}
+
 // BenchmarkAblation covers the design choices called out in DESIGN.md.
 func BenchmarkAblation(b *testing.B) {
 	designs, _, _ := fixtures(b)

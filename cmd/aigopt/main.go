@@ -14,6 +14,7 @@ import (
 	"flag"
 	"fmt"
 	"os"
+	"time"
 
 	"aigtimer/internal/aig"
 	"aigtimer/internal/anneal"
@@ -38,6 +39,10 @@ func main() {
 		startTemp  = flag.Float64("temp", 0.05, "initial annealing temperature")
 		decay      = flag.Float64("decay", 0.97, "temperature decay rate per iteration")
 		seed       = flag.Int64("seed", 1, "random seed")
+		batch      = flag.Int("batch", 0, "speculative candidates scored per annealing round (0 = auto; trajectory is batch-invariant)")
+		workers    = flag.Int("workers", 0, "concurrent evaluations (0 = GOMAXPROCS)")
+		chains     = flag.Int("chains", 1, "parallel annealing chains, merged best-of")
+		noCache    = flag.Bool("no-cache", false, "disable the structural-fingerprint evaluation cache")
 		verbose    = flag.Bool("v", false, "print per-iteration progress")
 	)
 	flag.Parse()
@@ -48,7 +53,7 @@ func main() {
 	}
 	lib := cell.Builtin()
 
-	ev, err := makeEvaluator(*flowName, lib, *modelPath, *areaPath)
+	ev, err := makeEvaluator(*flowName, lib, *modelPath, *areaPath, *workers)
 	if err != nil {
 		fatal(err)
 	}
@@ -60,6 +65,12 @@ func main() {
 		DelayWeight: *wDelay,
 		AreaWeight:  *wArea,
 		Seed:        *seed,
+		BatchSize:   *batch,
+		Workers:     *workers,
+		Chains:      *chains,
+	}
+	if *noCache {
+		p.CacheMode = anneal.CacheOff
 	}
 	fmt.Printf("optimizing %s (%d PIs, %d POs, %d nodes, %d levels) with the %s flow\n",
 		name, g.NumPIs(), g.NumPOs(), g.NumAnds(), g.MaxLevel(), ev.Name())
@@ -77,8 +88,17 @@ func main() {
 				mark, s.Iter, s.Recipe, s.Cost, s.Ands, s.Levels)
 		}
 	}
-	fmt.Printf("accepted %d/%d moves; move %v/iter, eval %v/iter\n",
-		res.Accepted, len(res.History), res.PerIterationMove(), res.PerIterationEval())
+	fmt.Printf("accepted %d/%d moves; move %v/iter, eval %v/iter (initial eval %v)\n",
+		res.Accepted, res.TotalSteps(), res.PerIterationMove(), res.PerIterationEval(),
+		res.InitialEvalTime.Round(time.Microsecond))
+	fmt.Printf("oracle: %d evals (%d speculative), cache %d hits / %d misses (%.0f%% hit rate)\n",
+		res.Evals, res.SpeculativeEvals, res.CacheHits, res.CacheMisses, 100*res.CacheHitRate())
+	if len(res.Chains) > 1 {
+		for _, c := range res.Chains {
+			fmt.Printf("  chain %d (seed %d): best cost %.4f, accepted %d\n",
+				c.Chain, c.Seed, c.BestCost, c.Accepted)
+		}
+	}
 	fmt.Printf("best (by %s cost): %d nodes, %d levels\n",
 		ev.Name(), res.Best.NumAnds(), res.Best.MaxLevel())
 
@@ -134,12 +154,14 @@ func loadInput(design, in string) (*aig.AIG, string, error) {
 	}
 }
 
-func makeEvaluator(flow string, lib *cell.Library, modelPath, areaPath string) (anneal.Evaluator, error) {
+func makeEvaluator(flow string, lib *cell.Library, modelPath, areaPath string, workers int) (anneal.Evaluator, error) {
 	switch flow {
 	case "baseline":
 		return flows.Proxy{}, nil
 	case "ground-truth":
-		return flows.NewGroundTruth(lib), nil
+		gt := flows.NewGroundTruth(lib)
+		gt.Workers = workers
+		return gt, nil
 	case "ml":
 		if modelPath == "" {
 			return nil, fmt.Errorf("aigopt: -flow ml requires -model")
@@ -148,7 +170,7 @@ func makeEvaluator(flow string, lib *cell.Library, modelPath, areaPath string) (
 		if err != nil {
 			return nil, err
 		}
-		ml := &flows.ML{DelayModel: dm}
+		ml := &flows.ML{DelayModel: dm, Workers: workers}
 		if areaPath != "" {
 			am, err := loadModel(areaPath)
 			if err != nil {

@@ -77,7 +77,7 @@ func main() {
 			continue
 		}
 		dx, dd, _ := dataset.Matrix(ss)
-		sum := stats.Summarize(stats.AbsPctErrors(dd, delayModel.PredictAll(dx)))
+		sum := stats.Summarize(stats.AbsPctErrors(dd, delayModel.PredictBatch(dx)))
 		split := "test"
 		if d.Train {
 			split = "train"

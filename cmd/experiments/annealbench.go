@@ -1,0 +1,167 @@
+package main
+
+import (
+	"encoding/json"
+	"fmt"
+	"os"
+	"runtime"
+	"time"
+
+	"aigtimer/internal/anneal"
+	"aigtimer/internal/bench"
+	"aigtimer/internal/cell"
+	"aigtimer/internal/flows"
+)
+
+// annealBenchConfig is one measured annealer configuration in the
+// BENCH_anneal.json artifact.
+type annealBenchConfig struct {
+	Name               string  `json:"name"`
+	BatchSize          int     `json:"batch_size"`
+	Chains             int     `json:"chains"`
+	CacheEnabled       bool    `json:"cache_enabled"`
+	WallSeconds        float64 `json:"wall_seconds"`
+	ItersPerSec        float64 `json:"iters_per_sec"`
+	MoveSeconds        float64 `json:"move_seconds"`
+	EvalSeconds        float64 `json:"eval_seconds"`
+	InitialEvalSeconds float64 `json:"initial_eval_seconds"`
+	Evals              int     `json:"evals"`
+	SpeculativeEvals   int     `json:"speculative_evals"`
+	CacheHits          int64   `json:"cache_hits"`
+	CacheMisses        int64   `json:"cache_misses"`
+	CacheHitRate       float64 `json:"cache_hit_rate"`
+	BestCost           float64 `json:"best_cost"`
+}
+
+// annealBenchReport is the schema of the BENCH_anneal.json CI artifact,
+// tracking the annealer's perf trajectory across PRs: wall-clock of the
+// sequential seed-style configuration vs the batched+cached one on a
+// fixed seed, with the eval/move time split and cache hit rate.
+type annealBenchReport struct {
+	Design              string              `json:"design"`
+	Iterations          int                 `json:"iterations"`
+	Seed                int64               `json:"seed"`
+	GOMAXPROCS          int                 `json:"gomaxprocs"`
+	Oracle              string              `json:"oracle"`
+	Configs             []annealBenchConfig `json:"configs"`
+	SpeedupNewOverOld   float64             `json:"speedup_new_over_old"`
+	TrajectoryIdentical bool                `json:"trajectory_identical"`
+}
+
+// runBenchAnneal measures the old-style sequential annealer configuration
+// against the batched+cached one with the ground-truth oracle on a fixed
+// seed, verifies the best-cost trajectories are bit-identical, and writes
+// the BENCH_anneal.json artifact.
+func runBenchAnneal(cfg config) error {
+	d, err := bench.ByName("EX08")
+	if err != nil {
+		return err
+	}
+	g := d.Build()
+	lib := cell.Builtin()
+
+	base := anneal.Params{
+		Iterations:  cfg.saIters,
+		StartTemp:   0.05,
+		DecayRate:   0.97,
+		DelayWeight: 1,
+		AreaWeight:  0.5,
+		Seed:        cfg.seed,
+	}
+	old := base
+	old.BatchSize, old.Workers, old.Chains = 1, 1, 1
+	old.CacheMode = anneal.CacheOff
+	// The shipped default: auto batch (min(8, GOMAXPROCS)) with the memo
+	// cache on, so the artifact reflects what this machine actually runs.
+	batched := base
+	batched.BatchSize = runtime.GOMAXPROCS(0)
+	if batched.BatchSize > 8 {
+		batched.BatchSize = 8
+	}
+	batched.CacheMode = anneal.CacheOn
+
+	report := annealBenchReport{
+		Design:     d.Name,
+		Iterations: base.Iterations,
+		Seed:       base.Seed,
+		GOMAXPROCS: runtime.GOMAXPROCS(0),
+		Oracle:     "ground-truth",
+	}
+	var results []*anneal.Result
+	for _, c := range []struct {
+		name string
+		p    anneal.Params
+	}{
+		{"sequential-uncached", old},
+		{"batched-cached", batched},
+	} {
+		t0 := time.Now()
+		res, err := anneal.Run(g, flows.NewGroundTruth(lib), c.p)
+		if err != nil {
+			return fmt.Errorf("bench-anneal: %s: %w", c.name, err)
+		}
+		wall := time.Since(t0)
+		results = append(results, res)
+		cacheOn := c.p.CacheMode != anneal.CacheOff
+		report.Configs = append(report.Configs, annealBenchConfig{
+			Name:               c.name,
+			BatchSize:          c.p.BatchSize,
+			Chains:             1,
+			CacheEnabled:       cacheOn,
+			WallSeconds:        wall.Seconds(),
+			ItersPerSec:        float64(len(res.History)) / wall.Seconds(),
+			MoveSeconds:        res.MoveTime.Seconds(),
+			EvalSeconds:        res.EvalTime.Seconds(),
+			InitialEvalSeconds: res.InitialEvalTime.Seconds(),
+			Evals:              res.Evals,
+			SpeculativeEvals:   res.SpeculativeEvals,
+			CacheHits:          res.CacheHits,
+			CacheMisses:        res.CacheMisses,
+			CacheHitRate:       res.CacheHitRate(),
+			BestCost:           res.BestCost,
+		})
+		fmt.Printf("%-20s %8.3fs wall  %6.2f iters/s  eval %7.3fs  move %7.3fs  cache %d/%d (%.0f%%)\n",
+			c.name, wall.Seconds(), float64(len(res.History))/wall.Seconds(),
+			res.EvalTime.Seconds(), res.MoveTime.Seconds(),
+			res.CacheHits, res.CacheHits+res.CacheMisses, 100*res.CacheHitRate())
+	}
+	report.SpeedupNewOverOld = report.Configs[0].WallSeconds / report.Configs[1].WallSeconds
+	report.TrajectoryIdentical = sameTrajectory(results[0], results[1])
+	fmt.Printf("speedup (batched-cached over sequential): %.2fx on %d core(s); trajectory identical: %v\n",
+		report.SpeedupNewOverOld, report.GOMAXPROCS, report.TrajectoryIdentical)
+	if !report.TrajectoryIdentical {
+		return fmt.Errorf("bench-anneal: trajectories diverged between configurations")
+	}
+
+	out, err := json.MarshalIndent(report, "", "  ")
+	if err != nil {
+		return err
+	}
+	dir := cfg.outDir
+	if dir == "" {
+		dir = "."
+	}
+	if err := os.MkdirAll(dir, 0o755); err != nil {
+		return err
+	}
+	path := dir + "/BENCH_anneal.json"
+	if err := os.WriteFile(path, append(out, '\n'), 0o644); err != nil {
+		return err
+	}
+	fmt.Printf("(wrote %s)\n", path)
+	return nil
+}
+
+// sameTrajectory reports whether two runs consumed bit-identical
+// best-cost trajectories (same per-iteration costs and acceptances).
+func sameTrajectory(a, b *anneal.Result) bool {
+	if a.BestCost != b.BestCost || len(a.History) != len(b.History) {
+		return false
+	}
+	for i := range a.History {
+		if a.History[i].Cost != b.History[i].Cost || a.History[i].Accepted != b.History[i].Accepted {
+			return false
+		}
+	}
+	return true
+}

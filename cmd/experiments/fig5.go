@@ -23,6 +23,8 @@ func sweepConfig(cfg config) flows.SweepConfig {
 		DelayWeight: 1,
 		AreaWeight:  0.5,
 		Seed:        cfg.seed,
+		BatchSize:   cfg.batch,
+		Chains:      cfg.chains,
 	}
 	return sc
 }

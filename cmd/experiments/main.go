@@ -24,6 +24,8 @@ type config struct {
 	fig1N    int // variants for the Fig. 1 scatter
 	saIters  int // annealing iterations per optimization run
 	fig2Iter int // iterations measured per flow in Fig. 2 / Table IV
+	batch    int // annealing batch size (0 = auto)
+	chains   int // parallel annealing chains per run
 	seed     int64
 	design   string // test design for Fig. 5
 	outDir   string
@@ -35,13 +37,15 @@ func main() {
 	flag.IntVar(&cfg.fig1N, "fig1-n", 250, "AIG variants for the Fig. 1 scatter")
 	flag.IntVar(&cfg.saIters, "sa-iters", 60, "simulated annealing iterations per run")
 	flag.IntVar(&cfg.fig2Iter, "runtime-iters", 8, "iterations timed per flow for Fig. 2 / Table IV")
+	flag.IntVar(&cfg.batch, "batch", 0, "annealing batch size (0 = auto; trajectories are batch-invariant)")
+	flag.IntVar(&cfg.chains, "chains", 1, "parallel annealing chains per optimization run")
 	flag.Int64Var(&cfg.seed, "seed", 1, "random seed")
 	flag.StringVar(&cfg.design, "design", "EX54", "test design for Fig. 5")
 	flag.StringVar(&cfg.outDir, "out", "", "directory for CSV artifacts (default: stdout only)")
 	flag.Parse()
 
 	if flag.NArg() != 1 {
-		fmt.Fprintln(os.Stderr, "usage: experiments [flags] <fig1|table1|fig2|sec2b|table3|gnncmp|fig5|table4|ablate|all>")
+		fmt.Fprintln(os.Stderr, "usage: experiments [flags] <fig1|table1|fig2|sec2b|table3|gnncmp|fig5|table4|ablate|bench-anneal|all>")
 		os.Exit(2)
 	}
 	cmd := flag.Arg(0)
@@ -75,6 +79,8 @@ func main() {
 		run("table4", runTable4)
 	case "ablate":
 		run("ablate", runAblate)
+	case "bench-anneal":
+		run("bench-anneal", runBenchAnneal)
 	case "all":
 		run("fig1", runFig1)
 		run("table1", runTable1)

@@ -25,6 +25,11 @@ func timeFlow(g0 *aig.AIG, ev anneal.Evaluator, iters int, seed int64) (iterTimi
 	p := anneal.DefaultParams
 	p.Iterations = iters
 	p.Seed = seed
+	// The paper's per-iteration numbers describe the raw oracle cost, so
+	// measure sequentially with speculation and memoization disabled.
+	p.BatchSize = 1
+	p.Workers = 1
+	p.CacheMode = anneal.CacheOff
 	res, err := anneal.Run(g0, ev, p)
 	if err != nil {
 		return iterTiming{}, err

@@ -450,6 +450,34 @@ func (g *AIG) Hash() uint64 {
 	return h
 }
 
+// StructuralEqual reports whether g and o are identical as stored graphs:
+// same PI count, same node array (fanin literals in the same order), and
+// same PO literals. This is the exact predicate behind the evaluation
+// layer's memo cache — structurally equal AIGs are indistinguishable to
+// every deterministic downstream pipeline (mapping, STA, features), so
+// their evaluation results are interchangeable. It is stricter than
+// functional equivalence: two equivalent but differently structured AIGs
+// compare unequal.
+func (g *AIG) StructuralEqual(o *AIG) bool {
+	if g == o {
+		return true
+	}
+	if g.numPIs != o.numPIs || len(g.nodes) != len(o.nodes) || len(g.pos) != len(o.pos) {
+		return false
+	}
+	for i := range g.nodes {
+		if g.nodes[i] != o.nodes[i] {
+			return false
+		}
+	}
+	for i := range g.pos {
+		if g.pos[i] != o.pos[i] {
+			return false
+		}
+	}
+	return true
+}
+
 // TopoForEachAnd calls f for every AND node in topological order.
 func (g *AIG) TopoForEachAnd(f func(n int32, f0, f1 Lit)) {
 	for i := g.numPIs + 1; i < len(g.nodes); i++ {

@@ -1,36 +1,63 @@
 // Package anneal implements the simulated-annealing logic optimization
 // paradigm used by all three of the paper's flows (§IV): at each iteration
 // a randomly selected transformation recipe is applied to the current AIG,
-// the candidate is scored by a pluggable Evaluator (proxy metrics,
+// the candidate is scored by a pluggable cost oracle (proxy metrics,
 // ground-truth mapping+STA, or ML inference — the only difference between
 // the flows), and the move is accepted if it improves the weighted cost or
 // probabilistically via the Metropolis criterion, allowing the
 // hill-climbing the paper motivates.
+//
+// Evaluation goes through the internal/eval layer: candidates are
+// proposed in speculative batches and scored concurrently through
+// eval.Oracle.EvaluateBatch, behind a structural-fingerprint memo cache
+// that spares revisited structures a second mapping+STA. Each iteration
+// draws from its own deterministic RNG stream derived from (seed, chain,
+// iteration), so a proposal depends only on its base state and iteration
+// index — which makes the accepted trajectory bit-identical for a fixed
+// seed at ANY batch size and ANY worker count. Speculation is
+// branch-predicted from the acceptance history: cold phases speculate a
+// LINE of proposals down the all-rejected path (an acceptance discards
+// the stale tail), hot phases speculate a TREE covering both successor
+// states of every decision so that 2^d-1 concurrent evaluations always
+// consume exactly d iterations. Independent chains (parallel restarts)
+// run concurrently and merge best-of into one Result.
 package anneal
 
 import (
 	"fmt"
 	"math"
 	"math/rand"
+	"runtime"
+	"sync"
 	"time"
 
 	"aigtimer/internal/aig"
+	"aigtimer/internal/eval"
 	"aigtimer/internal/transform"
 )
 
 // Metrics is an evaluator's estimate of a candidate's post-mapping
-// quality. Proxy evaluators report proxy units (levels, node count);
-// physical evaluators report ps and um².
-type Metrics struct {
-	DelayPS float64
-	AreaUM2 float64
-}
+// quality; it aliases eval.Metrics, the evaluation layer's currency.
+type Metrics = eval.Metrics
 
 // Evaluator scores candidate AIGs; it is the cost oracle of Fig. 3.
-type Evaluator interface {
-	Name() string
-	Evaluate(g *aig.AIG) Metrics
-}
+// Evaluators with a native EvaluateBatch (eval.Oracle) are used directly;
+// plain evaluators are adapted with a worker pool.
+type Evaluator = eval.Evaluator
+
+// CacheMode selects the memo-cache policy of a run.
+type CacheMode int
+
+const (
+	// CacheAuto memoizes evaluations unless the evaluator declares itself
+	// cheaper than the fingerprint (eval.CheapEvaluator), like the
+	// baseline proxy metrics.
+	CacheAuto CacheMode = iota
+	// CacheOn always memoizes.
+	CacheOn
+	// CacheOff never memoizes.
+	CacheOff
+)
 
 // Params configures one annealing run.
 type Params struct {
@@ -41,6 +68,24 @@ type Params struct {
 	AreaWeight  float64
 	Seed        int64
 	Recipes     []transform.Recipe // move set; nil = full 103-recipe catalog
+
+	// Evaluation-layer knobs. All default (zero value) to the sequential
+	// single-chain behavior on one core and scale up automatically on
+	// multi-core machines; the accepted trajectory for a fixed Seed is
+	// identical at every setting of BatchSize and Workers.
+	// BatchSize is the speculative candidate budget per round; 0 =
+	// min(8, GOMAXPROCS).
+	BatchSize int
+	// Workers bounds proposal-generation concurrency and the batch
+	// adapter wrapped around plain evaluators (0 = GOMAXPROCS). Native
+	// oracles manage their own evaluation concurrency — set their knob
+	// (e.g. flows.GroundTruth.Workers, flows.ML.Workers) to bound it.
+	Workers int
+	// Chains is the number of independent chains merged best-of; 0 or 1
+	// = single chain.
+	Chains int
+	// CacheMode is the memo-cache policy; default CacheAuto.
+	CacheMode CacheMode
 }
 
 // DefaultParams is a reasonable medium-effort configuration.
@@ -64,7 +109,21 @@ type Step struct {
 	Levels   int32
 }
 
-// Result is the outcome of an annealing run.
+// ChainResult is the outcome of one annealing chain within a run.
+type ChainResult struct {
+	Chain       int   // chain index (0-based)
+	Seed        int64 // the chain's derived RNG seed
+	Best        *aig.AIG
+	BestCost    float64
+	BestMetrics Metrics
+	Accepted    int
+	History     []Step
+}
+
+// Result is the outcome of an annealing run. With Chains > 1 the
+// top-level Best/BestCost/BestMetrics/History describe the winning chain
+// and the time/eval counters aggregate over all chains (the total budget
+// spent), mirroring the multi-start convention.
 type Result struct {
 	Best        *aig.AIG
 	BestMetrics Metrics
@@ -73,27 +132,90 @@ type Result struct {
 	History     []Step
 	Accepted    int
 
+	// Chains holds the per-chain outcomes (length >= 1); Chains[0] of a
+	// multi-chain run is bit-identical to a single-chain run at the same
+	// seed.
+	Chains []ChainResult
+
 	// Time decomposition, the quantities behind Fig. 2 and Table IV:
 	// MoveTime covers transformation application and graph processing,
-	// EvalTime covers the evaluator (mapping+STA or feature+inference).
-	MoveTime time.Duration
-	EvalTime time.Duration
+	// EvalTime covers the evaluator (mapping+STA or feature+inference)
+	// inside the loop. InitialEvalTime is the pre-loop evaluation of the
+	// starting AIG; it is deliberately excluded from EvalTime so that
+	// PerIterationEval reflects only the per-iteration cost.
+	MoveTime        time.Duration
+	EvalTime        time.Duration
+	InitialEvalTime time.Duration
+
+	// Oracle accounting. Evals counts evaluations requested by the loop
+	// (excluding the initial one); SpeculativeEvals counts batch entries
+	// discarded because an earlier proposal in the same batch was
+	// accepted, so Evals == Iterations*chains + SpeculativeEvals.
+	// CacheHits/CacheMisses are the memo-cache counters (zero when the
+	// cache is off); hits also cover the initial evaluation and
+	// speculative candidates, so they need not sum to Evals.
+	Evals            int
+	SpeculativeEvals int
+	CacheHits        int64
+	CacheMisses      int64
 }
 
-// PerIterationEval returns the average evaluator time per iteration.
+// TotalSteps returns the number of iterations consumed across all
+// chains (equal to len(History) for a single-chain run). It is the
+// denominator matching the aggregated Accepted/MoveTime/EvalTime
+// counters.
+func (r *Result) TotalSteps() int {
+	if len(r.Chains) <= 1 {
+		return len(r.History)
+	}
+	n := 0
+	for _, c := range r.Chains {
+		n += len(c.History)
+	}
+	return n
+}
+
+// PerIterationEval returns the average in-loop evaluator time per
+// consumed iteration over all chains (the initial evaluation is tracked
+// separately in InitialEvalTime).
 func (r *Result) PerIterationEval() time.Duration {
-	if len(r.History) == 0 {
-		return 0
+	if n := r.TotalSteps(); n > 0 {
+		return r.EvalTime / time.Duration(n)
 	}
-	return r.EvalTime / time.Duration(len(r.History))
+	return 0
 }
 
-// PerIterationMove returns the average move (transform) time per iteration.
+// PerIterationMove returns the average move (transform) time per
+// consumed iteration over all chains.
 func (r *Result) PerIterationMove() time.Duration {
-	if len(r.History) == 0 {
-		return 0
+	if n := r.TotalSteps(); n > 0 {
+		return r.MoveTime / time.Duration(n)
 	}
-	return r.MoveTime / time.Duration(len(r.History))
+	return 0
+}
+
+// CacheHitRate returns the memo-cache hit rate of the run, or 0 when the
+// cache was off or never consulted.
+func (r *Result) CacheHitRate() float64 {
+	if t := r.CacheHits + r.CacheMisses; t > 0 {
+		return float64(r.CacheHits) / float64(t)
+	}
+	return 0
+}
+
+// chainSeed derives the RNG seed of chain c, matching the historical
+// multi-start convention so chain 0 reproduces a single run at p.Seed.
+func chainSeed(seed int64, c int) int64 { return seed + int64(c)*1000003 }
+
+// iterSeed derives the per-iteration RNG stream seed (splitmix64-style
+// mix). Giving every iteration its own stream is what decouples the
+// trajectory from batching: a proposal depends only on (state, iteration
+// index), never on how many speculative proposals preceded it.
+func iterSeed(chainSeed int64, iter int) int64 {
+	z := uint64(chainSeed) + 0x9e3779b97f4a7c15*uint64(iter+1)
+	z = (z ^ (z >> 30)) * 0xbf58476d1ce4e5b9
+	z = (z ^ (z >> 27)) * 0x94d049bb133111eb
+	return int64(z ^ (z >> 31))
 }
 
 // Run performs simulated annealing from g0 under the given evaluator.
@@ -107,51 +229,284 @@ func Run(g0 *aig.AIG, ev Evaluator, p Params) (*Result, error) {
 	if p.DelayWeight < 0 || p.AreaWeight < 0 || p.DelayWeight+p.AreaWeight == 0 {
 		return nil, fmt.Errorf("anneal: need nonnegative weights with positive sum")
 	}
+	if p.BatchSize < 0 || p.Workers < 0 || p.Chains < 0 {
+		return nil, fmt.Errorf("anneal: BatchSize, Workers, and Chains must be nonnegative")
+	}
 	recipes := p.Recipes
 	if recipes == nil {
 		recipes = transform.Recipes()
 	}
-	rng := rand.New(rand.NewSource(p.Seed))
+	batch := p.BatchSize
+	if batch == 0 {
+		if batch = runtime.GOMAXPROCS(0); batch > 8 {
+			batch = 8
+		}
+	}
+	chains := p.Chains
+	if chains == 0 {
+		chains = 1
+	}
+
+	oracle := eval.AsOracle(ev, p.Workers)
+	// An already-cached oracle (e.g. the sweep-wide cache flows.Sweep
+	// shares across grid points) is used as-is — wrapping a second cache
+	// on top would double the fingerprint cost and graph retention. Its
+	// counters are snapshotted so the Result reports this run's share
+	// (approximate when several runs share the cache concurrently).
+	cached, preCached := oracle.(*eval.Cached)
+	if !preCached && (p.CacheMode == CacheOn || (p.CacheMode == CacheAuto && !eval.IsCheap(ev))) {
+		cached = eval.NewCached(oracle)
+		oracle = cached
+	}
+	var statsBefore eval.CacheStats
+	if preCached {
+		statsBefore = cached.Stats()
+	}
+
+	// Warm g0's lazily computed caches so concurrent chains (and the
+	// transforms they apply to the shared starting state) only read it.
+	g0.Levels()
+	g0.FanoutCounts()
 
 	t0 := time.Now()
-	init := ev.Evaluate(g0)
-	res := &Result{Best: g0, BestMetrics: init, Initial: init}
-	res.EvalTime += time.Since(t0)
+	init := oracle.Evaluate(g0)
+	initTime := time.Since(t0)
 	if init.DelayPS <= 0 || init.AreaUM2 <= 0 {
 		return nil, fmt.Errorf("anneal: evaluator %s returned nonpositive initial metrics %+v", ev.Name(), init)
 	}
 	cost := func(m Metrics) float64 {
 		return p.DelayWeight*m.DelayPS/init.DelayPS + p.AreaWeight*m.AreaUM2/init.AreaUM2
 	}
-	cur, curCost := g0, cost(init)
-	res.BestCost = curCost
-	temp := p.StartTemp
 
-	for it := 0; it < p.Iterations; it++ {
-		r := recipes[rng.Intn(len(recipes))]
-		tMove := time.Now()
-		cand := r.Apply(cur, rng)
-		res.MoveTime += time.Since(tMove)
+	crs := make([]chainState, chains)
+	var wg sync.WaitGroup
+	for c := 0; c < chains; c++ {
+		wg.Add(1)
+		go func(c int) {
+			defer wg.Done()
+			crs[c] = runChain(g0, oracle, p, recipes, batch, chainSeed(p.Seed, c), cost, init)
+		}(c)
+	}
+	wg.Wait()
 
-		tEval := time.Now()
-		m := ev.Evaluate(cand)
-		res.EvalTime += time.Since(tEval)
-
-		c := cost(m)
-		delta := c - curCost
-		accepted := delta < 0 || (temp > 0 && rng.Float64() < math.Exp(-delta/temp))
-		if accepted {
-			cur, curCost = cand, c
-			res.Accepted++
-			if c < res.BestCost {
-				res.Best, res.BestCost, res.BestMetrics = cand, c, m
-			}
-		}
-		res.History = append(res.History, Step{
-			Iter: it, Recipe: r.Name, Metrics: m, Cost: c, Accepted: accepted,
-			Ands: cand.NumAnds(), Levels: cand.MaxLevel(),
+	res := &Result{Initial: init, InitialEvalTime: initTime}
+	winner := 0
+	for c := range crs {
+		cr := &crs[c]
+		res.MoveTime += cr.moveTime
+		res.EvalTime += cr.evalTime
+		res.Accepted += cr.accepted
+		res.Evals += cr.evals
+		res.SpeculativeEvals += cr.speculative
+		res.Chains = append(res.Chains, ChainResult{
+			Chain: c, Seed: chainSeed(p.Seed, c),
+			Best: cr.best, BestCost: cr.bestCost, BestMetrics: cr.bestMetrics,
+			Accepted: cr.accepted, History: cr.history,
 		})
-		temp *= p.DecayRate
+		if cr.bestCost < crs[winner].bestCost {
+			winner = c
+		}
+	}
+	w := &crs[winner]
+	res.Best, res.BestCost, res.BestMetrics, res.History = w.best, w.bestCost, w.bestMetrics, w.history
+	if cached != nil {
+		s := cached.Stats()
+		res.CacheHits = s.Hits - statsBefore.Hits
+		res.CacheMisses = s.Misses - statsBefore.Misses
 	}
 	return res, nil
+}
+
+// chainState is the working state and bookkeeping of one chain.
+type chainState struct {
+	best        *aig.AIG
+	bestCost    float64
+	bestMetrics Metrics
+	accepted    int
+	evals       int
+	speculative int
+	history     []Step
+	moveTime    time.Duration
+	evalTime    time.Duration
+}
+
+// specNode is one speculative candidate move: a proposal for a specific
+// iteration index from an assumed base state.
+type specNode struct {
+	g        *aig.AIG
+	recipe   string
+	accept   float64 // pre-drawn Metropolis uniform, fixed before evaluation
+	rejChild int32   // next node if this proposal is rejected (-1 = none)
+	accChild int32   // next node if this proposal is accepted (-1 = none)
+}
+
+// treeDepth returns the largest speculation-tree depth d whose node
+// count 2^d - 1 fits in the batch budget.
+func treeDepth(batch int) int {
+	d := 1
+	for (1<<(d+1))-1 <= batch {
+		d++
+	}
+	return d
+}
+
+// runChain executes one annealing chain with branch-predicted
+// speculation. Every round proposes a set of candidates (each iteration
+// index has its own RNG stream, so a proposal depends only on its base
+// state and index), scores them in one EvaluateBatch, and consumes the
+// decisions in iteration order; unconsumed proposals are discarded and
+// counted in speculative.
+//
+// Two speculation shapes cover the two annealing regimes, chosen per
+// round from the acceptance history (itself part of the deterministic
+// trajectory, so the choice is identical at every batch size and worker
+// count):
+//
+//   - cold (no recent acceptance): a LINE of b proposals, all from the
+//     current state — the all-rejected path. Consumes up to b iterations
+//     per round; an acceptance invalidates and discards the tail.
+//   - hot (recent acceptance): a TREE of depth d (2^d - 1 proposals)
+//     covering both the accept and reject successor of every decision.
+//     Always consumes exactly d iterations per round regardless of the
+//     acceptance outcome — speculation never mispredicts, at the price
+//     of 2^d - 1 - d wasted evaluations that run concurrently anyway.
+func runChain(g0 *aig.AIG, oracle eval.Oracle, p Params, recipes []transform.Recipe,
+	batch int, seed int64, cost func(Metrics) float64, init Metrics) chainState {
+
+	cs := chainState{
+		best:        g0,
+		bestCost:    cost(init),
+		bestMetrics: init,
+		history:     make([]Step, 0, p.Iterations),
+	}
+	cur, curCost := g0, cs.bestCost
+	temp := p.StartTemp
+	nodes := make([]specNode, 0, batch)
+	gs := make([]*aig.AIG, 0, batch)
+	bases := make([]*aig.AIG, 0, batch)
+	depth := treeDepth(batch)
+	sinceAccept := 0 // consumed iterations since the last acceptance
+
+	// propose fills nodes[lo:hi] for iteration index iter, node j taking
+	// bases[j] as its assumed current state. Proposals are independent
+	// given their per-iteration RNG streams, so they run on the worker
+	// pool; the shared bases' lazy caches are pre-warmed by the caller.
+	propose := func(lo, hi, iter int) {
+		eval.ForEach(hi-lo, p.Workers, func(j int) {
+			rng := rand.New(rand.NewSource(iterSeed(seed, iter)))
+			r := recipes[rng.Intn(len(recipes))]
+			n := &nodes[lo+j]
+			n.g = r.Apply(bases[lo+j], rng)
+			n.recipe = r.Name
+			n.accept = rng.Float64()
+			n.rejChild, n.accChild = -1, -1
+		})
+	}
+
+	it := 0
+	for it < p.Iterations {
+		rem := p.Iterations - it
+		tMove := time.Now()
+		// Warm the current state's lazy caches; parallel proposals then
+		// only read the shared graph (AIG fields are package-private, so
+		// transforms cannot mutate it otherwise).
+		cur.Levels()
+		cur.FanoutCounts()
+
+		hot := sinceAccept < batch
+		d := depth
+		if !hot || d > rem {
+			d = 1
+		}
+		nodes = nodes[:0]
+		bases = bases[:0]
+		if hot && d > 1 {
+			// Tree round: level l holds the 2^l proposals for iteration
+			// it+l, one per reachable state after l decisions.
+			lo := 0
+			nodes = append(nodes, specNode{})
+			bases = append(bases, cur)
+			propose(0, 1, it)
+			for l := 1; l < d; l++ {
+				hi := len(nodes)
+				for pi := lo; pi < hi; pi++ {
+					nodes[pi].rejChild = int32(len(nodes))
+					nodes = append(nodes, specNode{})
+					bases = append(bases, bases[pi])
+					nodes[pi].accChild = int32(len(nodes))
+					nodes = append(nodes, specNode{})
+					bases = append(bases, nodes[pi].g)
+				}
+				propose(hi, len(nodes), it+l)
+				lo = hi
+			}
+		} else {
+			// Line round: b proposals for iterations it..it+b-1, all from
+			// the current state (the all-rejected path).
+			b := batch
+			if b > rem {
+				b = rem
+			}
+			for j := 0; j < b; j++ {
+				nodes = append(nodes, specNode{})
+				bases = append(bases, cur)
+			}
+			// Line proposals span distinct iteration indices, so fan out
+			// over them directly instead of via propose (which serves one
+			// index per call).
+			eval.ForEach(b, p.Workers, func(j int) {
+				rng := rand.New(rand.NewSource(iterSeed(seed, it+j)))
+				r := recipes[rng.Intn(len(recipes))]
+				n := &nodes[j]
+				n.g = r.Apply(cur, rng)
+				n.recipe = r.Name
+				n.accept = rng.Float64()
+				n.rejChild, n.accChild = -1, -1
+				if j+1 < b {
+					n.rejChild = int32(j + 1)
+				}
+			})
+		}
+		cs.moveTime += time.Since(tMove)
+
+		gs = gs[:0]
+		for i := range nodes {
+			gs = append(gs, nodes[i].g)
+		}
+		tEval := time.Now()
+		ms := oracle.EvaluateBatch(gs)
+		cs.evalTime += time.Since(tEval)
+		cs.evals += len(nodes)
+
+		// Consume decisions along the realized accept/reject path.
+		consumed := 0
+		for ni := int32(0); ni >= 0; {
+			n := &nodes[ni]
+			m := ms[ni]
+			c := cost(m)
+			delta := c - curCost
+			accepted := delta < 0 || (temp > 0 && n.accept < math.Exp(-delta/temp))
+			cs.history = append(cs.history, Step{
+				Iter: it, Recipe: n.recipe, Metrics: m, Cost: c, Accepted: accepted,
+				Ands: n.g.NumAnds(), Levels: n.g.MaxLevel(),
+			})
+			temp *= p.DecayRate
+			it++
+			consumed++
+			if accepted {
+				cur, curCost = n.g, c
+				cs.accepted++
+				sinceAccept = 0
+				if c < cs.bestCost {
+					cs.best, cs.bestCost, cs.bestMetrics = n.g, c, m
+				}
+				ni = n.accChild
+			} else {
+				sinceAccept++
+				ni = n.rejChild
+			}
+		}
+		cs.speculative += len(nodes) - consumed
+	}
+	return cs
 }

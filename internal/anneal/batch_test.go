@@ -1,0 +1,222 @@
+package anneal
+
+import (
+	"testing"
+	"time"
+
+	"aigtimer/internal/aig"
+	"aigtimer/internal/transform"
+)
+
+// sameHistory compares two step sequences field by field.
+func sameHistory(t *testing.T, tag string, a, b []Step) {
+	t.Helper()
+	if len(a) != len(b) {
+		t.Fatalf("%s: history lengths %d vs %d", tag, len(a), len(b))
+	}
+	for i := range a {
+		if a[i] != b[i] {
+			t.Fatalf("%s: step %d differs: %+v vs %+v", tag, i, a[i], b[i])
+		}
+	}
+}
+
+// TestTrajectoryInvariantToBatchAndWorkers is the reproducibility
+// guarantee of the evaluation layer: for a fixed seed, the accepted
+// trajectory (and therefore the result) is bit-identical at every batch
+// size and worker count. Run with -race: the batched configurations
+// exercise concurrent proposal generation and batch evaluation.
+func TestTrajectoryInvariantToBatchAndWorkers(t *testing.T) {
+	g := testAIG(31)
+	p := DefaultParams
+	p.Iterations = 30
+	p.Seed = 11
+	p.BatchSize = 1
+	p.Workers = 1
+	ref, err := Run(g, proxyEval{}, p)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for _, cfg := range []struct{ batch, workers int }{
+		{1, 4}, {3, 1}, {5, 4}, {8, 2}, {30, 8},
+	} {
+		pc := p
+		pc.BatchSize, pc.Workers = cfg.batch, cfg.workers
+		r, err := Run(g, proxyEval{}, pc)
+		if err != nil {
+			t.Fatal(err)
+		}
+		tag := "batch/workers"
+		sameHistory(t, tag, ref.History, r.History)
+		if r.BestCost != ref.BestCost || r.Best.Hash() != ref.Best.Hash() {
+			t.Fatalf("batch=%d workers=%d: best diverged (%.6f vs %.6f)",
+				cfg.batch, cfg.workers, r.BestCost, ref.BestCost)
+		}
+		if r.Accepted != ref.Accepted {
+			t.Fatalf("batch=%d workers=%d: accepted %d vs %d",
+				cfg.batch, cfg.workers, r.Accepted, ref.Accepted)
+		}
+	}
+}
+
+// TestChainZeroMatchesSingleChain: chain 0 of a multi-chain run shares
+// the run seed, so its history is bit-identical to a single-chain run,
+// and the merged result is the best-of over chains.
+func TestChainZeroMatchesSingleChain(t *testing.T) {
+	g := testAIG(32)
+	p := DefaultParams
+	p.Iterations = 20
+	p.Seed = 13
+	single, err := Run(g, proxyEval{}, p)
+	if err != nil {
+		t.Fatal(err)
+	}
+	pm := p
+	pm.Chains = 4
+	multi, err := Run(g, proxyEval{}, pm)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(multi.Chains) != 4 {
+		t.Fatalf("chain results = %d", len(multi.Chains))
+	}
+	if multi.TotalSteps() != 4*p.Iterations || single.TotalSteps() != p.Iterations {
+		t.Fatalf("total steps: multi %d single %d", multi.TotalSteps(), single.TotalSteps())
+	}
+	sameHistory(t, "chain0-vs-single", single.History, multi.Chains[0].History)
+	if multi.Chains[0].BestCost != single.BestCost {
+		t.Fatalf("chain 0 best %.6f vs single %.6f", multi.Chains[0].BestCost, single.BestCost)
+	}
+	// Merged best is the minimum over chains, and History is the winner's.
+	best := multi.Chains[0]
+	for _, c := range multi.Chains[1:] {
+		if c.BestCost < best.BestCost {
+			best = c
+		}
+	}
+	if multi.BestCost != best.BestCost {
+		t.Fatalf("merged best %.6f, chains' min %.6f", multi.BestCost, best.BestCost)
+	}
+	sameHistory(t, "merged-history-is-winner", multi.History, best.History)
+	if multi.BestCost > single.BestCost {
+		t.Fatal("multi-chain worse than its own chain 0")
+	}
+	// Determinism of the whole multi-chain run.
+	multi2, err := Run(g, proxyEval{}, pm)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for c := range multi.Chains {
+		sameHistory(t, "multi-rerun", multi.Chains[c].History, multi2.Chains[c].History)
+	}
+}
+
+// sleepEval delays every evaluation so time attribution is observable.
+type sleepEval struct{ d time.Duration }
+
+func (e sleepEval) Name() string { return "sleep" }
+func (e sleepEval) Evaluate(g *aig.AIG) Metrics {
+	time.Sleep(e.d)
+	return Metrics{DelayPS: float64(g.MaxLevel()) + 1, AreaUM2: float64(g.NumAnds()) + 1}
+}
+
+// TestInitialEvalTrackedSeparately guards the off-by-one fix: the
+// pre-loop evaluation of g0 must land in InitialEvalTime, not in the
+// per-iteration EvalTime average.
+func TestInitialEvalTrackedSeparately(t *testing.T) {
+	g := testAIG(33)
+	const d = 30 * time.Millisecond
+	p := DefaultParams
+	p.Iterations = 1
+	p.BatchSize = 1
+	p.Workers = 1
+	p.CacheMode = CacheOff
+	res, err := Run(g, sleepEval{d}, p)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if res.InitialEvalTime < d/2 {
+		t.Fatalf("initial eval time %v not recorded", res.InitialEvalTime)
+	}
+	// One iteration → one in-loop eval. Before the fix the initial eval
+	// was folded in and PerIterationEval reported ~2d.
+	if got := res.PerIterationEval(); got < d/2 || got > d+d/2 {
+		t.Fatalf("per-iteration eval %v, want about %v", got, d)
+	}
+}
+
+// TestCacheCountersSurfaced: a deterministic recipe at zero temperature
+// re-proposes the same structure every iteration, so the memo cache must
+// hit and the counters must reach the Result.
+func TestCacheCountersSurfaced(t *testing.T) {
+	g := testAIG(34)
+	p := DefaultParams
+	p.Iterations = 12
+	p.StartTemp = 0
+	p.DecayRate = 1
+	p.BatchSize = 1
+	p.Recipes = []transform.Recipe{{Name: "only-balance", Steps: []string{"b"}}}
+	res, err := Run(g, proxyEval{}, p) // proxyEval is not marked cheap → CacheAuto caches
+	if err != nil {
+		t.Fatal(err)
+	}
+	if res.CacheHits == 0 {
+		t.Fatalf("no cache hits despite deterministic move set: %+v", res)
+	}
+	if res.CacheHits+res.CacheMisses < int64(res.Evals) {
+		t.Fatalf("counters inconsistent: hits %d + misses %d < evals %d",
+			res.CacheHits, res.CacheMisses, res.Evals)
+	}
+	if res.CacheHitRate() <= 0 || res.CacheHitRate() >= 1 {
+		t.Fatalf("hit rate %.3f out of range", res.CacheHitRate())
+	}
+
+	// Same run with the cache off: zero counters, identical trajectory.
+	poff := p
+	poff.CacheMode = CacheOff
+	roff, err := Run(g, proxyEval{}, poff)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if roff.CacheHits != 0 || roff.CacheMisses != 0 || roff.CacheHitRate() != 0 {
+		t.Fatalf("cache-off run has counters: %+v", roff)
+	}
+	sameHistory(t, "cache-on-vs-off", res.History, roff.History)
+}
+
+// TestSpeculativeAccounting: the loop's eval count decomposes exactly
+// into consumed iterations plus discarded speculation.
+func TestSpeculativeAccounting(t *testing.T) {
+	g := testAIG(35)
+	for _, batch := range []int{1, 4, 7} {
+		p := DefaultParams
+		p.Iterations = 25
+		p.Seed = 17
+		p.BatchSize = batch
+		res, err := Run(g, proxyEval{}, p)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if res.Evals != p.Iterations+res.SpeculativeEvals {
+			t.Fatalf("batch=%d: evals %d != iterations %d + speculative %d",
+				batch, res.Evals, p.Iterations, res.SpeculativeEvals)
+		}
+		if batch == 1 && res.SpeculativeEvals != 0 {
+			t.Fatalf("sequential run speculated %d evals", res.SpeculativeEvals)
+		}
+	}
+}
+
+// TestParamValidationBatchFields rejects negative evaluation-layer knobs.
+func TestParamValidationBatchFields(t *testing.T) {
+	g := testAIG(36)
+	for _, p := range []Params{
+		{Iterations: 5, DecayRate: 0.9, DelayWeight: 1, BatchSize: -1},
+		{Iterations: 5, DecayRate: 0.9, DelayWeight: 1, Workers: -2},
+		{Iterations: 5, DecayRate: 0.9, DelayWeight: 1, Chains: -1},
+	} {
+		if _, err := Run(g, proxyEval{}, p); err == nil {
+			t.Errorf("params accepted: %+v", p)
+		}
+	}
+}

@@ -19,36 +19,17 @@ func RunHillClimb(g0 *aig.AIG, ev Evaluator, p Params) (*Result, error) {
 	return Run(g0, ev, p)
 }
 
-// RunMultiStart runs `restarts` independent annealing searches with
-// derived seeds and returns the best result by final cost. With the cheap
-// ML oracle, restarts are the natural way to spend the runtime saved over
-// the ground-truth flow.
+// RunMultiStart runs `restarts` independent annealing chains with derived
+// seeds (concurrently, sharing the batch oracle and its memo cache) and
+// returns the best-of merge. Chain 0 shares p.Seed, so the result can
+// never be worse than a single run; time and eval counters aggregate
+// across the whole multi-start budget. With the cheap ML oracle, restarts
+// are the natural way to spend the runtime saved over the ground-truth
+// flow.
 func RunMultiStart(g0 *aig.AIG, ev Evaluator, p Params, restarts int) (*Result, error) {
 	if restarts < 1 {
 		return nil, fmt.Errorf("anneal: restarts must be positive")
 	}
-	var best *Result
-	for k := 0; k < restarts; k++ {
-		pk := p
-		pk.Seed = p.Seed + int64(k)*1000003
-		r, err := Run(g0, ev, pk)
-		if err != nil {
-			return nil, err
-		}
-		if best == nil || r.BestCost < best.BestCost {
-			// Aggregate bookkeeping so per-iteration timings remain
-			// meaningful across the whole multi-start budget.
-			if best != nil {
-				r.MoveTime += best.MoveTime
-				r.EvalTime += best.EvalTime
-				r.Accepted += best.Accepted
-			}
-			best = r
-		} else {
-			best.MoveTime += r.MoveTime
-			best.EvalTime += r.EvalTime
-			best.Accepted += r.Accepted
-		}
-	}
-	return best, nil
+	p.Chains = restarts
+	return Run(g0, ev, p)
 }

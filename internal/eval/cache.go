@@ -1,0 +1,212 @@
+package eval
+
+import (
+	"sync"
+
+	"aigtimer/internal/aig"
+)
+
+// sigWords is the width (in 64-bit words, so 64 patterns each) of the
+// seeded random simulation folded into the fingerprint. Two words give a
+// ~2^-128 chance that functionally different graphs agree, on top of the
+// structural components of the key.
+const sigWords = 2
+
+// sigSeed seeds the fingerprint simulation; any fixed value works, it
+// only has to be the same for every lookup of the same cache.
+const sigSeed = 0x51ca9e
+
+// CacheStats is a point-in-time snapshot of a Cached oracle's counters.
+type CacheStats struct {
+	Hits    int64 // lookups served from memory (incl. intra-batch dedupe)
+	Misses  int64 // lookups that ran the underlying oracle
+	Entries int64 // distinct structures currently memoized
+}
+
+// HitRate returns Hits / (Hits + Misses), or 0 before any lookup.
+func (s CacheStats) HitRate() float64 {
+	if t := s.Hits + s.Misses; t > 0 {
+		return float64(s.Hits) / float64(t)
+	}
+	return 0
+}
+
+// cacheEntry pairs a memoized graph with its metrics. The graph is
+// retained so that fingerprint collisions can be resolved by full
+// structural comparison.
+type cacheEntry struct {
+	g *aig.AIG
+	m Metrics
+}
+
+// Cached memoizes an Oracle behind a structural-fingerprint cache. The
+// key is a canonical AIG hash built from the PI/PO/node counts, the
+// per-node level profile, and a seeded random-simulation signature; a
+// fingerprint match alone is never trusted — entries sharing a key are
+// disambiguated by full structural comparison (aig.StructuralEqual), so a
+// hash collision costs one slice walk instead of a wrong answer.
+//
+// Caching is sound because every oracle in this repository is
+// deterministic: structurally identical AIGs always map, time, and
+// featurize identically, so their metrics are interchangeable. Memoized
+// graphs are retained for the lifetime of the cache, which is bounded by
+// one optimization run (or one sweep) in all current uses.
+//
+// Cached is safe for concurrent use. Metric values are deterministic
+// regardless of interleaving; the hit/miss split is deterministic for a
+// single caller and approximate when several goroutines race to insert
+// the same structure (both count a miss).
+type Cached struct {
+	oracle Oracle
+
+	// fp computes the fingerprint; tests override it to force collisions.
+	fp func(g *aig.AIG) uint64
+
+	mu      sync.Mutex
+	table   map[uint64][]cacheEntry
+	entries int64
+	hits    int64
+	misses  int64
+}
+
+// NewCached wraps o with a structural-fingerprint memo cache.
+func NewCached(o Oracle) *Cached {
+	c := &Cached{oracle: o, table: make(map[uint64][]cacheEntry)}
+	c.fp = fingerprint
+	return c
+}
+
+// Name implements Evaluator.
+func (c *Cached) Name() string { return c.oracle.Name() + "+cache" }
+
+// Stats returns a snapshot of the cache counters.
+func (c *Cached) Stats() CacheStats {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	return CacheStats{Hits: c.hits, Misses: c.misses, Entries: c.entries}
+}
+
+// Evaluate implements Oracle, consulting the cache first.
+func (c *Cached) Evaluate(g *aig.AIG) Metrics {
+	fp := c.fp(g)
+	c.mu.Lock()
+	if m, ok := c.lookupLocked(fp, g); ok {
+		c.hits++
+		c.mu.Unlock()
+		return m
+	}
+	c.misses++
+	c.mu.Unlock()
+
+	m := c.oracle.Evaluate(g)
+
+	c.mu.Lock()
+	c.insertLocked(fp, g, m)
+	c.mu.Unlock()
+	return m
+}
+
+// EvaluateBatch implements Oracle. Fingerprints are computed in parallel,
+// hits (including structurally duplicate entries within the batch) are
+// resolved in input order, and only the distinct misses reach the
+// underlying oracle's EvaluateBatch.
+func (c *Cached) EvaluateBatch(gs []*aig.AIG) []Metrics {
+	n := len(gs)
+	out := make([]Metrics, n)
+	fps := make([]uint64, n)
+	ForEach(n, 0, func(i int) { fps[i] = c.fp(gs[i]) })
+
+	const (
+		resolved = -2 // served from the cache
+		missing  = -1 // needs evaluation
+	)
+	alias := make([]int, n) // >= 0: duplicate of an earlier batch index
+	miss := make([]int, 0, n)
+	c.mu.Lock()
+	for i, g := range gs {
+		if m, ok := c.lookupLocked(fps[i], g); ok {
+			out[i] = m
+			alias[i] = resolved
+			c.hits++
+			continue
+		}
+		alias[i] = missing
+		for _, j := range miss {
+			if fps[j] == fps[i] && gs[j].StructuralEqual(g) {
+				alias[i] = j
+				c.hits++
+				break
+			}
+		}
+		if alias[i] == missing {
+			miss = append(miss, i)
+			c.misses++
+		}
+	}
+	c.mu.Unlock()
+
+	if len(miss) > 0 {
+		sub := make([]*aig.AIG, len(miss))
+		for k, i := range miss {
+			sub[k] = gs[i]
+		}
+		ms := c.oracle.EvaluateBatch(sub)
+		c.mu.Lock()
+		for k, i := range miss {
+			out[i] = ms[k]
+			c.insertLocked(fps[i], gs[i], ms[k])
+		}
+		c.mu.Unlock()
+	}
+	for i := range gs {
+		if alias[i] >= 0 {
+			out[i] = out[alias[i]]
+		}
+	}
+	return out
+}
+
+// lookupLocked scans the entries under fp for a structurally equal graph.
+func (c *Cached) lookupLocked(fp uint64, g *aig.AIG) (Metrics, bool) {
+	for _, e := range c.table[fp] {
+		if e.g.StructuralEqual(g) {
+			return e.m, true
+		}
+	}
+	return Metrics{}, false
+}
+
+// insertLocked memoizes (g, m) under fp unless an equal entry already
+// exists (two goroutines may evaluate the same structure concurrently).
+func (c *Cached) insertLocked(fp uint64, g *aig.AIG, m Metrics) {
+	if _, ok := c.lookupLocked(fp, g); ok {
+		return
+	}
+	c.table[fp] = append(c.table[fp], cacheEntry{g: g, m: m})
+	c.entries++
+}
+
+// fingerprint hashes the canonical identity of g: PI/PO/AND counts, the
+// per-node level profile, and a seeded random-simulation signature
+// (functional content of the POs). Structurally equal graphs always
+// produce equal fingerprints; unequal graphs that nevertheless agree are
+// caught by the full comparison in lookupLocked.
+func fingerprint(g *aig.AIG) uint64 {
+	const (
+		offset64 = 14695981039346656037
+		prime64  = 1099511628211
+	)
+	h := uint64(offset64)
+	mix := func(v uint64) {
+		h ^= v
+		h *= prime64
+	}
+	mix(uint64(g.NumPIs())<<32 | uint64(g.NumPOs()))
+	mix(uint64(g.NumAnds()))
+	lv := g.Levels()
+	for i := int(g.FirstAnd()); i < g.NumNodes(); i++ {
+		mix(uint64(lv[i]))
+	}
+	mix(g.Signature(sigWords, sigSeed))
+	return h
+}

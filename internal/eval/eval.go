@@ -1,0 +1,135 @@
+// Package eval is the repository's unified evaluation layer: every cost
+// oracle that scores candidate AIGs during optimization — the proxy
+// metrics of the baseline flow, the mapping+STA pipeline of the
+// ground-truth flow, the GBDT inference of the ML flow — is presented to
+// the search layer through the batch-capable Oracle interface defined
+// here.
+//
+// The layer exists because the evaluator dominates the wall-clock of
+// every flow in the paper's Fig. 3 and every sweep point of Fig. 5. Two
+// mechanisms attack that cost without changing any reported value:
+//
+//   - batching (AsOracle): a plain Evaluator is adapted to EvaluateBatch
+//     with a worker pool, so a search that proposes several candidates at
+//     once scores them concurrently;
+//   - memoization (Cached, see cache.go): structurally identical
+//     candidates, which annealing revisits constantly in its
+//     low-acceptance phase, never re-run mapping+STA.
+//
+// Both are value-transparent: EvaluateBatch returns exactly what N
+// sequential Evaluate calls would, in input order, independent of worker
+// count — the property that lets the annealer guarantee bit-reproducible
+// trajectories for a fixed seed at any parallelism, matching the
+// guarantee aig.Simulator already gives.
+package eval
+
+import (
+	"runtime"
+	"sync"
+
+	"aigtimer/internal/aig"
+)
+
+// Metrics is an evaluator's estimate of a candidate's post-mapping
+// quality. Proxy evaluators report proxy units (levels, node count);
+// physical evaluators report ps and um².
+type Metrics struct {
+	DelayPS float64
+	AreaUM2 float64
+}
+
+// Evaluator scores one candidate AIG; it is the cost oracle of Fig. 3.
+// Evaluate must be deterministic (equal graphs yield equal metrics) and
+// safe for concurrent use with distinct graphs.
+type Evaluator interface {
+	Name() string
+	Evaluate(g *aig.AIG) Metrics
+}
+
+// Oracle is a batch-capable Evaluator. EvaluateBatch returns one Metrics
+// per input graph, in input order, with values identical to sequential
+// Evaluate calls regardless of internal scheduling — callers rely on this
+// for bit-reproducible optimization trajectories at any worker count.
+type Oracle interface {
+	Evaluator
+	EvaluateBatch(gs []*aig.AIG) []Metrics
+}
+
+// CheapEvaluator marks evaluators whose Evaluate costs no more than the
+// structural fingerprint computed by Cached (for example the baseline
+// proxy metrics, which are two slice walks). CacheAuto policies skip the
+// memo cache for such evaluators because memoizing them is a net loss.
+type CheapEvaluator interface {
+	CheapEval() bool
+}
+
+// IsCheap reports whether ev declares itself too cheap to be worth
+// caching.
+func IsCheap(ev Evaluator) bool {
+	c, ok := ev.(CheapEvaluator)
+	return ok && c.CheapEval()
+}
+
+// AsOracle adapts ev to the Oracle interface. Evaluators with a native
+// EvaluateBatch are returned unchanged (they manage their own
+// concurrency); plain evaluators are wrapped with a worker pool that
+// scores batch entries concurrently on up to `workers` goroutines
+// (GOMAXPROCS when workers <= 0).
+func AsOracle(ev Evaluator, workers int) Oracle {
+	if o, ok := ev.(Oracle); ok {
+		return o
+	}
+	return &batchAdapter{ev: ev, workers: workers}
+}
+
+// batchAdapter lifts a plain Evaluator to an Oracle with a worker pool.
+type batchAdapter struct {
+	ev      Evaluator
+	workers int
+}
+
+func (a *batchAdapter) Name() string { return a.ev.Name() }
+
+func (a *batchAdapter) Evaluate(g *aig.AIG) Metrics { return a.ev.Evaluate(g) }
+
+func (a *batchAdapter) EvaluateBatch(gs []*aig.AIG) []Metrics {
+	out := make([]Metrics, len(gs))
+	ForEach(len(gs), a.workers, func(i int) { out[i] = a.ev.Evaluate(gs[i]) })
+	return out
+}
+
+// ForEach calls f(i) for every i in [0,n) on up to `workers` goroutines
+// (GOMAXPROCS when workers <= 0) and returns once all calls complete.
+// Iteration order is unspecified; f must write its result to a location
+// owned by index i. With one worker (or n < 2) it degenerates to a plain
+// loop with zero goroutine overhead.
+func ForEach(n, workers int, f func(i int)) {
+	if workers <= 0 {
+		workers = runtime.GOMAXPROCS(0)
+	}
+	if workers > n {
+		workers = n
+	}
+	if workers <= 1 {
+		for i := 0; i < n; i++ {
+			f(i)
+		}
+		return
+	}
+	idx := make(chan int)
+	var wg sync.WaitGroup
+	for w := 0; w < workers; w++ {
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			for i := range idx {
+				f(i)
+			}
+		}()
+	}
+	for i := 0; i < n; i++ {
+		idx <- i
+	}
+	close(idx)
+	wg.Wait()
+}

@@ -1,0 +1,237 @@
+package eval
+
+import (
+	"math/rand"
+	"sync"
+	"sync/atomic"
+	"testing"
+
+	"aigtimer/internal/aig"
+)
+
+// testAIG builds a small random AIG; equal seeds yield equal structures.
+func testAIG(seed int64) *aig.AIG {
+	rng := rand.New(rand.NewSource(seed))
+	b := aig.NewBuilder(6)
+	lits := make([]aig.Lit, 0, 60)
+	for i := 0; i < 6; i++ {
+		lits = append(lits, b.PI(i))
+	}
+	for len(lits) < 60 {
+		a := lits[rng.Intn(len(lits))].NotIf(rng.Intn(2) == 0)
+		c := lits[rng.Intn(len(lits))].NotIf(rng.Intn(2) == 0)
+		lits = append(lits, b.And(a, c))
+	}
+	for i := 0; i < 3; i++ {
+		b.AddPO(lits[len(lits)-1-rng.Intn(20)])
+	}
+	return b.Build().Compact()
+}
+
+// countEval is a deterministic evaluator that counts its Evaluate calls.
+type countEval struct {
+	calls atomic.Int64
+}
+
+func (e *countEval) Name() string { return "count" }
+func (e *countEval) Evaluate(g *aig.AIG) Metrics {
+	e.calls.Add(1)
+	return Metrics{
+		DelayPS: float64(g.MaxLevel()) + 1,
+		AreaUM2: float64(g.NumAnds()) + 1,
+	}
+}
+
+// nativeOracle implements Oracle directly.
+type nativeOracle struct{ countEval }
+
+func (o *nativeOracle) EvaluateBatch(gs []*aig.AIG) []Metrics {
+	out := make([]Metrics, len(gs))
+	for i, g := range gs {
+		out[i] = o.Evaluate(g)
+	}
+	return out
+}
+
+func TestAsOracleNativePassthrough(t *testing.T) {
+	o := &nativeOracle{}
+	if got := AsOracle(o, 4); got != Oracle(o) {
+		t.Fatal("native oracle was wrapped")
+	}
+	ev := &countEval{}
+	if _, ok := AsOracle(ev, 4).(*batchAdapter); !ok {
+		t.Fatal("plain evaluator not adapted")
+	}
+}
+
+func TestBatchAdapterOrderAndValues(t *testing.T) {
+	gs := []*aig.AIG{testAIG(1), testAIG(2), testAIG(3), testAIG(4), testAIG(5)}
+	ev := &countEval{}
+	want := make([]Metrics, len(gs))
+	for i, g := range gs {
+		want[i] = ev.Evaluate(g)
+	}
+	for _, workers := range []int{1, 2, 8, 100} {
+		got := AsOracle(&countEval{}, workers).EvaluateBatch(gs)
+		if len(got) != len(want) {
+			t.Fatalf("workers=%d: %d results", workers, len(got))
+		}
+		for i := range want {
+			if got[i] != want[i] {
+				t.Fatalf("workers=%d: result %d = %+v, want %+v", workers, i, got[i], want[i])
+			}
+		}
+	}
+}
+
+func TestForEachCoversAllIndices(t *testing.T) {
+	for _, workers := range []int{0, 1, 3, 64} {
+		var hit [37]atomic.Int32
+		ForEach(len(hit), workers, func(i int) { hit[i].Add(1) })
+		for i := range hit {
+			if hit[i].Load() != 1 {
+				t.Fatalf("workers=%d: index %d visited %d times", workers, i, hit[i].Load())
+			}
+		}
+	}
+	ForEach(0, 4, func(i int) { t.Fatal("called for n=0") })
+}
+
+func TestCachedHitMissAccounting(t *testing.T) {
+	ev := &countEval{}
+	c := NewCached(AsOracle(ev, 1))
+	g := testAIG(7)
+
+	m1 := c.Evaluate(g)
+	if s := c.Stats(); s.Hits != 0 || s.Misses != 1 || s.Entries != 1 {
+		t.Fatalf("after first eval: %+v", s)
+	}
+	// A structurally identical copy must hit without re-evaluating.
+	m2 := c.Evaluate(g.Copy())
+	if m1 != m2 {
+		t.Fatalf("cache changed metrics: %+v vs %+v", m1, m2)
+	}
+	if s := c.Stats(); s.Hits != 1 || s.Misses != 1 || s.Entries != 1 {
+		t.Fatalf("after copy eval: %+v", s)
+	}
+	if ev.calls.Load() != 1 {
+		t.Fatalf("underlying evaluator ran %d times", ev.calls.Load())
+	}
+	// A different structure misses.
+	c.Evaluate(testAIG(8))
+	if s := c.Stats(); s.Hits != 1 || s.Misses != 2 || s.Entries != 2 {
+		t.Fatalf("after distinct eval: %+v", s)
+	}
+	if c.Stats().HitRate() != 1.0/3.0 {
+		t.Fatalf("hit rate %.3f", c.Stats().HitRate())
+	}
+}
+
+func TestCachedBatchDedupe(t *testing.T) {
+	ev := &countEval{}
+	c := NewCached(AsOracle(ev, 2))
+	a, b := testAIG(9), testAIG(10)
+
+	// Batch with an intra-batch structural duplicate: two misses, one hit.
+	ms := c.EvaluateBatch([]*aig.AIG{a, a.Copy(), b})
+	if ms[0] != ms[1] {
+		t.Fatalf("duplicate entries disagree: %+v vs %+v", ms[0], ms[1])
+	}
+	if s := c.Stats(); s.Hits != 1 || s.Misses != 2 || s.Entries != 2 {
+		t.Fatalf("after batch: %+v", s)
+	}
+	if ev.calls.Load() != 2 {
+		t.Fatalf("underlying evaluator ran %d times, want 2", ev.calls.Load())
+	}
+	// Everything is memoized now.
+	c.EvaluateBatch([]*aig.AIG{b.Copy(), a})
+	if s := c.Stats(); s.Hits != 3 || s.Misses != 2 {
+		t.Fatalf("after second batch: %+v", s)
+	}
+	if ev.calls.Load() != 2 {
+		t.Fatalf("memoized batch re-evaluated: %d calls", ev.calls.Load())
+	}
+}
+
+// TestCachedCollisionFallback forces every fingerprint to collide and
+// checks that the full structural comparison keeps entries separate and
+// answers correct.
+func TestCachedCollisionFallback(t *testing.T) {
+	ev := &countEval{}
+	c := NewCached(AsOracle(ev, 1))
+	c.fp = func(*aig.AIG) uint64 { return 42 }
+
+	a, b := testAIG(11), testAIG(12)
+	if a.StructuralEqual(b) {
+		t.Fatal("test graphs must differ structurally")
+	}
+	ma := c.Evaluate(a)
+	mb := c.Evaluate(b)
+	if ma == mb {
+		t.Fatalf("distinct graphs share metrics under collision: %+v", ma)
+	}
+	if s := c.Stats(); s.Hits != 0 || s.Misses != 2 || s.Entries != 2 {
+		t.Fatalf("collisions miscounted: %+v", s)
+	}
+	// Both entries live under one key; lookups still resolve correctly.
+	if got := c.Evaluate(a.Copy()); got != ma {
+		t.Fatalf("collision lookup wrong: %+v want %+v", got, ma)
+	}
+	if got := c.Evaluate(b.Copy()); got != mb {
+		t.Fatalf("collision lookup wrong: %+v want %+v", got, mb)
+	}
+	if s := c.Stats(); s.Hits != 2 || s.Misses != 2 || s.Entries != 2 {
+		t.Fatalf("post-collision stats: %+v", s)
+	}
+}
+
+// TestFingerprintSeparatesVariants sanity-checks the real fingerprint:
+// structural copies agree, different structures (almost surely) differ.
+func TestFingerprintSeparatesVariants(t *testing.T) {
+	a := testAIG(13)
+	if fingerprint(a) != fingerprint(a.Copy()) {
+		t.Fatal("copy fingerprints differ")
+	}
+	b := testAIG(14)
+	if fingerprint(a) == fingerprint(b) {
+		t.Fatal("distinct structures share a fingerprint (vanishingly unlikely)")
+	}
+}
+
+// TestCachedConcurrentUse hammers one cache from many goroutines; run
+// with -race. Values must stay deterministic even when counters race.
+func TestCachedConcurrentUse(t *testing.T) {
+	ev := &countEval{}
+	c := NewCached(AsOracle(ev, 4))
+	gs := []*aig.AIG{testAIG(15), testAIG(16), testAIG(17)}
+	want := make([]Metrics, len(gs))
+	for i, g := range gs {
+		want[i] = (&countEval{}).Evaluate(g)
+	}
+	var wg sync.WaitGroup
+	for w := 0; w < 8; w++ {
+		wg.Add(1)
+		go func(w int) {
+			defer wg.Done()
+			for k := 0; k < 20; k++ {
+				i := (w + k) % len(gs)
+				if w%2 == 0 {
+					if got := c.Evaluate(gs[i].Copy()); got != want[i] {
+						t.Errorf("concurrent Evaluate diverged at %d", i)
+						return
+					}
+				} else {
+					ms := c.EvaluateBatch([]*aig.AIG{gs[i], gs[(i+1)%len(gs)]})
+					if ms[0] != want[i] || ms[1] != want[(i+1)%len(gs)] {
+						t.Errorf("concurrent EvaluateBatch diverged at %d", i)
+						return
+					}
+				}
+			}
+		}(w)
+	}
+	wg.Wait()
+	if s := c.Stats(); s.Entries != int64(len(gs)) {
+		t.Fatalf("expected %d entries, got %+v", len(gs), s)
+	}
+}

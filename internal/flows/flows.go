@@ -6,6 +6,12 @@
 //	Ground truth  technology mapping + STA at every iteration
 //	ML            Table II features + trained GBDT inference
 //
+// All three evaluators implement eval.Oracle natively: the ground-truth
+// oracle maps batch candidates concurrently through signoff.EvaluateBatch,
+// the ML oracle extracts features in parallel and predicts through
+// gbdt.PredictBatch, and the proxy marks itself cheap so the evaluation
+// layer skips memoization for it.
+//
 // The package also provides the hyperparameter sweep / Pareto machinery
 // used for §II-B and Fig. 5: each flow is swept over cost weights and
 // annealing decay rates, every run's best AIG is re-evaluated with the
@@ -21,6 +27,7 @@ import (
 	"aigtimer/internal/aig"
 	"aigtimer/internal/anneal"
 	"aigtimer/internal/cell"
+	"aigtimer/internal/eval"
 	"aigtimer/internal/features"
 	"aigtimer/internal/gbdt"
 	"aigtimer/internal/signoff"
@@ -32,10 +39,10 @@ import (
 // annealer's normalized cost.
 type Proxy struct{}
 
-// Name implements anneal.Evaluator.
+// Name implements eval.Evaluator.
 func (Proxy) Name() string { return "baseline" }
 
-// Evaluate implements anneal.Evaluator.
+// Evaluate implements eval.Evaluator.
 func (Proxy) Evaluate(g *aig.AIG) anneal.Metrics {
 	// +1 keeps metrics positive for degenerate (constant/wire) graphs.
 	return anneal.Metrics{
@@ -44,10 +51,28 @@ func (Proxy) Evaluate(g *aig.AIG) anneal.Metrics {
 	}
 }
 
+// EvaluateBatch implements eval.Oracle. Proxy metrics are two slice
+// walks, so the batch path is a plain loop — parallelism would cost more
+// than it saves.
+func (Proxy) EvaluateBatch(gs []*aig.AIG) []anneal.Metrics {
+	out := make([]anneal.Metrics, len(gs))
+	for i, g := range gs {
+		out[i] = Proxy{}.Evaluate(g)
+	}
+	return out
+}
+
+// CheapEval implements eval.CheapEvaluator: proxy metrics cost less than
+// the memo cache's fingerprint, so CacheAuto leaves them uncached.
+func (Proxy) CheapEval() bool { return true }
+
 // GroundTruth runs the full signoff pipeline (dual-effort technology
 // mapping + multi-corner NLDM STA) per evaluation.
 type GroundTruth struct {
 	Lib *cell.Library
+	// Workers bounds the concurrent mappings of EvaluateBatch; 0 uses
+	// GOMAXPROCS.
+	Workers int
 }
 
 // NewGroundTruth returns a ground-truth evaluator over the library.
@@ -55,10 +80,10 @@ func NewGroundTruth(lib *cell.Library) *GroundTruth {
 	return &GroundTruth{Lib: lib}
 }
 
-// Name implements anneal.Evaluator.
+// Name implements eval.Evaluator.
 func (*GroundTruth) Name() string { return "ground-truth" }
 
-// Evaluate implements anneal.Evaluator.
+// Evaluate implements eval.Evaluator.
 func (e *GroundTruth) Evaluate(g *aig.AIG) anneal.Metrics {
 	r, err := signoff.Evaluate(g, e.Lib)
 	if err != nil {
@@ -70,6 +95,22 @@ func (e *GroundTruth) Evaluate(g *aig.AIG) anneal.Metrics {
 	return anneal.Metrics{DelayPS: r.DelayPS + 1, AreaUM2: r.AreaUM2 + 1}
 }
 
+// EvaluateBatch implements eval.Oracle: candidates are mapped and timed
+// concurrently, with values identical to sequential Evaluate calls in
+// input order regardless of worker count.
+func (e *GroundTruth) EvaluateBatch(gs []*aig.AIG) []anneal.Metrics {
+	rs, errs := signoff.EvaluateBatch(gs, e.Lib, e.Workers)
+	out := make([]anneal.Metrics, len(gs))
+	for i := range gs {
+		if errs[i] != nil {
+			out[i] = anneal.Metrics{DelayPS: 1e12, AreaUM2: 1e12}
+			continue
+		}
+		out[i] = anneal.Metrics{DelayPS: rs[i].DelayPS + 1, AreaUM2: rs[i].AreaUM2 + 1}
+	}
+	return out
+}
+
 // ML predicts post-mapping delay and area from Table II features with
 // trained GBDT models.
 type ML struct {
@@ -79,20 +120,59 @@ type ML struct {
 	// residual of the nearly-linear area/node-count relation), which
 	// generalizes across designs far better than absolute area.
 	AreaPerNode bool
+	// Workers bounds the concurrency of EvaluateBatch (feature extraction
+	// and inference); 0 uses GOMAXPROCS.
+	Workers int
 }
 
-// Name implements anneal.Evaluator.
+// Name implements eval.Evaluator.
 func (*ML) Name() string { return "ml" }
 
-// Evaluate implements anneal.Evaluator.
+// Evaluate implements eval.Evaluator.
 func (e *ML) Evaluate(g *aig.AIG) anneal.Metrics {
-	v := features.Extract(g)
-	m := anneal.Metrics{DelayPS: e.DelayModel.Predict(v) + 1}
+	return e.metrics(g, features.Extract(g), nil, nil, 0)
+}
+
+// EvaluateBatch implements eval.Oracle: Table II features are extracted
+// on a worker pool and both models predict the whole batch at once
+// through gbdt.PredictBatch.
+func (e *ML) EvaluateBatch(gs []*aig.AIG) []anneal.Metrics {
+	X := make([][]float64, len(gs))
+	eval.ForEach(len(gs), e.Workers, func(i int) { X[i] = features.Extract(gs[i]) })
+	delay := e.DelayModel.PredictBatchN(X, e.Workers)
+	var area []float64
+	if e.AreaModel != nil {
+		area = e.AreaModel.PredictBatchN(X, e.Workers)
+	}
+	out := make([]anneal.Metrics, len(gs))
+	for i, g := range gs {
+		out[i] = e.metrics(g, X[i], delay, area, i)
+	}
+	return out
+}
+
+// metrics assembles one prediction; delay/area are optional precomputed
+// batch outputs indexed by i (nil means predict v directly).
+func (e *ML) metrics(g *aig.AIG, v []float64, delay, area []float64, i int) anneal.Metrics {
+	var m anneal.Metrics
+	if delay != nil {
+		m.DelayPS = delay[i] + 1
+	} else {
+		m.DelayPS = e.DelayModel.Predict(v) + 1
+	}
+	av := 0.0
+	if e.AreaModel != nil {
+		if area != nil {
+			av = area[i]
+		} else {
+			av = e.AreaModel.Predict(v)
+		}
+	}
 	switch {
 	case e.AreaModel != nil && e.AreaPerNode:
-		m.AreaUM2 = e.AreaModel.Predict(v)*float64(g.NumAnds()) + 1
+		m.AreaUM2 = av*float64(g.NumAnds()) + 1
 	case e.AreaModel != nil:
-		m.AreaUM2 = e.AreaModel.Predict(v) + 1
+		m.AreaUM2 = av + 1
 	default:
 		m.AreaUM2 = float64(g.NumAnds()) + 1
 	}
@@ -126,9 +206,14 @@ type SweepPoint struct {
 	TrueAreaUM2 float64
 }
 
-// Sweep runs the flow once per grid point (in parallel) and re-evaluates
-// every winner with the ground-truth oracle for fair cross-flow
-// comparison.
+// Sweep runs the flow once per grid point and re-evaluates every winner
+// with the ground-truth oracle for fair cross-flow comparison. Grid
+// points execute on a bounded worker pool (GOMAXPROCS workers, started
+// before any work is queued rather than one goroutine per point), and all
+// runs share one memo cache through the evaluation layer, so structures
+// revisited across grid points — starting with g0 itself, which every run
+// evaluates first — are scored once. On failure the first error (by grid
+// order) is returned annotated with its grid coordinates.
 func Sweep(g0 *aig.AIG, ev anneal.Evaluator, lib *cell.Library, cfg SweepConfig) ([]SweepPoint, error) {
 	type job struct {
 		dw, aw, decay float64
@@ -147,37 +232,58 @@ func Sweep(g0 *aig.AIG, ev anneal.Evaluator, lib *cell.Library, cfg SweepConfig)
 	if len(jobs) == 0 {
 		return nil, fmt.Errorf("flows: empty sweep grid")
 	}
+	// Warm the shared root's lazy caches so concurrent runs only read it.
+	g0.Levels()
+	g0.FanoutCounts()
 	gt := NewGroundTruth(lib)
+	// Sweep-wide memo cache: anneal.Run layers its per-run cache on top,
+	// so run-level misses still hit here when another grid point already
+	// evaluated the same structure. Cheap evaluators are passed through
+	// untouched.
+	runEv := ev
+	if !eval.IsCheap(ev) {
+		runEv = eval.NewCached(eval.AsOracle(ev, 0))
+	}
 	pts := make([]SweepPoint, len(jobs))
 	errs := make([]error, len(jobs))
-	var wg sync.WaitGroup
-	sem := make(chan struct{}, runtime.GOMAXPROCS(0))
-	for ji := range jobs {
-		wg.Add(1)
-		go func(ji int) {
-			defer wg.Done()
-			sem <- struct{}{}
-			defer func() { <-sem }()
-			j := jobs[ji]
-			p := cfg.Base
-			p.DelayWeight, p.AreaWeight, p.DecayRate = j.dw, j.aw, j.decay
-			p.Seed = cfg.Base.Seed + j.seedOff
-			r, err := anneal.Run(g0, ev, p)
-			if err != nil {
-				errs[ji] = err
-				return
-			}
-			m := gt.Evaluate(r.Best)
-			pts[ji] = SweepPoint{
-				DelayWeight: j.dw, AreaWeight: j.aw, Decay: j.decay,
-				Result: r, TrueDelayPS: m.DelayPS, TrueAreaUM2: m.AreaUM2,
-			}
-		}(ji)
+	workers := runtime.GOMAXPROCS(0)
+	if workers > len(jobs) {
+		workers = len(jobs)
 	}
+	work := make(chan int)
+	var wg sync.WaitGroup
+	for w := 0; w < workers; w++ {
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			for ji := range work {
+				j := jobs[ji]
+				p := cfg.Base
+				p.DelayWeight, p.AreaWeight, p.DecayRate = j.dw, j.aw, j.decay
+				p.Seed = cfg.Base.Seed + j.seedOff
+				r, err := anneal.Run(g0, runEv, p)
+				if err != nil {
+					errs[ji] = err
+					continue
+				}
+				m := gt.Evaluate(r.Best)
+				pts[ji] = SweepPoint{
+					DelayWeight: j.dw, AreaWeight: j.aw, Decay: j.decay,
+					Result: r, TrueDelayPS: m.DelayPS, TrueAreaUM2: m.AreaUM2,
+				}
+			}
+		}()
+	}
+	for ji := range jobs {
+		work <- ji
+	}
+	close(work)
 	wg.Wait()
-	for _, err := range errs {
+	for ji, err := range errs {
 		if err != nil {
-			return nil, err
+			j := jobs[ji]
+			return nil, fmt.Errorf("flows: sweep point %d/%d (w_delay=%g w_area=%g decay=%g): %w",
+				ji+1, len(jobs), j.dw, j.aw, j.decay, err)
 		}
 	}
 	return pts, nil

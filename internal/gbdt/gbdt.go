@@ -16,7 +16,9 @@ import (
 	"io"
 	"math"
 	"math/rand"
+	"runtime"
 	"sort"
+	"sync"
 )
 
 // Params configures training.
@@ -124,12 +126,53 @@ func (m *Model) Predict(x []float64) float64 {
 	return out
 }
 
-// PredictAll predicts every row of X.
+// PredictAll predicts every row of X sequentially.
 func (m *Model) PredictAll(X [][]float64) []float64 {
 	out := make([]float64, len(X))
 	for i, x := range X {
 		out[i] = m.Predict(x)
 	}
+	return out
+}
+
+// PredictBatch predicts every row of X, splitting the rows into
+// contiguous chunks across GOMAXPROCS goroutines. The output is
+// bit-identical to PredictAll at any core count — each row's prediction
+// is an independent tree walk — which lets the evaluation layer batch ML
+// inference without perturbing optimization trajectories.
+func (m *Model) PredictBatch(X [][]float64) []float64 {
+	return m.PredictBatchN(X, 0)
+}
+
+// PredictBatchN is PredictBatch with an explicit concurrency bound
+// (workers <= 0 uses GOMAXPROCS; 1 is fully sequential).
+func (m *Model) PredictBatchN(X [][]float64, workers int) []float64 {
+	if workers <= 0 {
+		workers = runtime.GOMAXPROCS(0)
+	}
+	if workers > len(X) {
+		workers = len(X)
+	}
+	if workers <= 1 {
+		return m.PredictAll(X)
+	}
+	out := make([]float64, len(X))
+	chunk := (len(X) + workers - 1) / workers
+	var wg sync.WaitGroup
+	for lo := 0; lo < len(X); lo += chunk {
+		hi := lo + chunk
+		if hi > len(X) {
+			hi = len(X)
+		}
+		wg.Add(1)
+		go func(lo, hi int) {
+			defer wg.Done()
+			for i := lo; i < hi; i++ {
+				out[i] = m.Predict(X[i])
+			}
+		}(lo, hi)
+	}
+	wg.Wait()
 	return out
 }
 

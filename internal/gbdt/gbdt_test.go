@@ -244,3 +244,35 @@ func TestMinChildWeightRespected(t *testing.T) {
 		}
 	}
 }
+
+// TestPredictBatchMatchesPredictAll: the parallel batch path must be
+// bit-identical to sequential prediction at any core count.
+func TestPredictBatchMatchesPredictAll(t *testing.T) {
+	rng := rand.New(rand.NewSource(9))
+	X, y := synth(rng, 600, 6, 0.1)
+	m, err := Train(X, y, Params{
+		NumTrees: 40, MaxDepth: 5, LearningRate: 0.1,
+		Subsample: 0.9, Lambda: 1, MinChildWeight: 1, Seed: 2,
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	qX, _ := synth(rng, 257, 6, 0) // odd size: exercises uneven chunks
+	want := m.PredictAll(qX)
+	got := m.PredictBatch(qX)
+	if len(got) != len(want) {
+		t.Fatalf("lengths %d vs %d", len(got), len(want))
+	}
+	for i := range want {
+		if got[i] != want[i] {
+			t.Fatalf("row %d: batch %.12f vs sequential %.12f", i, got[i], want[i])
+		}
+	}
+	// Degenerate sizes.
+	if out := m.PredictBatch(nil); len(out) != 0 {
+		t.Fatalf("empty batch returned %d rows", len(out))
+	}
+	if out := m.PredictBatch(qX[:1]); out[0] != want[0] {
+		t.Fatal("single-row batch differs")
+	}
+}

@@ -20,6 +20,7 @@ import (
 	"aigtimer/internal/aig"
 	"aigtimer/internal/cell"
 	"aigtimer/internal/cut"
+	"aigtimer/internal/eval"
 	"aigtimer/internal/netlist"
 	"aigtimer/internal/sta"
 	"aigtimer/internal/techmap"
@@ -59,4 +60,18 @@ func Evaluate(g *aig.AIG, lib *cell.Library) (Result, error) {
 		}
 	}
 	return best, nil
+}
+
+// EvaluateBatch evaluates every graph concurrently on up to `workers`
+// goroutines (GOMAXPROCS when workers <= 0) and returns per-graph results
+// and errors, both in input order. Values are identical to sequential
+// Evaluate calls at any worker count: the pipeline is deterministic and
+// each graph is processed by exactly one worker.
+func EvaluateBatch(gs []*aig.AIG, lib *cell.Library, workers int) ([]Result, []error) {
+	rs := make([]Result, len(gs))
+	errs := make([]error, len(gs))
+	eval.ForEach(len(gs), workers, func(i int) {
+		rs[i], errs[i] = Evaluate(gs[i], lib)
+	})
+	return rs, errs
 }

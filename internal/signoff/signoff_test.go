@@ -96,3 +96,34 @@ func TestEvaluatePreservesFunction(t *testing.T) {
 		}
 	}
 }
+
+// TestEvaluateBatchMatchesSequential: the parallel batch path must agree
+// with sequential Evaluate calls, in input order, at any worker count.
+func TestEvaluateBatchMatchesSequential(t *testing.T) {
+	rng := rand.New(rand.NewSource(7))
+	lib := cell.Builtin()
+	gs := make([]*aig.AIG, 5)
+	want := make([]Result, len(gs))
+	for i := range gs {
+		gs[i] = randomAIG(rng, 7, 100, 3)
+		r, err := Evaluate(gs[i], lib)
+		if err != nil {
+			t.Fatal(err)
+		}
+		want[i] = r
+	}
+	for _, workers := range []int{0, 1, 3, 16} {
+		rs, errs := EvaluateBatch(gs, lib, workers)
+		if len(rs) != len(gs) || len(errs) != len(gs) {
+			t.Fatalf("workers=%d: wrong result lengths", workers)
+		}
+		for i := range gs {
+			if errs[i] != nil {
+				t.Fatalf("workers=%d: batch[%d] error: %v", workers, i, errs[i])
+			}
+			if rs[i].DelayPS != want[i].DelayPS || rs[i].AreaUM2 != want[i].AreaUM2 || rs[i].Corner != want[i].Corner {
+				t.Fatalf("workers=%d: batch[%d] = %+v, want %+v", workers, i, rs[i], want[i])
+			}
+		}
+	}
+}
