@@ -295,6 +295,81 @@ func BenchmarkAnneal(b *testing.B) {
 	})
 }
 
+// coneForest builds an AIG of `trees` independent logic cones (one PO
+// each, disjoint PI supports, ~30 AND nodes per cone), so dirtying k
+// cones touches exactly k/trees of the graph — a controllable workload
+// for the incremental-evaluation benchmarks. The first `mutated` cones
+// use a re-associated shape of the same function, so two forests that
+// differ only in `mutated` share all remaining cones structurally.
+func coneForest(trees, mutated int) *aig.AIG {
+	const pisPerTree = 11
+	b := aig.NewBuilder(trees * pisPerTree)
+	for t := 0; t < trees; t++ {
+		pis := make([]aig.Lit, pisPerTree)
+		for i := range pis {
+			pis[i] = b.PI(t*pisPerTree + i)
+		}
+		// An XOR-heavy reduction (~4 ANDs per XOR keeps cones around 30
+		// nodes); the mutated variant re-associates the same function.
+		var out aig.Lit
+		if t < mutated {
+			out = pis[pisPerTree-1]
+			for i := pisPerTree - 2; i >= 0; i-- {
+				out = b.Xor(out, pis[i])
+			}
+			out = b.And(out, b.Or(pis[0], pis[3]))
+		} else {
+			out = pis[0]
+			for i := 1; i < pisPerTree; i++ {
+				out = b.Xor(out, pis[i])
+			}
+			out = b.And(out, b.Or(pis[0], pis[3]))
+		}
+		b.AddPO(out)
+	}
+	return b.Build().Compact()
+}
+
+// BenchmarkIncrementalEval compares a full signoff evaluation (mapping
+// at two efforts + 3-corner NLDM STA) against the incremental path at
+// several dirty-cone sizes on a >= 2000-node AIG. The incremental
+// result is bit-identical by construction (enforced by the eval-layer
+// differential harness); this benchmark tracks the speedup, which
+// should exceed 3x for small dirty cones (<= 5% of nodes).
+func BenchmarkIncrementalEval(b *testing.B) {
+	const trees = 64
+	lib := cell.Builtin()
+	prev := coneForest(trees, 0)
+	if prev.NumAnds() < 2000 {
+		b.Fatalf("forest too small: %d ands", prev.NumAnds())
+	}
+	_, st, err := signoff.EvaluateState(prev, lib)
+	if err != nil {
+		b.Fatal(err)
+	}
+	for _, dirtyTrees := range []int{1, 3, 16, 64} {
+		raw := coneForest(trees, dirtyTrees)
+		next, d := aig.Rebase(prev, raw)
+		tag := itoa(dirtyTrees) + "of" + itoa(trees) + "-cones"
+		b.Run("full/dirty-"+tag, func(b *testing.B) {
+			b.ReportMetric(100*d.DirtyFraction(), "dirty%")
+			for i := 0; i < b.N; i++ {
+				if _, err := signoff.Evaluate(next, lib); err != nil {
+					b.Fatal(err)
+				}
+			}
+		})
+		b.Run("incremental/dirty-"+tag, func(b *testing.B) {
+			b.ReportMetric(100*d.DirtyFraction(), "dirty%")
+			for i := 0; i < b.N; i++ {
+				if _, _, err := st.EvaluateDelta(next, d); err != nil {
+					b.Fatal(err)
+				}
+			}
+		})
+	}
+}
+
 // BenchmarkAblation covers the design choices called out in DESIGN.md.
 func BenchmarkAblation(b *testing.B) {
 	designs, _, _ := fixtures(b)

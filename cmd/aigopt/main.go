@@ -43,6 +43,9 @@ func main() {
 		workers    = flag.Int("workers", 0, "concurrent evaluations (0 = GOMAXPROCS)")
 		chains     = flag.Int("chains", 1, "parallel annealing chains, merged best-of")
 		noCache    = flag.Bool("no-cache", false, "disable the structural-fingerprint evaluation cache")
+		cacheMax   = flag.Int("cache-max", 0, "LRU bound on cached evaluations (0 = unbounded)")
+		noInc      = flag.Bool("no-incremental", false, "disable incremental (dirty-cone) evaluation")
+		incThresh  = flag.Float64("inc-threshold", 0, "dirty-cone fraction above which evaluation falls back to full rebuild (0 = default)")
 		verbose    = flag.Bool("v", false, "print per-iteration progress")
 	)
 	flag.Parse()
@@ -59,18 +62,23 @@ func main() {
 	}
 
 	p := anneal.Params{
-		Iterations:  *iters,
-		StartTemp:   *startTemp,
-		DecayRate:   *decay,
-		DelayWeight: *wDelay,
-		AreaWeight:  *wArea,
-		Seed:        *seed,
-		BatchSize:   *batch,
-		Workers:     *workers,
-		Chains:      *chains,
+		Iterations:           *iters,
+		StartTemp:            *startTemp,
+		DecayRate:            *decay,
+		DelayWeight:          *wDelay,
+		AreaWeight:           *wArea,
+		Seed:                 *seed,
+		BatchSize:            *batch,
+		Workers:              *workers,
+		Chains:               *chains,
+		CacheMaxEntries:      *cacheMax,
+		IncrementalThreshold: *incThresh,
 	}
 	if *noCache {
 		p.CacheMode = anneal.CacheOff
+	}
+	if *noInc {
+		p.Incremental = anneal.IncrementalOff
 	}
 	fmt.Printf("optimizing %s (%d PIs, %d POs, %d nodes, %d levels) with the %s flow\n",
 		name, g.NumPIs(), g.NumPOs(), g.NumAnds(), g.MaxLevel(), ev.Name())
@@ -93,6 +101,11 @@ func main() {
 		res.InitialEvalTime.Round(time.Microsecond))
 	fmt.Printf("oracle: %d evals (%d speculative), cache %d hits / %d misses (%.0f%% hit rate)\n",
 		res.Evals, res.SpeculativeEvals, res.CacheHits, res.CacheMisses, 100*res.CacheHitRate())
+	if res.DeltaEvals+res.FullEvals > 0 {
+		fmt.Printf("incremental: %d cone-sized / %d full evaluations (%.0f%% incremental)\n",
+			res.DeltaEvals, res.FullEvals,
+			100*float64(res.DeltaEvals)/float64(res.DeltaEvals+res.FullEvals))
+	}
 	if len(res.Chains) > 1 {
 		for _, c := range res.Chains {
 			fmt.Printf("  chain %d (seed %d): best cost %.4f, accepted %d\n",

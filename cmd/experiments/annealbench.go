@@ -20,6 +20,7 @@ type annealBenchConfig struct {
 	BatchSize          int     `json:"batch_size"`
 	Chains             int     `json:"chains"`
 	CacheEnabled       bool    `json:"cache_enabled"`
+	Incremental        bool    `json:"incremental"`
 	WallSeconds        float64 `json:"wall_seconds"`
 	ItersPerSec        float64 `json:"iters_per_sec"`
 	MoveSeconds        float64 `json:"move_seconds"`
@@ -30,6 +31,8 @@ type annealBenchConfig struct {
 	CacheHits          int64   `json:"cache_hits"`
 	CacheMisses        int64   `json:"cache_misses"`
 	CacheHitRate       float64 `json:"cache_hit_rate"`
+	DeltaEvals         int64   `json:"delta_evals"`
+	FullEvals          int64   `json:"full_evals"`
 	BestCost           float64 `json:"best_cost"`
 }
 
@@ -71,14 +74,17 @@ func runBenchAnneal(cfg config) error {
 	old := base
 	old.BatchSize, old.Workers, old.Chains = 1, 1, 1
 	old.CacheMode = anneal.CacheOff
-	// The shipped default: auto batch (min(8, GOMAXPROCS)) with the memo
-	// cache on, so the artifact reflects what this machine actually runs.
+	old.Incremental = anneal.IncrementalOff
+	// The batched+cached configuration with incremental evaluation off,
+	// isolating the dirty-cone path's contribution in the third config.
 	batched := base
-	batched.BatchSize = runtime.GOMAXPROCS(0)
-	if batched.BatchSize > 8 {
-		batched.BatchSize = 8
-	}
+	batched.BatchSize = anneal.EffectiveBatchSize(0)
 	batched.CacheMode = anneal.CacheOn
+	batched.Incremental = anneal.IncrementalOff
+	// The shipped default: batched, cached, and incremental (cone-sized
+	// re-evaluation on cache misses with an anchored base).
+	incremental := batched
+	incremental.Incremental = anneal.IncrementalAuto
 
 	report := annealBenchReport{
 		Design:     d.Name,
@@ -94,6 +100,7 @@ func runBenchAnneal(cfg config) error {
 	}{
 		{"sequential-uncached", old},
 		{"batched-cached", batched},
+		{"batched-cached-incremental", incremental},
 	} {
 		t0 := time.Now()
 		res, err := anneal.Run(g, flows.NewGroundTruth(lib), c.p)
@@ -108,6 +115,7 @@ func runBenchAnneal(cfg config) error {
 			BatchSize:          c.p.BatchSize,
 			Chains:             1,
 			CacheEnabled:       cacheOn,
+			Incremental:        c.p.Incremental != anneal.IncrementalOff,
 			WallSeconds:        wall.Seconds(),
 			ItersPerSec:        float64(len(res.History)) / wall.Seconds(),
 			MoveSeconds:        res.MoveTime.Seconds(),
@@ -118,17 +126,26 @@ func runBenchAnneal(cfg config) error {
 			CacheHits:          res.CacheHits,
 			CacheMisses:        res.CacheMisses,
 			CacheHitRate:       res.CacheHitRate(),
+			DeltaEvals:         res.DeltaEvals,
+			FullEvals:          res.FullEvals,
 			BestCost:           res.BestCost,
 		})
-		fmt.Printf("%-20s %8.3fs wall  %6.2f iters/s  eval %7.3fs  move %7.3fs  cache %d/%d (%.0f%%)\n",
+		fmt.Printf("%-28s %8.3fs wall  %6.2f iters/s  eval %7.3fs  move %7.3fs  cache %d/%d (%.0f%%)  delta %d/%d\n",
 			c.name, wall.Seconds(), float64(len(res.History))/wall.Seconds(),
 			res.EvalTime.Seconds(), res.MoveTime.Seconds(),
-			res.CacheHits, res.CacheHits+res.CacheMisses, 100*res.CacheHitRate())
+			res.CacheHits, res.CacheHits+res.CacheMisses, 100*res.CacheHitRate(),
+			res.DeltaEvals, res.DeltaEvals+res.FullEvals)
 	}
-	report.SpeedupNewOverOld = report.Configs[0].WallSeconds / report.Configs[1].WallSeconds
-	report.TrajectoryIdentical = sameTrajectory(results[0], results[1])
-	fmt.Printf("speedup (batched-cached over sequential): %.2fx on %d core(s); trajectory identical: %v\n",
-		report.SpeedupNewOverOld, report.GOMAXPROCS, report.TrajectoryIdentical)
+	last := len(report.Configs) - 1
+	report.SpeedupNewOverOld = report.Configs[0].WallSeconds / report.Configs[last].WallSeconds
+	report.TrajectoryIdentical = true
+	for _, r := range results[1:] {
+		if !sameTrajectory(results[0], r) {
+			report.TrajectoryIdentical = false
+		}
+	}
+	fmt.Printf("speedup (%s over sequential): %.2fx on %d core(s); trajectories identical: %v\n",
+		report.Configs[last].Name, report.SpeedupNewOverOld, report.GOMAXPROCS, report.TrajectoryIdentical)
 	if !report.TrajectoryIdentical {
 		return fmt.Errorf("bench-anneal: trajectories diverged between configurations")
 	}
@@ -149,6 +166,60 @@ func runBenchAnneal(cfg config) error {
 		return err
 	}
 	fmt.Printf("(wrote %s)\n", path)
+	if cfg.append != "" {
+		if err := appendTrajectory(cfg.append, report); err != nil {
+			return err
+		}
+		fmt.Printf("(appended to %s)\n", cfg.append)
+	}
+	return nil
+}
+
+// trajectoryRecord is one compact line of the cross-PR perf trajectory
+// (perf/trajectory.jsonl): enough to plot iters/sec, the eval/move
+// split, and the cache/incremental rates over time without retaining
+// full reports.
+type trajectoryRecord struct {
+	Date        string  `json:"date"`
+	Design      string  `json:"design"`
+	Iterations  int     `json:"iterations"`
+	GOMAXPROCS  int     `json:"gomaxprocs"`
+	Config      string  `json:"config"`
+	ItersPerSec float64 `json:"iters_per_sec"`
+	EvalSeconds float64 `json:"eval_seconds"`
+	MoveSeconds float64 `json:"move_seconds"`
+	CacheHit    float64 `json:"cache_hit_rate"`
+	DeltaEvals  int64   `json:"delta_evals"`
+	FullEvals   int64   `json:"full_evals"`
+	Speedup     float64 `json:"speedup_over_sequential"`
+	BestCost    float64 `json:"best_cost"`
+}
+
+// appendTrajectory appends one JSONL record per measured configuration.
+func appendTrajectory(path string, report annealBenchReport) error {
+	f, err := os.OpenFile(path, os.O_APPEND|os.O_CREATE|os.O_WRONLY, 0o644)
+	if err != nil {
+		return err
+	}
+	defer f.Close()
+	date := time.Now().UTC().Format("2006-01-02")
+	enc := json.NewEncoder(f)
+	for _, c := range report.Configs {
+		rec := trajectoryRecord{
+			Date:       date,
+			Design:     report.Design,
+			Iterations: report.Iterations,
+			GOMAXPROCS: report.GOMAXPROCS,
+			Config:     c.Name, ItersPerSec: c.ItersPerSec,
+			EvalSeconds: c.EvalSeconds, MoveSeconds: c.MoveSeconds,
+			CacheHit: c.CacheHitRate, DeltaEvals: c.DeltaEvals, FullEvals: c.FullEvals,
+			Speedup:  report.Configs[0].WallSeconds / c.WallSeconds,
+			BestCost: c.BestCost,
+		}
+		if err := enc.Encode(rec); err != nil {
+			return err
+		}
+	}
 	return nil
 }
 

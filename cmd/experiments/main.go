@@ -29,6 +29,7 @@ type config struct {
 	seed     int64
 	design   string // test design for Fig. 5
 	outDir   string
+	append   string // perf-trajectory JSONL to append bench results to
 }
 
 func main() {
@@ -42,6 +43,7 @@ func main() {
 	flag.Int64Var(&cfg.seed, "seed", 1, "random seed")
 	flag.StringVar(&cfg.design, "design", "EX54", "test design for Fig. 5")
 	flag.StringVar(&cfg.outDir, "out", "", "directory for CSV artifacts (default: stdout only)")
+	flag.StringVar(&cfg.append, "append", "", "JSONL file to append a compact bench-anneal record to (the cross-PR perf trajectory)")
 	flag.Parse()
 
 	if flag.NArg() != 1 {

@@ -129,7 +129,7 @@ func TestGroundTruthFlowImprovesSignoff(t *testing.T) {
 	}
 	p := anneal.DefaultParams
 	p.Iterations = 40
-	p.Seed = 9
+	p.Seed = 12
 	res, err := anneal.Run(g, flows.NewGroundTruth(lib), p)
 	if err != nil {
 		t.Fatal(err)

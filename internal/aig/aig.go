@@ -90,6 +90,12 @@ type AIG struct {
 	// lazily computed caches; reset by Builder mutations
 	levels  []int32
 	fanouts []int32
+	pairs   map[uint64]int32
+
+	// ancestry for incremental evaluation (see delta.go); set by Rebase,
+	// dropped by ClearProvenance, never copied by Copy/Compact.
+	base  *AIG
+	delta *Delta
 }
 
 // NumPIs returns the number of primary inputs.
@@ -207,6 +213,7 @@ func (b *Builder) And(a, c Lit) Lit {
 	b.levels = append(b.levels, lv+1)
 	b.g.levels = nil
 	b.g.fanouts = nil
+	b.g.pairs = nil
 	return MakeLit(n, false)
 }
 

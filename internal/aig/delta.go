@@ -1,0 +1,272 @@
+package aig
+
+import (
+	"fmt"
+	"sort"
+)
+
+// Delta records how a derived AIG ("next") structurally relates to the
+// AIG it was produced from ("prev"): which nodes are shared and which
+// belong to the cone a transformation actually touched. It is the
+// currency of the incremental evaluation path — techmap.Remap and
+// sta.Update consume it to recompute only the dirty region.
+//
+// A Delta always describes a *rebased* next graph (see Rebase): the AND
+// nodes of next are partitioned into a matched prefix and a dirty
+// suffix. Node FirstAnd+i of next is structurally identical (same
+// function, same fanin structure, transitively) to prev node
+// MatchedPrev[i], and MatchedPrev is strictly ascending, so the
+// translation between the two graphs preserves index order — the
+// property that makes translated per-node mapping state bit-exact. All
+// remaining nodes, indices FirstAnd+len(MatchedPrev) and up, are dirty:
+// they either are new structure or have new structure somewhere in
+// their transitive fanin.
+//
+// Because matching requires both fanins to be matched, the dirty set is
+// closed under transitive fanout by construction: the TFO-cone
+// expansion the incremental evaluators need is already folded in.
+type Delta struct {
+	// MatchedPrev maps the matched prefix of next onto prev: next AND
+	// node FirstAnd+i corresponds to prev node MatchedPrev[i]. Strictly
+	// ascending.
+	MatchedPrev []int32
+
+	prevAnds int // prev.NumAnds() at diff time
+	nextAnds int // next.NumAnds() at diff time
+}
+
+// NumMatched returns the number of next AND nodes shared with prev.
+func (d *Delta) NumMatched() int { return len(d.MatchedPrev) }
+
+// NumDirty returns the number of next AND nodes in the touched cone
+// (new structure plus its transitive fanout).
+func (d *Delta) NumDirty() int { return d.nextAnds - len(d.MatchedPrev) }
+
+// DirtyFraction returns NumDirty over next's AND count; 0 for an empty
+// graph. Incremental oracles fall back to full evaluation above a
+// threshold on this value.
+func (d *Delta) DirtyFraction() float64 {
+	if d.nextAnds == 0 {
+		return 0
+	}
+	return float64(d.NumDirty()) / float64(d.nextAnds)
+}
+
+func (d *Delta) String() string {
+	return fmt.Sprintf("delta{matched=%d dirty=%d (%.1f%%)}",
+		d.NumMatched(), d.NumDirty(), 100*d.DirtyFraction())
+}
+
+// Validate checks that d is a consistent description of next relative
+// to prev: the matched prefix is in bounds, strictly ascending, and
+// every matched node's fanin pair translates exactly onto its prev
+// counterpart's stored pair (up to the commutative swap). Incremental
+// consumers call this before trusting a delta; the check is O(matched).
+func (d *Delta) Validate(prev, next *AIG) error {
+	if prev.numPIs != next.numPIs {
+		return fmt.Errorf("aig: delta: PI count mismatch (%d vs %d)", prev.numPIs, next.numPIs)
+	}
+	if d.nextAnds != next.NumAnds() || d.prevAnds != prev.NumAnds() {
+		return fmt.Errorf("aig: delta: node counts moved since diff (prev %d/%d, next %d/%d)",
+			d.prevAnds, prev.NumAnds(), d.nextAnds, next.NumAnds())
+	}
+	if len(d.MatchedPrev) > next.NumAnds() {
+		return fmt.Errorf("aig: delta: %d matched > %d AND nodes", len(d.MatchedPrev), next.NumAnds())
+	}
+	first := next.FirstAnd()
+	toPrev := func(n int32) int32 { // next node -> prev node, -1 if dirty
+		if n < first {
+			return n // constant and PIs map to themselves
+		}
+		if i := n - first; int(i) < len(d.MatchedPrev) {
+			return d.MatchedPrev[i]
+		}
+		return -1
+	}
+	prevLast := int32(-1)
+	for i, m := range d.MatchedPrev {
+		if m < prev.FirstAnd() || int(m) >= prev.NumNodes() {
+			return fmt.Errorf("aig: delta: matched[%d] = %d out of prev range", i, m)
+		}
+		if m <= prevLast {
+			return fmt.Errorf("aig: delta: matched prefix not ascending at %d", i)
+		}
+		prevLast = m
+		n := first + int32(i)
+		f0, f1 := next.Fanins(n)
+		p0, p1 := toPrev(f0.Node()), toPrev(f1.Node())
+		if p0 < 0 || p1 < 0 {
+			return fmt.Errorf("aig: delta: matched node %d has dirty fanin", n)
+		}
+		t0 := MakeLit(p0, f0.IsCompl())
+		t1 := MakeLit(p1, f1.IsCompl())
+		g0, g1 := prev.Fanins(m)
+		if !(t0 == g0 && t1 == g1) && !(t0 == g1 && t1 == g0) {
+			return fmt.Errorf("aig: delta: matched node %d does not reproduce prev node %d", n, m)
+		}
+	}
+	return nil
+}
+
+// pairKeyNorm builds an order-normalized strash key for a fanin pair,
+// so lookups are insensitive to the commutative storage order.
+func pairKeyNorm(a, b Lit) uint64 {
+	if a < b {
+		a, b = b, a
+	}
+	return uint64(a)<<32 | uint64(b)
+}
+
+// PairIndex returns a map from order-normalized fanin pair to AND-node
+// index — the strash view Rebase matches against. The index is computed
+// once and cached (like Levels and FanoutCounts); callers must not
+// modify it, and concurrent users must warm it first, as the annealer
+// does before fanning proposals out over a shared base. On duplicate
+// pairs (non-Builder graphs) the lowest node wins, which only costs
+// match coverage, never correctness.
+func (g *AIG) PairIndex() map[uint64]int32 {
+	if g.pairs != nil {
+		return g.pairs
+	}
+	pairs := make(map[uint64]int32, g.NumAnds())
+	for i := int(g.FirstAnd()); i < g.NumNodes(); i++ {
+		nd := g.nodes[i]
+		k := pairKeyNorm(nd.fanin0, nd.fanin1)
+		if _, ok := pairs[k]; !ok {
+			pairs[k] = int32(i)
+		}
+	}
+	g.pairs = pairs
+	return pairs
+}
+
+// Rebase renumbers next into the canonical delta-friendly form relative
+// to prev and returns the rebased graph together with its Delta. Both
+// inputs are left untouched; the result is a pure renumbering of next
+// (functionally identical, same AND/level counts), with provenance set
+// to (prev, delta) so evaluation layers can pick the incremental path.
+//
+// Matching is structural: a next node matches a prev node when its
+// fanin pair, translated through already-matched fanins, is a fanin
+// pair of prev (commutative order ignored). Matched nodes are placed
+// first, sorted by their prev index — which makes the next↔prev
+// translation monotone, the property incremental technology mapping
+// needs for exact state reuse — followed by the dirty nodes in their
+// original relative order. Both segments respect topological order
+// because a matched node's fanins are matched and a dirty node's fanins
+// precede it in next.
+func Rebase(prev, next *AIG) (*AIG, *Delta) {
+	if prev.numPIs != next.numPIs {
+		// Not comparable; return an all-dirty self-delta-free copy.
+		g := next.Copy()
+		return g, &Delta{prevAnds: prev.NumAnds(), nextAnds: next.NumAnds()}
+	}
+	// Index prev's AND nodes by normalized fanin pair; the index is
+	// cached on prev, so the many proposals of one annealing round
+	// rebase against a shared base for one build.
+	pairs := prev.PairIndex()
+	numNodes := next.NumNodes()
+	match := make([]int32, numNodes) // next node -> prev node, -1 = dirty
+	for i := range match {
+		match[i] = -1
+	}
+	first := int(next.FirstAnd())
+	for i := 0; i < first; i++ {
+		match[i] = int32(i) // constant + PIs
+	}
+	taken := make(map[int32]bool, numNodes) // prev nodes already claimed
+	var matched, dirty []int32
+	for i := first; i < numNodes; i++ {
+		nd := next.nodes[i]
+		m0 := match[nd.fanin0.Node()]
+		m1 := match[nd.fanin1.Node()]
+		if m0 >= 0 && m1 >= 0 {
+			t0 := MakeLit(m0, nd.fanin0.IsCompl())
+			t1 := MakeLit(m1, nd.fanin1.IsCompl())
+			if p, ok := pairs[pairKeyNorm(t0, t1)]; ok && !taken[p] {
+				taken[p] = true
+				match[i] = p
+				matched = append(matched, int32(i))
+				continue
+			}
+		}
+		dirty = append(dirty, int32(i))
+	}
+	// Order the matched segment by prev index (monotone translation).
+	sort.Slice(matched, func(a, b int) bool { return match[matched[a]] < match[matched[b]] })
+
+	perm := make([]int32, numNodes) // next node -> rebased node
+	for i := 0; i < first; i++ {
+		perm[i] = int32(i)
+	}
+	matchedPrev := make([]int32, len(matched))
+	pos := int32(first)
+	for i, n := range matched {
+		perm[n] = pos
+		matchedPrev[i] = match[n]
+		pos++
+	}
+	for _, n := range dirty {
+		perm[n] = pos
+		pos++
+	}
+	mapLit := func(l Lit) Lit { return MakeLit(perm[l.Node()], l.IsCompl()) }
+
+	g := &AIG{
+		nodes:  make([]node, numNodes),
+		numPIs: next.numPIs,
+		pos:    make([]Lit, len(next.pos)),
+	}
+	for i := 0; i < first; i++ {
+		g.nodes[i] = node{noFanin, noFanin}
+	}
+	for i := first; i < numNodes; i++ {
+		nd := next.nodes[i]
+		g.nodes[perm[i]] = node{mapLit(nd.fanin0), mapLit(nd.fanin1)}
+	}
+	for i, po := range next.pos {
+		g.pos[i] = mapLit(po)
+	}
+	d := &Delta{MatchedPrev: matchedPrev, prevAnds: prev.NumAnds(), nextAnds: next.NumAnds()}
+	g.base, g.delta = prev, d
+	return g, d
+}
+
+// Provenance returns the graph this AIG was rebased against and the
+// structural delta between them, or (nil, nil) for graphs without
+// recorded ancestry. Incremental oracles use it to locate reusable
+// evaluation state for the base graph.
+func (g *AIG) Provenance() (*AIG, *Delta) { return g.base, g.delta }
+
+// SetProvenance records (base, delta) as this graph's ancestry. The
+// delta must describe this graph relative to base (see Delta); Rebase
+// sets it automatically.
+func (g *AIG) SetProvenance(base *AIG, d *Delta) { g.base, g.delta = base, d }
+
+// ClearProvenance drops the ancestry record so the base graph can be
+// garbage-collected. The annealer calls this once a speculation round
+// has been consumed, keeping provenance chains at depth one.
+func (g *AIG) ClearProvenance() { g.base, g.delta = nil, nil }
+
+// TFO returns the AND nodes in the transitive fanout of the seed nodes
+// (seeds included, ascending order). It is the cone-expansion primitive
+// behind delta tracking: any change at a seed invalidates exactly this
+// set downstream, which is why Rebase's dirty suffix — unmatched nodes
+// plus everything reached through them — is TFO-closed by construction.
+func (g *AIG) TFO(seeds []int32) []int32 {
+	mark := make([]bool, len(g.nodes))
+	for _, s := range seeds {
+		if s >= 0 && int(s) < len(g.nodes) {
+			mark[s] = true
+		}
+	}
+	var out []int32
+	for i := int(g.FirstAnd()); i < len(g.nodes); i++ {
+		nd := g.nodes[i]
+		if mark[i] || mark[nd.fanin0.Node()] || mark[nd.fanin1.Node()] {
+			mark[i] = true
+			out = append(out, int32(i))
+		}
+	}
+	return out
+}

@@ -10,7 +10,11 @@
 // Evaluation goes through the internal/eval layer: candidates are
 // proposed in speculative batches and scored concurrently through
 // eval.Oracle.EvaluateBatch, behind a structural-fingerprint memo cache
-// that spares revisited structures a second mapping+STA. Each iteration
+// that spares revisited structures a second mapping+STA, and — for
+// delta-capable evaluators like the ground-truth flow — behind the
+// incremental oracle, which re-maps and re-times only the logic cone a
+// move touched (moves are applied with Recipe.ApplyTracked, so every
+// candidate carries its structural delta). Each iteration
 // draws from its own deterministic RNG stream derived from (seed, chain,
 // iteration), so a proposal depends only on its base state and iteration
 // index — which makes the accepted trajectory bit-identical for a fixed
@@ -59,6 +63,20 @@ const (
 	CacheOff
 )
 
+// IncrementalMode selects the incremental-evaluation policy of a run.
+type IncrementalMode int
+
+const (
+	// IncrementalAuto routes cache misses through the delta path
+	// (eval.Incremental) when the evaluator supports it: candidates
+	// whose move touched a small cone are re-mapped and re-timed
+	// incrementally. Metrics are bit-identical to full evaluation, so
+	// the trajectory does not depend on this setting.
+	IncrementalAuto IncrementalMode = iota
+	// IncrementalOff always evaluates from scratch.
+	IncrementalOff
+)
+
 // Params configures one annealing run.
 type Params struct {
 	Iterations  int
@@ -86,6 +104,22 @@ type Params struct {
 	Chains int
 	// CacheMode is the memo-cache policy; default CacheAuto.
 	CacheMode CacheMode
+	// CacheMaxEntries bounds the memo cache with LRU eviction; 0 keeps
+	// every evaluated structure for the cache's lifetime. Run applies
+	// it to the per-run cache it builds; flows.Sweep applies it to the
+	// sweep-wide shared cache instead.
+	CacheMaxEntries int
+	// Incremental is the incremental-evaluation policy; default
+	// IncrementalAuto. The setting never changes the trajectory, only
+	// the evaluation cost. It applies when Run builds the evaluation
+	// stack itself; callers passing a pre-cached stack (flows.Sweep)
+	// bake the policy into that stack instead.
+	Incremental IncrementalMode
+	// IncrementalThreshold overrides the dirty-fraction above which the
+	// incremental path falls back to full evaluation (0 = the
+	// evaluation layer's default). Like Incremental, it applies when
+	// Run builds the stack itself.
+	IncrementalThreshold float64
 }
 
 // DefaultParams is a reasonable medium-effort configuration.
@@ -158,6 +192,16 @@ type Result struct {
 	SpeculativeEvals int
 	CacheHits        int64
 	CacheMisses      int64
+
+	// Incremental-evaluation accounting (zero when the policy is off or
+	// the evaluator has no delta path). DeltaEvals counts evaluations
+	// served through cone-sized incremental remap+STA; FullEvals counts
+	// evaluations that ran the full pipeline (including the initial
+	// one). Cache hits appear in neither. For a shared pre-cached stack
+	// the counters report this run's share, approximate when several
+	// runs evaluate concurrently (same caveat as the cache counters).
+	DeltaEvals int64
+	FullEvals  int64
 }
 
 // TotalSteps returns the number of iterations consumed across all
@@ -203,6 +247,48 @@ func (r *Result) CacheHitRate() float64 {
 	return 0
 }
 
+// EffectiveBatchSize resolves a Params.BatchSize value to the batch the
+// run actually uses: the value itself, or min(8, GOMAXPROCS) for the
+// auto default of 0. Exported so stack builders outside Run (the sweep,
+// the bench driver) size shared resources against the same number.
+func EffectiveBatchSize(v int) int {
+	if v != 0 {
+		return v
+	}
+	if v = runtime.GOMAXPROCS(0); v > 8 {
+		v = 8
+	}
+	return v
+}
+
+// AnchorBudget returns the incremental-oracle anchor store size one run
+// needs: one speculation round of candidates plus the current state,
+// per chain. Shared stacks serving several concurrent runs multiply
+// this by the run count.
+func AnchorBudget(batch, chains int) int { return (2*batch + 4) * chains }
+
+// movesTracked reports whether candidates should carry structural
+// deltas (Recipe.ApplyTracked): true when some layer of the evaluation
+// stack can consume them. The decision depends only on the stack's
+// capability, never on Params.Incremental, so the proposed moves — and
+// with them the trajectory — are identical whether the incremental
+// policy is on or off; evaluators with no delta path skip the rebase
+// work entirely.
+func movesTracked(oracle eval.Oracle) bool {
+	for {
+		switch o := oracle.(type) {
+		case *eval.Cached:
+			oracle = o.Underlying()
+		case *eval.Incremental:
+			return true
+		case eval.DeltaEvaluator:
+			return true
+		default:
+			return false
+		}
+	}
+}
+
 // chainSeed derives the RNG seed of chain c, matching the historical
 // multi-start convention so chain 0 reproduces a single run at p.Seed.
 func chainSeed(seed int64, c int) int64 { return seed + int64(c)*1000003 }
@@ -236,12 +322,7 @@ func Run(g0 *aig.AIG, ev Evaluator, p Params) (*Result, error) {
 	if recipes == nil {
 		recipes = transform.Recipes()
 	}
-	batch := p.BatchSize
-	if batch == 0 {
-		if batch = runtime.GOMAXPROCS(0); batch > 8 {
-			batch = 8
-		}
-	}
+	batch := EffectiveBatchSize(p.BatchSize)
 	chains := p.Chains
 	if chains == 0 {
 		chains = 1
@@ -250,12 +331,38 @@ func Run(g0 *aig.AIG, ev Evaluator, p Params) (*Result, error) {
 	oracle := eval.AsOracle(ev, p.Workers)
 	// An already-cached oracle (e.g. the sweep-wide cache flows.Sweep
 	// shares across grid points) is used as-is — wrapping a second cache
-	// on top would double the fingerprint cost and graph retention. Its
+	// on top would double the fingerprint cost and graph retention, and
+	// its stack already routes misses through the incremental path. Its
 	// counters are snapshotted so the Result reports this run's share
 	// (approximate when several runs share the cache concurrently).
 	cached, preCached := oracle.(*eval.Cached)
+	var inc *eval.Incremental
+	var incBefore eval.IncrementalStats
+	if preCached {
+		// A pre-built stack carries its own incremental policy (set by
+		// whoever built it, e.g. flows.Sweep from SweepConfig.Base);
+		// report this run's share of its counters like the cache's.
+		if i, ok := cached.Underlying().(*eval.Incremental); ok {
+			inc = i
+			incBefore = i.Stats()
+		}
+	}
+	if !preCached && p.Incremental != IncrementalOff {
+		// The incremental path sits under the cache: a cache hit needs no
+		// evaluation at all, a miss is re-mapped and re-timed only inside
+		// the move's dirty cone when its base state is anchored. The
+		// anchor budget covers one round of speculative candidates plus
+		// the current state per chain.
+		wrapped := eval.NewIncremental(oracle, eval.IncrementalParams{
+			DirtyThreshold: p.IncrementalThreshold,
+			MaxStates:      AnchorBudget(batch, chains),
+			Workers:        p.Workers,
+		})
+		inc, _ = wrapped.(*eval.Incremental)
+		oracle = wrapped
+	}
 	if !preCached && (p.CacheMode == CacheOn || (p.CacheMode == CacheAuto && !eval.IsCheap(ev))) {
-		cached = eval.NewCached(oracle)
+		cached = eval.NewCachedLRU(oracle, p.CacheMaxEntries)
 		oracle = cached
 	}
 	var statsBefore eval.CacheStats
@@ -278,13 +385,20 @@ func Run(g0 *aig.AIG, ev Evaluator, p Params) (*Result, error) {
 		return p.DelayWeight*m.DelayPS/init.DelayPS + p.AreaWeight*m.AreaUM2/init.AreaUM2
 	}
 
+	tracked := movesTracked(oracle)
+	if tracked {
+		// Like Levels/FanoutCounts above: concurrent chains rebase their
+		// first proposals against the shared g0, so its pair index must
+		// be built before they only read it.
+		g0.PairIndex()
+	}
 	crs := make([]chainState, chains)
 	var wg sync.WaitGroup
 	for c := 0; c < chains; c++ {
 		wg.Add(1)
 		go func(c int) {
 			defer wg.Done()
-			crs[c] = runChain(g0, oracle, p, recipes, batch, chainSeed(p.Seed, c), cost, init)
+			crs[c] = runChain(g0, oracle, p, recipes, batch, chainSeed(p.Seed, c), cost, init, tracked)
 		}(c)
 	}
 	wg.Wait()
@@ -313,6 +427,11 @@ func Run(g0 *aig.AIG, ev Evaluator, p Params) (*Result, error) {
 		s := cached.Stats()
 		res.CacheHits = s.Hits - statsBefore.Hits
 		res.CacheMisses = s.Misses - statsBefore.Misses
+	}
+	if inc != nil {
+		s := inc.Stats()
+		res.DeltaEvals = s.DeltaEvals - incBefore.DeltaEvals
+		res.FullEvals = s.FullEvals - incBefore.FullEvals
 	}
 	return res, nil
 }
@@ -371,7 +490,18 @@ func treeDepth(batch int) int {
 //     acceptance outcome — speculation never mispredicts, at the price
 //     of 2^d - 1 - d wasted evaluations that run concurrently anyway.
 func runChain(g0 *aig.AIG, oracle eval.Oracle, p Params, recipes []transform.Recipe,
-	batch int, seed int64, cost func(Metrics) float64, init Metrics) chainState {
+	batch int, seed int64, cost func(Metrics) float64, init Metrics, tracked bool) chainState {
+
+	// apply runs one recipe move, emitting the structural delta only
+	// when some oracle layer can consume it (tracked); rebasing costs a
+	// graph copy per proposal, pure waste for proxy-style evaluators.
+	apply := func(r transform.Recipe, base *aig.AIG, rng *rand.Rand) *aig.AIG {
+		if tracked {
+			g, _ := r.ApplyTracked(base, rng)
+			return g
+		}
+		return r.Apply(base, rng)
+	}
 
 	cs := chainState{
 		best:        g0,
@@ -384,6 +514,7 @@ func runChain(g0 *aig.AIG, oracle eval.Oracle, p Params, recipes []transform.Rec
 	nodes := make([]specNode, 0, batch)
 	gs := make([]*aig.AIG, 0, batch)
 	bases := make([]*aig.AIG, 0, batch)
+	levelEnds := make([]int, 0, 8) // tree rounds: end index of each level
 	depth := treeDepth(batch)
 	sinceAccept := 0 // consumed iterations since the last acceptance
 
@@ -391,12 +522,16 @@ func runChain(g0 *aig.AIG, oracle eval.Oracle, p Params, recipes []transform.Rec
 	// bases[j] as its assumed current state. Proposals are independent
 	// given their per-iteration RNG streams, so they run on the worker
 	// pool; the shared bases' lazy caches are pre-warmed by the caller.
+	// ApplyTracked rebases each candidate against its base and records
+	// the move's dirty cone as provenance, which the incremental oracle
+	// turns into cone-sized evaluation; rebasing is deterministic, so
+	// the trajectory stays batch- and worker-invariant.
 	propose := func(lo, hi, iter int) {
 		eval.ForEach(hi-lo, p.Workers, func(j int) {
 			rng := rand.New(rand.NewSource(iterSeed(seed, iter)))
 			r := recipes[rng.Intn(len(recipes))]
 			n := &nodes[lo+j]
-			n.g = r.Apply(bases[lo+j], rng)
+			n.g = apply(r, bases[lo+j], rng)
 			n.recipe = r.Name
 			n.accept = rng.Float64()
 			n.rejChild, n.accChild = -1, -1
@@ -409,9 +544,13 @@ func runChain(g0 *aig.AIG, oracle eval.Oracle, p Params, recipes []transform.Rec
 		tMove := time.Now()
 		// Warm the current state's lazy caches; parallel proposals then
 		// only read the shared graph (AIG fields are package-private, so
-		// transforms cannot mutate it otherwise).
+		// transforms cannot mutate it otherwise). Tracked moves also
+		// rebase against cur, so its pair index is warmed too.
 		cur.Levels()
 		cur.FanoutCounts()
+		if tracked {
+			cur.PairIndex()
+		}
 
 		hot := sinceAccept < batch
 		d := depth
@@ -420,6 +559,7 @@ func runChain(g0 *aig.AIG, oracle eval.Oracle, p Params, recipes []transform.Rec
 		}
 		nodes = nodes[:0]
 		bases = bases[:0]
+		levelEnds = levelEnds[:0]
 		if hot && d > 1 {
 			// Tree round: level l holds the 2^l proposals for iteration
 			// it+l, one per reachable state after l decisions.
@@ -427,6 +567,7 @@ func runChain(g0 *aig.AIG, oracle eval.Oracle, p Params, recipes []transform.Rec
 			nodes = append(nodes, specNode{})
 			bases = append(bases, cur)
 			propose(0, 1, it)
+			levelEnds = append(levelEnds, 1)
 			for l := 1; l < d; l++ {
 				hi := len(nodes)
 				for pi := lo; pi < hi; pi++ {
@@ -438,6 +579,7 @@ func runChain(g0 *aig.AIG, oracle eval.Oracle, p Params, recipes []transform.Rec
 					bases = append(bases, nodes[pi].g)
 				}
 				propose(hi, len(nodes), it+l)
+				levelEnds = append(levelEnds, len(nodes))
 				lo = hi
 			}
 		} else {
@@ -458,7 +600,7 @@ func runChain(g0 *aig.AIG, oracle eval.Oracle, p Params, recipes []transform.Rec
 				rng := rand.New(rand.NewSource(iterSeed(seed, it+j)))
 				r := recipes[rng.Intn(len(recipes))]
 				n := &nodes[j]
-				n.g = r.Apply(cur, rng)
+				n.g = apply(r, cur, rng)
 				n.recipe = r.Name
 				n.accept = rng.Float64()
 				n.rejChild, n.accChild = -1, -1
@@ -474,7 +616,24 @@ func runChain(g0 *aig.AIG, oracle eval.Oracle, p Params, recipes []transform.Rec
 			gs = append(gs, nodes[i].g)
 		}
 		tEval := time.Now()
-		ms := oracle.EvaluateBatch(gs)
+		var ms []Metrics
+		if tracked && len(levelEnds) > 1 {
+			// Score the speculation tree level by level: a level's
+			// candidates are anchored in the incremental oracle before
+			// their children (whose bases they are) evaluate, so the
+			// accept branches take the cone-sized path instead of
+			// missing the anchor. EvaluateBatch is value-transparent, so
+			// the metrics — and the trajectory — are identical to one
+			// flat batch; only evaluation cost changes.
+			ms = make([]Metrics, 0, len(gs))
+			s := 0
+			for _, e := range levelEnds {
+				ms = append(ms, oracle.EvaluateBatch(gs[s:e])...)
+				s = e
+			}
+		} else {
+			ms = oracle.EvaluateBatch(gs)
+		}
 		cs.evalTime += time.Since(tEval)
 		cs.evals += len(nodes)
 
@@ -507,6 +666,12 @@ func runChain(g0 *aig.AIG, oracle eval.Oracle, p Params, recipes []transform.Rec
 			}
 		}
 		cs.speculative += len(nodes) - consumed
+		// The oracle has consumed every candidate's provenance; drop the
+		// records so base graphs do not chain into a retained history
+		// (provenance depth stays at one).
+		for i := range nodes {
+			nodes[i].g.ClearProvenance()
+		}
 	}
 	return cs
 }

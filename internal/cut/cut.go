@@ -45,18 +45,42 @@ var DefaultParams = Params{K: 4, MaxCuts: 8}
 // Enumerate computes priority cuts for every node of g. The result is
 // indexed by node; PIs and the constant node get their trivial cut only.
 func Enumerate(g *aig.AIG, p Params) [][]Cut {
+	cuts := make([][]Cut, g.NumNodes())
+	Seed(g, cuts)
+	EnumerateSuffix(g, p, cuts, g.FirstAnd())
+	return cuts
+}
+
+// Seed fills the constant node's and the PIs' cut lists in cuts, the
+// base case of both full and suffix enumeration. cuts must have length
+// g.NumNodes().
+func Seed(g *aig.AIG, cuts [][]Cut) {
+	cuts[0] = []Cut{{Leaves: nil, Table: 0}} // constant false
+	for i := 1; i <= g.NumPIs(); i++ {
+		cuts[i] = []Cut{trivialCut(int32(i))}
+	}
+}
+
+// EnumerateSuffix runs the bottom-up cut merge for every AND node with
+// index >= first, reading (and trusting) the already-filled entries of
+// cuts below first. It is the incremental half of Enumerate: when a
+// graph shares a matched prefix with a previously enumerated one
+// (aig.Delta), the prefix cuts can be translated and only the dirty
+// suffix re-enumerated, with results identical to a full enumeration —
+// the merge for a node consults nothing but its fanins' cut lists.
+func EnumerateSuffix(g *aig.AIG, p Params, cuts [][]Cut, first int32) {
 	if p.K < 2 || p.K > 4 {
 		panic("cut: K must be in [2,4]")
 	}
 	if p.MaxCuts < 1 {
 		panic("cut: MaxCuts must be positive")
 	}
-	cuts := make([][]Cut, g.NumNodes())
-	cuts[0] = []Cut{{Leaves: nil, Table: 0}} // constant false
-	for i := 1; i <= g.NumPIs(); i++ {
-		cuts[i] = []Cut{trivialCut(int32(i))}
+	if first < g.FirstAnd() {
+		first = g.FirstAnd()
 	}
-	g.TopoForEachAnd(func(n int32, f0, f1 aig.Lit) {
+	for i := int(first); i < g.NumNodes(); i++ {
+		n := int32(i)
+		f0, f1 := g.Fanins(n)
 		c0 := cuts[f0.Node()]
 		c1 := cuts[f1.Node()]
 		merged := make([]Cut, 0, len(c0)*len(c1)+1)
@@ -73,8 +97,7 @@ func Enumerate(g *aig.AIG, p Params) [][]Cut {
 		merged = filter(merged, p.MaxCuts)
 		merged = append(merged, trivialCut(n))
 		cuts[n] = merged
-	})
-	return cuts
+	}
 }
 
 func trivialCut(n int32) Cut {

@@ -1,6 +1,7 @@
 package eval
 
 import (
+	"container/list"
 	"sync"
 
 	"aigtimer/internal/aig"
@@ -18,9 +19,10 @@ const sigSeed = 0x51ca9e
 
 // CacheStats is a point-in-time snapshot of a Cached oracle's counters.
 type CacheStats struct {
-	Hits    int64 // lookups served from memory (incl. intra-batch dedupe)
-	Misses  int64 // lookups that ran the underlying oracle
-	Entries int64 // distinct structures currently memoized
+	Hits      int64 // lookups served from memory (incl. intra-batch dedupe)
+	Misses    int64 // lookups that ran the underlying oracle
+	Entries   int64 // distinct structures currently memoized
+	Evictions int64 // entries dropped by the MaxEntries LRU bound
 }
 
 // HitRate returns Hits / (Hits + Misses), or 0 before any lookup.
@@ -33,10 +35,13 @@ func (s CacheStats) HitRate() float64 {
 
 // cacheEntry pairs a memoized graph with its metrics. The graph is
 // retained so that fingerprint collisions can be resolved by full
-// structural comparison.
+// structural comparison. fp and elem tie the entry back to its bucket
+// and its LRU list position for bounded caches.
 type cacheEntry struct {
-	g *aig.AIG
-	m Metrics
+	g    *aig.AIG
+	m    Metrics
+	fp   uint64
+	elem *list.Element
 }
 
 // Cached memoizes an Oracle behind a structural-fingerprint cache. The
@@ -49,8 +54,10 @@ type cacheEntry struct {
 // Caching is sound because every oracle in this repository is
 // deterministic: structurally identical AIGs always map, time, and
 // featurize identically, so their metrics are interchangeable. Memoized
-// graphs are retained for the lifetime of the cache, which is bounded by
-// one optimization run (or one sweep) in all current uses.
+// graphs are retained for the lifetime of the cache by default — fine
+// when that lifetime is one run or one sweep — or up to the
+// least-recently-used bound of NewCachedLRU for long-lived shared
+// caches.
 //
 // Cached is safe for concurrent use. Metric values are deterministic
 // regardless of interleaving; the hit/miss split is deterministic for a
@@ -62,16 +69,38 @@ type Cached struct {
 	// fp computes the fingerprint; tests override it to force collisions.
 	fp func(g *aig.AIG) uint64
 
-	mu      sync.Mutex
-	table   map[uint64][]cacheEntry
-	entries int64
-	hits    int64
-	misses  int64
+	// maxEntries bounds the memoized structures (0 = unbounded). When
+	// bounded, entries are tracked in lru (front = most recent) and the
+	// least recently used entry is evicted on overflow.
+	maxEntries int
+
+	mu        sync.Mutex
+	table     map[uint64][]*cacheEntry
+	lru       *list.List
+	entries   int64
+	hits      int64
+	misses    int64
+	evictions int64
 }
 
-// NewCached wraps o with a structural-fingerprint memo cache.
-func NewCached(o Oracle) *Cached {
-	c := &Cached{oracle: o, table: make(map[uint64][]cacheEntry)}
+// NewCached wraps o with an unbounded structural-fingerprint memo
+// cache, appropriate for single runs and sweeps whose working set is
+// bounded by the run itself.
+func NewCached(o Oracle) *Cached { return NewCachedLRU(o, 0) }
+
+// NewCachedLRU wraps o with a structural-fingerprint memo cache
+// retaining at most maxEntries structures, evicting least-recently-used
+// ones beyond that (maxEntries <= 0 means unbounded). Long-running
+// services sharing one cache across requests want a bound; an eviction
+// only costs a potential re-evaluation, never a wrong answer.
+func NewCachedLRU(o Oracle, maxEntries int) *Cached {
+	if maxEntries < 0 {
+		maxEntries = 0
+	}
+	c := &Cached{oracle: o, table: make(map[uint64][]*cacheEntry), maxEntries: maxEntries}
+	if maxEntries > 0 {
+		c.lru = list.New()
+	}
 	c.fp = fingerprint
 	return c
 }
@@ -79,11 +108,17 @@ func NewCached(o Oracle) *Cached {
 // Name implements Evaluator.
 func (c *Cached) Name() string { return c.oracle.Name() + "+cache" }
 
+// Underlying returns the oracle the cache wraps, so callers handed a
+// pre-built stack (e.g. a sweep-wide shared cache) can reach the layers
+// beneath it — anneal.Run uses this to report the incremental-path
+// counters of a shared stack.
+func (c *Cached) Underlying() Oracle { return c.oracle }
+
 // Stats returns a snapshot of the cache counters.
 func (c *Cached) Stats() CacheStats {
 	c.mu.Lock()
 	defer c.mu.Unlock()
-	return CacheStats{Hits: c.hits, Misses: c.misses, Entries: c.entries}
+	return CacheStats{Hits: c.hits, Misses: c.misses, Entries: c.entries, Evictions: c.evictions}
 }
 
 // Evaluate implements Oracle, consulting the cache first.
@@ -166,10 +201,14 @@ func (c *Cached) EvaluateBatch(gs []*aig.AIG) []Metrics {
 	return out
 }
 
-// lookupLocked scans the entries under fp for a structurally equal graph.
+// lookupLocked scans the entries under fp for a structurally equal
+// graph, refreshing its LRU recency on a hit.
 func (c *Cached) lookupLocked(fp uint64, g *aig.AIG) (Metrics, bool) {
 	for _, e := range c.table[fp] {
 		if e.g.StructuralEqual(g) {
+			if c.lru != nil {
+				c.lru.MoveToFront(e.elem)
+			}
 			return e.m, true
 		}
 	}
@@ -177,13 +216,37 @@ func (c *Cached) lookupLocked(fp uint64, g *aig.AIG) (Metrics, bool) {
 }
 
 // insertLocked memoizes (g, m) under fp unless an equal entry already
-// exists (two goroutines may evaluate the same structure concurrently).
+// exists (two goroutines may evaluate the same structure concurrently),
+// then enforces the MaxEntries bound by least-recently-used eviction.
 func (c *Cached) insertLocked(fp uint64, g *aig.AIG, m Metrics) {
 	if _, ok := c.lookupLocked(fp, g); ok {
 		return
 	}
-	c.table[fp] = append(c.table[fp], cacheEntry{g: g, m: m})
+	e := &cacheEntry{g: g, m: m, fp: fp}
+	c.table[fp] = append(c.table[fp], e)
 	c.entries++
+	if c.lru == nil {
+		return
+	}
+	e.elem = c.lru.PushFront(e)
+	for int(c.entries) > c.maxEntries {
+		victim := c.lru.Remove(c.lru.Back()).(*cacheEntry)
+		bucket := c.table[victim.fp]
+		for i, be := range bucket {
+			if be == victim {
+				bucket[i] = bucket[len(bucket)-1]
+				bucket = bucket[:len(bucket)-1]
+				break
+			}
+		}
+		if len(bucket) == 0 {
+			delete(c.table, victim.fp)
+		} else {
+			c.table[victim.fp] = bucket
+		}
+		c.entries--
+		c.evictions++
+	}
 }
 
 // fingerprint hashes the canonical identity of g: PI/PO/AND counts, the

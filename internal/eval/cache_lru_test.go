@@ -1,0 +1,79 @@
+package eval
+
+import (
+	"testing"
+
+	"aigtimer/internal/aig"
+)
+
+func TestCachedLRUEviction(t *testing.T) {
+	ev := &countEval{}
+	c := NewCachedLRU(AsOracle(ev, 1), 3)
+
+	// Four distinct structures through a 3-entry cache.
+	a, b, d, e := testAIG(1), testAIG(2), testAIG(3), testAIG(4)
+	c.Evaluate(a)
+	c.Evaluate(b)
+	c.Evaluate(d)
+	if s := c.Stats(); s.Entries != 3 || s.Evictions != 0 || s.Misses != 3 {
+		t.Fatalf("warmup stats %+v", s)
+	}
+	// Touch a so that b becomes the LRU victim.
+	c.Evaluate(a)
+	if s := c.Stats(); s.Hits != 1 {
+		t.Fatalf("expected a hit on a, stats %+v", s)
+	}
+	c.Evaluate(e) // evicts b
+	if s := c.Stats(); s.Entries != 3 || s.Evictions != 1 {
+		t.Fatalf("post-eviction stats %+v", s)
+	}
+	// a survived (recently used); b was evicted and must miss again.
+	c.Evaluate(a)
+	if s := c.Stats(); s.Hits != 2 {
+		t.Fatalf("a should still be cached: %+v", s)
+	}
+	before := ev.calls.Load()
+	c.Evaluate(b)
+	if ev.calls.Load() != before+1 {
+		t.Fatal("evicted entry was served from cache")
+	}
+	if s := c.Stats(); s.Entries != 3 || s.Evictions != 2 {
+		t.Fatalf("final stats %+v", s)
+	}
+}
+
+func TestCachedLRUBatchEviction(t *testing.T) {
+	ev := &countEval{}
+	c := NewCachedLRU(AsOracle(ev, 2), 2)
+	batch := []*aig.AIG{testAIG(10), testAIG(11), testAIG(12), testAIG(10)}
+	ms := c.EvaluateBatch(batch)
+	// Values must match the uncached evaluator exactly.
+	for i, g := range batch {
+		want := (&countEval{}).Evaluate(g)
+		if ms[i] != want {
+			t.Fatalf("batch entry %d: got %+v want %+v", i, ms[i], want)
+		}
+	}
+	s := c.Stats()
+	if s.Entries != 2 {
+		t.Fatalf("bound not enforced: %+v", s)
+	}
+	if s.Evictions != 1 {
+		t.Fatalf("expected one eviction: %+v", s)
+	}
+	// The duplicate of testAIG(10) within the batch must have hit.
+	if s.Hits != 1 {
+		t.Fatalf("intra-batch duplicate did not hit: %+v", s)
+	}
+}
+
+func TestCachedUnboundedNeverEvicts(t *testing.T) {
+	ev := &countEval{}
+	c := NewCached(AsOracle(ev, 1))
+	for i := int64(0); i < 50; i++ {
+		c.Evaluate(testAIG(i))
+	}
+	if s := c.Stats(); s.Evictions != 0 || s.Entries != 50 {
+		t.Fatalf("unbounded cache stats %+v", s)
+	}
+}

@@ -1,0 +1,202 @@
+package eval
+
+import (
+	"container/list"
+	"sync"
+	"sync/atomic"
+
+	"aigtimer/internal/aig"
+)
+
+// DeltaState is the opaque retained state of one full evaluation of
+// one graph (for the ground-truth pipeline: per-node mapping state and
+// per-corner STA of both effort levels). The evaluation layer only
+// stores and hands it back; its meaning belongs to the DeltaEvaluator
+// that produced it.
+type DeltaState interface{}
+
+// DeltaEvaluator is implemented by evaluators that can score a derived
+// graph incrementally from the retained state of its base graph.
+//
+// EvaluateFull scores g from scratch and returns the retained state
+// (nil when the evaluation failed or is not reusable); its metrics
+// must equal Evaluate(g) exactly. EvaluateDelta scores g — rebased
+// against the graph prev belongs to, with structural delta d — and
+// must return metrics bit-identical to EvaluateFull(g); it reports
+// ok=false to decline (the caller then runs the full path), never
+// approximate values.
+type DeltaEvaluator interface {
+	Evaluator
+	EvaluateFull(g *aig.AIG) (Metrics, DeltaState)
+	EvaluateDelta(prev DeltaState, g *aig.AIG, d *aig.Delta) (Metrics, DeltaState, bool)
+}
+
+// IncrementalParams configures an Incremental oracle.
+type IncrementalParams struct {
+	// DirtyThreshold is the aig.Delta.DirtyFraction above which deltas
+	// take the full path. The translate-and-splice overhead is small
+	// even for mostly-dirty graphs (BenchmarkIncrementalEval measures
+	// near-parity at ~100% dirty), so the default is a permissive 0.75;
+	// values >= 1 never fall back on size. 0 selects the default.
+	DirtyThreshold float64
+	// MaxStates bounds the retained evaluation states (LRU-evicted;
+	// an evicted base simply costs one full evaluation later). 0 means
+	// the default of 16.
+	MaxStates int
+	// Workers bounds EvaluateBatch concurrency (0 = GOMAXPROCS).
+	Workers int
+}
+
+// IncrementalStats is a point-in-time snapshot of an Incremental
+// oracle's counters. FullEvals is broken down by cause; DeltaEvals +
+// FullEvals is the total evaluation count.
+type IncrementalStats struct {
+	DeltaEvals    int64 // served through the incremental (cone-sized) path
+	FullEvals     int64 // ran the full pipeline
+	NoProvenance  int64 // full: candidate carried no base/delta record
+	StateMiss     int64 // full: base state was never computed or was evicted
+	OverThreshold int64 // full: dirty fraction exceeded DirtyThreshold
+	DeclinedDelta int64 // full: the evaluator declined the delta
+}
+
+// Incremental adapts a DeltaEvaluator to the Oracle interface with an
+// anchor store: every evaluation retains its DeltaState (bounded LRU),
+// and a candidate whose provenance (aig.Provenance) points at a stored
+// base with a small enough dirty cone is scored through EvaluateDelta
+// instead of the full pipeline. Because EvaluateDelta is exact, the
+// returned metrics are bit-identical to the plain oracle's at every
+// setting — the incremental path changes cost, never values — so
+// optimization trajectories are unaffected by anchor hits, evictions,
+// or the threshold.
+//
+// Incremental is safe for concurrent use.
+type Incremental struct {
+	de  DeltaEvaluator
+	thr float64
+	max int
+	wrk int
+
+	mu     sync.Mutex
+	states map[*aig.AIG]*list.Element
+	lru    *list.List // of anchorEntry, front = most recent
+
+	stats [6]int64 // atomic; order mirrors IncrementalStats fields
+}
+
+type anchorEntry struct {
+	g  *aig.AIG
+	st DeltaState
+}
+
+// NewIncremental wraps o with the incremental evaluation path when it
+// implements DeltaEvaluator and returns it unchanged otherwise, so
+// callers can wrap unconditionally.
+func NewIncremental(o Oracle, p IncrementalParams) Oracle {
+	de, ok := o.(DeltaEvaluator)
+	if !ok {
+		return o
+	}
+	if p.DirtyThreshold == 0 {
+		p.DirtyThreshold = 0.75
+	}
+	if p.MaxStates == 0 {
+		p.MaxStates = 16
+	}
+	return &Incremental{
+		de:     de,
+		thr:    p.DirtyThreshold,
+		max:    p.MaxStates,
+		wrk:    p.Workers,
+		states: make(map[*aig.AIG]*list.Element),
+		lru:    list.New(),
+	}
+}
+
+// Name implements Evaluator.
+func (c *Incremental) Name() string { return c.de.Name() + "+inc" }
+
+// Stats returns a snapshot of the incremental counters.
+func (c *Incremental) Stats() IncrementalStats {
+	return IncrementalStats{
+		DeltaEvals:    atomic.LoadInt64(&c.stats[0]),
+		FullEvals:     atomic.LoadInt64(&c.stats[1]),
+		NoProvenance:  atomic.LoadInt64(&c.stats[2]),
+		StateMiss:     atomic.LoadInt64(&c.stats[3]),
+		OverThreshold: atomic.LoadInt64(&c.stats[4]),
+		DeclinedDelta: atomic.LoadInt64(&c.stats[5]),
+	}
+}
+
+func (c *Incremental) bump(i int) { atomic.AddInt64(&c.stats[i], 1) }
+
+// lookup fetches the retained state of g, refreshing its recency.
+func (c *Incremental) lookup(g *aig.AIG) (DeltaState, bool) {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	el, ok := c.states[g]
+	if !ok {
+		return nil, false
+	}
+	c.lru.MoveToFront(el)
+	return el.Value.(anchorEntry).st, true
+}
+
+// store retains g's state, evicting the least recently used anchors
+// beyond the bound.
+func (c *Incremental) store(g *aig.AIG, st DeltaState) {
+	if st == nil {
+		return
+	}
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	if el, ok := c.states[g]; ok {
+		c.lru.MoveToFront(el)
+		return
+	}
+	c.states[g] = c.lru.PushFront(anchorEntry{g: g, st: st})
+	for c.lru.Len() > c.max {
+		back := c.lru.Back()
+		c.lru.Remove(back)
+		delete(c.states, back.Value.(anchorEntry).g)
+	}
+}
+
+// Evaluate implements Oracle: the incremental path when the
+// candidate's base state is anchored and its dirty cone is small, the
+// full pipeline otherwise. Metrics are identical either way.
+func (c *Incremental) Evaluate(g *aig.AIG) Metrics {
+	base, d := g.Provenance()
+	switch {
+	case base == nil || d == nil:
+		c.bump(2) // NoProvenance
+	case d.DirtyFraction() > c.thr:
+		c.bump(4) // OverThreshold
+	default:
+		st, ok := c.lookup(base)
+		if !ok {
+			c.bump(3) // StateMiss
+			break
+		}
+		m, nst, ok := c.de.EvaluateDelta(st, g, d)
+		if !ok {
+			c.bump(5) // DeclinedDelta
+			break
+		}
+		c.store(g, nst)
+		c.bump(0) // DeltaEvals
+		return m
+	}
+	m, st := c.de.EvaluateFull(g)
+	c.store(g, st)
+	c.bump(1) // FullEvals
+	return m
+}
+
+// EvaluateBatch implements Oracle with a worker pool; entries resolve
+// independently (hitting or refreshing the shared anchor store), with
+// values identical to sequential Evaluate calls in input order.
+func (c *Incremental) EvaluateBatch(gs []*aig.AIG) []Metrics {
+	out := make([]Metrics, len(gs))
+	ForEach(len(gs), c.wrk, func(i int) { out[i] = c.Evaluate(gs[i]) })
+	return out
+}

@@ -92,7 +92,7 @@ func (e *GroundTruth) Evaluate(g *aig.AIG) anneal.Metrics {
 		// whole optimization.
 		return anneal.Metrics{DelayPS: 1e12, AreaUM2: 1e12}
 	}
-	return anneal.Metrics{DelayPS: r.DelayPS + 1, AreaUM2: r.AreaUM2 + 1}
+	return gtMetrics(r)
 }
 
 // EvaluateBatch implements eval.Oracle: candidates are mapped and timed
@@ -106,9 +106,43 @@ func (e *GroundTruth) EvaluateBatch(gs []*aig.AIG) []anneal.Metrics {
 			out[i] = anneal.Metrics{DelayPS: 1e12, AreaUM2: 1e12}
 			continue
 		}
-		out[i] = anneal.Metrics{DelayPS: rs[i].DelayPS + 1, AreaUM2: rs[i].AreaUM2 + 1}
+		out[i] = gtMetrics(rs[i])
 	}
 	return out
+}
+
+// gtMetrics converts a signoff result to oracle metrics (the +1 keeps
+// metrics positive for degenerate graphs, matching Evaluate).
+func gtMetrics(r signoff.Result) anneal.Metrics {
+	return anneal.Metrics{DelayPS: r.DelayPS + 1, AreaUM2: r.AreaUM2 + 1}
+}
+
+// EvaluateFull implements eval.DeltaEvaluator: a from-scratch signoff
+// evaluation that additionally retains the mapping and STA state for
+// later incremental re-evaluation. Metrics equal Evaluate's exactly.
+func (e *GroundTruth) EvaluateFull(g *aig.AIG) (anneal.Metrics, eval.DeltaState) {
+	r, st, err := signoff.EvaluateState(g, e.Lib)
+	if err != nil {
+		return anneal.Metrics{DelayPS: 1e12, AreaUM2: 1e12}, nil
+	}
+	return gtMetrics(r), st
+}
+
+// EvaluateDelta implements eval.DeltaEvaluator: signoff evaluation of
+// a derived graph through incremental remapping and incremental
+// multi-corner STA, bit-identical to EvaluateFull but at cone-sized
+// cost. It declines (ok=false) when the delta does not describe g
+// relative to the state's graph.
+func (e *GroundTruth) EvaluateDelta(prev eval.DeltaState, g *aig.AIG, d *aig.Delta) (anneal.Metrics, eval.DeltaState, bool) {
+	st, ok := prev.(*signoff.EvalState)
+	if !ok {
+		return anneal.Metrics{}, nil, false
+	}
+	r, ns, err := st.EvaluateDelta(g, d)
+	if err != nil {
+		return anneal.Metrics{}, nil, false
+	}
+	return gtMetrics(r), ns, true
 }
 
 // ML predicts post-mapping delay and area from Table II features with
@@ -232,23 +266,53 @@ func Sweep(g0 *aig.AIG, ev anneal.Evaluator, lib *cell.Library, cfg SweepConfig)
 	if len(jobs) == 0 {
 		return nil, fmt.Errorf("flows: empty sweep grid")
 	}
-	// Warm the shared root's lazy caches so concurrent runs only read it.
+	// Warm the shared root's lazy caches so concurrent runs only read
+	// it; the pair index is what every run's first tracked moves rebase
+	// against.
 	g0.Levels()
 	g0.FanoutCounts()
+	g0.PairIndex()
 	gt := NewGroundTruth(lib)
-	// Sweep-wide memo cache: anneal.Run layers its per-run cache on top,
-	// so run-level misses still hit here when another grid point already
-	// evaluated the same structure. Cheap evaluators are passed through
-	// untouched.
-	runEv := ev
-	if !eval.IsCheap(ev) {
-		runEv = eval.NewCached(eval.AsOracle(ev, 0))
-	}
 	pts := make([]SweepPoint, len(jobs))
 	errs := make([]error, len(jobs))
 	workers := runtime.GOMAXPROCS(0)
 	if workers > len(jobs) {
 		workers = len(jobs)
+	}
+	// Sweep-wide memo cache: anneal.Run layers its per-run cache on top,
+	// so run-level misses still hit here when another grid point already
+	// evaluated the same structure. The incremental path sits under the
+	// cache (a cache hit needs no evaluation at all; a miss takes the
+	// cone-sized path when the candidate's base is anchored), and its
+	// anchor store is likewise shared — starting with g0, which every
+	// run's first moves derive from. The anchor budget scales with the
+	// concurrent runs so one grid point's speculation round cannot
+	// thrash another's current-state anchor; the incremental policy
+	// itself follows cfg.Base, since the runs see a pre-built stack and
+	// apply the policy from here. Cheap evaluators are passed through
+	// untouched.
+	runEv := ev
+	if !eval.IsCheap(ev) {
+		inner := eval.AsOracle(ev, 0)
+		if cfg.Base.Incremental != anneal.IncrementalOff {
+			chains := cfg.Base.Chains
+			if chains == 0 {
+				chains = 1
+			}
+			// One round's worth of anchors per concurrent run, capped:
+			// each anchored state retains full mapping state at two
+			// efforts (megabytes on large designs), and an eviction only
+			// costs a later full evaluation, never a wrong answer.
+			budget := anneal.AnchorBudget(anneal.EffectiveBatchSize(cfg.Base.BatchSize), chains) * workers
+			if budget > 128 {
+				budget = 128
+			}
+			inner = eval.NewIncremental(inner, eval.IncrementalParams{
+				DirtyThreshold: cfg.Base.IncrementalThreshold,
+				MaxStates:      budget,
+			})
+		}
+		runEv = eval.NewCachedLRU(inner, cfg.Base.CacheMaxEntries)
 	}
 	work := make(chan int)
 	var wg sync.WaitGroup

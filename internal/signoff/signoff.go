@@ -41,25 +41,84 @@ var highEffort = techmap.Params{
 	AreaRecovery:  true,
 }
 
+// efforts lists the mapping configurations one evaluation runs, in
+// reporting order (the first wins delay/area ties).
+var efforts = [2]techmap.Params{techmap.DefaultParams, highEffort}
+
 // Evaluate maps g onto lib and returns the signoff metrics.
 func Evaluate(g *aig.AIG, lib *cell.Library) (Result, error) {
+	r, _, err := EvaluateState(g, lib)
+	return r, err
+}
+
+// EvalState is the reusable outcome of one full signoff evaluation:
+// the mapping state and multi-corner STA of both effort levels. It is
+// the anchor the incremental path needs — EvaluateDelta re-evaluates a
+// derived graph from it at cone-sized cost. EvalState is immutable and
+// safe to share across goroutines.
+type EvalState struct {
+	g    *aig.AIG
+	maps [2]*techmap.State
+	srs  [2]*sta.SignoffResult
+}
+
+// AIG returns the graph this state evaluated.
+func (s *EvalState) AIG() *aig.AIG { return s.g }
+
+// pick folds one effort's outcome into the running best using the
+// signoff selection rule (slow-corner delay, area breaks ties).
+func pick(best Result, i int, nl *netlist.Netlist, sr *sta.SignoffResult) Result {
+	cand := Result{DelayPS: sr.WorstDelayPS, AreaUM2: sr.AreaUM2, Netlist: nl, Corner: sr.WorstCorner}
+	if i == 0 || cand.DelayPS < best.DelayPS ||
+		(cand.DelayPS == best.DelayPS && cand.AreaUM2 < best.AreaUM2) {
+		return cand
+	}
+	return best
+}
+
+// EvaluateState evaluates g like Evaluate and additionally returns the
+// retained state that EvaluateDelta needs to evaluate derived graphs
+// incrementally.
+func EvaluateState(g *aig.AIG, lib *cell.Library) (Result, *EvalState, error) {
+	st := &EvalState{g: g}
 	best := Result{}
-	for i, mp := range []techmap.Params{techmap.DefaultParams, highEffort} {
-		nl, err := techmap.Map(g, lib, mp)
+	for i, mp := range efforts {
+		nl, ms, err := techmap.MapState(g, lib, mp)
 		if err != nil {
-			return Result{}, err
+			return Result{}, nil, err
 		}
 		sr, err := sta.Signoff(nl, sta.SignoffParams{})
 		if err != nil {
-			return Result{}, err
+			return Result{}, nil, err
 		}
-		cand := Result{DelayPS: sr.WorstDelayPS, AreaUM2: sr.AreaUM2, Netlist: nl, Corner: sr.WorstCorner}
-		if i == 0 || cand.DelayPS < best.DelayPS ||
-			(cand.DelayPS == best.DelayPS && cand.AreaUM2 < best.AreaUM2) {
-			best = cand
-		}
+		st.maps[i], st.srs[i] = ms, sr
+		best = pick(best, i, nl, sr)
 	}
-	return best, nil
+	return best, st, nil
+}
+
+// EvaluateDelta evaluates next — a graph rebased against s's graph
+// with structural delta d (aig.Rebase) — by incremental remapping and
+// incremental multi-corner STA at both effort levels. The returned
+// metrics and netlist are bit-identical to a from-scratch
+// EvaluateState(next, lib); the cost scales with the dirty cone, not
+// the graph.
+func (s *EvalState) EvaluateDelta(next *aig.AIG, d *aig.Delta) (Result, *EvalState, error) {
+	ns := &EvalState{g: next}
+	best := Result{}
+	for i := range efforts {
+		nl, ms, nm, err := techmap.Remap(s.maps[i], next, d)
+		if err != nil {
+			return Result{}, nil, err
+		}
+		sr, err := sta.SignoffUpdate(s.srs[i], nl, nm, sta.SignoffParams{})
+		if err != nil {
+			return Result{}, nil, err
+		}
+		ns.maps[i], ns.srs[i] = ms, sr
+		best = pick(best, i, nl, sr)
+	}
+	return best, ns, nil
 }
 
 // EvaluateBatch evaluates every graph concurrently on up to `workers`

@@ -1,0 +1,175 @@
+// Incremental STA. After an incremental remap, most of the netlist is
+// gate-for-gate identical to the previously analyzed one (the
+// correspondence is a netlist.NetMap); arrival times and slews only
+// move inside the remapped region and through whatever fanout cone its
+// new loads and arrivals reach. Update and SignoffUpdate seed the new
+// analysis with the previous per-net values and repropagate only
+// through that changed frontier, stopping as soon as recomputed values
+// converge with the seeded ones.
+//
+// Exactness. Both functions return results bit-identical to running
+// Analyze / Signoff from scratch on the new netlist. The argument is
+// the standard memoized-fixed-point one on a DAG: a gate is skipped
+// only when its driver is the same cell with corresponding inputs, its
+// output load equals the previous load, and no input net's value moved
+// away from its seeded copy — in which case recomputing it would
+// reproduce the copy verbatim (the per-gate evaluation step is shared
+// code with the full pass). The summary (max delay, critical PO,
+// required times) is rederived with the same code as the full pass.
+package sta
+
+import (
+	"aigtimer/internal/netlist"
+)
+
+// seedable reports whether prev can seed an incremental signoff of nl
+// under p: the bookkeeping must be present, the correspondence sized
+// for nl, and the analysis parameters (input slew, corner list)
+// identical — seeded values from a different-parameter analysis would
+// silently mix corners instead of failing.
+func seedable(prev *SignoffResult, nl *netlist.Netlist, prevOf netlist.NetMap, p SignoffParams) bool {
+	if prev == nil || prev.LoadsFF == nil || len(prevOf) != nl.NumNets() ||
+		prev.InputSlewPS != p.InputSlewPS || len(prev.Corners) != len(p.Corners) {
+		return false
+	}
+	for i := range p.Corners {
+		if prev.Corners[i].Corner != p.Corners[i] {
+			return false
+		}
+	}
+	return true
+}
+
+// Update incrementally re-times nl, a netlist derived from the one
+// prev analyzed, under the plain linear delay model. prevOf maps each
+// net of nl to its counterpart in prev.Netlist (-1 where the driver
+// changed; see netlist.NetMap). The result is bit-identical to
+// Analyze(nl); only gates in the changed fanout frontier are
+// re-evaluated. A prev without load bookkeeping (from a version predating
+// incremental STA) degrades safely to a full Analyze.
+func Update(prev *Result, nl *netlist.Netlist, prevOf netlist.NetMap) *Result {
+	if prev == nil || prev.LoadsFF == nil || len(prevOf) != nl.NumNets() {
+		return Analyze(nl)
+	}
+	numNets := nl.NumNets()
+	r := &Result{
+		Netlist:    nl,
+		ArrivalPS:  make([]float64, numNets),
+		RequiredPS: make([]float64, numNets),
+		GateDelay:  make([]float64, len(nl.Gates)),
+		LoadsFF:    netLoads(nl),
+		AreaUM2:    nl.AreaUM2(),
+		CriticalPO: -1,
+	}
+	// Seed from the previous analysis and mark the frontier: gates whose
+	// driver changed (no correspondence) or whose output load moved.
+	dirty := make([]bool, len(nl.Gates))
+	prevPIs := prev.Netlist.NumPIs
+	for gi := range nl.Gates {
+		out := nl.Gates[gi].Output
+		pn := prevOf[out]
+		if pn < 0 {
+			dirty[gi] = true
+			continue
+		}
+		r.ArrivalPS[out] = prev.ArrivalPS[pn]
+		r.GateDelay[gi] = prev.GateDelay[int(pn)-prevPIs]
+		if r.LoadsFF[out] != prev.LoadsFF[pn] {
+			dirty[gi] = true
+		}
+	}
+	// Repropagate in topological (gate index) order; pushes only go
+	// forward because a gate's output net is above all its input nets.
+	for gi := range nl.Gates {
+		if !dirty[gi] {
+			continue
+		}
+		g := &nl.Gates[gi]
+		d := g.Cell.DelayPS(r.LoadsFF[g.Output])
+		arr := 0.0
+		for _, in := range g.Inputs {
+			if a := r.ArrivalPS[in]; a > arr {
+				arr = a
+			}
+		}
+		r.GateDelay[gi] = d
+		if na := arr + d; na != r.ArrivalPS[g.Output] {
+			r.ArrivalPS[g.Output] = na
+			for _, ri := range nl.Fanouts(g.Output) {
+				dirty[ri] = true
+			}
+		}
+	}
+	r.finishPasses()
+	return r
+}
+
+// SignoffUpdate incrementally re-times nl at every corner, seeding from
+// prev through the prevOf correspondence. The result is bit-identical
+// to Signoff(nl, p). Only gates in the changed fanout frontier pay NLDM
+// table lookups; converged regions keep their seeded arrivals and
+// slews. A prev that cannot seed this analysis — produced under
+// different parameters (corners, input slew) or without load
+// bookkeeping — degrades safely to a full Signoff.
+func SignoffUpdate(prev *SignoffResult, nl *netlist.Netlist, prevOf netlist.NetMap, p SignoffParams) (*SignoffResult, error) {
+	p = p.withDefaults()
+	if !seedable(prev, nl, prevOf, p) {
+		return Signoff(nl, p)
+	}
+	numNets := nl.NumNets()
+	res := &SignoffResult{Netlist: nl, AreaUM2: nl.AreaUM2(), LoadsFF: netLoads(nl), InputSlewPS: p.InputSlewPS}
+	// The frontier seed is corner-independent: correspondence and loads.
+	seed := make([]bool, len(nl.Gates))
+	for gi := range nl.Gates {
+		out := nl.Gates[gi].Output
+		pn := prevOf[out]
+		seed[gi] = pn < 0 || res.LoadsFF[out] != prev.LoadsFF[pn]
+	}
+	dirty := make([]bool, len(nl.Gates))
+	for ci, corner := range p.Corners {
+		pc := &prev.Corners[ci]
+		cr := CornerResult{
+			Corner:     corner,
+			ArrivalPS:  make([]float64, numNets),
+			SlewPS:     make([]float64, numNets),
+			CriticalPO: -1,
+		}
+		for i := 0; i < nl.NumPIs; i++ {
+			cr.SlewPS[i] = p.InputSlewPS
+		}
+		for gi := range nl.Gates {
+			dirty[gi] = seed[gi]
+			out := nl.Gates[gi].Output
+			if pn := prevOf[out]; pn >= 0 {
+				cr.ArrivalPS[out] = pc.ArrivalPS[pn]
+				cr.SlewPS[out] = pc.SlewPS[pn]
+			}
+		}
+		for gi := range nl.Gates {
+			if !dirty[gi] {
+				continue
+			}
+			out := nl.Gates[gi].Output
+			arr, slew, err := gateCornerEval(nl, cr.ArrivalPS, cr.SlewPS, gi, corner, p.InputSlewPS, res.LoadsFF)
+			if err != nil {
+				return nil, err
+			}
+			if arr != cr.ArrivalPS[out] || slew != cr.SlewPS[out] {
+				cr.ArrivalPS[out] = arr
+				cr.SlewPS[out] = slew
+				for _, ri := range nl.Fanouts(out) {
+					dirty[ri] = true
+				}
+			}
+		}
+		for i, po := range nl.POs {
+			if a := cr.ArrivalPS[po]; cr.CriticalPO < 0 || a > cr.MaxDelayPS {
+				cr.MaxDelayPS = a
+				cr.CriticalPO = i
+			}
+		}
+		res.Corners = append(res.Corners, cr)
+	}
+	res.aggregate()
+	return res, nil
+}

@@ -14,52 +14,103 @@ import (
 
 // SignoffParams configures signoff analysis.
 type SignoffParams struct {
-	Corners     []cell.Corner // default: cell.SignoffCorners
-	InputSlewPS float64       // slew at primary inputs; default 20 ps
+	// Corners are the process corners analyzed; the slow corner governs
+	// the reported delay. Defaults to cell.SignoffCorners.
+	Corners []cell.Corner
+	// InputSlewPS is the transition time assumed at every primary
+	// input, in picoseconds. Defaults to 20 ps.
+	InputSlewPS float64
 }
 
 // CornerResult is the analysis at one process corner.
 type CornerResult struct {
-	Corner     cell.Corner
-	ArrivalPS  []float64
-	SlewPS     []float64
+	// Corner identifies the process corner (name and delay scale).
+	Corner cell.Corner
+	// ArrivalPS and SlewPS are the per-net latest arrival time and
+	// propagated transition time at this corner, indexed by NetID.
+	ArrivalPS []float64
+	SlewPS    []float64
+	// MaxDelayPS is the maximum arrival over all POs at this corner;
+	// CriticalPO is the PO index realizing it (-1 without POs).
 	MaxDelayPS float64
 	CriticalPO int
 }
 
 // SignoffResult aggregates all corners.
 type SignoffResult struct {
-	Netlist      *netlist.Netlist
-	Corners      []CornerResult
-	WorstDelayPS float64 // max-delay over corners (the slow corner governs)
+	// Netlist is the analyzed design.
+	Netlist *netlist.Netlist
+	// Corners holds one CornerResult per analyzed corner, in the order
+	// of SignoffParams.Corners.
+	Corners []CornerResult
+	// WorstDelayPS is the maximum delay over all corners (the slow
+	// corner governs); WorstCorner names the governing corner.
+	WorstDelayPS float64
 	WorstCorner  string
-	AreaUM2      float64
+	// AreaUM2 is a convenience copy of the netlist cell area.
+	AreaUM2 float64
+	// LoadsFF is the capacitive load of every gate-output net, shared
+	// by all corners (loads are corner-independent); primary-input net
+	// entries are left 0. SignoffUpdate compares these against a
+	// previous analysis to decide which gates to re-evaluate.
+	LoadsFF []float64
+	// InputSlewPS is the primary-input transition time the analysis
+	// assumed; SignoffUpdate refuses to seed from a result produced
+	// under different parameters.
+	InputSlewPS float64
 }
 
 // Signoff runs slew-propagating NLDM STA at every corner.
 func Signoff(nl *netlist.Netlist, p SignoffParams) (*SignoffResult, error) {
+	p = p.withDefaults()
+	res := &SignoffResult{Netlist: nl, AreaUM2: nl.AreaUM2(), LoadsFF: netLoads(nl), InputSlewPS: p.InputSlewPS}
+	for _, corner := range p.Corners {
+		cr, err := analyzeCorner(nl, corner, p.InputSlewPS, res.LoadsFF)
+		if err != nil {
+			return nil, err
+		}
+		res.Corners = append(res.Corners, cr)
+	}
+	res.aggregate()
+	return res, nil
+}
+
+// withDefaults fills the zero-value fields; Signoff and SignoffUpdate
+// must default identically for incremental results to be exact.
+func (p SignoffParams) withDefaults() SignoffParams {
 	if p.Corners == nil {
 		p.Corners = cell.SignoffCorners
 	}
 	if p.InputSlewPS <= 0 {
 		p.InputSlewPS = 20
 	}
-	res := &SignoffResult{Netlist: nl, AreaUM2: nl.AreaUM2()}
-	for _, corner := range p.Corners {
-		cr, err := analyzeCorner(nl, corner, p.InputSlewPS)
-		if err != nil {
-			return nil, err
-		}
-		res.Corners = append(res.Corners, cr)
-		if cr.MaxDelayPS > res.WorstDelayPS {
-			res.WorstDelayPS = cr.MaxDelayPS
-			res.WorstCorner = corner.Name
-		}
-	}
-	return res, nil
+	return p
 }
 
-func analyzeCorner(nl *netlist.Netlist, corner cell.Corner, inputSlew float64) (CornerResult, error) {
+// aggregate derives the governing corner summary from the per-corner
+// results; shared by Signoff and SignoffUpdate.
+func (res *SignoffResult) aggregate() {
+	res.WorstDelayPS, res.WorstCorner = 0, ""
+	for _, cr := range res.Corners {
+		if cr.MaxDelayPS > res.WorstDelayPS {
+			res.WorstDelayPS = cr.MaxDelayPS
+			res.WorstCorner = cr.Corner.Name
+		}
+	}
+}
+
+// netLoads computes the load of every gate-output net once; loads are
+// corner-independent, so all corners share the slice.
+func netLoads(nl *netlist.Netlist) []float64 {
+	loads := make([]float64, nl.NumNets())
+	for gi := range nl.Gates {
+		out := nl.Gates[gi].Output
+		loads[out] = nl.LoadFF(out)
+	}
+	return loads
+}
+
+func analyzeCorner(nl *netlist.Netlist, corner cell.Corner, inputSlew float64, loads []float64) (CornerResult, error) {
 	numNets := nl.NumNets()
 	cr := CornerResult{
 		Corner:     corner,
@@ -72,26 +123,12 @@ func analyzeCorner(nl *netlist.Netlist, corner cell.Corner, inputSlew float64) (
 	}
 	for gi := range nl.Gates {
 		g := &nl.Gates[gi]
-		c := g.Cell
-		if c.NLDM == nil {
-			return cr, fmt.Errorf("sta: cell %s has no NLDM tables", c.Name)
+		arr, slew, err := gateCornerEval(nl, cr.ArrivalPS, cr.SlewPS, gi, corner, inputSlew, loads)
+		if err != nil {
+			return cr, err
 		}
-		load := nl.LoadFF(g.Output)
-		// Worst-slew merging: the latest-arriving transition is assumed
-		// to carry the worst slew seen at any pin (a standard
-		// conservative simplification of per-arc analysis).
-		arr, slew := 0.0, inputSlew
-		for _, in := range g.Inputs {
-			if a := cr.ArrivalPS[in]; a > arr {
-				arr = a
-			}
-			if s := cr.SlewPS[in]; s > slew {
-				slew = s
-			}
-		}
-		d := c.NLDM.Delay.Lookup(slew, load) * corner.Scale
-		cr.ArrivalPS[g.Output] = arr + d
-		cr.SlewPS[g.Output] = c.NLDM.SlewOut.Lookup(slew, load) * corner.Scale
+		cr.ArrivalPS[g.Output] = arr
+		cr.SlewPS[g.Output] = slew
 	}
 	for i, po := range nl.POs {
 		if a := cr.ArrivalPS[po]; cr.CriticalPO < 0 || a > cr.MaxDelayPS {
@@ -100,4 +137,32 @@ func analyzeCorner(nl *netlist.Netlist, corner cell.Corner, inputSlew float64) (
 		}
 	}
 	return cr, nil
+}
+
+// gateCornerEval computes one gate's output (arrival, slew) at a corner
+// from the current per-net values — the single evaluation step shared
+// verbatim by the full corner pass and the incremental update, so both
+// produce bit-identical numbers.
+func gateCornerEval(nl *netlist.Netlist, arrival, slews []float64, gi int,
+	corner cell.Corner, inputSlew float64, loads []float64) (float64, float64, error) {
+	g := &nl.Gates[gi]
+	c := g.Cell
+	if c.NLDM == nil {
+		return 0, 0, fmt.Errorf("sta: cell %s has no NLDM tables", c.Name)
+	}
+	load := loads[g.Output]
+	// Worst-slew merging: the latest-arriving transition is assumed
+	// to carry the worst slew seen at any pin (a standard
+	// conservative simplification of per-arc analysis).
+	arr, slew := 0.0, inputSlew
+	for _, in := range g.Inputs {
+		if a := arrival[in]; a > arr {
+			arr = a
+		}
+		if s := slews[in]; s > slew {
+			slew = s
+		}
+	}
+	d := c.NLDM.Delay.Lookup(slew, load) * corner.Scale
+	return arr + d, c.NLDM.SlewOut.Lookup(slew, load) * corner.Scale, nil
 }

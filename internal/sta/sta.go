@@ -23,15 +23,32 @@ import (
 
 // Result holds the timing analysis of one netlist.
 type Result struct {
+	// Netlist is the analyzed design; all per-net slices below are
+	// indexed by its NetIDs.
 	Netlist *netlist.Netlist
 
-	ArrivalPS  []float64 // per net
-	RequiredPS []float64 // per net (w.r.t. MaxDelayPS)
-	GateDelay  []float64 // per gate
+	// ArrivalPS is the latest signal arrival time at every net, in
+	// picoseconds; primary-input nets arrive at 0.
+	ArrivalPS []float64
+	// RequiredPS is the latest allowed arrival at every net for the
+	// design to meet MaxDelayPS; nets with no path to a PO stay +Inf.
+	RequiredPS []float64
+	// GateDelay is the pin-to-output delay of every gate under the load
+	// of its output net, indexed like Netlist.Gates.
+	GateDelay []float64
+	// LoadsFF is the capacitive load (fF) of every gate-output net,
+	// indexed by net; primary-input net entries are left 0 because the
+	// delay model never reads them. Update compares these against a
+	// previous analysis to decide which gates need re-evaluation.
+	LoadsFF []float64
 
+	// MaxDelayPS is the maximum arrival over all POs (the design delay).
 	MaxDelayPS float64
-	CriticalPO int     // index into Netlist.POs
-	AreaUM2    float64 // convenience copy of netlist area
+	// CriticalPO is the index (into Netlist.POs) of the PO realizing
+	// MaxDelayPS, or -1 for a netlist without gates or POs.
+	CriticalPO int
+	// AreaUM2 is a convenience copy of the netlist cell area.
+	AreaUM2 float64
 }
 
 // Analyze runs STA on the netlist.
@@ -42,13 +59,16 @@ func Analyze(nl *netlist.Netlist) *Result {
 		ArrivalPS:  make([]float64, numNets),
 		RequiredPS: make([]float64, numNets),
 		GateDelay:  make([]float64, len(nl.Gates)),
+		LoadsFF:    make([]float64, numNets),
 		AreaUM2:    nl.AreaUM2(),
 		CriticalPO: -1,
 	}
 	// Forward pass: gates are stored in topological order.
 	for gi := range nl.Gates {
 		g := &nl.Gates[gi]
-		d := g.Cell.DelayPS(nl.LoadFF(g.Output))
+		load := nl.LoadFF(g.Output)
+		r.LoadsFF[g.Output] = load
+		d := g.Cell.DelayPS(load)
 		r.GateDelay[gi] = d
 		arr := 0.0
 		for _, in := range g.Inputs {
@@ -58,6 +78,15 @@ func Analyze(nl *netlist.Netlist) *Result {
 		}
 		r.ArrivalPS[g.Output] = arr + d
 	}
+	r.finishPasses()
+	return r
+}
+
+// finishPasses derives the PO summary and required times from the
+// forward-pass arrivals; shared by Analyze and Update.
+func (r *Result) finishPasses() {
+	nl := r.Netlist
+	r.MaxDelayPS, r.CriticalPO = 0, -1
 	for i, po := range nl.POs {
 		if a := r.ArrivalPS[po]; r.CriticalPO < 0 || a > r.MaxDelayPS {
 			r.MaxDelayPS = a
@@ -80,7 +109,6 @@ func Analyze(nl *netlist.Netlist) *Result {
 			}
 		}
 	}
-	return r
 }
 
 // SlackPS returns the slack of a net. Nets with no path to a PO have

@@ -1,0 +1,254 @@
+// Incremental technology mapping. A full Map pays cut enumeration and
+// match selection for every node of the AIG; after an annealer move
+// that touched a small logic cone, almost all of that work reproduces
+// the previous answer. MapState retains the per-node mapping state and
+// Remap rebuilds only the dirty suffix of a rebased graph (aig.Delta),
+// translating the matched prefix's cuts and implementations instead of
+// recomputing them.
+//
+// Exactness. Remap returns the same netlist Map would return on the
+// same graph, bit for bit. This is not best-effort: the delta's matched
+// prefix is index-monotone (aig.Rebase sorts matched nodes by their
+// previous index), and every step of the mapping pipeline — cut
+// merging, priority-cut filtering, match ranking — consults node
+// indices only through order comparisons, so an order-preserving
+// relabeling carries the previous state over unchanged. The dirty
+// suffix is recomputed by literally the same code the full pass runs
+// (cut.EnumerateSuffix, selectImpls from the suffix start), and the
+// global passes that depend on all-nodes state (area recovery, emit)
+// always run in full — they are linear and cheap next to enumeration
+// and matching. The differential harness in internal/eval and the
+// FuzzIncrementalRemap target enforce the equality continuously.
+package techmap
+
+import (
+	"fmt"
+
+	"aigtimer/internal/aig"
+	"aigtimer/internal/cell"
+	"aigtimer/internal/cut"
+	"aigtimer/internal/netlist"
+)
+
+// State is the reusable result of mapping one AIG: the per-node
+// priority cuts, the pre-area-recovery implementation choices, and the
+// emitted netlist with its (node, phase) -> net bookkeeping. It is
+// immutable after creation and safe to share across goroutines; Remap
+// reads it and produces a fresh State for the derived graph.
+type State struct {
+	g   *aig.AIG
+	lib *cell.Library
+	p   Params // normalized (defaults applied)
+
+	cuts     [][]cut.Cut
+	impls    [][2]impl                  // selectImpls output, before area recovery
+	gateKeys [][2]int32                 // per gate, the (node, phase) that emitted it
+	gateOf   map[[2]int32]netlist.NetID // creator key -> output net
+	nl       *netlist.Netlist
+}
+
+// AIG returns the graph this state maps.
+func (s *State) AIG() *aig.AIG { return s.g }
+
+// Netlist returns the mapped netlist (identical to Map's result).
+func (s *State) Netlist() *netlist.Netlist { return s.nl }
+
+// runMapper normalizes the parameters, enumerates cuts, and selects
+// implementations — the shared front half of Map, MapState, and (for
+// the dirty suffix only) Remap.
+func runMapper(g *aig.AIG, lib *cell.Library, p Params) (*mapper, error) {
+	if p.Cut.K == 0 {
+		p.Cut = DefaultParams.Cut
+	}
+	if p.NominalLoadFF == 0 {
+		p.NominalLoadFF = DefaultParams.NominalLoadFF
+	}
+	m := &mapper{
+		g:      g,
+		lib:    lib,
+		p:      p,
+		cuts:   cut.Enumerate(g, p.Cut),
+		impls:  make([][2]impl, g.NumNodes()),
+		direct: make([][2]impl, g.NumNodes()),
+	}
+	if err := m.selectImpls(g.FirstAnd()); err != nil {
+		return nil, err
+	}
+	return m, nil
+}
+
+// MapState maps the AIG like Map and additionally returns the mapping
+// state Remap needs to re-map derived graphs incrementally.
+func MapState(g *aig.AIG, lib *cell.Library, p Params) (*netlist.Netlist, *State, error) {
+	m, err := runMapper(g, lib, p)
+	if err != nil {
+		return nil, nil, err
+	}
+	return finishMapping(m)
+}
+
+// finishMapping snapshots the pre-recovery impls, runs the global
+// passes (area recovery, emit), and packages the State. Plain Map goes
+// through emitMapped instead and skips this packaging entirely.
+func finishMapping(m *mapper) (*netlist.Netlist, *State, error) {
+	implsPre := append([][2]impl(nil), m.impls...)
+	nl, gateKeys := emitMapped(m)
+	// Index gates by creator key once; Remap consults it for every
+	// derived graph, and State is immutable after this point.
+	gateOf := make(map[[2]int32]netlist.NetID, len(gateKeys))
+	for gi, k := range gateKeys {
+		gateOf[k] = netlist.NetID(nl.NumPIs + gi)
+	}
+	s := &State{
+		g: m.g, lib: m.lib, p: m.p,
+		cuts: m.cuts, impls: implsPre,
+		gateKeys: gateKeys, gateOf: gateOf, nl: nl,
+	}
+	return nl, s, nil
+}
+
+// emitMapped runs the global tail of mapping (area recovery, emission).
+func emitMapped(m *mapper) (*netlist.Netlist, [][2]int32) {
+	if m.p.AreaRecovery {
+		m.recoverArea()
+	}
+	nl, _, gateKeys := m.emit()
+	return nl, gateKeys
+}
+
+// Remap maps next — a graph rebased against s's graph (aig.Rebase) —
+// reusing s for the matched prefix and recomputing cuts and
+// implementation choices only for the dirty suffix. It returns the new
+// netlist (bit-identical to Map(next, ...) with s's parameters), the
+// new State, and the net correspondence from the new netlist back to
+// s's netlist for incremental STA seeding.
+func Remap(s *State, next *aig.AIG, d *aig.Delta) (*netlist.Netlist, *State, netlist.NetMap, error) {
+	if d == nil {
+		return nil, nil, nil, fmt.Errorf("techmap: Remap: nil delta")
+	}
+	if err := d.Validate(s.g, next); err != nil {
+		return nil, nil, nil, fmt.Errorf("techmap: Remap: %w", err)
+	}
+	first := next.FirstAnd()
+	limit := first + int32(d.NumMatched())
+
+	// prev node -> next node for the matched image (identity below
+	// FirstAnd; the translation is monotone by the rebase invariant).
+	inv := make([]int32, s.g.NumNodes())
+	for i := range inv {
+		inv[i] = -1
+	}
+	for i := int32(0); i < first; i++ {
+		inv[i] = i
+	}
+	for i, m := range d.MatchedPrev {
+		inv[m] = first + int32(i)
+	}
+
+	m := &mapper{
+		g:      next,
+		lib:    s.lib,
+		p:      s.p,
+		cuts:   make([][]cut.Cut, next.NumNodes()),
+		impls:  make([][2]impl, next.NumNodes()),
+		direct: make([][2]impl, next.NumNodes()),
+	}
+	cut.Seed(next, m.cuts)
+	for n := first; n < limit; n++ {
+		pn := d.MatchedPrev[n-first]
+		m.cuts[n] = translateCuts(s.cuts[pn], inv)
+		m.impls[n] = translateImpls(s.impls[pn], inv)
+	}
+	cut.EnumerateSuffix(next, s.p.Cut, m.cuts, limit)
+	if err := m.selectImpls(limit); err != nil {
+		return nil, nil, nil, err
+	}
+	nl, ns, err := finishMapping(m)
+	if err != nil {
+		return nil, nil, nil, err
+	}
+	return nl, ns, correspond(s, ns, d), nil
+}
+
+// translateCuts deep-copies a matched node's cut list into next-graph
+// indices. inv is monotone over the matched image, so the sorted leaf
+// order — and with it every table, filter decision, and match ranking
+// downstream — is preserved exactly.
+func translateCuts(cs []cut.Cut, inv []int32) []cut.Cut {
+	out := make([]cut.Cut, len(cs))
+	for i, c := range cs {
+		leaves := make([]int32, len(c.Leaves))
+		for j, l := range c.Leaves {
+			leaves[j] = inv[l]
+		}
+		out[i] = cut.Cut{Leaves: leaves, Table: c.Table}
+	}
+	return out
+}
+
+// translateImpls carries a matched node's phase implementations over;
+// only the wire alias target is an index and needs remapping.
+func translateImpls(ims [2]impl, inv []int32) [2]impl {
+	for ph := range ims {
+		if ims[ph].kind == kindWire {
+			ims[ph].leaf = inv[ims[ph].leaf]
+		}
+	}
+	return ims
+}
+
+// correspond builds the net correspondence between two consecutive
+// mapping states. A new net corresponds to a previous net when it is
+// driven by a gate emitted for a matched (node, phase) key, with the
+// identical cell and inputs that themselves correspond — verified in
+// ascending net order, so the check is a single linear pass.
+func correspond(prev, next *State, d *aig.Delta) netlist.NetMap {
+	numPIs := next.nl.NumPIs
+	nm := make(netlist.NetMap, next.nl.NumNets())
+	for i := range nm {
+		nm[i] = -1
+	}
+	for i := 0; i < numPIs; i++ {
+		nm[i] = netlist.NetID(i)
+	}
+	prevGateOf := prev.gateOf
+	first := next.g.FirstAnd()
+	limit := first + int32(d.NumMatched())
+	toPrev := func(n int32) int32 {
+		switch {
+		case n < first:
+			return n
+		case n < limit:
+			return d.MatchedPrev[n-first]
+		default:
+			return -1
+		}
+	}
+	for gi, k := range next.gateKeys {
+		out := netlist.NetID(numPIs + gi)
+		pn := toPrev(k[0])
+		if pn < 0 {
+			continue
+		}
+		pnet, ok := prevGateOf[[2]int32{pn, k[1]}]
+		if !ok {
+			continue
+		}
+		g := &next.nl.Gates[gi]
+		pg := &prev.nl.Gates[int(pnet)-prev.nl.NumPIs]
+		if g.Cell != pg.Cell || len(g.Inputs) != len(pg.Inputs) {
+			continue
+		}
+		same := true
+		for j, in := range g.Inputs {
+			if nm[in] != pg.Inputs[j] {
+				same = false
+				break
+			}
+		}
+		if same {
+			nm[out] = pnet
+		}
+	}
+	return nm
+}

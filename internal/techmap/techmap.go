@@ -32,11 +32,23 @@ import (
 	"aigtimer/internal/truth"
 )
 
-// Params configures mapping.
+// Params configures mapping. The zero value of a field selects the
+// DefaultParams value for that field.
 type Params struct {
-	Cut           cut.Params
-	NominalLoadFF float64 // load assumed while ranking matches
-	AreaRecovery  bool    // run the required-time sizing pass
+	// Cut bounds the priority-cut enumeration feeding match selection
+	// (cut width K <= 4, cuts retained per node). Wider budgets find
+	// better matches at roughly quadratic enumeration cost — the knob
+	// signoff's high-effort second pass turns up.
+	Cut cut.Params
+	// NominalLoadFF is the output load (fF) assumed while ranking
+	// matches and sizing gates; the real per-net load is only known
+	// after emission, when STA measures it.
+	NominalLoadFF float64
+	// AreaRecovery enables the required-time sizing pass: off-critical
+	// gates are downsized to the cheapest drive strength that still
+	// meets the mapped netlist's own worst arrival. Structure never
+	// changes, so area is monotonically non-increasing.
+	AreaRecovery bool
 }
 
 // DefaultParams is a sensible delay-oriented configuration.
@@ -95,28 +107,17 @@ type mapper struct {
 }
 
 // Map maps the AIG onto the library and returns the gate-level netlist.
+// Use MapState instead to also retain the per-node mapping state that
+// Remap needs for incremental re-mapping; Map itself skips that
+// packaging (impl snapshot, gate indexing), keeping the plain
+// evaluation path allocation-lean.
 func Map(g *aig.AIG, lib *cell.Library, p Params) (*netlist.Netlist, error) {
-	if p.Cut.K == 0 {
-		p.Cut = DefaultParams.Cut
-	}
-	if p.NominalLoadFF == 0 {
-		p.NominalLoadFF = DefaultParams.NominalLoadFF
-	}
-	m := &mapper{
-		g:      g,
-		lib:    lib,
-		p:      p,
-		cuts:   cut.Enumerate(g, p.Cut),
-		impls:  make([][2]impl, g.NumNodes()),
-		direct: make([][2]impl, g.NumNodes()),
-	}
-	if err := m.selectImpls(); err != nil {
+	m, err := runMapper(g, lib, p)
+	if err != nil {
 		return nil, err
 	}
-	if p.AreaRecovery {
-		m.recoverArea()
-	}
-	return m.emit(), nil
+	nl, _ := emitMapped(m)
+	return nl, nil
 }
 
 // invDelay returns the nominal delay of the shared inverter.
@@ -139,13 +140,16 @@ func (m *mapper) arrivalOf(n int32, ph int) float64 {
 }
 
 // selectImpls chooses the best implementation for both phases of every
-// AND node in topological order.
-func (m *mapper) selectImpls() error {
+// AND node with index >= from, in topological order. Impls of nodes
+// below from must already be filled (the full pass starts at FirstAnd;
+// the incremental pass starts past the translated matched prefix).
+func (m *mapper) selectImpls(from int32) error {
+	if from < m.g.FirstAnd() {
+		from = m.g.FirstAnd()
+	}
 	var firstErr error
-	m.g.TopoForEachAnd(func(n int32, f0, f1 aig.Lit) {
-		if firstErr != nil {
-			return
-		}
+	for i := int(from); i < m.g.NumNodes(); i++ {
+		n := int32(i)
 		for ph := pos; ph <= neg; ph++ {
 			best := impl{kind: kindNone, arrival: math.Inf(1)}
 			for ci, c := range m.cuts[n] {
@@ -181,11 +185,11 @@ func (m *mapper) selectImpls() error {
 			}
 			if best.kind == kindNone {
 				firstErr = fmt.Errorf("techmap: node %d phase %d unmatchable with library %s", n, ph, m.lib.Name)
-				return
+				return firstErr
 			}
 			m.impls[n][ph] = best
 		}
-	})
+	}
 	return firstErr
 }
 
@@ -400,10 +404,20 @@ func lower(dst *float64, v float64) {
 	}
 }
 
-// emit materializes the chosen implementations as a netlist.
-func (m *mapper) emit() *netlist.Netlist {
+// emit materializes the chosen implementations as a netlist. Alongside
+// the netlist it returns the (node, phase) -> net memo and, per emitted
+// gate, the (node, phase) key whose implementation created it — the
+// correspondence raw material the incremental path uses to relate the
+// nets of successive mappings (see Remap).
+func (m *mapper) emit() (*netlist.Netlist, map[[2]int32]netlist.NetID, [][2]int32) {
 	nb := netlist.NewBuilder(m.lib, m.g.NumPIs())
 	memo := make(map[[2]int32]netlist.NetID)
+	var gateKeys [][2]int32
+	addGate := func(key [2]int32, c *cell.Cell, ins ...netlist.NetID) netlist.NetID {
+		net := nb.AddGate(c, ins...)
+		gateKeys = append(gateKeys, key)
+		return net
+	}
 	var need func(n int32, ph int) netlist.NetID
 	need = func(n int32, ph int) netlist.NetID {
 		key := [2]int32{n, int32(ph)}
@@ -413,22 +427,22 @@ func (m *mapper) emit() *netlist.Netlist {
 		var net netlist.NetID
 		switch {
 		case n == 0: // constant false node
-			net = nb.AddGate(m.lib.Tie(ph == neg))
+			net = addGate(key, m.lib.Tie(ph == neg))
 		case m.g.IsPI(n):
 			if ph == pos {
 				net = nb.PINet(int(n) - 1)
 			} else {
-				net = nb.AddGate(m.lib.Inverter(), nb.PINet(int(n)-1))
+				net = addGate(key, m.lib.Inverter(), nb.PINet(int(n)-1))
 			}
 		default:
 			im := m.impls[n][ph]
 			switch im.kind {
 			case kindInv:
-				net = nb.AddGate(m.lib.Inverter(), need(n, 1-ph))
+				net = addGate(key, m.lib.Inverter(), need(n, 1-ph))
 			case kindWire:
 				net = need(im.leaf, im.leafPhase)
 			case kindTie:
-				net = nb.AddGate(m.lib.Tie(im.tieVal))
+				net = addGate(key, m.lib.Tie(im.tieVal))
 			case kindGate:
 				c := m.cuts[n][im.cutIdx]
 				ins := make([]netlist.NetID, im.match.Cell.NumInputs)
@@ -439,7 +453,7 @@ func (m *mapper) emit() *netlist.Netlist {
 					}
 					ins[j] = need(c.Leaves[im.match.PinVar[j]], lph)
 				}
-				net = nb.AddGate(im.match.Cell, ins...)
+				net = addGate(key, im.match.Cell, ins...)
 			default:
 				panic("techmap: emitting unimplemented node")
 			}
@@ -450,5 +464,5 @@ func (m *mapper) emit() *netlist.Netlist {
 	for _, po := range m.g.POs() {
 		nb.AddPO(need(po.Node(), phaseOf(po)))
 	}
-	return nb.Build()
+	return nb.Build(), memo, gateKeys
 }

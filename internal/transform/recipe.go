@@ -30,6 +30,18 @@ func (r Recipe) Apply(g *aig.AIG, rng *rand.Rand) *aig.AIG {
 	return g
 }
 
+// ApplyTracked runs the recipe like Apply and additionally emits the
+// structural delta of the move: the result is rebased against g
+// (aig.Rebase), so its AND nodes split into a prefix shared with g and
+// a dirty suffix — the cone the recipe actually touched plus its
+// transitive fanout — and carries (g, delta) as provenance. Incremental
+// evaluation oracles key off that record to re-map and re-time only the
+// dirty cone; callers that accept the move should eventually
+// ClearProvenance to unpin g.
+func (r Recipe) ApplyTracked(g *aig.AIG, rng *rand.Rand) (*aig.AIG, *aig.Delta) {
+	return aig.Rebase(g, r.Apply(g, rng))
+}
+
 func (r Recipe) String() string {
 	return r.Name + ": " + strings.Join(r.Steps, "; ")
 }
