@@ -14,6 +14,7 @@ import (
 	"flag"
 	"fmt"
 	"os"
+	"strings"
 	"time"
 
 	"aigtimer/internal/aig"
@@ -22,6 +23,7 @@ import (
 	"aigtimer/internal/cell"
 	"aigtimer/internal/flows"
 	"aigtimer/internal/gbdt"
+	"aigtimer/internal/shard"
 	"aigtimer/internal/signoff"
 )
 
@@ -46,6 +48,8 @@ func main() {
 		cacheMax   = flag.Int("cache-max", 0, "LRU bound on cached evaluations (0 = unbounded)")
 		noInc      = flag.Bool("no-incremental", false, "disable incremental (dirty-cone) evaluation")
 		incThresh  = flag.Float64("inc-threshold", 0, "dirty-cone fraction above which evaluation falls back to full rebuild (0 = default)")
+		sweep      = flag.Bool("sweep", false, "run the hyperparameter sweep (Fig. 5 grid) instead of a single optimization and print the Pareto front")
+		shardAddrs = flag.String("shard", "", "comma-separated sweepd worker addresses; distributes -sweep across them (empty = local worker pool)")
 		verbose    = flag.Bool("v", false, "print per-iteration progress")
 	)
 	flag.Parse()
@@ -79,6 +83,13 @@ func main() {
 	}
 	if *noInc {
 		p.Incremental = anneal.IncrementalOff
+	}
+	if *sweep {
+		runSweep(g, name, ev, lib, p, *shardAddrs)
+		return
+	}
+	if *shardAddrs != "" {
+		fatal(fmt.Errorf("aigopt: -shard requires -sweep (single runs have nothing to distribute)"))
 	}
 	fmt.Printf("optimizing %s (%d PIs, %d POs, %d nodes, %d levels) with the %s flow\n",
 		name, g.NumPIs(), g.NumPOs(), g.NumAnds(), g.MaxLevel(), ev.Name())
@@ -138,6 +149,63 @@ func main() {
 			fatal(err)
 		}
 		fmt.Printf("wrote %s\n", *outPath)
+	}
+}
+
+// runSweep executes the Fig. 5 hyperparameter grid — locally, or
+// sharded across sweepd workers when addrs is non-empty — and prints
+// every grid point plus the ground-truth Pareto front.
+func runSweep(g *aig.AIG, name string, ev anneal.Evaluator, lib *cell.Library, base anneal.Params, addrs string) {
+	cfg := flows.DefaultSweep
+	cfg.Base = base
+	grid := cfg.Grid()
+	var (
+		pts []flows.SweepPoint
+		st  *shard.Stats
+		err error
+	)
+	t0 := time.Now()
+	if addrs != "" {
+		endpoints := strings.Split(addrs, ",")
+		fmt.Printf("sweeping %s with the %s flow: %d grid points over %d workers\n",
+			name, ev.Name(), len(grid), len(endpoints))
+		pts, st, err = flows.SweepSharded(g, ev, lib, cfg, flows.ShardOptions{
+			Endpoints: endpoints,
+			Logf: func(format string, args ...any) {
+				fmt.Fprintf(os.Stderr, format+"\n", args...)
+			},
+		})
+	} else {
+		fmt.Printf("sweeping %s with the %s flow: %d grid points on the local pool\n",
+			name, ev.Name(), len(grid))
+		pts, err = flows.Sweep(g, ev, lib, cfg)
+	}
+	if err != nil {
+		fatal(err)
+	}
+	elapsed := time.Since(t0).Round(time.Millisecond)
+
+	front := flows.Front(pts)
+	onFront := make(map[int]bool, len(front))
+	for _, fp := range front {
+		onFront[fp.Tag] = true
+	}
+	fmt.Println("  w_delay  w_area  decay     true delay     true area   pareto")
+	for i, p := range pts {
+		mark := ""
+		if onFront[i] {
+			mark = "*"
+		}
+		fmt.Printf("  %7g %7g %6g  %10.1f ps  %10.1f um2  %s\n",
+			p.DelayWeight, p.AreaWeight, p.Decay, p.TrueDelayPS, p.TrueAreaUM2, mark)
+	}
+	fmt.Printf("%d points in %v; %d on the Pareto front\n", len(pts), elapsed, len(front))
+	if st != nil {
+		fmt.Printf("transfers: base %dx (%d B), %d delta records (%d B); jobs %d (requeued %d, retried %d); workers lost %d\n",
+			st.BaseSends, st.BaseBytes, st.DeltaRecords, st.DeltaBytes,
+			st.JobSends, st.Requeues, st.Retries, st.WorkerLosses)
+		fmt.Printf("merged cache: %d distinct structures from %d records (%d cross-worker duplicates)\n",
+			len(st.MergedCache), st.CacheRecords, st.CacheDuplicates)
 	}
 }
 

@@ -5,12 +5,29 @@ import (
 	"math"
 	"strings"
 
+	"aigtimer/internal/aig"
 	"aigtimer/internal/anneal"
 	"aigtimer/internal/bench"
 	"aigtimer/internal/cell"
 	"aigtimer/internal/flows"
 	"aigtimer/internal/stats"
 )
+
+// runSweep executes one flow's sweep, locally or sharded across the
+// -shard worker fleet; results are bit-identical either way.
+func runSweep(cfg config, g *aig.AIG, ev anneal.Evaluator, lib *cell.Library, sc flows.SweepConfig) ([]flows.SweepPoint, error) {
+	if cfg.shard == "" {
+		return flows.Sweep(g, ev, lib, sc)
+	}
+	endpoints := strings.Split(cfg.shard, ",")
+	pts, st, err := flows.SweepSharded(g, ev, lib, sc, flows.ShardOptions{Endpoints: endpoints})
+	if err != nil {
+		return nil, err
+	}
+	fmt.Printf("  [shard] %d workers: base %dx (%d B), %d delta records (%d B), %d requeues, merged cache %d structures\n",
+		len(endpoints), st.BaseSends, st.BaseBytes, st.DeltaRecords, st.DeltaBytes, st.Requeues, len(st.MergedCache))
+	return pts, nil
+}
 
 // sweepConfig builds the hyperparameter grid of §IV-B scaled by the
 // configured iteration budget.
@@ -80,12 +97,12 @@ func runSec2B(cfg config) error {
 	sc := sweepConfig(cfg)
 
 	fmt.Println("sweeping baseline (proxy) flow...")
-	basePts, err := flows.Sweep(g, flows.Proxy{}, lib, sc)
+	basePts, err := runSweep(cfg, g, flows.Proxy{}, lib, sc)
 	if err != nil {
 		return err
 	}
 	fmt.Println("sweeping ground-truth flow...")
-	gtPts, err := flows.Sweep(g, flows.NewGroundTruth(lib), lib, sc)
+	gtPts, err := runSweep(cfg, g, flows.NewGroundTruth(lib), lib, sc)
 	if err != nil {
 		return err
 	}
@@ -123,17 +140,17 @@ func runFig5(cfg config) error {
 
 	fmt.Printf("test design %s (%d nodes)\n", d.Name, g.NumAnds())
 	fmt.Println("sweeping baseline flow...")
-	basePts, err := flows.Sweep(g, flows.Proxy{}, lib, sc)
+	basePts, err := runSweep(cfg, g, flows.Proxy{}, lib, sc)
 	if err != nil {
 		return err
 	}
 	fmt.Println("sweeping ground-truth flow...")
-	gtPts, err := flows.Sweep(g, flows.NewGroundTruth(lib), lib, sc)
+	gtPts, err := runSweep(cfg, g, flows.NewGroundTruth(lib), lib, sc)
 	if err != nil {
 		return err
 	}
 	fmt.Println("sweeping ML flow...")
-	mlPts, err := flows.Sweep(g, ml, lib, sc)
+	mlPts, err := runSweep(cfg, g, ml, lib, sc)
 	if err != nil {
 		return err
 	}

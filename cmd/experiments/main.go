@@ -28,6 +28,7 @@ type config struct {
 	chains   int // parallel annealing chains per run
 	seed     int64
 	design   string // test design for Fig. 5
+	shard    string // comma-separated sweepd addresses for sweep experiments
 	outDir   string
 	append   string // perf-trajectory JSONL to append bench results to
 }
@@ -42,6 +43,7 @@ func main() {
 	flag.IntVar(&cfg.chains, "chains", 1, "parallel annealing chains per optimization run")
 	flag.Int64Var(&cfg.seed, "seed", 1, "random seed")
 	flag.StringVar(&cfg.design, "design", "EX54", "test design for Fig. 5")
+	flag.StringVar(&cfg.shard, "shard", "", "comma-separated sweepd worker addresses; distributes the sweep experiments (sec2b, fig5) across them")
 	flag.StringVar(&cfg.outDir, "out", "", "directory for CSV artifacts (default: stdout only)")
 	flag.StringVar(&cfg.append, "append", "", "JSONL file to append a compact bench-anneal record to (the cross-PR perf trajectory)")
 	flag.Parse()

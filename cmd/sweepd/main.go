@@ -1,0 +1,93 @@
+// Command sweepd is the distributed-sweep worker daemon: it serves
+// shard-protocol sessions (see internal/shard), executing sweep grid
+// points for a remote coordinator — flows.SweepSharded, wired into
+// aigopt -sweep -shard and experiments -shard.
+//
+// Each accepted connection is one independent session with its own
+// evaluation stack (memo cache + incremental oracle), configured by the
+// coordinator's opening message; the session's base AIG arrives once
+// and all result graphs return as delta records against it. Results are
+// bit-identical to local execution of the same grid points, so a
+// coordinator may treat any mix of local and sweepd computation as one
+// deterministic sweep.
+//
+// Usage:
+//
+//	sweepd [-listen 127.0.0.1:9610] [-v]
+//
+// The daemon prints "sweepd listening on <addr>" once bound (with
+// -listen :0, that line is how callers learn the port). It serves until
+// killed; a coordinator losing this worker mid-sweep simply reassigns
+// its grid points elsewhere.
+package main
+
+import (
+	"flag"
+	"fmt"
+	"log"
+	"net"
+	"os"
+	"sync/atomic"
+
+	"aigtimer/internal/aig"
+	"aigtimer/internal/flows"
+	"aigtimer/internal/shard"
+)
+
+func main() {
+	var (
+		listen  = flag.String("listen", "127.0.0.1:9610", "address to serve shard sessions on (use :0 for an ephemeral port)")
+		maxJobs = flag.Int("max-jobs", 0, "exit before starting this many+1 jobs (0 = unlimited; a chaos/testing knob simulating a worker crash mid-job)")
+		verbose = flag.Bool("v", false, "log per-session and per-job activity")
+	)
+	flag.Parse()
+	log.SetPrefix("sweepd: ")
+	log.SetFlags(log.Ltime | log.Lmicroseconds)
+
+	ln, err := net.Listen("tcp", *listen)
+	if err != nil {
+		log.Fatalf("listen %s: %v", *listen, err)
+	}
+	fmt.Printf("sweepd listening on %s\n", ln.Addr())
+
+	var jobs atomic.Int64
+	for {
+		conn, err := ln.Accept()
+		if err != nil {
+			log.Fatalf("accept: %v", err)
+		}
+		if *verbose {
+			log.Printf("session from %s", conn.RemoteAddr())
+		}
+		go func(conn net.Conn) {
+			runner := flows.NewShardRunner()
+			err := shard.Serve(conn, &crashableRunner{Runner: runner, jobs: &jobs, max: *maxJobs, verbose: *verbose})
+			if *verbose || err != nil {
+				log.Printf("session %s ended: %v", conn.RemoteAddr(), err)
+			}
+		}(conn)
+	}
+}
+
+// crashableRunner wraps the production runner with the -max-jobs crash
+// knob and optional per-job logging. The crash fires before the job
+// runs, so the coordinator sees a worker dying with a job in flight —
+// the exact scenario its requeue logic exists for.
+type crashableRunner struct {
+	shard.Runner
+	jobs    *atomic.Int64
+	max     int
+	verbose bool
+}
+
+func (r *crashableRunner) Run(base *aig.AIG, job shard.JobSpec) (*shard.WorkResult, error) {
+	if n := r.jobs.Add(1); r.max > 0 && n > int64(r.max) {
+		log.Printf("reached -max-jobs %d, crashing with job %d in flight", r.max, job.Index)
+		os.Exit(3)
+	}
+	if r.verbose {
+		log.Printf("job %d: w_delay=%g w_area=%g decay=%g seed+%d",
+			job.Index, job.DelayWeight, job.AreaWeight, job.Decay, job.SeedOffset)
+	}
+	return r.Runner.Run(base, job)
+}

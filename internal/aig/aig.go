@@ -1,22 +1,3 @@
-// Package aig implements And-Inverter Graphs (AIGs), the netlist
-// representation used throughout this repository.
-//
-// An AIG is a directed acyclic graph whose internal nodes are two-input AND
-// gates and whose edges may be complemented (the "inverter" part). It is the
-// standard intermediate representation for logic optimization: the paper's
-// proxy metrics are the AIG node count (area proxy) and the AIG level count
-// (delay proxy).
-//
-// Representation. Nodes are stored in a flat slice in topological order:
-// index 0 is the constant-false node, indices 1..NumPIs() are the primary
-// inputs, and every subsequent index is an AND node whose fanins precede it.
-// Signals are referred to by literals (type Lit): a node index shifted left
-// by one, with the low bit indicating complementation, exactly as in the
-// AIGER format.
-//
-// AIGs built through a Builder are structurally hashed: requesting an AND of
-// the same (possibly swapped) literal pair twice yields the same node, and
-// trivial cases (x·0, x·x, x·x̄ ...) are simplified on the fly.
 package aig
 
 import (
@@ -65,6 +46,7 @@ func (l Lit) Regular() Lit { return l &^ 1 }
 // IsConst reports whether the literal refers to the constant node.
 func (l Lit) IsConst() bool { return l>>1 == 0 }
 
+// String renders the literal as nN / !nN for debugging.
 func (l Lit) String() string {
 	if l.IsCompl() {
 		return fmt.Sprintf("!n%d", l.Node())
@@ -429,6 +411,7 @@ func (g *AIG) Stats() Stats {
 	}
 }
 
+// String renders the stats in compact key=value form.
 func (s Stats) String() string {
 	return fmt.Sprintf("pi=%d po=%d and=%d lev=%d", s.PIs, s.POs, s.Ands, s.Levels)
 }

@@ -52,6 +52,7 @@ func (d *Delta) DirtyFraction() float64 {
 	return float64(d.NumDirty()) / float64(d.nextAnds)
 }
 
+// String summarizes the matched/dirty split for debugging.
 func (d *Delta) String() string {
 	return fmt.Sprintf("delta{matched=%d dirty=%d (%.1f%%)}",
 		d.NumMatched(), d.NumDirty(), 100*d.DirtyFraction())

@@ -81,6 +81,13 @@ type Cached struct {
 	hits      int64
 	misses    int64
 	evictions int64
+
+	// insertLog records every insertion in order, the backing store of
+	// ExportSince: an exporter shipping records incrementally reads only
+	// the suffix it has not seen. Evictions do not truncate it — an
+	// evicted entry's record stays valid (records are value-based) — so
+	// it grows with distinct structures inserted, one small record each.
+	insertLog []CacheRecord
 }
 
 // NewCached wraps o with an unbounded structural-fingerprint memo
@@ -224,6 +231,7 @@ func (c *Cached) insertLocked(fp uint64, g *aig.AIG, m Metrics) {
 	}
 	e := &cacheEntry{g: g, m: m, fp: fp}
 	c.table[fp] = append(c.table[fp], e)
+	c.insertLog = append(c.insertLog, CacheRecord{FP: fp, M: m})
 	c.entries++
 	if c.lru == nil {
 		return

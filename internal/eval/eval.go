@@ -1,26 +1,3 @@
-// Package eval is the repository's unified evaluation layer: every cost
-// oracle that scores candidate AIGs during optimization — the proxy
-// metrics of the baseline flow, the mapping+STA pipeline of the
-// ground-truth flow, the GBDT inference of the ML flow — is presented to
-// the search layer through the batch-capable Oracle interface defined
-// here.
-//
-// The layer exists because the evaluator dominates the wall-clock of
-// every flow in the paper's Fig. 3 and every sweep point of Fig. 5. Two
-// mechanisms attack that cost without changing any reported value:
-//
-//   - batching (AsOracle): a plain Evaluator is adapted to EvaluateBatch
-//     with a worker pool, so a search that proposes several candidates at
-//     once scores them concurrently;
-//   - memoization (Cached, see cache.go): structurally identical
-//     candidates, which annealing revisits constantly in its
-//     low-acceptance phase, never re-run mapping+STA.
-//
-// Both are value-transparent: EvaluateBatch returns exactly what N
-// sequential Evaluate calls would, in input order, independent of worker
-// count — the property that lets the annealer guarantee bit-reproducible
-// trajectories for a fixed seed at any parallelism, matching the
-// guarantee aig.Simulator already gives.
 package eval
 
 import (

@@ -1,0 +1,82 @@
+package eval
+
+import "sort"
+
+// CacheRecord is one exported memo-cache entry: the structural
+// fingerprint of an evaluated graph and its metrics. Records are the
+// merge currency of the distributed sweep — workers export them, the
+// coordinator folds them into one cluster-wide view of which structures
+// have been scored.
+//
+// A record deliberately omits the graph itself (retaining graphs is what
+// makes the in-process cache collision-proof), so record merging is
+// keyed on the fingerprint alone. Two distinct structures share a
+// fingerprint with probability ~2^-128; a merge may therefore collapse
+// such a pair, which is why merged records feed accounting and
+// cross-worker redundancy analysis, never the collision-checked
+// in-process lookup path.
+type CacheRecord struct {
+	FP uint64
+	M  Metrics
+}
+
+// Export snapshots the cache as records, sorted by fingerprint (ties by
+// metrics) so the output is deterministic regardless of insertion or
+// map-iteration order.
+func (c *Cached) Export() []CacheRecord {
+	c.mu.Lock()
+	recs := make([]CacheRecord, 0, c.entries)
+	for fp, bucket := range c.table {
+		for _, e := range bucket {
+			recs = append(recs, CacheRecord{FP: fp, M: e.m})
+		}
+	}
+	c.mu.Unlock()
+	sort.Slice(recs, func(i, j int) bool {
+		a, b := recs[i], recs[j]
+		if a.FP != b.FP {
+			return a.FP < b.FP
+		}
+		if a.M.DelayPS != b.M.DelayPS {
+			return a.M.DelayPS < b.M.DelayPS
+		}
+		return a.M.AreaUM2 < b.M.AreaUM2
+	})
+	return recs
+}
+
+// ExportSince returns the records inserted after the first seq ones —
+// in insertion order, not sorted — together with the new sequence
+// number to pass next time. It is the incremental sibling of Export
+// for long-lived exporters (shard worker sessions): each call costs
+// O(new records), not O(cache size). Evicted entries still appear
+// (their records remain valid); a seq from a different cache is
+// clamped into range.
+func (c *Cached) ExportSince(seq int) ([]CacheRecord, int) {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	if seq < 0 || seq > len(c.insertLog) {
+		seq = 0
+	}
+	recs := append([]CacheRecord(nil), c.insertLog[seq:]...)
+	return recs, len(c.insertLog)
+}
+
+// MergeRecords folds records into dst (fingerprint -> metrics),
+// returning how many were new and how many duplicated an existing
+// fingerprint. Duplicates keep the first-merged metrics; because every
+// oracle in this repository is deterministic, records sharing a
+// fingerprint agree (up to the ~2^-128 fingerprint collision), so the
+// kept value does not depend on merge order in practice and the
+// duplicate count measures cross-source redundant evaluation.
+func MergeRecords(dst map[uint64]Metrics, recs []CacheRecord) (added, duplicate int) {
+	for _, r := range recs {
+		if _, ok := dst[r.FP]; ok {
+			duplicate++
+			continue
+		}
+		dst[r.FP] = r.M
+		added++
+	}
+	return added, duplicate
+}

@@ -1,0 +1,33 @@
+// Package flows wires together the three AIG optimization flows of the
+// paper's Fig. 3. All three share the annealing engine and the move set;
+// they differ only in the cost oracle:
+//
+//	Baseline      proxy metrics — AIG levels for delay, node count for area
+//	Ground truth  technology mapping + STA at every iteration
+//	ML            Table II features + trained GBDT inference
+//
+// All three evaluators implement eval.Oracle natively: the ground-truth
+// oracle maps batch candidates concurrently through signoff.EvaluateBatch,
+// the ML oracle extracts features in parallel and predicts through
+// gbdt.PredictBatch, and the proxy marks itself cheap so the evaluation
+// layer skips memoization for it. The ground-truth oracle additionally
+// implements eval.DeltaEvaluator — incremental remapping and incremental
+// multi-corner STA, bit-identical to a full evaluation — which is what
+// the incremental path of both sweep drivers runs on.
+//
+// # Sweeps, local and sharded
+//
+// The package also provides the hyperparameter sweep / Pareto machinery
+// used for §II-B and Fig. 5: each flow is swept over cost weights and
+// annealing decay rates (SweepConfig.Grid defines the canonical
+// enumeration), every run's best AIG is re-evaluated with the
+// ground-truth oracle (mapping+STA), and the Pareto front of
+// (area, delay) is reported. Sweep executes the grid on a local worker
+// pool over one shared evaluation stack (NewSweepStack); SweepSharded
+// executes the identical grid across sweepd worker processes through
+// internal/shard, byte-identical to Sweep on every deterministic field —
+// AppendCanonical defines exactly which those are, and the test suite
+// asserts the identity over real worker processes. Failures carry their
+// grid coordinates as typed *SweepError values (errors.As-matchable),
+// which is what the shard layer's retry scheduling keys on.
+package flows

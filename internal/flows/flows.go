@@ -1,22 +1,3 @@
-// Package flows wires together the three AIG optimization flows of the
-// paper's Fig. 3. All three share the annealing engine and the move set;
-// they differ only in the cost oracle:
-//
-//	Baseline      proxy metrics — AIG levels for delay, node count for area
-//	Ground truth  technology mapping + STA at every iteration
-//	ML            Table II features + trained GBDT inference
-//
-// All three evaluators implement eval.Oracle natively: the ground-truth
-// oracle maps batch candidates concurrently through signoff.EvaluateBatch,
-// the ML oracle extracts features in parallel and predicts through
-// gbdt.PredictBatch, and the proxy marks itself cheap so the evaluation
-// layer skips memoization for it.
-//
-// The package also provides the hyperparameter sweep / Pareto machinery
-// used for §II-B and Fig. 5: each flow is swept over cost weights and
-// annealing decay rates, every run's best AIG is re-evaluated with the
-// ground-truth oracle (mapping+STA), and the Pareto front of (area, delay)
-// is reported.
 package flows
 
 import (
@@ -230,6 +211,57 @@ var DefaultSweep = SweepConfig{
 	DecayRates:   []float64{0.95, 0.975, 0.99},
 }
 
+// GridPoint identifies one run within a sweep grid: its position in
+// grid order plus the hyperparameters of that run. The annealing seed of
+// the point is SweepConfig.Base.Seed + SeedOffset, so every grid point
+// draws from its own deterministic stream regardless of which process
+// or worker executes it.
+type GridPoint struct {
+	Index                          int // position in grid enumeration order
+	DelayWeight, AreaWeight, Decay float64
+	SeedOffset                     int64
+}
+
+// Grid enumerates the sweep's grid points in the canonical order
+// (delay weight outermost, decay rate innermost) shared by the local
+// and the sharded drivers — the order results are reported in, whatever
+// schedule executed them.
+func (c SweepConfig) Grid() []GridPoint {
+	var pts []GridPoint
+	for _, dw := range c.DelayWeights {
+		for _, aw := range c.AreaWeights {
+			for _, dr := range c.DecayRates {
+				pts = append(pts, GridPoint{
+					Index:       len(pts),
+					DelayWeight: dw, AreaWeight: aw, Decay: dr,
+					SeedOffset: int64(len(pts)),
+				})
+			}
+		}
+	}
+	return pts
+}
+
+// SweepError is a sweep-point failure annotated with the grid
+// coordinates of the failing run, so retry layers (the shard
+// coordinator) and callers can match on it with errors.As and
+// reschedule or report the exact point. It wraps the underlying cause
+// for errors.Is.
+type SweepError struct {
+	Point GridPoint
+	Total int // grid size, for "point i/N" messages
+	Err   error
+}
+
+// Error implements error, spelling out the grid coordinates.
+func (e *SweepError) Error() string {
+	return fmt.Sprintf("flows: sweep point %d/%d (w_delay=%g w_area=%g decay=%g): %v",
+		e.Point.Index+1, e.Total, e.Point.DelayWeight, e.Point.AreaWeight, e.Point.Decay, e.Err)
+}
+
+// Unwrap exposes the underlying cause to errors.Is/As.
+func (e *SweepError) Unwrap() error { return e.Err }
+
 // SweepPoint is one optimization run within a sweep.
 type SweepPoint struct {
 	DelayWeight, AreaWeight, Decay float64
@@ -240,80 +272,103 @@ type SweepPoint struct {
 	TrueAreaUM2 float64
 }
 
+// NewSweepStack builds the evaluation stack a sweep executor shares
+// across its grid points: the evaluator behind a sweep-wide memo cache,
+// with cache misses routed through the incremental (dirty-cone) path
+// when the base params ask for it. anneal.Run recognizes the pre-built
+// cache and layers nothing on top, so run-level misses still hit here
+// when another grid point already evaluated the same structure; the
+// incremental anchor store is likewise shared — starting with g0, which
+// every run's first moves derive from. Cheap evaluators (proxy metrics)
+// are returned untouched.
+//
+// concurrent is the number of grid points the caller runs at once: the
+// anchor budget scales with it (capped — each anchored state retains
+// full mapping state at two efforts, megabytes on large designs, and an
+// eviction only costs a later full evaluation, never a wrong answer) so
+// one run's speculation round cannot thrash another's current-state
+// anchor. The sharded worker daemon builds the identical stack with
+// concurrent=1; metrics are value-transparent through every layer, so
+// the stack shape never changes results, only their cost.
+func NewSweepStack(ev anneal.Evaluator, base anneal.Params, concurrent int) anneal.Evaluator {
+	if eval.IsCheap(ev) {
+		return ev
+	}
+	if concurrent < 1 {
+		concurrent = 1
+	}
+	inner := eval.AsOracle(ev, 0)
+	if base.Incremental != anneal.IncrementalOff {
+		chains := base.Chains
+		if chains == 0 {
+			chains = 1
+		}
+		budget := anneal.AnchorBudget(anneal.EffectiveBatchSize(base.BatchSize), chains) * concurrent
+		if budget > 128 {
+			budget = 128
+		}
+		inner = eval.NewIncremental(inner, eval.IncrementalParams{
+			DirtyThreshold: base.IncrementalThreshold,
+			MaxStates:      budget,
+		})
+	}
+	return eval.NewCachedLRU(inner, base.CacheMaxEntries)
+}
+
+// RunPoint executes one grid point: an annealing run at the point's
+// hyperparameters over the shared evaluation stack, plus the
+// ground-truth re-evaluation of the winner. It is the unit of work both
+// the local worker pool and the sharded worker daemon execute; for a
+// fixed SweepConfig the result is bit-identical wherever it runs,
+// because the trajectory depends only on (g0, params, seed) and every
+// evaluation layer is value-transparent.
+func RunPoint(g0 *aig.AIG, runEv anneal.Evaluator, gt *GroundTruth, base anneal.Params, pt GridPoint) (SweepPoint, error) {
+	p := base
+	p.DelayWeight, p.AreaWeight, p.DecayRate = pt.DelayWeight, pt.AreaWeight, pt.Decay
+	p.Seed = base.Seed + pt.SeedOffset
+	r, err := anneal.Run(g0, runEv, p)
+	if err != nil {
+		return SweepPoint{}, err
+	}
+	m := gt.Evaluate(r.Best)
+	return SweepPoint{
+		DelayWeight: pt.DelayWeight, AreaWeight: pt.AreaWeight, Decay: pt.Decay,
+		Result: r, TrueDelayPS: m.DelayPS, TrueAreaUM2: m.AreaUM2,
+	}, nil
+}
+
+// WarmRoot precomputes g0's lazily built caches (levels, fanout counts,
+// pair index) so concurrent runs — all of which rebase their first
+// tracked moves against the shared root — only read it.
+func WarmRoot(g0 *aig.AIG) {
+	g0.Levels()
+	g0.FanoutCounts()
+	g0.PairIndex()
+}
+
 // Sweep runs the flow once per grid point and re-evaluates every winner
 // with the ground-truth oracle for fair cross-flow comparison. Grid
 // points execute on a bounded worker pool (GOMAXPROCS workers, started
 // before any work is queued rather than one goroutine per point), and all
-// runs share one memo cache through the evaluation layer, so structures
-// revisited across grid points — starting with g0 itself, which every run
-// evaluates first — are scored once. On failure the first error (by grid
-// order) is returned annotated with its grid coordinates.
+// runs share one memo cache through the evaluation layer (NewSweepStack),
+// so structures revisited across grid points — starting with g0 itself,
+// which every run evaluates first — are scored once. On failure the
+// first error (by grid order) is returned as a *SweepError carrying the
+// failing point's grid coordinates.
 func Sweep(g0 *aig.AIG, ev anneal.Evaluator, lib *cell.Library, cfg SweepConfig) ([]SweepPoint, error) {
-	type job struct {
-		dw, aw, decay float64
-		seedOff       int64
-	}
-	var jobs []job
-	off := int64(0)
-	for _, dw := range cfg.DelayWeights {
-		for _, aw := range cfg.AreaWeights {
-			for _, dr := range cfg.DecayRates {
-				jobs = append(jobs, job{dw, aw, dr, off})
-				off++
-			}
-		}
-	}
-	if len(jobs) == 0 {
+	grid := cfg.Grid()
+	if len(grid) == 0 {
 		return nil, fmt.Errorf("flows: empty sweep grid")
 	}
-	// Warm the shared root's lazy caches so concurrent runs only read
-	// it; the pair index is what every run's first tracked moves rebase
-	// against.
-	g0.Levels()
-	g0.FanoutCounts()
-	g0.PairIndex()
+	WarmRoot(g0)
 	gt := NewGroundTruth(lib)
-	pts := make([]SweepPoint, len(jobs))
-	errs := make([]error, len(jobs))
+	pts := make([]SweepPoint, len(grid))
+	errs := make([]error, len(grid))
 	workers := runtime.GOMAXPROCS(0)
-	if workers > len(jobs) {
-		workers = len(jobs)
+	if workers > len(grid) {
+		workers = len(grid)
 	}
-	// Sweep-wide memo cache: anneal.Run layers its per-run cache on top,
-	// so run-level misses still hit here when another grid point already
-	// evaluated the same structure. The incremental path sits under the
-	// cache (a cache hit needs no evaluation at all; a miss takes the
-	// cone-sized path when the candidate's base is anchored), and its
-	// anchor store is likewise shared — starting with g0, which every
-	// run's first moves derive from. The anchor budget scales with the
-	// concurrent runs so one grid point's speculation round cannot
-	// thrash another's current-state anchor; the incremental policy
-	// itself follows cfg.Base, since the runs see a pre-built stack and
-	// apply the policy from here. Cheap evaluators are passed through
-	// untouched.
-	runEv := ev
-	if !eval.IsCheap(ev) {
-		inner := eval.AsOracle(ev, 0)
-		if cfg.Base.Incremental != anneal.IncrementalOff {
-			chains := cfg.Base.Chains
-			if chains == 0 {
-				chains = 1
-			}
-			// One round's worth of anchors per concurrent run, capped:
-			// each anchored state retains full mapping state at two
-			// efforts (megabytes on large designs), and an eviction only
-			// costs a later full evaluation, never a wrong answer.
-			budget := anneal.AnchorBudget(anneal.EffectiveBatchSize(cfg.Base.BatchSize), chains) * workers
-			if budget > 128 {
-				budget = 128
-			}
-			inner = eval.NewIncremental(inner, eval.IncrementalParams{
-				DirtyThreshold: cfg.Base.IncrementalThreshold,
-				MaxStates:      budget,
-			})
-		}
-		runEv = eval.NewCachedLRU(inner, cfg.Base.CacheMaxEntries)
-	}
+	runEv := NewSweepStack(ev, cfg.Base, workers)
 	work := make(chan int)
 	var wg sync.WaitGroup
 	for w := 0; w < workers; w++ {
@@ -321,33 +376,18 @@ func Sweep(g0 *aig.AIG, ev anneal.Evaluator, lib *cell.Library, cfg SweepConfig)
 		go func() {
 			defer wg.Done()
 			for ji := range work {
-				j := jobs[ji]
-				p := cfg.Base
-				p.DelayWeight, p.AreaWeight, p.DecayRate = j.dw, j.aw, j.decay
-				p.Seed = cfg.Base.Seed + j.seedOff
-				r, err := anneal.Run(g0, runEv, p)
-				if err != nil {
-					errs[ji] = err
-					continue
-				}
-				m := gt.Evaluate(r.Best)
-				pts[ji] = SweepPoint{
-					DelayWeight: j.dw, AreaWeight: j.aw, Decay: j.decay,
-					Result: r, TrueDelayPS: m.DelayPS, TrueAreaUM2: m.AreaUM2,
-				}
+				pts[ji], errs[ji] = RunPoint(g0, runEv, gt, cfg.Base, grid[ji])
 			}
 		}()
 	}
-	for ji := range jobs {
+	for ji := range grid {
 		work <- ji
 	}
 	close(work)
 	wg.Wait()
 	for ji, err := range errs {
 		if err != nil {
-			j := jobs[ji]
-			return nil, fmt.Errorf("flows: sweep point %d/%d (w_delay=%g w_area=%g decay=%g): %w",
-				ji+1, len(jobs), j.dw, j.aw, j.decay, err)
+			return nil, &SweepError{Point: grid[ji], Total: len(grid), Err: err}
 		}
 	}
 	return pts, nil

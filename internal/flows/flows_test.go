@@ -1,6 +1,7 @@
 package flows
 
 import (
+	"errors"
 	"math/rand"
 	"strings"
 	"testing"
@@ -140,9 +141,9 @@ func TestSweepEmptyGrid(t *testing.T) {
 // initial evaluation — the cheapest way to force a sweep-point failure.
 type brokenEval struct{}
 
-func (brokenEval) Name() string                            { return "broken" }
-func (brokenEval) Evaluate(g *aig.AIG) anneal.Metrics      { return anneal.Metrics{} }
-func (brokenEval) CheapEval() bool                         { return true }
+func (brokenEval) Name() string                       { return "broken" }
+func (brokenEval) Evaluate(g *aig.AIG) anneal.Metrics { return anneal.Metrics{} }
+func (brokenEval) CheapEval() bool                    { return true }
 func (brokenEval) EvaluateBatch(gs []*aig.AIG) []anneal.Metrics {
 	return make([]anneal.Metrics, len(gs))
 }
@@ -162,6 +163,41 @@ func TestSweepErrorIncludesGridCoordinates(t *testing.T) {
 	for _, want := range []string{"w_delay=1", "w_area=0.25", "decay=0.9"} {
 		if !strings.Contains(err.Error(), want) {
 			t.Fatalf("error %q lacks grid coordinate %q", err, want)
+		}
+	}
+	// The typed error is matchable and carries the machine-readable
+	// coordinates the shard retry path schedules on.
+	var se *SweepError
+	if !errors.As(err, &se) {
+		t.Fatalf("sweep error %T does not wrap *SweepError", err)
+	}
+	if se.Point.DelayWeight != 1 || se.Point.AreaWeight != 0.25 || se.Point.Decay != 0.9 || se.Point.Index != 0 || se.Total != 1 {
+		t.Fatalf("SweepError coordinates wrong: %+v", se)
+	}
+	if se.Unwrap() == nil {
+		t.Fatal("SweepError does not unwrap its cause")
+	}
+}
+
+func TestGridEnumerationOrder(t *testing.T) {
+	cfg := SweepConfig{
+		DelayWeights: []float64{1, 2},
+		AreaWeights:  []float64{0.5},
+		DecayRates:   []float64{0.9, 0.95},
+	}
+	grid := cfg.Grid()
+	if len(grid) != 4 {
+		t.Fatalf("grid size %d", len(grid))
+	}
+	want := []GridPoint{
+		{0, 1, 0.5, 0.9, 0},
+		{1, 1, 0.5, 0.95, 1},
+		{2, 2, 0.5, 0.9, 2},
+		{3, 2, 0.5, 0.95, 3},
+	}
+	for i := range want {
+		if grid[i] != want[i] {
+			t.Fatalf("grid[%d] = %+v, want %+v", i, grid[i], want[i])
 		}
 	}
 }

@@ -1,0 +1,239 @@
+package flows
+
+import (
+	"bytes"
+	"errors"
+	"fmt"
+	"io"
+
+	"aigtimer/internal/aig"
+	"aigtimer/internal/anneal"
+	"aigtimer/internal/cell"
+	"aigtimer/internal/eval"
+	"aigtimer/internal/gbdt"
+	"aigtimer/internal/shard"
+)
+
+// ShardOptions selects the worker fleet of a sharded sweep: TCP
+// endpoints of cmd/sweepd daemons, pre-established transports (tests,
+// in-process workers), or both.
+type ShardOptions struct {
+	Endpoints []string
+	Conns     []io.ReadWriteCloser
+	// MaxAttempts bounds per-job retries after worker-side errors
+	// (0 = the shard layer's default of 3).
+	MaxAttempts int
+	// Logf, when set, receives scheduling and failure events.
+	Logf func(format string, args ...any)
+}
+
+// SweepSharded is Sweep scaled out across worker processes: the same
+// grid, the same per-point annealing and ground-truth re-evaluation,
+// executed by sweepd workers instead of local goroutines. For a fixed
+// SweepConfig the returned points are bit-identical to Sweep's on every
+// deterministic field (see AppendCanonical) — grid points are seeded by
+// grid position and every evaluation layer is value-transparent, so
+// placement, retries, and worker count never change results. The base
+// AIG is shipped once per worker; every graph coming back crosses the
+// wire as an aig.EncodeDelta record against it (see the shard package).
+//
+// The guiding evaluator must be one of this package's shippable kinds —
+// Proxy, *GroundTruth, or *ML (models are serialized along) — and
+// cfg.Base.Recipes must be nil (the full catalog), since recipe
+// closures cannot cross a process boundary. BatchSize is pinned to its
+// effective value before shipping so eval counters agree across
+// heterogeneous worker machines.
+//
+// The returned Stats carry the transfer accounting (base vs delta
+// bytes), retry/work-stealing activity, and the cluster-wide merged
+// memo cache.
+func SweepSharded(g0 *aig.AIG, ev anneal.Evaluator, lib *cell.Library, cfg SweepConfig, opts ShardOptions) ([]SweepPoint, *shard.Stats, error) {
+	grid := cfg.Grid()
+	if len(grid) == 0 {
+		return nil, nil, fmt.Errorf("flows: empty sweep grid")
+	}
+	if cfg.Base.Recipes != nil {
+		return nil, nil, fmt.Errorf("flows: sharded sweep requires the default recipe catalog (Recipes must be nil)")
+	}
+	spec, err := evalSpecFor(ev)
+	if err != nil {
+		return nil, nil, err
+	}
+	var libBytes []byte
+	if lib != cell.Builtin() {
+		var buf bytes.Buffer
+		if err := cell.WriteLibrary(&buf, lib); err != nil {
+			return nil, nil, fmt.Errorf("flows: serializing library: %w", err)
+		}
+		libBytes = buf.Bytes()
+	}
+	base := cfg.Base
+	base.BatchSize = anneal.EffectiveBatchSize(base.BatchSize)
+	rc := shard.RunConfig{Base: base, Eval: spec, Library: libBytes}
+	jobs := make([]shard.JobSpec, len(grid))
+	for i, pt := range grid {
+		jobs[i] = shard.JobSpec{
+			Index:       pt.Index,
+			DelayWeight: pt.DelayWeight, AreaWeight: pt.AreaWeight, Decay: pt.Decay,
+			SeedOffset: pt.SeedOffset,
+		}
+	}
+	results, st, err := shard.Run(g0, rc, jobs, shard.Options{
+		Conns: opts.Conns, Endpoints: opts.Endpoints,
+		MaxAttempts: opts.MaxAttempts, Logf: opts.Logf,
+	})
+	if err != nil {
+		var jfe *shard.JobFailedError
+		if errors.As(err, &jfe) {
+			return nil, st, &SweepError{
+				Point: grid[jfe.Job.Index], Total: len(grid),
+				Err: fmt.Errorf("failed on %d workers: %s", jfe.Attempts, jfe.Msg),
+			}
+		}
+		return nil, st, err
+	}
+	pts := make([]SweepPoint, len(grid))
+	for i, jr := range results {
+		pts[i] = SweepPoint{
+			DelayWeight: grid[i].DelayWeight, AreaWeight: grid[i].AreaWeight, Decay: grid[i].Decay,
+			Result: jr.Result, TrueDelayPS: jr.TrueDelayPS, TrueAreaUM2: jr.TrueAreaUM2,
+		}
+	}
+	return pts, st, nil
+}
+
+// evalSpecFor maps a guiding evaluator onto the wire spec workers
+// reconstruct it from. Only this package's evaluators have a wire form;
+// arbitrary user evaluators cannot cross a process boundary.
+func evalSpecFor(ev anneal.Evaluator) (shard.EvalSpec, error) {
+	switch e := ev.(type) {
+	case Proxy:
+		return shard.EvalSpec{Kind: "baseline"}, nil
+	case *GroundTruth:
+		// The worker rebuilds the evaluator over the shipped library, so
+		// nothing else travels.
+		return shard.EvalSpec{Kind: "ground-truth"}, nil
+	case *ML:
+		var spec shard.EvalSpec
+		spec.Kind = "ml"
+		spec.AreaPerNode = e.AreaPerNode
+		var buf bytes.Buffer
+		if e.DelayModel == nil {
+			return shard.EvalSpec{}, fmt.Errorf("flows: ML evaluator has no delay model")
+		}
+		if err := e.DelayModel.Save(&buf); err != nil {
+			return shard.EvalSpec{}, fmt.Errorf("flows: serializing delay model: %w", err)
+		}
+		spec.DelayModel = append([]byte(nil), buf.Bytes()...)
+		if e.AreaModel != nil {
+			buf.Reset()
+			if err := e.AreaModel.Save(&buf); err != nil {
+				return shard.EvalSpec{}, fmt.Errorf("flows: serializing area model: %w", err)
+			}
+			spec.AreaModel = append([]byte(nil), buf.Bytes()...)
+		}
+		return spec, nil
+	default:
+		return shard.EvalSpec{}, fmt.Errorf("flows: evaluator %s (%T) cannot be shipped to shard workers", ev.Name(), e)
+	}
+}
+
+// evaluatorFromSpec is evalSpecFor's worker-side inverse.
+func evaluatorFromSpec(spec shard.EvalSpec, lib *cell.Library) (anneal.Evaluator, error) {
+	switch spec.Kind {
+	case "baseline":
+		return Proxy{}, nil
+	case "ground-truth":
+		return NewGroundTruth(lib), nil
+	case "ml":
+		dm, err := gbdt.Load(bytes.NewReader(spec.DelayModel))
+		if err != nil {
+			return nil, fmt.Errorf("flows: decoding delay model: %w", err)
+		}
+		ml := &ML{DelayModel: dm, AreaPerNode: spec.AreaPerNode}
+		if len(spec.AreaModel) > 0 {
+			am, err := gbdt.Load(bytes.NewReader(spec.AreaModel))
+			if err != nil {
+				return nil, fmt.Errorf("flows: decoding area model: %w", err)
+			}
+			ml.AreaModel = am
+		}
+		return ml, nil
+	default:
+		return nil, fmt.Errorf("flows: unknown evaluator kind %q", spec.Kind)
+	}
+}
+
+// shardRunner executes grid points for a sweepd worker session: the
+// worker-process counterpart of Sweep's goroutine pool, built from the
+// same parts (NewSweepStack, RunPoint) so a job computes exactly what
+// it would locally. The stack persists across the session's jobs — the
+// worker-local equivalent of the sweep-wide shared cache.
+type shardRunner struct {
+	base     anneal.Params
+	stack    anneal.Evaluator
+	gt       *GroundTruth
+	warmed   map[*aig.AIG]bool
+	cacheSeq int // ExportSince high-water mark
+}
+
+// NewShardRunner returns the production shard.Runner used by
+// cmd/sweepd. Each worker session gets its own runner (its own cache
+// and incremental stack).
+func NewShardRunner() shard.Runner { return &shardRunner{warmed: make(map[*aig.AIG]bool)} }
+
+// Configure implements shard.Runner: it reconstructs the guiding
+// evaluator and library from the wire config and builds the session's
+// evaluation stack.
+func (r *shardRunner) Configure(cfg shard.RunConfig) error {
+	lib := cell.Builtin()
+	if len(cfg.Library) > 0 {
+		l, err := cell.ParseLibrary(bytes.NewReader(cfg.Library))
+		if err != nil {
+			return fmt.Errorf("flows: decoding library: %w", err)
+		}
+		lib = l
+	}
+	ev, err := evaluatorFromSpec(cfg.Eval, lib)
+	if err != nil {
+		return err
+	}
+	r.base = cfg.Base
+	r.stack = NewSweepStack(ev, cfg.Base, 1)
+	r.gt = NewGroundTruth(lib)
+	return nil
+}
+
+// Run implements shard.Runner.
+func (r *shardRunner) Run(base *aig.AIG, job shard.JobSpec) (*shard.WorkResult, error) {
+	if r.stack == nil {
+		return nil, fmt.Errorf("flows: shard runner not configured")
+	}
+	if !r.warmed[base] {
+		WarmRoot(base)
+		r.warmed[base] = true
+	}
+	pt := GridPoint{
+		Index:       job.Index,
+		DelayWeight: job.DelayWeight, AreaWeight: job.AreaWeight, Decay: job.Decay,
+		SeedOffset: job.SeedOffset,
+	}
+	sp, err := RunPoint(base, r.stack, r.gt, r.base, pt)
+	if err != nil {
+		return nil, err
+	}
+	return &shard.WorkResult{Result: sp.Result, TrueDelayPS: sp.TrueDelayPS, TrueAreaUM2: sp.TrueAreaUM2}, nil
+}
+
+// CacheSnapshot implements shard.Runner, exporting the session stack's
+// memo records added since the previous call for coordinator-side
+// merging.
+func (r *shardRunner) CacheSnapshot() []eval.CacheRecord {
+	c, ok := r.stack.(*eval.Cached)
+	if !ok {
+		return nil
+	}
+	recs, seq := c.ExportSince(r.cacheSeq)
+	r.cacheSeq = seq
+	return recs
+}

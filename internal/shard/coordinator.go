@@ -1,0 +1,443 @@
+package shard
+
+import (
+	"bufio"
+	"fmt"
+	"io"
+	"net"
+	"sync"
+	"sync/atomic"
+	"time"
+
+	"aigtimer/internal/aig"
+	"aigtimer/internal/eval"
+)
+
+// Options configures a coordinator run. Workers are given either as
+// established transports (Conns — in-process loopbacks, tests) or as
+// TCP endpoints of sweepd daemons (Endpoints); both may be combined.
+type Options struct {
+	Conns     []io.ReadWriteCloser
+	Endpoints []string
+	// MaxAttempts bounds how often one job is executed after worker-side
+	// errors before the sweep reports it failed (transport losses always
+	// requeue and do not consume attempts). 0 means 3.
+	MaxAttempts int
+	// DialTimeout bounds each endpoint dial; 0 means 10s.
+	DialTimeout time.Duration
+	// JobTimeout bounds how long the coordinator waits for one job's
+	// result on transports supporting read deadlines (net.Conn); on
+	// expiry the worker counts as lost and its job is requeued. 0 means
+	// no bound — dialed TCP conns still detect silently dead peers via
+	// keepalive probes, but a worker wedged mid-computation holds its
+	// job until the sweep is cancelled, so set this when job durations
+	// are predictable.
+	JobTimeout time.Duration
+	// Logf, when set, receives progress and failure events.
+	Logf func(format string, args ...any)
+}
+
+// WorkerStats is the per-worker slice of a run's accounting.
+type WorkerStats struct {
+	Name string // endpoint address, or "conn#i" for pre-established transports
+	Jobs int    // results this worker delivered
+	Lost bool   // session ended by a transport failure
+}
+
+// Stats is the coordinator's accounting of one run: the transfer split
+// the warm-handoff design is judged by (one base send per worker, delta
+// records for everything else), the retry/work-stealing activity, and
+// the cluster-wide memo-cache merge.
+type Stats struct {
+	BaseSends    int   // base-graph transfers (one per worker session)
+	BaseBytes    int64 // bytes of those transfers
+	DeltaRecords int   // graphs received as delta records
+	DeltaBytes   int64 // bytes of those records
+	JobSends     int   // job dispatches, including re-dispatches
+	Retries      int   // re-dispatches after a worker-side job error
+	Requeues     int   // re-dispatches after a transport loss
+	WorkerLosses int   // worker sessions lost mid-sweep
+
+	BytesSent     int64 // total transport bytes, coordinator -> workers
+	BytesReceived int64 // total transport bytes, workers -> coordinator
+
+	// MergedCache is the cluster-wide memo view: structural fingerprint
+	// -> metrics, merged from every worker's exported cache records
+	// (eval.CacheRecord). CacheDuplicates counts records whose
+	// fingerprint another worker had already contributed — the measure
+	// of cross-shard redundant evaluation a future record-preseeding
+	// optimization would recover.
+	MergedCache     map[uint64]eval.Metrics
+	CacheRecords    int
+	CacheDuplicates int
+
+	Workers []WorkerStats
+}
+
+// JobFailedError reports a job whose execution attempts were exhausted;
+// callers (flows.SweepSharded) translate it into their own coordinate-
+// carrying error type.
+type JobFailedError struct {
+	Job      JobSpec
+	Attempts int
+	Msg      string
+}
+
+// Error implements error.
+func (e *JobFailedError) Error() string {
+	return fmt.Sprintf("shard: job %d (w_delay=%g w_area=%g decay=%g) failed after %d attempts: %s",
+		e.Job.Index, e.Job.DelayWeight, e.Job.AreaWeight, e.Job.Decay, e.Attempts, e.Msg)
+}
+
+// meter counts raw transport bytes in both directions.
+type meter struct {
+	rwc        io.ReadWriteCloser
+	sent, recv *int64
+}
+
+func (m meter) Read(p []byte) (int, error) {
+	n, err := m.rwc.Read(p)
+	atomic.AddInt64(m.recv, int64(n))
+	return n, err
+}
+
+func (m meter) Write(p []byte) (int, error) {
+	n, err := m.rwc.Write(p)
+	atomic.AddInt64(m.sent, int64(n))
+	return n, err
+}
+
+func (m meter) Close() error { return m.rwc.Close() }
+
+// task is one schedulable job plus its retry state.
+type task struct {
+	job      JobSpec
+	attempts int          // worker-side execution failures so far
+	exclude  map[int]bool // workers this job should avoid (they failed it)
+}
+
+// sched is the coordinator's work queue: pull-based (idle workers take
+// the next eligible job, so fast workers naturally steal load) with
+// requeue-on-failure.
+type sched struct {
+	mu        sync.Mutex
+	cond      *sync.Cond
+	queue     []*task
+	remaining int          // jobs not yet completed or abandoned
+	alive     map[int]bool // worker id -> still serving
+}
+
+func newSched(jobs []JobSpec, workers int) *sched {
+	s := &sched{alive: make(map[int]bool, workers), remaining: len(jobs)}
+	s.cond = sync.NewCond(&s.mu)
+	for _, j := range jobs {
+		s.queue = append(s.queue, &task{job: j})
+	}
+	for w := 0; w < workers; w++ {
+		s.alive[w] = true
+	}
+	return s
+}
+
+// eligible reports whether worker id may take t: it must not be
+// excluded, unless every live worker is (then retrying anywhere beats
+// deadlocking).
+func (s *sched) eligible(t *task, id int) bool {
+	if !t.exclude[id] {
+		return true
+	}
+	for w, ok := range s.alive {
+		if ok && !t.exclude[w] {
+			return false
+		}
+	}
+	return true
+}
+
+// next blocks until a job is available for worker id (ok=true), or no
+// work will ever remain (ok=false).
+func (s *sched) next(id int) (*task, bool) {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	for {
+		if s.remaining == 0 {
+			return nil, false
+		}
+		for i, t := range s.queue {
+			if s.eligible(t, id) {
+				s.queue = append(s.queue[:i], s.queue[i+1:]...)
+				return t, true
+			}
+		}
+		s.cond.Wait()
+	}
+}
+
+// complete marks one job finished (successfully or abandoned).
+func (s *sched) complete() {
+	s.mu.Lock()
+	s.remaining--
+	s.mu.Unlock()
+	s.cond.Broadcast()
+}
+
+// requeue puts a dispatched task back, optionally excluding the worker
+// that just failed it.
+func (s *sched) requeue(t *task, excludeWorker int) {
+	s.mu.Lock()
+	if excludeWorker >= 0 {
+		if t.exclude == nil {
+			t.exclude = make(map[int]bool)
+		}
+		t.exclude[excludeWorker] = true
+	}
+	s.queue = append(s.queue, t)
+	s.mu.Unlock()
+	s.cond.Broadcast()
+}
+
+// workerDead removes a worker from the live set.
+func (s *sched) workerDead(id int) (remainingWorkers int) {
+	s.mu.Lock()
+	delete(s.alive, id)
+	n := len(s.alive)
+	s.mu.Unlock()
+	s.cond.Broadcast()
+	return n
+}
+
+// Run partitions jobs across the optioned workers and merges their
+// results deterministically: the returned slice is indexed in the order
+// of the jobs argument regardless of which worker computed what, and —
+// because every job is executed at the same parameters over value-
+// transparent evaluation stacks — its contents match a local execution
+// of the same jobs bit for bit.
+//
+// The base graph is shipped once per worker session; every graph coming
+// back travels as an aig.EncodeDelta record against it (warm handoff).
+// Workers pull jobs one at a time, so load balance emerges from speed
+// (work stealing); a lost worker's in-flight job is requeued elsewhere,
+// and a job a worker reports failed is retried on other workers up to
+// MaxAttempts before the run reports a JobFailedError. Like the local
+// sweep, Run finishes every finishable job before returning the first
+// failure in job order.
+func Run(base *aig.AIG, cfg RunConfig, jobs []JobSpec, opts Options) ([]JobResult, *Stats, error) {
+	logf := opts.Logf
+	if logf == nil {
+		logf = func(string, ...any) {}
+	}
+	maxAttempts := opts.MaxAttempts
+	if maxAttempts <= 0 {
+		maxAttempts = 3
+	}
+	if len(jobs) == 0 {
+		return nil, nil, fmt.Errorf("shard: no jobs")
+	}
+	// Recipe closures have no wire form; encodeConfig would silently
+	// drop them and workers would anneal with the default catalog,
+	// breaking the bit-identical contract. Refuse here, where the field
+	// is lost.
+	if cfg.Base.Recipes != nil {
+		return nil, nil, fmt.Errorf("shard: custom recipe catalogs cannot cross the wire (Base.Recipes must be nil)")
+	}
+
+	type workerConn struct {
+		name string
+		rwc  io.ReadWriteCloser
+	}
+	var conns []workerConn
+	for i, c := range opts.Conns {
+		conns = append(conns, workerConn{name: fmt.Sprintf("conn#%d", i), rwc: c})
+	}
+	dialTimeout := opts.DialTimeout
+	if dialTimeout == 0 {
+		dialTimeout = 10 * time.Second
+	}
+	// Keepalive probes are what turn a silently dead peer (power loss,
+	// partition — no FIN/RST) into a read error the requeue logic can
+	// act on; without them a half-open connection would hold its job
+	// forever.
+	dialer := net.Dialer{Timeout: dialTimeout, KeepAlive: 15 * time.Second}
+	for _, ep := range opts.Endpoints {
+		c, err := dialer.Dial("tcp", ep)
+		if err != nil {
+			for _, wc := range conns {
+				wc.rwc.Close()
+			}
+			return nil, nil, fmt.Errorf("shard: dialing worker %s: %w", ep, err)
+		}
+		conns = append(conns, workerConn{name: ep, rwc: c})
+	}
+	if len(conns) == 0 {
+		return nil, nil, fmt.Errorf("shard: no workers (need Conns or Endpoints)")
+	}
+
+	slotOf := make(map[int]int, len(jobs)) // job.Index -> position in jobs
+	for i, j := range jobs {
+		slotOf[j.Index] = i
+	}
+	cfgPayload := encodeConfig(cfg)
+	basePayload, err := encodeBase(0, base)
+	if err != nil {
+		for _, wc := range conns {
+			wc.rwc.Close()
+		}
+		return nil, nil, err
+	}
+
+	st := &Stats{MergedCache: make(map[uint64]eval.Metrics), Workers: make([]WorkerStats, len(conns))}
+	results := make([]JobResult, len(jobs))
+	gotResult := make([]bool, len(jobs))
+	jobErrs := make([]error, len(jobs))
+	s := newSched(jobs, len(conns))
+	var mu sync.Mutex // guards st (non-atomic fields), results, jobErrs
+
+	var wg sync.WaitGroup
+	for id := range conns {
+		wg.Add(1)
+		go func(id int) {
+			defer wg.Done()
+			wc := conns[id]
+			st.Workers[id].Name = wc.name
+			m := meter{rwc: wc.rwc, sent: &st.BytesSent, recv: &st.BytesReceived}
+			defer m.Close()
+			br := bufio.NewReader(m)
+			bw := bufio.NewWriter(m)
+
+			die := func(t *task, why error) {
+				logf("shard: worker %s lost: %v", wc.name, why)
+				mu.Lock()
+				st.WorkerLosses++
+				st.Workers[id].Lost = true
+				if t != nil {
+					st.Requeues++
+				}
+				mu.Unlock()
+				if t != nil {
+					s.requeue(t, -1) // dead workers need no exclusion entry
+				}
+				s.workerDead(id)
+			}
+
+			if err := writeMsg(bw, msgConfig, cfgPayload); err != nil {
+				die(nil, err)
+				return
+			}
+			if err := writeMsg(bw, msgBase, basePayload); err != nil {
+				die(nil, err)
+				return
+			}
+			if err := bw.Flush(); err != nil {
+				die(nil, err)
+				return
+			}
+			mu.Lock()
+			st.BaseSends++
+			st.BaseBytes += int64(len(basePayload))
+			mu.Unlock()
+
+			for {
+				t, ok := s.next(id)
+				if !ok {
+					// Drained: a polite bye, best-effort.
+					if writeMsg(bw, msgBye, nil) == nil {
+						bw.Flush()
+					}
+					return
+				}
+				mu.Lock()
+				st.JobSends++
+				mu.Unlock()
+				if err := writeMsg(bw, msgJob, encodeJob(0, t.job)); err != nil {
+					die(t, err)
+					return
+				}
+				if err := bw.Flush(); err != nil {
+					die(t, err)
+					return
+				}
+				if dl, ok := wc.rwc.(interface{ SetReadDeadline(time.Time) error }); ok {
+					if opts.JobTimeout > 0 {
+						dl.SetReadDeadline(time.Now().Add(opts.JobTimeout))
+					} else {
+						dl.SetReadDeadline(time.Time{})
+					}
+				}
+				typ, payload, err := readMsg(br)
+				if err != nil {
+					die(t, err)
+					return
+				}
+				switch typ {
+				case msgResult:
+					jr, recs, wire, err := decodeResult(base, payload)
+					if err != nil || jr.Index != t.job.Index {
+						if err == nil {
+							err = fmt.Errorf("shard: result for job %d while %d in flight", jr.Index, t.job.Index)
+						}
+						die(t, err)
+						return
+					}
+					mu.Lock()
+					st.DeltaRecords += wire.deltaRecords
+					st.DeltaBytes += wire.deltaBytes
+					added, dup := eval.MergeRecords(st.MergedCache, recs)
+					_ = added
+					st.CacheRecords += len(recs)
+					st.CacheDuplicates += dup
+					st.Workers[id].Jobs++
+					slot := slotOf[jr.Index]
+					results[slot] = jr
+					gotResult[slot] = true
+					mu.Unlock()
+					s.complete()
+				case msgJobError:
+					idx, msg, derr := decodeJobError(payload)
+					if derr != nil || idx != t.job.Index {
+						if derr == nil {
+							derr = fmt.Errorf("shard: error for job %d while %d in flight", idx, t.job.Index)
+						}
+						die(t, derr)
+						return
+					}
+					t.attempts++
+					logf("shard: job %d failed on %s (attempt %d/%d): %s",
+						idx, wc.name, t.attempts, maxAttempts, msg)
+					if t.attempts >= maxAttempts {
+						mu.Lock()
+						jobErrs[slotOf[idx]] = &JobFailedError{Job: t.job, Attempts: t.attempts, Msg: msg}
+						mu.Unlock()
+						s.complete()
+						continue
+					}
+					mu.Lock()
+					st.Retries++
+					mu.Unlock()
+					s.requeue(t, id)
+				default:
+					die(t, fmt.Errorf("shard: unexpected message type %d", typ))
+					return
+				}
+			}
+		}(id)
+	}
+	wg.Wait()
+
+	// All workers returned. Anything neither resolved nor failed means
+	// the whole fleet was lost with work outstanding.
+	missing := 0
+	for i := range jobs {
+		if !gotResult[i] && jobErrs[i] == nil {
+			missing++
+		}
+	}
+	if missing > 0 {
+		return nil, st, fmt.Errorf("shard: all %d workers lost with %d jobs unfinished", len(conns), missing)
+	}
+	for i := range jobs {
+		if jobErrs[i] != nil {
+			return nil, st, jobErrs[i]
+		}
+	}
+	return results, st, nil
+}

@@ -1,0 +1,45 @@
+// Package shard scales the hyperparameter sweep out across worker
+// processes: a coordinator partitions a sweep grid over sweepd workers,
+// retries and re-balances on failure, and merges the results
+// deterministically — indexed by grid order, bit-identical to a local
+// flows.Sweep of the same configuration.
+//
+// # Contract
+//
+// The package promises exactly what the local evaluation layers
+// promise, extended over a process boundary:
+//
+//   - Determinism. A grid point's trajectory depends only on (base
+//     graph, params, seed); every evaluation layer (cache, incremental,
+//     batching) is value-transparent. Which worker executes which job —
+//     and how often a job is retried — therefore never changes any
+//     result, and the coordinator's merge is byte-identical to local
+//     execution. Timing fields and cache/incremental counters are the
+//     only schedule-dependent values.
+//   - Warm handoff. A worker session receives the base AIG exactly
+//     once (as a dictionary-free aig.EncodeDelta record); every graph
+//     sent back — the per-chain best AIGs of each result — travels as a
+//     delta record against that base, never as a full graph. Stats
+//     accounts for both transfer classes so tests can assert the split.
+//   - Failure containment. Worker-side job errors are retried on other
+//     workers up to Options.MaxAttempts (the job's grid coordinates ride
+//     along, surfacing as JobFailedError when exhausted); a lost
+//     transport requeues the in-flight job and removes only that worker.
+//     Like flows.Sweep, the run completes every finishable job before
+//     reporting the first failure in grid order.
+//
+// # Topology
+//
+// The coordinator drives each worker over one connection (TCP to a
+// cmd/sweepd daemon, or any io.ReadWriteCloser — tests use in-process
+// pipes): config and base first, then one job at a time per worker.
+// Idle workers pull the next eligible job, so load balance across
+// heterogeneous workers is work stealing by construction. Domain logic
+// lives behind the Runner interface (flows.NewShardRunner), keeping
+// this package a pure transport/scheduling layer.
+//
+// Workers also export their memo caches as eval.CacheRecord streams;
+// the coordinator merges them into Stats.MergedCache, the cluster-wide
+// view of evaluated structures and the measure of cross-shard
+// redundancy.
+package shard

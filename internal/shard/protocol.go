@@ -1,0 +1,544 @@
+package shard
+
+import (
+	"bufio"
+	"encoding/binary"
+	"fmt"
+	"io"
+	"math"
+	"time"
+
+	"aigtimer/internal/aig"
+	"aigtimer/internal/anneal"
+	"aigtimer/internal/eval"
+)
+
+// protocolVersion gates coordinator/worker compatibility; a worker
+// refuses a session whose config message carries a different version.
+const protocolVersion = 1
+
+// maxPayload bounds one message; anything larger indicates a framing
+// desync or a hostile peer, not a real sweep artifact.
+const maxPayload = 1 << 30
+
+// Message types. The coordinator drives the session (config, base,
+// jobs, bye); the worker only ever answers a job.
+const (
+	msgConfig   byte = 1 // coordinator -> worker: version + RunConfig
+	msgBase     byte = 2 // coordinator -> worker: a base graph, shipped once
+	msgJob      byte = 3 // coordinator -> worker: one grid point
+	msgBye      byte = 4 // coordinator -> worker: drain and close
+	msgResult   byte = 5 // worker -> coordinator: completed grid point
+	msgJobError byte = 6 // worker -> coordinator: grid point failed
+)
+
+// RunConfig is the session-wide configuration a coordinator installs on
+// every worker before sending jobs: the annealing base parameters every
+// grid point derives from, the evaluator the workers must reconstruct,
+// and the cell library (nil = the built-in library).
+type RunConfig struct {
+	Base    anneal.Params
+	Eval    EvalSpec
+	Library []byte // cell.WriteLibrary bytes; nil selects cell.Builtin
+}
+
+// EvalSpec names the guiding evaluator of a sweep in a form that can
+// cross a process boundary: a kind plus the serialized models it needs.
+// The shard layer only transports it — interpretation (constructing the
+// evaluator) belongs to the Runner implementation, which is what keeps
+// this package free of a dependency on the flows it serves.
+type EvalSpec struct {
+	Kind        string // "baseline" | "ground-truth" | "ml"
+	DelayModel  []byte // gbdt JSON (ml only)
+	AreaModel   []byte // gbdt JSON (ml only, optional)
+	AreaPerNode bool   // ml area-model convention
+}
+
+// JobSpec is one grid point: index in grid order plus the
+// hyperparameters and seed offset of that run (mirrors flows.GridPoint
+// without importing it).
+type JobSpec struct {
+	Index                          int
+	DelayWeight, AreaWeight, Decay float64
+	SeedOffset                     int64
+}
+
+// WorkResult is what a Runner produces for one job: the annealing
+// result plus the ground-truth re-evaluation of its winner.
+type WorkResult struct {
+	Result                   *anneal.Result
+	TrueDelayPS, TrueAreaUM2 float64
+}
+
+// JobResult pairs a completed job with its outcome on the coordinator
+// side.
+type JobResult struct {
+	Index                    int
+	TrueDelayPS, TrueAreaUM2 float64
+	Result                   *anneal.Result
+}
+
+// ---- framing ----
+
+func writeMsg(w *bufio.Writer, typ byte, payload []byte) error {
+	if err := w.WriteByte(typ); err != nil {
+		return err
+	}
+	var lenBuf [binary.MaxVarintLen64]byte
+	n := binary.PutUvarint(lenBuf[:], uint64(len(payload)))
+	if _, err := w.Write(lenBuf[:n]); err != nil {
+		return err
+	}
+	_, err := w.Write(payload)
+	return err
+}
+
+func readMsg(r *bufio.Reader) (byte, []byte, error) {
+	typ, err := r.ReadByte()
+	if err != nil {
+		return 0, nil, err
+	}
+	n, err := binary.ReadUvarint(r)
+	if err != nil {
+		return 0, nil, err
+	}
+	if n > maxPayload {
+		return 0, nil, fmt.Errorf("shard: message of %d bytes exceeds limit", n)
+	}
+	payload := make([]byte, n)
+	if _, err := io.ReadFull(r, payload); err != nil {
+		return 0, nil, err
+	}
+	return typ, payload, nil
+}
+
+// ---- primitive encoders ----
+
+func appendUvarint(b []byte, v uint64) []byte { return binary.AppendUvarint(b, v) }
+
+func appendVarint(b []byte, v int64) []byte { return binary.AppendVarint(b, v) }
+
+// appendF64 stores the exact bit pattern (fixed 8 bytes, little
+// endian): metric values must survive the wire bit-identically for the
+// byte-identity guarantee to hold.
+func appendF64(b []byte, v float64) []byte {
+	return binary.LittleEndian.AppendUint64(b, math.Float64bits(v))
+}
+
+func appendU64(b []byte, v uint64) []byte { return binary.LittleEndian.AppendUint64(b, v) }
+
+func appendBool(b []byte, v bool) []byte {
+	if v {
+		return append(b, 1)
+	}
+	return append(b, 0)
+}
+
+func appendBytes(b, v []byte) []byte {
+	b = appendUvarint(b, uint64(len(v)))
+	return append(b, v...)
+}
+
+func appendString(b []byte, s string) []byte {
+	b = appendUvarint(b, uint64(len(s)))
+	return append(b, s...)
+}
+
+// dec is a bounds-checked payload reader; the first error sticks so
+// call sites can decode a whole struct and check once.
+type dec struct {
+	data []byte
+	err  error
+}
+
+func (d *dec) fail(what string) {
+	if d.err == nil {
+		d.err = fmt.Errorf("shard: truncated or corrupt %s", what)
+	}
+}
+
+func (d *dec) uvarint(what string) uint64 {
+	if d.err != nil {
+		return 0
+	}
+	v, n := binary.Uvarint(d.data)
+	if n <= 0 {
+		d.fail(what)
+		return 0
+	}
+	d.data = d.data[n:]
+	return v
+}
+
+func (d *dec) varint(what string) int64 {
+	if d.err != nil {
+		return 0
+	}
+	v, n := binary.Varint(d.data)
+	if n <= 0 {
+		d.fail(what)
+		return 0
+	}
+	d.data = d.data[n:]
+	return v
+}
+
+func (d *dec) f64(what string) float64 {
+	if d.err != nil {
+		return 0
+	}
+	if len(d.data) < 8 {
+		d.fail(what)
+		return 0
+	}
+	v := math.Float64frombits(binary.LittleEndian.Uint64(d.data))
+	d.data = d.data[8:]
+	return v
+}
+
+func (d *dec) u64(what string) uint64 {
+	if d.err != nil {
+		return 0
+	}
+	if len(d.data) < 8 {
+		d.fail(what)
+		return 0
+	}
+	v := binary.LittleEndian.Uint64(d.data)
+	d.data = d.data[8:]
+	return v
+}
+
+func (d *dec) boolean(what string) bool {
+	if d.err != nil {
+		return false
+	}
+	if len(d.data) < 1 {
+		d.fail(what)
+		return false
+	}
+	v := d.data[0] != 0
+	d.data = d.data[1:]
+	return v
+}
+
+func (d *dec) bytes(what string) []byte {
+	n := d.uvarint(what)
+	if d.err != nil {
+		return nil
+	}
+	if n > uint64(len(d.data)) {
+		d.fail(what)
+		return nil
+	}
+	v := d.data[:n:n]
+	d.data = d.data[n:]
+	return v
+}
+
+func (d *dec) str(what string) string { return string(d.bytes(what)) }
+
+// ---- config ----
+
+func encodeConfig(cfg RunConfig) []byte {
+	b := []byte{protocolVersion}
+	p := cfg.Base
+	b = appendVarint(b, int64(p.Iterations))
+	b = appendF64(b, p.StartTemp)
+	b = appendF64(b, p.DecayRate)
+	b = appendF64(b, p.DelayWeight)
+	b = appendF64(b, p.AreaWeight)
+	b = appendVarint(b, p.Seed)
+	b = appendVarint(b, int64(p.BatchSize))
+	b = appendVarint(b, int64(p.Workers))
+	b = appendVarint(b, int64(p.Chains))
+	b = appendVarint(b, int64(p.CacheMode))
+	b = appendVarint(b, int64(p.CacheMaxEntries))
+	b = appendVarint(b, int64(p.Incremental))
+	b = appendF64(b, p.IncrementalThreshold)
+	b = appendString(b, cfg.Eval.Kind)
+	b = appendBytes(b, cfg.Eval.DelayModel)
+	b = appendBytes(b, cfg.Eval.AreaModel)
+	b = appendBool(b, cfg.Eval.AreaPerNode)
+	b = appendBytes(b, cfg.Library)
+	return b
+}
+
+func decodeConfig(payload []byte) (RunConfig, error) {
+	if len(payload) < 1 {
+		return RunConfig{}, fmt.Errorf("shard: empty config")
+	}
+	if payload[0] != protocolVersion {
+		return RunConfig{}, fmt.Errorf("shard: protocol version %d, this worker speaks %d", payload[0], protocolVersion)
+	}
+	d := &dec{data: payload[1:]}
+	var cfg RunConfig
+	cfg.Base.Iterations = int(d.varint("iterations"))
+	cfg.Base.StartTemp = d.f64("start temp")
+	cfg.Base.DecayRate = d.f64("decay rate")
+	cfg.Base.DelayWeight = d.f64("delay weight")
+	cfg.Base.AreaWeight = d.f64("area weight")
+	cfg.Base.Seed = d.varint("seed")
+	cfg.Base.BatchSize = int(d.varint("batch size"))
+	cfg.Base.Workers = int(d.varint("workers"))
+	cfg.Base.Chains = int(d.varint("chains"))
+	cfg.Base.CacheMode = anneal.CacheMode(d.varint("cache mode"))
+	cfg.Base.CacheMaxEntries = int(d.varint("cache max entries"))
+	cfg.Base.Incremental = anneal.IncrementalMode(d.varint("incremental mode"))
+	cfg.Base.IncrementalThreshold = d.f64("incremental threshold")
+	cfg.Eval.Kind = d.str("eval kind")
+	cfg.Eval.DelayModel = d.bytes("delay model")
+	cfg.Eval.AreaModel = d.bytes("area model")
+	cfg.Eval.AreaPerNode = d.boolean("area per node")
+	cfg.Library = d.bytes("library")
+	return cfg, d.err
+}
+
+// ---- base graph ----
+
+// emptyLike returns the dictionary-free encoding base: a graph with the
+// same PI count and no AND nodes. Encoding against it makes every node
+// explicit, i.e. an exact, order-preserving full-graph serialization
+// using the same codec warm transfers use.
+func emptyLike(numPIs int) *aig.AIG { return aig.NewBuilder(numPIs).Build() }
+
+func encodeBase(id uint32, g *aig.AIG) ([]byte, error) {
+	rec, err := aig.EncodeDelta(emptyLike(g.NumPIs()), g)
+	if err != nil {
+		return nil, err
+	}
+	b := appendUvarint(nil, uint64(id))
+	b = appendUvarint(b, uint64(g.NumPIs()))
+	b = appendBytes(b, rec)
+	return b, nil
+}
+
+func decodeBase(payload []byte) (uint32, *aig.AIG, error) {
+	d := &dec{data: payload}
+	id := d.uvarint("base id")
+	numPIs := d.uvarint("base PI count")
+	rec := d.bytes("base record")
+	if d.err != nil {
+		return 0, nil, d.err
+	}
+	if numPIs > 1<<20 {
+		return 0, nil, fmt.Errorf("shard: implausible base PI count %d", numPIs)
+	}
+	g, err := aig.DecodeDelta(emptyLike(int(numPIs)), rec)
+	if err != nil {
+		return 0, nil, err
+	}
+	return uint32(id), g, nil
+}
+
+// ---- jobs ----
+
+func encodeJob(baseID uint32, j JobSpec) []byte {
+	b := appendUvarint(nil, uint64(baseID))
+	b = appendUvarint(b, uint64(j.Index))
+	b = appendF64(b, j.DelayWeight)
+	b = appendF64(b, j.AreaWeight)
+	b = appendF64(b, j.Decay)
+	b = appendVarint(b, j.SeedOffset)
+	return b
+}
+
+func decodeJob(payload []byte) (uint32, JobSpec, error) {
+	d := &dec{data: payload}
+	baseID := uint32(d.uvarint("base id"))
+	var j JobSpec
+	j.Index = int(d.uvarint("job index"))
+	j.DelayWeight = d.f64("delay weight")
+	j.AreaWeight = d.f64("area weight")
+	j.Decay = d.f64("decay")
+	j.SeedOffset = d.varint("seed offset")
+	return baseID, j, d.err
+}
+
+func encodeJobError(index int, err error) []byte {
+	b := appendUvarint(nil, uint64(index))
+	return appendString(b, err.Error())
+}
+
+func decodeJobError(payload []byte) (int, string, error) {
+	d := &dec{data: payload}
+	idx := int(d.uvarint("job index"))
+	msg := d.str("error")
+	return idx, msg, d.err
+}
+
+// ---- results ----
+
+// resultWire is the transfer accounting of one decoded result message,
+// fed into the coordinator's Stats.
+type resultWire struct {
+	deltaRecords int
+	deltaBytes   int64
+}
+
+// encodeResult serializes a completed job. Graphs (the per-chain best
+// AIGs) are shipped exclusively as delta records against the session
+// base — after the base transfer, no full graph ever crosses the wire.
+// Appended cache records export the worker's memo entries new since the
+// previous result.
+func encodeResult(base *aig.AIG, index int, wr *WorkResult, recs []eval.CacheRecord) ([]byte, error) {
+	r := wr.Result
+	if len(r.Chains) == 0 {
+		return nil, fmt.Errorf("shard: result without chain outcomes")
+	}
+	winner := 0
+	for i := range r.Chains {
+		if r.Chains[i].Best == r.Best {
+			winner = i
+			break
+		}
+	}
+	b := appendUvarint(nil, uint64(index))
+	b = appendF64(b, wr.TrueDelayPS)
+	b = appendF64(b, wr.TrueAreaUM2)
+	b = appendUvarint(b, uint64(winner))
+	b = appendF64(b, r.Initial.DelayPS)
+	b = appendF64(b, r.Initial.AreaUM2)
+	b = appendVarint(b, int64(r.Evals))
+	b = appendVarint(b, int64(r.SpeculativeEvals))
+	b = appendVarint(b, r.CacheHits)
+	b = appendVarint(b, r.CacheMisses)
+	b = appendVarint(b, r.DeltaEvals)
+	b = appendVarint(b, r.FullEvals)
+	b = appendVarint(b, int64(r.MoveTime))
+	b = appendVarint(b, int64(r.EvalTime))
+	b = appendVarint(b, int64(r.InitialEvalTime))
+	b = appendUvarint(b, uint64(len(r.Chains)))
+	for i := range r.Chains {
+		c := &r.Chains[i]
+		b = appendVarint(b, int64(c.Chain))
+		b = appendVarint(b, c.Seed)
+		b = appendF64(b, c.BestCost)
+		b = appendF64(b, c.BestMetrics.DelayPS)
+		b = appendF64(b, c.BestMetrics.AreaUM2)
+		b = appendVarint(b, int64(c.Accepted))
+		b = appendUvarint(b, uint64(len(c.History)))
+		for _, s := range c.History {
+			b = appendVarint(b, int64(s.Iter))
+			b = appendString(b, s.Recipe)
+			b = appendF64(b, s.Metrics.DelayPS)
+			b = appendF64(b, s.Metrics.AreaUM2)
+			b = appendF64(b, s.Cost)
+			b = appendBool(b, s.Accepted)
+			b = appendVarint(b, int64(s.Ands))
+			b = appendVarint(b, int64(s.Levels))
+		}
+		rec, err := aig.EncodeDelta(base, c.Best)
+		if err != nil {
+			return nil, fmt.Errorf("shard: encoding chain %d best: %w", i, err)
+		}
+		b = appendBytes(b, rec)
+	}
+	b = appendUvarint(b, uint64(len(recs)))
+	for _, rec := range recs {
+		b = appendU64(b, rec.FP)
+		b = appendF64(b, rec.M.DelayPS)
+		b = appendF64(b, rec.M.AreaUM2)
+	}
+	return b, nil
+}
+
+// decodeResult reconstructs a JobResult against the session base. The
+// top-level Best/BestCost/BestMetrics/History alias the winning chain,
+// and Accepted re-aggregates over chains, exactly as anneal.Run builds
+// its Result.
+func decodeResult(base *aig.AIG, payload []byte) (JobResult, []eval.CacheRecord, resultWire, error) {
+	d := &dec{data: payload}
+	var jr JobResult
+	var wire resultWire
+	jr.Index = int(d.uvarint("job index"))
+	jr.TrueDelayPS = d.f64("true delay")
+	jr.TrueAreaUM2 = d.f64("true area")
+	winner := int(d.uvarint("winner"))
+	r := &anneal.Result{}
+	r.Initial.DelayPS = d.f64("initial delay")
+	r.Initial.AreaUM2 = d.f64("initial area")
+	r.Evals = int(d.varint("evals"))
+	r.SpeculativeEvals = int(d.varint("speculative evals"))
+	r.CacheHits = d.varint("cache hits")
+	r.CacheMisses = d.varint("cache misses")
+	r.DeltaEvals = d.varint("delta evals")
+	r.FullEvals = d.varint("full evals")
+	r.MoveTime = time.Duration(d.varint("move time"))
+	r.EvalTime = time.Duration(d.varint("eval time"))
+	r.InitialEvalTime = time.Duration(d.varint("initial eval time"))
+	numChains := d.uvarint("chain count")
+	if d.err != nil {
+		return JobResult{}, nil, wire, d.err
+	}
+	if numChains == 0 || numChains > uint64(len(d.data)) {
+		return JobResult{}, nil, wire, fmt.Errorf("shard: implausible chain count %d", numChains)
+	}
+	for i := 0; i < int(numChains); i++ {
+		var c anneal.ChainResult
+		c.Chain = int(d.varint("chain index"))
+		c.Seed = d.varint("chain seed")
+		c.BestCost = d.f64("chain best cost")
+		c.BestMetrics.DelayPS = d.f64("chain best delay")
+		c.BestMetrics.AreaUM2 = d.f64("chain best area")
+		c.Accepted = int(d.varint("chain accepted"))
+		hist := d.uvarint("history length")
+		if d.err != nil {
+			return JobResult{}, nil, wire, d.err
+		}
+		if hist > uint64(len(d.data)) {
+			return JobResult{}, nil, wire, fmt.Errorf("shard: implausible history length %d", hist)
+		}
+		c.History = make([]anneal.Step, hist)
+		for h := range c.History {
+			s := &c.History[h]
+			s.Iter = int(d.varint("step iter"))
+			s.Recipe = d.str("step recipe")
+			s.Metrics.DelayPS = d.f64("step delay")
+			s.Metrics.AreaUM2 = d.f64("step area")
+			s.Cost = d.f64("step cost")
+			s.Accepted = d.boolean("step accepted")
+			s.Ands = int(d.varint("step ands"))
+			s.Levels = int32(d.varint("step levels"))
+		}
+		rec := d.bytes("chain best record")
+		if d.err != nil {
+			return JobResult{}, nil, wire, d.err
+		}
+		g, err := aig.DecodeDelta(base, rec)
+		if err != nil {
+			return JobResult{}, nil, wire, fmt.Errorf("shard: decoding chain %d best: %w", i, err)
+		}
+		c.Best = g
+		wire.deltaRecords++
+		wire.deltaBytes += int64(len(rec))
+		r.Accepted += c.Accepted
+		r.Chains = append(r.Chains, c)
+	}
+	if winner < 0 || winner >= len(r.Chains) {
+		return JobResult{}, nil, wire, fmt.Errorf("shard: winner %d out of %d chains", winner, len(r.Chains))
+	}
+	w := &r.Chains[winner]
+	r.Best, r.BestCost, r.BestMetrics, r.History = w.Best, w.BestCost, w.BestMetrics, w.History
+	nrec := d.uvarint("cache record count")
+	if d.err != nil {
+		return JobResult{}, nil, wire, d.err
+	}
+	if nrec > uint64(len(d.data)) {
+		return JobResult{}, nil, wire, fmt.Errorf("shard: implausible cache record count %d", nrec)
+	}
+	recs := make([]eval.CacheRecord, nrec)
+	for i := range recs {
+		recs[i].FP = d.u64("cache fp")
+		recs[i].M.DelayPS = d.f64("cache delay")
+		recs[i].M.AreaUM2 = d.f64("cache area")
+	}
+	if d.err != nil {
+		return JobResult{}, nil, wire, d.err
+	}
+	if len(d.data) != 0 {
+		return JobResult{}, nil, wire, fmt.Errorf("shard: %d trailing result bytes", len(d.data))
+	}
+	jr.Result = r
+	return jr, recs, wire, nil
+}

@@ -1,0 +1,102 @@
+package shard
+
+import (
+	"bufio"
+	"fmt"
+	"io"
+
+	"aigtimer/internal/aig"
+	"aigtimer/internal/eval"
+)
+
+// Runner executes grid points on the worker side. The shard layer
+// handles transport, base-graph plumbing, and retry; the Runner owns
+// everything domain-specific — constructing the evaluator named by the
+// config, building the evaluation stack, running the anneal, and the
+// ground-truth re-evaluation (flows.NewShardRunner is the production
+// implementation). A Runner serves one session at a time; Serve calls
+// it sequentially.
+type Runner interface {
+	// Configure installs the session configuration. It is called once,
+	// before any job.
+	Configure(cfg RunConfig) error
+	// Run executes one grid point against the given base graph. The
+	// result must be bit-identical to what the same job would produce
+	// locally — the coordinator's merge is checked against that promise.
+	Run(base *aig.AIG, job JobSpec) (*WorkResult, error)
+	// CacheSnapshot exports the memo-cache records added since the
+	// previous call (nil when the runner is uncached or nothing is
+	// new); the session ships them with each result for coordinator-
+	// side merging. Implementations back this with
+	// eval.Cached.ExportSince, so a call costs O(new records).
+	CacheSnapshot() []eval.CacheRecord
+}
+
+// Serve speaks the worker side of the shard protocol over conn until
+// the coordinator says bye or the transport fails. Job execution errors
+// are reported to the coordinator (which retries elsewhere) and do not
+// end the session; protocol and transport errors do, and are returned.
+func Serve(conn io.ReadWriteCloser, runner Runner) error {
+	defer conn.Close()
+	br := bufio.NewReader(conn)
+	bw := bufio.NewWriter(conn)
+	bases := make(map[uint32]*aig.AIG)
+	configured := false
+	for {
+		typ, payload, err := readMsg(br)
+		if err != nil {
+			if err == io.EOF {
+				return nil // coordinator vanished between jobs; nothing owed
+			}
+			return fmt.Errorf("shard: worker read: %w", err)
+		}
+		switch typ {
+		case msgConfig:
+			cfg, err := decodeConfig(payload)
+			if err != nil {
+				return err
+			}
+			if err := runner.Configure(cfg); err != nil {
+				return fmt.Errorf("shard: configure: %w", err)
+			}
+			configured = true
+		case msgBase:
+			id, g, err := decodeBase(payload)
+			if err != nil {
+				return err
+			}
+			bases[id] = g
+		case msgJob:
+			if !configured {
+				return fmt.Errorf("shard: job before config")
+			}
+			baseID, job, err := decodeJob(payload)
+			if err != nil {
+				return err
+			}
+			base, ok := bases[baseID]
+			if !ok {
+				return fmt.Errorf("shard: job references unknown base %d", baseID)
+			}
+			var out []byte
+			wr, err := runner.Run(base, job)
+			if err == nil {
+				out, err = encodeResult(base, job.Index, wr, runner.CacheSnapshot())
+			}
+			if err != nil {
+				if werr := writeMsg(bw, msgJobError, encodeJobError(job.Index, err)); werr != nil {
+					return fmt.Errorf("shard: worker write: %w", werr)
+				}
+			} else if err := writeMsg(bw, msgResult, out); err != nil {
+				return fmt.Errorf("shard: worker write: %w", err)
+			}
+			if err := bw.Flush(); err != nil {
+				return fmt.Errorf("shard: worker flush: %w", err)
+			}
+		case msgBye:
+			return nil
+		default:
+			return fmt.Errorf("shard: unexpected message type %d", typ)
+		}
+	}
+}

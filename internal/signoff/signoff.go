@@ -1,19 +1,3 @@
-// Package signoff defines the repository's single ground-truth evaluation
-// pipeline: the "technology mapping + STA" black box of the paper's
-// ground-truth flow, also used to label every training sample.
-//
-// One evaluation runs:
-//
-//  1. delay-oriented structural mapping (default effort),
-//  2. a second, high-effort mapping (wider priority-cut budget and a
-//     heavier nominal load), and
-//  3. multi-corner slew-propagating NLDM STA on both candidates,
-//
-// keeping the netlist with the better slow-corner delay (area breaks
-// ties). The reported delay is the slow-corner maximum delay; the area is
-// the chosen netlist's cell area. Centralizing this here guarantees that
-// optimization flows, dataset labels, and experiment tables all agree on
-// what "ground truth" means.
 package signoff
 
 import (

@@ -1,0 +1,35 @@
+// Package sta performs static timing analysis on mapped netlists, at
+// two fidelity levels.
+//
+// The basic analyzer (Analyze) uses the standard linear (load-dependent)
+// delay model for early-stage analysis: a gate's pin-to-output delay is
+//
+//	delay = intrinsic + drive · load(output net)
+//
+// where the load sums the input capacitance of every reader pin, a wire
+// capacitance per fanout branch, and a fixed output load per primary
+// output. Arrival times propagate in topological order; required times
+// propagate backwards from the latest PO, yielding per-net slack and the
+// critical path.
+//
+// The signoff analyzer (Signoff) is the accurate variant the
+// ground-truth flow pays for at every iteration: NLDM table lookup with
+// slew propagation, swept over process corners, the slow corner
+// governing the reported delay. This is the "STA" step the paper runs
+// after technology mapping to obtain ground-truth maximum delay.
+//
+// # Determinism and the incremental contract
+//
+// Both analyzers are deterministic functions of (netlist, parameters):
+// equal inputs time identically, the property the evaluation layer's
+// memoization and the distributed sweep's merges rely on.
+//
+// Update (and SignoffUpdate for the multi-corner variant) repropagates a
+// base analysis through a changed region only: seeded from the gates
+// whose nets changed, a worklist re-times arrivals and slews forward
+// until values converge back onto the base, sharing untouched loads with
+// it. The contract is exactness — updated results are bit-identical to
+// analyzing the new netlist from scratch — which is what entitles
+// signoff.EvaluateDelta to feed them into trajectories that must match
+// full evaluation.
+package sta

@@ -1,16 +1,3 @@
-// Package sta performs static timing analysis on mapped netlists.
-//
-// The delay model is the standard linear (load-dependent) model used for
-// early-stage analysis: a gate's pin-to-output delay is
-//
-//	delay = intrinsic + drive · load(output net)
-//
-// where the load sums the input capacitance of every reader pin, a wire
-// capacitance per fanout branch, and a fixed output load per primary
-// output. Arrival times propagate in topological order; required times
-// propagate backwards from the latest PO, yielding per-net slack and the
-// critical path. This is the "STA" step the paper runs after technology
-// mapping to obtain ground-truth maximum delay.
 package sta
 
 import (

@@ -1,0 +1,39 @@
+// Package techmap implements cut-based structural technology mapping of
+// AIGs onto a standard-cell library.
+//
+// For every AND node the mapper enumerates k-feasible cuts (k ≤ 4),
+// matches each cut's truth table — in both output phases — against the
+// library's match index, and keeps the best implementation per phase under
+// a delay-oriented cost with a nominal load. Signals are polarity-aware:
+// every node may be realized in positive phase, negative phase, or one
+// phase plus a shared inverter; pin complementations demanded by a match
+// consume the complement phase of the leaf. Cut functions that degenerate
+// to a projection of one leaf become wires, and constant cut functions
+// become tie cells. An optional area-recovery pass then downsizes drive
+// strengths off the critical path under required-time constraints (pure
+// sizing: the netlist structure is unchanged, so total area can only
+// decrease).
+//
+// This is the "technology mapping" step whose delay the paper's three
+// optimization flows either compute exactly (ground-truth flow), proxy by
+// AIG levels (baseline flow), or predict with a learned model (ML flow).
+// The mapper is intentionally the expensive step: its cost is what the
+// learned predictor amortizes away.
+//
+// # Determinism and the incremental contract
+//
+// Mapping is a deterministic function of (graph, library, Params):
+// structurally equal AIGs map to identical netlists, which is what lets
+// the evaluation layer memoize results and the distributed sweep merge
+// them across processes.
+//
+// Map retains its full decision state in a State; Remap re-maps a
+// derived graph from the State of its base using the aig.Delta between
+// them — prefix cuts and implementations are translated (exact because
+// the pipeline is order-isomorphism-invariant and the delta's matched
+// translation is monotone), and only the dirty suffix is re-enumerated,
+// re-selected, and re-emitted. The contract is exactness, not
+// approximation: Remap's netlist is bit-identical to mapping the derived
+// graph from scratch, proven by the differential harness and fuzz target
+// in this package and internal/eval.
+package techmap

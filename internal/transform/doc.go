@@ -1,0 +1,39 @@
+// Package transform implements functionally-equivalence-preserving AIG
+// transformations: the "logic transformations available in ABC" that the
+// paper's optimization flows apply at every iteration.
+//
+// The basic transforms are:
+//
+//	balance    (b)   rebuild AND trees with minimum depth
+//	balance -r (br)  rebuild AND trees with randomized association
+//	rewrite    (rw)  4-cut resynthesis, accepted on strict node gain
+//	rewrite -z (rwz) 4-cut resynthesis, accepted on non-negative gain
+//	refactor   (rf)  large-cone ISOP refactoring, strict gain
+//	refactor -z (rfz) large-cone refactoring, non-negative gain
+//	resub      (rs)  node resubstitution over existing divisors
+//	resub -z   (rsz) resubstitution with zero-gain moves allowed
+//	expand     (ex)  deliberate restructuring into two-level form
+//	                 (diversity move: typically increases node count)
+//	fraig      (fr)  merge simulation-equivalent nodes
+//
+// Each transform takes a random source used for tie-breaking and move
+// sampling, so repeated application yields the diverse space of equivalent
+// AIGs from which the paper draws its 40,000 variants per design.
+//
+// # Contract
+//
+// Every transform preserves functional equivalence (the property tests
+// check it against exhaustive/random simulation), returns a compacted
+// AIG (no dangling nodes), and is deterministic given its random source
+// — the annealer's per-iteration RNG streams turn that into
+// bit-reproducible move sequences.
+//
+// Recipes are named compositions of transforms — the annealer's move
+// catalog. Recipe.Apply produces the derived graph; Recipe.ApplyTracked
+// additionally rebases the result against its input (aig.Rebase), so
+// the candidate carries the (base, delta) provenance the incremental
+// evaluation path keys on. Tracking never changes the produced
+// structure, only its node numbering and recorded ancestry — Rebase is
+// a pure renumbering — so trajectories are identical with and without
+// it.
+package transform

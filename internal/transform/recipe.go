@@ -42,6 +42,7 @@ func (r Recipe) ApplyTracked(g *aig.AIG, rng *rand.Rand) (*aig.AIG, *aig.Delta) 
 	return aig.Rebase(g, r.Apply(g, rng))
 }
 
+// String renders the recipe as "name: step; step; ...".
 func (r Recipe) String() string {
 	return r.Name + ": " + strings.Join(r.Steps, "; ")
 }

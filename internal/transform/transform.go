@@ -1,26 +1,3 @@
-// Package transform implements functionally-equivalence-preserving AIG
-// transformations: the "logic transformations available in ABC" that the
-// paper's optimization flows apply at every iteration.
-//
-// The basic transforms are:
-//
-//	balance    (b)   rebuild AND trees with minimum depth
-//	balance -r (br)  rebuild AND trees with randomized association
-//	rewrite    (rw)  4-cut resynthesis, accepted on strict node gain
-//	rewrite -z (rwz) 4-cut resynthesis, accepted on non-negative gain
-//	refactor   (rf)  large-cone ISOP refactoring, strict gain
-//	refactor -z (rfz) large-cone refactoring, non-negative gain
-//	resub      (rs)  node resubstitution over existing divisors
-//	resub -z   (rsz) resubstitution with zero-gain moves allowed
-//	expand     (ex)  deliberate restructuring into two-level form
-//	                 (diversity move: typically increases node count)
-//	fraig      (fr)  merge simulation-equivalent nodes
-//
-// Each transform takes a random source used for tie-breaking and move
-// sampling, so repeated application yields the diverse space of equivalent
-// AIGs from which the paper draws its 40,000 variants per design.
-//
-// All transforms return a compacted AIG (no dangling nodes).
 package transform
 
 import (
