@@ -8,6 +8,8 @@
 //	aigopt -design EX08 -flow ground-truth -iters 200
 //	aigopt -in mydesign.aag -flow ml -model model.json -area-model area.json
 //	aigopt -design EX54 -flow baseline -w-delay 1 -w-area 0.5 -out best.aag
+//	aigopt -design EX08 -flow ground-truth -sweep -shard host1:9610,host2:9610
+//	aigopt -suite EX08,EX54,EX60 -flow ground-truth -shard host1:9610
 package main
 
 import (
@@ -42,6 +44,8 @@ func main() {
 		decay      = flag.Float64("decay", 0.97, "temperature decay rate per iteration")
 		seed       = flag.Int64("seed", 1, "random seed")
 		batch      = flag.Int("batch", 0, "speculative candidates scored per annealing round (0 = auto; trajectory is batch-invariant)")
+		batchMin   = flag.Int("batch-min", 0, "adaptive batch floor (with -batch-max; 0 = 1)")
+		batchMax   = flag.Int("batch-max", 0, "adaptive batch ceiling: when > 0 the speculative budget tracks the recent acceptance rate within [-batch-min, -batch-max] (trajectory unchanged)")
 		workers    = flag.Int("workers", 0, "concurrent evaluations (0 = GOMAXPROCS)")
 		chains     = flag.Int("chains", 1, "parallel annealing chains, merged best-of")
 		noCache    = flag.Bool("no-cache", false, "disable the structural-fingerprint evaluation cache")
@@ -49,17 +53,14 @@ func main() {
 		noInc      = flag.Bool("no-incremental", false, "disable incremental (dirty-cone) evaluation")
 		incThresh  = flag.Float64("inc-threshold", 0, "dirty-cone fraction above which evaluation falls back to full rebuild (0 = default)")
 		sweep      = flag.Bool("sweep", false, "run the hyperparameter sweep (Fig. 5 grid) instead of a single optimization and print the Pareto front")
-		shardAddrs = flag.String("shard", "", "comma-separated sweepd worker addresses; distributes -sweep across them (empty = local worker pool)")
+		suite      = flag.String("suite", "", "comma-separated benchmark designs to sweep through one session (implies -sweep; mutually exclusive with -design/-in)")
+		shardAddrs = flag.String("shard", "", "comma-separated sweepd worker addresses; distributes -sweep/-suite across them (empty = local worker pool)")
+		preseed    = flag.Bool("preseed", true, "push merged cache records to shard workers mid-sweep (recovers cross-worker duplicate evaluations; results unchanged)")
 		verbose    = flag.Bool("v", false, "print per-iteration progress")
 	)
 	flag.Parse()
 
-	g, name, err := loadInput(*designName, *inPath)
-	if err != nil {
-		fatal(err)
-	}
 	lib := cell.Builtin()
-
 	ev, err := makeEvaluator(*flowName, lib, *modelPath, *areaPath, *workers)
 	if err != nil {
 		fatal(err)
@@ -73,6 +74,8 @@ func main() {
 		AreaWeight:           *wArea,
 		Seed:                 *seed,
 		BatchSize:            *batch,
+		BatchMin:             *batchMin,
+		BatchMax:             *batchMax,
 		Workers:              *workers,
 		Chains:               *chains,
 		CacheMaxEntries:      *cacheMax,
@@ -84,12 +87,23 @@ func main() {
 	if *noInc {
 		p.Incremental = anneal.IncrementalOff
 	}
+	if *suite != "" {
+		if *designName != "" || *inPath != "" {
+			fatal(fmt.Errorf("aigopt: -suite is mutually exclusive with -design and -in"))
+		}
+		runSuite(strings.Split(*suite, ","), ev, lib, p, *shardAddrs, *preseed)
+		return
+	}
+	g, name, err := loadInput(*designName, *inPath)
+	if err != nil {
+		fatal(err)
+	}
 	if *sweep {
-		runSweep(g, name, ev, lib, p, *shardAddrs)
+		runSweep(g, name, ev, lib, p, *shardAddrs, *preseed)
 		return
 	}
 	if *shardAddrs != "" {
-		fatal(fmt.Errorf("aigopt: -shard requires -sweep (single runs have nothing to distribute)"))
+		fatal(fmt.Errorf("aigopt: -shard requires -sweep or -suite (single runs have nothing to distribute)"))
 	}
 	fmt.Printf("optimizing %s (%d PIs, %d POs, %d nodes, %d levels) with the %s flow\n",
 		name, g.NumPIs(), g.NumPOs(), g.NumAnds(), g.MaxLevel(), ev.Name())
@@ -155,36 +169,85 @@ func main() {
 // runSweep executes the Fig. 5 hyperparameter grid — locally, or
 // sharded across sweepd workers when addrs is non-empty — and prints
 // every grid point plus the ground-truth Pareto front.
-func runSweep(g *aig.AIG, name string, ev anneal.Evaluator, lib *cell.Library, base anneal.Params, addrs string) {
+func runSweep(g *aig.AIG, name string, ev anneal.Evaluator, lib *cell.Library, base anneal.Params, addrs string, preseed bool) {
+	runSuiteEntries([]flows.SuiteEntry{{Name: name, G: g, Eval: ev}}, lib, base, addrs, preseed)
+}
+
+// runSuite sweeps several benchmark designs through one session (one
+// worker connection and one base transfer per design when sharded,
+// instead of a reconnect per design).
+func runSuite(designs []string, ev anneal.Evaluator, lib *cell.Library, base anneal.Params, addrs string, preseed bool) {
+	entries := make([]flows.SuiteEntry, 0, len(designs))
+	for _, name := range designs {
+		d, err := bench.ByName(strings.TrimSpace(name))
+		if err != nil {
+			fatal(err)
+		}
+		entries = append(entries, flows.SuiteEntry{Name: d.Name, G: d.Build(), Eval: ev})
+	}
+	runSuiteEntries(entries, lib, base, addrs, preseed)
+}
+
+// runSuiteEntries is the shared sweep driver of -sweep and -suite.
+func runSuiteEntries(entries []flows.SuiteEntry, lib *cell.Library, base anneal.Params, addrs string, preseed bool) {
 	cfg := flows.DefaultSweep
 	cfg.Base = base
 	grid := cfg.Grid()
 	var (
-		pts []flows.SweepPoint
+		rs  []flows.SuiteResult
 		st  *shard.Stats
 		err error
 	)
+	names := make([]string, len(entries))
+	for i, e := range entries {
+		names[i] = e.Name
+	}
 	t0 := time.Now()
 	if addrs != "" {
 		endpoints := strings.Split(addrs, ",")
-		fmt.Printf("sweeping %s with the %s flow: %d grid points over %d workers\n",
-			name, ev.Name(), len(grid), len(endpoints))
-		pts, st, err = flows.SweepSharded(g, ev, lib, cfg, flows.ShardOptions{
+		fmt.Printf("sweeping %s with the %s flow: %d grid points x %d designs over %d workers (one session)\n",
+			strings.Join(names, ","), entries[0].Eval.Name(), len(grid), len(entries), len(endpoints))
+		rs, st, err = flows.SweepSuiteSharded(entries, lib, cfg, flows.ShardOptions{
 			Endpoints: endpoints,
+			Preseed:   preseed,
 			Logf: func(format string, args ...any) {
 				fmt.Fprintf(os.Stderr, format+"\n", args...)
 			},
 		})
 	} else {
-		fmt.Printf("sweeping %s with the %s flow: %d grid points on the local pool\n",
-			name, ev.Name(), len(grid))
-		pts, err = flows.Sweep(g, ev, lib, cfg)
+		fmt.Printf("sweeping %s with the %s flow: %d grid points x %d designs on the local pool\n",
+			strings.Join(names, ","), entries[0].Eval.Name(), len(grid), len(entries))
+		rs, err = flows.SweepSuite(entries, lib, cfg)
 	}
 	if err != nil {
 		fatal(err)
 	}
 	elapsed := time.Since(t0).Round(time.Millisecond)
 
+	total := 0
+	for _, r := range rs {
+		if len(rs) > 1 {
+			fmt.Printf("== %s ==\n", r.Name)
+		}
+		printFront(r.Points)
+		total += len(r.Points)
+	}
+	fmt.Printf("%d points in %v\n", total, elapsed)
+	if st != nil {
+		fmt.Printf("transfers: base %dx (%d B), %d delta records (%d B); jobs %d (requeued %d, retried %d); workers lost %d\n",
+			st.BaseSends, st.BaseBytes, st.DeltaRecords, st.DeltaBytes,
+			st.JobSends, st.Requeues, st.Retries, st.WorkerLosses)
+		fmt.Printf("merged cache: %d distinct structures from %d records (%d cross-worker duplicates)\n",
+			st.MergedStructures(), st.CacheRecords, st.CacheDuplicates)
+		if st.SeedPushes > 0 || st.PrefilterHits > 0 {
+			fmt.Printf("preseed: %d pushes / %d records (%d B); %d evaluations skipped, %d records rejected\n",
+				st.SeedPushes, st.SeedRecords, st.SeedBytes, st.PrefilterHits, st.PrefilterRejected)
+		}
+	}
+}
+
+// printFront prints one sweep's grid points with Pareto markers.
+func printFront(pts []flows.SweepPoint) {
 	front := flows.Front(pts)
 	onFront := make(map[int]bool, len(front))
 	for _, fp := range front {
@@ -199,14 +262,7 @@ func runSweep(g *aig.AIG, name string, ev anneal.Evaluator, lib *cell.Library, b
 		fmt.Printf("  %7g %7g %6g  %10.1f ps  %10.1f um2  %s\n",
 			p.DelayWeight, p.AreaWeight, p.Decay, p.TrueDelayPS, p.TrueAreaUM2, mark)
 	}
-	fmt.Printf("%d points in %v; %d on the Pareto front\n", len(pts), elapsed, len(front))
-	if st != nil {
-		fmt.Printf("transfers: base %dx (%d B), %d delta records (%d B); jobs %d (requeued %d, retried %d); workers lost %d\n",
-			st.BaseSends, st.BaseBytes, st.DeltaRecords, st.DeltaBytes,
-			st.JobSends, st.Requeues, st.Retries, st.WorkerLosses)
-		fmt.Printf("merged cache: %d distinct structures from %d records (%d cross-worker duplicates)\n",
-			len(st.MergedCache), st.CacheRecords, st.CacheDuplicates)
-	}
+	fmt.Printf("  %d points; %d on the Pareto front\n", len(pts), len(front))
 }
 
 func loadInput(design, in string) (*aig.AIG, string, error) {

@@ -1,0 +1,211 @@
+package main
+
+import (
+	"bytes"
+	"encoding/json"
+	"fmt"
+	"io"
+	"net"
+	"os"
+	"sync"
+	"time"
+
+	"aigtimer/internal/bench"
+	"aigtimer/internal/cell"
+	"aigtimer/internal/flows"
+	"aigtimer/internal/shard"
+)
+
+// shardBenchRun is one measured sharded-sweep configuration in the
+// BENCH_shard.json artifact.
+type shardBenchRun struct {
+	Name              string  `json:"name"`
+	Workers           int     `json:"workers"`
+	Preseed           bool    `json:"preseed"`
+	WallSeconds       float64 `json:"wall_seconds"`
+	BytesSent         int64   `json:"bytes_sent"`
+	BytesReceived     int64   `json:"bytes_received"`
+	BaseBytes         int64   `json:"base_bytes"`
+	DeltaBytes        int64   `json:"delta_bytes"`
+	SeedRecords       int     `json:"seed_records"`
+	SeedBytes         int64   `json:"seed_bytes"`
+	CacheRecords      int     `json:"cache_records"`
+	CacheDuplicates   int     `json:"cache_duplicates"`
+	PrefilterHits     int64   `json:"prefilter_hits"`
+	PrefilterRejected int64   `json:"prefilter_rejected"`
+	PrefilterHitRate  float64 `json:"prefilter_hit_rate"`
+}
+
+// shardBenchReport is the schema of the BENCH_shard.json CI artifact:
+// the sec2b suite swept through one two-worker shard session with
+// preseeding off and on, identical results asserted, transport and
+// duplicate-evaluation accounting recorded.
+type shardBenchReport struct {
+	Design           string          `json:"design"`
+	GridPoints       int             `json:"grid_points"`
+	Entries          int             `json:"entries"`
+	Iterations       int             `json:"iterations"`
+	Seed             int64           `json:"seed"`
+	Runs             []shardBenchRun `json:"runs"`
+	ResultsIdentical bool            `json:"results_identical"`
+	DuplicatesSaved  int             `json:"duplicates_saved"`
+}
+
+// runBenchShard measures the sharded sec2b suite over two in-process
+// workers (the production runner over net.Pipe transports — no
+// daemons to manage, so CI can run it hermetically), with cache-record
+// preseeding off and on. It verifies the two runs are byte-identical
+// per entry, reports the transport split, the cross-worker
+// duplicate-evaluation count, and the prefilter hit rate, and appends
+// the numbers to the cross-PR perf trajectory.
+func runBenchShard(cfg config) error {
+	const workers = 2
+	g := bench.Multiplier(5)
+	lib := cell.Builtin()
+	sc := sweepConfig(cfg)
+	entries := []flows.SuiteEntry{
+		{Name: "baseline", G: g, Eval: flows.Proxy{}},
+		{Name: "ground-truth", G: g, Eval: flows.NewGroundTruth(lib)},
+	}
+
+	report := shardBenchReport{
+		Design:     "MUL5 (sec2b)",
+		GridPoints: len(sc.Grid()),
+		Entries:    len(entries),
+		Iterations: sc.Base.Iterations,
+		Seed:       sc.Base.Seed,
+	}
+
+	var canon [][]byte
+	for _, preseed := range []bool{false, true} {
+		conns := make([]io.ReadWriteCloser, workers)
+		var wg sync.WaitGroup
+		for i := range conns {
+			c, w := net.Pipe()
+			conns[i] = c
+			wg.Add(1)
+			go func(w io.ReadWriteCloser) {
+				defer wg.Done()
+				shard.Serve(w, flows.NewShardRunner())
+			}(w)
+		}
+		t0 := time.Now()
+		rs, st, err := flows.SweepSuiteSharded(entries, lib, sc, flows.ShardOptions{
+			Conns: conns, Preseed: preseed,
+		})
+		if err != nil {
+			return fmt.Errorf("bench-shard: preseed=%v: %w", preseed, err)
+		}
+		wall := time.Since(t0)
+		wg.Wait()
+
+		var cb []byte
+		for _, r := range rs {
+			cb = append(cb, flows.CanonicalizeSweep(r.Points)...)
+		}
+		canon = append(canon, cb)
+
+		hits, misses := st.PrefilterHits, int64(st.CacheRecords)
+		rate := 0.0
+		if hits+misses > 0 {
+			// Of everything scored or skipped cluster-wide, the fraction
+			// the prefilter answered for free.
+			rate = float64(hits) / float64(hits+misses)
+		}
+		name := "shard-sec2b-preseed-off"
+		if preseed {
+			name = "shard-sec2b-preseed-on"
+		}
+		report.Runs = append(report.Runs, shardBenchRun{
+			Name: name, Workers: workers, Preseed: preseed,
+			WallSeconds:   wall.Seconds(),
+			BytesSent:     st.BytesSent,
+			BytesReceived: st.BytesReceived,
+			BaseBytes:     st.BaseBytes,
+			DeltaBytes:    st.DeltaBytes,
+			SeedRecords:   st.SeedRecords,
+			SeedBytes:     st.SeedBytes,
+			CacheRecords:  st.CacheRecords, CacheDuplicates: st.CacheDuplicates,
+			PrefilterHits: st.PrefilterHits, PrefilterRejected: st.PrefilterRejected,
+			PrefilterHitRate: rate,
+		})
+		fmt.Printf("%-26s %7.2fs wall  sent %7d B (base %d, seeds %d)  recv %7d B (delta %d)  records %4d (dup %3d)  prefilter hits %4d (%.0f%%)\n",
+			name, wall.Seconds(), st.BytesSent, st.BaseBytes, st.SeedBytes,
+			st.BytesReceived, st.DeltaBytes, st.CacheRecords, st.CacheDuplicates,
+			st.PrefilterHits, 100*rate)
+	}
+
+	report.ResultsIdentical = bytes.Equal(canon[0], canon[1])
+	report.DuplicatesSaved = report.Runs[0].CacheDuplicates - report.Runs[1].CacheDuplicates
+	fmt.Printf("preseeding saved %d duplicate evaluations; results identical: %v\n",
+		report.DuplicatesSaved, report.ResultsIdentical)
+	if !report.ResultsIdentical {
+		return fmt.Errorf("bench-shard: preseeding changed sweep results")
+	}
+
+	out, err := json.MarshalIndent(report, "", "  ")
+	if err != nil {
+		return err
+	}
+	dir := cfg.outDir
+	if dir == "" {
+		dir = "."
+	}
+	if err := os.MkdirAll(dir, 0o755); err != nil {
+		return err
+	}
+	path := dir + "/BENCH_shard.json"
+	if err := os.WriteFile(path, append(out, '\n'), 0o644); err != nil {
+		return err
+	}
+	fmt.Printf("(wrote %s)\n", path)
+	if cfg.append != "" {
+		if err := appendShardTrajectory(cfg.append, report); err != nil {
+			return err
+		}
+		fmt.Printf("(appended to %s)\n", cfg.append)
+	}
+	return nil
+}
+
+// shardTrajectoryRecord is the compact JSONL form of one bench-shard
+// run for perf/trajectory.jsonl (the cross-PR record shares the file
+// with the anneal bench; the config field namespaces the schema).
+type shardTrajectoryRecord struct {
+	Date             string  `json:"date"`
+	Design           string  `json:"design"`
+	Config           string  `json:"config"`
+	Workers          int     `json:"workers"`
+	BytesSent        int64   `json:"bytes_sent"`
+	BytesReceived    int64   `json:"bytes_received"`
+	SeedBytes        int64   `json:"seed_bytes"`
+	CacheRecords     int     `json:"cache_records"`
+	CacheDuplicates  int     `json:"cache_duplicates"`
+	PrefilterHits    int64   `json:"prefilter_hits"`
+	PrefilterHitRate float64 `json:"prefilter_hit_rate"`
+	WallSeconds      float64 `json:"wall_seconds"`
+}
+
+// appendShardTrajectory appends one JSONL record per measured run.
+func appendShardTrajectory(path string, report shardBenchReport) error {
+	f, err := os.OpenFile(path, os.O_APPEND|os.O_CREATE|os.O_WRONLY, 0o644)
+	if err != nil {
+		return err
+	}
+	defer f.Close()
+	date := time.Now().UTC().Format("2006-01-02")
+	enc := json.NewEncoder(f)
+	for _, r := range report.Runs {
+		rec := shardTrajectoryRecord{
+			Date: date, Design: report.Design, Config: r.Name, Workers: r.Workers,
+			BytesSent: r.BytesSent, BytesReceived: r.BytesReceived, SeedBytes: r.SeedBytes,
+			CacheRecords: r.CacheRecords, CacheDuplicates: r.CacheDuplicates,
+			PrefilterHits: r.PrefilterHits, PrefilterHitRate: r.PrefilterHitRate,
+			WallSeconds: r.WallSeconds,
+		}
+		if err := enc.Encode(rec); err != nil {
+			return err
+		}
+	}
+	return nil
+}

@@ -13,20 +13,46 @@ import (
 	"aigtimer/internal/stats"
 )
 
-// runSweep executes one flow's sweep, locally or sharded across the
-// -shard worker fleet; results are bit-identical either way.
-func runSweep(cfg config, g *aig.AIG, ev anneal.Evaluator, lib *cell.Library, sc flows.SweepConfig) ([]flows.SweepPoint, error) {
+// runFlowSweeps sweeps one design under several guiding evaluators —
+// the unit of the sec2b and fig5 experiments. Locally each flow runs a
+// pool sweep; under -shard all flows share ONE shard session per
+// worker: the design's base AIG crosses the wire once per worker
+// (entries share the base), the workers are connected and configured
+// once, and merged cache records are preseeded back to workers
+// mid-sweep unless -preseed=false. Results are bit-identical in every
+// mode.
+func runFlowSweeps(cfg config, g *aig.AIG, lib *cell.Library, sc flows.SweepConfig, evs []flows.SuiteEntry) ([][]flows.SweepPoint, error) {
+	for i := range evs {
+		evs[i].G = g
+	}
+	out := make([][]flows.SweepPoint, len(evs))
 	if cfg.shard == "" {
-		return flows.Sweep(g, ev, lib, sc)
+		for i, e := range evs {
+			fmt.Printf("sweeping %s flow...\n", e.Name)
+			pts, err := flows.Sweep(g, e.Eval, lib, sc)
+			if err != nil {
+				return nil, err
+			}
+			out[i] = pts
+		}
+		return out, nil
 	}
 	endpoints := strings.Split(cfg.shard, ",")
-	pts, st, err := flows.SweepSharded(g, ev, lib, sc, flows.ShardOptions{Endpoints: endpoints})
+	fmt.Printf("sweeping %d flows in one session over %d workers...\n", len(evs), len(endpoints))
+	rs, st, err := flows.SweepSuiteSharded(evs, lib, sc, flows.ShardOptions{
+		Endpoints: endpoints, Preseed: cfg.preseed,
+	})
 	if err != nil {
 		return nil, err
 	}
+	for i := range rs {
+		out[i] = rs[i].Points
+	}
 	fmt.Printf("  [shard] %d workers: base %dx (%d B), %d delta records (%d B), %d requeues, merged cache %d structures\n",
-		len(endpoints), st.BaseSends, st.BaseBytes, st.DeltaRecords, st.DeltaBytes, st.Requeues, len(st.MergedCache))
-	return pts, nil
+		len(endpoints), st.BaseSends, st.BaseBytes, st.DeltaRecords, st.DeltaBytes, st.Requeues, st.MergedStructures())
+	fmt.Printf("  [shard] cache records %d (%d cross-worker duplicates); preseed %d records (%d B), %d evaluations skipped\n",
+		st.CacheRecords, st.CacheDuplicates, st.SeedRecords, st.SeedBytes, st.PrefilterHits)
+	return out, nil
 }
 
 // sweepConfig builds the hyperparameter grid of §IV-B scaled by the
@@ -96,16 +122,14 @@ func runSec2B(cfg config) error {
 	lib := cell.Builtin()
 	sc := sweepConfig(cfg)
 
-	fmt.Println("sweeping baseline (proxy) flow...")
-	basePts, err := runSweep(cfg, g, flows.Proxy{}, lib, sc)
+	res, err := runFlowSweeps(cfg, g, lib, sc, []flows.SuiteEntry{
+		{Name: "baseline", Eval: flows.Proxy{}},
+		{Name: "ground-truth", Eval: flows.NewGroundTruth(lib)},
+	})
 	if err != nil {
 		return err
 	}
-	fmt.Println("sweeping ground-truth flow...")
-	gtPts, err := runSweep(cfg, g, flows.NewGroundTruth(lib), lib, sc)
-	if err != nil {
-		return err
-	}
+	basePts, gtPts := res[0], res[1]
 	baseF := flows.Front(basePts)
 	gtF := flows.Front(gtPts)
 	var csvB strings.Builder
@@ -139,21 +163,15 @@ func runFig5(cfg config) error {
 	ml := &flows.ML{DelayModel: ms.delay, AreaModel: ms.area, AreaPerNode: true}
 
 	fmt.Printf("test design %s (%d nodes)\n", d.Name, g.NumAnds())
-	fmt.Println("sweeping baseline flow...")
-	basePts, err := runSweep(cfg, g, flows.Proxy{}, lib, sc)
+	res, err := runFlowSweeps(cfg, g, lib, sc, []flows.SuiteEntry{
+		{Name: "baseline", Eval: flows.Proxy{}},
+		{Name: "ground-truth", Eval: flows.NewGroundTruth(lib)},
+		{Name: "ml", Eval: ml},
+	})
 	if err != nil {
 		return err
 	}
-	fmt.Println("sweeping ground-truth flow...")
-	gtPts, err := runSweep(cfg, g, flows.NewGroundTruth(lib), lib, sc)
-	if err != nil {
-		return err
-	}
-	fmt.Println("sweeping ML flow...")
-	mlPts, err := runSweep(cfg, g, ml, lib, sc)
-	if err != nil {
-		return err
-	}
+	basePts, gtPts, mlPts := res[0], res[1], res[2]
 
 	baseF := flows.Front(basePts)
 	gtF := flows.Front(gtPts)

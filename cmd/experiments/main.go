@@ -6,7 +6,7 @@
 //
 // Usage:
 //
-//	experiments [flags] <fig1|table1|fig2|sec2b|table3|gnncmp|fig5|table4|all>
+//	experiments [flags] <fig1|table1|fig2|sec2b|table3|gnncmp|fig5|table4|ablate|bench-anneal|bench-shard|all>
 //
 // Outputs are printed as aligned text tables plus CSV blocks that can be
 // redirected for plotting.
@@ -29,6 +29,7 @@ type config struct {
 	seed     int64
 	design   string // test design for Fig. 5
 	shard    string // comma-separated sweepd addresses for sweep experiments
+	preseed  bool   // push merged cache records to shard workers mid-sweep
 	outDir   string
 	append   string // perf-trajectory JSONL to append bench results to
 }
@@ -43,13 +44,14 @@ func main() {
 	flag.IntVar(&cfg.chains, "chains", 1, "parallel annealing chains per optimization run")
 	flag.Int64Var(&cfg.seed, "seed", 1, "random seed")
 	flag.StringVar(&cfg.design, "design", "EX54", "test design for Fig. 5")
-	flag.StringVar(&cfg.shard, "shard", "", "comma-separated sweepd worker addresses; distributes the sweep experiments (sec2b, fig5) across them")
+	flag.StringVar(&cfg.shard, "shard", "", "comma-separated sweepd worker addresses; distributes the sweep experiments (sec2b, fig5) across them — all flows of one experiment share one session per worker")
+	flag.BoolVar(&cfg.preseed, "preseed", true, "push merged cache records to shard workers mid-sweep (recovers cross-worker duplicate evaluations; results unchanged)")
 	flag.StringVar(&cfg.outDir, "out", "", "directory for CSV artifacts (default: stdout only)")
 	flag.StringVar(&cfg.append, "append", "", "JSONL file to append a compact bench-anneal record to (the cross-PR perf trajectory)")
 	flag.Parse()
 
 	if flag.NArg() != 1 {
-		fmt.Fprintln(os.Stderr, "usage: experiments [flags] <fig1|table1|fig2|sec2b|table3|gnncmp|fig5|table4|ablate|bench-anneal|all>")
+		fmt.Fprintln(os.Stderr, "usage: experiments [flags] <fig1|table1|fig2|sec2b|table3|gnncmp|fig5|table4|ablate|bench-anneal|bench-shard|all>")
 		os.Exit(2)
 	}
 	cmd := flag.Arg(0)
@@ -85,6 +87,8 @@ func main() {
 		run("ablate", runAblate)
 	case "bench-anneal":
 		run("bench-anneal", runBenchAnneal)
+	case "bench-shard":
+		run("bench-shard", runBenchShard)
 	case "all":
 		run("fig1", runFig1)
 		run("table1", runTable1)

@@ -82,9 +82,13 @@ func main() {
 
 	// The distributed run. The coordinator ships the sweep config and
 	// the base AIG once per worker, then streams grid points to idle
-	// workers and merges results in grid order.
+	// workers and merges results in grid order. Preseed pushes each
+	// worker's merged cache records back out to its peers mid-sweep so
+	// structures one worker scored are not re-evaluated elsewhere —
+	// value-transparently, as the identity check below demonstrates.
 	pts, st, err := flows.SweepSharded(g, ev, lib, cfg, flows.ShardOptions{
 		Endpoints: addrs,
+		Preseed:   true,
 		Logf:      log.Printf, // surfaces retries and worker losses, if any
 	})
 	if err != nil {
@@ -116,5 +120,7 @@ func main() {
 	}
 	fmt.Println()
 	fmt.Printf("merged memo cache: %d distinct structures, %d cross-worker duplicates\n",
-		len(st.MergedCache), st.CacheDuplicates)
+		st.MergedStructures(), st.CacheDuplicates)
+	fmt.Printf("preseed: %d records pushed (%d B), %d evaluations skipped\n",
+		st.SeedRecords, st.SeedBytes, st.PrefilterHits)
 }

@@ -1,0 +1,130 @@
+package anneal
+
+import (
+	"testing"
+)
+
+// TestAdaptiveBatchTrajectoryInvariant: adaptive batch sizing resizes
+// the speculative budget between rounds, which must change only the
+// evaluation counts — History, Best, and Accepted are batch-invariant
+// by construction, so they must match a fixed-batch reference exactly,
+// for several bound configurations and with multiple chains.
+func TestAdaptiveBatchTrajectoryInvariant(t *testing.T) {
+	g := testAIG(33)
+	p := DefaultParams
+	p.Iterations = 40
+	p.Seed = 7
+	p.BatchSize = 1
+	p.Workers = 1
+	ref, err := Run(g, proxyEval{}, p)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for _, cfg := range []struct{ min, max, batch, chains int }{
+		{1, 8, 0, 1},
+		{2, 4, 4, 1},
+		{1, 16, 2, 1},
+		{1, 8, 0, 2},
+	} {
+		pc := p
+		pc.BatchMin, pc.BatchMax, pc.BatchSize, pc.Chains = cfg.min, cfg.max, cfg.batch, cfg.chains
+		r, err := Run(g, proxyEval{}, pc)
+		if err != nil {
+			t.Fatal(err)
+		}
+		sameHistory(t, "adaptive", ref.History, r.History)
+		if r.BestCost != ref.BestCost || r.Best.Hash() != ref.Best.Hash() {
+			t.Fatalf("min=%d max=%d: best diverged (%.6f vs %.6f)",
+				cfg.min, cfg.max, r.BestCost, ref.BestCost)
+		}
+		if r.Chains[0].Accepted != ref.Accepted {
+			t.Fatalf("min=%d max=%d: chain 0 accepted %d vs %d",
+				cfg.min, cfg.max, r.Chains[0].Accepted, ref.Accepted)
+		}
+	}
+}
+
+// TestAdaptiveBatchShrinksInHotPhase: with a huge starting temperature
+// every proposal is accepted, so an adaptive run must collapse its
+// budget to BatchMin and spend far fewer speculative evaluations than
+// the fixed-batch run, while consuming the same iterations.
+func TestAdaptiveBatchShrinksInHotPhase(t *testing.T) {
+	g := testAIG(34)
+	p := DefaultParams
+	p.Iterations = 32
+	p.Seed = 3
+	p.StartTemp = 1e9 // accept everything: the hot extreme
+	p.DecayRate = 1
+	p.BatchSize = 8
+	fixed, err := Run(g, proxyEval{}, p)
+	if err != nil {
+		t.Fatal(err)
+	}
+	pa := p
+	pa.BatchMin, pa.BatchMax = 1, 8
+	adaptive, err := Run(g, proxyEval{}, pa)
+	if err != nil {
+		t.Fatal(err)
+	}
+	sameHistory(t, "hot", fixed.History, adaptive.History)
+	if adaptive.SpeculativeEvals >= fixed.SpeculativeEvals {
+		t.Fatalf("adaptive run wasted as much as fixed: %d vs %d speculative evals",
+			adaptive.SpeculativeEvals, fixed.SpeculativeEvals)
+	}
+	if adaptive.Evals >= fixed.Evals {
+		t.Fatalf("adaptive run evaluated as much as fixed: %d vs %d", adaptive.Evals, fixed.Evals)
+	}
+}
+
+// TestAdaptiveBatchGrowsInColdPhase: at temperature zero with a
+// converged start, rejected rounds dominate; the budget must grow back
+// toward BatchMax (observable as round counts: evals stay near the
+// fixed-batch run's, far above what BatchMin-sized rounds would do).
+// The cold extreme is also where adaptive sizing must not lose the
+// line-speculation win, so evals may not exceed fixed by more than the
+// warmup rounds spent growing.
+func TestAdaptiveBatchGrowsInColdPhase(t *testing.T) {
+	g := testAIG(35)
+	p := DefaultParams
+	p.Iterations = 64
+	p.Seed = 9
+	p.StartTemp = 0 // greedy: reject all non-improving moves
+	p.BatchSize = 8
+	fixed, err := Run(g, proxyEval{}, p)
+	if err != nil {
+		t.Fatal(err)
+	}
+	pa := p
+	pa.BatchMin, pa.BatchMax = 1, 8
+	pa.BatchSize = 1 // start minimal; growth must be earned by rejections
+	adaptive, err := Run(g, proxyEval{}, pa)
+	if err != nil {
+		t.Fatal(err)
+	}
+	sameHistory(t, "cold", fixed.History, adaptive.History)
+	// Growing 1→2→4→8 costs at most a handful of small rounds; after
+	// that the budget should sit at BatchMax whenever the chain is cold.
+	if adaptive.Evals < fixed.Evals/2 {
+		t.Fatalf("adaptive run never grew its budget: %d evals vs fixed %d", adaptive.Evals, fixed.Evals)
+	}
+}
+
+// TestAdaptiveBatchValidation: inverted or negative bounds are
+// programming errors, reported before any work.
+func TestAdaptiveBatchValidation(t *testing.T) {
+	g := testAIG(36)
+	p := DefaultParams
+	p.Iterations = 4
+	p.BatchMin, p.BatchMax = 5, 2
+	if _, err := Run(g, proxyEval{}, p); err == nil {
+		t.Fatal("BatchMin > BatchMax accepted")
+	}
+	p.BatchMin, p.BatchMax = -1, 0
+	if _, err := Run(g, proxyEval{}, p); err == nil {
+		t.Fatal("negative BatchMin accepted")
+	}
+	p.BatchMin, p.BatchMax = 4, 0
+	if _, err := Run(g, proxyEval{}, p); err == nil {
+		t.Fatal("BatchMin without BatchMax silently ignored")
+	}
+}

@@ -67,6 +67,20 @@ type Params struct {
 	// BatchSize is the speculative candidate budget per round; 0 =
 	// min(8, GOMAXPROCS).
 	BatchSize int
+	// BatchMin/BatchMax enable adaptive batch sizing when BatchMax > 0:
+	// each chain tracks its recent acceptance rate and resizes its
+	// speculative budget between rounds within [BatchMin, BatchMax]
+	// (BatchMin 0 means 1), starting from the effective BatchSize
+	// clamped into the bounds. Hot phases (acceptances landing) shrink
+	// the budget — speculation past an acceptance is wasted — and cold
+	// phases (all-rejected rounds) grow it back, amortizing evaluation
+	// latency over long rejected runs. The trajectory is batch-invariant
+	// by construction (per-iteration RNG streams), and the resize
+	// decisions depend only on that trajectory, so adaptive sizing
+	// changes Evals/SpeculativeEvals but never History, Best, or any
+	// metric.
+	BatchMin int
+	BatchMax int
 	// Workers bounds proposal-generation concurrency and the batch
 	// adapter wrapped around plain evaluators (0 = GOMAXPROCS). Native
 	// oracles manage their own evaluation concurrency — set their knob
@@ -291,11 +305,27 @@ func Run(g0 *aig.AIG, ev Evaluator, p Params) (*Result, error) {
 	if p.BatchSize < 0 || p.Workers < 0 || p.Chains < 0 {
 		return nil, fmt.Errorf("anneal: BatchSize, Workers, and Chains must be nonnegative")
 	}
+	if p.BatchMin < 0 || p.BatchMax < 0 {
+		return nil, fmt.Errorf("anneal: BatchMin and BatchMax must be nonnegative")
+	}
+	if p.BatchMax > 0 && p.BatchMin > p.BatchMax {
+		return nil, fmt.Errorf("anneal: BatchMin %d exceeds BatchMax %d", p.BatchMin, p.BatchMax)
+	}
+	if p.BatchMax == 0 && p.BatchMin > 0 {
+		return nil, fmt.Errorf("anneal: BatchMin without BatchMax (adaptive sizing is enabled by BatchMax > 0)")
+	}
 	recipes := p.Recipes
 	if recipes == nil {
 		recipes = transform.Recipes()
 	}
 	batch := EffectiveBatchSize(p.BatchSize)
+	// maxBatch is the largest round any chain may run: the fixed batch,
+	// or the adaptive ceiling. Shared budgets (anchors, slice capacity)
+	// size against it.
+	maxBatch := batch
+	if p.BatchMax > maxBatch {
+		maxBatch = p.BatchMax
+	}
 	chains := p.Chains
 	if chains == 0 {
 		chains = 1
@@ -328,7 +358,7 @@ func Run(g0 *aig.AIG, ev Evaluator, p Params) (*Result, error) {
 		// the current state per chain.
 		wrapped := eval.NewIncremental(oracle, eval.IncrementalParams{
 			DirtyThreshold: p.IncrementalThreshold,
-			MaxStates:      AnchorBudget(batch, chains),
+			MaxStates:      AnchorBudget(maxBatch, chains),
 			Workers:        p.Workers,
 		})
 		inc, _ = wrapped.(*eval.Incremental)
@@ -462,6 +492,14 @@ func treeDepth(batch int) int {
 //     Always consumes exactly d iterations per round regardless of the
 //     acceptance outcome — speculation never mispredicts, at the price
 //     of 2^d - 1 - d wasted evaluations that run concurrently anyway.
+//
+// With BatchMax > 0 the speculative budget additionally adapts between
+// rounds to the recent acceptance rate: a round that landed an
+// acceptance halves the budget (speculation past an acceptance is
+// waste), an all-rejected round doubles it (long rejected runs amortize
+// perfectly), clamped to [BatchMin, BatchMax]. The adaptation consumes
+// only the acceptance trajectory — which is batch-invariant — so it
+// changes evaluation counts, never results.
 func runChain(g0 *aig.AIG, oracle eval.Oracle, p Params, recipes []transform.Recipe,
 	batch int, seed int64, cost func(Metrics) float64, init Metrics, tracked bool) chainState {
 
@@ -484,12 +522,26 @@ func runChain(g0 *aig.AIG, oracle eval.Oracle, p Params, recipes []transform.Rec
 	}
 	cur, curCost := g0, cs.bestCost
 	temp := p.StartTemp
+	adaptive := p.BatchMax > 0
+	minBatch := p.BatchMin
+	if minBatch < 1 {
+		minBatch = 1
+	}
+	curBatch := batch
+	if adaptive {
+		if curBatch > p.BatchMax {
+			curBatch = p.BatchMax
+		}
+		if curBatch < minBatch {
+			curBatch = minBatch
+		}
+		batch = p.BatchMax // capacity bound below
+	}
 	nodes := make([]specNode, 0, batch)
 	gs := make([]*aig.AIG, 0, batch)
 	bases := make([]*aig.AIG, 0, batch)
 	levelEnds := make([]int, 0, 8) // tree rounds: end index of each level
-	depth := treeDepth(batch)
-	sinceAccept := 0 // consumed iterations since the last acceptance
+	sinceAccept := 0               // consumed iterations since the last acceptance
 
 	// propose fills nodes[lo:hi] for iteration index iter, node j taking
 	// bases[j] as its assumed current state. Proposals are independent
@@ -525,8 +577,8 @@ func runChain(g0 *aig.AIG, oracle eval.Oracle, p Params, recipes []transform.Rec
 			cur.PairIndex()
 		}
 
-		hot := sinceAccept < batch
-		d := depth
+		hot := sinceAccept < curBatch
+		d := treeDepth(curBatch)
 		if !hot || d > rem {
 			d = 1
 		}
@@ -558,7 +610,7 @@ func runChain(g0 *aig.AIG, oracle eval.Oracle, p Params, recipes []transform.Rec
 		} else {
 			// Line round: b proposals for iterations it..it+b-1, all from
 			// the current state (the all-rejected path).
-			b := batch
+			b := curBatch
 			if b > rem {
 				b = rem
 			}
@@ -612,6 +664,7 @@ func runChain(g0 *aig.AIG, oracle eval.Oracle, p Params, recipes []transform.Rec
 
 		// Consume decisions along the realized accept/reject path.
 		consumed := 0
+		roundAccepted := 0
 		for ni := int32(0); ni >= 0; {
 			n := &nodes[ni]
 			m := ms[ni]
@@ -628,6 +681,7 @@ func runChain(g0 *aig.AIG, oracle eval.Oracle, p Params, recipes []transform.Rec
 			if accepted {
 				cur, curCost = n.g, c
 				cs.accepted++
+				roundAccepted++
 				sinceAccept = 0
 				if c < cs.bestCost {
 					cs.best, cs.bestCost, cs.bestMetrics = n.g, c, m
@@ -639,6 +693,23 @@ func runChain(g0 *aig.AIG, oracle eval.Oracle, p Params, recipes []transform.Rec
 			}
 		}
 		cs.speculative += len(nodes) - consumed
+		// Adapt the next round's budget to this round's acceptance rate:
+		// any acceptance means speculation beyond it was waste, so halve;
+		// a fully rejected round means the line paid off end to end, so
+		// double. The inputs (acceptance outcomes) are batch-invariant,
+		// so the budget schedule — and everything downstream — is
+		// deterministic for a fixed seed.
+		if adaptive {
+			if roundAccepted > 0 {
+				if curBatch /= 2; curBatch < minBatch {
+					curBatch = minBatch
+				}
+			} else {
+				if curBatch *= 2; curBatch > p.BatchMax {
+					curBatch = p.BatchMax
+				}
+			}
+		}
 		// The oracle has consumed every candidate's provenance; drop the
 		// records so base graphs do not chain into a retained history
 		// (provenance depth stays at one).

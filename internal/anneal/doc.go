@@ -33,8 +33,13 @@
 // phases speculate a LINE of proposals down the all-rejected path (an
 // acceptance discards the stale tail), hot phases speculate a TREE
 // covering both successor states of every decision so that 2^d-1
-// concurrent evaluations always consume exactly d iterations.
-// Independent chains (parallel restarts) run concurrently and merge
-// best-of into one Result; chain 0 of a multi-chain run is bit-identical
-// to a single-chain run at the same seed.
+// concurrent evaluations always consume exactly d iterations. With
+// Params.BatchMax set, the speculative budget additionally adapts
+// between rounds to the recent acceptance rate within
+// [BatchMin, BatchMax] — shrinking when acceptances land, growing
+// through rejected runs — consuming only the (batch-invariant)
+// trajectory, so adaptive sizing changes evaluation counts, never
+// results. Independent chains (parallel restarts) run concurrently and
+// merge best-of into one Result; chain 0 of a multi-chain run is
+// bit-identical to a single-chain run at the same seed.
 package anneal

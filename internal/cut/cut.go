@@ -100,6 +100,145 @@ func EnumerateSuffix(g *aig.AIG, p Params, cuts [][]Cut, first int32) {
 	}
 }
 
+// taggedCut is a cut plus its membership in the two lists of a dual
+// enumeration.
+type taggedCut struct {
+	c             Cut
+	inLow, inHigh bool
+}
+
+// EnumerateDual computes priority cuts for every node of g at two
+// budgets in one bottom-up pass, returning what Enumerate(g, pLow) and
+// Enumerate(g, pHigh) would return — exactly, list for list. It exists
+// for pipelines that map the same graph at two efforts differing only
+// in MaxCuts (signoff's default/high passes, MaxCuts 8 vs 24): the two
+// budgets' candidate pools overlap almost entirely — the low lists are
+// in practice a prefix of the high lists — so the shared pairwise
+// merges are computed once instead of twice.
+//
+// Exactness is by construction, not by assuming the low cuts are a
+// subset of the high ones: per node, the fanins' low and high lists are
+// unioned with membership tags (two cuts of one node with equal leaves
+// have equal tables — the function of a node over a fixed leaf set is
+// unique — so leaf equality identifies cuts across lists), each
+// distinct fanin pair is merged once, and the product is fed to the low
+// pool iff both parents are low-members and to the high pool iff both
+// are high-members. Each pool is then exactly the candidate set of the
+// corresponding independent enumeration, and filter's selection is a
+// function of that set (its order is total on distinct leaf sets and
+// duplicates collapse), so the kept lists match independent runs bit
+// for bit. The signoff tests assert this equality end to end through
+// mapping.
+//
+// Both params must share K; MaxCuts may differ arbitrarily (neither
+// needs to contain the other for correctness).
+func EnumerateDual(g *aig.AIG, pLow, pHigh Params) (low, high [][]Cut) {
+	if pLow.K != pHigh.K {
+		panic("cut: EnumerateDual requires equal K")
+	}
+	if pLow.K < 2 || pLow.K > 4 {
+		panic("cut: K must be in [2,4]")
+	}
+	if pLow.MaxCuts < 1 || pHigh.MaxCuts < 1 {
+		panic("cut: MaxCuts must be positive")
+	}
+	low = make([][]Cut, g.NumNodes())
+	high = make([][]Cut, g.NumNodes())
+	Seed(g, low)
+	Seed(g, high)
+	// isPrefix[n] records that low[n] minus its trivial cut is a prefix
+	// of high[n] — true for almost every node (both filters walk the
+	// same sorted candidates, the low one just stops earlier), and the
+	// ticket to building the tagged union without any leaf scanning.
+	// PIs and the constant hold trivially (identical single-cut lists).
+	isPrefix := make([]bool, g.NumNodes())
+	for i := 0; i < int(g.FirstAnd()); i++ {
+		isPrefix[i] = true
+	}
+	var u0, u1 []taggedCut
+	var poolLow, poolHigh []Cut
+	for i := int(g.FirstAnd()); i < g.NumNodes(); i++ {
+		n := int32(i)
+		f0, f1 := g.Fanins(n)
+		u0 = unionCuts(low[f0.Node()], high[f0.Node()], isPrefix[f0.Node()], u0[:0])
+		u1 = unionCuts(low[f1.Node()], high[f1.Node()], isPrefix[f1.Node()], u1[:0])
+		poolLow, poolHigh = poolLow[:0], poolHigh[:0]
+		for _, a := range u0 {
+			for _, b := range u1 {
+				toLow := a.inLow && b.inLow
+				toHigh := a.inHigh && b.inHigh
+				if !toLow && !toHigh {
+					continue
+				}
+				leaves, ok := mergeLeaves(a.c.Leaves, b.c.Leaves, pLow.K)
+				if !ok {
+					continue
+				}
+				c := Cut{Leaves: leaves, Table: mergeTables(a.c, b.c, leaves, f0.IsCompl(), f1.IsCompl())}
+				if toLow {
+					poolLow = append(poolLow, c)
+				}
+				if toHigh {
+					poolHigh = append(poolHigh, c)
+				}
+			}
+		}
+		low[n] = append(filter(poolLow, pLow.MaxCuts), trivialCut(n))
+		high[n] = append(filter(poolHigh, pHigh.MaxCuts), trivialCut(n))
+		isPrefix[n] = cutsArePrefix(low[n], high[n])
+	}
+	return low, high
+}
+
+// cutsArePrefix reports whether lo minus its trailing trivial cut is a
+// prefix of hi (leaf equality; equal leaves imply equal tables for cuts
+// of one node).
+func cutsArePrefix(lo, hi []Cut) bool {
+	k := len(lo) - 1 // kept cuts, excluding the trailing trivial
+	if k > len(hi)-1 {
+		return false
+	}
+	for i := 0; i < k; i++ {
+		if !equalLeaves(lo[i].Leaves, hi[i].Leaves) {
+			return false
+		}
+	}
+	return true
+}
+
+// unionCuts merges one node's low and high cut lists into a list of
+// distinct cuts tagged with membership, reusing buf. Identity is leaf
+// equality (equal leaves imply equal tables for cuts of one node). When
+// the low list is a known prefix of the high one, the union is the high
+// list with the first k cuts and the trailing trivial tagged low — no
+// scanning.
+func unionCuts(lo, hi []Cut, loIsPrefix bool, buf []taggedCut) []taggedCut {
+	if loIsPrefix {
+		k := len(lo) - 1
+		for i, c := range hi {
+			buf = append(buf, taggedCut{c: c, inHigh: true, inLow: i < k || i == len(hi)-1})
+		}
+		return buf
+	}
+	for _, c := range hi {
+		buf = append(buf, taggedCut{c: c, inHigh: true})
+	}
+	for _, c := range lo {
+		found := false
+		for i := range buf {
+			if equalLeaves(buf[i].c.Leaves, c.Leaves) {
+				buf[i].inLow = true
+				found = true
+				break
+			}
+		}
+		if !found {
+			buf = append(buf, taggedCut{c: c, inLow: true})
+		}
+	}
+	return buf
+}
+
 func trivialCut(n int32) Cut {
 	// Projection of the single leaf: variable 0 padded to 4 vars.
 	return Cut{Leaves: []int32{n}, Table: truth.PadTo4(0xA, 2)}

@@ -210,3 +210,84 @@ func TestEnumerateParamsValidation(t *testing.T) {
 		}()
 	}
 }
+
+// randDualAIG builds a deterministic random AIG for the dual-enumeration
+// differential tests.
+func randDualAIG(seed int64, numPIs, numAnds int) *aig.AIG {
+	rng := rand.New(rand.NewSource(seed))
+	b := aig.NewBuilder(numPIs)
+	lits := make([]aig.Lit, 0, numPIs+numAnds)
+	for i := 0; i < numPIs; i++ {
+		lits = append(lits, b.PI(i))
+	}
+	for len(lits) < numPIs+numAnds {
+		x := lits[rng.Intn(len(lits))].NotIf(rng.Intn(2) == 0)
+		y := lits[rng.Intn(len(lits))].NotIf(rng.Intn(2) == 0)
+		lits = append(lits, b.And(x, y))
+	}
+	b.AddPO(lits[len(lits)-1])
+	b.AddPO(lits[len(lits)-2])
+	return b.Build().Compact()
+}
+
+// sameCutLists asserts two per-node cut sets are identical list for
+// list — leaves and tables, in order.
+func sameCutLists(t *testing.T, tag string, a, b [][]Cut) {
+	t.Helper()
+	if len(a) != len(b) {
+		t.Fatalf("%s: node counts %d vs %d", tag, len(a), len(b))
+	}
+	for n := range a {
+		if len(a[n]) != len(b[n]) {
+			t.Fatalf("%s: node %d has %d vs %d cuts", tag, n, len(a[n]), len(b[n]))
+		}
+		for i := range a[n] {
+			ca, cb := a[n][i], b[n][i]
+			if ca.Table != cb.Table || !equalLeaves(ca.Leaves, cb.Leaves) {
+				t.Fatalf("%s: node %d cut %d differs: %+v vs %+v", tag, n, i, ca, cb)
+			}
+		}
+	}
+}
+
+// TestEnumerateDualMatchesIndependent is the exactness contract of the
+// shared dual-effort enumeration: for random graphs and several budget
+// pairs, both returned cut sets must equal independent Enumerate runs
+// bit for bit (signoff's dual-effort mapping reuse is built on exactly
+// this).
+func TestEnumerateDualMatchesIndependent(t *testing.T) {
+	for seed := int64(1); seed <= 6; seed++ {
+		g := randDualAIG(seed, 6, 120)
+		for _, pair := range []struct{ lo, hi int }{
+			{8, 24}, // the signoff effort pair
+			{1, 2},
+			{4, 4},
+			{12, 6}, // "low" larger than "high": no containment either way
+		} {
+			pLow := Params{K: 4, MaxCuts: pair.lo}
+			pHigh := Params{K: 4, MaxCuts: pair.hi}
+			low, high := EnumerateDual(g, pLow, pHigh)
+			sameCutLists(t, "low", Enumerate(g, pLow), low)
+			sameCutLists(t, "high", Enumerate(g, pHigh), high)
+		}
+	}
+}
+
+// BenchmarkEnumerateDual compares the shared dual-budget pass against
+// two independent enumerations at the signoff effort pair.
+func BenchmarkEnumerateDual(b *testing.B) {
+	g := randDualAIG(1, 8, 1024)
+	pLow := Params{K: 4, MaxCuts: 8}
+	pHigh := Params{K: 4, MaxCuts: 24}
+	b.Run("dual", func(b *testing.B) {
+		for i := 0; i < b.N; i++ {
+			EnumerateDual(g, pLow, pHigh)
+		}
+	})
+	b.Run("independent", func(b *testing.B) {
+		for i := 0; i < b.N; i++ {
+			Enumerate(g, pLow)
+			Enumerate(g, pHigh)
+		}
+	})
+}

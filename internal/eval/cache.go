@@ -23,6 +23,19 @@ type CacheStats struct {
 	Misses    int64 // lookups that ran the underlying oracle
 	Entries   int64 // distinct structures currently memoized
 	Evictions int64 // entries dropped by the MaxEntries LRU bound
+
+	// Preseed-prefilter counters (all zero unless ImportRecords was
+	// called). Preseeded counts records currently pending in the
+	// prefilter; PrefilterHits counts oracle evaluations skipped because
+	// a pending record supplied the metrics; PrefilterRejected counts
+	// prefilter consultations that found pending records under the
+	// graph's fingerprint but none describing the graph itself (a
+	// witnessed fingerprint collision — the records describe functional
+	// twins), so the oracle ran instead. Rejected records stay pending
+	// for their true origins.
+	Preseeded         int64
+	PrefilterHits     int64
+	PrefilterRejected int64
 }
 
 // HitRate returns Hits / (Hits + Misses), or 0 before any lookup.
@@ -41,6 +54,7 @@ type cacheEntry struct {
 	g    *aig.AIG
 	m    Metrics
 	fp   uint64
+	sh   uint64 // exact structural hash (aig.Hash), the record identity
 	elem *list.Element
 }
 
@@ -58,6 +72,12 @@ type cacheEntry struct {
 // when that lifetime is one run or one sweep — or up to the
 // least-recently-used bound of NewCachedLRU for long-lived shared
 // caches.
+//
+// A cache can additionally be preseeded with remote records
+// (ImportRecords): fingerprint+metrics pairs another process evaluated,
+// installed behind a prefilter that may substitute for an oracle call
+// but never answers a lookup — see preseedLocked for the exact
+// adoption/rejection rule and its soundness story.
 //
 // Cached is safe for concurrent use. Metric values are deterministic
 // regardless of interleaving; the hit/miss split is deterministic for a
@@ -81,6 +101,22 @@ type Cached struct {
 	hits      int64
 	misses    int64
 	evictions int64
+
+	// preseed is the fingerprint-keyed prefilter of remote records
+	// installed by ImportRecords (nil until then; fingerprint-sharing
+	// records for distinct structures coexist in one bucket). A pending
+	// record never answers a lookup — lookups are answered only by the
+	// collision-checked table above. What a record may do, exactly once,
+	// is substitute for the oracle call of a miss whose graph it provably
+	// describes (the record's structural hash must equal the graph's):
+	// the missing graph adopts the record's metrics and is inserted into
+	// the table (graph retained), after which every future lookup of it
+	// goes through the full structural compare like any other entry. See
+	// preseedLocked for the adoption rule.
+	preseed           map[uint64][]preseedRec
+	preseedPending    int64
+	prefilterHits     int64
+	prefilterRejected int64
 
 	// insertLog records every insertion in order, the backing store of
 	// ExportSince: an exporter shipping records incrementally reads only
@@ -125,7 +161,11 @@ func (c *Cached) Underlying() Oracle { return c.oracle }
 func (c *Cached) Stats() CacheStats {
 	c.mu.Lock()
 	defer c.mu.Unlock()
-	return CacheStats{Hits: c.hits, Misses: c.misses, Entries: c.entries, Evictions: c.evictions}
+	return CacheStats{
+		Hits: c.hits, Misses: c.misses, Entries: c.entries, Evictions: c.evictions,
+		Preseeded:     c.preseedPending,
+		PrefilterHits: c.prefilterHits, PrefilterRejected: c.prefilterRejected,
+	}
 }
 
 // Evaluate implements Oracle, consulting the cache first.
@@ -137,13 +177,17 @@ func (c *Cached) Evaluate(g *aig.AIG) Metrics {
 		c.mu.Unlock()
 		return m
 	}
+	if m, ok := c.preseedLocked(fp, g); ok {
+		c.mu.Unlock()
+		return m
+	}
 	c.misses++
 	c.mu.Unlock()
 
 	m := c.oracle.Evaluate(g)
 
 	c.mu.Lock()
-	c.insertLocked(fp, g, m)
+	c.insertLocked(fp, g, m, true)
 	c.mu.Unlock()
 	return m
 }
@@ -172,6 +216,11 @@ func (c *Cached) EvaluateBatch(gs []*aig.AIG) []Metrics {
 			c.hits++
 			continue
 		}
+		if m, ok := c.preseedLocked(fps[i], g); ok {
+			out[i] = m
+			alias[i] = resolved
+			continue
+		}
 		alias[i] = missing
 		for _, j := range miss {
 			if fps[j] == fps[i] && gs[j].StructuralEqual(g) {
@@ -196,7 +245,7 @@ func (c *Cached) EvaluateBatch(gs []*aig.AIG) []Metrics {
 		c.mu.Lock()
 		for k, i := range miss {
 			out[i] = ms[k]
-			c.insertLocked(fps[i], gs[i], ms[k])
+			c.insertLocked(fps[i], gs[i], ms[k], true)
 		}
 		c.mu.Unlock()
 	}
@@ -222,16 +271,103 @@ func (c *Cached) lookupLocked(fp uint64, g *aig.AIG) (Metrics, bool) {
 	return Metrics{}, false
 }
 
+// preseedLocked consults the prefilter for a graph that just missed the
+// collision-checked table. A pending record substitutes for the oracle
+// call only when it provably describes g: its structural hash must
+// equal g's (aig.Hash — the hashed form of the exact comparison
+// lookupLocked performs on retained graphs). Then the graph adopts the
+// record's metrics and is inserted into the table — with the graph
+// retained and WITHOUT an insert-log entry, so adopted knowledge is
+// never re-exported as if this cache had evaluated it.
+//
+// A bucket whose records all mismatch is a witnessed fingerprint
+// collision: the records describe functional twins of g (annealing
+// produces fingerprint-sharing variants routinely; their mappings —
+// and metrics — may differ), so none may answer for g, and they stay
+// pending for their true origins. What remains after the hash check is
+// a blind 64-bit structural-hash collision between distinct structures,
+// ~2^-64 per pair: the prefilter may skip work, but the score it
+// installs is the one evaluation would have produced.
+type preseedRec struct {
+	sh uint64
+	m  Metrics
+}
+
+func (c *Cached) preseedLocked(fp uint64, g *aig.AIG) (Metrics, bool) {
+	bucket := c.preseed[fp]
+	if len(bucket) == 0 {
+		return Metrics{}, false
+	}
+	sh := g.Hash()
+	for i, rec := range bucket {
+		if rec.sh != sh {
+			continue
+		}
+		bucket[i] = bucket[len(bucket)-1]
+		if bucket = bucket[:len(bucket)-1]; len(bucket) == 0 {
+			delete(c.preseed, fp)
+		} else {
+			c.preseed[fp] = bucket
+		}
+		c.preseedPending--
+		c.prefilterHits++
+		c.insertLocked(fp, g, rec.m, false)
+		return rec.m, true
+	}
+	c.prefilterRejected++
+	return Metrics{}, false
+}
+
+// ImportRecords installs remote cache records (another worker's
+// exported memo entries) as prefilter seeds and reports how many were
+// accepted. Records whose exact structure the collision-checked table
+// already resolves, or that are already pending, are skipped;
+// fingerprint-sharing records for distinct structures all remain
+// importable (each can only ever serve its own structure). Imported
+// records only ever skip oracle work through preseedLocked — they are
+// not lookup entries, do not appear in ExportSince output, and cannot
+// override a locally evaluated score.
+func (c *Cached) ImportRecords(recs []CacheRecord) int {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	if c.preseed == nil {
+		c.preseed = make(map[uint64][]preseedRec, len(recs))
+	}
+	n := 0
+next:
+	for _, r := range recs {
+		for _, e := range c.table[r.FP] {
+			if e.sh == r.SH {
+				continue next // already resolved locally
+			}
+		}
+		bucket := c.preseed[r.FP]
+		for _, p := range bucket {
+			if p.sh == r.SH {
+				continue next // already pending
+			}
+		}
+		c.preseed[r.FP] = append(bucket, preseedRec{sh: r.SH, m: r.M})
+		c.preseedPending++
+		n++
+	}
+	return n
+}
+
 // insertLocked memoizes (g, m) under fp unless an equal entry already
 // exists (two goroutines may evaluate the same structure concurrently),
 // then enforces the MaxEntries bound by least-recently-used eviction.
-func (c *Cached) insertLocked(fp uint64, g *aig.AIG, m Metrics) {
+// logged records the insertion in the incremental-export log; adopted
+// prefilter entries pass false so remote knowledge is not re-exported.
+func (c *Cached) insertLocked(fp uint64, g *aig.AIG, m Metrics, logged bool) {
 	if _, ok := c.lookupLocked(fp, g); ok {
 		return
 	}
-	e := &cacheEntry{g: g, m: m, fp: fp}
+	e := &cacheEntry{g: g, m: m, fp: fp, sh: g.Hash()}
 	c.table[fp] = append(c.table[fp], e)
-	c.insertLog = append(c.insertLog, CacheRecord{FP: fp, M: m})
+	if logged {
+		c.insertLog = append(c.insertLog, CacheRecord{FP: fp, SH: e.sh, M: m})
+	}
 	c.entries++
 	if c.lru == nil {
 		return

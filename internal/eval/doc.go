@@ -37,7 +37,18 @@
 // delta/full splits are approximate when several goroutines race on one
 // shared stack.
 //
-// Caches are exportable for cross-process merging: Export snapshots a
-// Cached oracle as fingerprint+metrics records and MergeRecords folds
-// record streams into a cluster-wide map (see internal/shard).
+// Caches are exportable for cross-process merging and preseedable with
+// remote knowledge: Export/ExportSince snapshot a Cached oracle as
+// CacheRecord values — (fingerprint, structural hash, metrics) triples
+// whose CacheKey is the cross-process structure identity the shard
+// coordinator merges on — and ImportRecords installs remote records
+// behind a prefilter (see internal/shard for the transport). The
+// preseed invariant is that the prefilter may only skip work, never
+// answer: a pushed record is not a
+// lookup entry — it can only substitute for the oracle call of a cache
+// miss whose graph it provably describes (structural-hash equality,
+// the hashed form of the aig.StructuralEqual compare the in-process
+// cache performs on retained graphs), and ambiguous records are
+// rejected and re-evaluated. Preseeding therefore changes evaluation
+// cost, never scores.
 package eval

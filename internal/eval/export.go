@@ -3,32 +3,51 @@ package eval
 import "sort"
 
 // CacheRecord is one exported memo-cache entry: the structural
-// fingerprint of an evaluated graph and its metrics. Records are the
-// merge currency of the distributed sweep — workers export them, the
-// coordinator folds them into one cluster-wide view of which structures
-// have been scored.
+// fingerprint of an evaluated graph (the cache's bucket key), the exact
+// structural hash of the graph itself (aig.Hash — fanin literals in
+// order plus POs, the hashed form of what aig.StructuralEqual
+// compares), and its metrics. Records are the merge currency of the
+// distributed sweep — workers export them, the coordinator folds them
+// into one cluster-wide view of which structures have been scored and
+// pushes them back out as preseeds.
 //
-// A record deliberately omits the graph itself (retaining graphs is what
-// makes the in-process cache collision-proof), so record merging is
-// keyed on the fingerprint alone. Two distinct structures share a
-// fingerprint with probability ~2^-128; a merge may therefore collapse
-// such a pair, which is why merged records feed accounting and
-// cross-worker redundancy analysis, never the collision-checked
-// in-process lookup path.
+// A record deliberately omits the graph (retaining graphs is what makes
+// the in-process cache collision-proof), so cross-process record
+// identity is (FP, SH). The two hashes fail differently: FP folds in a
+// functional simulation signature, so functionally equivalent
+// structural variants — which annealing produces routinely — may share
+// it; SH is position-exact, so two distinct structures share the pair
+// only by a blind 64-bit hash collision (~2^-64 per pair). That is the
+// identity preseeding trusts: a pushed record substitutes for an oracle
+// call only when both hashes match the local graph.
 type CacheRecord struct {
 	FP uint64
+	SH uint64
 	M  Metrics
 }
 
-// Export snapshots the cache as records, sorted by fingerprint (ties by
-// metrics) so the output is deterministic regardless of insertion or
-// map-iteration order.
+// CacheKey is the cross-process identity of an evaluated structure,
+// the key of merged record maps (shard.Stats.MergedCaches).
+type CacheKey struct {
+	FP uint64
+	SH uint64
+}
+
+// Key returns the record's merge identity.
+func (r CacheRecord) Key() CacheKey { return CacheKey{FP: r.FP, SH: r.SH} }
+
+// Export snapshots the cache as records, sorted by (fingerprint,
+// structural hash, metrics) so the output is deterministic regardless
+// of insertion or map-iteration order. The snapshot covers every table
+// entry, including ones adopted from imported records; exporters that
+// must not echo remote knowledge back (shard worker sessions) use
+// ExportSince, whose insertion log adopted entries never enter.
 func (c *Cached) Export() []CacheRecord {
 	c.mu.Lock()
 	recs := make([]CacheRecord, 0, c.entries)
 	for fp, bucket := range c.table {
 		for _, e := range bucket {
-			recs = append(recs, CacheRecord{FP: fp, M: e.m})
+			recs = append(recs, CacheRecord{FP: fp, SH: e.sh, M: e.m})
 		}
 	}
 	c.mu.Unlock()
@@ -36,6 +55,9 @@ func (c *Cached) Export() []CacheRecord {
 		a, b := recs[i], recs[j]
 		if a.FP != b.FP {
 			return a.FP < b.FP
+		}
+		if a.SH != b.SH {
+			return a.SH < b.SH
 		}
 		if a.M.DelayPS != b.M.DelayPS {
 			return a.M.DelayPS < b.M.DelayPS
@@ -60,23 +82,4 @@ func (c *Cached) ExportSince(seq int) ([]CacheRecord, int) {
 	}
 	recs := append([]CacheRecord(nil), c.insertLog[seq:]...)
 	return recs, len(c.insertLog)
-}
-
-// MergeRecords folds records into dst (fingerprint -> metrics),
-// returning how many were new and how many duplicated an existing
-// fingerprint. Duplicates keep the first-merged metrics; because every
-// oracle in this repository is deterministic, records sharing a
-// fingerprint agree (up to the ~2^-128 fingerprint collision), so the
-// kept value does not depend on merge order in practice and the
-// duplicate count measures cross-source redundant evaluation.
-func MergeRecords(dst map[uint64]Metrics, recs []CacheRecord) (added, duplicate int) {
-	for _, r := range recs {
-		if _, ok := dst[r.FP]; ok {
-			duplicate++
-			continue
-		}
-		dst[r.FP] = r.M
-		added++
-	}
-	return added, duplicate
 }

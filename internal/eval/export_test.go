@@ -31,35 +31,3 @@ func TestExportDeterministicAndComplete(t *testing.T) {
 		t.Fatal("export depends on insertion order")
 	}
 }
-
-func TestMergeRecords(t *testing.T) {
-	ev := &countEval{}
-	c1 := NewCached(AsOracle(ev, 1))
-	c2 := NewCached(AsOracle(ev, 1))
-	for seed := int64(1); seed <= 4; seed++ {
-		c1.Evaluate(testAIG(seed))
-	}
-	for seed := int64(3); seed <= 6; seed++ { // overlaps on 3,4
-		c2.Evaluate(testAIG(seed))
-	}
-	merged := make(map[uint64]Metrics)
-	add1, dup1 := MergeRecords(merged, c1.Export())
-	add2, dup2 := MergeRecords(merged, c2.Export())
-	if add1 != 4 || dup1 != 0 {
-		t.Fatalf("first merge: added %d dup %d", add1, dup1)
-	}
-	if add2 != 2 || dup2 != 2 {
-		t.Fatalf("second merge: added %d dup %d (want 2 new, 2 cross-worker duplicates)", add2, dup2)
-	}
-	if len(merged) != 6 {
-		t.Fatalf("merged size %d, want 6", len(merged))
-	}
-	// Merge order must not change the surviving values (deterministic
-	// oracles: duplicate fingerprints carry equal metrics).
-	merged2 := make(map[uint64]Metrics)
-	MergeRecords(merged2, c2.Export())
-	MergeRecords(merged2, c1.Export())
-	if !reflect.DeepEqual(merged, merged2) {
-		t.Fatal("merge order changed the merged values")
-	}
-}

@@ -1,0 +1,176 @@
+package eval
+
+import (
+	"testing"
+
+	"aigtimer/internal/aig"
+)
+
+// TestImportRecordsSkipsWorkNeverAnswers: a cache preseeded with a
+// peer's exported records must (a) return exactly the metrics a fresh
+// evaluation would for every graph — preseeding can never change a
+// score — (b) skip the oracle for every preseeded structure, and (c)
+// not re-export adopted records as its own.
+func TestImportRecordsSkipsWorkNeverAnswers(t *testing.T) {
+	shared := make([]*aig.AIG, 6)
+	for i := range shared {
+		shared[i] = testAIG(int64(100 + i))
+	}
+	fresh := make([]*aig.AIG, 3)
+	for i := range fresh {
+		fresh[i] = testAIG(int64(200 + i))
+	}
+
+	// Peer A evaluates the shared graphs and exports its records.
+	evA := &countEval{}
+	a := NewCached(AsOracle(evA, 1))
+	wantShared := make([]Metrics, len(shared))
+	for i, g := range shared {
+		wantShared[i] = a.Evaluate(g)
+	}
+	recs, _ := a.ExportSince(0)
+	if len(recs) != len(shared) {
+		t.Fatalf("peer exported %d records, want %d", len(recs), len(shared))
+	}
+
+	// Peer B imports them, then evaluates shared + fresh graphs.
+	evB := &countEval{}
+	b := NewCached(AsOracle(evB, 1))
+	if n := b.ImportRecords(recs); n != len(recs) {
+		t.Fatalf("imported %d of %d records", n, len(recs))
+	}
+	if st := b.Stats(); st.Preseeded != int64(len(recs)) {
+		t.Fatalf("pending prefilter records = %d, want %d", st.Preseeded, len(recs))
+	}
+	for i, g := range shared {
+		if m := b.Evaluate(g); m != wantShared[i] {
+			t.Fatalf("shared graph %d: preseeded metrics %+v, fresh %+v", i, m, wantShared[i])
+		}
+		// A second lookup goes through the collision-checked table.
+		if m := b.Evaluate(g); m != wantShared[i] {
+			t.Fatalf("shared graph %d: post-adoption lookup differs", i)
+		}
+	}
+	for i, g := range fresh {
+		want := (&countEval{}).Evaluate(g)
+		if m := b.Evaluate(g); m != want {
+			t.Fatalf("fresh graph %d: metrics %+v, want %+v", i, m, want)
+		}
+	}
+
+	st := b.Stats()
+	if st.PrefilterHits != int64(len(shared)) {
+		t.Fatalf("prefilter hits = %d, want %d", st.PrefilterHits, len(shared))
+	}
+	if st.PrefilterRejected != 0 || st.Preseeded != 0 {
+		t.Fatalf("unexpected rejections/pending: %+v", st)
+	}
+	if got := evB.calls.Load(); got != int64(len(fresh)) {
+		t.Fatalf("oracle ran %d times, want %d (only the non-preseeded graphs)", got, len(fresh))
+	}
+	// Adopted entries are remote knowledge: the incremental export must
+	// carry only B's own evaluations.
+	own, _ := b.ExportSince(0)
+	if len(own) != len(fresh) {
+		t.Fatalf("cache re-exported adopted records: %d records, want %d", len(own), len(fresh))
+	}
+	// The full snapshot does include them (documented asymmetry).
+	if all := b.Export(); len(all) != len(shared)+len(fresh) {
+		t.Fatalf("full export has %d records, want %d", len(all), len(shared)+len(fresh))
+	}
+}
+
+// TestPreseedBatchPath: EvaluateBatch consults the prefilter like
+// Evaluate does, including intra-batch duplicates of an adopted entry.
+func TestPreseedBatchPath(t *testing.T) {
+	g1, g2 := testAIG(301), testAIG(302)
+	evA := &countEval{}
+	a := NewCached(AsOracle(evA, 1))
+	w1 := a.Evaluate(g1)
+	recs, _ := a.ExportSince(0)
+
+	evB := &countEval{}
+	b := NewCached(AsOracle(evB, 1))
+	b.ImportRecords(recs)
+	w2 := (&countEval{}).Evaluate(g2)
+	out := b.EvaluateBatch([]*aig.AIG{g1, g2, g1})
+	if out[0] != w1 || out[2] != w1 || out[1] != w2 {
+		t.Fatalf("batch metrics %+v, want [%+v %+v %+v]", out, w1, w2, w1)
+	}
+	if st := b.Stats(); st.PrefilterHits != 1 {
+		t.Fatalf("prefilter hits = %d, want 1", st.PrefilterHits)
+	}
+	if got := evB.calls.Load(); got != 1 {
+		t.Fatalf("oracle ran %d times, want 1", got)
+	}
+}
+
+// TestPreseedCollisionsNeverAnswer forces a fingerprint collision (the
+// test hook pins every graph to one fingerprint) and asserts the
+// adoption rule under it: a pending record answers only the structure
+// its structural hash names — a colliding graph is rejected (and
+// counted) however tempting the fingerprint match, while the record
+// survives for its true origin even after twins occupy the table.
+func TestPreseedCollisionsNeverAnswer(t *testing.T) {
+	g1, g2 := testAIG(311), testAIG(312)
+	if g1.StructuralEqual(g2) {
+		t.Fatal("test graphs must differ structurally")
+	}
+	ev := &countEval{}
+	c := NewCached(AsOracle(ev, 1))
+	c.fp = func(*aig.AIG) uint64 { return 42 }
+
+	// One poisoned record (a structure we will never evaluate) and one
+	// genuine record for g1, both pending under the shared fingerprint.
+	w1 := (&countEval{}).Evaluate(g1)
+	if n := c.ImportRecords([]CacheRecord{
+		{FP: 42, SH: 0xdead, M: Metrics{DelayPS: -777, AreaUM2: -777}},
+		{FP: 42, SH: g1.Hash(), M: w1},
+	}); n != 2 {
+		t.Fatalf("imported %d of 2 fingerprint-sharing records", n)
+	}
+
+	// g2 collides with both pending records; neither describes it, so
+	// the oracle must run and the miss counts as a rejection.
+	want2 := (&countEval{}).Evaluate(g2)
+	if m := c.Evaluate(g2); m != want2 {
+		t.Fatalf("collision-hit record answered: %+v, want %+v", m, want2)
+	}
+	if st := c.Stats(); st.PrefilterRejected != 1 || st.PrefilterHits != 0 {
+		t.Fatalf("expected exactly one rejection so far: %+v", st)
+	}
+
+	// g1 arrives after its twin already occupies the table: its record
+	// still proves itself by structural hash and must be adopted.
+	if m := c.Evaluate(g1); m != w1 {
+		t.Fatalf("true origin not served by its record: %+v, want %+v", m, w1)
+	}
+	st := c.Stats()
+	if st.PrefilterHits != 1 {
+		t.Fatalf("expected the origin's adoption: %+v", st)
+	}
+	if got := ev.calls.Load(); got != 1 {
+		t.Fatalf("oracle ran %d times, want 1 (only the colliding twin)", got)
+	}
+	// Re-evaluating keeps the collision-checked answers.
+	if c.Evaluate(g1) != w1 || c.Evaluate(g2) != want2 {
+		t.Fatal("collision-checked entries corrupted")
+	}
+}
+
+// TestImportRecordsSkipsResolvedFingerprints: records whose fingerprint
+// the table already resolves are dropped at import (the local,
+// collision-checked score always wins).
+func TestImportRecordsSkipsResolvedFingerprints(t *testing.T) {
+	g := testAIG(321)
+	c := NewCached(AsOracle(&countEval{}, 1))
+	want := c.Evaluate(g)
+	recs, _ := c.ExportSince(0)
+	recs[0].M = Metrics{DelayPS: -1, AreaUM2: -1} // hostile remote value
+	if n := c.ImportRecords(recs); n != 0 {
+		t.Fatalf("imported %d records over resolved fingerprints", n)
+	}
+	if m := c.Evaluate(g); m != want {
+		t.Fatalf("local score overridden: %+v, want %+v", m, want)
+	}
+}

@@ -30,4 +30,17 @@
 // asserts the identity over real worker processes. Failures carry their
 // grid coordinates as typed *SweepError values (errors.As-matchable),
 // which is what the shard layer's retry scheduling keys on.
+//
+// # Suite sessions
+//
+// SweepSuite and SweepSuiteSharded generalize both drivers to a list of
+// entries — (design, guiding evaluator) pairs — executed through one
+// session: one local pool, or one shard-protocol session per worker in
+// which every distinct base graph ships once and all entries share the
+// work-stealing schedule. The contract is per-entry isolation with
+// per-entry identity: each entry's points are byte-identical to a
+// standalone Sweep/SweepSharded of that entry, and evaluation caches
+// (including the coordinator's merged records and preseed pushes) never
+// cross entries, because metrics from different evaluators are not
+// interchangeable.
 package flows

@@ -2,8 +2,6 @@ package flows
 
 import (
 	"fmt"
-	"runtime"
-	"sync"
 
 	"aigtimer/internal/aig"
 	"aigtimer/internal/anneal"
@@ -248,15 +246,20 @@ func (c SweepConfig) Grid() []GridPoint {
 // reschedule or report the exact point. It wraps the underlying cause
 // for errors.Is.
 type SweepError struct {
-	Point GridPoint
-	Total int // grid size, for "point i/N" messages
-	Err   error
+	Design string // suite entry name, when the failing sweep ran in a suite
+	Point  GridPoint
+	Total  int // grid size, for "point i/N" messages
+	Err    error
 }
 
 // Error implements error, spelling out the grid coordinates.
 func (e *SweepError) Error() string {
-	return fmt.Sprintf("flows: sweep point %d/%d (w_delay=%g w_area=%g decay=%g): %v",
-		e.Point.Index+1, e.Total, e.Point.DelayWeight, e.Point.AreaWeight, e.Point.Decay, e.Err)
+	design := ""
+	if e.Design != "" {
+		design = " of " + e.Design
+	}
+	return fmt.Sprintf("flows: sweep point %d/%d%s (w_delay=%g w_area=%g decay=%g): %v",
+		e.Point.Index+1, e.Total, design, e.Point.DelayWeight, e.Point.AreaWeight, e.Point.Decay, e.Err)
 }
 
 // Unwrap exposes the underlying cause to errors.Is/As.
@@ -303,7 +306,13 @@ func NewSweepStack(ev anneal.Evaluator, base anneal.Params, concurrent int) anne
 		if chains == 0 {
 			chains = 1
 		}
-		budget := anneal.AnchorBudget(anneal.EffectiveBatchSize(base.BatchSize), chains) * concurrent
+		// With adaptive batching the round size can grow to BatchMax, so
+		// the anchor budget must cover the largest round.
+		batch := anneal.EffectiveBatchSize(base.BatchSize)
+		if base.BatchMax > batch {
+			batch = base.BatchMax
+		}
+		budget := anneal.AnchorBudget(batch, chains) * concurrent
 		if budget > 128 {
 			budget = 128
 		}
@@ -354,43 +363,14 @@ func WarmRoot(g0 *aig.AIG) {
 // so structures revisited across grid points — starting with g0 itself,
 // which every run evaluates first — are scored once. On failure the
 // first error (by grid order) is returned as a *SweepError carrying the
-// failing point's grid coordinates.
+// failing point's grid coordinates. Sweep is the single-entry case of
+// SweepSuite.
 func Sweep(g0 *aig.AIG, ev anneal.Evaluator, lib *cell.Library, cfg SweepConfig) ([]SweepPoint, error) {
-	grid := cfg.Grid()
-	if len(grid) == 0 {
-		return nil, fmt.Errorf("flows: empty sweep grid")
+	rs, err := SweepSuite([]SuiteEntry{{G: g0, Eval: ev}}, lib, cfg)
+	if err != nil {
+		return nil, err
 	}
-	WarmRoot(g0)
-	gt := NewGroundTruth(lib)
-	pts := make([]SweepPoint, len(grid))
-	errs := make([]error, len(grid))
-	workers := runtime.GOMAXPROCS(0)
-	if workers > len(grid) {
-		workers = len(grid)
-	}
-	runEv := NewSweepStack(ev, cfg.Base, workers)
-	work := make(chan int)
-	var wg sync.WaitGroup
-	for w := 0; w < workers; w++ {
-		wg.Add(1)
-		go func() {
-			defer wg.Done()
-			for ji := range work {
-				pts[ji], errs[ji] = RunPoint(g0, runEv, gt, cfg.Base, grid[ji])
-			}
-		}()
-	}
-	for ji := range grid {
-		work <- ji
-	}
-	close(work)
-	wg.Wait()
-	for ji, err := range errs {
-		if err != nil {
-			return nil, &SweepError{Point: grid[ji], Total: len(grid), Err: err}
-		}
-	}
-	return pts, nil
+	return rs[0].Points, nil
 }
 
 // Front extracts the ground-truth (area, delay) Pareto front of a sweep.

@@ -2,7 +2,6 @@ package flows
 
 import (
 	"bytes"
-	"errors"
 	"fmt"
 	"io"
 
@@ -23,6 +22,15 @@ type ShardOptions struct {
 	// MaxAttempts bounds per-job retries after worker-side errors
 	// (0 = the shard layer's default of 3).
 	MaxAttempts int
+	// Preseed pushes merged cache records back out to workers mid-sweep
+	// so structures one worker scored are not re-evaluated by its peers;
+	// value-transparent (results are byte-identical either way), see
+	// shard.Options.Preseed.
+	Preseed bool
+	// OnJobDone, when set, is invoked as each grid point's result is
+	// merged (session job index, worker name) — a progress hook; see
+	// shard.Options.OnJobDone.
+	OnJobDone func(jobIndex int, worker string)
 	// Logf, when set, receives scheduling and failure events.
 	Logf func(format string, args ...any)
 }
@@ -33,9 +41,10 @@ type ShardOptions struct {
 // SweepConfig the returned points are bit-identical to Sweep's on every
 // deterministic field (see AppendCanonical) — grid points are seeded by
 // grid position and every evaluation layer is value-transparent, so
-// placement, retries, and worker count never change results. The base
-// AIG is shipped once per worker; every graph coming back crosses the
-// wire as an aig.EncodeDelta record against it (see the shard package).
+// placement, retries, worker count, and preseeding never change
+// results. The base AIG is shipped once per worker; every graph coming
+// back crosses the wire as an aig.EncodeDelta record against it (see
+// the shard package).
 //
 // The guiding evaluator must be one of this package's shippable kinds —
 // Proxy, *GroundTruth, or *ML (models are serialized along) — and
@@ -46,60 +55,28 @@ type ShardOptions struct {
 //
 // The returned Stats carry the transfer accounting (base vs delta
 // bytes), retry/work-stealing activity, and the cluster-wide merged
-// memo cache.
+// memo cache. SweepSharded is the single-entry case of
+// SweepSuiteSharded, which sweeps several designs and/or evaluators
+// through one worker session.
 func SweepSharded(g0 *aig.AIG, ev anneal.Evaluator, lib *cell.Library, cfg SweepConfig, opts ShardOptions) ([]SweepPoint, *shard.Stats, error) {
-	grid := cfg.Grid()
-	if len(grid) == 0 {
-		return nil, nil, fmt.Errorf("flows: empty sweep grid")
-	}
-	if cfg.Base.Recipes != nil {
-		return nil, nil, fmt.Errorf("flows: sharded sweep requires the default recipe catalog (Recipes must be nil)")
-	}
-	spec, err := evalSpecFor(ev)
+	rs, st, err := SweepSuiteSharded([]SuiteEntry{{G: g0, Eval: ev}}, lib, cfg, opts)
 	if err != nil {
-		return nil, nil, err
-	}
-	var libBytes []byte
-	if lib != cell.Builtin() {
-		var buf bytes.Buffer
-		if err := cell.WriteLibrary(&buf, lib); err != nil {
-			return nil, nil, fmt.Errorf("flows: serializing library: %w", err)
-		}
-		libBytes = buf.Bytes()
-	}
-	base := cfg.Base
-	base.BatchSize = anneal.EffectiveBatchSize(base.BatchSize)
-	rc := shard.RunConfig{Base: base, Eval: spec, Library: libBytes}
-	jobs := make([]shard.JobSpec, len(grid))
-	for i, pt := range grid {
-		jobs[i] = shard.JobSpec{
-			Index:       pt.Index,
-			DelayWeight: pt.DelayWeight, AreaWeight: pt.AreaWeight, Decay: pt.Decay,
-			SeedOffset: pt.SeedOffset,
-		}
-	}
-	results, st, err := shard.Run(g0, rc, jobs, shard.Options{
-		Conns: opts.Conns, Endpoints: opts.Endpoints,
-		MaxAttempts: opts.MaxAttempts, Logf: opts.Logf,
-	})
-	if err != nil {
-		var jfe *shard.JobFailedError
-		if errors.As(err, &jfe) {
-			return nil, st, &SweepError{
-				Point: grid[jfe.Job.Index], Total: len(grid),
-				Err: fmt.Errorf("failed on %d workers: %s", jfe.Attempts, jfe.Msg),
-			}
-		}
 		return nil, st, err
 	}
-	pts := make([]SweepPoint, len(grid))
-	for i, jr := range results {
-		pts[i] = SweepPoint{
-			DelayWeight: grid[i].DelayWeight, AreaWeight: grid[i].AreaWeight, Decay: grid[i].Decay,
-			Result: jr.Result, TrueDelayPS: jr.TrueDelayPS, TrueAreaUM2: jr.TrueAreaUM2,
-		}
+	return rs[0].Points, st, nil
+}
+
+// libraryBytes serializes a non-builtin library for the wire (nil for
+// the builtin, which workers reconstruct locally).
+func libraryBytes(lib *cell.Library) ([]byte, error) {
+	if lib == cell.Builtin() {
+		return nil, nil
 	}
-	return pts, st, nil
+	var buf bytes.Buffer
+	if err := cell.WriteLibrary(&buf, lib); err != nil {
+		return nil, fmt.Errorf("flows: serializing library: %w", err)
+	}
+	return buf.Bytes(), nil
 }
 
 // evalSpecFor maps a guiding evaluator onto the wire spec workers
@@ -165,26 +142,28 @@ func evaluatorFromSpec(spec shard.EvalSpec, lib *cell.Library) (anneal.Evaluator
 }
 
 // shardRunner executes grid points for a sweepd worker session: the
-// worker-process counterpart of Sweep's goroutine pool, built from the
-// same parts (NewSweepStack, RunPoint) so a job computes exactly what
-// it would locally. The stack persists across the session's jobs — the
-// worker-local equivalent of the sweep-wide shared cache.
+// worker-process counterpart of the suite's goroutine pool, built from
+// the same parts (NewSweepStack, RunPoint) so a job computes exactly
+// what it would locally. Every session entry gets its own evaluation
+// stack — caches never mix metrics from different guiding evaluators —
+// and each stack persists across the session's jobs, the worker-local
+// equivalent of the sweep-wide shared cache.
 type shardRunner struct {
 	base     anneal.Params
-	stack    anneal.Evaluator
+	stacks   []anneal.Evaluator
 	gt       *GroundTruth
 	warmed   map[*aig.AIG]bool
-	cacheSeq int // ExportSince high-water mark
+	cacheSeq []int // per-entry ExportSince high-water marks
 }
 
 // NewShardRunner returns the production shard.Runner used by
-// cmd/sweepd. Each worker session gets its own runner (its own cache
-// and incremental stack).
+// cmd/sweepd. Each worker session gets its own runner (its own caches
+// and incremental stacks).
 func NewShardRunner() shard.Runner { return &shardRunner{warmed: make(map[*aig.AIG]bool)} }
 
-// Configure implements shard.Runner: it reconstructs the guiding
-// evaluator and library from the wire config and builds the session's
-// evaluation stack.
+// Configure implements shard.Runner: it reconstructs the library and
+// each entry's guiding evaluator from the wire config and builds one
+// evaluation stack per entry.
 func (r *shardRunner) Configure(cfg shard.RunConfig) error {
 	lib := cell.Builtin()
 	if len(cfg.Library) > 0 {
@@ -194,20 +173,24 @@ func (r *shardRunner) Configure(cfg shard.RunConfig) error {
 		}
 		lib = l
 	}
-	ev, err := evaluatorFromSpec(cfg.Eval, lib)
-	if err != nil {
-		return err
-	}
 	r.base = cfg.Base
-	r.stack = NewSweepStack(ev, cfg.Base, 1)
+	r.stacks = make([]anneal.Evaluator, len(cfg.Entries))
+	r.cacheSeq = make([]int, len(cfg.Entries))
+	for i, e := range cfg.Entries {
+		ev, err := evaluatorFromSpec(e.Eval, lib)
+		if err != nil {
+			return err
+		}
+		r.stacks[i] = NewSweepStack(ev, cfg.Base, 1)
+	}
 	r.gt = NewGroundTruth(lib)
 	return nil
 }
 
 // Run implements shard.Runner.
 func (r *shardRunner) Run(base *aig.AIG, job shard.JobSpec) (*shard.WorkResult, error) {
-	if r.stack == nil {
-		return nil, fmt.Errorf("flows: shard runner not configured")
+	if job.Entry < 0 || job.Entry >= len(r.stacks) {
+		return nil, fmt.Errorf("flows: shard runner not configured for entry %d", job.Entry)
 	}
 	if !r.warmed[base] {
 		WarmRoot(base)
@@ -218,22 +201,61 @@ func (r *shardRunner) Run(base *aig.AIG, job shard.JobSpec) (*shard.WorkResult, 
 		DelayWeight: job.DelayWeight, AreaWeight: job.AreaWeight, Decay: job.Decay,
 		SeedOffset: job.SeedOffset,
 	}
-	sp, err := RunPoint(base, r.stack, r.gt, r.base, pt)
+	sp, err := RunPoint(base, r.stacks[job.Entry], r.gt, r.base, pt)
 	if err != nil {
 		return nil, err
 	}
 	return &shard.WorkResult{Result: sp.Result, TrueDelayPS: sp.TrueDelayPS, TrueAreaUM2: sp.TrueAreaUM2}, nil
 }
 
-// CacheSnapshot implements shard.Runner, exporting the session stack's
+// CacheSnapshot implements shard.Runner, exporting one entry stack's
 // memo records added since the previous call for coordinator-side
-// merging.
-func (r *shardRunner) CacheSnapshot() []eval.CacheRecord {
-	c, ok := r.stack.(*eval.Cached)
+// merging. Records adopted from preseeds never appear (they enter the
+// cache outside its insert log), so a worker only ever exports what it
+// evaluated itself.
+func (r *shardRunner) CacheSnapshot(entry int) []eval.CacheRecord {
+	c, ok := r.entryCache(entry)
 	if !ok {
 		return nil
 	}
-	recs, seq := c.ExportSince(r.cacheSeq)
-	r.cacheSeq = seq
+	recs, seq := c.ExportSince(r.cacheSeq[entry])
+	r.cacheSeq[entry] = seq
 	return recs
+}
+
+// Preseed implements shard.Runner, installing coordinator-pushed merged
+// records behind the entry cache's prefilter.
+func (r *shardRunner) Preseed(entry int, recs []eval.CacheRecord) {
+	if c, ok := r.entryCache(entry); ok {
+		c.ImportRecords(recs)
+	}
+}
+
+// CacheStats implements shard.Runner, summing the session's cache
+// counters over all entry stacks.
+func (r *shardRunner) CacheStats() eval.CacheStats {
+	var s eval.CacheStats
+	for i := range r.stacks {
+		if c, ok := r.entryCache(i); ok {
+			cs := c.Stats()
+			s.Hits += cs.Hits
+			s.Misses += cs.Misses
+			s.Entries += cs.Entries
+			s.Evictions += cs.Evictions
+			s.Preseeded += cs.Preseeded
+			s.PrefilterHits += cs.PrefilterHits
+			s.PrefilterRejected += cs.PrefilterRejected
+		}
+	}
+	return s
+}
+
+// entryCache returns entry's stack as a *eval.Cached when it has one
+// (cheap evaluators run uncached).
+func (r *shardRunner) entryCache(entry int) (*eval.Cached, bool) {
+	if entry < 0 || entry >= len(r.stacks) {
+		return nil, false
+	}
+	c, ok := r.stacks[entry].(*eval.Cached)
+	return c, ok
 }

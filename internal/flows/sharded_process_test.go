@@ -122,9 +122,9 @@ func TestSweepShardedRealProcesses(t *testing.T) {
 	if st.WorkerLosses != 0 || st.Requeues != 0 || st.Retries != 0 {
 		t.Fatalf("clean run reported failures: %+v", st)
 	}
-	if len(st.MergedCache) == 0 || st.CacheDuplicates == 0 {
+	if st.MergedStructures() == 0 || st.CacheDuplicates == 0 {
 		t.Fatalf("expected a merged cache with cross-process duplicates (both workers score the root): records=%d merged=%d dup=%d",
-			st.CacheRecords, len(st.MergedCache), st.CacheDuplicates)
+			st.CacheRecords, st.MergedStructures(), st.CacheDuplicates)
 	}
 }
 
@@ -167,5 +167,103 @@ func TestSweepShardedProcessCrash(t *testing.T) {
 	}
 	if done != 2 || st.Requeues != 2 {
 		t.Fatalf("expected 2 completed jobs and 2 requeues, got %d and %d", done, st.Requeues)
+	}
+}
+
+// TestSweepSuiteShardedRealProcesses is the acceptance test of the
+// session protocol over real workers: a two-design, three-entry suite
+// (one design swept under two evaluators — the sec2b shape) through one
+// session per worker process, byte-identical per entry to local
+// execution, with each distinct base transferred exactly once per
+// worker and preseeding active.
+func TestSweepSuiteShardedRealProcesses(t *testing.T) {
+	if testing.Short() {
+		t.Skip("spawns worker processes")
+	}
+	addrs := []string{startSweepd(t), startSweepd(t)}
+
+	gA, gB := testAIG(33), testAIG(34)
+	lib := cell.Builtin()
+	cfg := shardTestSweepConfig(41)
+	entries := []SuiteEntry{
+		{Name: "A-baseline", G: gA, Eval: Proxy{}},
+		{Name: "A-gt", G: gA, Eval: NewGroundTruth(lib)},
+		{Name: "B-gt", G: gB, Eval: NewGroundTruth(lib)},
+	}
+	want, err := SweepSuite(entries, lib, cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	got, st, err := SweepSuiteSharded(entries, lib, cfg, ShardOptions{
+		Endpoints: addrs, Preseed: true, Logf: t.Logf,
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	for e := range entries {
+		if !bytes.Equal(CanonicalizeSweep(want[e].Points), CanonicalizeSweep(got[e].Points)) {
+			t.Fatalf("entry %q differs between local suite and 2-process session", entries[e].Name)
+		}
+	}
+	if st.BaseSends != 4 {
+		t.Fatalf("base sends = %d, want 4 (2 distinct bases x 2 worker processes)", st.BaseSends)
+	}
+	if st.DeltaRecords != len(cfg.Grid())*len(entries) {
+		t.Fatalf("delta records = %d, want %d", st.DeltaRecords, len(cfg.Grid())*len(entries))
+	}
+	if st.WorkerLosses != 0 || st.Requeues != 0 || st.Retries != 0 {
+		t.Fatalf("clean run reported failures: %+v", st)
+	}
+	t.Logf("suite transfers: base %d B, delta %d B, seeds %d records / %d B; duplicates %d, prefilter hits %d (rejected %d)",
+		st.BaseBytes, st.DeltaBytes, st.SeedRecords, st.SeedBytes, st.CacheDuplicates, st.PrefilterHits, st.PrefilterRejected)
+}
+
+// TestSweepSuiteShardedProcessCrashRequeues kills a real worker process
+// mid-suite (-max-jobs crash with a job in flight) and asserts the
+// session requeues cleanly: the surviving worker finishes the suite and
+// every entry stays byte-identical to the local reference.
+func TestSweepSuiteShardedProcessCrashRequeues(t *testing.T) {
+	if testing.Short() {
+		t.Skip("spawns worker processes")
+	}
+	addrs := []string{
+		startSweepd(t, "-max-jobs", "2"),
+		startSweepd(t),
+	}
+	gA, gB := testAIG(35), testAIG(36)
+	lib := cell.Builtin()
+	cfg := shardTestSweepConfig(43)
+	entries := []SuiteEntry{
+		{Name: "A", G: gA, Eval: Proxy{}},
+		{Name: "B", G: gB, Eval: Proxy{}},
+	}
+	want, err := SweepSuite(entries, lib, cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	got, st, err := SweepSuiteSharded(entries, lib, cfg, ShardOptions{
+		Endpoints: addrs, Preseed: true, Logf: t.Logf,
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	for e := range entries {
+		if !bytes.Equal(CanonicalizeSweep(want[e].Points), CanonicalizeSweep(got[e].Points)) {
+			t.Fatalf("entry %q differs after mid-suite process crash", entries[e].Name)
+		}
+	}
+	if st.WorkerLosses != 1 {
+		t.Fatalf("worker losses = %d, want 1", st.WorkerLosses)
+	}
+	if st.Requeues != 1 {
+		t.Fatalf("requeues = %d, want 1 (the in-flight job at the crash)", st.Requeues)
+	}
+	total := len(cfg.Grid()) * len(entries)
+	done := 0
+	for _, w := range st.Workers {
+		done += w.Jobs
+	}
+	if done != total {
+		t.Fatalf("completed %d jobs, want %d", done, total)
 	}
 }

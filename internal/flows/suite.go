@@ -1,0 +1,206 @@
+package flows
+
+import (
+	"errors"
+	"fmt"
+	"runtime"
+	"sync"
+
+	"aigtimer/internal/aig"
+	"aigtimer/internal/anneal"
+	"aigtimer/internal/cell"
+	"aigtimer/internal/shard"
+)
+
+// SuiteEntry is one sweep of a suite run: a display name (used in
+// errors and reports), the base graph, and the evaluator guiding its
+// sweep. Entries are independent sweeps — the same grid is run for each
+// — that share one execution session: one worker pool locally, or one
+// shard-protocol session (worker startup, connection, and base
+// transfers paid once) when sharded. Several entries may share a graph
+// (the same design swept under different evaluators, as in the §II-B
+// study) or an evaluator (a benchmark suite swept under one flow).
+type SuiteEntry struct {
+	Name string
+	G    *aig.AIG
+	Eval anneal.Evaluator
+}
+
+// SuiteResult is one entry's sweep outcome, in the entry order of the
+// suite call.
+type SuiteResult struct {
+	Name   string
+	Points []SweepPoint
+}
+
+// suiteJob is one unit of suite work: the entry it belongs to, its
+// session-unique result slot (entry-major), and the grid point to run.
+type suiteJob struct {
+	Entry int
+	Slot  int
+	Point GridPoint
+}
+
+// suiteJobList flattens entries × grid into the canonical session job
+// order — entry-major, grid order within an entry — shared by the local
+// pool and the sharded driver, so both report results in the same
+// slots whatever schedule executed them.
+func suiteJobList(numEntries int, grid []GridPoint) []suiteJob {
+	jobs := make([]suiteJob, 0, numEntries*len(grid))
+	for e := 0; e < numEntries; e++ {
+		for _, pt := range grid {
+			jobs = append(jobs, suiteJob{Entry: e, Slot: len(jobs), Point: pt})
+		}
+	}
+	return jobs
+}
+
+// SweepSuite runs the sweep grid for every entry on one local worker
+// pool. Per entry the results are bit-identical to a standalone
+// Sweep(entry.G, entry.Eval, lib, cfg): every entry gets its own
+// evaluation stack (memo caches never mix metrics from different
+// evaluators) and every grid point derives its seed from grid position,
+// so sharing the pool changes scheduling, never values. On failure the
+// first error in suite job order is returned as a *SweepError carrying
+// the entry name and grid coordinates.
+func SweepSuite(entries []SuiteEntry, lib *cell.Library, cfg SweepConfig) ([]SuiteResult, error) {
+	grid := cfg.Grid()
+	if len(grid) == 0 {
+		return nil, fmt.Errorf("flows: empty sweep grid")
+	}
+	if len(entries) == 0 {
+		return nil, fmt.Errorf("flows: empty suite")
+	}
+	jobs := suiteJobList(len(entries), grid)
+	workers := runtime.GOMAXPROCS(0)
+	if workers > len(jobs) {
+		workers = len(jobs)
+	}
+	gt := NewGroundTruth(lib)
+	stacks := make([]anneal.Evaluator, len(entries))
+	for e, ent := range entries {
+		WarmRoot(ent.G)
+		stacks[e] = NewSweepStack(ent.Eval, cfg.Base, workers)
+	}
+	pts := make([]SweepPoint, len(jobs))
+	errs := make([]error, len(jobs))
+	work := make(chan int)
+	var wg sync.WaitGroup
+	for w := 0; w < workers; w++ {
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			for ji := range work {
+				j := jobs[ji]
+				pts[j.Slot], errs[j.Slot] = RunPoint(entries[j.Entry].G, stacks[j.Entry], gt, cfg.Base, j.Point)
+			}
+		}()
+	}
+	for ji := range jobs {
+		work <- ji
+	}
+	close(work)
+	wg.Wait()
+	for _, j := range jobs {
+		if err := errs[j.Slot]; err != nil {
+			return nil, &SweepError{Design: entries[j.Entry].Name, Point: j.Point, Total: len(grid), Err: err}
+		}
+	}
+	return packSuite(entries, grid, func(slot int) SweepPoint { return pts[slot] }), nil
+}
+
+// SweepSuiteSharded runs the sweep grid for every entry across sweepd
+// worker processes through one shard-protocol session: each worker is
+// connected and configured once, each distinct base graph crosses the
+// wire once per worker, and all entries' grid points share the session's
+// work-stealing schedule. Per entry the returned points are
+// bit-identical to a standalone SweepSharded (and therefore to a local
+// Sweep) of the same configuration.
+//
+// With opts.Preseed the coordinator pushes each entry's merged cache
+// records back out to workers mid-sweep, so structures one worker
+// already scored are not re-evaluated by its peers; preseeding is
+// value-transparent (see shard.Options.Preseed) and its effect shows up
+// in the returned Stats (SeedRecords, PrefilterHits, and a lower
+// CacheDuplicates), never in the results.
+func SweepSuiteSharded(entries []SuiteEntry, lib *cell.Library, cfg SweepConfig, opts ShardOptions) ([]SuiteResult, *shard.Stats, error) {
+	grid := cfg.Grid()
+	if len(grid) == 0 {
+		return nil, nil, fmt.Errorf("flows: empty sweep grid")
+	}
+	if len(entries) == 0 {
+		return nil, nil, fmt.Errorf("flows: empty suite")
+	}
+	if cfg.Base.Recipes != nil {
+		return nil, nil, fmt.Errorf("flows: sharded sweep requires the default recipe catalog (Recipes must be nil)")
+	}
+	var bases []*aig.AIG
+	baseOf := make(map[*aig.AIG]int)
+	specs := make([]shard.EntrySpec, len(entries))
+	for e, ent := range entries {
+		spec, err := evalSpecFor(ent.Eval)
+		if err != nil {
+			return nil, nil, fmt.Errorf("flows: suite entry %q: %w", ent.Name, err)
+		}
+		bi, ok := baseOf[ent.G]
+		if !ok {
+			bi = len(bases)
+			bases = append(bases, ent.G)
+			baseOf[ent.G] = bi
+		}
+		specs[e] = shard.EntrySpec{Base: bi, Eval: spec}
+	}
+	libBytes, err := libraryBytes(lib)
+	if err != nil {
+		return nil, nil, err
+	}
+	base := cfg.Base
+	base.BatchSize = anneal.EffectiveBatchSize(base.BatchSize)
+	rc := shard.RunConfig{Base: base, Entries: specs, Library: libBytes}
+	sj := suiteJobList(len(entries), grid)
+	jobs := make([]shard.JobSpec, len(sj))
+	for i, j := range sj {
+		jobs[i] = shard.JobSpec{
+			Entry: j.Entry, Index: j.Slot,
+			DelayWeight: j.Point.DelayWeight, AreaWeight: j.Point.AreaWeight, Decay: j.Point.Decay,
+			SeedOffset: j.Point.SeedOffset,
+		}
+	}
+	results, st, err := shard.Run(bases, rc, jobs, shard.Options{
+		Conns: opts.Conns, Endpoints: opts.Endpoints,
+		MaxAttempts: opts.MaxAttempts, Preseed: opts.Preseed,
+		OnJobDone: opts.OnJobDone, Logf: opts.Logf,
+	})
+	if err != nil {
+		var jfe *shard.JobFailedError
+		if errors.As(err, &jfe) {
+			j := sj[jfe.Job.Index]
+			return nil, st, &SweepError{
+				Design: entries[j.Entry].Name, Point: j.Point, Total: len(grid),
+				Err: fmt.Errorf("failed on %d workers: %s", jfe.Attempts, jfe.Msg),
+			}
+		}
+		return nil, st, err
+	}
+	return packSuite(entries, grid, func(slot int) SweepPoint {
+		jr := results[slot]
+		pt := sj[slot].Point
+		return SweepPoint{
+			DelayWeight: pt.DelayWeight, AreaWeight: pt.AreaWeight, Decay: pt.Decay,
+			Result: jr.Result, TrueDelayPS: jr.TrueDelayPS, TrueAreaUM2: jr.TrueAreaUM2,
+		}
+	}), st, nil
+}
+
+// packSuite groups per-slot sweep points back into entry order.
+func packSuite(entries []SuiteEntry, grid []GridPoint, point func(slot int) SweepPoint) []SuiteResult {
+	out := make([]SuiteResult, len(entries))
+	for e := range entries {
+		pts := make([]SweepPoint, len(grid))
+		for i := range grid {
+			pts[i] = point(e*len(grid) + i)
+		}
+		out[e] = SuiteResult{Name: entries[e].Name, Points: pts}
+	}
+	return out
+}

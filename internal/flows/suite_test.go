@@ -1,0 +1,326 @@
+package flows
+
+import (
+	"bytes"
+	"io"
+	"strings"
+	"sync"
+	"testing"
+
+	"aigtimer/internal/cell"
+	"aigtimer/internal/shard"
+)
+
+// TestSweepSuiteLocalMatchesSweep: a local suite run shares one pool
+// across entries but must be byte-identical, per entry, to standalone
+// Sweep calls — including when entries share a graph or an evaluator.
+func TestSweepSuiteLocalMatchesSweep(t *testing.T) {
+	gA, gB := testAIG(51), testAIG(52)
+	lib := cell.Builtin()
+	cfg := shardTestSweepConfig(17)
+	entries := []SuiteEntry{
+		{Name: "A-baseline", G: gA, Eval: Proxy{}},
+		{Name: "B-gt", G: gB, Eval: NewGroundTruth(lib)},
+		{Name: "A-gt", G: gA, Eval: NewGroundTruth(lib)},
+	}
+	suite, err := SweepSuite(entries, lib, cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for e, ent := range entries {
+		solo, err := Sweep(ent.G, ent.Eval, lib, cfg)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if suite[e].Name != ent.Name {
+			t.Fatalf("entry %d name %q, want %q", e, suite[e].Name, ent.Name)
+		}
+		if !bytes.Equal(CanonicalizeSweep(solo), CanonicalizeSweep(suite[e].Points)) {
+			t.Fatalf("entry %q differs between suite and standalone sweep", ent.Name)
+		}
+	}
+}
+
+// TestSweepSuiteShardedByteIdentical is acceptance test (a) of the
+// session protocol: a multi-entry suite through one sharded session
+// must be byte-identical, per entry, to sequential per-design
+// SweepSharded runs (which are themselves byte-identical to local
+// Sweep), while each distinct base crosses the wire exactly once per
+// worker.
+func TestSweepSuiteShardedByteIdentical(t *testing.T) {
+	gA, gB := testAIG(53), testAIG(54)
+	lib := cell.Builtin()
+	cfg := shardTestSweepConfig(19)
+	entries := []SuiteEntry{
+		{Name: "A-baseline", G: gA, Eval: Proxy{}},
+		{Name: "B-gt", G: gB, Eval: NewGroundTruth(lib)},
+		{Name: "A-gt", G: gA, Eval: NewGroundTruth(lib)},
+	}
+
+	conns, wait := loopbackWorkers(2)
+	suite, st, err := SweepSuiteSharded(entries, lib, cfg, ShardOptions{Conns: conns, Preseed: true})
+	if err != nil {
+		t.Fatal(err)
+	}
+	wait()
+
+	for _, ent := range entries {
+		conns, wait := loopbackWorkers(2)
+		solo, _, err := SweepSharded(ent.G, ent.Eval, lib, cfg, ShardOptions{Conns: conns})
+		if err != nil {
+			t.Fatal(err)
+		}
+		wait()
+		var got []SweepPoint
+		for e := range entries {
+			if entries[e].Name == ent.Name {
+				got = suite[e].Points
+			}
+		}
+		if !bytes.Equal(CanonicalizeSweep(solo), CanonicalizeSweep(got)) {
+			t.Fatalf("entry %q differs between suite session and per-design SweepSharded", ent.Name)
+		}
+	}
+
+	// Two distinct bases (gA shared by two entries), two workers: each
+	// base exactly once per worker.
+	if st.BaseSends != 4 {
+		t.Fatalf("base sends = %d, want 4 (2 distinct bases x 2 workers)", st.BaseSends)
+	}
+	if len(st.MergedCaches) != len(entries) {
+		t.Fatalf("merged caches = %d, want one per entry", len(st.MergedCaches))
+	}
+	// The proxy entry is uncached (cheap evaluator): no records; both
+	// ground-truth entries must have merged structures.
+	if len(st.MergedCaches[0]) != 0 {
+		t.Fatalf("cheap entry exported %d records", len(st.MergedCaches[0]))
+	}
+	if len(st.MergedCaches[1]) == 0 || len(st.MergedCaches[2]) == 0 {
+		t.Fatalf("ground-truth entries merged nothing: %d/%d",
+			len(st.MergedCaches[1]), len(st.MergedCaches[2]))
+	}
+}
+
+// writeHookConn invokes a callback with the 1-based index of every
+// Write, letting a test stall specific coordinator flushes to force a
+// deterministic cross-worker schedule.
+type writeHookConn struct {
+	io.ReadWriteCloser
+	mu          sync.Mutex
+	writes      int
+	beforeWrite func(n int)
+}
+
+func (c *writeHookConn) Write(p []byte) (int, error) {
+	c.mu.Lock()
+	c.writes++
+	n := c.writes
+	c.mu.Unlock()
+	if c.beforeWrite != nil {
+		c.beforeWrite(n)
+	}
+	return c.ReadWriteCloser.Write(p)
+}
+
+// TestSweepShardedPreseedDifferential is acceptance test (b) over the
+// production runner: a sharded ground-truth sweep with preseeding on
+// must stay byte-identical to the local reference (zero wrong scores),
+// report prefilter hits, and recover cross-worker duplicates. The
+// schedule is forced — worker 0 completes two grid points and stalls
+// with a third dispatched, worker 1 is released only after those two
+// results merged, and worker 0's stall lifts once worker 1's point is
+// in — so worker 1 serves exactly one grid point whose dispatch carried
+// every earlier record: its first evaluation (the shared root g0) must
+// be a prefilter hit, where the preseed-off run under the same schedule
+// makes that same record a cross-worker duplicate.
+func TestSweepShardedPreseedDifferential(t *testing.T) {
+	g := testAIG(55)
+	lib := cell.Builtin()
+	cfg := shardTestSweepConfig(23)
+	local, err := Sweep(g, NewGroundTruth(lib), lib, cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+
+	run := func(preseed bool) *shard.Stats {
+		var mu sync.Mutex
+		cond := sync.NewCond(&mu)
+		done := 0
+		waitDone := func(k int) {
+			mu.Lock()
+			for done < k {
+				cond.Wait()
+			}
+			mu.Unlock()
+		}
+		onDone := func(int, string) {
+			mu.Lock()
+			done++
+			mu.Unlock()
+			cond.Broadcast()
+		}
+		conns, wait := loopbackWorkers(2)
+		// Worker 0 flushes: #1 config+base, #2 and #3 its first two grid
+		// points; the third dispatch (#4) is held until worker 1's point
+		// is merged. Worker 1's session starts (flush #1) only after two
+		// of worker 0's results merged, so its dispatch carries their
+		// records.
+		conns[0] = &writeHookConn{ReadWriteCloser: conns[0], beforeWrite: func(n int) {
+			if n == 4 {
+				waitDone(3)
+			}
+		}}
+		conns[1] = &writeHookConn{ReadWriteCloser: conns[1], beforeWrite: func(n int) {
+			if n == 1 {
+				waitDone(2)
+			}
+		}}
+		pts, st, err := SweepSharded(g, NewGroundTruth(lib), lib, cfg, ShardOptions{
+			Conns: conns, Preseed: preseed, OnJobDone: onDone,
+		})
+		if err != nil {
+			t.Fatal(err)
+		}
+		wait()
+		if !bytes.Equal(CanonicalizeSweep(local), CanonicalizeSweep(pts)) {
+			t.Fatalf("preseed=%v: sharded sweep differs from local reference", preseed)
+		}
+		if st.Workers[0].Jobs != 3 || st.Workers[1].Jobs != 1 {
+			t.Fatalf("schedule not forced: %+v", st.Workers)
+		}
+		return st
+	}
+
+	off := run(false)
+	on := run(true)
+	if off.CacheDuplicates == 0 {
+		t.Fatal("forced schedule produced no duplicates with preseeding off")
+	}
+	if on.PrefilterHits == 0 || on.SeedRecords == 0 {
+		t.Fatalf("preseed run shows no prefilter activity: hits=%d seeds=%d", on.PrefilterHits, on.SeedRecords)
+	}
+	// PrefilterRejected may be nonzero: annealing produces
+	// fingerprint-sharing functional twins, and rejecting their records
+	// (instead of answering with them) is exactly the guard under test —
+	// byte-identity above is the assertion that matters.
+	if on.CacheDuplicates >= off.CacheDuplicates {
+		t.Fatalf("preseeding did not lower duplicates: on=%d off=%d", on.CacheDuplicates, off.CacheDuplicates)
+	}
+}
+
+// TestSweepSuiteShardedWorkerLoss is acceptance test (c) in loopback
+// form: a worker dying mid-suite (transport severed with a job in
+// flight) must requeue cleanly and leave every entry byte-identical to
+// its local reference.
+func TestSweepSuiteShardedWorkerLoss(t *testing.T) {
+	gA, gB := testAIG(56), testAIG(57)
+	lib := cell.Builtin()
+	cfg := shardTestSweepConfig(29)
+	entries := []SuiteEntry{
+		{Name: "A", G: gA, Eval: Proxy{}},
+		{Name: "B", G: gB, Eval: Proxy{}},
+	}
+	want, err := SweepSuite(entries, lib, cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	conns, wait := loopbackWorkers(2)
+	gate := make(chan struct{})
+	// Worker 0: flush #1 carries config+bases, #2 the first job; dying
+	// on #3 strands its second job mid-suite. The kill opens the gate
+	// for worker 1, which then serves the whole remainder.
+	conns[0] = &killOnWrite{ReadWriteCloser: conns[0], allow: 2, onKill: func() { close(gate) }}
+	conns[1] = &gatedConn{ReadWriteCloser: conns[1], gate: gate}
+	got, st, err := SweepSuiteSharded(entries, lib, cfg, ShardOptions{Conns: conns, Preseed: true})
+	if err != nil {
+		t.Fatal(err)
+	}
+	wait()
+	for e := range entries {
+		if !bytes.Equal(CanonicalizeSweep(want[e].Points), CanonicalizeSweep(got[e].Points)) {
+			t.Fatalf("entry %q differs after mid-suite worker loss", entries[e].Name)
+		}
+	}
+	if st.WorkerLosses != 1 || st.Requeues != 1 {
+		t.Fatalf("expected one lost worker with one requeued job: %+v", st)
+	}
+	total := len(cfg.Grid()) * len(entries)
+	if st.Workers[1].Jobs != total-1 {
+		t.Fatalf("survivor finished %d jobs, want %d: %+v", st.Workers[1].Jobs, total-1, st.Workers)
+	}
+}
+
+// Suite entries with unshippable evaluators are rejected with the entry
+// named.
+func TestSweepSuiteShardedRejectsUnshippableEntry(t *testing.T) {
+	g := testAIG(58)
+	conns, wait := loopbackWorkers(1)
+	defer wait()
+	for _, c := range conns {
+		defer c.Close()
+	}
+	_, _, err := SweepSuiteSharded([]SuiteEntry{
+		{Name: "ok", G: g, Eval: Proxy{}},
+		{Name: "broken", G: g, Eval: brokenEval{}},
+	}, cell.Builtin(), shardTestSweepConfig(1), ShardOptions{Conns: conns})
+	if err == nil || !strings.Contains(err.Error(), "broken") {
+		t.Fatalf("unshippable suite entry accepted or unnamed: %v", err)
+	}
+}
+
+// TestSuiteEntryIsolation: two entries sweeping the same graph under
+// different evaluators through one session must each match their
+// standalone sweeps — the per-entry cache scoping is what prevents one
+// evaluator's metrics from answering the other's lookups (this is the
+// wrongness story preseeding inherits: records never cross entries).
+func TestSuiteEntryIsolation(t *testing.T) {
+	g := testAIG(59)
+	lib := cell.Builtin()
+	ml := trainTinyML(t, g)
+	ml.AreaPerNode = false
+	cfg := shardTestSweepConfig(31)
+	cfg.AreaWeights = []float64{0.5}
+	entries := []SuiteEntry{
+		{Name: "gt", G: g, Eval: NewGroundTruth(lib)},
+		{Name: "ml", G: g, Eval: ml},
+	}
+	conns, wait := loopbackWorkers(2)
+	suite, _, err := SweepSuiteSharded(entries, lib, cfg, ShardOptions{Conns: conns, Preseed: true})
+	if err != nil {
+		t.Fatal(err)
+	}
+	wait()
+	for e, ent := range entries {
+		solo, err := Sweep(ent.G, ent.Eval, lib, cfg)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if !bytes.Equal(CanonicalizeSweep(solo), CanonicalizeSweep(suite[e].Points)) {
+			t.Fatalf("entry %q polluted by the other evaluator's session state", ent.Name)
+		}
+	}
+}
+
+// TestSweepSuiteAdaptiveBatchSharded: adaptive batch bounds travel the
+// wire and remain value-transparent — a sharded adaptive suite matches
+// the local adaptive suite byte for byte.
+func TestSweepSuiteAdaptiveBatchSharded(t *testing.T) {
+	g := testAIG(60)
+	lib := cell.Builtin()
+	cfg := shardTestSweepConfig(37)
+	cfg.Base.BatchMin, cfg.Base.BatchMax = 1, 8
+	entries := []SuiteEntry{{Name: "gt", G: g, Eval: NewGroundTruth(lib)}}
+	want, err := SweepSuite(entries, lib, cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	conns, wait := loopbackWorkers(2)
+	got, _, err := SweepSuiteSharded(entries, lib, cfg, ShardOptions{Conns: conns, Preseed: true})
+	if err != nil {
+		t.Fatal(err)
+	}
+	wait()
+	if !bytes.Equal(CanonicalizeSweep(want[0].Points), CanonicalizeSweep(got[0].Points)) {
+		t.Fatal("adaptive-batch sharded suite differs from local")
+	}
+}

@@ -33,6 +33,19 @@ type Options struct {
 	// job until the sweep is cancelled, so set this when job durations
 	// are predictable.
 	JobTimeout time.Duration
+	// OnJobDone, when set, is invoked after each job's result has been
+	// decoded and merged (with the job's session index and the name of
+	// the worker that computed it) — a progress hook for UIs and tests.
+	// It may be called concurrently from several worker goroutines.
+	OnJobDone func(jobIndex int, worker string)
+	// Preseed pushes merged cache records back out to workers mid-sweep:
+	// before each job dispatch, the worker receives every record of the
+	// job's entry that other workers contributed and it has not seen,
+	// installed behind the worker cache's prefilter
+	// (eval.Cached.ImportRecords). Results are unchanged — the prefilter
+	// only skips oracle work — but cross-worker duplicate evaluations
+	// (Stats.CacheDuplicates) drop.
+	Preseed bool
 	// Logf, when set, receives progress and failure events.
 	Logf func(format string, args ...any)
 }
@@ -42,14 +55,20 @@ type WorkerStats struct {
 	Name string // endpoint address, or "conn#i" for pre-established transports
 	Jobs int    // results this worker delivered
 	Lost bool   // session ended by a transport failure
+
+	// Session-cumulative preseed counters reported by the worker with
+	// its last result: oracle evaluations skipped by pushed records, and
+	// pushed records rejected as witnessed fingerprint collisions.
+	PrefilterHits     int64
+	PrefilterRejected int64
 }
 
 // Stats is the coordinator's accounting of one run: the transfer split
-// the warm-handoff design is judged by (one base send per worker, delta
-// records for everything else), the retry/work-stealing activity, and
-// the cluster-wide memo-cache merge.
+// the warm-handoff design is judged by (one send per base per worker,
+// delta records for everything else), the retry/work-stealing activity,
+// the cluster-wide memo-cache merge, and the preseed traffic.
 type Stats struct {
-	BaseSends    int   // base-graph transfers (one per worker session)
+	BaseSends    int   // base-graph transfers (bases × worker sessions)
 	BaseBytes    int64 // bytes of those transfers
 	DeltaRecords int   // graphs received as delta records
 	DeltaBytes   int64 // bytes of those records
@@ -61,17 +80,39 @@ type Stats struct {
 	BytesSent     int64 // total transport bytes, coordinator -> workers
 	BytesReceived int64 // total transport bytes, workers -> coordinator
 
-	// MergedCache is the cluster-wide memo view: structural fingerprint
-	// -> metrics, merged from every worker's exported cache records
-	// (eval.CacheRecord). CacheDuplicates counts records whose
-	// fingerprint another worker had already contributed — the measure
-	// of cross-shard redundant evaluation a future record-preseeding
-	// optimization would recover.
-	MergedCache     map[uint64]eval.Metrics
+	// MergedCaches is the cluster-wide memo view, one map (structure
+	// identity, eval.CacheKey -> metrics) per session entry — metrics
+	// from different guiding evaluators are not interchangeable, so
+	// records never merge across entries. CacheRecords counts all
+	// records received; CacheDuplicates counts records whose structure
+	// another worker had already contributed to the same entry — the
+	// measure of cross-shard redundant evaluation that Options.Preseed
+	// recovers.
+	MergedCaches    []map[eval.CacheKey]eval.Metrics
 	CacheRecords    int
 	CacheDuplicates int
 
+	// Preseed traffic: pushes sent, records they carried, and their
+	// payload bytes (also included in BytesSent).
+	SeedPushes  int
+	SeedRecords int
+	SeedBytes   int64
+
+	// Fleet-wide preseed effect, summed over WorkerStats.
+	PrefilterHits     int64
+	PrefilterRejected int64
+
 	Workers []WorkerStats
+}
+
+// MergedStructures returns the number of distinct evaluated structures
+// across all entries' merged caches.
+func (s *Stats) MergedStructures() int {
+	n := 0
+	for _, m := range s.MergedCaches {
+		n += len(m)
+	}
+	return n
 }
 
 // JobFailedError reports a job whose execution attempts were exhausted;
@@ -85,8 +126,8 @@ type JobFailedError struct {
 
 // Error implements error.
 func (e *JobFailedError) Error() string {
-	return fmt.Sprintf("shard: job %d (w_delay=%g w_area=%g decay=%g) failed after %d attempts: %s",
-		e.Job.Index, e.Job.DelayWeight, e.Job.AreaWeight, e.Job.Decay, e.Attempts, e.Msg)
+	return fmt.Sprintf("shard: job %d of entry %d (w_delay=%g w_area=%g decay=%g) failed after %d attempts: %s",
+		e.Job.Index, e.Job.Entry, e.Job.DelayWeight, e.Job.AreaWeight, e.Job.Decay, e.Attempts, e.Msg)
 }
 
 // meter counts raw transport bytes in both directions.
@@ -206,22 +247,24 @@ func (s *sched) workerDead(id int) (remainingWorkers int) {
 	return n
 }
 
-// Run partitions jobs across the optioned workers and merges their
-// results deterministically: the returned slice is indexed in the order
-// of the jobs argument regardless of which worker computed what, and —
-// because every job is executed at the same parameters over value-
-// transparent evaluation stacks — its contents match a local execution
-// of the same jobs bit for bit.
+// Run executes the session's jobs across the optioned workers and
+// merges their results deterministically: the returned slice is indexed
+// in the order of the jobs argument regardless of which worker computed
+// what, and — because every job is executed at the same parameters over
+// value-transparent evaluation stacks — its contents match a local
+// execution of the same jobs bit for bit (preseeding included: a pushed
+// record only ever skips an oracle call whose result it already is).
 //
-// The base graph is shipped once per worker session; every graph coming
-// back travels as an aig.EncodeDelta record against it (warm handoff).
-// Workers pull jobs one at a time, so load balance emerges from speed
-// (work stealing); a lost worker's in-flight job is requeued elsewhere,
-// and a job a worker reports failed is retried on other workers up to
+// Every base graph is shipped once per worker session, immediately
+// after the config; every graph coming back travels as an
+// aig.EncodeDelta record against its job's base (warm handoff). Workers
+// pull jobs one at a time, so load balance emerges from speed (work
+// stealing); a lost worker's in-flight job is requeued elsewhere, and a
+// job a worker reports failed is retried on other workers up to
 // MaxAttempts before the run reports a JobFailedError. Like the local
 // sweep, Run finishes every finishable job before returning the first
 // failure in job order.
-func Run(base *aig.AIG, cfg RunConfig, jobs []JobSpec, opts Options) ([]JobResult, *Stats, error) {
+func Run(bases []*aig.AIG, cfg RunConfig, jobs []JobSpec, opts Options) ([]JobResult, *Stats, error) {
 	logf := opts.Logf
 	if logf == nil {
 		logf = func(string, ...any) {}
@@ -232,6 +275,22 @@ func Run(base *aig.AIG, cfg RunConfig, jobs []JobSpec, opts Options) ([]JobResul
 	}
 	if len(jobs) == 0 {
 		return nil, nil, fmt.Errorf("shard: no jobs")
+	}
+	if len(bases) == 0 {
+		return nil, nil, fmt.Errorf("shard: no bases")
+	}
+	if len(cfg.Entries) == 0 {
+		return nil, nil, fmt.Errorf("shard: no entries")
+	}
+	for i, e := range cfg.Entries {
+		if e.Base < 0 || e.Base >= len(bases) {
+			return nil, nil, fmt.Errorf("shard: entry %d references base %d of %d", i, e.Base, len(bases))
+		}
+	}
+	for _, j := range jobs {
+		if j.Entry < 0 || j.Entry >= len(cfg.Entries) {
+			return nil, nil, fmt.Errorf("shard: job %d references entry %d of %d", j.Index, j.Entry, len(cfg.Entries))
+		}
 	}
 	// Recipe closures have no wire form; encodeConfig would silently
 	// drop them and workers would anneal with the default catalog,
@@ -274,23 +333,49 @@ func Run(base *aig.AIG, cfg RunConfig, jobs []JobSpec, opts Options) ([]JobResul
 
 	slotOf := make(map[int]int, len(jobs)) // job.Index -> position in jobs
 	for i, j := range jobs {
+		if _, dup := slotOf[j.Index]; dup {
+			for _, wc := range conns {
+				wc.rwc.Close()
+			}
+			return nil, nil, fmt.Errorf("shard: duplicate job index %d", j.Index)
+		}
 		slotOf[j.Index] = i
 	}
 	cfgPayload := encodeConfig(cfg)
-	basePayload, err := encodeBase(0, base)
-	if err != nil {
-		for _, wc := range conns {
-			wc.rwc.Close()
+	basePayloads := make([][]byte, len(bases))
+	for i, g := range bases {
+		p, err := encodeBase(uint32(i), g)
+		if err != nil {
+			for _, wc := range conns {
+				wc.rwc.Close()
+			}
+			return nil, nil, err
 		}
-		return nil, nil, err
+		basePayloads[i] = p
 	}
 
-	st := &Stats{MergedCache: make(map[uint64]eval.Metrics), Workers: make([]WorkerStats, len(conns))}
+	st := &Stats{Workers: make([]WorkerStats, len(conns))}
+	st.MergedCaches = make([]map[eval.CacheKey]eval.Metrics, len(cfg.Entries))
+	mergedLog := make([][]eval.CacheRecord, len(cfg.Entries))
+	for e := range st.MergedCaches {
+		st.MergedCaches[e] = make(map[eval.CacheKey]eval.Metrics)
+	}
+	// seen[id][e] is the set of structures worker id is known to hold
+	// for entry e; sent[id][e] is its high-water mark into mergedLog[e].
+	seen := make([][]map[eval.CacheKey]bool, len(conns))
+	sent := make([][]int, len(conns))
+	for id := range conns {
+		seen[id] = make([]map[eval.CacheKey]bool, len(cfg.Entries))
+		sent[id] = make([]int, len(cfg.Entries))
+		for e := range seen[id] {
+			seen[id][e] = make(map[eval.CacheKey]bool)
+		}
+	}
 	results := make([]JobResult, len(jobs))
 	gotResult := make([]bool, len(jobs))
 	jobErrs := make([]error, len(jobs))
 	s := newSched(jobs, len(conns))
-	var mu sync.Mutex // guards st (non-atomic fields), results, jobErrs
+	var mu sync.Mutex // guards st (non-atomic fields), seed state, results, jobErrs
 
 	var wg sync.WaitGroup
 	for id := range conns {
@@ -323,17 +408,21 @@ func Run(base *aig.AIG, cfg RunConfig, jobs []JobSpec, opts Options) ([]JobResul
 				die(nil, err)
 				return
 			}
-			if err := writeMsg(bw, msgBase, basePayload); err != nil {
-				die(nil, err)
-				return
+			for _, bp := range basePayloads {
+				if err := writeMsg(bw, msgBase, bp); err != nil {
+					die(nil, err)
+					return
+				}
 			}
 			if err := bw.Flush(); err != nil {
 				die(nil, err)
 				return
 			}
 			mu.Lock()
-			st.BaseSends++
-			st.BaseBytes += int64(len(basePayload))
+			st.BaseSends += len(basePayloads)
+			for _, bp := range basePayloads {
+				st.BaseBytes += int64(len(bp))
+			}
 			mu.Unlock()
 
 			for {
@@ -345,10 +434,41 @@ func Run(base *aig.AIG, cfg RunConfig, jobs []JobSpec, opts Options) ([]JobResul
 					}
 					return
 				}
-				mu.Lock()
-				st.JobSends++
-				mu.Unlock()
-				if err := writeMsg(bw, msgJob, encodeJob(0, t.job)); err != nil {
+				e := t.job.Entry
+				// Preseed push: everything merged for this entry that the
+				// worker neither contributed nor received yet rides in the
+				// same flush as the job.
+				var seedPayload []byte
+				if opts.Preseed {
+					mu.Lock()
+					var pending []eval.CacheRecord
+					for _, rec := range mergedLog[e][sent[id][e]:] {
+						if !seen[id][e][rec.Key()] {
+							seen[id][e][rec.Key()] = true
+							pending = append(pending, rec)
+						}
+					}
+					sent[id][e] = len(mergedLog[e])
+					if len(pending) > 0 {
+						seedPayload = encodeSeed(e, pending)
+						st.SeedPushes++
+						st.SeedRecords += len(pending)
+						st.SeedBytes += int64(len(seedPayload))
+					}
+					st.JobSends++
+					mu.Unlock()
+				} else {
+					mu.Lock()
+					st.JobSends++
+					mu.Unlock()
+				}
+				if seedPayload != nil {
+					if err := writeMsg(bw, msgCacheSeed, seedPayload); err != nil {
+						die(t, err)
+						return
+					}
+				}
+				if err := writeMsg(bw, msgJob, encodeJob(t.job)); err != nil {
 					die(t, err)
 					return
 				}
@@ -370,7 +490,7 @@ func Run(base *aig.AIG, cfg RunConfig, jobs []JobSpec, opts Options) ([]JobResul
 				}
 				switch typ {
 				case msgResult:
-					jr, recs, wire, err := decodeResult(base, payload)
+					jr, recs, wire, err := decodeResult(bases[cfg.Entries[e].Base], payload)
 					if err != nil || jr.Index != t.job.Index {
 						if err == nil {
 							err = fmt.Errorf("shard: result for job %d while %d in flight", jr.Index, t.job.Index)
@@ -378,19 +498,31 @@ func Run(base *aig.AIG, cfg RunConfig, jobs []JobSpec, opts Options) ([]JobResul
 						die(t, err)
 						return
 					}
+					jr.Entry = e
 					mu.Lock()
 					st.DeltaRecords += wire.deltaRecords
 					st.DeltaBytes += wire.deltaBytes
-					added, dup := eval.MergeRecords(st.MergedCache, recs)
-					_ = added
+					for _, rec := range recs {
+						seen[id][e][rec.Key()] = true
+						if _, dup := st.MergedCaches[e][rec.Key()]; dup {
+							st.CacheDuplicates++
+							continue
+						}
+						st.MergedCaches[e][rec.Key()] = rec.M
+						mergedLog[e] = append(mergedLog[e], rec)
+					}
 					st.CacheRecords += len(recs)
-					st.CacheDuplicates += dup
 					st.Workers[id].Jobs++
+					st.Workers[id].PrefilterHits = wire.prefilterHits
+					st.Workers[id].PrefilterRejected = wire.prefilterRejected
 					slot := slotOf[jr.Index]
 					results[slot] = jr
 					gotResult[slot] = true
 					mu.Unlock()
 					s.complete()
+					if opts.OnJobDone != nil {
+						opts.OnJobDone(jr.Index, wc.name)
+					}
 				case msgJobError:
 					idx, msg, derr := decodeJobError(payload)
 					if derr != nil || idx != t.job.Index {
@@ -422,6 +554,11 @@ func Run(base *aig.AIG, cfg RunConfig, jobs []JobSpec, opts Options) ([]JobResul
 		}(id)
 	}
 	wg.Wait()
+
+	for id := range st.Workers {
+		st.PrefilterHits += st.Workers[id].PrefilterHits
+		st.PrefilterRejected += st.Workers[id].PrefilterRejected
+	}
 
 	// All workers returned. Anything neither resolved nor failed means
 	// the whole fleet was lost with work outstanding.

@@ -1,8 +1,9 @@
-// Package shard scales the hyperparameter sweep out across worker
-// processes: a coordinator partitions a sweep grid over sweepd workers,
-// retries and re-balances on failure, and merges the results
-// deterministically — indexed by grid order, bit-identical to a local
-// flows.Sweep of the same configuration.
+// Package shard scales hyperparameter sweeps out across worker
+// processes: a coordinator runs a session of one or more sweeps (each a
+// base AIG paired with a guiding evaluator — an "entry"), partitions
+// the grid points over sweepd workers, retries and re-balances on
+// failure, and merges the results deterministically — indexed by job
+// order, bit-identical to a local flows.Sweep of each entry.
 //
 // # Contract
 //
@@ -11,35 +12,45 @@
 //
 //   - Determinism. A grid point's trajectory depends only on (base
 //     graph, params, seed); every evaluation layer (cache, incremental,
-//     batching) is value-transparent. Which worker executes which job —
-//     and how often a job is retried — therefore never changes any
-//     result, and the coordinator's merge is byte-identical to local
-//     execution. Timing fields and cache/incremental counters are the
-//     only schedule-dependent values.
-//   - Warm handoff. A worker session receives the base AIG exactly
-//     once (as a dictionary-free aig.EncodeDelta record); every graph
-//     sent back — the per-chain best AIGs of each result — travels as a
-//     delta record against that base, never as a full graph. Stats
-//     accounts for both transfer classes so tests can assert the split.
+//     batching, preseeding) is value-transparent. Which worker executes
+//     which job — and how often a job is retried — therefore never
+//     changes any result, and the coordinator's merge is byte-identical
+//     to local execution. Timing fields and cache/incremental counters
+//     are the only schedule-dependent values.
+//   - Warm handoff. A worker session receives every base AIG exactly
+//     once (as dictionary-free aig.EncodeDelta records, sent with the
+//     config); every graph sent back — the per-chain best AIGs of each
+//     result — travels as a delta record against its job's base, never
+//     as a full graph. Stats accounts for both transfer classes so
+//     tests can assert the split.
+//   - Preseeding only skips work. With Options.Preseed the coordinator
+//     pushes merged cache records to a worker before each job dispatch
+//     (msgCacheSeed). A pushed record never answers a cache lookup; it
+//     may only substitute for an oracle evaluation whose result it
+//     already is (eval.Cached.ImportRecords documents the adoption and
+//     witnessed-collision-rejection rule). Records are scoped per
+//     entry — metrics from different guiding evaluators never mix.
 //   - Failure containment. Worker-side job errors are retried on other
 //     workers up to Options.MaxAttempts (the job's grid coordinates ride
 //     along, surfacing as JobFailedError when exhausted); a lost
 //     transport requeues the in-flight job and removes only that worker.
 //     Like flows.Sweep, the run completes every finishable job before
-//     reporting the first failure in grid order.
+//     reporting the first failure in job order.
 //
 // # Topology
 //
 // The coordinator drives each worker over one connection (TCP to a
 // cmd/sweepd daemon, or any io.ReadWriteCloser — tests use in-process
-// pipes): config and base first, then one job at a time per worker.
-// Idle workers pull the next eligible job, so load balance across
-// heterogeneous workers is work stealing by construction. Domain logic
-// lives behind the Runner interface (flows.NewShardRunner), keeping
-// this package a pure transport/scheduling layer.
+// pipes): config and bases first, then per worker an optional cache
+// seed plus one job at a time. Idle workers pull the next eligible job,
+// so load balance across heterogeneous workers is work stealing by
+// construction. Domain logic lives behind the Runner interface
+// (flows.NewShardRunner), keeping this package a pure
+// transport/scheduling layer.
 //
-// Workers also export their memo caches as eval.CacheRecord streams;
-// the coordinator merges them into Stats.MergedCache, the cluster-wide
-// view of evaluated structures and the measure of cross-shard
-// redundancy.
+// Workers export their memo caches as eval.CacheRecord streams; the
+// coordinator merges them into Stats.MergedCaches (one map per entry),
+// the cluster-wide view of evaluated structures. Stats.CacheDuplicates
+// measures cross-shard redundant evaluation; Options.Preseed is the
+// mechanism that recovers it.
 package shard

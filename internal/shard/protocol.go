@@ -2,6 +2,7 @@ package shard
 
 import (
 	"bufio"
+	"bytes"
 	"encoding/binary"
 	"fmt"
 	"io"
@@ -15,31 +16,48 @@ import (
 
 // protocolVersion gates coordinator/worker compatibility; a worker
 // refuses a session whose config message carries a different version.
-const protocolVersion = 1
+// Version 2 is the session protocol: a config names several (base,
+// evaluator) entries, every base ships once per worker, jobs reference
+// entries, and the coordinator may push merged cache records to workers
+// mid-sweep (msgCacheSeed).
+const protocolVersion = 2
 
 // maxPayload bounds one message; anything larger indicates a framing
 // desync or a hostile peer, not a real sweep artifact.
 const maxPayload = 1 << 30
 
-// Message types. The coordinator drives the session (config, base,
-// jobs, bye); the worker only ever answers a job.
+// Message types. The coordinator drives the session (config, bases,
+// seeds, jobs, bye); the worker only ever answers a job.
 const (
-	msgConfig   byte = 1 // coordinator -> worker: version + RunConfig
-	msgBase     byte = 2 // coordinator -> worker: a base graph, shipped once
-	msgJob      byte = 3 // coordinator -> worker: one grid point
-	msgBye      byte = 4 // coordinator -> worker: drain and close
-	msgResult   byte = 5 // worker -> coordinator: completed grid point
-	msgJobError byte = 6 // worker -> coordinator: grid point failed
+	msgConfig    byte = 1 // coordinator -> worker: version + RunConfig
+	msgBase      byte = 2 // coordinator -> worker: a base graph, shipped once
+	msgJob       byte = 3 // coordinator -> worker: one grid point
+	msgBye       byte = 4 // coordinator -> worker: drain and close
+	msgResult    byte = 5 // worker -> coordinator: completed grid point
+	msgJobError  byte = 6 // worker -> coordinator: grid point failed
+	msgCacheSeed byte = 7 // coordinator -> worker: merged cache records to preseed
 )
 
 // RunConfig is the session-wide configuration a coordinator installs on
 // every worker before sending jobs: the annealing base parameters every
-// grid point derives from, the evaluator the workers must reconstruct,
-// and the cell library (nil = the built-in library).
+// grid point derives from, the session's entries (each a base graph
+// paired with the evaluator the workers must reconstruct for it), and
+// the cell library (nil = the built-in library).
 type RunConfig struct {
 	Base    anneal.Params
-	Eval    EvalSpec
+	Entries []EntrySpec
 	Library []byte // cell.WriteLibrary bytes; nil selects cell.Builtin
+}
+
+// EntrySpec is one sweep of a session: the index of its base graph in
+// the session's base list (several entries may share one base — e.g.
+// the same design swept under different guiding evaluators) and the
+// evaluator of that sweep. Caches are scoped per entry: metrics from
+// different evaluators are not interchangeable, so cache records never
+// cross entry boundaries.
+type EntrySpec struct {
+	Base int
+	Eval EvalSpec
 }
 
 // EvalSpec names the guiding evaluator of a sweep in a form that can
@@ -54,11 +72,12 @@ type EvalSpec struct {
 	AreaPerNode bool   // ml area-model convention
 }
 
-// JobSpec is one grid point: index in grid order plus the
-// hyperparameters and seed offset of that run (mirrors flows.GridPoint
-// without importing it).
+// JobSpec is one grid point: the session entry it belongs to, a
+// session-unique result index, and the hyperparameters and seed offset
+// of that run (mirroring flows.GridPoint without importing it).
 type JobSpec struct {
-	Index                          int
+	Entry                          int // index into RunConfig.Entries
+	Index                          int // session-unique result slot
 	DelayWeight, AreaWeight, Decay float64
 	SeedOffset                     int64
 }
@@ -73,6 +92,7 @@ type WorkResult struct {
 // JobResult pairs a completed job with its outcome on the coordinator
 // side.
 type JobResult struct {
+	Entry                    int // session entry the job belonged to
 	Index                    int
 	TrueDelayPS, TrueAreaUM2 float64
 	Result                   *anneal.Result
@@ -231,6 +251,9 @@ func (d *dec) bytes(what string) []byte {
 		d.fail(what)
 		return nil
 	}
+	if n == 0 {
+		return nil
+	}
 	v := d.data[:n:n]
 	d.data = d.data[n:]
 	return v
@@ -250,18 +273,55 @@ func encodeConfig(cfg RunConfig) []byte {
 	b = appendF64(b, p.AreaWeight)
 	b = appendVarint(b, p.Seed)
 	b = appendVarint(b, int64(p.BatchSize))
+	b = appendVarint(b, int64(p.BatchMin))
+	b = appendVarint(b, int64(p.BatchMax))
 	b = appendVarint(b, int64(p.Workers))
 	b = appendVarint(b, int64(p.Chains))
 	b = appendVarint(b, int64(p.CacheMode))
 	b = appendVarint(b, int64(p.CacheMaxEntries))
 	b = appendVarint(b, int64(p.Incremental))
 	b = appendF64(b, p.IncrementalThreshold)
-	b = appendString(b, cfg.Eval.Kind)
-	b = appendBytes(b, cfg.Eval.DelayModel)
-	b = appendBytes(b, cfg.Eval.AreaModel)
-	b = appendBool(b, cfg.Eval.AreaPerNode)
+	// Evaluator specs are deduplicated into a table — a suite sweeping
+	// many designs under one ML flow ships its (potentially large) model
+	// blobs once, not once per entry; entries reference specs by index
+	// the same way they reference bases.
+	var specs []EvalSpec
+	specIdx := make([]int, len(cfg.Entries))
+	for i, e := range cfg.Entries {
+		found := -1
+		for j := range specs {
+			if sameEvalSpec(specs[j], e.Eval) {
+				found = j
+				break
+			}
+		}
+		if found < 0 {
+			found = len(specs)
+			specs = append(specs, e.Eval)
+		}
+		specIdx[i] = found
+	}
+	b = appendUvarint(b, uint64(len(specs)))
+	for _, sp := range specs {
+		b = appendString(b, sp.Kind)
+		b = appendBytes(b, sp.DelayModel)
+		b = appendBytes(b, sp.AreaModel)
+		b = appendBool(b, sp.AreaPerNode)
+	}
+	b = appendUvarint(b, uint64(len(cfg.Entries)))
+	for i, e := range cfg.Entries {
+		b = appendUvarint(b, uint64(e.Base))
+		b = appendUvarint(b, uint64(specIdx[i]))
+	}
 	b = appendBytes(b, cfg.Library)
 	return b
+}
+
+// sameEvalSpec reports whether two specs would reconstruct the same
+// evaluator (the config encoder's dedup predicate).
+func sameEvalSpec(a, b EvalSpec) bool {
+	return a.Kind == b.Kind && a.AreaPerNode == b.AreaPerNode &&
+		bytes.Equal(a.DelayModel, b.DelayModel) && bytes.Equal(a.AreaModel, b.AreaModel)
 }
 
 func decodeConfig(payload []byte) (RunConfig, error) {
@@ -280,16 +340,49 @@ func decodeConfig(payload []byte) (RunConfig, error) {
 	cfg.Base.AreaWeight = d.f64("area weight")
 	cfg.Base.Seed = d.varint("seed")
 	cfg.Base.BatchSize = int(d.varint("batch size"))
+	cfg.Base.BatchMin = int(d.varint("batch min"))
+	cfg.Base.BatchMax = int(d.varint("batch max"))
 	cfg.Base.Workers = int(d.varint("workers"))
 	cfg.Base.Chains = int(d.varint("chains"))
 	cfg.Base.CacheMode = anneal.CacheMode(d.varint("cache mode"))
 	cfg.Base.CacheMaxEntries = int(d.varint("cache max entries"))
 	cfg.Base.Incremental = anneal.IncrementalMode(d.varint("incremental mode"))
 	cfg.Base.IncrementalThreshold = d.f64("incremental threshold")
-	cfg.Eval.Kind = d.str("eval kind")
-	cfg.Eval.DelayModel = d.bytes("delay model")
-	cfg.Eval.AreaModel = d.bytes("area model")
-	cfg.Eval.AreaPerNode = d.boolean("area per node")
+	numSpecs := d.uvarint("spec count")
+	if d.err != nil {
+		return RunConfig{}, d.err
+	}
+	if numSpecs == 0 || numSpecs > uint64(len(d.data))+1 {
+		return RunConfig{}, fmt.Errorf("shard: implausible spec count %d", numSpecs)
+	}
+	specs := make([]EvalSpec, numSpecs)
+	for i := range specs {
+		sp := &specs[i]
+		sp.Kind = d.str("eval kind")
+		sp.DelayModel = d.bytes("delay model")
+		sp.AreaModel = d.bytes("area model")
+		sp.AreaPerNode = d.boolean("area per node")
+	}
+	numEntries := d.uvarint("entry count")
+	if d.err != nil {
+		return RunConfig{}, d.err
+	}
+	if numEntries == 0 || numEntries > uint64(len(d.data))+1 {
+		return RunConfig{}, fmt.Errorf("shard: implausible entry count %d", numEntries)
+	}
+	cfg.Entries = make([]EntrySpec, numEntries)
+	for i := range cfg.Entries {
+		e := &cfg.Entries[i]
+		e.Base = int(d.uvarint("entry base"))
+		si := d.uvarint("entry spec")
+		if d.err != nil {
+			return RunConfig{}, d.err
+		}
+		if si >= numSpecs {
+			return RunConfig{}, fmt.Errorf("shard: entry %d references spec %d of %d", i, si, numSpecs)
+		}
+		e.Eval = specs[si]
+	}
 	cfg.Library = d.bytes("library")
 	return cfg, d.err
 }
@@ -333,8 +426,8 @@ func decodeBase(payload []byte) (uint32, *aig.AIG, error) {
 
 // ---- jobs ----
 
-func encodeJob(baseID uint32, j JobSpec) []byte {
-	b := appendUvarint(nil, uint64(baseID))
+func encodeJob(j JobSpec) []byte {
+	b := appendUvarint(nil, uint64(j.Entry))
 	b = appendUvarint(b, uint64(j.Index))
 	b = appendF64(b, j.DelayWeight)
 	b = appendF64(b, j.AreaWeight)
@@ -343,16 +436,56 @@ func encodeJob(baseID uint32, j JobSpec) []byte {
 	return b
 }
 
-func decodeJob(payload []byte) (uint32, JobSpec, error) {
+func decodeJob(payload []byte) (JobSpec, error) {
 	d := &dec{data: payload}
-	baseID := uint32(d.uvarint("base id"))
 	var j JobSpec
+	j.Entry = int(d.uvarint("job entry"))
 	j.Index = int(d.uvarint("job index"))
 	j.DelayWeight = d.f64("delay weight")
 	j.AreaWeight = d.f64("area weight")
 	j.Decay = d.f64("decay")
 	j.SeedOffset = d.varint("seed offset")
-	return baseID, j, d.err
+	return j, d.err
+}
+
+// ---- cache seeds ----
+
+// encodeSeed serializes a mid-sweep preseed push: merged cache records
+// of one session entry that this worker has not contributed or received
+// before.
+func encodeSeed(entry int, recs []eval.CacheRecord) []byte {
+	b := appendUvarint(nil, uint64(entry))
+	b = appendUvarint(b, uint64(len(recs)))
+	for _, rec := range recs {
+		b = appendU64(b, rec.FP)
+		b = appendU64(b, rec.SH)
+		b = appendF64(b, rec.M.DelayPS)
+		b = appendF64(b, rec.M.AreaUM2)
+	}
+	return b
+}
+
+func decodeSeed(payload []byte) (int, []eval.CacheRecord, error) {
+	d := &dec{data: payload}
+	entry := int(d.uvarint("seed entry"))
+	n := d.uvarint("seed record count")
+	if d.err != nil {
+		return 0, nil, d.err
+	}
+	if n > uint64(len(d.data)) {
+		return 0, nil, fmt.Errorf("shard: implausible seed record count %d", n)
+	}
+	recs := make([]eval.CacheRecord, n)
+	for i := range recs {
+		recs[i].FP = d.u64("seed fp")
+		recs[i].SH = d.u64("seed sh")
+		recs[i].M.DelayPS = d.f64("seed delay")
+		recs[i].M.AreaUM2 = d.f64("seed area")
+	}
+	if d.err == nil && len(d.data) != 0 {
+		return 0, nil, fmt.Errorf("shard: %d trailing seed bytes", len(d.data))
+	}
+	return entry, recs, d.err
 }
 
 func encodeJobError(index int, err error) []byte {
@@ -369,19 +502,24 @@ func decodeJobError(payload []byte) (int, string, error) {
 
 // ---- results ----
 
-// resultWire is the transfer accounting of one decoded result message,
-// fed into the coordinator's Stats.
+// resultWire is the transfer and preseed accounting of one decoded
+// result message, fed into the coordinator's Stats. The prefilter
+// counters are session-cumulative snapshots of the sending worker.
 type resultWire struct {
-	deltaRecords int
-	deltaBytes   int64
+	deltaRecords      int
+	deltaBytes        int64
+	prefilterHits     int64
+	prefilterRejected int64
 }
 
 // encodeResult serializes a completed job. Graphs (the per-chain best
-// AIGs) are shipped exclusively as delta records against the session
-// base — after the base transfer, no full graph ever crosses the wire.
+// AIGs) are shipped exclusively as delta records against the job's base
+// — after the base transfers, no full graph ever crosses the wire.
 // Appended cache records export the worker's memo entries new since the
-// previous result.
-func encodeResult(base *aig.AIG, index int, wr *WorkResult, recs []eval.CacheRecord) ([]byte, error) {
+// previous result, and the trailing prefilter counters report the
+// session-cumulative preseed effect (oracle calls skipped, records
+// rejected as witnessed collisions) for coordinator-side accounting.
+func encodeResult(base *aig.AIG, index int, wr *WorkResult, recs []eval.CacheRecord, cs eval.CacheStats) ([]byte, error) {
 	r := wr.Result
 	if len(r.Chains) == 0 {
 		return nil, fmt.Errorf("shard: result without chain outcomes")
@@ -437,9 +575,12 @@ func encodeResult(base *aig.AIG, index int, wr *WorkResult, recs []eval.CacheRec
 	b = appendUvarint(b, uint64(len(recs)))
 	for _, rec := range recs {
 		b = appendU64(b, rec.FP)
+		b = appendU64(b, rec.SH)
 		b = appendF64(b, rec.M.DelayPS)
 		b = appendF64(b, rec.M.AreaUM2)
 	}
+	b = appendVarint(b, cs.PrefilterHits)
+	b = appendVarint(b, cs.PrefilterRejected)
 	return b, nil
 }
 
@@ -530,9 +671,12 @@ func decodeResult(base *aig.AIG, payload []byte) (JobResult, []eval.CacheRecord,
 	recs := make([]eval.CacheRecord, nrec)
 	for i := range recs {
 		recs[i].FP = d.u64("cache fp")
+		recs[i].SH = d.u64("cache sh")
 		recs[i].M.DelayPS = d.f64("cache delay")
 		recs[i].M.AreaUM2 = d.f64("cache area")
 	}
+	wire.prefilterHits = d.varint("prefilter hits")
+	wire.prefilterRejected = d.varint("prefilter rejected")
 	if d.err != nil {
 		return JobResult{}, nil, wire, d.err
 	}

@@ -1,0 +1,201 @@
+package shard
+
+import (
+	"io"
+	"sync"
+	"testing"
+
+	"aigtimer/internal/aig"
+	"aigtimer/internal/anneal"
+)
+
+// TestSessionMultiEntry drives a v2 session: two distinct base graphs,
+// three entries (one base serves two entries, as when one design is
+// swept under two evaluators), jobs interleaved across entries over two
+// workers. Every result must match a single local runner executing the
+// same jobs, and each base must have crossed the wire exactly once per
+// worker.
+func TestSessionMultiEntry(t *testing.T) {
+	bases := []*aig.AIG{testAIG(41), testAIG(42)}
+	cfg := RunConfig{
+		Base: anneal.Params{
+			Iterations: 8, StartTemp: 0.05, DecayRate: 0.95, Seed: 5, BatchSize: 4,
+		},
+		Entries: []EntrySpec{
+			{Base: 0, Eval: EvalSpec{Kind: "baseline"}},
+			{Base: 1, Eval: EvalSpec{Kind: "baseline"}},
+			{Base: 0, Eval: EvalSpec{Kind: "baseline"}},
+		},
+	}
+	var jobs []JobSpec
+	for e := 0; e < len(cfg.Entries); e++ {
+		for k := 0; k < 2; k++ {
+			jobs = append(jobs, JobSpec{
+				Entry: e, Index: len(jobs),
+				DelayWeight: 1, AreaWeight: 0.3 * float64(k), Decay: 0.95,
+				SeedOffset: int64(k),
+			})
+		}
+	}
+
+	ref := newFakeRunner()
+	if err := ref.Configure(cfg); err != nil {
+		t.Fatal(err)
+	}
+	want := make([]*WorkResult, len(jobs))
+	for i, j := range jobs {
+		wr, err := ref.Run(bases[cfg.Entries[j.Entry].Base], j)
+		if err != nil {
+			t.Fatal(err)
+		}
+		want[i] = wr
+	}
+
+	runners := []*fakeRunner{newFakeRunner(), newFakeRunner()}
+	conns, wait := startWorkers(runners)
+	got, st, err := Run(bases, cfg, jobs, Options{Conns: conns, Preseed: true})
+	if err != nil {
+		t.Fatal(err)
+	}
+	wait()
+
+	for i := range jobs {
+		if got[i].Index != jobs[i].Index || got[i].Entry != jobs[i].Entry {
+			t.Fatalf("result %d carries index %d entry %d", i, got[i].Index, got[i].Entry)
+		}
+		if err := sameResult(got[i].Result, want[i].Result); err != nil {
+			t.Fatalf("job %d (entry %d): %v", i, jobs[i].Entry, err)
+		}
+	}
+	if want := len(bases) * len(conns); st.BaseSends != want {
+		t.Fatalf("base sends = %d, want %d (each base once per worker)", st.BaseSends, want)
+	}
+	if len(st.MergedCaches) != len(cfg.Entries) {
+		t.Fatalf("merged caches = %d, want one per entry", len(st.MergedCaches))
+	}
+	// Entries 0 and 2 sweep the same base with the same evaluator but
+	// must still merge separately (no cross-entry record flow).
+	if len(st.MergedCaches[0]) == 0 || len(st.MergedCaches[1]) == 0 || len(st.MergedCaches[2]) == 0 {
+		t.Fatalf("expected records in every entry's merged cache: %d/%d/%d",
+			len(st.MergedCaches[0]), len(st.MergedCaches[1]), len(st.MergedCaches[2]))
+	}
+}
+
+// hookConn invokes a callback with the 1-based index of every Write,
+// letting a test block specific coordinator flushes to force a
+// deterministic cross-worker schedule.
+type hookConn struct {
+	io.ReadWriteCloser
+	mu          sync.Mutex
+	writes      int
+	beforeWrite func(n int)
+}
+
+func (c *hookConn) Write(p []byte) (int, error) {
+	c.mu.Lock()
+	c.writes++
+	n := c.writes
+	c.mu.Unlock()
+	if c.beforeWrite != nil {
+		c.beforeWrite(n)
+	}
+	return c.ReadWriteCloser.Write(p)
+}
+
+// TestPreseedRecoversDuplicates is the preseed acceptance test at the
+// protocol level, with a forced schedule so the duplicate counts are
+// exact rather than racy: four identical jobs (same weights and seed
+// offset, distinct indices — identical trajectories, therefore
+// identical evaluated structures), two workers. Worker 0 completes two
+// jobs and is then stalled with the third in flight; worker 1 is
+// released only after worker 0's results are merged, so its single job
+// is dispatched with the full merged cache available. With preseeding
+// on, worker 1 re-evaluates nothing (every structure arrives as a
+// pushed record), exports nothing, and the session sees zero
+// cross-worker duplicates; with preseeding off, the same schedule makes
+// every one of worker 1's records a duplicate. Results are
+// byte-identical either way.
+func TestPreseedRecoversDuplicates(t *testing.T) {
+	base := testAIG(7)
+	cfg := RunConfig{
+		Base: anneal.Params{
+			Iterations: 8, StartTemp: 0.05, DecayRate: 0.95, Seed: 5, BatchSize: 4,
+		},
+		Entries: []EntrySpec{{Base: 0, Eval: EvalSpec{Kind: "baseline"}}},
+	}
+	jobs := make([]JobSpec, 4)
+	for i := range jobs {
+		jobs[i] = JobSpec{Entry: 0, Index: i, DelayWeight: 1, AreaWeight: 0.5, Decay: 0.95}
+	}
+	want := reference(t, base, cfg, jobs)
+
+	run := func(preseed bool) *Stats {
+		var mu sync.Mutex
+		cond := sync.NewCond(&mu)
+		done := 0
+		waitDone := func(k int) {
+			mu.Lock()
+			for done < k {
+				cond.Wait()
+			}
+			mu.Unlock()
+		}
+		onDone := func(int, string) {
+			mu.Lock()
+			done++
+			mu.Unlock()
+			cond.Broadcast()
+		}
+		runners := []*fakeRunner{newFakeRunner(), newFakeRunner()}
+		conns, wait := startWorkers(runners)
+		// Worker 0 flushes: #1 config+base, #2 job0, #3 job1, #4 job2 —
+		// held until worker 1's job is merged. Worker 1 flush #1
+		// (config+base) is held until worker 0's first two results are
+		// merged, so its dispatch sees the full merged cache.
+		conns[0] = &hookConn{ReadWriteCloser: conns[0], beforeWrite: func(n int) {
+			if n == 4 {
+				waitDone(3)
+			}
+		}}
+		conns[1] = &hookConn{ReadWriteCloser: conns[1], beforeWrite: func(n int) {
+			if n == 1 {
+				waitDone(2)
+			}
+		}}
+		got, st, err := Run([]*aig.AIG{base}, cfg, jobs, Options{Conns: conns, Preseed: preseed, OnJobDone: onDone})
+		if err != nil {
+			t.Fatal(err)
+		}
+		wait()
+		for i := range jobs {
+			if err := sameResult(got[i].Result, want[i].Result); err != nil {
+				t.Fatalf("preseed=%v job %d: %v", preseed, i, err)
+			}
+		}
+		if st.Workers[0].Jobs != 3 || st.Workers[1].Jobs != 1 {
+			t.Fatalf("schedule not forced: %+v", st.Workers)
+		}
+		return st
+	}
+
+	off := run(false)
+	on := run(true)
+	if off.CacheDuplicates == 0 {
+		t.Fatal("forced schedule produced no duplicates with preseeding off")
+	}
+	if off.PrefilterHits != 0 || off.SeedRecords != 0 {
+		t.Fatalf("preseed-off run pushed seeds: %+v", off)
+	}
+	if on.CacheDuplicates != 0 {
+		t.Fatalf("preseeding left %d duplicates (worker 1 re-evaluated pushed structures)", on.CacheDuplicates)
+	}
+	if on.PrefilterHits == 0 || on.SeedRecords == 0 || on.SeedPushes == 0 {
+		t.Fatalf("preseed-on run shows no prefilter activity: %+v", on)
+	}
+	if on.PrefilterRejected != 0 {
+		t.Fatalf("unexpected witnessed collisions: %d", on.PrefilterRejected)
+	}
+	if on.CacheDuplicates >= off.CacheDuplicates {
+		t.Fatalf("preseeding did not lower duplicates: on=%d off=%d", on.CacheDuplicates, off.CacheDuplicates)
+	}
+}

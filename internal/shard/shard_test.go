@@ -42,11 +42,12 @@ func (levelsEval) Evaluate(g *aig.AIG) eval.Metrics {
 	return eval.Metrics{DelayPS: float64(g.MaxLevel()) + 1, AreaUM2: float64(g.NumAnds()) + 1}
 }
 
-// fakeRunner is a flows-free Runner: real annealing runs over a cached
-// proxy oracle, with injectable failures and a connection-kill hook.
+// fakeRunner is a flows-free Runner: real annealing runs over per-entry
+// cached proxy oracles, with injectable failures and a connection-kill
+// hook.
 type fakeRunner struct {
 	cfg    RunConfig
-	cache  *eval.Cached
+	caches []*eval.Cached
 	warmed map[*aig.AIG]bool
 
 	mu        sync.Mutex
@@ -54,7 +55,7 @@ type fakeRunner struct {
 	killConn  io.Closer   // when set, closed before the killAfter-th Run returns
 	killAfter int
 	jobsRun   int
-	cacheSeq  int
+	cacheSeq  []int
 }
 
 func newFakeRunner() *fakeRunner {
@@ -63,7 +64,11 @@ func newFakeRunner() *fakeRunner {
 
 func (r *fakeRunner) Configure(cfg RunConfig) error {
 	r.cfg = cfg
-	r.cache = eval.NewCached(eval.AsOracle(levelsEval{}, 1))
+	r.caches = make([]*eval.Cached, len(cfg.Entries))
+	r.cacheSeq = make([]int, len(cfg.Entries))
+	for i := range r.caches {
+		r.caches[i] = eval.NewCached(eval.AsOracle(levelsEval{}, 1))
+	}
 	return nil
 }
 
@@ -86,7 +91,7 @@ func (r *fakeRunner) Run(base *aig.AIG, job JobSpec) (*WorkResult, error) {
 	p := r.cfg.Base
 	p.DelayWeight, p.AreaWeight, p.DecayRate = job.DelayWeight, job.AreaWeight, job.Decay
 	p.Seed = r.cfg.Base.Seed + job.SeedOffset
-	res, err := anneal.Run(base, r.cache, p)
+	res, err := anneal.Run(base, r.caches[job.Entry], p)
 	if err != nil {
 		return nil, err
 	}
@@ -97,25 +102,46 @@ func (r *fakeRunner) Run(base *aig.AIG, job JobSpec) (*WorkResult, error) {
 	return &WorkResult{Result: res, TrueDelayPS: m.DelayPS, TrueAreaUM2: m.AreaUM2}, nil
 }
 
-func (r *fakeRunner) CacheSnapshot() []eval.CacheRecord {
-	if r.cache == nil {
+func (r *fakeRunner) CacheSnapshot(entry int) []eval.CacheRecord {
+	if entry >= len(r.caches) {
 		return nil
 	}
 	r.mu.Lock()
 	defer r.mu.Unlock()
-	recs, seq := r.cache.ExportSince(r.cacheSeq)
-	r.cacheSeq = seq
+	recs, seq := r.caches[entry].ExportSince(r.cacheSeq[entry])
+	r.cacheSeq[entry] = seq
 	return recs
 }
 
-// testConfig is the shared sweep configuration of these tests.
+func (r *fakeRunner) Preseed(entry int, recs []eval.CacheRecord) {
+	if entry < len(r.caches) {
+		r.caches[entry].ImportRecords(recs)
+	}
+}
+
+func (r *fakeRunner) CacheStats() eval.CacheStats {
+	var s eval.CacheStats
+	for _, c := range r.caches {
+		cs := c.Stats()
+		s.Hits += cs.Hits
+		s.Misses += cs.Misses
+		s.Entries += cs.Entries
+		s.Preseeded += cs.Preseeded
+		s.PrefilterHits += cs.PrefilterHits
+		s.PrefilterRejected += cs.PrefilterRejected
+	}
+	return s
+}
+
+// testConfig is the shared sweep configuration of these tests: one
+// entry over base 0.
 func testConfig() RunConfig {
 	return RunConfig{
 		Base: anneal.Params{
 			Iterations: 8, StartTemp: 0.05, DecayRate: 0.95, Seed: 5,
 			BatchSize: 4, Chains: 2,
 		},
-		Eval: EvalSpec{Kind: "baseline"},
+		Entries: []EntrySpec{{Base: 0, Eval: EvalSpec{Kind: "baseline"}}},
 	}
 }
 
@@ -123,6 +149,7 @@ func testJobs(n int) []JobSpec {
 	jobs := make([]JobSpec, n)
 	for i := range jobs {
 		jobs[i] = JobSpec{
+			Entry:       0,
 			Index:       i,
 			DelayWeight: 1,
 			AreaWeight:  0.2 * float64(i),
@@ -224,7 +251,7 @@ func TestLoopbackShardedRunMatchesLocal(t *testing.T) {
 
 	runners := []*fakeRunner{newFakeRunner(), newFakeRunner()}
 	conns, wait := startWorkers(runners)
-	got, st, err := Run(base, cfg, jobs, Options{Conns: conns})
+	got, st, err := Run([]*aig.AIG{base}, cfg, jobs, Options{Conns: conns})
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -260,8 +287,8 @@ func TestLoopbackShardedRunMatchesLocal(t *testing.T) {
 	// Both workers evaluate the shared root, so the merged cache must
 	// have seen at least one cross-worker duplicate fingerprint, and
 	// hold every distinct structure.
-	if len(st.MergedCache) == 0 || st.CacheRecords < len(st.MergedCache) {
-		t.Fatalf("cache merge accounting implausible: %d records, %d merged", st.CacheRecords, len(st.MergedCache))
+	if st.MergedStructures() == 0 || st.CacheRecords < st.MergedStructures() {
+		t.Fatalf("cache merge accounting implausible: %d records, %d merged", st.CacheRecords, st.MergedStructures())
 	}
 	if st.CacheDuplicates == 0 {
 		t.Fatal("expected cross-worker duplicate cache records (both workers score the root)")
@@ -287,7 +314,7 @@ func TestWorkerKilledMidSweepRetriesElsewhere(t *testing.T) {
 	conns, wait := startWorkers([]*fakeRunner{dying, healthy})
 	dying.killConn = conns[0]
 
-	got, st, err := Run(base, cfg, jobs, Options{Conns: conns})
+	got, st, err := Run([]*aig.AIG{base}, cfg, jobs, Options{Conns: conns})
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -325,7 +352,7 @@ func TestJobErrorRetriedOnOtherWorker(t *testing.T) {
 		flaky.failTimes[i] = 99 // every job fails on this worker, always
 	}
 	conns, wait := startWorkers([]*fakeRunner{flaky, healthy})
-	got, st, err := Run(base, cfg, jobs, Options{Conns: conns})
+	got, st, err := Run([]*aig.AIG{base}, cfg, jobs, Options{Conns: conns})
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -356,7 +383,7 @@ func TestJobErrorExhaustsAttempts(t *testing.T) {
 	r1.failTimes[1] = 99
 	r2.failTimes[1] = 99
 	conns, wait := startWorkers([]*fakeRunner{r1, r2})
-	_, st, err := Run(base, cfg, jobs, Options{Conns: conns, MaxAttempts: 3})
+	_, st, err := Run([]*aig.AIG{base}, cfg, jobs, Options{Conns: conns, MaxAttempts: 3})
 	wait()
 	if err == nil {
 		t.Fatal("doomed job reported no error")
@@ -388,7 +415,7 @@ func TestAllWorkersLost(t *testing.T) {
 	r.killAfter = 0 // die during the first job
 	conns, wait := startWorkers([]*fakeRunner{r})
 	r.killConn = conns[0]
-	_, _, err := Run(base, cfg, jobs, Options{Conns: conns})
+	_, _, err := Run([]*aig.AIG{base}, cfg, jobs, Options{Conns: conns})
 	wait()
 	if err == nil {
 		t.Fatal("fleet loss reported no error")
@@ -400,33 +427,49 @@ func TestConfigRoundTrip(t *testing.T) {
 		Base: anneal.Params{
 			Iterations: 77, StartTemp: 0.123, DecayRate: 0.987,
 			DelayWeight: 1.5, AreaWeight: 0.25, Seed: -9,
-			BatchSize: 6, Workers: 3, Chains: 2,
+			BatchSize: 6, BatchMin: 2, BatchMax: 16, Workers: 3, Chains: 2,
 			CacheMode: anneal.CacheOn, CacheMaxEntries: 512,
 			Incremental: anneal.IncrementalOff, IncrementalThreshold: 0.5,
 		},
-		Eval:    EvalSpec{Kind: "ml", DelayModel: []byte(`{"trees":[]}`), AreaModel: []byte(`{}`), AreaPerNode: true},
+		Entries: []EntrySpec{
+			{Base: 0, Eval: EvalSpec{Kind: "ml", DelayModel: []byte(`{"trees":[]}`), AreaModel: []byte(`{}`), AreaPerNode: true}},
+			{Base: 0, Eval: EvalSpec{Kind: "baseline"}},
+			{Base: 1, Eval: EvalSpec{Kind: "ground-truth"}},
+		},
 		Library: []byte("library demo"),
 	}
 	out, err := decodeConfig(encodeConfig(in))
 	if err != nil {
 		t.Fatal(err)
 	}
-	if !reflect.DeepEqual(out.Base, in.Base) || out.Eval.Kind != in.Eval.Kind || out.Eval.AreaPerNode != in.Eval.AreaPerNode {
+	if !reflect.DeepEqual(out.Base, in.Base) || !reflect.DeepEqual(out.Entries, in.Entries) {
 		t.Fatalf("config did not round-trip: %+v vs %+v", out, in)
 	}
-	if string(out.Eval.DelayModel) != string(in.Eval.DelayModel) || string(out.Library) != string(in.Library) {
+	if string(out.Library) != string(in.Library) {
 		t.Fatal("config blobs did not round-trip")
 	}
 	if _, err := decodeConfig([]byte{99}); err == nil {
 		t.Fatal("wrong protocol version accepted")
 	}
+	// Entries sharing an evaluator spec share its wire encoding: adding
+	// a second entry with the same ML models must cost entry-reference
+	// bytes, not another copy of the blobs.
+	base := len(encodeConfig(in))
+	in.Entries = append(in.Entries, EntrySpec{Base: 1, Eval: in.Entries[0].Eval})
+	if grown := len(encodeConfig(in)) - base; grown >= len(in.Entries[0].Eval.DelayModel) {
+		t.Fatalf("duplicate spec re-encoded: +%d bytes for a shared-spec entry", grown)
+	}
+	out, err = decodeConfig(encodeConfig(in))
+	if err != nil || !reflect.DeepEqual(out.Entries, in.Entries) {
+		t.Fatalf("shared-spec config did not round-trip: %v", err)
+	}
 }
 
 func TestJobAndBaseRoundTrip(t *testing.T) {
-	in := JobSpec{Index: 12, DelayWeight: 1, AreaWeight: 0.5, Decay: 0.9, SeedOffset: -4}
-	baseID, out, err := decodeJob(encodeJob(7, in))
-	if err != nil || baseID != 7 || out != in {
-		t.Fatalf("job round-trip: %v %d %+v", err, baseID, out)
+	in := JobSpec{Entry: 2, Index: 12, DelayWeight: 1, AreaWeight: 0.5, Decay: 0.9, SeedOffset: -4}
+	out, err := decodeJob(encodeJob(in))
+	if err != nil || out != in {
+		t.Fatalf("job round-trip: %v %+v", err, out)
 	}
 	g := testAIG(6)
 	payload, err := encodeBase(3, g)
@@ -439,5 +482,20 @@ func TestJobAndBaseRoundTrip(t *testing.T) {
 	}
 	if !got.StructuralEqual(g) {
 		t.Fatal("base graph not reconstructed exactly")
+	}
+}
+
+func TestSeedRoundTrip(t *testing.T) {
+	in := []eval.CacheRecord{
+		{FP: 0xdeadbeef, M: eval.Metrics{DelayPS: 12.5, AreaUM2: 3.25}},
+		{FP: 1, M: eval.Metrics{DelayPS: -0.0, AreaUM2: 1e300}},
+	}
+	entry, out, err := decodeSeed(encodeSeed(5, in))
+	if err != nil || entry != 5 || !reflect.DeepEqual(in, out) {
+		t.Fatalf("seed round-trip: %v %d %+v", err, entry, out)
+	}
+	entry, out, err = decodeSeed(encodeSeed(0, nil))
+	if err != nil || entry != 0 || len(out) != 0 {
+		t.Fatalf("empty seed round-trip: %v %d %+v", err, entry, out)
 	}
 }

@@ -11,25 +11,35 @@ import (
 
 // Runner executes grid points on the worker side. The shard layer
 // handles transport, base-graph plumbing, and retry; the Runner owns
-// everything domain-specific — constructing the evaluator named by the
-// config, building the evaluation stack, running the anneal, and the
-// ground-truth re-evaluation (flows.NewShardRunner is the production
-// implementation). A Runner serves one session at a time; Serve calls
-// it sequentially.
+// everything domain-specific — constructing the per-entry evaluators
+// named by the config, building the evaluation stacks, running the
+// anneal, and the ground-truth re-evaluation (flows.NewShardRunner is
+// the production implementation). A Runner serves one session at a
+// time; Serve calls it sequentially.
 type Runner interface {
 	// Configure installs the session configuration. It is called once,
-	// before any job.
+	// before any job or seed push.
 	Configure(cfg RunConfig) error
-	// Run executes one grid point against the given base graph. The
-	// result must be bit-identical to what the same job would produce
-	// locally — the coordinator's merge is checked against that promise.
+	// Run executes one grid point against the given base graph (the one
+	// named by the job's entry). The result must be bit-identical to
+	// what the same job would produce locally — the coordinator's merge
+	// is checked against that promise.
 	Run(base *aig.AIG, job JobSpec) (*WorkResult, error)
-	// CacheSnapshot exports the memo-cache records added since the
-	// previous call (nil when the runner is uncached or nothing is
-	// new); the session ships them with each result for coordinator-
-	// side merging. Implementations back this with
-	// eval.Cached.ExportSince, so a call costs O(new records).
-	CacheSnapshot() []eval.CacheRecord
+	// CacheSnapshot exports the entry's memo-cache records added since
+	// the previous call for the same entry (nil when the entry is
+	// uncached or nothing is new); the session ships them with each
+	// result for coordinator-side merging. Implementations back this
+	// with eval.Cached.ExportSince, so a call costs O(new records).
+	CacheSnapshot(entry int) []eval.CacheRecord
+	// Preseed installs merged cache records the coordinator pushed for
+	// one entry (a no-op for uncached entries). Implementations back
+	// this with eval.Cached.ImportRecords, so a pushed record may only
+	// ever skip oracle work, never answer a lookup.
+	Preseed(entry int, recs []eval.CacheRecord)
+	// CacheStats reports the session-cumulative cache counters summed
+	// over all entries (zero value for uncached runners); the prefilter
+	// counters ride along with every result for coordinator accounting.
+	CacheStats() eval.CacheStats
 }
 
 // Serve speaks the worker side of the shard protocol over conn until
@@ -41,6 +51,7 @@ func Serve(conn io.ReadWriteCloser, runner Runner) error {
 	br := bufio.NewReader(conn)
 	bw := bufio.NewWriter(conn)
 	bases := make(map[uint32]*aig.AIG)
+	var cfg RunConfig
 	configured := false
 	for {
 		typ, payload, err := readMsg(br)
@@ -52,7 +63,7 @@ func Serve(conn io.ReadWriteCloser, runner Runner) error {
 		}
 		switch typ {
 		case msgConfig:
-			cfg, err := decodeConfig(payload)
+			cfg, err = decodeConfig(payload)
 			if err != nil {
 				return err
 			}
@@ -66,22 +77,37 @@ func Serve(conn io.ReadWriteCloser, runner Runner) error {
 				return err
 			}
 			bases[id] = g
+		case msgCacheSeed:
+			if !configured {
+				return fmt.Errorf("shard: cache seed before config")
+			}
+			entry, recs, err := decodeSeed(payload)
+			if err != nil {
+				return err
+			}
+			if entry < 0 || entry >= len(cfg.Entries) {
+				return fmt.Errorf("shard: cache seed for unknown entry %d", entry)
+			}
+			runner.Preseed(entry, recs)
 		case msgJob:
 			if !configured {
 				return fmt.Errorf("shard: job before config")
 			}
-			baseID, job, err := decodeJob(payload)
+			job, err := decodeJob(payload)
 			if err != nil {
 				return err
 			}
-			base, ok := bases[baseID]
+			if job.Entry < 0 || job.Entry >= len(cfg.Entries) {
+				return fmt.Errorf("shard: job references unknown entry %d", job.Entry)
+			}
+			base, ok := bases[uint32(cfg.Entries[job.Entry].Base)]
 			if !ok {
-				return fmt.Errorf("shard: job references unknown base %d", baseID)
+				return fmt.Errorf("shard: job references unsent base %d", cfg.Entries[job.Entry].Base)
 			}
 			var out []byte
 			wr, err := runner.Run(base, job)
 			if err == nil {
-				out, err = encodeResult(base, job.Index, wr, runner.CacheSnapshot())
+				out, err = encodeResult(base, job.Index, wr, runner.CacheSnapshot(job.Entry), runner.CacheStats())
 			}
 			if err != nil {
 				if werr := writeMsg(bw, msgJobError, encodeJobError(job.Index, err)); werr != nil {

@@ -63,11 +63,20 @@ func pick(best Result, i int, nl *netlist.Netlist, sr *sta.SignoffResult) Result
 // EvaluateState evaluates g like Evaluate and additionally returns the
 // retained state that EvaluateDelta needs to evaluate derived graphs
 // incrementally.
+//
+// Both mapping efforts share one cut enumeration: the default-effort
+// cut sets (MaxCuts 8) are selected from the same pairwise merge work
+// the high-effort pass (MaxCuts 24) performs, through
+// cut.EnumerateDual, whose per-effort output is bit-identical to two
+// independent enumerations — so the shared pass changes evaluation
+// cost, never the mapping (asserted by TestEvaluateStateMatchesPerEffortMapping).
 func EvaluateState(g *aig.AIG, lib *cell.Library) (Result, *EvalState, error) {
 	st := &EvalState{g: g}
 	best := Result{}
+	lowCuts, highCuts := cut.EnumerateDual(g, efforts[0].Cut, efforts[1].Cut)
+	cutsets := [2][][]cut.Cut{lowCuts, highCuts}
 	for i, mp := range efforts {
-		nl, ms, err := techmap.MapState(g, lib, mp)
+		nl, ms, err := techmap.MapStateWithCuts(g, lib, mp, cutsets[i])
 		if err != nil {
 			return Result{}, nil, err
 		}

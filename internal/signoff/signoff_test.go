@@ -6,6 +6,7 @@ import (
 
 	"aigtimer/internal/aig"
 	"aigtimer/internal/cell"
+	"aigtimer/internal/cut"
 	"aigtimer/internal/sta"
 	"aigtimer/internal/techmap"
 )
@@ -124,6 +125,60 @@ func TestEvaluateBatchMatchesSequential(t *testing.T) {
 			if rs[i].DelayPS != want[i].DelayPS || rs[i].AreaUM2 != want[i].AreaUM2 || rs[i].Corner != want[i].Corner {
 				t.Fatalf("workers=%d: batch[%d] = %+v, want %+v", workers, i, rs[i], want[i])
 			}
+		}
+	}
+}
+
+// TestEvaluateStateMatchesPerEffortMapping asserts the dual-effort cut
+// reuse is invisible: EvaluateState (one shared cut.EnumerateDual pass)
+// must produce the same metrics, the same governing corner, and
+// gate-for-gate the same netlist as mapping each effort with its own
+// independent enumeration (techmap.MapState) and timing it.
+func TestEvaluateStateMatchesPerEffortMapping(t *testing.T) {
+	rng := rand.New(rand.NewSource(7))
+	lib := cell.Builtin()
+	efforts := []techmap.Params{
+		techmap.DefaultParams,
+		{Cut: cut.Params{K: 4, MaxCuts: 24}, NominalLoadFF: 6.0, AreaRecovery: true},
+	}
+	for i := 0; i < 6; i++ {
+		g := randomAIG(rng, 8, 160, 4)
+		got, st, err := EvaluateState(g, lib)
+		if err != nil {
+			t.Fatal(err)
+		}
+		want := Result{}
+		for ei, mp := range efforts {
+			nl, _, err := techmap.MapState(g, lib, mp)
+			if err != nil {
+				t.Fatal(err)
+			}
+			sr, err := sta.Signoff(nl, sta.SignoffParams{})
+			if err != nil {
+				t.Fatal(err)
+			}
+			want = pick(want, ei, nl, sr)
+			// The retained per-effort state must also map identically —
+			// it anchors later incremental evaluations.
+			stNl := st.maps[ei].Netlist()
+			if len(stNl.Gates) != len(nl.Gates) {
+				t.Fatalf("graph %d effort %d: %d vs %d gates", i, ei, len(stNl.Gates), len(nl.Gates))
+			}
+			for gi := range nl.Gates {
+				a, b := stNl.Gates[gi], nl.Gates[gi]
+				if a.Cell != b.Cell || len(a.Inputs) != len(b.Inputs) {
+					t.Fatalf("graph %d effort %d gate %d differs", i, ei, gi)
+				}
+				for j := range a.Inputs {
+					if a.Inputs[j] != b.Inputs[j] {
+						t.Fatalf("graph %d effort %d gate %d input %d differs", i, ei, gi, j)
+					}
+				}
+			}
+		}
+		if got.DelayPS != want.DelayPS || got.AreaUM2 != want.AreaUM2 || got.Corner != want.Corner {
+			t.Fatalf("graph %d: shared-pass result (%v %v %s) vs independent (%v %v %s)",
+				i, got.DelayPS, got.AreaUM2, got.Corner, want.DelayPS, want.AreaUM2, want.Corner)
 		}
 	}
 }

@@ -53,21 +53,24 @@ func (s *State) AIG() *aig.AIG { return s.g }
 // Netlist returns the mapped netlist (identical to Map's result).
 func (s *State) Netlist() *netlist.Netlist { return s.nl }
 
-// runMapper normalizes the parameters, enumerates cuts, and selects
-// implementations — the shared front half of Map, MapState, and (for
-// the dirty suffix only) Remap.
-func runMapper(g *aig.AIG, lib *cell.Library, p Params) (*mapper, error) {
+// runMapper normalizes the parameters, enumerates cuts (unless the
+// caller precomputed them), and selects implementations — the shared
+// front half of Map, MapState, and (for the dirty suffix only) Remap.
+func runMapper(g *aig.AIG, lib *cell.Library, p Params, cuts [][]cut.Cut) (*mapper, error) {
 	if p.Cut.K == 0 {
 		p.Cut = DefaultParams.Cut
 	}
 	if p.NominalLoadFF == 0 {
 		p.NominalLoadFF = DefaultParams.NominalLoadFF
 	}
+	if cuts == nil {
+		cuts = cut.Enumerate(g, p.Cut)
+	}
 	m := &mapper{
 		g:      g,
 		lib:    lib,
 		p:      p,
-		cuts:   cut.Enumerate(g, p.Cut),
+		cuts:   cuts,
 		impls:  make([][2]impl, g.NumNodes()),
 		direct: make([][2]impl, g.NumNodes()),
 	}
@@ -80,7 +83,26 @@ func runMapper(g *aig.AIG, lib *cell.Library, p Params) (*mapper, error) {
 // MapState maps the AIG like Map and additionally returns the mapping
 // state Remap needs to re-map derived graphs incrementally.
 func MapState(g *aig.AIG, lib *cell.Library, p Params) (*netlist.Netlist, *State, error) {
-	m, err := runMapper(g, lib, p)
+	m, err := runMapper(g, lib, p, nil)
+	if err != nil {
+		return nil, nil, err
+	}
+	return finishMapping(m)
+}
+
+// MapStateWithCuts is MapState over a precomputed cut set — one
+// priority-cut list per node, exactly what cut.Enumerate(g, p.Cut)
+// returns. It exists for callers that enumerate cuts for several
+// mapping efforts in one shared pass (cut.EnumerateDual, used by
+// signoff's dual-effort evaluation): the caller owns the guarantee that
+// cuts matches p.Cut, and the mapping is bit-identical to
+// MapState(g, lib, p) whenever it does. cuts is retained in the
+// returned State and must not be mutated afterwards.
+func MapStateWithCuts(g *aig.AIG, lib *cell.Library, p Params, cuts [][]cut.Cut) (*netlist.Netlist, *State, error) {
+	if len(cuts) != g.NumNodes() {
+		return nil, nil, fmt.Errorf("techmap: cut set covers %d nodes, graph has %d", len(cuts), g.NumNodes())
+	}
+	m, err := runMapper(g, lib, p, cuts)
 	if err != nil {
 		return nil, nil, err
 	}

@@ -91,7 +91,7 @@ type mapper struct {
 // packaging (impl snapshot, gate indexing), keeping the plain
 // evaluation path allocation-lean.
 func Map(g *aig.AIG, lib *cell.Library, p Params) (*netlist.Netlist, error) {
-	m, err := runMapper(g, lib, p)
+	m, err := runMapper(g, lib, p, nil)
 	if err != nil {
 		return nil, err
 	}
