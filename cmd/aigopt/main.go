@@ -10,6 +10,7 @@
 //	aigopt -design EX54 -flow baseline -w-delay 1 -w-area 0.5 -out best.aag
 //	aigopt -design EX08 -flow ground-truth -sweep -shard host1:9610,host2:9610
 //	aigopt -suite EX08,EX54,EX60 -flow ground-truth -shard host1:9610
+//	aigopt -suite EX08,EX54 -flow ground-truth -store sweeps.store
 package main
 
 import (
@@ -23,6 +24,7 @@ import (
 	"aigtimer/internal/anneal"
 	"aigtimer/internal/bench"
 	"aigtimer/internal/cell"
+	"aigtimer/internal/eval"
 	"aigtimer/internal/flows"
 	"aigtimer/internal/gbdt"
 	"aigtimer/internal/shard"
@@ -56,6 +58,7 @@ func main() {
 		suite      = flag.String("suite", "", "comma-separated benchmark designs to sweep through one session (implies -sweep; mutually exclusive with -design/-in)")
 		shardAddrs = flag.String("shard", "", "comma-separated sweepd worker addresses; distributes -sweep/-suite across them (empty = local worker pool)")
 		preseed    = flag.Bool("preseed", true, "push merged cache records to shard workers mid-sweep (recovers cross-worker duplicate evaluations; results unchanged)")
+		storePath  = flag.String("store", "", "persistent evaluation store file for -sweep/-suite: warm-start from past runs' records and flush this run's back (results unchanged)")
 		verbose    = flag.Bool("v", false, "print per-iteration progress")
 	)
 	flag.Parse()
@@ -87,11 +90,27 @@ func main() {
 	if *noInc {
 		p.Incremental = anneal.IncrementalOff
 	}
+	var store *eval.Store
+	if *storePath != "" {
+		if !*sweep && *suite == "" {
+			fatal(fmt.Errorf("aigopt: -store requires -sweep or -suite (single runs have no record store)"))
+		}
+		s, err := eval.OpenStore(*storePath)
+		if err != nil {
+			fatal(err)
+		}
+		defer s.Close()
+		if rb := s.RecoveredBytes(); rb > 0 {
+			fmt.Fprintf(os.Stderr, "aigopt: store %s: dropped %d damaged trailing bytes during recovery\n", *storePath, rb)
+		}
+		fmt.Printf("store %s: %d records across %d (design, evaluator) keys\n", *storePath, s.Len(), s.NumKeys())
+		store = s
+	}
 	if *suite != "" {
 		if *designName != "" || *inPath != "" {
 			fatal(fmt.Errorf("aigopt: -suite is mutually exclusive with -design and -in"))
 		}
-		runSuite(strings.Split(*suite, ","), ev, lib, p, *shardAddrs, *preseed)
+		runSuite(strings.Split(*suite, ","), ev, lib, p, *shardAddrs, *preseed, store)
 		return
 	}
 	g, name, err := loadInput(*designName, *inPath)
@@ -99,7 +118,7 @@ func main() {
 		fatal(err)
 	}
 	if *sweep {
-		runSweep(g, name, ev, lib, p, *shardAddrs, *preseed)
+		runSweep(g, name, ev, lib, p, *shardAddrs, *preseed, store)
 		return
 	}
 	if *shardAddrs != "" {
@@ -169,14 +188,14 @@ func main() {
 // runSweep executes the Fig. 5 hyperparameter grid — locally, or
 // sharded across sweepd workers when addrs is non-empty — and prints
 // every grid point plus the ground-truth Pareto front.
-func runSweep(g *aig.AIG, name string, ev anneal.Evaluator, lib *cell.Library, base anneal.Params, addrs string, preseed bool) {
-	runSuiteEntries([]flows.SuiteEntry{{Name: name, G: g, Eval: ev}}, lib, base, addrs, preseed)
+func runSweep(g *aig.AIG, name string, ev anneal.Evaluator, lib *cell.Library, base anneal.Params, addrs string, preseed bool, store *eval.Store) {
+	runSuiteEntries([]flows.SuiteEntry{{Name: name, G: g, Eval: ev}}, lib, base, addrs, preseed, store)
 }
 
 // runSuite sweeps several benchmark designs through one session (one
 // worker connection and one base transfer per design when sharded,
 // instead of a reconnect per design).
-func runSuite(designs []string, ev anneal.Evaluator, lib *cell.Library, base anneal.Params, addrs string, preseed bool) {
+func runSuite(designs []string, ev anneal.Evaluator, lib *cell.Library, base anneal.Params, addrs string, preseed bool, store *eval.Store) {
 	entries := make([]flows.SuiteEntry, 0, len(designs))
 	for _, name := range designs {
 		d, err := bench.ByName(strings.TrimSpace(name))
@@ -185,13 +204,14 @@ func runSuite(designs []string, ev anneal.Evaluator, lib *cell.Library, base ann
 		}
 		entries = append(entries, flows.SuiteEntry{Name: d.Name, G: d.Build(), Eval: ev})
 	}
-	runSuiteEntries(entries, lib, base, addrs, preseed)
+	runSuiteEntries(entries, lib, base, addrs, preseed, store)
 }
 
 // runSuiteEntries is the shared sweep driver of -sweep and -suite.
-func runSuiteEntries(entries []flows.SuiteEntry, lib *cell.Library, base anneal.Params, addrs string, preseed bool) {
+func runSuiteEntries(entries []flows.SuiteEntry, lib *cell.Library, base anneal.Params, addrs string, preseed bool, store *eval.Store) {
 	cfg := flows.DefaultSweep
 	cfg.Base = base
+	cfg.Store = store
 	grid := cfg.Grid()
 	var (
 		rs  []flows.SuiteResult
@@ -242,6 +262,9 @@ func runSuiteEntries(entries []flows.SuiteEntry, lib *cell.Library, base anneal.
 		if st.SeedPushes > 0 || st.PrefilterHits > 0 {
 			fmt.Printf("preseed: %d pushes / %d records (%d B); %d evaluations skipped, %d records rejected\n",
 				st.SeedPushes, st.SeedRecords, st.SeedBytes, st.PrefilterHits, st.PrefilterRejected)
+		}
+		if st.StoreLoaded > 0 || st.StoreFlushed > 0 {
+			fmt.Printf("store: warm-started from %d records, flushed %d new\n", st.StoreLoaded, st.StoreFlushed)
 		}
 	}
 }

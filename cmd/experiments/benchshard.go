@@ -7,11 +7,13 @@ import (
 	"io"
 	"net"
 	"os"
+	"path/filepath"
 	"sync"
 	"time"
 
 	"aigtimer/internal/bench"
 	"aigtimer/internal/cell"
+	"aigtimer/internal/eval"
 	"aigtimer/internal/flows"
 	"aigtimer/internal/shard"
 )
@@ -34,12 +36,16 @@ type shardBenchRun struct {
 	PrefilterHits     int64   `json:"prefilter_hits"`
 	PrefilterRejected int64   `json:"prefilter_rejected"`
 	PrefilterHitRate  float64 `json:"prefilter_hit_rate"`
+	StoreLoaded       int     `json:"store_loaded,omitempty"`
+	StoreFlushed      int     `json:"store_flushed,omitempty"`
 }
 
 // shardBenchReport is the schema of the BENCH_shard.json CI artifact:
-// the sec2b suite swept through one two-worker shard session with
-// preseeding off and on, identical results asserted, transport and
-// duplicate-evaluation accounting recorded.
+// the sec2b suite swept through one two-worker shard session under four
+// configurations — preseeding off, preseeding on, and a cold-then-warm
+// pair against a persistent evaluation store — with identical results
+// asserted across all of them, and transport, duplicate-evaluation, and
+// store accounting recorded.
 type shardBenchReport struct {
 	Design           string          `json:"design"`
 	GridPoints       int             `json:"grid_points"`
@@ -53,11 +59,13 @@ type shardBenchReport struct {
 
 // runBenchShard measures the sharded sec2b suite over two in-process
 // workers (the production runner over net.Pipe transports — no
-// daemons to manage, so CI can run it hermetically), with cache-record
-// preseeding off and on. It verifies the two runs are byte-identical
-// per entry, reports the transport split, the cross-worker
-// duplicate-evaluation count, and the prefilter hit rate, and appends
-// the numbers to the cross-PR perf trajectory.
+// daemons to manage, so CI can run it hermetically) in four
+// configurations: preseeding off, preseeding on, and the same sweep
+// cold then warm against a persistent store (the warm run starts from
+// the records the cold run flushed, so its duplicate evaluations and
+// ground-truth oracle calls collapse into prefilter hits). It verifies
+// all four runs are byte-identical per entry and appends the numbers to
+// the cross-PR perf trajectory.
 func runBenchShard(cfg config) error {
 	const workers = 2
 	g := bench.Multiplier(5)
@@ -77,7 +85,7 @@ func runBenchShard(cfg config) error {
 	}
 
 	var canon [][]byte
-	for _, preseed := range []bool{false, true} {
+	runOnce := func(name string, preseed bool, store *eval.Store) error {
 		conns := make([]io.ReadWriteCloser, workers)
 		var wg sync.WaitGroup
 		for i := range conns {
@@ -89,12 +97,14 @@ func runBenchShard(cfg config) error {
 				shard.Serve(w, flows.NewShardRunner())
 			}(w)
 		}
+		rc := sc
+		rc.Store = store
 		t0 := time.Now()
-		rs, st, err := flows.SweepSuiteSharded(entries, lib, sc, flows.ShardOptions{
+		rs, st, err := flows.SweepSuiteSharded(entries, lib, rc, flows.ShardOptions{
 			Conns: conns, Preseed: preseed,
 		})
 		if err != nil {
-			return fmt.Errorf("bench-shard: preseed=%v: %w", preseed, err)
+			return fmt.Errorf("bench-shard: %s: %w", name, err)
 		}
 		wall := time.Since(t0)
 		wg.Wait()
@@ -112,12 +122,8 @@ func runBenchShard(cfg config) error {
 			// the prefilter answered for free.
 			rate = float64(hits) / float64(hits+misses)
 		}
-		name := "shard-sec2b-preseed-off"
-		if preseed {
-			name = "shard-sec2b-preseed-on"
-		}
 		report.Runs = append(report.Runs, shardBenchRun{
-			Name: name, Workers: workers, Preseed: preseed,
+			Name: name, Workers: workers, Preseed: preseed || store != nil,
 			WallSeconds:   wall.Seconds(),
 			BytesSent:     st.BytesSent,
 			BytesReceived: st.BytesReceived,
@@ -128,19 +134,71 @@ func runBenchShard(cfg config) error {
 			CacheRecords:  st.CacheRecords, CacheDuplicates: st.CacheDuplicates,
 			PrefilterHits: st.PrefilterHits, PrefilterRejected: st.PrefilterRejected,
 			PrefilterHitRate: rate,
+			StoreLoaded:      st.StoreLoaded, StoreFlushed: st.StoreFlushed,
 		})
-		fmt.Printf("%-26s %7.2fs wall  sent %7d B (base %d, seeds %d)  recv %7d B (delta %d)  records %4d (dup %3d)  prefilter hits %4d (%.0f%%)\n",
+		fmt.Printf("%-26s %7.2fs wall  sent %7d B (base %d, seeds %d)  recv %7d B (delta %d)  records %4d (dup %3d)  prefilter hits %4d (%.0f%%)",
 			name, wall.Seconds(), st.BytesSent, st.BaseBytes, st.SeedBytes,
 			st.BytesReceived, st.DeltaBytes, st.CacheRecords, st.CacheDuplicates,
 			st.PrefilterHits, 100*rate)
+		if store != nil {
+			fmt.Printf("  store loaded %d / flushed %d", st.StoreLoaded, st.StoreFlushed)
+		}
+		fmt.Println()
+		return nil
 	}
 
-	report.ResultsIdentical = bytes.Equal(canon[0], canon[1])
+	if err := runOnce("shard-sec2b-preseed-off", false, nil); err != nil {
+		return err
+	}
+	if err := runOnce("shard-sec2b-preseed-on", true, nil); err != nil {
+		return err
+	}
+
+	// Cold-then-warm store pair: the cold run starts from an empty store
+	// file and flushes what it merges; the warm run reopens the same file
+	// — a fresh coordinator, as after a crash or restart — and preseeds
+	// session zero from it.
+	storePath := cfg.store
+	if storePath == "" {
+		dir, err := os.MkdirTemp("", "bench-shard-store")
+		if err != nil {
+			return err
+		}
+		defer os.RemoveAll(dir)
+		storePath = filepath.Join(dir, "sec2b.store")
+	} else if err := os.MkdirAll(filepath.Dir(storePath), 0o755); err != nil {
+		return err
+	}
+	os.Remove(storePath) // cold means cold, even against a kept path
+	for _, phase := range []string{"shard-sec2b-store-cold", "shard-sec2b-store-warm"} {
+		st, err := eval.OpenStore(storePath)
+		if err != nil {
+			return fmt.Errorf("bench-shard: opening store: %w", err)
+		}
+		runErr := runOnce(phase, true, st)
+		if cerr := st.Close(); runErr == nil && cerr != nil {
+			runErr = fmt.Errorf("bench-shard: closing store: %w", cerr)
+		}
+		if runErr != nil {
+			return runErr
+		}
+	}
+	if cfg.store != "" {
+		fmt.Printf("(kept store %s)\n", storePath)
+	}
+
+	report.ResultsIdentical = true
+	for _, cb := range canon[1:] {
+		if !bytes.Equal(canon[0], cb) {
+			report.ResultsIdentical = false
+		}
+	}
 	report.DuplicatesSaved = report.Runs[0].CacheDuplicates - report.Runs[1].CacheDuplicates
-	fmt.Printf("preseeding saved %d duplicate evaluations; results identical: %v\n",
-		report.DuplicatesSaved, report.ResultsIdentical)
+	warm := report.Runs[len(report.Runs)-1]
+	fmt.Printf("preseeding saved %d duplicate evaluations; warm start loaded %d records (%.0f%% prefilter hit rate); results identical: %v\n",
+		report.DuplicatesSaved, warm.StoreLoaded, 100*warm.PrefilterHitRate, report.ResultsIdentical)
 	if !report.ResultsIdentical {
-		return fmt.Errorf("bench-shard: preseeding changed sweep results")
+		return fmt.Errorf("bench-shard: preseeding or the store changed sweep results")
 	}
 
 	out, err := json.MarshalIndent(report, "", "  ")
@@ -183,6 +241,8 @@ type shardTrajectoryRecord struct {
 	CacheDuplicates  int     `json:"cache_duplicates"`
 	PrefilterHits    int64   `json:"prefilter_hits"`
 	PrefilterHitRate float64 `json:"prefilter_hit_rate"`
+	StoreLoaded      int     `json:"store_loaded,omitempty"`
+	StoreFlushed     int     `json:"store_flushed,omitempty"`
 	WallSeconds      float64 `json:"wall_seconds"`
 }
 
@@ -201,6 +261,7 @@ func appendShardTrajectory(path string, report shardBenchReport) error {
 			BytesSent: r.BytesSent, BytesReceived: r.BytesReceived, SeedBytes: r.SeedBytes,
 			CacheRecords: r.CacheRecords, CacheDuplicates: r.CacheDuplicates,
 			PrefilterHits: r.PrefilterHits, PrefilterHitRate: r.PrefilterHitRate,
+			StoreLoaded: r.StoreLoaded, StoreFlushed: r.StoreFlushed,
 			WallSeconds: r.WallSeconds,
 		}
 		if err := enc.Encode(rec); err != nil {

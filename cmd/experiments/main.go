@@ -30,6 +30,7 @@ type config struct {
 	design   string // test design for Fig. 5
 	shard    string // comma-separated sweepd addresses for sweep experiments
 	preseed  bool   // push merged cache records to shard workers mid-sweep
+	store    string // bench-shard persistent store path ("" = a temp file)
 	outDir   string
 	append   string // perf-trajectory JSONL to append bench results to
 }
@@ -46,6 +47,7 @@ func main() {
 	flag.StringVar(&cfg.design, "design", "EX54", "test design for Fig. 5")
 	flag.StringVar(&cfg.shard, "shard", "", "comma-separated sweepd worker addresses; distributes the sweep experiments (sec2b, fig5) across them — all flows of one experiment share one session per worker")
 	flag.BoolVar(&cfg.preseed, "preseed", true, "push merged cache records to shard workers mid-sweep (recovers cross-worker duplicate evaluations; results unchanged)")
+	flag.StringVar(&cfg.store, "store", "", "bench-shard: persistent evaluation store path for the cold/warm comparison (default: a temp file, removed afterwards)")
 	flag.StringVar(&cfg.outDir, "out", "", "directory for CSV artifacts (default: stdout only)")
 	flag.StringVar(&cfg.append, "append", "", "JSONL file to append a compact bench-anneal record to (the cross-PR perf trajectory)")
 	flag.Parse()

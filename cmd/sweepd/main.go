@@ -13,12 +13,19 @@
 //
 // Usage:
 //
-//	sweepd [-listen 127.0.0.1:9610] [-v]
+//	sweepd [-listen 127.0.0.1:9610] [-retain-mb 64] [-v]
 //
 // The daemon prints "sweepd listening on <addr>" once bound (with
 // -listen :0, that line is how callers learn the port). It serves until
 // killed; a coordinator losing this worker mid-sweep simply reassigns
 // its grid points elsewhere.
+//
+// With -retain-mb the daemon keeps evaluation records across sessions
+// in an in-memory LRU pool (bounded to that many megabytes): a later
+// session sweeping a (design, evaluator) pair the daemon has served
+// before preseeds its fresh cache from the pool, behind the same
+// prefilter coordinator preseeds use — retained records only ever skip
+// oracle calls, so results stay bit-identical to a cold worker's.
 package main
 
 import (
@@ -30,15 +37,17 @@ import (
 	"sync/atomic"
 
 	"aigtimer/internal/aig"
+	"aigtimer/internal/eval"
 	"aigtimer/internal/flows"
 	"aigtimer/internal/shard"
 )
 
 func main() {
 	var (
-		listen  = flag.String("listen", "127.0.0.1:9610", "address to serve shard sessions on (use :0 for an ephemeral port)")
-		maxJobs = flag.Int("max-jobs", 0, "exit before starting this many+1 jobs (0 = unlimited; a chaos/testing knob simulating a worker crash mid-job)")
-		verbose = flag.Bool("v", false, "log per-session and per-job activity")
+		listen   = flag.String("listen", "127.0.0.1:9610", "address to serve shard sessions on (use :0 for an ephemeral port)")
+		maxJobs  = flag.Int("max-jobs", 0, "exit before starting this many+1 jobs (0 = unlimited; a chaos/testing knob simulating a worker crash mid-job)")
+		retainMB = flag.Int("retain-mb", 0, "retain evaluation records across sessions in an LRU pool of this many megabytes (0 = no retention)")
+		verbose  = flag.Bool("v", false, "log per-session and per-job activity")
 	)
 	flag.Parse()
 	log.SetPrefix("sweepd: ")
@@ -49,6 +58,11 @@ func main() {
 		log.Fatalf("listen %s: %v", *listen, err)
 	}
 	fmt.Printf("sweepd listening on %s\n", ln.Addr())
+
+	var pool *eval.RecordPool
+	if *retainMB > 0 {
+		pool = eval.NewRecordPool(int64(*retainMB) << 20)
+	}
 
 	var jobs atomic.Int64
 	for {
@@ -61,9 +75,16 @@ func main() {
 		}
 		go func(conn net.Conn) {
 			runner := flows.NewShardRunner()
+			if pool != nil {
+				runner = flows.NewShardRunnerPooled(pool)
+			}
 			err := shard.Serve(conn, &crashableRunner{Runner: runner, jobs: &jobs, max: *maxJobs, verbose: *verbose})
 			if *verbose || err != nil {
 				log.Printf("session %s ended: %v", conn.RemoteAddr(), err)
+			}
+			if *verbose && pool != nil {
+				keys, recs, bytes := pool.Stats()
+				log.Printf("retention pool: %d keys, %d records, %d bytes", keys, recs, bytes)
 			}
 		}(conn)
 	}

@@ -51,11 +51,12 @@ func (s CacheStats) HitRate() float64 {
 // structural comparison. fp and elem tie the entry back to its bucket
 // and its LRU list position for bounded caches.
 type cacheEntry struct {
-	g    *aig.AIG
-	m    Metrics
-	fp   uint64
-	sh   uint64 // exact structural hash (aig.Hash), the record identity
-	elem *list.Element
+	g      *aig.AIG
+	m      Metrics
+	fp     uint64
+	sh     uint64 // exact structural hash (aig.Hash), the record identity
+	logged bool   // entered the insert log (local knowledge, exportable)
+	elem   *list.Element
 }
 
 // Cached memoizes an Oracle behind a structural-fingerprint cache. The
@@ -118,12 +119,35 @@ type Cached struct {
 	prefilterHits     int64
 	prefilterRejected int64
 
-	// insertLog records every insertion in order, the backing store of
-	// ExportSince: an exporter shipping records incrementally reads only
-	// the suffix it has not seen. Evictions do not truncate it — an
-	// evicted entry's record stays valid (records are value-based) — so
-	// it grows with distinct structures inserted, one small record each.
-	insertLog []CacheRecord
+	// remote is every record identity ever imported through
+	// ImportRecords (pending or adopted). It is what keeps the no-echo
+	// invariant airtight across eviction: an adopted entry that is
+	// LRU-evicted and later re-evaluated locally produces the score the
+	// fleet already has, so its re-insertion must not enter the insert
+	// log — without this set it would, and the coordinator's knowledge
+	// would be exported back to it as if it were new.
+	remote map[CacheKey]bool
+
+	// insertLog records locally evaluated insertions in order, the
+	// backing store of ExportSince: an exporter shipping records
+	// incrementally reads only the suffix it has not seen. Each element
+	// carries an absolute sequence number (logSeq at append time), so
+	// the log can be compacted without invalidating exporter cursors.
+	// Unbounded caches log one record per entry — O(entries) by
+	// construction; bounded caches churn, so compactLogLocked drops
+	// records of evicted entries once the log exceeds twice the entry
+	// bound, keeping it O(MaxEntries) under sustained churn (a dropped
+	// unexported record only loses a dedup opportunity downstream,
+	// never a value).
+	insertLog []loggedRecord
+	logSeq    int
+}
+
+// loggedRecord is one insert-log element: the record plus the absolute
+// sequence number ExportSince cursors refer to.
+type loggedRecord struct {
+	seq int
+	rec CacheRecord
 }
 
 // NewCached wraps o with an unbounded structural-fingerprint memo
@@ -333,6 +357,9 @@ func (c *Cached) ImportRecords(recs []CacheRecord) int {
 	if c.preseed == nil {
 		c.preseed = make(map[uint64][]preseedRec, len(recs))
 	}
+	if c.remote == nil {
+		c.remote = make(map[CacheKey]bool, len(recs))
+	}
 	n := 0
 next:
 	for _, r := range recs {
@@ -341,6 +368,11 @@ next:
 				continue next // already resolved locally
 			}
 		}
+		// From here on the record is remote knowledge whether or not it
+		// is ultimately adopted: its structure was scored elsewhere, so
+		// a local evaluation of it (e.g. after the adopted entry is
+		// LRU-evicted) must never be exported as new.
+		c.remote[r.Key()] = true
 		bucket := c.preseed[r.FP]
 		for _, p := range bucket {
 			if p.sh == r.SH {
@@ -358,15 +390,24 @@ next:
 // exists (two goroutines may evaluate the same structure concurrently),
 // then enforces the MaxEntries bound by least-recently-used eviction.
 // logged records the insertion in the incremental-export log; adopted
-// prefilter entries pass false so remote knowledge is not re-exported.
+// prefilter entries pass false so remote knowledge is not re-exported,
+// and identities in the remote set are suppressed even when logged is
+// true (a re-evaluation after evicting an adopted entry produces a
+// score the fleet already has).
 func (c *Cached) insertLocked(fp uint64, g *aig.AIG, m Metrics, logged bool) {
 	if _, ok := c.lookupLocked(fp, g); ok {
 		return
 	}
 	e := &cacheEntry{g: g, m: m, fp: fp, sh: g.Hash()}
+	if logged && c.remote[CacheKey{FP: fp, SH: e.sh}] {
+		logged = false
+	}
+	e.logged = logged
 	c.table[fp] = append(c.table[fp], e)
 	if logged {
-		c.insertLog = append(c.insertLog, CacheRecord{FP: fp, SH: e.sh, M: m})
+		c.insertLog = append(c.insertLog, loggedRecord{seq: c.logSeq, rec: CacheRecord{FP: fp, SH: e.sh, M: m}})
+		c.logSeq++
+		c.compactLogLocked()
 	}
 	c.entries++
 	if c.lru == nil {
@@ -391,6 +432,51 @@ func (c *Cached) insertLocked(fp uint64, g *aig.AIG, m Metrics, logged bool) {
 		c.entries--
 		c.evictions++
 	}
+}
+
+// compactLogLocked bounds the insert log of a bounded cache: once the
+// log holds more than twice MaxEntries records (with a floor so tiny
+// caches do not compact constantly), records whose entry has been
+// evicted are dropped and one record is kept per live logged entry.
+// Sequence numbers are preserved, so ExportSince cursors stay valid and
+// exporters never re-receive what they already exported; a dropped
+// record that was never exported is knowledge lost to the fleet — a
+// future duplicate evaluation at worst, never a wrong answer. Without
+// this, the log grows without bound in any long-lived coordinator even
+// though MaxEntries bounds the cache itself.
+func (c *Cached) compactLogLocked() {
+	if c.maxEntries == 0 {
+		return
+	}
+	limit := 2 * c.maxEntries
+	if limit < 64 {
+		limit = 64
+	}
+	if len(c.insertLog) <= limit {
+		return
+	}
+	live := make(map[CacheKey]bool, c.entries)
+	for _, bucket := range c.table {
+		for _, e := range bucket {
+			if e.logged {
+				live[CacheKey{FP: e.fp, SH: e.sh}] = true
+			}
+		}
+	}
+	kept := c.insertLog[:0]
+	for _, lr := range c.insertLog {
+		k := lr.rec.Key()
+		if live[k] {
+			kept = append(kept, lr)
+			delete(live, k) // one record per live key
+		}
+	}
+	// Release the tail so the backing array does not pin dropped records.
+	tail := c.insertLog[len(kept):]
+	for i := range tail {
+		tail[i] = loggedRecord{}
+	}
+	c.insertLog = kept
 }
 
 // fingerprint hashes the canonical identity of g: PI/PO/AND counts, the

@@ -1,0 +1,110 @@
+package eval
+
+import "testing"
+
+// TestInsertLogBoundedUnderChurn: a bounded cache's insert log must
+// stay O(MaxEntries) however many distinct structures churn through it
+// — before compaction, sustained churn leaked one log record per
+// evaluation in any long-lived coordinator.
+func TestInsertLogBoundedUnderChurn(t *testing.T) {
+	const maxEntries = 8
+	c := NewCachedLRU(AsOracle(&countEval{}, 1), maxEntries)
+	limit := 2 * maxEntries
+	if limit < 64 {
+		limit = 64
+	}
+	seq := 0
+	var exported int
+	for i := int64(0); i < 2000; i++ {
+		c.Evaluate(testAIG(i))
+		c.mu.Lock()
+		n := len(c.insertLog)
+		c.mu.Unlock()
+		if n > limit {
+			t.Fatalf("after %d evaluations the insert log holds %d records (limit %d)", i+1, n, limit)
+		}
+		// An incremental exporter cursor keeps working across compactions.
+		if i%97 == 0 {
+			recs, next := c.ExportSince(seq)
+			if next < seq {
+				t.Fatalf("sequence went backwards: %d -> %d", seq, next)
+			}
+			seq = next
+			exported += len(recs)
+		}
+	}
+	if s := c.Stats(); s.Entries != maxEntries {
+		t.Fatalf("cache bound broken: %+v", s)
+	}
+	if exported == 0 {
+		t.Fatal("incremental export never returned records")
+	}
+	// A cursor from before a compaction never re-receives records: the
+	// final incremental read returns only what arrived after seq.
+	if recs, _ := c.ExportSince(seq); len(recs) > limit {
+		t.Fatalf("final incremental read returned %d records", len(recs))
+	}
+	// The unbounded sibling still logs every insertion (one per entry).
+	u := NewCached(AsOracle(&countEval{}, 1))
+	for i := int64(0); i < 100; i++ {
+		u.Evaluate(testAIG(i))
+	}
+	if recs, _ := u.ExportSince(0); len(recs) != 100 {
+		t.Fatalf("unbounded cache log has %d records, want 100", len(recs))
+	}
+}
+
+// TestEvictedPreseedNotReExported: a preseeded record whose adopted
+// entry is LRU-evicted and later re-evaluated locally must NOT enter
+// the insert log — the score is knowledge the fleet already has, and
+// re-exporting it would echo it back (and, with a persistent store,
+// duplicate it on disk).
+func TestEvictedPreseedNotReExported(t *testing.T) {
+	const maxEntries = 4
+	shared := testAIG(500)
+
+	// A peer evaluates the shared graph and exports the record.
+	peer := NewCached(AsOracle(&countEval{}, 1))
+	want := peer.Evaluate(shared)
+	recs, _ := peer.ExportSince(0)
+	if len(recs) != 1 {
+		t.Fatalf("peer exported %d records", len(recs))
+	}
+
+	ev := &countEval{}
+	c := NewCachedLRU(AsOracle(ev, 1), maxEntries)
+	if n := c.ImportRecords(recs); n != 1 {
+		t.Fatalf("imported %d records", n)
+	}
+	// Adopt the preseed (prefilter hit: no oracle call) ...
+	if m := c.Evaluate(shared); m != want {
+		t.Fatalf("adopted metrics %+v, want %+v", m, want)
+	}
+	if got := ev.calls.Load(); got != 0 {
+		t.Fatalf("oracle ran %d times for a preseeded graph", got)
+	}
+	// ... then churn enough distinct structures to force its eviction.
+	for i := int64(0); i < 3*maxEntries; i++ {
+		c.Evaluate(testAIG(600 + i))
+	}
+	if s := c.Stats(); s.Evictions == 0 {
+		t.Fatalf("churn forced no evictions: %+v", s)
+	}
+	// Re-evaluating the shared graph now runs the oracle (the adopted
+	// entry is gone, the prefilter record was consumed) ...
+	before := ev.calls.Load()
+	if m := c.Evaluate(shared); m != want {
+		t.Fatalf("re-evaluated metrics %+v, want %+v", m, want)
+	}
+	if ev.calls.Load() != before+1 {
+		t.Fatal("expected a genuine re-evaluation after eviction")
+	}
+	// ... but its record must not be exported as this cache's own.
+	exported, _ := c.ExportSince(0)
+	sharedKey := recs[0].Key()
+	for _, r := range exported {
+		if r.Key() == sharedKey {
+			t.Fatal("re-evaluated preseed was re-exported (remote knowledge echoed)")
+		}
+	}
+}

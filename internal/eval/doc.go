@@ -51,4 +51,15 @@
 // cache performs on retained graphs), and ambiguous records are
 // rejected and re-evaluated. Preseeding therefore changes evaluation
 // cost, never scores.
+//
+// The same record form extends to disk and across sessions: Store is an
+// append-only, checksum-framed log of CacheRecords keyed by StoreKey
+// (design hash × evaluator-spec hash) that warm-starts later runs
+// through the identical ImportRecords prefilter — crash damage is
+// truncated away at open, so a store can lose records but never serve a
+// wrong one — and RecordPool retains per-key record sets in memory
+// under an LRU byte budget for long-lived workers. Remote or stored
+// records a cache adopts are remembered as foreign even across
+// eviction, so ExportSince never echoes knowledge back to the fleet or
+// duplicates it on disk.
 package eval

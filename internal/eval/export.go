@@ -67,19 +67,28 @@ func (c *Cached) Export() []CacheRecord {
 	return recs
 }
 
-// ExportSince returns the records inserted after the first seq ones —
-// in insertion order, not sorted — together with the new sequence
-// number to pass next time. It is the incremental sibling of Export
-// for long-lived exporters (shard worker sessions): each call costs
-// O(new records), not O(cache size). Evicted entries still appear
-// (their records remain valid); a seq from a different cache is
-// clamped into range.
+// ExportSince returns the records logged at or after sequence number
+// seq — in insertion order, not sorted — together with the new
+// sequence number to pass next time. It is the incremental sibling of
+// Export for long-lived exporters (shard worker sessions): each call
+// costs O(new records), not O(cache size). Evicted entries' records
+// remain exportable until the bounded-cache log compaction drops them
+// (see Cached.insertLog); compaction preserves sequence numbers, so a
+// cursor never re-receives records it already exported. A seq from a
+// different cache is clamped into range.
 func (c *Cached) ExportSince(seq int) ([]CacheRecord, int) {
 	c.mu.Lock()
 	defer c.mu.Unlock()
-	if seq < 0 || seq > len(c.insertLog) {
+	if seq < 0 || seq > c.logSeq {
 		seq = 0
 	}
-	recs := append([]CacheRecord(nil), c.insertLog[seq:]...)
-	return recs, len(c.insertLog)
+	i := sort.Search(len(c.insertLog), func(i int) bool { return c.insertLog[i].seq >= seq })
+	var recs []CacheRecord
+	if i < len(c.insertLog) {
+		recs = make([]CacheRecord, 0, len(c.insertLog)-i)
+		for _, lr := range c.insertLog[i:] {
+			recs = append(recs, lr.rec)
+		}
+	}
+	return recs, c.logSeq
 }

@@ -1,0 +1,110 @@
+package eval
+
+import (
+	"container/list"
+	"sync"
+)
+
+// poolRecordBytes is the accounting weight of one retained record: the
+// 32 on-disk bytes plus index overhead, so a budget translates
+// conservatively into record counts.
+const poolRecordBytes = 64
+
+// RecordPool retains evaluation records across worker sessions under an
+// LRU byte budget: a sweepd daemon shares one pool over all the
+// sessions it serves, so a later session sweeping a design the daemon
+// has seen before starts with every record the previous sessions
+// evaluated — installed behind the ImportRecords prefilter, which is
+// what makes cross-session reuse safe (a retained record may only skip
+// an oracle call whose graph it provably describes, never answer a
+// lookup).
+//
+// Retention is keyed by StoreKey, the same (design hash, evaluator-spec
+// hash) identity the persistent Store uses, and eviction is whole-key
+// LRU: when the budget is exceeded, the least recently touched key's
+// records are dropped together (an eviction only costs future
+// re-evaluations, never a wrong answer). A RecordPool is safe for
+// concurrent use.
+type RecordPool struct {
+	mu     sync.Mutex
+	budget int64
+	bytes  int64
+	lru    *list.List // of *poolEntry; front = most recently touched
+	m      map[StoreKey]*poolEntry
+}
+
+// poolEntry is one key's retained records plus its LRU position.
+type poolEntry struct {
+	key  StoreKey
+	recs []CacheRecord
+	seen map[CacheKey]bool
+	elem *list.Element
+}
+
+// NewRecordPool returns a pool retaining at most budgetBytes of records
+// (approximately — each record is accounted at a fixed weight);
+// budgetBytes <= 0 means unbounded.
+func NewRecordPool(budgetBytes int64) *RecordPool {
+	if budgetBytes < 0 {
+		budgetBytes = 0
+	}
+	return &RecordPool{budget: budgetBytes, lru: list.New(), m: make(map[StoreKey]*poolEntry)}
+}
+
+// Get returns a copy of the records retained for key (nil when none),
+// refreshing the key's LRU recency.
+func (p *RecordPool) Get(key StoreKey) []CacheRecord {
+	p.mu.Lock()
+	defer p.mu.Unlock()
+	e := p.m[key]
+	if e == nil {
+		return nil
+	}
+	p.lru.MoveToFront(e.elem)
+	return append([]CacheRecord(nil), e.recs...)
+}
+
+// Put merges recs into the key's retained set (deduplicating by
+// CacheKey), refreshes its recency, evicts least-recently-used keys
+// beyond the byte budget, and returns how many records were new.
+func (p *RecordPool) Put(key StoreKey, recs []CacheRecord) int {
+	p.mu.Lock()
+	defer p.mu.Unlock()
+	e := p.m[key]
+	if e == nil {
+		e = &poolEntry{key: key, seen: make(map[CacheKey]bool)}
+		e.elem = p.lru.PushFront(e)
+		p.m[key] = e
+	} else {
+		p.lru.MoveToFront(e.elem)
+	}
+	added := 0
+	for _, rec := range recs {
+		if e.seen[rec.Key()] {
+			continue
+		}
+		e.seen[rec.Key()] = true
+		e.recs = append(e.recs, rec)
+		added++
+	}
+	p.bytes += int64(added) * poolRecordBytes
+	if p.budget > 0 {
+		for p.bytes > p.budget && p.lru.Len() > 0 {
+			victim := p.lru.Remove(p.lru.Back()).(*poolEntry)
+			p.bytes -= int64(len(victim.recs)) * poolRecordBytes
+			delete(p.m, victim.key)
+		}
+	}
+	return added
+}
+
+// Stats reports the pool's current footprint: retained keys, records,
+// and accounted bytes.
+func (p *RecordPool) Stats() (keys, records int, bytes int64) {
+	p.mu.Lock()
+	defer p.mu.Unlock()
+	for _, e := range p.m {
+		records += len(e.recs)
+	}
+	return len(p.m), records, p.bytes
+}

@@ -1,0 +1,58 @@
+package eval
+
+import "testing"
+
+func TestRecordPoolGetPut(t *testing.T) {
+	p := NewRecordPool(0) // unbounded
+	k := StoreKey{Design: 1, Spec: 2}
+	if got := p.Get(k); got != nil {
+		t.Fatalf("empty pool returned %v", got)
+	}
+	recs := []CacheRecord{storeRec(0), storeRec(1)}
+	if n := p.Put(k, recs); n != 2 {
+		t.Fatalf("put added %d, want 2", n)
+	}
+	// Duplicates (by CacheKey) are dropped; new records accumulate.
+	if n := p.Put(k, []CacheRecord{storeRec(1), storeRec(2)}); n != 1 {
+		t.Fatalf("dedup put added %d, want 1", n)
+	}
+	want := []CacheRecord{storeRec(0), storeRec(1), storeRec(2)}
+	if got := p.Get(k); !recordsEqual(got, want) {
+		t.Fatalf("got %v want %v", got, want)
+	}
+	// Get returns a copy — mutating it must not corrupt the pool.
+	got := p.Get(k)
+	got[0] = storeRec(99)
+	if again := p.Get(k); !recordsEqual(again, want) {
+		t.Fatal("Get exposed the pool's backing slice")
+	}
+}
+
+func TestRecordPoolEvictsWholeKeysLRU(t *testing.T) {
+	// Budget for ~6 records; three keys of 3 records each cannot all fit.
+	p := NewRecordPool(6 * poolRecordBytes)
+	keys := []StoreKey{{Design: 1}, {Design: 2}, {Design: 3}}
+	for i, k := range keys {
+		p.Put(k, []CacheRecord{storeRec(3 * i), storeRec(3*i + 1), storeRec(3*i + 2)})
+	}
+	// Key 0 must be the LRU victim: inserted first, never touched again.
+	if got := p.Get(keys[0]); got != nil {
+		t.Fatalf("LRU key survived a budget overrun: %v", got)
+	}
+	if got := p.Get(keys[2]); len(got) != 3 {
+		t.Fatalf("most recent key lost: %v", got)
+	}
+	k, r, b := p.Stats()
+	if k != 2 || r != 6 || b != 6*poolRecordBytes {
+		t.Fatalf("stats after eviction: keys=%d records=%d bytes=%d", k, r, b)
+	}
+	// A Get refreshes recency: touch key 1, then overflow — key 2 goes.
+	p.Get(keys[1])
+	p.Put(keys[0], []CacheRecord{storeRec(50), storeRec(51), storeRec(52)})
+	if got := p.Get(keys[2]); got != nil {
+		t.Fatal("refreshed key was evicted instead of the stale one")
+	}
+	if got := p.Get(keys[1]); len(got) != 3 {
+		t.Fatal("recently touched key lost")
+	}
+}

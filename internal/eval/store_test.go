@@ -1,0 +1,358 @@
+package eval
+
+import (
+	"bytes"
+	"os"
+	"path/filepath"
+	"sync"
+	"testing"
+)
+
+// storeRec builds a distinct, deterministic record for tests.
+func storeRec(i int) CacheRecord {
+	return CacheRecord{
+		FP: uint64(i)*2654435761 + 1,
+		SH: uint64(i)*40503 + 7,
+		M:  Metrics{DelayPS: float64(i)*1.5 + 0.25, AreaUM2: float64(i)*2.75 + 0.5},
+	}
+}
+
+func TestStoreRoundTrip(t *testing.T) {
+	path := filepath.Join(t.TempDir(), "s.store")
+	kA := StoreKey{Design: 11, Spec: 22}
+	kB := StoreKey{Design: 11, Spec: 33}
+
+	s, err := OpenStore(path)
+	if err != nil {
+		t.Fatal(err)
+	}
+	var wantA, wantB []CacheRecord
+	for i := 0; i < 5; i++ {
+		wantA = append(wantA, storeRec(i))
+	}
+	for i := 100; i < 103; i++ {
+		wantB = append(wantB, storeRec(i))
+	}
+	if n, err := s.Append(kA, wantA); err != nil || n != len(wantA) {
+		t.Fatalf("append A: n=%d err=%v", n, err)
+	}
+	if n, err := s.Append(kB, wantB); err != nil || n != len(wantB) {
+		t.Fatalf("append B: n=%d err=%v", n, err)
+	}
+	// Re-appending the same records is idempotent: nothing new, nothing
+	// written.
+	if n, err := s.Append(kA, wantA); err != nil || n != 0 {
+		t.Fatalf("duplicate append: n=%d err=%v", n, err)
+	}
+	if err := s.Close(); err != nil {
+		t.Fatal(err)
+	}
+
+	s2, err := OpenStore(path)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer s2.Close()
+	if s2.RecoveredBytes() != 0 {
+		t.Fatalf("clean store recovered %d bytes", s2.RecoveredBytes())
+	}
+	if got := s2.Records(kA); !recordsEqual(got, wantA) {
+		t.Fatalf("key A after reopen: got %v want %v", got, wantA)
+	}
+	if got := s2.Records(kB); !recordsEqual(got, wantB) {
+		t.Fatalf("key B after reopen: got %v want %v", got, wantB)
+	}
+	if s2.Len() != len(wantA)+len(wantB) || s2.NumKeys() != 2 {
+		t.Fatalf("len=%d keys=%d", s2.Len(), s2.NumKeys())
+	}
+	if got := s2.Records(StoreKey{Design: 9, Spec: 9}); got != nil {
+		t.Fatalf("unknown key returned %v", got)
+	}
+}
+
+func TestStoreEmptyAndShortFiles(t *testing.T) {
+	dir := t.TempDir()
+
+	// A missing file is created.
+	s, err := OpenStore(filepath.Join(dir, "missing.store"))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if s.Len() != 0 {
+		t.Fatalf("fresh store has %d records", s.Len())
+	}
+	s.Close()
+
+	// A zero-byte file (crash before the magic landed) is initialized,
+	// not refused.
+	empty := filepath.Join(dir, "empty.store")
+	if err := os.WriteFile(empty, nil, 0o644); err != nil {
+		t.Fatal(err)
+	}
+	s, err = OpenStore(empty)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if s.Len() != 0 {
+		t.Fatalf("empty store has %d records", s.Len())
+	}
+	if _, err := s.Append(StoreKey{Design: 1, Spec: 2}, []CacheRecord{storeRec(1)}); err != nil {
+		t.Fatal(err)
+	}
+	s.Close()
+
+	// A torn magic (shorter than 8 bytes) is also reinitialized.
+	torn := filepath.Join(dir, "torn.store")
+	if err := os.WriteFile(torn, []byte("AIG"), 0o644); err != nil {
+		t.Fatal(err)
+	}
+	s, err = OpenStore(torn)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if s.Len() != 0 || s.RecoveredBytes() != 3 {
+		t.Fatalf("torn-magic store: len=%d recovered=%d", s.Len(), s.RecoveredBytes())
+	}
+	s.Close()
+}
+
+func TestStoreForeignFileRefused(t *testing.T) {
+	path := filepath.Join(t.TempDir(), "notastore")
+	if err := os.WriteFile(path, []byte("this is somebody else's data"), 0o644); err != nil {
+		t.Fatal(err)
+	}
+	if _, err := OpenStore(path); err == nil {
+		t.Fatal("foreign file opened as a store")
+	}
+	// And it was not clobbered.
+	b, err := os.ReadFile(path)
+	if err != nil || !bytes.HasPrefix(b, []byte("this is")) {
+		t.Fatalf("foreign file damaged: %q %v", b, err)
+	}
+}
+
+func TestStoreRecoversTruncatedFinalFrame(t *testing.T) {
+	path := filepath.Join(t.TempDir(), "s.store")
+	k := StoreKey{Design: 1, Spec: 1}
+	s, err := OpenStore(path)
+	if err != nil {
+		t.Fatal(err)
+	}
+	s.Append(k, []CacheRecord{storeRec(0), storeRec(1)})
+	s.Append(k, []CacheRecord{storeRec(2), storeRec(3)})
+	s.Close()
+
+	// Tear the final frame: drop its last 5 bytes, as if the crash hit
+	// mid-write before the sync completed.
+	info, err := os.Stat(path)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := os.Truncate(path, info.Size()-5); err != nil {
+		t.Fatal(err)
+	}
+
+	s2, err := OpenStore(path)
+	if err != nil {
+		t.Fatalf("recovery refused to start: %v", err)
+	}
+	defer s2.Close()
+	if s2.RecoveredBytes() == 0 {
+		t.Fatal("no recovery reported for a torn tail")
+	}
+	// The first frame survives intact; the torn one is forgotten.
+	want := []CacheRecord{storeRec(0), storeRec(1)}
+	if got := s2.Records(k); !recordsEqual(got, want) {
+		t.Fatalf("after recovery: got %v want %v", got, want)
+	}
+	// The store keeps working: the lost records can simply be re-added.
+	if n, err := s2.Append(k, []CacheRecord{storeRec(2), storeRec(3)}); err != nil || n != 2 {
+		t.Fatalf("append after recovery: n=%d err=%v", n, err)
+	}
+}
+
+func TestStoreRecoversChecksumMismatchMidFile(t *testing.T) {
+	path := filepath.Join(t.TempDir(), "s.store")
+	k := StoreKey{Design: 1, Spec: 1}
+	s, err := OpenStore(path)
+	if err != nil {
+		t.Fatal(err)
+	}
+	s.Append(k, []CacheRecord{storeRec(0)})
+	s.Append(k, []CacheRecord{storeRec(1)})
+	s.Append(k, []CacheRecord{storeRec(2)})
+	s.Close()
+
+	// Flip one payload byte inside the second frame. Frame layout after
+	// the 8-byte magic: each frame is 8 (header) + 16 (key) + 32 (one
+	// record) = 56 bytes.
+	b, err := os.ReadFile(path)
+	if err != nil {
+		t.Fatal(err)
+	}
+	off := 8 + 56 + storeFrameHeader + 20 // inside frame 2's payload
+	b[off] ^= 0xFF
+	if err := os.WriteFile(path, b, 0o644); err != nil {
+		t.Fatal(err)
+	}
+
+	s2, err := OpenStore(path)
+	if err != nil {
+		t.Fatalf("recovery refused to start: %v", err)
+	}
+	defer s2.Close()
+	// Truncation at the first damaged frame: frame 1 survives, frames 2
+	// and 3 (even though 3 is intact) are dropped — the log has no way
+	// to trust anything past unverifiable bytes.
+	want := []CacheRecord{storeRec(0)}
+	if got := s2.Records(k); !recordsEqual(got, want) {
+		t.Fatalf("after recovery: got %v want %v", got, want)
+	}
+	if s2.RecoveredBytes() != 2*56 {
+		t.Fatalf("recovered %d bytes, want %d", s2.RecoveredBytes(), 2*56)
+	}
+}
+
+func TestStoreCompaction(t *testing.T) {
+	path := filepath.Join(t.TempDir(), "s.store")
+	kA := StoreKey{Design: 2, Spec: 1}
+	kB := StoreKey{Design: 1, Spec: 9}
+	s, err := OpenStore(path)
+	if err != nil {
+		t.Fatal(err)
+	}
+	var wantA, wantB []CacheRecord
+	for i := 0; i < 10; i++ {
+		wantA = append(wantA, storeRec(i))
+		wantB = append(wantB, storeRec(1000+i))
+		s.Append(kA, wantA[i:])
+		s.Append(kB, wantB[i:])
+	}
+	before, err := os.Stat(path)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := s.Compact(); err != nil {
+		t.Fatal(err)
+	}
+	after, err := os.Stat(path)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if after.Size() >= before.Size() {
+		t.Fatalf("compaction did not shrink the file: %d -> %d", before.Size(), after.Size())
+	}
+	// The compacted store still accepts appends and preserves order.
+	if n, err := s.Append(kA, []CacheRecord{storeRec(999)}); err != nil || n != 1 {
+		t.Fatalf("append after compact: n=%d err=%v", n, err)
+	}
+	wantA = append(wantA, storeRec(999))
+	s.Close()
+
+	s2, err := OpenStore(path)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer s2.Close()
+	if got := s2.Records(kA); !recordsEqual(got, wantA) {
+		t.Fatalf("key A after compact+reopen: got %d records want %d", len(got), len(wantA))
+	}
+	if got := s2.Records(kB); !recordsEqual(got, wantB) {
+		t.Fatalf("key B after compact+reopen: got %d records want %d", len(got), len(wantB))
+	}
+}
+
+func TestStoreAutoCompacts(t *testing.T) {
+	path := filepath.Join(t.TempDir(), "s.store")
+	k := StoreKey{Design: 1, Spec: 1}
+	s, err := OpenStore(path)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer s.Close()
+	// Each append is one new record = one frame; past 4*keys+64 frames
+	// Append folds the fragmentation down on its own.
+	var want []CacheRecord
+	for i := 0; i < 200; i++ {
+		want = append(want, storeRec(i))
+		if _, err := s.Append(k, want[i:]); err != nil {
+			t.Fatal(err)
+		}
+	}
+	if s.frames > 4*1+64+1 {
+		t.Fatalf("auto-compaction never ran: %d frames", s.frames)
+	}
+	if got := s.Records(k); !recordsEqual(got, want) {
+		t.Fatalf("records diverged after auto-compaction: %d vs %d", len(got), len(want))
+	}
+}
+
+func TestStoreConcurrentAppendAndCompact(t *testing.T) {
+	path := filepath.Join(t.TempDir(), "s.store")
+	s, err := OpenStore(path)
+	if err != nil {
+		t.Fatal(err)
+	}
+	const writers, perWriter = 4, 50
+	var wg sync.WaitGroup
+	for w := 0; w < writers; w++ {
+		wg.Add(1)
+		go func(w int) {
+			defer wg.Done()
+			key := StoreKey{Design: uint64(w), Spec: 7}
+			for i := 0; i < perWriter; i++ {
+				if _, err := s.Append(key, []CacheRecord{storeRec(w*perWriter + i)}); err != nil {
+					t.Errorf("writer %d: %v", w, err)
+					return
+				}
+			}
+		}(w)
+	}
+	wg.Add(1)
+	go func() {
+		defer wg.Done()
+		for i := 0; i < 10; i++ {
+			if err := s.Compact(); err != nil {
+				t.Errorf("compact: %v", err)
+				return
+			}
+		}
+	}()
+	wg.Wait()
+	if t.Failed() {
+		return
+	}
+	if err := s.Close(); err != nil {
+		t.Fatal(err)
+	}
+
+	// Every record written during the churn survives the reopen.
+	s2, err := OpenStore(path)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer s2.Close()
+	if s2.RecoveredBytes() != 0 {
+		t.Fatalf("churned store needed recovery: %d bytes", s2.RecoveredBytes())
+	}
+	for w := 0; w < writers; w++ {
+		got := s2.Records(StoreKey{Design: uint64(w), Spec: 7})
+		if len(got) != perWriter {
+			t.Fatalf("writer %d: %d records survived, want %d", w, len(got), perWriter)
+		}
+	}
+}
+
+// recordsEqual compares record slices including order (Records promises
+// first-append order).
+func recordsEqual(a, b []CacheRecord) bool {
+	if len(a) != len(b) {
+		return false
+	}
+	for i := range a {
+		if a[i] != b[i] {
+			return false
+		}
+	}
+	return true
+}

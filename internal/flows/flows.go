@@ -199,6 +199,17 @@ type SweepConfig struct {
 	DelayWeights []float64
 	AreaWeights  []float64
 	DecayRates   []float64
+	// Store, when set, warm-starts sweeps from persisted evaluation
+	// records and flushes new ones back: keyed by (base-graph hash,
+	// evaluator-spec hash), loaded behind the memo cache's ImportRecords
+	// prefilter — so a stored record may only skip an oracle call whose
+	// graph it provably describes, never answer a lookup — and therefore
+	// value-transparent: results are byte-identical with the store on,
+	// off, cold, or warm. Only sweeps whose guiding evaluator has a wire
+	// spec (Proxy, *GroundTruth, *ML) participate; others ignore the
+	// store, since an arbitrary evaluator has no stable cross-process
+	// identity to key records by.
+	Store *eval.Store
 }
 
 // DefaultSweep is a compact grid that still traces a front.

@@ -4,6 +4,7 @@ import (
 	"bytes"
 	"fmt"
 	"io"
+	"time"
 
 	"aigtimer/internal/aig"
 	"aigtimer/internal/anneal"
@@ -27,6 +28,10 @@ type ShardOptions struct {
 	// value-transparent (results are byte-identical either way), see
 	// shard.Options.Preseed.
 	Preseed bool
+	// StoreFlushEvery is the coordinator's mid-run flush cadence when
+	// SweepConfig.Store is set (0 = the shard layer's default of 30s);
+	// see shard.Options.StoreFlushEvery.
+	StoreFlushEvery time.Duration
 	// OnJobDone, when set, is invoked as each grid point's result is
 	// merged (session job index, worker name) — a progress hook; see
 	// shard.Options.OnJobDone.
@@ -154,12 +159,34 @@ type shardRunner struct {
 	gt       *GroundTruth
 	warmed   map[*aig.AIG]bool
 	cacheSeq []int // per-entry ExportSince high-water marks
+
+	// Cross-session retention (nil pool = none): specHashes carries each
+	// entry's evaluator-spec hash from Configure, keys the per-entry
+	// eval.StoreKey once the entry's base graph is known (its first job),
+	// imported marks entries whose cache has been preseeded from the
+	// pool.
+	pool       *eval.RecordPool
+	specHashes []uint64
+	keys       []*eval.StoreKey
+	imported   []bool
 }
 
 // NewShardRunner returns the production shard.Runner used by
 // cmd/sweepd. Each worker session gets its own runner (its own caches
 // and incremental stacks).
 func NewShardRunner() shard.Runner { return &shardRunner{warmed: make(map[*aig.AIG]bool)} }
+
+// NewShardRunnerPooled is NewShardRunner with cross-session record
+// retention: on each entry's first job the runner preseeds the entry
+// cache from pool — behind the ImportRecords prefilter, so a retained
+// record may only skip an oracle call, never answer a lookup — and
+// every record the session evaluates itself is contributed back. One
+// pool, shared across all the sessions a sweepd process serves, is what
+// lets a later session sweeping a familiar (design, evaluator) pair
+// start warm without any coordinator-side store.
+func NewShardRunnerPooled(pool *eval.RecordPool) shard.Runner {
+	return &shardRunner{warmed: make(map[*aig.AIG]bool), pool: pool}
+}
 
 // Configure implements shard.Runner: it reconstructs the library and
 // each entry's guiding evaluator from the wire config and builds one
@@ -176,12 +203,16 @@ func (r *shardRunner) Configure(cfg shard.RunConfig) error {
 	r.base = cfg.Base
 	r.stacks = make([]anneal.Evaluator, len(cfg.Entries))
 	r.cacheSeq = make([]int, len(cfg.Entries))
+	r.specHashes = make([]uint64, len(cfg.Entries))
+	r.keys = make([]*eval.StoreKey, len(cfg.Entries))
+	r.imported = make([]bool, len(cfg.Entries))
 	for i, e := range cfg.Entries {
 		ev, err := evaluatorFromSpec(e.Eval, lib)
 		if err != nil {
 			return err
 		}
 		r.stacks[i] = NewSweepStack(ev, cfg.Base, 1)
+		r.specHashes[i] = e.Eval.Hash()
 	}
 	r.gt = NewGroundTruth(lib)
 	return nil
@@ -195,6 +226,19 @@ func (r *shardRunner) Run(base *aig.AIG, job shard.JobSpec) (*shard.WorkResult, 
 	if !r.warmed[base] {
 		WarmRoot(base)
 		r.warmed[base] = true
+	}
+	// The entry's store key needs the base graph's hash, so retention
+	// activates on the entry's first job: import what previous sessions
+	// evaluated for this (design, evaluator) pair, behind the prefilter.
+	if r.pool != nil && !r.imported[job.Entry] {
+		r.imported[job.Entry] = true
+		if c, ok := r.entryCache(job.Entry); ok {
+			key := eval.StoreKey{Design: base.Hash(), Spec: r.specHashes[job.Entry]}
+			r.keys[job.Entry] = &key
+			if recs := r.pool.Get(key); len(recs) > 0 {
+				c.ImportRecords(recs)
+			}
+		}
 	}
 	pt := GridPoint{
 		Index:       job.Index,
@@ -220,6 +264,9 @@ func (r *shardRunner) CacheSnapshot(entry int) []eval.CacheRecord {
 	}
 	recs, seq := c.ExportSince(r.cacheSeq[entry])
 	r.cacheSeq[entry] = seq
+	if r.pool != nil && r.keys[entry] != nil && len(recs) > 0 {
+		r.pool.Put(*r.keys[entry], recs)
+	}
 	return recs
 }
 

@@ -1,0 +1,104 @@
+package flows
+
+import (
+	"bytes"
+	"path/filepath"
+	"testing"
+
+	"aigtimer/internal/cell"
+	"aigtimer/internal/eval"
+)
+
+// TestSweepSuiteStoreWarmStart: local suite sweeps against a persistent
+// store — absent, cold, warm — are byte-identical, the warm run grows
+// the file by nothing (its knowledge is adopted, not re-derived), and a
+// sharded session warm-starts from the records a local suite flushed,
+// proving both paths derive the same (design, evaluator) store key.
+func TestSweepSuiteStoreWarmStart(t *testing.T) {
+	g := testAIG(61)
+	lib := cell.Builtin()
+	cfg := shardTestSweepConfig(41)
+	entries := []SuiteEntry{
+		{Name: "gt", G: g, Eval: NewGroundTruth(lib)},
+		{Name: "proxy", G: g, Eval: Proxy{}}, // cheap: uncached, stores nothing
+	}
+	want, err := SweepSuite(entries, lib, cfg) // store-absent reference
+	if err != nil {
+		t.Fatal(err)
+	}
+
+	path := filepath.Join(t.TempDir(), "suite.store")
+	runLocal := func(label string) {
+		t.Helper()
+		s, err := eval.OpenStore(path)
+		if err != nil {
+			t.Fatal(err)
+		}
+		defer s.Close()
+		c := cfg
+		c.Store = s
+		got, err := SweepSuite(entries, lib, c)
+		if err != nil {
+			t.Fatalf("%s: %v", label, err)
+		}
+		for e := range entries {
+			if !bytes.Equal(CanonicalizeSweep(want[e].Points), CanonicalizeSweep(got[e].Points)) {
+				t.Fatalf("%s: entry %q differs from the store-absent reference", label, entries[e].Name)
+			}
+		}
+	}
+	runLocal("cold")
+
+	// The cold run persisted the ground-truth entry's records and nothing
+	// for the uncached proxy entry.
+	s, err := eval.OpenStore(path)
+	if err != nil {
+		t.Fatal(err)
+	}
+	persisted := s.Len()
+	if persisted == 0 || s.NumKeys() != 1 {
+		t.Fatalf("cold suite stored %d records across %d keys, want >0 across 1", persisted, s.NumKeys())
+	}
+	if err := s.Close(); err != nil {
+		t.Fatal(err)
+	}
+
+	runLocal("warm")
+
+	// Warm knowledge is reused, not re-stored: adopted records never
+	// enter the insert log, so a run that discovered nothing new appends
+	// nothing.
+	s, err = eval.OpenStore(path)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if s.Len() != persisted {
+		t.Fatalf("warm run grew the store: %d -> %d records", persisted, s.Len())
+	}
+
+	// The same file warm-starts a sharded session: the coordinator
+	// computes the key the local suite wrote under and pushes the records
+	// to its workers.
+	c := cfg
+	c.Store = s
+	conns, wait := loopbackWorkers(2)
+	got, st, err := SweepSuiteSharded(entries, lib, c, ShardOptions{Conns: conns})
+	if err != nil {
+		t.Fatal(err)
+	}
+	wait()
+	if err := s.Close(); err != nil {
+		t.Fatal(err)
+	}
+	if st.StoreLoaded != persisted {
+		t.Fatalf("sharded session loaded %d of the local suite's %d records", st.StoreLoaded, persisted)
+	}
+	if st.PrefilterHits == 0 {
+		t.Fatal("warm-started sharded session reports no prefilter hits")
+	}
+	for e := range entries {
+		if !bytes.Equal(CanonicalizeSweep(want[e].Points), CanonicalizeSweep(got[e].Points)) {
+			t.Fatalf("sharded warm start: entry %q differs", entries[e].Name)
+		}
+	}
+}

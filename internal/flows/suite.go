@@ -9,6 +9,7 @@ import (
 	"aigtimer/internal/aig"
 	"aigtimer/internal/anneal"
 	"aigtimer/internal/cell"
+	"aigtimer/internal/eval"
 	"aigtimer/internal/shard"
 )
 
@@ -78,9 +79,18 @@ func SweepSuite(entries []SuiteEntry, lib *cell.Library, cfg SweepConfig) ([]Sui
 	}
 	gt := NewGroundTruth(lib)
 	stacks := make([]anneal.Evaluator, len(entries))
+	storeKeys := suiteStoreKeys(entries, cfg.Store)
 	for e, ent := range entries {
 		WarmRoot(ent.G)
 		stacks[e] = NewSweepStack(ent.Eval, cfg.Base, workers)
+		// Store records enter behind the memo cache's prefilter: they may
+		// only skip oracle calls whose graph they provably describe, so a
+		// warm start never changes a result.
+		if storeKeys[e] != nil {
+			if c, ok := stacks[e].(*eval.Cached); ok {
+				c.ImportRecords(cfg.Store.Records(*storeKeys[e]))
+			}
+		}
 	}
 	pts := make([]SweepPoint, len(jobs))
 	errs := make([]error, len(jobs))
@@ -106,7 +116,50 @@ func SweepSuite(entries []SuiteEntry, lib *cell.Library, cfg SweepConfig) ([]Sui
 			return nil, &SweepError{Design: entries[j.Entry].Name, Point: j.Point, Total: len(grid), Err: err}
 		}
 	}
+	flushSuiteStore(cfg.Store, storeKeys, stacks)
 	return packSuite(entries, grid, func(slot int) SweepPoint { return pts[slot] }), nil
+}
+
+// suiteStoreKeys computes each entry's persistent-store key — the
+// (base-graph hash, evaluator-spec hash) pair that scopes stored
+// records to one design swept under one reconstructible evaluator — or
+// nil for entries whose evaluator has no wire spec (no stable
+// cross-process identity to key records by) and when no store is
+// configured.
+func suiteStoreKeys(entries []SuiteEntry, store *eval.Store) []*eval.StoreKey {
+	keys := make([]*eval.StoreKey, len(entries))
+	if store == nil {
+		return keys
+	}
+	for e, ent := range entries {
+		spec, err := evalSpecFor(ent.Eval)
+		if err != nil {
+			continue
+		}
+		keys[e] = &eval.StoreKey{Design: ent.G.Hash(), Spec: spec.Hash()}
+	}
+	return keys
+}
+
+// flushSuiteStore appends each cached stack's locally evaluated records
+// to the store: ExportSince(0) covers exactly what this run computed,
+// because records adopted from store imports never enter the insert
+// log. Durability is best-effort — the sweep's results are already in
+// hand, so a failing flush costs future warm starts, nothing else.
+func flushSuiteStore(store *eval.Store, keys []*eval.StoreKey, stacks []anneal.Evaluator) {
+	if store == nil {
+		return
+	}
+	for e, key := range keys {
+		if key == nil {
+			continue
+		}
+		if c, ok := stacks[e].(*eval.Cached); ok {
+			if recs, _ := c.ExportSince(0); len(recs) > 0 {
+				store.Append(*key, recs)
+			}
+		}
+	}
 }
 
 // SweepSuiteSharded runs the sweep grid for every entry across sweepd
@@ -169,6 +222,7 @@ func SweepSuiteSharded(entries []SuiteEntry, lib *cell.Library, cfg SweepConfig,
 	results, st, err := shard.Run(bases, rc, jobs, shard.Options{
 		Conns: opts.Conns, Endpoints: opts.Endpoints,
 		MaxAttempts: opts.MaxAttempts, Preseed: opts.Preseed,
+		Store: cfg.Store, StoreFlushEvery: opts.StoreFlushEvery,
 		OnJobDone: opts.OnJobDone, Logf: opts.Logf,
 	})
 	if err != nil {

@@ -46,6 +46,22 @@ type Options struct {
 	// only skips oracle work — but cross-worker duplicate evaluations
 	// (Stats.CacheDuplicates) drop.
 	Preseed bool
+	// Store, when set, makes the run's merged knowledge durable: before
+	// dispatching, the coordinator loads the store's records for every
+	// session entry — keyed by eval.StoreKey, the (base-graph hash,
+	// evaluator-spec hash) pair — into the merged caches, where the
+	// preseed path pushes them to each worker before its first job of
+	// the entry (setting Store implies Preseed). Newly merged records
+	// are flushed back on a periodic ticker and once more when the run
+	// ends. Preseeded records pass through the worker caches'
+	// ImportRecords prefilter, so a warm start may only skip oracle
+	// calls, never change a result.
+	Store *eval.Store
+	// StoreFlushEvery is the period of the mid-run store flush ticker;
+	// 0 means 30s. Flushes are idempotent (the store deduplicates by
+	// record identity), so the cadence only bounds how much merged work
+	// a coordinator crash can lose, never what a restart recovers into.
+	StoreFlushEvery time.Duration
 	// Logf, when set, receives progress and failure events.
 	Logf func(format string, args ...any)
 }
@@ -101,6 +117,13 @@ type Stats struct {
 	// Fleet-wide preseed effect, summed over WorkerStats.
 	PrefilterHits     int64
 	PrefilterRejected int64
+
+	// Persistent-store traffic: records Options.Store contributed to the
+	// merged caches before dispatch (the warm start), and records this
+	// run newly flushed to it (mid-run ticker flushes included; the
+	// store's deduplication keeps re-flushes free).
+	StoreLoaded  int
+	StoreFlushed int
 
 	Workers []WorkerStats
 }
@@ -360,6 +383,26 @@ func Run(bases []*aig.AIG, cfg RunConfig, jobs []JobSpec, opts Options) ([]JobRe
 	for e := range st.MergedCaches {
 		st.MergedCaches[e] = make(map[eval.CacheKey]eval.Metrics)
 	}
+	// A persistent store warm-starts the merge: its records enter the
+	// merged caches exactly like worker contributions, so the ordinary
+	// preseed path pushes them to every worker before its first job of
+	// the entry — which is why a store implies preseeding.
+	preseed := opts.Preseed || opts.Store != nil
+	var storeKeys []eval.StoreKey
+	if opts.Store != nil {
+		storeKeys = make([]eval.StoreKey, len(cfg.Entries))
+		for e, ent := range cfg.Entries {
+			storeKeys[e] = eval.StoreKey{Design: bases[ent.Base].Hash(), Spec: ent.Eval.Hash()}
+			for _, rec := range opts.Store.Records(storeKeys[e]) {
+				if _, dup := st.MergedCaches[e][rec.Key()]; dup {
+					continue
+				}
+				st.MergedCaches[e][rec.Key()] = rec.M
+				mergedLog[e] = append(mergedLog[e], rec)
+				st.StoreLoaded++
+			}
+		}
+	}
 	// seen[id][e] is the set of structures worker id is known to hold
 	// for entry e; sent[id][e] is its high-water mark into mergedLog[e].
 	seen := make([][]map[eval.CacheKey]bool, len(conns))
@@ -377,6 +420,54 @@ func Run(bases []*aig.AIG, cfg RunConfig, jobs []JobSpec, opts Options) ([]JobRe
 	s := newSched(jobs, len(conns))
 	var mu sync.Mutex // guards st (non-atomic fields), seed state, results, jobErrs
 
+	// flushStore appends every merged record to the store; Append
+	// deduplicates against what the store already holds, so passing the
+	// whole log each time needs no high-water bookkeeping and a crash
+	// between flushes loses at most one ticker period of new records.
+	var flushMu sync.Mutex
+	flushStore := func() {
+		if opts.Store == nil {
+			return
+		}
+		flushMu.Lock()
+		defer flushMu.Unlock()
+		for e := range cfg.Entries {
+			mu.Lock()
+			recs := append([]eval.CacheRecord(nil), mergedLog[e]...)
+			mu.Unlock()
+			added, err := opts.Store.Append(storeKeys[e], recs)
+			if err != nil {
+				logf("shard: store flush of entry %d failed: %v", e, err)
+				continue
+			}
+			mu.Lock()
+			st.StoreFlushed += added
+			mu.Unlock()
+		}
+	}
+	stopFlush := make(chan struct{})
+	var flushWG sync.WaitGroup
+	if opts.Store != nil {
+		period := opts.StoreFlushEvery
+		if period <= 0 {
+			period = 30 * time.Second
+		}
+		flushWG.Add(1)
+		go func() {
+			defer flushWG.Done()
+			tick := time.NewTicker(period)
+			defer tick.Stop()
+			for {
+				select {
+				case <-tick.C:
+					flushStore()
+				case <-stopFlush:
+					return
+				}
+			}
+		}()
+	}
+
 	var wg sync.WaitGroup
 	for id := range conns {
 		wg.Add(1)
@@ -388,6 +479,22 @@ func Run(bases []*aig.AIG, cfg RunConfig, jobs []JobSpec, opts Options) ([]JobRe
 			defer m.Close()
 			br := bufio.NewReader(m)
 			bw := bufio.NewWriter(m)
+
+			// Writes mirror the read-deadline discipline below: a wedged
+			// worker that stops draining its socket would otherwise block
+			// a dispatch write forever once the transport buffer fills,
+			// holding this goroutine's job hostage. Armed before every
+			// write batch, expiry surfaces as a write error and the
+			// ordinary die/requeue path excludes the worker.
+			armWrite := func() {
+				if dl, ok := wc.rwc.(interface{ SetWriteDeadline(time.Time) error }); ok {
+					if opts.JobTimeout > 0 {
+						dl.SetWriteDeadline(time.Now().Add(opts.JobTimeout))
+					} else {
+						dl.SetWriteDeadline(time.Time{})
+					}
+				}
+			}
 
 			die := func(t *task, why error) {
 				logf("shard: worker %s lost: %v", wc.name, why)
@@ -404,6 +511,7 @@ func Run(bases []*aig.AIG, cfg RunConfig, jobs []JobSpec, opts Options) ([]JobRe
 				s.workerDead(id)
 			}
 
+			armWrite()
 			if err := writeMsg(bw, msgConfig, cfgPayload); err != nil {
 				die(nil, err)
 				return
@@ -429,6 +537,7 @@ func Run(bases []*aig.AIG, cfg RunConfig, jobs []JobSpec, opts Options) ([]JobRe
 				t, ok := s.next(id)
 				if !ok {
 					// Drained: a polite bye, best-effort.
+					armWrite()
 					if writeMsg(bw, msgBye, nil) == nil {
 						bw.Flush()
 					}
@@ -439,7 +548,7 @@ func Run(bases []*aig.AIG, cfg RunConfig, jobs []JobSpec, opts Options) ([]JobRe
 				// worker neither contributed nor received yet rides in the
 				// same flush as the job.
 				var seedPayload []byte
-				if opts.Preseed {
+				if preseed {
 					mu.Lock()
 					var pending []eval.CacheRecord
 					for _, rec := range mergedLog[e][sent[id][e]:] {
@@ -462,6 +571,7 @@ func Run(bases []*aig.AIG, cfg RunConfig, jobs []JobSpec, opts Options) ([]JobRe
 					st.JobSends++
 					mu.Unlock()
 				}
+				armWrite()
 				if seedPayload != nil {
 					if err := writeMsg(bw, msgCacheSeed, seedPayload); err != nil {
 						die(t, err)
@@ -554,6 +664,9 @@ func Run(bases []*aig.AIG, cfg RunConfig, jobs []JobSpec, opts Options) ([]JobRe
 		}(id)
 	}
 	wg.Wait()
+	close(stopFlush)
+	flushWG.Wait()
+	flushStore()
 
 	for id := range st.Workers {
 		st.PrefilterHits += st.Workers[id].PrefilterHits

@@ -1,0 +1,101 @@
+package shard
+
+import (
+	"bufio"
+	"io"
+	"net"
+	"sync"
+	"testing"
+	"time"
+
+	"aigtimer/internal/aig"
+)
+
+// gatedWriteConn holds every coordinator-side write until gate closes,
+// pinning a worker's session start to a test-chosen moment. It
+// deliberately hides the underlying deadline methods: the gated worker
+// runs without transport deadlines, like a plain io.ReadWriteCloser.
+type gatedWriteConn struct {
+	io.ReadWriteCloser
+	gate <-chan struct{}
+}
+
+func (c *gatedWriteConn) Write(p []byte) (int, error) {
+	<-c.gate
+	return c.ReadWriteCloser.Write(p)
+}
+
+// A wedged worker — connected, preamble consumed, then never reading
+// again while a full transport buffer blocks the coordinator's dispatch
+// write — must not hold its job hostage: with JobTimeout set the write
+// deadline mirrors the read deadline, the blocked flush errors out, the
+// worker counts as lost, and the job requeues to a healthy peer. Before
+// write deadlines, this scenario deadlocked the dispatch goroutine
+// forever (net.Pipe, like a full TCP send buffer, blocks writes until
+// the peer drains).
+func TestWedgedWorkerWriteDeadlineRequeues(t *testing.T) {
+	base := testAIG(8)
+	cfg := testConfig()
+	jobs := testJobs(4)
+	want := reference(t, base, cfg, jobs)
+
+	// The wedge endpoint consumes the session preamble (config + base),
+	// then reads exactly one byte of the first dispatch — proof a job is
+	// in flight on this connection — and nothing more, holding the
+	// connection open so the rest of the flush blocks in the pipe.
+	cw, ww := net.Pipe()
+	dispatched := make(chan struct{})
+	var wedgeWG sync.WaitGroup
+	wedgeWG.Add(1)
+	go func() {
+		defer wedgeWG.Done()
+		defer close(dispatched)
+		br := bufio.NewReader(ww)
+		for i := 0; i < 2; i++ { // msgConfig, msgBase
+			if _, _, err := readMsg(br); err != nil {
+				t.Errorf("wedge preamble read %d: %v", i, err)
+				return
+			}
+		}
+		var b [1]byte
+		if _, err := ww.Read(b[:]); err != nil {
+			t.Errorf("wedge dispatch byte: %v", err)
+		}
+	}()
+
+	// The healthy worker's session is gated until the wedge provably has
+	// a job dispatched to it, so the wedge deterministically owns one job
+	// when its deadline fires.
+	healthy := newFakeRunner()
+	hconns, wait := startWorkers([]*fakeRunner{healthy})
+	conns := []io.ReadWriteCloser{
+		cw,
+		&gatedWriteConn{ReadWriteCloser: hconns[0], gate: dispatched},
+	}
+
+	got, st, err := Run([]*aig.AIG{base}, cfg, jobs, Options{
+		Conns:      conns,
+		JobTimeout: 250 * time.Millisecond,
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	wait()
+	wedgeWG.Wait()
+	ww.Close()
+
+	for i := range jobs {
+		if err := sameResult(got[i].Result, want[i].Result); err != nil {
+			t.Fatalf("job %d after wedged worker: %v", i, err)
+		}
+	}
+	if st.WorkerLosses != 1 || !st.Workers[0].Lost || st.Workers[1].Lost {
+		t.Fatalf("wedged worker not counted lost: %+v", st.Workers)
+	}
+	if st.Requeues != 1 {
+		t.Fatalf("requeues = %d, want 1 (the write-blocked dispatch)", st.Requeues)
+	}
+	if st.Workers[1].Jobs != len(jobs) {
+		t.Fatalf("healthy worker served %d jobs, want all %d", st.Workers[1].Jobs, len(jobs))
+	}
+}

@@ -34,8 +34,21 @@
 //     workers up to Options.MaxAttempts (the job's grid coordinates ride
 //     along, surfacing as JobFailedError when exhausted); a lost
 //     transport requeues the in-flight job and removes only that worker.
-//     Like flows.Sweep, the run completes every finishable job before
+//     Options.JobTimeout arms read AND write deadlines on deadline-capable
+//     transports: a worker wedged mid-computation (read) or one that
+//     stopped draining its socket with the transport buffer full (write)
+//     both surface as a loss instead of blocking dispatch forever. Like
+//     flows.Sweep, the run completes every finishable job before
 //     reporting the first failure in job order.
+//   - Warm starts only skip work. Options.Store persists the merged
+//     caches to an eval.Store keyed by (base-graph hash, evaluator-spec
+//     hash): at start the coordinator loads each entry's stored records
+//     into the merge, where the preseed path pushes them to workers
+//     behind the same ImportRecords prefilter, and newly merged records
+//     are flushed back periodically and at session end. A crash-damaged
+//     file is truncated at the first bad frame on open — a restart may
+//     forget records (costing re-evaluation) but never refuses to start
+//     and never changes a result.
 //
 // # Topology
 //

@@ -5,6 +5,7 @@ import (
 	"bytes"
 	"encoding/binary"
 	"fmt"
+	"hash/fnv"
 	"io"
 	"math"
 	"time"
@@ -70,6 +71,32 @@ type EvalSpec struct {
 	DelayModel  []byte // gbdt JSON (ml only)
 	AreaModel   []byte // gbdt JSON (ml only, optional)
 	AreaPerNode bool   // ml area-model convention
+}
+
+// Hash returns a stable 64-bit identity of the spec — FNV-1a over its
+// kind, model blobs, and area convention, with length framing so
+// distinct field splits cannot collide. Paired with a base graph's
+// aig.Hash it forms eval.StoreKey, the persistent store's notion of
+// "same sweep": two sessions share stored records exactly when they
+// sweep the same structure under an evaluator that would reconstruct
+// identically.
+func (s EvalSpec) Hash() uint64 {
+	h := fnv.New64a()
+	var lenBuf [binary.MaxVarintLen64]byte
+	field := func(b []byte) {
+		n := binary.PutUvarint(lenBuf[:], uint64(len(b)))
+		h.Write(lenBuf[:n])
+		h.Write(b)
+	}
+	field([]byte(s.Kind))
+	field(s.DelayModel)
+	field(s.AreaModel)
+	if s.AreaPerNode {
+		h.Write([]byte{1})
+	} else {
+		h.Write([]byte{0})
+	}
+	return h.Sum64()
 }
 
 // JobSpec is one grid point: the session entry it belongs to, a

@@ -1,0 +1,120 @@
+package shard
+
+import (
+	"os"
+	"path/filepath"
+	"testing"
+
+	"aigtimer/internal/aig"
+	"aigtimer/internal/eval"
+)
+
+// TestStoreWarmStartByteIdentical is the tentpole acceptance test: a
+// coordinator running with a persistent store — cold, warm, and
+// restarting after a crash tore the store's tail — produces results
+// bit-identical to the store-less local reference, while the warm
+// sessions demonstrably skip oracle work (StoreLoaded, PrefilterHits).
+//
+// The sequence is one cluster lifetime: session one sweeps half the
+// grid cold and flushes; session two (a fresh coordinator, as after a
+// restart) warm-starts from the file, sweeps the full grid, and flushes
+// what it newly discovered; then a crash mid-flush is simulated by
+// tearing the final frame, and session three must recover the intact
+// prefix and still warm-start — damage only ever forgets records, it
+// never wedges a start or changes a result.
+func TestStoreWarmStartByteIdentical(t *testing.T) {
+	base := testAIG(9)
+	cfg := testConfig()
+	jobs := testJobs(6)
+	want := reference(t, base, cfg, jobs)
+
+	path := filepath.Join(t.TempDir(), "sweep.store")
+	runWith := func(s *eval.Store, js []JobSpec) *Stats {
+		t.Helper()
+		runners := []*fakeRunner{newFakeRunner(), newFakeRunner()}
+		conns, wait := startWorkers(runners)
+		got, st, err := Run([]*aig.AIG{base}, cfg, js, Options{Conns: conns, Store: s})
+		if err != nil {
+			t.Fatal(err)
+		}
+		wait()
+		for i := range js {
+			if err := sameResult(got[i].Result, want[i].Result); err != nil {
+				t.Fatalf("job %d with store: %v", i, err)
+			}
+		}
+		return st
+	}
+
+	// Session one: cold over half the grid.
+	s1, err := eval.OpenStore(path)
+	if err != nil {
+		t.Fatal(err)
+	}
+	st1 := runWith(s1, jobs[:3])
+	if st1.StoreLoaded != 0 {
+		t.Fatalf("cold session loaded %d records from an empty store", st1.StoreLoaded)
+	}
+	if st1.StoreFlushed == 0 {
+		t.Fatal("cold session flushed nothing")
+	}
+	if err := s1.Close(); err != nil {
+		t.Fatal(err)
+	}
+
+	// Session two: a fresh coordinator over the full grid warm-starts
+	// from session one's records and flushes the newly explored ones.
+	s2, err := eval.OpenStore(path)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if rb := s2.RecoveredBytes(); rb != 0 {
+		t.Fatalf("cleanly closed store recovered %d bytes", rb)
+	}
+	if s2.Len() != st1.StoreFlushed {
+		t.Fatalf("store holds %d records, session one flushed %d", s2.Len(), st1.StoreFlushed)
+	}
+	st2 := runWith(s2, jobs)
+	if st2.StoreLoaded != st1.StoreFlushed {
+		t.Fatalf("warm session loaded %d records, want %d", st2.StoreLoaded, st1.StoreFlushed)
+	}
+	if st2.PrefilterHits == 0 {
+		t.Fatal("warm session reports no prefilter hits (stored knowledge unused)")
+	}
+	if st2.StoreFlushed == 0 {
+		t.Fatal("full-grid session discovered nothing beyond the half grid (test needs a second frame)")
+	}
+	if err := s2.Close(); err != nil {
+		t.Fatal(err)
+	}
+
+	// Crash: tear the tail mid-frame, as a coordinator killed during a
+	// flush would. Recovery keeps every frame before the damage.
+	fi, err := os.Stat(path)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := os.Truncate(path, fi.Size()-5); err != nil {
+		t.Fatal(err)
+	}
+	s3, err := eval.OpenStore(path)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if s3.RecoveredBytes() == 0 {
+		t.Fatal("torn tail not detected at open")
+	}
+	if s3.Len() != st1.StoreFlushed {
+		t.Fatalf("recovery kept %d records, want session one's intact %d", s3.Len(), st1.StoreFlushed)
+	}
+	st3 := runWith(s3, jobs)
+	if st3.StoreLoaded != st1.StoreFlushed {
+		t.Fatalf("post-crash session loaded %d records, want %d", st3.StoreLoaded, st1.StoreFlushed)
+	}
+	if st3.StoreFlushed == 0 {
+		t.Fatal("post-crash session did not re-flush the lost records")
+	}
+	if err := s3.Close(); err != nil {
+		t.Fatal(err)
+	}
+}
