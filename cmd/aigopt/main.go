@@ -17,6 +17,8 @@ import (
 	"flag"
 	"fmt"
 	"os"
+	"runtime"
+	"runtime/pprof"
 	"strings"
 	"time"
 
@@ -59,9 +61,27 @@ func main() {
 		shardAddrs = flag.String("shard", "", "comma-separated sweepd worker addresses; distributes -sweep/-suite across them (empty = local worker pool)")
 		preseed    = flag.Bool("preseed", true, "push merged cache records to shard workers mid-sweep (recovers cross-worker duplicate evaluations; results unchanged)")
 		storePath  = flag.String("store", "", "persistent evaluation store file for -sweep/-suite: warm-start from past runs' records and flush this run's back (results unchanged)")
+		noTune     = flag.Bool("no-autotune", false, "disable the measurement pilot that fills unset cost knobs (batch bounds, workers, incremental threshold); explicit flags always pin their knob either way")
+		cpuProf    = flag.String("cpuprofile", "", "write a CPU profile here (pprof format), covering the whole run")
+		memProf    = flag.String("memprofile", "", "write an allocation profile here (pprof format) at exit")
 		verbose    = flag.Bool("v", false, "print per-iteration progress")
 	)
 	flag.Parse()
+
+	if *cpuProf != "" {
+		f, err := os.Create(*cpuProf)
+		if err != nil {
+			fatal(err)
+		}
+		defer f.Close()
+		if err := pprof.StartCPUProfile(f); err != nil {
+			fatal(err)
+		}
+		defer pprof.StopCPUProfile()
+	}
+	if *memProf != "" {
+		defer writeMemProfile(*memProf)
+	}
 
 	lib := cell.Builtin()
 	ev, err := makeEvaluator(*flowName, lib, *modelPath, *areaPath, *workers)
@@ -110,7 +130,7 @@ func main() {
 		if *designName != "" || *inPath != "" {
 			fatal(fmt.Errorf("aigopt: -suite is mutually exclusive with -design and -in"))
 		}
-		runSuite(strings.Split(*suite, ","), ev, lib, p, *shardAddrs, *preseed, store)
+		runSuite(strings.Split(*suite, ","), ev, lib, p, *shardAddrs, *preseed, store, !*noTune)
 		return
 	}
 	g, name, err := loadInput(*designName, *inPath)
@@ -118,7 +138,7 @@ func main() {
 		fatal(err)
 	}
 	if *sweep {
-		runSweep(g, name, ev, lib, p, *shardAddrs, *preseed, store)
+		runSweep(g, name, ev, lib, p, *shardAddrs, *preseed, store, !*noTune)
 		return
 	}
 	if *shardAddrs != "" {
@@ -126,6 +146,16 @@ func main() {
 	}
 	fmt.Printf("optimizing %s (%d PIs, %d POs, %d nodes, %d levels) with the %s flow\n",
 		name, g.NumPIs(), g.NumPOs(), g.NumAnds(), g.MaxLevel(), ev.Name())
+	if !*noTune {
+		tuned, rep, err := anneal.AutoTune(g, ev, p)
+		if err != nil {
+			fatal(err)
+		}
+		p = tuned
+		if rep.PilotIterations > 0 {
+			fmt.Println(rep)
+		}
+	}
 	res, err := anneal.Run(g, ev, p)
 	if err != nil {
 		fatal(err)
@@ -188,14 +218,14 @@ func main() {
 // runSweep executes the Fig. 5 hyperparameter grid — locally, or
 // sharded across sweepd workers when addrs is non-empty — and prints
 // every grid point plus the ground-truth Pareto front.
-func runSweep(g *aig.AIG, name string, ev anneal.Evaluator, lib *cell.Library, base anneal.Params, addrs string, preseed bool, store *eval.Store) {
-	runSuiteEntries([]flows.SuiteEntry{{Name: name, G: g, Eval: ev}}, lib, base, addrs, preseed, store)
+func runSweep(g *aig.AIG, name string, ev anneal.Evaluator, lib *cell.Library, base anneal.Params, addrs string, preseed bool, store *eval.Store, autotune bool) {
+	runSuiteEntries([]flows.SuiteEntry{{Name: name, G: g, Eval: ev}}, lib, base, addrs, preseed, store, autotune)
 }
 
 // runSuite sweeps several benchmark designs through one session (one
 // worker connection and one base transfer per design when sharded,
 // instead of a reconnect per design).
-func runSuite(designs []string, ev anneal.Evaluator, lib *cell.Library, base anneal.Params, addrs string, preseed bool, store *eval.Store) {
+func runSuite(designs []string, ev anneal.Evaluator, lib *cell.Library, base anneal.Params, addrs string, preseed bool, store *eval.Store, autotune bool) {
 	entries := make([]flows.SuiteEntry, 0, len(designs))
 	for _, name := range designs {
 		d, err := bench.ByName(strings.TrimSpace(name))
@@ -204,14 +234,15 @@ func runSuite(designs []string, ev anneal.Evaluator, lib *cell.Library, base ann
 		}
 		entries = append(entries, flows.SuiteEntry{Name: d.Name, G: d.Build(), Eval: ev})
 	}
-	runSuiteEntries(entries, lib, base, addrs, preseed, store)
+	runSuiteEntries(entries, lib, base, addrs, preseed, store, autotune)
 }
 
 // runSuiteEntries is the shared sweep driver of -sweep and -suite.
-func runSuiteEntries(entries []flows.SuiteEntry, lib *cell.Library, base anneal.Params, addrs string, preseed bool, store *eval.Store) {
+func runSuiteEntries(entries []flows.SuiteEntry, lib *cell.Library, base anneal.Params, addrs string, preseed bool, store *eval.Store, autotune bool) {
 	cfg := flows.DefaultSweep
 	cfg.Base = base
 	cfg.Store = store
+	cfg.AutoTune = autotune
 	grid := cfg.Grid()
 	var (
 		rs  []flows.SuiteResult
@@ -351,6 +382,21 @@ func loadModel(path string) (*gbdt.Model, error) {
 	}
 	defer f.Close()
 	return gbdt.Load(f)
+}
+
+// writeMemProfile dumps the allocation profile at exit, after a GC so
+// the heap snapshot reflects live retention rather than float.
+func writeMemProfile(path string) {
+	f, err := os.Create(path)
+	if err != nil {
+		fmt.Fprintln(os.Stderr, err)
+		return
+	}
+	defer f.Close()
+	runtime.GC()
+	if err := pprof.WriteHeapProfile(f); err != nil {
+		fmt.Fprintln(os.Stderr, err)
+	}
 }
 
 func fatal(err error) {

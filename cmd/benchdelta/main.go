@@ -1,0 +1,161 @@
+// Command benchdelta compares two `go test -bench` outputs and prints a
+// benchstat-style old-vs-new delta table: time, bytes, and allocations
+// per op with percentage change, for every benchmark present in both
+// files. It exists so CI can diff a run against the checked-in baseline
+// (perf/bench_baseline.txt) without external tooling.
+//
+// Usage:
+//
+//	benchdelta old.txt new.txt [more-new.txt...]
+//
+// Later files are concatenated into "new". Benchmarks only present on
+// one side are listed separately rather than dropped silently. The exit
+// code is always 0 — the table is a tracking artifact, not a gate;
+// wall-clock thresholds on shared CI runners would flake.
+package main
+
+import (
+	"bufio"
+	"fmt"
+	"os"
+	"sort"
+	"strconv"
+	"strings"
+)
+
+// benchLine is one parsed benchmark result.
+type benchLine struct {
+	NsPerOp     float64
+	BytesPerOp  float64
+	AllocsPerOp float64
+	HasMem      bool
+}
+
+func main() {
+	if len(os.Args) < 3 {
+		fmt.Fprintln(os.Stderr, "usage: benchdelta old.txt new.txt [more-new.txt...]")
+		os.Exit(2)
+	}
+	old, err := parseFiles(os.Args[1:2])
+	if err != nil {
+		fatal(err)
+	}
+	cur, err := parseFiles(os.Args[2:])
+	if err != nil {
+		fatal(err)
+	}
+	printDelta(old, cur)
+}
+
+// parseFiles reads benchmark lines from every path into one name-keyed
+// map; a repeated name keeps the last result, matching a -count run's
+// final iteration.
+func parseFiles(paths []string) (map[string]benchLine, error) {
+	out := make(map[string]benchLine)
+	for _, p := range paths {
+		f, err := os.Open(p)
+		if err != nil {
+			return nil, err
+		}
+		sc := bufio.NewScanner(f)
+		sc.Buffer(make([]byte, 1<<20), 1<<20)
+		for sc.Scan() {
+			if name, bl, ok := parseLine(sc.Text()); ok {
+				out[name] = bl
+			}
+		}
+		err = sc.Err()
+		f.Close()
+		if err != nil {
+			return nil, err
+		}
+	}
+	return out, nil
+}
+
+// parseLine parses one `BenchmarkX-8  100  123 ns/op  45 B/op  6 allocs/op`
+// line; sub-benchmark names keep their /path. Trailing custom metrics are
+// ignored.
+func parseLine(s string) (string, benchLine, bool) {
+	fields := strings.Fields(s)
+	if len(fields) < 4 || !strings.HasPrefix(fields[0], "Benchmark") {
+		return "", benchLine{}, false
+	}
+	name := fields[0]
+	if i := strings.LastIndex(name, "-"); i > 0 {
+		if _, err := strconv.Atoi(name[i+1:]); err == nil {
+			name = name[:i] // strip the -GOMAXPROCS suffix
+		}
+	}
+	var bl benchLine
+	found := false
+	for i := 2; i+1 < len(fields); i++ {
+		v, err := strconv.ParseFloat(fields[i], 64)
+		if err != nil {
+			continue
+		}
+		switch fields[i+1] {
+		case "ns/op":
+			bl.NsPerOp, found = v, true
+		case "B/op":
+			bl.BytesPerOp, bl.HasMem = v, true
+		case "allocs/op":
+			bl.AllocsPerOp, bl.HasMem = v, true
+		}
+	}
+	return name, bl, found
+}
+
+// printDelta renders the comparison table plus the one-sided leftovers.
+func printDelta(old, cur map[string]benchLine) {
+	var both, onlyOld, onlyNew []string
+	for name := range old {
+		if _, ok := cur[name]; ok {
+			both = append(both, name)
+		} else {
+			onlyOld = append(onlyOld, name)
+		}
+	}
+	for name := range cur {
+		if _, ok := old[name]; !ok {
+			onlyNew = append(onlyNew, name)
+		}
+	}
+	sort.Strings(both)
+	sort.Strings(onlyOld)
+	sort.Strings(onlyNew)
+
+	fmt.Printf("%-52s %14s %14s %8s %10s %10s %8s\n",
+		"benchmark", "old ns/op", "new ns/op", "delta", "old B/op", "new B/op", "allocs")
+	for _, name := range both {
+		o, n := old[name], cur[name]
+		mem := ""
+		if o.HasMem || n.HasMem {
+			mem = fmt.Sprintf("%10.0f %10.0f %4.0f/%-4.0f",
+				o.BytesPerOp, n.BytesPerOp, o.AllocsPerOp, n.AllocsPerOp)
+		}
+		fmt.Printf("%-52s %14.0f %14.0f %7.1f%% %s\n",
+			name, o.NsPerOp, n.NsPerOp, pct(o.NsPerOp, n.NsPerOp), mem)
+	}
+	for _, name := range onlyOld {
+		fmt.Printf("%-52s (only in old)\n", name)
+	}
+	for _, name := range onlyNew {
+		n := cur[name]
+		fmt.Printf("%-52s %14s %14.0f (new)\n", name, "-", n.NsPerOp)
+	}
+}
+
+// pct returns the relative change new-vs-old in percent (negative =
+// faster/smaller).
+func pct(o, n float64) float64 {
+	if o == 0 {
+		return 0
+	}
+	return 100 * (n - o) / o
+}
+
+func fatal(err error) {
+	fmt.Fprintln(os.Stderr, err)
+	os.Exit(1)
+}

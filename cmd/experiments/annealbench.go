@@ -85,6 +85,18 @@ func runBenchAnneal(cfg config) error {
 	// re-evaluation on cache misses with an anchored base).
 	incremental := batched
 	incremental.Incremental = anneal.IncrementalAuto
+	// The self-tuning configuration: the shipped stack with its cost
+	// knobs (batch bounds, workers, incremental threshold) derived from a
+	// measurement pilot. The pilot's one-time cost (amortized over a
+	// whole sweep in real flows) is reported here but kept out of the
+	// config's timed run so rows stay comparable; the trajectory check
+	// below proves the tuned knobs change none of the bits.
+	tuneStart := time.Now()
+	tuned, tuneRep, err := anneal.AutoTune(g, flows.NewGroundTruth(lib), incremental)
+	if err != nil {
+		return fmt.Errorf("bench-anneal: autotune: %w", err)
+	}
+	fmt.Printf("%s [pilot %.3fs]\n", tuneRep, time.Since(tuneStart).Seconds())
 
 	report := annealBenchReport{
 		Design:     d.Name,
@@ -101,6 +113,7 @@ func runBenchAnneal(cfg config) error {
 		{"sequential-uncached", old},
 		{"batched-cached", batched},
 		{"batched-cached-incremental", incremental},
+		{"autotuned", tuned},
 	} {
 		t0 := time.Now()
 		res, err := anneal.Run(g, flows.NewGroundTruth(lib), c.p)
@@ -136,8 +149,11 @@ func runBenchAnneal(cfg config) error {
 			res.CacheHits, res.CacheHits+res.CacheMisses, 100*res.CacheHitRate(),
 			res.DeltaEvals, res.DeltaEvals+res.FullEvals)
 	}
-	last := len(report.Configs) - 1
-	report.SpeedupNewOverOld = report.Configs[0].WallSeconds / report.Configs[last].WallSeconds
+	// The headline speedup tracks the shipped default configuration
+	// (batched-cached-incremental), not the autotuned row, whose knobs
+	// vary with the measuring machine.
+	const ship = 2
+	report.SpeedupNewOverOld = report.Configs[0].WallSeconds / report.Configs[ship].WallSeconds
 	report.TrajectoryIdentical = true
 	for _, r := range results[1:] {
 		if !sameTrajectory(results[0], r) {
@@ -145,7 +161,7 @@ func runBenchAnneal(cfg config) error {
 		}
 	}
 	fmt.Printf("speedup (%s over sequential): %.2fx on %d core(s); trajectories identical: %v\n",
-		report.Configs[last].Name, report.SpeedupNewOverOld, report.GOMAXPROCS, report.TrajectoryIdentical)
+		report.Configs[ship].Name, report.SpeedupNewOverOld, report.GOMAXPROCS, report.TrajectoryIdentical)
 	if !report.TrajectoryIdentical {
 		return fmt.Errorf("bench-anneal: trajectories diverged between configurations")
 	}

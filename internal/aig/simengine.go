@@ -46,6 +46,13 @@ type Simulator struct {
 	buf   []uint64   // backing storage for all node value rows
 	vals  [][]uint64 // per-node views into buf
 	dirty []bool     // per-node change marks for incremental re-simulation
+
+	// res is the result shell Simulate and Resimulate return a pointer
+	// to; retained so the steady-state incremental loop (SetPI +
+	// Resimulate) allocates nothing. Results already alias the
+	// simulator's buffers and are only valid until the next call, so
+	// sharing the shell adds no new aliasing.
+	res SimResult
 }
 
 // Parallelism thresholds. Work is measured in kernel word-operations: a
@@ -106,6 +113,30 @@ func (s *Simulator) levelize() {
 
 // AIG returns the graph this simulator was built for.
 func (s *Simulator) AIG() *AIG { return s.g }
+
+// Rebind switches the simulator to a different AIG, retaining the
+// backing value storage so pooled simulators serve a stream of
+// distinct graphs (one per annealer move) without re-allocating their
+// buffers. All prior results become invalid; the next Simulate call
+// re-sizes the per-node views. It returns s for chaining.
+func (s *Simulator) Rebind(g *AIG) *Simulator {
+	s.g = g
+	s.levelized = false
+	s.byLevel = nil
+	n := len(g.nodes)
+	if cap(s.vals) >= n {
+		s.vals = s.vals[:n]
+	} else {
+		s.vals = nil
+	}
+	if cap(s.dirty) >= n {
+		s.dirty = s.dirty[:n]
+	} else {
+		s.dirty = nil
+	}
+	s.words = -1 // force the next ensure to re-slice the rows
+	return s
+}
 
 // SetWorkers overrides the worker-pool size (default runtime.GOMAXPROCS).
 // Values below 1 force the sequential path. It returns s for chaining.
@@ -174,7 +205,8 @@ func (s *Simulator) SimulateWords(piValues [][]uint64, words int) *SimResult {
 	}
 	clear(s.dirty)
 	s.run()
-	return &SimResult{Words: words, Values: s.vals}
+	s.res = SimResult{Words: words, Values: s.vals}
+	return &s.res
 }
 
 // run simulates every AND node, picking the cheapest decomposition for the
@@ -367,5 +399,6 @@ func (s *Simulator) Resimulate() *SimResult {
 		}
 	}
 	clear(s.dirty)
-	return &SimResult{Words: s.words, Values: s.vals}
+	s.res = SimResult{Words: s.words, Values: s.vals}
+	return &s.res
 }

@@ -1,0 +1,174 @@
+package anneal
+
+import (
+	"fmt"
+	"runtime"
+	"time"
+
+	"aigtimer/internal/aig"
+)
+
+// Self-tuning search parameters. The cost knobs of Params — adaptive
+// batch bounds, worker count, incremental dirty-fraction threshold —
+// are all value-transparent: the accepted trajectory for a fixed seed
+// is identical at every setting, so choosing them is purely a question
+// of cost, and cost is measurable. AutoTune measures it with a short
+// pilot run and fills every knob the caller left at its zero value;
+// anything set explicitly (a flag, a config file) is never overwritten.
+
+// autoTunePilotIters is the pilot-run length: long enough for the
+// acceptance rate and the delta/full latency split to be meaningful,
+// short enough to be noise next to a real sweep (a 21-point default
+// grid at 120 iterations spends ~1% of its budget here).
+const autoTunePilotIters = 16
+
+// TuneReport records what AutoTune measured and what it decided, for
+// logging and tests. Chosen* fields hold the final values (measured or
+// pinned); a false Tuned* flag means the caller had pinned that knob.
+type TuneReport struct {
+	PilotIterations int
+	AcceptRate      float64
+	FullEval        time.Duration // measured full-pipeline latency
+	DeltaEval       time.Duration // mean delta-path latency (0: no delta path)
+
+	ChosenBatchMin, ChosenBatchMax int
+	ChosenWorkers                  int
+	ChosenThreshold                float64
+	TunedBatch, TunedWorkers, TunedThreshold bool
+}
+
+// String renders the report in one line for flow logs.
+func (r TuneReport) String() string {
+	mark := func(tuned bool) string {
+		if tuned {
+			return ""
+		}
+		return " (pinned)"
+	}
+	return fmt.Sprintf(
+		"autotune: accept %.0f%%, full %v, delta %v -> batch [%d,%d]%s, workers %d%s, threshold %.2f%s",
+		100*r.AcceptRate, r.FullEval.Round(time.Microsecond), r.DeltaEval.Round(time.Microsecond),
+		r.ChosenBatchMin, r.ChosenBatchMax, mark(r.TunedBatch),
+		r.ChosenWorkers, mark(r.TunedWorkers),
+		r.ChosenThreshold, mark(r.TunedThreshold))
+}
+
+// AutoTune returns p with its zero-valued cost knobs — BatchMin/BatchMax,
+// Workers, and IncrementalThreshold — derived from measurement: a short
+// sequential pilot run of the same (g0, evaluator, seed) observes the
+// acceptance rate and the full-versus-delta evaluation latencies, and the
+// knobs follow from those.
+//
+//   - BatchMax tracks the expected rejection-run length 1/acceptance
+//     (speculation past the next acceptance is wasted work), clamped to
+//     [2, 16]; BatchMin stays 1 so hot phases shrink all the way back.
+//   - Workers stays 1 when a full evaluation is so cheap that dispatch
+//     overhead would dominate; otherwise it opens up to GOMAXPROCS.
+//   - IncrementalThreshold grows with the measured full/delta latency
+//     ratio r as 1-1/r, clamped to [0.25, 0.95]: the cheaper the delta
+//     path, the dirtier a cone can be and still be worth re-evaluating
+//     incrementally. Evaluators with no delta path keep the layer default.
+//
+// Fields the caller set explicitly are never overwritten, so flags pin any
+// subset. Every tuned knob is value-transparent by construction (see the
+// Params field docs), so AutoTune changes evaluation cost, never the
+// trajectory; the pilot's own evaluations are discarded. The error is
+// non-nil only when the pilot run itself fails.
+func AutoTune(g0 *aig.AIG, ev Evaluator, p Params) (Params, TuneReport, error) {
+	rep := TuneReport{
+		ChosenBatchMin: p.BatchMin, ChosenBatchMax: p.BatchMax,
+		ChosenWorkers: p.Workers, ChosenThreshold: p.IncrementalThreshold,
+	}
+	// Batch bounds count as pinned when either is set: a caller choosing
+	// BatchMax alone has chosen adaptive sizing deliberately.
+	tuneBatch := p.BatchMin == 0 && p.BatchMax == 0
+	tuneWorkers := p.Workers == 0
+	tuneThreshold := p.IncrementalThreshold == 0
+	if !tuneBatch && !tuneWorkers && !tuneThreshold {
+		return p, rep, nil // everything pinned; skip the pilot
+	}
+
+	pilot := p
+	pilot.Iterations = autoTunePilotIters
+	if p.Iterations < pilot.Iterations {
+		pilot.Iterations = p.Iterations
+	}
+	// Sequential single chain, cache off: each iteration is exactly one
+	// real evaluation, so the latency split is unpolluted by memo hits
+	// and speculative waste.
+	pilot.Chains = 1
+	pilot.BatchSize = 1
+	pilot.BatchMin, pilot.BatchMax = 0, 0
+	pilot.Workers = 1
+	pilot.CacheMode = CacheOff
+	r, err := Run(g0, ev, pilot)
+	if err != nil {
+		return p, rep, fmt.Errorf("anneal: autotune pilot: %w", err)
+	}
+
+	steps := r.TotalSteps()
+	rep.PilotIterations = steps
+	if steps > 0 {
+		rep.AcceptRate = float64(r.Accepted) / float64(steps)
+	}
+	rep.FullEval = r.InitialEvalTime
+	// The in-loop evaluation time decomposes into full and delta evals;
+	// with the full latency measured directly, the mean delta latency is
+	// the remainder. Noise can drive it negative on near-free evaluators;
+	// the ratio path below clamps.
+	if r.DeltaEvals > 0 {
+		fullInLoop := r.FullEvals - 1 // minus the initial evaluation
+		if fullInLoop < 0 {
+			fullInLoop = 0
+		}
+		d := r.EvalTime - time.Duration(fullInLoop)*rep.FullEval
+		if d < 0 {
+			d = 0
+		}
+		rep.DeltaEval = d / time.Duration(r.DeltaEvals)
+	}
+
+	if tuneBatch {
+		bmax := 16
+		if rep.AcceptRate > 0 {
+			bmax = int(1/rep.AcceptRate + 0.5)
+		}
+		if bmax < 2 {
+			bmax = 2
+		}
+		if bmax > 16 {
+			bmax = 16
+		}
+		p.BatchMin, p.BatchMax = 1, bmax
+		rep.ChosenBatchMin, rep.ChosenBatchMax = 1, bmax
+		rep.TunedBatch = true
+	}
+	if tuneWorkers {
+		// Below ~200µs per evaluation, cross-goroutine dispatch and the
+		// extra speculative evaluations cost more than they hide.
+		w := 1
+		if rep.FullEval >= 200*time.Microsecond {
+			w = runtime.GOMAXPROCS(0)
+		}
+		p.Workers = w
+		rep.ChosenWorkers = w
+		rep.TunedWorkers = true
+	}
+	if tuneThreshold && rep.DeltaEval > 0 {
+		ratio := float64(rep.FullEval) / float64(rep.DeltaEval)
+		thr := 0.25
+		if ratio > 1 {
+			thr = 1 - 1/ratio
+		}
+		if thr < 0.25 {
+			thr = 0.25
+		}
+		if thr > 0.95 {
+			thr = 0.95
+		}
+		p.IncrementalThreshold = thr
+		rep.ChosenThreshold = thr
+		rep.TunedThreshold = true
+	}
+	return p, rep, nil
+}

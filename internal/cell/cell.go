@@ -70,8 +70,9 @@ type Library struct {
 	WireCapFF    float64 // added capacitance per fanout branch, fF
 	OutputLoadFF float64 // default load on primary outputs, fF
 
-	byName  map[string]*Cell
-	matches map[uint16][]Match // padded function -> realizations
+	byName   map[string]*Cell
+	matches  map[uint16][]Match    // padded function -> realizations
+	byLeaves map[uint16][5][]Match // matches pre-filtered by leaf count
 	inv     *Cell              // smallest inverter
 	buf     *Cell              // smallest buffer
 	tie0    *Cell
@@ -176,6 +177,28 @@ func (l *Library) buildMatches() {
 		ms := l.matches[f]
 		sort.Slice(ms, func(i, j int) bool { return ms[i].Cell.AreaUM2 < ms[j].Cell.AreaUM2 })
 	}
+	// Pre-filter per leaf count so Matches is a pure map probe on the hot
+	// path. A match fits within numLeaves leaves iff every pin reads a
+	// variable below numLeaves; filtering preserves the area order.
+	l.byLeaves = make(map[uint16][5][]Match, len(l.matches))
+	for f, ms := range l.matches {
+		var per [5][]Match
+		for nl := 0; nl <= 4; nl++ {
+			for _, m := range ms {
+				ok := true
+				for j := 0; j < m.Cell.NumInputs; j++ {
+					if m.PinVar[j] >= nl {
+						ok = false
+						break
+					}
+				}
+				if ok {
+					per[nl] = append(per[nl], m)
+				}
+			}
+		}
+		l.byLeaves[f] = per
+	}
 }
 
 // pad4 extends a pin assignment to 4 entries; unused pins of a padded
@@ -213,25 +236,15 @@ func forEachInjective(k int, f func(assign []int)) {
 // Matches returns the realizations of the given padded cut function whose
 // pin assignments fall within numLeaves positions. The caller typically
 // queries both f and ^f and accounts for an output inverter on the latter.
+// The returned slice is shared and must not be mutated.
 func (l *Library) Matches(f uint16, numLeaves int) []Match {
-	all := l.matches[f]
-	if len(all) == 0 {
+	if numLeaves < 0 {
 		return nil
 	}
-	out := make([]Match, 0, len(all))
-	for _, m := range all {
-		ok := true
-		for j := 0; j < m.Cell.NumInputs; j++ {
-			if m.PinVar[j] >= numLeaves {
-				ok = false
-				break
-			}
-		}
-		if ok {
-			out = append(out, m)
-		}
+	if numLeaves > 4 {
+		numLeaves = 4
 	}
-	return out
+	return l.byLeaves[f][numLeaves]
 }
 
 // NumMatchableFunctions returns the number of distinct padded functions the

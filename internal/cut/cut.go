@@ -12,10 +12,18 @@
 // plus the trivial cut {n}. To bound work, only the MaxCuts best cuts are
 // kept per node (priority cuts). K is limited to 4 so that cut functions
 // fit in a uint16 truth table.
+//
+// Allocation model: enumeration distinguishes scratch (candidate pools,
+// merge buffers — valid only within one node's merge, reused via Scratch)
+// from retained storage (the kept cut lists and their leaf slices, written
+// into a caller-owned Arena). A caller that reuses its Arena and Scratch
+// across calls pays zero steady-state heap allocations for enumeration;
+// the legacy entry points allocate a fresh pair per call and behave as
+// before.
 package cut
 
 import (
-	"sort"
+	"slices"
 
 	"aigtimer/internal/aig"
 	"aigtimer/internal/truth"
@@ -42,22 +50,176 @@ type Params struct {
 // DefaultParams are suitable for both rewriting and mapping.
 var DefaultParams = Params{K: 4, MaxCuts: 8}
 
+// arenaBlock sizes the Arena's allocation blocks, in elements.
+const arenaBlock = 4096
+
+// Arena is block-based retained storage for kept cut lists and their
+// leaf slices. Blocks are never freed by Reset, so a long-lived Arena
+// reaches a high-water mark and then serves every subsequent enumeration
+// allocation-free. Slices handed out remain valid until Reset; the owner
+// of the enumerated cuts (a techmap state, a rewrite pass) therefore owns
+// the Arena and may Reset it only when those cuts are dead.
+type Arena struct {
+	cutBlocks  [][]Cut
+	cutActive  int
+	leafBlocks [][]int32
+	leafActive int
+}
+
+// Reset recycles all storage. Every slice previously returned becomes
+// invalid for reuse (contents are clobbered by subsequent allocations).
+func (a *Arena) Reset() {
+	for i := range a.cutBlocks {
+		a.cutBlocks[i] = a.cutBlocks[i][:0]
+	}
+	for i := range a.leafBlocks {
+		a.leafBlocks[i] = a.leafBlocks[i][:0]
+	}
+	a.cutActive = 0
+	a.leafActive = 0
+}
+
+// allocCuts returns a zero-length, capacity-n cut slice carved from the
+// arena. The three-index slice expression caps it so appends can never
+// spill into a neighbour's storage.
+func (a *Arena) allocCuts(n int) []Cut {
+	for {
+		if a.cutActive >= len(a.cutBlocks) {
+			sz := arenaBlock
+			if n > sz {
+				sz = n
+			}
+			a.cutBlocks = append(a.cutBlocks, make([]Cut, 0, sz))
+		}
+		blk := a.cutBlocks[a.cutActive]
+		if cap(blk)-len(blk) >= n {
+			s := blk[len(blk):len(blk):len(blk)+n]
+			a.cutBlocks[a.cutActive] = blk[: len(blk)+n : cap(blk)]
+			return s
+		}
+		a.cutActive++
+	}
+}
+
+// allocLeaves returns a zero-length, capacity-n leaf slice from the arena.
+func (a *Arena) allocLeaves(n int) []int32 {
+	for {
+		if a.leafActive >= len(a.leafBlocks) {
+			sz := arenaBlock
+			if n > sz {
+				sz = n
+			}
+			a.leafBlocks = append(a.leafBlocks, make([]int32, 0, sz))
+		}
+		blk := a.leafBlocks[a.leafActive]
+		if cap(blk)-len(blk) >= n {
+			s := blk[len(blk):len(blk):len(blk)+n]
+			a.leafBlocks[a.leafActive] = blk[: len(blk)+n : cap(blk)]
+			return s
+		}
+		a.leafActive++
+	}
+}
+
+// AllocCuts returns a zero-length, capacity-n cut slice backed by the
+// arena, for callers that build retained cut lists by translation rather
+// than enumeration (incremental techmap translating a matched prefix).
+func (a *Arena) AllocCuts(n int) []Cut { return a.allocCuts(n) }
+
+// AllocLeaves returns a zero-length, capacity-n leaf slice from the
+// arena; see AllocCuts.
+func (a *Arena) AllocLeaves(n int) []int32 { return a.allocLeaves(n) }
+
+// copyCut deep-copies one cut into the arena.
+func (a *Arena) copyCut(c Cut) Cut {
+	l := a.allocLeaves(len(c.Leaves))
+	l = append(l, c.Leaves...)
+	return Cut{Leaves: l, Table: c.Table}
+}
+
+// copyKept copies filter output plus the trailing trivial cut of n into
+// one arena-backed list — the retained form of a node's cut list.
+func (a *Arena) copyKept(kept []Cut, n int32) []Cut {
+	out := a.allocCuts(len(kept) + 1)
+	for _, c := range kept {
+		out = append(out, a.copyCut(c))
+	}
+	out = append(out, a.trivialCut(n))
+	return out
+}
+
+// trivialCut builds the trivial cut {n} with its leaf slice in the arena.
+func (a *Arena) trivialCut(n int32) Cut {
+	l := a.allocLeaves(1)
+	l = append(l, n)
+	return Cut{Leaves: l, Table: trivialTable}
+}
+
+// Scratch holds enumeration working buffers — candidate pools, the
+// stride-4 candidate leaf store, and the dual-enumeration union lists —
+// reused across calls. A Scratch serves one enumeration at a time.
+type Scratch struct {
+	merged     []Cut
+	candLeaves []int32 // stride-4 slots; candidate i's leaves live in [4i,4i+4)
+	keep       []Cut
+	u0, u1     []taggedCut
+	poolLow    []Cut
+	poolHigh   []Cut
+	isPrefix   []bool
+}
+
+// ensureCand grows the candidate buffers to hold n candidates, preserving
+// nothing: call only before a node's merge loop (growing mid-loop would
+// move the leaf store out from under earlier candidates).
+func (s *Scratch) ensureCand(n int) {
+	if cap(s.candLeaves) < n*4 {
+		s.candLeaves = make([]int32, 0, n*4)
+	}
+	if cap(s.merged) < n {
+		s.merged = make([]Cut, 0, n)
+	}
+	s.merged = s.merged[:0]
+	s.candLeaves = s.candLeaves[:0]
+}
+
+// candSlot returns the next stride-4 leaf slot. Capacity was reserved by
+// ensureCand, so taking a slot never reallocates.
+func (s *Scratch) candSlot() []int32 {
+	n := len(s.candLeaves)
+	s.candLeaves = s.candLeaves[:n+4]
+	return s.candLeaves[n:n:n+4]
+}
+
+// trivialTable is the projection of a single leaf: variable 0 padded to
+// 4 vars.
+var trivialTable = truth.PadTo4(0xA, 2)
+
 // Enumerate computes priority cuts for every node of g. The result is
 // indexed by node; PIs and the constant node get their trivial cut only.
 func Enumerate(g *aig.AIG, p Params) [][]Cut {
 	cuts := make([][]Cut, g.NumNodes())
-	Seed(g, cuts)
-	EnumerateSuffix(g, p, cuts, g.FirstAnd())
+	EnumerateArena(g, p, cuts, new(Arena), new(Scratch))
 	return cuts
+}
+
+// EnumerateArena is Enumerate with caller-owned storage: kept cuts go to
+// a, working buffers come from s, and the per-node lists are written into
+// cuts (length g.NumNodes()). Reusing all three across calls makes
+// enumeration allocation-free in the steady state.
+func EnumerateArena(g *aig.AIG, p Params, cuts [][]Cut, a *Arena, s *Scratch) {
+	Seed(g, cuts, a)
+	EnumerateSuffixArena(g, p, cuts, g.FirstAnd(), a, s)
 }
 
 // Seed fills the constant node's and the PIs' cut lists in cuts, the
 // base case of both full and suffix enumeration. cuts must have length
-// g.NumNodes().
-func Seed(g *aig.AIG, cuts [][]Cut) {
-	cuts[0] = []Cut{{Leaves: nil, Table: 0}} // constant false
+// g.NumNodes(). Leaf storage comes from a.
+func Seed(g *aig.AIG, cuts [][]Cut, a *Arena) {
+	c0 := a.allocCuts(1)
+	cuts[0] = append(c0, Cut{Leaves: nil, Table: 0}) // constant false
 	for i := 1; i <= g.NumPIs(); i++ {
-		cuts[i] = []Cut{trivialCut(int32(i))}
+		ci := a.allocCuts(1)
+		cuts[i] = append(ci, a.trivialCut(int32(i)))
 	}
 }
 
@@ -69,6 +231,12 @@ func Seed(g *aig.AIG, cuts [][]Cut) {
 // suffix re-enumerated, with results identical to a full enumeration —
 // the merge for a node consults nothing but its fanins' cut lists.
 func EnumerateSuffix(g *aig.AIG, p Params, cuts [][]Cut, first int32) {
+	EnumerateSuffixArena(g, p, cuts, first, new(Arena), new(Scratch))
+}
+
+// EnumerateSuffixArena is EnumerateSuffix with caller-owned retained
+// storage and scratch; see EnumerateArena.
+func EnumerateSuffixArena(g *aig.AIG, p Params, cuts [][]Cut, first int32, a *Arena, s *Scratch) {
 	if p.K < 2 || p.K > 4 {
 		panic("cut: K must be in [2,4]")
 	}
@@ -83,20 +251,20 @@ func EnumerateSuffix(g *aig.AIG, p Params, cuts [][]Cut, first int32) {
 		f0, f1 := g.Fanins(n)
 		c0 := cuts[f0.Node()]
 		c1 := cuts[f1.Node()]
-		merged := make([]Cut, 0, len(c0)*len(c1)+1)
-		for _, a := range c0 {
-			for _, b := range c1 {
-				leaves, ok := mergeLeaves(a.Leaves, b.Leaves, p.K)
+		s.ensureCand(len(c0) * len(c1))
+		for _, ca := range c0 {
+			for _, cb := range c1 {
+				leaves, ok := mergeLeaves(ca.Leaves, cb.Leaves, p.K, s.candSlot())
 				if !ok {
 					continue
 				}
-				tt := mergeTables(a, b, leaves, f0.IsCompl(), f1.IsCompl())
-				merged = append(merged, Cut{Leaves: leaves, Table: tt})
+				tt := mergeTables(ca, cb, leaves, f0.IsCompl(), f1.IsCompl())
+				s.merged = append(s.merged, Cut{Leaves: leaves, Table: tt})
 			}
 		}
-		merged = filter(merged, p.MaxCuts)
-		merged = append(merged, trivialCut(n))
-		cuts[n] = merged
+		kept := filter(s.merged, p.MaxCuts, s.keep[:0])
+		s.keep = kept
+		cuts[n] = a.copyKept(kept, n)
 	}
 }
 
@@ -133,6 +301,16 @@ type taggedCut struct {
 // Both params must share K; MaxCuts may differ arbitrarily (neither
 // needs to contain the other for correctness).
 func EnumerateDual(g *aig.AIG, pLow, pHigh Params) (low, high [][]Cut) {
+	low = make([][]Cut, g.NumNodes())
+	high = make([][]Cut, g.NumNodes())
+	EnumerateDualArena(g, pLow, pHigh, low, high, new(Arena), new(Scratch))
+	return low, high
+}
+
+// EnumerateDualArena is EnumerateDual with caller-owned storage: the
+// kept lists are written into low and high (each of length g.NumNodes())
+// with all retained slices carved from a; see EnumerateArena.
+func EnumerateDualArena(g *aig.AIG, pLow, pHigh Params, low, high [][]Cut, a *Arena, s *Scratch) {
 	if pLow.K != pHigh.K {
 		panic("cut: EnumerateDual requires equal K")
 	}
@@ -142,52 +320,55 @@ func EnumerateDual(g *aig.AIG, pLow, pHigh Params) (low, high [][]Cut) {
 	if pLow.MaxCuts < 1 || pHigh.MaxCuts < 1 {
 		panic("cut: MaxCuts must be positive")
 	}
-	low = make([][]Cut, g.NumNodes())
-	high = make([][]Cut, g.NumNodes())
-	Seed(g, low)
-	Seed(g, high)
+	Seed(g, low, a)
+	Seed(g, high, a)
 	// isPrefix[n] records that low[n] minus its trivial cut is a prefix
 	// of high[n] — true for almost every node (both filters walk the
 	// same sorted candidates, the low one just stops earlier), and the
 	// ticket to building the tagged union without any leaf scanning.
 	// PIs and the constant hold trivially (identical single-cut lists).
-	isPrefix := make([]bool, g.NumNodes())
-	for i := 0; i < int(g.FirstAnd()); i++ {
-		isPrefix[i] = true
+	if cap(s.isPrefix) < g.NumNodes() {
+		s.isPrefix = make([]bool, g.NumNodes())
 	}
-	var u0, u1 []taggedCut
-	var poolLow, poolHigh []Cut
+	isPrefix := s.isPrefix[:g.NumNodes()]
+	for i := range isPrefix {
+		isPrefix[i] = i < int(g.FirstAnd())
+	}
 	for i := int(g.FirstAnd()); i < g.NumNodes(); i++ {
 		n := int32(i)
 		f0, f1 := g.Fanins(n)
-		u0 = unionCuts(low[f0.Node()], high[f0.Node()], isPrefix[f0.Node()], u0[:0])
-		u1 = unionCuts(low[f1.Node()], high[f1.Node()], isPrefix[f1.Node()], u1[:0])
-		poolLow, poolHigh = poolLow[:0], poolHigh[:0]
-		for _, a := range u0 {
-			for _, b := range u1 {
-				toLow := a.inLow && b.inLow
-				toHigh := a.inHigh && b.inHigh
+		s.u0 = unionCuts(low[f0.Node()], high[f0.Node()], isPrefix[f0.Node()], s.u0[:0])
+		s.u1 = unionCuts(low[f1.Node()], high[f1.Node()], isPrefix[f1.Node()], s.u1[:0])
+		s.ensureCand(len(s.u0) * len(s.u1))
+		s.poolLow, s.poolHigh = s.poolLow[:0], s.poolHigh[:0]
+		for _, ta := range s.u0 {
+			for _, tb := range s.u1 {
+				toLow := ta.inLow && tb.inLow
+				toHigh := ta.inHigh && tb.inHigh
 				if !toLow && !toHigh {
 					continue
 				}
-				leaves, ok := mergeLeaves(a.c.Leaves, b.c.Leaves, pLow.K)
+				leaves, ok := mergeLeaves(ta.c.Leaves, tb.c.Leaves, pLow.K, s.candSlot())
 				if !ok {
 					continue
 				}
-				c := Cut{Leaves: leaves, Table: mergeTables(a.c, b.c, leaves, f0.IsCompl(), f1.IsCompl())}
+				c := Cut{Leaves: leaves, Table: mergeTables(ta.c, tb.c, leaves, f0.IsCompl(), f1.IsCompl())}
 				if toLow {
-					poolLow = append(poolLow, c)
+					s.poolLow = append(s.poolLow, c)
 				}
 				if toHigh {
-					poolHigh = append(poolHigh, c)
+					s.poolHigh = append(s.poolHigh, c)
 				}
 			}
 		}
-		low[n] = append(filter(poolLow, pLow.MaxCuts), trivialCut(n))
-		high[n] = append(filter(poolHigh, pHigh.MaxCuts), trivialCut(n))
+		kl := filter(s.poolLow, pLow.MaxCuts, s.keep[:0])
+		s.keep = kl
+		low[n] = a.copyKept(kl, n)
+		kh := filter(s.poolHigh, pHigh.MaxCuts, s.keep[:0])
+		s.keep = kh
+		high[n] = a.copyKept(kh, n)
 		isPrefix[n] = cutsArePrefix(low[n], high[n])
 	}
-	return low, high
 }
 
 // cutsArePrefix reports whether lo minus its trailing trivial cut is a
@@ -239,14 +420,9 @@ func unionCuts(lo, hi []Cut, loIsPrefix bool, buf []taggedCut) []taggedCut {
 	return buf
 }
 
-func trivialCut(n int32) Cut {
-	// Projection of the single leaf: variable 0 padded to 4 vars.
-	return Cut{Leaves: []int32{n}, Table: truth.PadTo4(0xA, 2)}
-}
-
-// mergeLeaves unions two sorted leaf sets, failing when the union exceeds k.
-func mergeLeaves(a, b []int32, k int) ([]int32, bool) {
-	out := make([]int32, 0, k)
+// mergeLeaves unions two sorted leaf sets into out (a zero-length slice
+// with capacity ≥ k), failing when the union exceeds k.
+func mergeLeaves(a, b []int32, k int, out []int32) ([]int32, bool) {
 	i, j := 0, 0
 	for i < len(a) || j < len(b) {
 		var v int32
@@ -290,17 +466,41 @@ func mergeTables(a, b Cut, leaves []int32, inv0, inv1 bool) uint16 {
 }
 
 // expand rewires a cut's table from its own leaves to positions within
-// the union leaf set.
+// the union leaf set. Both leaf sets are sorted, so the rewiring is a
+// monotone variable expansion; lifting each variable into place with
+// adjacent-position delta swaps (at most six for 4-variable tables) is
+// an order of magnitude cheaper than the general TransformPins minterm
+// loop, and this is the innermost operation of cut enumeration.
 func expand(c Cut, leaves []int32) uint16 {
-	var pinVar [4]int
-	for j, l := range c.Leaves {
-		pinVar[j] = indexOf(leaves, l)
+	t := c.Table
+	// Place variables from the top so every swap on the way up crosses
+	// only padding positions (the padded table is invariant under them,
+	// but the swaps are exact regardless).
+	for j := len(c.Leaves) - 1; j >= 0; j-- {
+		p := indexOf(leaves, c.Leaves[j])
+		for q := j; q < p; q++ {
+			t = swapAdjacent(t, q)
+		}
 	}
-	// Unused pins of the padded table may point anywhere.
-	for j := len(c.Leaves); j < 4; j++ {
-		pinVar[j] = 0
-	}
-	return truth.TransformPins(c.Table, 4, pinVar[:], 0)
+	return t
+}
+
+// adjSwapMasks[q] partitions the 16 minterms for exchanging variables q
+// and q+1 of a 4-variable table: minterms with bit q set and bit q+1
+// clear move up by 1<<q, their mirrors move down, the rest stay.
+var adjSwapMasks = [3]struct {
+	keep, up, down uint16
+	shift          uint
+}{
+	{0x9999, 0x2222, 0x4444, 1},
+	{0xC3C3, 0x0C0C, 0x3030, 2},
+	{0xF00F, 0x00F0, 0x0F00, 4},
+}
+
+// swapAdjacent exchanges variables q and q+1 of a 4-variable table.
+func swapAdjacent(t uint16, q int) uint16 {
+	m := &adjSwapMasks[q]
+	return t&m.keep | t&m.up<<m.shift | t&m.down>>m.shift
 }
 
 func indexOf(s []int32, v int32) int {
@@ -314,15 +514,16 @@ func indexOf(s []int32, v int32) int {
 
 // filter deduplicates, removes dominated cuts (a cut is dominated when a
 // strict subset of its leaves is also a cut), sorts by leaf count, and
-// keeps at most maxCuts.
-func filter(cs []Cut, maxCuts int) []Cut {
-	sort.Slice(cs, func(i, j int) bool {
-		if len(cs[i].Leaves) != len(cs[j].Leaves) {
-			return len(cs[i].Leaves) < len(cs[j].Leaves)
+// keeps at most maxCuts, appending survivors to out. The sort order is
+// total on distinct leaf sets and cuts with equal leaves are identical
+// values, so the unstable sort cannot affect the selection.
+func filter(cs []Cut, maxCuts int, out []Cut) []Cut {
+	slices.SortFunc(cs, func(a, b Cut) int {
+		if len(a.Leaves) != len(b.Leaves) {
+			return len(a.Leaves) - len(b.Leaves)
 		}
-		return lessLeaves(cs[i].Leaves, cs[j].Leaves)
+		return slices.Compare(a.Leaves, b.Leaves)
 	})
-	var out []Cut
 	for _, c := range cs {
 		if containsEqual(out, c) || dominated(out, c) {
 			continue
@@ -333,18 +534,6 @@ func filter(cs []Cut, maxCuts int) []Cut {
 		}
 	}
 	return out
-}
-
-func lessLeaves(a, b []int32) bool {
-	for i := range a {
-		if i >= len(b) {
-			return false
-		}
-		if a[i] != b[i] {
-			return a[i] < b[i]
-		}
-	}
-	return len(a) < len(b)
 }
 
 func containsEqual(cs []Cut, c Cut) bool {

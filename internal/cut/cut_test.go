@@ -175,21 +175,22 @@ func TestNoDominatedCuts(t *testing.T) {
 }
 
 func TestMergeLeaves(t *testing.T) {
-	got, ok := mergeLeaves([]int32{1, 3}, []int32{2, 3}, 4)
+	slot := func() []int32 { return make([]int32, 0, 4) }
+	got, ok := mergeLeaves([]int32{1, 3}, []int32{2, 3}, 4, slot())
 	if !ok || len(got) != 3 || got[0] != 1 || got[1] != 2 || got[2] != 3 {
 		t.Fatalf("mergeLeaves = %v ok=%v", got, ok)
 	}
-	if _, ok := mergeLeaves([]int32{1, 2, 3}, []int32{4, 5}, 4); ok {
+	if _, ok := mergeLeaves([]int32{1, 2, 3}, []int32{4, 5}, 4, slot()); ok {
 		t.Fatalf("merge should fail on overflow")
 	}
-	got, ok = mergeLeaves(nil, []int32{7}, 4)
+	got, ok = mergeLeaves(nil, []int32{7}, 4, slot())
 	if !ok || len(got) != 1 || got[0] != 7 {
 		t.Fatalf("merge with empty = %v", got)
 	}
 }
 
 func TestTrivialCutTable(t *testing.T) {
-	c := trivialCut(9)
+	c := new(Arena).trivialCut(9)
 	// Projection of variable 0.
 	want := truth.PadTo4(0xA, 2)
 	if c.Table != want {
@@ -290,4 +291,32 @@ func BenchmarkEnumerateDual(b *testing.B) {
 			Enumerate(g, pHigh)
 		}
 	})
+}
+
+// TestExpandMatchesTransformPins pins the delta-swap expansion to the
+// general minterm-loop reference it replaced: for every subset of a
+// 4-leaf union and every table, the rewired tables must agree.
+func TestExpandMatchesTransformPins(t *testing.T) {
+	leaves := []int32{3, 7, 11, 15}
+	rng := rand.New(rand.NewSource(5))
+	for mask := 1; mask < 16; mask++ {
+		var own []int32
+		for b := 0; b < 4; b++ {
+			if mask>>b&1 == 1 {
+				own = append(own, leaves[b])
+			}
+		}
+		var pinVar [4]int
+		for j, l := range own {
+			pinVar[j] = indexOf(leaves, l)
+		}
+		for trial := 0; trial < 256; trial++ {
+			tbl := truth.PadTo4(uint16(rng.Uint32()), len(own))
+			c := Cut{Leaves: own, Table: tbl}
+			want := truth.TransformPins(tbl, 4, pinVar[:], 0)
+			if got := expand(c, leaves); got != want {
+				t.Fatalf("expand(%04x, own=%v) = %04x, want %04x", tbl, own, got, want)
+			}
+		}
+	}
 }

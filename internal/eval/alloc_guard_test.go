@@ -1,0 +1,59 @@
+package eval_test
+
+import (
+	"math/rand"
+	"testing"
+
+	"aigtimer/internal/aig"
+	"aigtimer/internal/cell"
+	"aigtimer/internal/eval"
+	"aigtimer/internal/flows"
+	"aigtimer/internal/transform"
+)
+
+// TestIncrementalDeltaEvalZeroAllocs is the end-to-end allocation guard
+// on the oracle hot path: once the evaluation pool, arenas, and scratch
+// buffers are warm, a retained incremental oracle must serve delta
+// evaluations — cut translation and suffix enumeration, dual-effort
+// incremental remapping, netlist emission, and multi-corner incremental
+// STA — without touching the heap. Candidate generation (the move path)
+// happens outside the measured region; this guard is about the
+// evaluation pipeline.
+func TestIncrementalDeltaEvalZeroAllocs(t *testing.T) {
+	lib := cell.Builtin()
+	g0 := harnessAIG(41, 6, 120, 3)
+	recipes := transform.Recipes()
+	rng := rand.New(rand.NewSource(9))
+
+	incOracle := eval.NewIncremental(flows.NewGroundTruth(lib),
+		eval.IncrementalParams{DirtyThreshold: 1, MaxStates: 8})
+	inc, ok := incOracle.(*eval.Incremental)
+	if !ok {
+		t.Fatal("ground truth lost its delta capability")
+	}
+	incOracle.Evaluate(g0) // anchor the base
+
+	// Pre-generate tracked candidates; every one rebases against g0, so
+	// its delta evaluation anchors a new state and the base stays MRU.
+	cands := make([]*aig.AIG, 64)
+	for i := range cands {
+		cands[i], _ = recipes[rng.Intn(len(recipes))].ApplyTracked(g0, rng)
+	}
+	// Warm the pool and every arena to its high-water mark.
+	for _, c := range cands {
+		incOracle.Evaluate(c)
+	}
+	before := inc.Stats()
+	i := 0
+	avg := testing.AllocsPerRun(100, func() {
+		incOracle.Evaluate(cands[i%len(cands)])
+		i++
+	})
+	after := inc.Stats()
+	if served := after.DeltaEvals - before.DeltaEvals; served < 100 {
+		t.Fatalf("guard did not exercise the delta path: %d delta evals", served)
+	}
+	if avg != 0 {
+		t.Fatalf("incremental delta evaluation allocates %.1f objects per run, want 0", avg)
+	}
+}

@@ -1,7 +1,6 @@
 package eval
 
 import (
-	"container/list"
 	"sync"
 	"sync/atomic"
 
@@ -14,6 +13,23 @@ import (
 // stores and hands it back; its meaning belongs to the DeltaEvaluator
 // that produced it.
 type DeltaState interface{}
+
+// Releasable is implemented by DeltaStates whose storage can be
+// recycled once the anchor store is done with them. The store calls
+// Release exactly once per state, when the state is dropped (evicted,
+// displaced, or redundant) and no in-flight evaluation reads it
+// anymore; the evaluator must return a distinct state object from every
+// EvaluateFull/EvaluateDelta call for this accounting to hold.
+type Releasable interface {
+	Release()
+}
+
+// release recycles a dropped state when its evaluator supports it.
+func release(st DeltaState) {
+	if r, ok := st.(Releasable); ok {
+		r.Release()
+	}
+}
 
 // DeltaEvaluator is implemented by evaluators that can score a derived
 // graph incrementally from the retained state of its base graph.
@@ -69,23 +85,34 @@ type IncrementalStats struct {
 // optimization trajectories are unaffected by anchor hits, evictions,
 // or the threshold.
 //
+// The store is a fixed array of slots scanned linearly (MaxStates is
+// small) rather than a map-plus-list LRU: steady-state operation
+// allocates nothing, which is what lets the end-to-end allocation
+// guards hold through this layer. Slots pinned by in-flight delta
+// evaluations are never evicted; dropped states are handed back to the
+// evaluator through Releasable for storage recycling.
+//
 // Incremental is safe for concurrent use.
 type Incremental struct {
 	de  DeltaEvaluator
 	thr float64
-	max int
 	wrk int
 
-	mu     sync.Mutex
-	states map[*aig.AIG]*list.Element
-	lru    *list.List // of anchorEntry, front = most recent
+	mu    sync.Mutex
+	slots []anchorSlot // fixed length MaxStates; g == nil marks empty
+	tick  uint64
 
 	stats [6]int64 // atomic; order mirrors IncrementalStats fields
 }
 
-type anchorEntry struct {
-	g  *aig.AIG
-	st DeltaState
+// anchorSlot is one retained state. pins counts in-flight evaluations
+// reading st; a pinned slot is skipped by eviction, so st stays valid
+// until the last unpin.
+type anchorSlot struct {
+	g    *aig.AIG
+	st   DeltaState
+	last uint64 // recency stamp
+	pins int
 }
 
 // NewIncremental wraps o with the incremental evaluation path when it
@@ -103,12 +130,10 @@ func NewIncremental(o Oracle, p IncrementalParams) Oracle {
 		p.MaxStates = 16
 	}
 	return &Incremental{
-		de:     de,
-		thr:    p.DirtyThreshold,
-		max:    p.MaxStates,
-		wrk:    p.Workers,
-		states: make(map[*aig.AIG]*list.Element),
-		lru:    list.New(),
+		de:    de,
+		thr:   p.DirtyThreshold,
+		wrk:   p.Workers,
+		slots: make([]anchorSlot, p.MaxStates),
 	}
 }
 
@@ -129,35 +154,68 @@ func (c *Incremental) Stats() IncrementalStats {
 
 func (c *Incremental) bump(i int) { atomic.AddInt64(&c.stats[i], 1) }
 
-// lookup fetches the retained state of g, refreshing its recency.
-func (c *Incremental) lookup(g *aig.AIG) (DeltaState, bool) {
+// lookup fetches and pins the retained state of g, refreshing its
+// recency. The caller must unpin the returned slot when done reading
+// the state.
+func (c *Incremental) lookup(g *aig.AIG) (*anchorSlot, DeltaState, bool) {
 	c.mu.Lock()
 	defer c.mu.Unlock()
-	el, ok := c.states[g]
-	if !ok {
-		return nil, false
+	for i := range c.slots {
+		if c.slots[i].g == g {
+			c.tick++
+			c.slots[i].last = c.tick
+			c.slots[i].pins++
+			return &c.slots[i], c.slots[i].st, true
+		}
 	}
-	c.lru.MoveToFront(el)
-	return el.Value.(anchorEntry).st, true
+	return nil, nil, false
 }
 
-// store retains g's state, evicting the least recently used anchors
-// beyond the bound.
+// unpin releases a lookup's hold on a slot.
+func (c *Incremental) unpin(s *anchorSlot) {
+	c.mu.Lock()
+	s.pins--
+	c.mu.Unlock()
+}
+
+// store retains g's state in the least recently used unpinned slot,
+// releasing whatever state that slot held. When g is already anchored,
+// or every slot is pinned by an in-flight evaluation, st is redundant
+// and released immediately (the miss only costs a later full
+// evaluation, never a wrong answer).
 func (c *Incremental) store(g *aig.AIG, st DeltaState) {
 	if st == nil {
 		return
 	}
 	c.mu.Lock()
-	defer c.mu.Unlock()
-	if el, ok := c.states[g]; ok {
-		c.lru.MoveToFront(el)
+	victim := -1
+	for i := range c.slots {
+		s := &c.slots[i]
+		if s.g == g {
+			c.tick++
+			s.last = c.tick
+			c.mu.Unlock()
+			release(st)
+			return
+		}
+		if s.pins > 0 {
+			continue
+		}
+		if victim < 0 || s.last < c.slots[victim].last {
+			victim = i
+		}
+	}
+	if victim < 0 {
+		c.mu.Unlock()
+		release(st)
 		return
 	}
-	c.states[g] = c.lru.PushFront(anchorEntry{g: g, st: st})
-	for c.lru.Len() > c.max {
-		back := c.lru.Back()
-		c.lru.Remove(back)
-		delete(c.states, back.Value.(anchorEntry).g)
+	old := c.slots[victim].st
+	c.tick++
+	c.slots[victim] = anchorSlot{g: g, st: st, last: c.tick}
+	c.mu.Unlock()
+	if old != nil {
+		release(old)
 	}
 }
 
@@ -172,12 +230,13 @@ func (c *Incremental) Evaluate(g *aig.AIG) Metrics {
 	case d.DirtyFraction() > c.thr:
 		c.bump(4) // OverThreshold
 	default:
-		st, ok := c.lookup(base)
+		slot, st, ok := c.lookup(base)
 		if !ok {
 			c.bump(3) // StateMiss
 			break
 		}
 		m, nst, ok := c.de.EvaluateDelta(st, g, d)
+		c.unpin(slot)
 		if !ok {
 			c.bump(5) // DeclinedDelta
 			break

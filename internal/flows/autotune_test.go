@@ -1,0 +1,122 @@
+package flows
+
+import (
+	"testing"
+
+	"aigtimer/internal/anneal"
+	"aigtimer/internal/cell"
+)
+
+// sameHistory asserts two runs took the identical trajectory: same
+// steps, same recipes, same metrics, same acceptance decisions.
+func sameHistory(t *testing.T, a, b []anneal.Step) {
+	t.Helper()
+	if len(a) != len(b) {
+		t.Fatalf("history length differs: %d vs %d", len(a), len(b))
+	}
+	for i := range a {
+		x, y := a[i], b[i]
+		if x.Recipe != y.Recipe || x.Accepted != y.Accepted || x.Cost != y.Cost ||
+			x.Metrics != y.Metrics || x.Ands != y.Ands || x.Levels != y.Levels {
+			t.Fatalf("step %d differs:\n  %+v\nvs\n  %+v", i, x, y)
+		}
+	}
+}
+
+// Autotuned knobs are all value-transparent, so a run under AutoTune'd
+// params must be byte-identical to the untuned run — same trajectory,
+// same best — with only the cost profile allowed to differ.
+func TestAutoTuneTrajectoryIdentity(t *testing.T) {
+	g := testAIG(7)
+	gt := NewGroundTruth(cell.Builtin())
+	p := anneal.DefaultParams
+	p.Iterations = 30
+
+	ref, err := anneal.Run(g, gt, p)
+	if err != nil {
+		t.Fatal(err)
+	}
+	tuned, rep, err := anneal.AutoTune(g, gt, p)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !rep.TunedBatch || !rep.TunedWorkers {
+		t.Fatalf("zero-valued knobs not tuned: %+v", rep)
+	}
+	if tuned.BatchMin != 1 || tuned.BatchMax < 2 || tuned.BatchMax > 16 {
+		t.Fatalf("batch bounds out of range: [%d,%d]", tuned.BatchMin, tuned.BatchMax)
+	}
+	if tuned.Workers < 1 {
+		t.Fatalf("bad workers: %d", tuned.Workers)
+	}
+	r, err := anneal.Run(g, gt, tuned)
+	if err != nil {
+		t.Fatal(err)
+	}
+	sameHistory(t, ref.History, r.History)
+	if ref.BestCost != r.BestCost || ref.BestMetrics != r.BestMetrics {
+		t.Fatalf("best differs: %v/%v vs %v/%v", ref.BestCost, ref.BestMetrics, r.BestCost, r.BestMetrics)
+	}
+	if !ref.Best.StructuralEqual(r.Best) {
+		t.Fatal("best AIG differs between tuned and untuned runs")
+	}
+}
+
+// Explicitly set knobs are pinned: AutoTune must never overwrite them.
+func TestAutoTunePinnedKnobs(t *testing.T) {
+	g := testAIG(7)
+	gt := NewGroundTruth(cell.Builtin())
+	p := anneal.DefaultParams
+	p.Iterations = 8
+	p.BatchMin, p.BatchMax = 2, 4
+	p.Workers = 3
+	p.IncrementalThreshold = 0.5
+
+	tuned, rep, err := anneal.AutoTune(g, gt, p)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if tuned.BatchMin != p.BatchMin || tuned.BatchMax != p.BatchMax ||
+		tuned.Workers != p.Workers || tuned.IncrementalThreshold != p.IncrementalThreshold {
+		t.Fatalf("pinned params rewritten: %+v vs %+v", tuned, p)
+	}
+	if rep.TunedBatch || rep.TunedWorkers || rep.TunedThreshold {
+		t.Fatalf("pinned knobs reported as tuned: %+v", rep)
+	}
+	if rep.PilotIterations != 0 {
+		t.Fatalf("fully pinned config still ran a pilot: %+v", rep)
+	}
+}
+
+// The sweep drivers must produce identical results with autotuning on
+// and off — the wiring inherits the knobs' value transparency.
+func TestSweepAutoTuneIdentity(t *testing.T) {
+	g := testAIG(9)
+	gt := NewGroundTruth(cell.Builtin())
+	cfg := SweepConfig{
+		Base:         anneal.DefaultParams,
+		DelayWeights: []float64{1.0},
+		AreaWeights:  []float64{0.5},
+		DecayRates:   []float64{0.95, 0.97},
+	}
+	cfg.Base.Iterations = 20
+
+	off, err := Sweep(g, gt, cell.Builtin(), cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	cfg.AutoTune = true
+	on, err := Sweep(g, gt, cell.Builtin(), cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(on) != len(off) {
+		t.Fatalf("point count differs: %d vs %d", len(on), len(off))
+	}
+	for i := range on {
+		if on[i].TrueDelayPS != off[i].TrueDelayPS || on[i].TrueAreaUM2 != off[i].TrueAreaUM2 {
+			t.Fatalf("point %d ground truth differs: %+v vs %+v", i, on[i], off[i])
+		}
+		sameHistory(t, on[i].Result.History, off[i].Result.History)
+	}
+}

@@ -2,6 +2,7 @@ package flows
 
 import (
 	"fmt"
+	"sync"
 
 	"aigtimer/internal/aig"
 	"aigtimer/internal/anneal"
@@ -52,6 +53,18 @@ type GroundTruth struct {
 	// Workers bounds the concurrent mappings of EvaluateBatch; 0 uses
 	// GOMAXPROCS.
 	Workers int
+
+	// pool recycles evaluation-state storage across the incremental
+	// path's full and delta evaluations (see signoff.Pool); built
+	// lazily so the zero value still works.
+	poolOnce sync.Once
+	pool     *signoff.Pool
+}
+
+// statePool returns the evaluator's state pool, creating it on first use.
+func (e *GroundTruth) statePool() *signoff.Pool {
+	e.poolOnce.Do(func() { e.pool = signoff.NewPool() })
+	return e.pool
 }
 
 // NewGroundTruth returns a ground-truth evaluator over the library.
@@ -99,8 +112,10 @@ func gtMetrics(r signoff.Result) anneal.Metrics {
 // EvaluateFull implements eval.DeltaEvaluator: a from-scratch signoff
 // evaluation that additionally retains the mapping and STA state for
 // later incremental re-evaluation. Metrics equal Evaluate's exactly.
+// States are drawn from the evaluator's pool, so the anchor store's
+// Release calls (eval.Releasable) recycle their storage.
 func (e *GroundTruth) EvaluateFull(g *aig.AIG) (anneal.Metrics, eval.DeltaState) {
-	r, st, err := signoff.EvaluateState(g, e.Lib)
+	r, st, err := e.statePool().EvaluateState(g, e.Lib)
 	if err != nil {
 		return anneal.Metrics{DelayPS: 1e12, AreaUM2: 1e12}, nil
 	}
@@ -210,14 +225,40 @@ type SweepConfig struct {
 	// store, since an arbitrary evaluator has no stable cross-process
 	// identity to key records by.
 	Store *eval.Store
+	// AutoTune derives the zero-valued cost knobs of Base — adaptive
+	// batch bounds, worker count, incremental threshold — from a short
+	// measurement pilot per suite entry (anneal.AutoTune) instead of the
+	// static defaults. Knobs set explicitly in Base stay pinned. Every
+	// tuned knob is value-transparent, so results are bit-identical with
+	// autotuning on or off; only the cost changes.
+	AutoTune bool
 }
 
-// DefaultSweep is a compact grid that still traces a front.
+// tunedBase resolves the params one suite entry actually runs with:
+// cfg.Base autotuned against the entry's graph and evaluator when the
+// config asks for it. A pilot failure falls back to the untuned base —
+// tuning is a cost optimization, never a correctness gate.
+func (c SweepConfig) tunedBase(g *aig.AIG, ev anneal.Evaluator) anneal.Params {
+	if !c.AutoTune {
+		return c.Base
+	}
+	p, _, err := anneal.AutoTune(g, ev, c.Base)
+	if err != nil {
+		return c.Base
+	}
+	return p
+}
+
+// DefaultSweep is a compact grid that still traces a front. Its cost
+// knobs are self-tuning: each entry's batch bounds, worker count, and
+// incremental threshold come from a measurement pilot rather than
+// static defaults (set Base fields, or AutoTune: false, to pin them).
 var DefaultSweep = SweepConfig{
 	Base:         anneal.DefaultParams,
 	DelayWeights: []float64{1.0},
 	AreaWeights:  []float64{0.0, 0.15, 0.3, 0.6, 1.0, 1.8, 3.0},
 	DecayRates:   []float64{0.95, 0.975, 0.99},
+	AutoTune:     true,
 }
 
 // GridPoint identifies one run within a sweep grid: its position in

@@ -79,10 +79,12 @@ func SweepSuite(entries []SuiteEntry, lib *cell.Library, cfg SweepConfig) ([]Sui
 	}
 	gt := NewGroundTruth(lib)
 	stacks := make([]anneal.Evaluator, len(entries))
+	bases := make([]anneal.Params, len(entries))
 	storeKeys := suiteStoreKeys(entries, cfg.Store)
 	for e, ent := range entries {
 		WarmRoot(ent.G)
-		stacks[e] = NewSweepStack(ent.Eval, cfg.Base, workers)
+		bases[e] = cfg.tunedBase(ent.G, ent.Eval)
+		stacks[e] = NewSweepStack(ent.Eval, bases[e], workers)
 		// Store records enter behind the memo cache's prefilter: they may
 		// only skip oracle calls whose graph they provably describe, so a
 		// warm start never changes a result.
@@ -102,7 +104,7 @@ func SweepSuite(entries []SuiteEntry, lib *cell.Library, cfg SweepConfig) ([]Sui
 			defer wg.Done()
 			for ji := range work {
 				j := jobs[ji]
-				pts[j.Slot], errs[j.Slot] = RunPoint(entries[j.Entry].G, stacks[j.Entry], gt, cfg.Base, j.Point)
+				pts[j.Slot], errs[j.Slot] = RunPoint(entries[j.Entry].G, stacks[j.Entry], gt, bases[j.Entry], j.Point)
 			}
 		}()
 	}
@@ -207,7 +209,13 @@ func SweepSuiteSharded(entries []SuiteEntry, lib *cell.Library, cfg SweepConfig,
 	if err != nil {
 		return nil, nil, err
 	}
-	base := cfg.Base
+	// The shard wire carries one resolved parameter set for the whole
+	// session, so knobs are pinned here: the auto batch size like always,
+	// and — when the config asks for it — the autotuned cost knobs,
+	// measured once by the coordinator against the first entry and then
+	// identical on every worker. (Value-transparent either way; workers
+	// running slightly off-tune for later entries costs time, not bits.)
+	base := cfg.tunedBase(entries[0].G, entries[0].Eval)
 	base.BatchSize = anneal.EffectiveBatchSize(base.BatchSize)
 	rc := shard.RunConfig{Base: base, Entries: specs, Library: libBytes}
 	sj := suiteJobList(len(entries), grid)

@@ -31,6 +31,9 @@ type Gate struct {
 	Output NetID
 }
 
+// inBlock sizes the input-pin arena blocks backing Gate.Inputs.
+const inBlock = 2048
+
 // Netlist is a combinational mapped design.
 type Netlist struct {
 	Lib    *cell.Library
@@ -39,18 +42,64 @@ type Netlist struct {
 	POs    []NetID // primary output nets
 
 	numNets int
-	fanouts [][]int32 // net -> indices of gates reading it; lazily built
-	poLoads []int32   // net -> number of POs attached
+
+	// inBlocks is the arena backing every Gate.Inputs slice; block-based
+	// so growth never moves pins out from under earlier gates. Recycled
+	// wholesale by NewBuilderReuse.
+	inBlocks [][]NetID
+	inActive int
+
+	// Fanout bookkeeping, lazily built: foFlat[foOff[n]:foOff[n+1]] are
+	// the indices of gates reading net n. Flat layout so a rebuild costs
+	// at most three slice growths instead of one per net.
+	foBuilt bool
+	foOff   []int32
+	foFlat  []int32
+	poLoads []int32 // net -> number of POs attached
 }
 
 // Builder incrementally constructs a netlist.
 type Builder struct {
-	n Netlist
+	n *Netlist
 }
 
 // NewBuilder returns a netlist builder over the given library.
 func NewBuilder(lib *cell.Library, numPIs int) *Builder {
-	return &Builder{n: Netlist{Lib: lib, NumPIs: numPIs, numNets: numPIs}}
+	return NewBuilderReuse(lib, numPIs, nil)
+}
+
+// NewBuilderReuse is NewBuilder recycling a dead netlist's storage; see
+// MakeBuilder.
+func NewBuilderReuse(lib *cell.Library, numPIs int, recycle *Netlist) *Builder {
+	b := MakeBuilder(lib, numPIs, recycle)
+	return &b
+}
+
+// MakeBuilder is NewBuilderReuse returning the builder by value, for
+// hot paths that keep it on the stack: the gate and PO slices, the
+// input-pin arena, and the fanout bookkeeping of the recycled netlist
+// are reused in place, so building into a warm carcass performs no
+// steady-state allocations. The caller must guarantee nothing references
+// recycle anymore — Build hands back the same *Netlist with entirely
+// new contents. A nil recycle allocates a fresh netlist.
+func MakeBuilder(lib *cell.Library, numPIs int, recycle *Netlist) Builder {
+	n := recycle
+	if n == nil {
+		n = &Netlist{}
+	}
+	for i := range n.inBlocks {
+		n.inBlocks[i] = n.inBlocks[i][:0]
+	}
+	*n = Netlist{
+		Lib: lib, NumPIs: numPIs, numNets: numPIs,
+		Gates:    n.Gates[:0],
+		POs:      n.POs[:0],
+		inBlocks: n.inBlocks,
+		foOff:    n.foOff[:0],
+		foFlat:   n.foFlat[:0],
+		poLoads:  n.poLoads[:0],
+	}
+	return Builder{n: n}
 }
 
 // PINet returns the net driven by primary input i.
@@ -59,6 +108,26 @@ func (b *Builder) PINet(i int) NetID {
 		panic(fmt.Sprintf("netlist: PI %d out of range", i))
 	}
 	return NetID(i)
+}
+
+// allocInputs carves a pin slice of length n from the input arena.
+func (nl *Netlist) allocInputs(n int) []NetID {
+	for {
+		if nl.inActive >= len(nl.inBlocks) {
+			sz := inBlock
+			if n > sz {
+				sz = n
+			}
+			nl.inBlocks = append(nl.inBlocks, make([]NetID, 0, sz))
+		}
+		blk := nl.inBlocks[nl.inActive]
+		if cap(blk)-len(blk) >= n {
+			s := blk[len(blk) : len(blk)+n : len(blk)+n]
+			nl.inBlocks[nl.inActive] = blk[: len(blk)+n : cap(blk)]
+			return s
+		}
+		nl.inActive++
+	}
 }
 
 // AddGate instantiates a cell reading the given nets and returns its
@@ -75,7 +144,9 @@ func (b *Builder) AddGate(c *cell.Cell, inputs ...NetID) NetID {
 	}
 	out := NetID(b.n.numNets)
 	b.n.numNets++
-	b.n.Gates = append(b.n.Gates, Gate{Cell: c, Inputs: append([]NetID(nil), inputs...), Output: out})
+	ins := b.n.allocInputs(len(inputs))
+	copy(ins, inputs)
+	b.n.Gates = append(b.n.Gates, Gate{Cell: c, Inputs: ins, Output: out})
 	return out
 }
 
@@ -87,10 +158,12 @@ func (b *Builder) AddPO(n NetID) {
 	b.n.POs = append(b.n.POs, n)
 }
 
-// Build finalizes the netlist.
+// Build finalizes and returns the netlist. The builder must not be used
+// afterwards.
 func (b *Builder) Build() *Netlist {
 	n := b.n
-	return &n
+	b.n = nil
+	return n
 }
 
 // NumNets returns the total net count.
@@ -117,27 +190,61 @@ func (nl *Netlist) Driver(n NetID) int {
 	return int(n) - nl.NumPIs
 }
 
-// buildFanouts computes reader lists and PO attachment counts.
+// buildFanouts computes reader lists and PO attachment counts with a
+// counting sort into the flat layout.
 func (nl *Netlist) buildFanouts() {
-	if nl.fanouts != nil {
+	if nl.foBuilt {
 		return
 	}
-	nl.fanouts = make([][]int32, nl.numNets)
-	nl.poLoads = make([]int32, nl.numNets)
+	if cap(nl.foOff) < nl.numNets+1 {
+		nl.foOff = make([]int32, nl.numNets+1)
+	}
+	nl.foOff = nl.foOff[:nl.numNets+1]
+	for i := range nl.foOff {
+		nl.foOff[i] = 0
+	}
+	total := 0
 	for gi := range nl.Gates {
 		for _, in := range nl.Gates[gi].Inputs {
-			nl.fanouts[in] = append(nl.fanouts[in], int32(gi))
+			nl.foOff[in+1]++
+			total++
 		}
+	}
+	for i := 1; i <= nl.numNets; i++ {
+		nl.foOff[i] += nl.foOff[i-1]
+	}
+	if cap(nl.foFlat) < total {
+		nl.foFlat = make([]int32, total)
+	}
+	nl.foFlat = nl.foFlat[:total]
+	// Fill using foOff as a moving cursor, then restore it by shifting.
+	for gi := range nl.Gates {
+		for _, in := range nl.Gates[gi].Inputs {
+			nl.foFlat[nl.foOff[in]] = int32(gi)
+			nl.foOff[in]++
+		}
+	}
+	for i := nl.numNets; i > 0; i-- {
+		nl.foOff[i] = nl.foOff[i-1]
+	}
+	nl.foOff[0] = 0
+	if cap(nl.poLoads) < nl.numNets {
+		nl.poLoads = make([]int32, nl.numNets)
+	}
+	nl.poLoads = nl.poLoads[:nl.numNets]
+	for i := range nl.poLoads {
+		nl.poLoads[i] = 0
 	}
 	for _, po := range nl.POs {
 		nl.poLoads[po]++
 	}
+	nl.foBuilt = true
 }
 
 // Fanouts returns the indices of gates reading net n.
 func (nl *Netlist) Fanouts(n NetID) []int32 {
 	nl.buildFanouts()
-	return nl.fanouts[n]
+	return nl.foFlat[nl.foOff[n]:nl.foOff[n+1]]
 }
 
 // LoadFF returns the capacitive load on net n: the input capacitance of
@@ -147,7 +254,7 @@ func (nl *Netlist) LoadFF(n NetID) float64 {
 	nl.buildFanouts()
 	load := 0.0
 	branches := 0
-	for _, gi := range nl.fanouts[n] {
+	for _, gi := range nl.Fanouts(n) {
 		g := &nl.Gates[gi]
 		for _, in := range g.Inputs {
 			if in == n {

@@ -57,10 +57,11 @@ func Update(prev *Result, nl *netlist.Netlist, prevOf netlist.NetMap) *Result {
 		ArrivalPS:  make([]float64, numNets),
 		RequiredPS: make([]float64, numNets),
 		GateDelay:  make([]float64, len(nl.Gates)),
-		LoadsFF:    netLoads(nl),
+		LoadsFF:    make([]float64, numNets),
 		AreaUM2:    nl.AreaUM2(),
 		CriticalPO: -1,
 	}
+	netLoads(nl, r.LoadsFF)
 	// Seed from the previous analysis and mark the frontier: gates whose
 	// driver changed (no correspondence) or whose output load moved.
 	dirty := make([]bool, len(nl.Gates))
@@ -112,28 +113,39 @@ func Update(prev *Result, nl *netlist.Netlist, prevOf netlist.NetMap) *Result {
 // different parameters (corners, input slew) or without load
 // bookkeeping — degrades safely to a full Signoff.
 func SignoffUpdate(prev *SignoffResult, nl *netlist.Netlist, prevOf netlist.NetMap, p SignoffParams) (*SignoffResult, error) {
+	return SignoffUpdateInto(prev, nl, prevOf, p, nil, nil)
+}
+
+// SignoffUpdateInto is SignoffUpdate recycling a dead result's storage
+// and a caller-owned worklist Scratch (either may be nil to allocate
+// fresh). A retained pipeline that reuses both performs zero steady-state
+// allocations here. The result is bit-identical to SignoffUpdate's; the
+// caller must guarantee nothing references recycle anymore.
+func SignoffUpdateInto(prev *SignoffResult, nl *netlist.Netlist, prevOf netlist.NetMap, p SignoffParams, recycle *SignoffResult, sc *Scratch) (*SignoffResult, error) {
 	p = p.withDefaults()
 	if !seedable(prev, nl, prevOf, p) {
-		return Signoff(nl, p)
+		return SignoffInto(nl, p, recycle)
 	}
-	numNets := nl.NumNets()
-	res := &SignoffResult{Netlist: nl, AreaUM2: nl.AreaUM2(), LoadsFF: netLoads(nl), InputSlewPS: p.InputSlewPS}
+	if sc == nil {
+		sc = &Scratch{}
+	}
+	res := recycleSignoff(recycle, nl.NumNets(), len(p.Corners))
+	res.Netlist, res.AreaUM2, res.InputSlewPS = nl, nl.AreaUM2(), p.InputSlewPS
+	netLoads(nl, res.LoadsFF)
 	// The frontier seed is corner-independent: correspondence and loads.
-	seed := make([]bool, len(nl.Gates))
+	sc.seed = growBools(sc.seed, len(nl.Gates))
+	seed := sc.seed
 	for gi := range nl.Gates {
 		out := nl.Gates[gi].Output
 		pn := prevOf[out]
 		seed[gi] = pn < 0 || res.LoadsFF[out] != prev.LoadsFF[pn]
 	}
-	dirty := make([]bool, len(nl.Gates))
+	sc.dirty = growBools(sc.dirty, len(nl.Gates))
+	dirty := sc.dirty
 	for ci, corner := range p.Corners {
 		pc := &prev.Corners[ci]
-		cr := CornerResult{
-			Corner:     corner,
-			ArrivalPS:  make([]float64, numNets),
-			SlewPS:     make([]float64, numNets),
-			CriticalPO: -1,
-		}
+		cr := &res.Corners[ci]
+		cr.Corner = corner
 		for i := 0; i < nl.NumPIs; i++ {
 			cr.SlewPS[i] = p.InputSlewPS
 		}
@@ -168,7 +180,6 @@ func SignoffUpdate(prev *SignoffResult, nl *netlist.Netlist, prevOf netlist.NetM
 				cr.CriticalPO = i
 			}
 		}
-		res.Corners = append(res.Corners, cr)
 	}
 	res.aggregate()
 	return res, nil

@@ -62,14 +62,23 @@ type SignoffResult struct {
 
 // Signoff runs slew-propagating NLDM STA at every corner.
 func Signoff(nl *netlist.Netlist, p SignoffParams) (*SignoffResult, error) {
+	return SignoffInto(nl, p, nil)
+}
+
+// SignoffInto is Signoff recycling a dead result's storage (the per-net
+// and per-corner slices are reused in place; nil allocates fresh). The
+// returned result is bit-identical to Signoff's: recycled slices are
+// zeroed exactly like fresh allocations. The caller must guarantee
+// nothing references recycle anymore.
+func SignoffInto(nl *netlist.Netlist, p SignoffParams, recycle *SignoffResult) (*SignoffResult, error) {
 	p = p.withDefaults()
-	res := &SignoffResult{Netlist: nl, AreaUM2: nl.AreaUM2(), LoadsFF: netLoads(nl), InputSlewPS: p.InputSlewPS}
-	for _, corner := range p.Corners {
-		cr, err := analyzeCorner(nl, corner, p.InputSlewPS, res.LoadsFF)
-		if err != nil {
+	res := recycleSignoff(recycle, nl.NumNets(), len(p.Corners))
+	res.Netlist, res.AreaUM2, res.InputSlewPS = nl, nl.AreaUM2(), p.InputSlewPS
+	netLoads(nl, res.LoadsFF)
+	for ci, corner := range p.Corners {
+		if err := analyzeCorner(nl, &res.Corners[ci], corner, p.InputSlewPS, res.LoadsFF); err != nil {
 			return nil, err
 		}
-		res.Corners = append(res.Corners, cr)
 	}
 	res.aggregate()
 	return res, nil
@@ -99,25 +108,20 @@ func (res *SignoffResult) aggregate() {
 	}
 }
 
-// netLoads computes the load of every gate-output net once; loads are
-// corner-independent, so all corners share the slice.
-func netLoads(nl *netlist.Netlist) []float64 {
-	loads := make([]float64, nl.NumNets())
+// netLoads computes the load of every gate-output net into loads (length
+// NumNets, zeroed); loads are corner-independent, so all corners share
+// the slice.
+func netLoads(nl *netlist.Netlist, loads []float64) {
 	for gi := range nl.Gates {
 		out := nl.Gates[gi].Output
 		loads[out] = nl.LoadFF(out)
 	}
-	return loads
 }
 
-func analyzeCorner(nl *netlist.Netlist, corner cell.Corner, inputSlew float64, loads []float64) (CornerResult, error) {
-	numNets := nl.NumNets()
-	cr := CornerResult{
-		Corner:     corner,
-		ArrivalPS:  make([]float64, numNets),
-		SlewPS:     make([]float64, numNets),
-		CriticalPO: -1,
-	}
+// analyzeCorner runs the full forward pass at one corner into cr, whose
+// per-net slices are pre-sized and zeroed.
+func analyzeCorner(nl *netlist.Netlist, cr *CornerResult, corner cell.Corner, inputSlew float64, loads []float64) error {
+	cr.Corner = corner
 	for i := 0; i < nl.NumPIs; i++ {
 		cr.SlewPS[i] = inputSlew
 	}
@@ -125,7 +129,7 @@ func analyzeCorner(nl *netlist.Netlist, corner cell.Corner, inputSlew float64, l
 		g := &nl.Gates[gi]
 		arr, slew, err := gateCornerEval(nl, cr.ArrivalPS, cr.SlewPS, gi, corner, inputSlew, loads)
 		if err != nil {
-			return cr, err
+			return err
 		}
 		cr.ArrivalPS[g.Output] = arr
 		cr.SlewPS[g.Output] = slew
@@ -136,7 +140,7 @@ func analyzeCorner(nl *netlist.Netlist, corner cell.Corner, inputSlew float64, l
 			cr.CriticalPO = i
 		}
 	}
-	return cr, nil
+	return nil
 }
 
 // gateCornerEval computes one gate's output (arrival, slew) at a corner

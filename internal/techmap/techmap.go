@@ -74,28 +74,74 @@ var projections = [4]uint16{
 	truth.TransformPins(truth.PadTo4(0xA, 2), 4, []int{3, 0, 0, 0}, 0),
 }
 
-type mapper struct {
-	g      *aig.AIG
-	lib    *cell.Library
-	p      Params
-	cuts   [][]cut.Cut
-	impls  [][2]impl // per node, chosen implementation
-	direct [][2]impl // best non-inverter impl per phase
+// markItem is one (node, phase) work unit of markUsed.
+type markItem struct {
+	n  int32
+	ph int
+}
+
+// Scratch holds every per-call working buffer of the mapping pipeline —
+// match selection state, area-recovery overlays, the emit memo, and the
+// cut-enumeration scratch — reused across calls so a retained evaluation
+// pipeline performs no steady-state allocations while mapping. A Scratch
+// serves one mapping at a time.
+type Scratch struct {
+	direct [][2]impl
 	used   [][2]bool
 	req    [][2]float64
+	sized  [][2]impl
+	stack  []markItem
+	inv    []int32
+	memo   [2][]netlist.NetID
+	nm     netlist.NetMap
+	cands  []impl
+	cuts   cut.Scratch
+	// m is the pipeline's mapper for the in-flight call. It lives here
+	// rather than on the caller's stack because its address flows into
+	// the emitter and would otherwise escape — one heap allocation per
+	// mapping on an otherwise allocation-free path.
+	m mapper
+}
+
+// mapper resets sc.m for a new mapping call and returns it.
+func (sc *Scratch) mapper() *mapper {
+	sc.m = mapper{}
+	return &sc.m
+}
+
+// growImpls returns b resized to n, contents unspecified.
+func growImpls(b [][2]impl, n int) [][2]impl {
+	if cap(b) < n {
+		return make([][2]impl, n)
+	}
+	return b[:n]
+}
+
+type mapper struct {
+	g    *aig.AIG
+	lib  *cell.Library
+	p    Params
+	cuts [][]cut.Cut
+	// impls is the selectImpls output, retained by the State. eff is
+	// what the global passes (markUsed, area recovery, emit) read: it
+	// aliases impls until area recovery copies it into the sized overlay
+	// — the pre-recovery impls are never mutated, so the State can
+	// retain them without a defensive snapshot.
+	impls [][2]impl
+	eff   [][2]impl
+	sc    *Scratch
 }
 
 // Map maps the AIG onto the library and returns the gate-level netlist.
 // Use MapState instead to also retain the per-node mapping state that
 // Remap needs for incremental re-mapping; Map itself skips that
-// packaging (impl snapshot, gate indexing), keeping the plain
-// evaluation path allocation-lean.
+// packaging (gate indexing), keeping the plain evaluation path lean.
 func Map(g *aig.AIG, lib *cell.Library, p Params) (*netlist.Netlist, error) {
-	m, err := runMapper(g, lib, p, nil)
+	m, err := runMapper(g, lib, p, nil, nil, nil)
 	if err != nil {
 		return nil, err
 	}
-	nl, _ := emitMapped(m)
+	nl, _ := emitMapped(m, nil)
 	return nl, nil
 }
 
@@ -104,8 +150,9 @@ func (m *mapper) invDelay() float64 {
 	return m.lib.Inverter().DelayPS(m.p.NominalLoadFF)
 }
 
-// arrivalOf returns the arrival time of (node, phase), deriving the
-// complement phase through an inverter when necessary.
+// arrivalOf returns the arrival time of (node, phase) under the
+// effective implementation view, deriving the complement phase through
+// an inverter when necessary.
 func (m *mapper) arrivalOf(n int32, ph int) float64 {
 	if !m.g.IsAnd(n) {
 		// PIs and constants arrive at t=0; a PI's complement costs an
@@ -115,7 +162,7 @@ func (m *mapper) arrivalOf(n int32, ph int) float64 {
 		}
 		return 0
 	}
-	return m.impls[n][ph].arrival
+	return m.eff[n][ph].arrival
 }
 
 // selectImpls chooses the best implementation for both phases of every
@@ -145,13 +192,13 @@ func (m *mapper) selectImpls(from int32) error {
 					}
 				}
 			}
-			m.direct[n][ph] = best
+			m.sc.direct[n][ph] = best
 		}
 		// Relax with the inverter alternative: phase ph via INV over the
 		// direct impl of the opposite phase.
 		for ph := pos; ph <= neg; ph++ {
-			best := m.direct[n][ph]
-			other := m.direct[n][1-ph]
+			best := m.sc.direct[n][ph]
+			other := m.sc.direct[n][1-ph]
 			if other.kind != kindNone {
 				cand := impl{
 					kind:    kindInv,
@@ -172,15 +219,20 @@ func (m *mapper) selectImpls(from int32) error {
 	return firstErr
 }
 
-// cutCandidates yields all realizations of the table tbl over cut c:
-// tie cells for constants, wires for projections, and library matches.
+// cutCandidates yields all realizations of the table tbl over cut c —
+// tie cells for constants, wires for projections, and library matches —
+// in the Scratch candidate buffer (valid until the next call).
 func (m *mapper) cutCandidates(c cut.Cut, ci int, tbl uint16) []impl {
-	var out []impl
+	out := m.sc.cands[:0]
 	switch tbl {
 	case 0:
-		return []impl{{kind: kindTie, tieVal: false, area: m.lib.Tie(false).AreaUM2}}
+		out = append(out, impl{kind: kindTie, tieVal: false, area: m.lib.Tie(false).AreaUM2})
+		m.sc.cands = out
+		return out
 	case 0xFFFF:
-		return []impl{{kind: kindTie, tieVal: true, area: m.lib.Tie(true).AreaUM2}}
+		out = append(out, impl{kind: kindTie, tieVal: true, area: m.lib.Tie(true).AreaUM2})
+		m.sc.cands = out
+		return out
 	}
 	for j := range c.Leaves {
 		if tbl == projections[j] {
@@ -199,6 +251,7 @@ func (m *mapper) cutCandidates(c cut.Cut, ci int, tbl uint16) []impl {
 	for _, match := range m.lib.Matches(tbl, len(c.Leaves)) {
 		out = append(out, m.evalMatch(c, ci, match))
 	}
+	m.sc.cands = out
 	return out
 }
 
@@ -242,19 +295,23 @@ func better(a, b impl) bool {
 // markUsed flags the (node, phase) pairs reachable from the POs through
 // the chosen implementations.
 func (m *mapper) markUsed() {
-	m.used = make([][2]bool, m.g.NumNodes())
-	type item struct {
-		n  int32
-		ph int
+	m.sc.used = m.sc.used[:0]
+	if cap(m.sc.used) < m.g.NumNodes() {
+		m.sc.used = make([][2]bool, m.g.NumNodes())
 	}
-	var stack []item
+	m.sc.used = m.sc.used[:m.g.NumNodes()]
+	for i := range m.sc.used {
+		m.sc.used[i] = [2]bool{}
+	}
+	used := m.sc.used
+	stack := m.sc.stack[:0]
 	push := func(n int32, ph int) {
 		if !m.g.IsAnd(n) {
 			return
 		}
-		if !m.used[n][ph] {
-			m.used[n][ph] = true
-			stack = append(stack, item{n, ph})
+		if !used[n][ph] {
+			used[n][ph] = true
+			stack = append(stack, markItem{n, ph})
 		}
 	}
 	for _, po := range m.g.POs() {
@@ -263,7 +320,7 @@ func (m *mapper) markUsed() {
 	for len(stack) > 0 {
 		it := stack[len(stack)-1]
 		stack = stack[:len(stack)-1]
-		im := m.impls[it.n][it.ph]
+		im := m.eff[it.n][it.ph]
 		switch im.kind {
 		case kindInv:
 			push(it.n, 1-it.ph)
@@ -280,6 +337,7 @@ func (m *mapper) markUsed() {
 			}
 		}
 	}
+	m.sc.stack = stack
 }
 
 func phaseOf(l aig.Lit) int {
@@ -294,12 +352,25 @@ func phaseOf(l aig.Lit) int {
 // identical pin wiring that still meets the required time is selected.
 // Because only the cell choice changes (never the structure), the total
 // area is monotonically non-increasing.
+//
+// The pass operates on the sized overlay (m.eff), never on the
+// selectImpls output: m.impls survives unmodified for the State to
+// retain, which is what lets Remap translate pre-recovery choices
+// without any defensive copy.
 func (m *mapper) recoverArea() {
+	m.sc.sized = growImpls(m.sc.sized, m.g.NumNodes())
+	copy(m.sc.sized, m.impls)
+	m.eff = m.sc.sized
 	m.markUsed()
-	m.req = make([][2]float64, m.g.NumNodes())
-	for i := range m.req {
-		m.req[i][pos] = math.Inf(1)
-		m.req[i][neg] = math.Inf(1)
+	used := m.sc.used
+	if cap(m.sc.req) < m.g.NumNodes() {
+		m.sc.req = make([][2]float64, m.g.NumNodes())
+	}
+	m.sc.req = m.sc.req[:m.g.NumNodes()]
+	req := m.sc.req
+	for i := range req {
+		req[i][pos] = math.Inf(1)
+		req[i][neg] = math.Inf(1)
 	}
 	maxArr := 0.0
 	for _, po := range m.g.POs() {
@@ -310,23 +381,23 @@ func (m *mapper) recoverArea() {
 	for _, po := range m.g.POs() {
 		n := po.Node()
 		ph := phaseOf(po)
-		if m.g.IsAnd(n) && m.req[n][ph] > maxArr {
-			m.req[n][ph] = maxArr
+		if m.g.IsAnd(n) && req[n][ph] > maxArr {
+			req[n][ph] = maxArr
 		}
 	}
 	// Propagate requirements in reverse topological order.
 	for n := int32(m.g.NumNodes() - 1); n >= m.g.FirstAnd(); n-- {
 		for ph := pos; ph <= neg; ph++ {
-			if !m.used[n][ph] || math.IsInf(m.req[n][ph], 1) {
+			if !used[n][ph] || math.IsInf(req[n][ph], 1) {
 				continue
 			}
-			im := m.impls[n][ph]
+			im := m.eff[n][ph]
 			switch im.kind {
 			case kindInv:
-				lower(&m.req[n][1-ph], m.req[n][ph]-m.invDelay())
+				lower(&req[n][1-ph], req[n][ph]-m.invDelay())
 			case kindWire:
 				if m.g.IsAnd(im.leaf) {
-					lower(&m.req[im.leaf][im.leafPhase], m.req[n][ph])
+					lower(&req[im.leaf][im.leafPhase], req[n][ph])
 				}
 			case kindGate:
 				c := m.cuts[n][im.cutIdx]
@@ -338,7 +409,7 @@ func (m *mapper) recoverArea() {
 					}
 					leaf := c.Leaves[im.match.PinVar[j]]
 					if m.g.IsAnd(leaf) {
-						lower(&m.req[leaf][lph], m.req[n][ph]-d)
+						lower(&req[leaf][lph], req[n][ph]-d)
 					}
 				}
 			}
@@ -348,14 +419,14 @@ func (m *mapper) recoverArea() {
 	// single forward pass is sound.
 	m.g.TopoForEachAnd(func(n int32, f0, f1 aig.Lit) {
 		for ph := pos; ph <= neg; ph++ {
-			if !m.used[n][ph] {
+			if !used[n][ph] {
 				continue
 			}
-			im := m.impls[n][ph]
+			im := m.eff[n][ph]
 			if im.kind != kindGate {
 				continue
 			}
-			req := m.req[n][ph]
+			r := req[n][ph]
 			c := m.cuts[n][im.cutIdx]
 			tbl := c.Table
 			if ph == neg {
@@ -367,12 +438,12 @@ func (m *mapper) recoverArea() {
 					continue
 				}
 				cand := m.evalMatch(c, im.cutIdx, match)
-				if cand.arrival <= req && (cand.area < best.area ||
+				if cand.arrival <= r && (cand.area < best.area ||
 					(cand.area == best.area && cand.arrival < best.arrival)) {
 					best = cand
 				}
 			}
-			m.impls[n][ph] = best
+			m.eff[n][ph] = best
 		}
 	})
 }
@@ -383,65 +454,90 @@ func lower(dst *float64, v float64) {
 	}
 }
 
-// emit materializes the chosen implementations as a netlist. Alongside
-// the netlist it returns the (node, phase) -> net memo and, per emitted
-// gate, the (node, phase) key whose implementation created it — the
-// correspondence raw material the incremental path uses to relate the
-// nets of successive mappings (see Remap).
-func (m *mapper) emit() (*netlist.Netlist, map[[2]int32]netlist.NetID, [][2]int32) {
-	nb := netlist.NewBuilder(m.lib, m.g.NumPIs())
-	memo := make(map[[2]int32]netlist.NetID)
-	var gateKeys [][2]int32
-	addGate := func(key [2]int32, c *cell.Cell, ins ...netlist.NetID) netlist.NetID {
-		net := nb.AddGate(c, ins...)
-		gateKeys = append(gateKeys, key)
-		return net
-	}
-	var need func(n int32, ph int) netlist.NetID
-	need = func(n int32, ph int) netlist.NetID {
-		key := [2]int32{n, int32(ph)}
-		if net, ok := memo[key]; ok {
-			return net
+// emit materializes the effective implementations as a netlist built
+// into nlRecycle's storage (nil builds fresh). Alongside the netlist it
+// returns, per emitted gate, the (node, phase) key whose implementation
+// created it — the correspondence raw material the incremental path uses
+// to relate the nets of successive mappings (see Remap). The
+// (node, phase) -> net memo lives in the Scratch and is valid until its
+// next use.
+func (m *mapper) emit(nlRecycle *netlist.Netlist, gateKeys [][2]int32) (*netlist.Netlist, [][2]int32) {
+	for ph := 0; ph < 2; ph++ {
+		if cap(m.sc.memo[ph]) < m.g.NumNodes() {
+			m.sc.memo[ph] = make([]netlist.NetID, m.g.NumNodes())
 		}
-		var net netlist.NetID
-		switch {
-		case n == 0: // constant false node
-			net = addGate(key, m.lib.Tie(ph == neg))
-		case m.g.IsPI(n):
-			if ph == pos {
-				net = nb.PINet(int(n) - 1)
-			} else {
-				net = addGate(key, m.lib.Inverter(), nb.PINet(int(n)-1))
-			}
-		default:
-			im := m.impls[n][ph]
-			switch im.kind {
-			case kindInv:
-				net = addGate(key, m.lib.Inverter(), need(n, 1-ph))
-			case kindWire:
-				net = need(im.leaf, im.leafPhase)
-			case kindTie:
-				net = addGate(key, m.lib.Tie(im.tieVal))
-			case kindGate:
-				c := m.cuts[n][im.cutIdx]
-				ins := make([]netlist.NetID, im.match.Cell.NumInputs)
-				for j := range ins {
-					lph := pos
-					if im.match.PinInv>>j&1 == 1 {
-						lph = neg
-					}
-					ins[j] = need(c.Leaves[im.match.PinVar[j]], lph)
-				}
-				net = addGate(key, im.match.Cell, ins...)
-			default:
-				panic("techmap: emitting unimplemented node")
-			}
+		m.sc.memo[ph] = m.sc.memo[ph][:m.g.NumNodes()]
+		for i := range m.sc.memo[ph] {
+			m.sc.memo[ph][i] = -1
 		}
-		memo[key] = net
-		return net
 	}
+	// A method-based emitter rather than recursive closures: a closure
+	// that captures itself escapes to the heap, and emit runs on the
+	// steady-state delta path.
+	e := emitter{m: m, nb: netlist.MakeBuilder(m.lib, m.g.NumPIs(), nlRecycle), gateKeys: gateKeys[:0]}
 	for _, po := range m.g.POs() {
-		nb.AddPO(need(po.Node(), phaseOf(po)))
+		e.nb.AddPO(e.need(po.Node(), phaseOf(po)))
 	}
-	return nb.Build(), memo, gateKeys
+	return e.nb.Build(), e.gateKeys
+}
+
+// emitter carries the in-progress emission state through need's
+// recursion.
+type emitter struct {
+	m        *mapper
+	nb       netlist.Builder
+	gateKeys [][2]int32
+}
+
+// addGate instantiates a cell and records its creator key.
+func (e *emitter) addGate(key [2]int32, c *cell.Cell, ins ...netlist.NetID) netlist.NetID {
+	net := e.nb.AddGate(c, ins...)
+	e.gateKeys = append(e.gateKeys, key)
+	return net
+}
+
+// need returns the net realizing (node, phase), emitting it on first use.
+func (e *emitter) need(n int32, ph int) netlist.NetID {
+	m := e.m
+	if net := m.sc.memo[ph][n]; net >= 0 {
+		return net
+	}
+	key := [2]int32{n, int32(ph)}
+	var net netlist.NetID
+	switch {
+	case n == 0: // constant false node
+		net = e.addGate(key, m.lib.Tie(ph == neg))
+	case m.g.IsPI(n):
+		if ph == pos {
+			net = e.nb.PINet(int(n) - 1)
+		} else {
+			net = e.addGate(key, m.lib.Inverter(), e.nb.PINet(int(n)-1))
+		}
+	default:
+		im := m.eff[n][ph]
+		switch im.kind {
+		case kindInv:
+			net = e.addGate(key, m.lib.Inverter(), e.need(n, 1-ph))
+		case kindWire:
+			net = e.need(im.leaf, im.leafPhase)
+		case kindTie:
+			net = e.addGate(key, m.lib.Tie(im.tieVal))
+		case kindGate:
+			c := m.cuts[n][im.cutIdx]
+			var insArr [4]netlist.NetID
+			ins := insArr[:im.match.Cell.NumInputs]
+			for j := range ins {
+				lph := pos
+				if im.match.PinInv>>j&1 == 1 {
+					lph = neg
+				}
+				ins[j] = e.need(c.Leaves[im.match.PinVar[j]], lph)
+			}
+			net = e.addGate(key, im.match.Cell, ins...)
+		default:
+			panic("techmap: emitting unimplemented node")
+		}
+	}
+	m.sc.memo[ph][n] = net
+	return net
 }

@@ -2,9 +2,9 @@ package transform
 
 import (
 	"math/bits"
+	"sync"
 
 	"aigtimer/internal/aig"
-	"aigtimer/internal/truth"
 )
 
 // Exact verification of candidate node equivalences. Random simulation is
@@ -23,72 +23,178 @@ import (
 // inner loop.
 const exactVerifyMaxSupport = 12
 
-// piSupports returns, per node, the bitmask of primary inputs in its
-// transitive fanin. Panics when the design has more than 64 inputs (far
-// beyond the paper's suite).
-func piSupports(g *aig.AIG) []uint64 {
+// verWords is the table width, in 64-bit words, at the support bound.
+const verWords = 1 << (exactVerifyMaxSupport - 6)
+
+// verScratch is the reusable working state of a verifier: the support
+// masks, the PI-to-variable map, and a flat epoch-stamped truth-table memo
+// (one slot of the current call's word count per node, replacing the old
+// per-call map[int32]truth.TT). Pooled so the annealing inner loop pays
+// no steady-state allocation for exact checks.
+type verScratch struct {
+	sup    []uint64
+	vm     [64]int
+	memoW  []uint64 // NumNodes × wpk words, slot i starting at i*wpk
+	memoEp []uint32 // per-node epoch stamp validating memoW slots
+	epoch  uint32
+}
+
+var verScratchPool = sync.Pool{New: func() any { return new(verScratch) }}
+
+// verifier performs exact cone comparisons over bounded supports.
+type verifier struct {
+	g *aig.AIG
+	s *verScratch
+}
+
+func newVerifier(g *aig.AIG) *verifier {
+	s := verScratchPool.Get().(*verScratch)
+	piSupports(g, s)
+	return &verifier{g: g, s: s}
+}
+
+// release returns the verifier's scratch to the shared pool. Safe on nil.
+func (v *verifier) release() {
+	if v == nil {
+		return
+	}
+	s := v.s
+	v.s = nil
+	verScratchPool.Put(s)
+}
+
+// piSupports fills s.sup with, per node, the bitmask of primary inputs in
+// its transitive fanin. Panics when the design has more than 64 inputs
+// (far beyond the paper's suite).
+func piSupports(g *aig.AIG, s *verScratch) {
 	if g.NumPIs() > 64 {
 		panic("transform: piSupports supports at most 64 PIs")
 	}
-	sup := make([]uint64, g.NumNodes())
+	s.sup = growUint64(s.sup, g.NumNodes())
+	sup := s.sup
+	sup[0] = 0
 	for i := 1; i <= g.NumPIs(); i++ {
 		sup[i] = 1 << (i - 1)
 	}
 	g.TopoForEachAnd(func(n int32, f0, f1 aig.Lit) {
 		sup[n] = sup[f0.Node()] | sup[f1.Node()]
 	})
-	return sup
 }
 
-// verifier performs exact cone comparisons over bounded supports.
-type verifier struct {
-	g   *aig.AIG
-	sup []uint64
+// growUint64 returns b resized to n elements, reusing capacity. Contents
+// are unspecified.
+func growUint64(b []uint64, n int) []uint64 {
+	if cap(b) < n {
+		return make([]uint64, n)
+	}
+	return b[:n]
 }
 
-func newVerifier(g *aig.AIG) *verifier {
-	return &verifier{g: g, sup: piSupports(g)}
+// beginEval prepares the memo for one exact comparison over k variables
+// and returns the per-node slot width in words. Tables with k < 6
+// variables still use one word with the value replicated (the same
+// invariant truth.TT maintains), so all comparisons are plain word
+// equality.
+func (v *verifier) beginEval(k int) int {
+	wpk := 1
+	if k > 6 {
+		wpk = 1 << (k - 6)
+	}
+	s := v.s
+	need := v.g.NumNodes() * wpk
+	if cap(s.memoW) < need {
+		s.memoW = make([]uint64, need)
+	} else {
+		s.memoW = s.memoW[:need]
+	}
+	if len(s.memoEp) < v.g.NumNodes() {
+		s.memoEp = make([]uint32, v.g.NumNodes())
+		s.epoch = 0
+	}
+	s.epoch++
+	if s.epoch == 0 { // epoch counter wrapped: invalidate all stamps
+		clear(s.memoEp)
+		s.epoch = 1
+	}
+	return wpk
 }
 
 // varMap assigns truth-table variable positions to the PIs in mask.
-func varMap(mask uint64) ([]int, int) {
-	m := make([]int, 64)
+func (v *verifier) varMap(mask uint64) int {
 	k := 0
 	for pi := 0; pi < 64; pi++ {
 		if mask>>pi&1 == 1 {
-			m[pi] = k
+			v.s.vm[pi] = k
 			k++
 		}
 	}
-	return m, k
+	return k
 }
 
-// coneTT evaluates node n's function as a truth table over the k support
-// variables assigned by vm.
-func (v *verifier) coneTT(n int32, vm []int, k int, memo map[int32]truth.TT) truth.TT {
-	if t, ok := memo[n]; ok {
-		return t
+// varFill writes the projection table of variable x (of k) into dst,
+// replicated across the word for x < 6 — mirroring truth.Var.
+var varMasks = [6]uint64{
+	0xAAAAAAAAAAAAAAAA,
+	0xCCCCCCCCCCCCCCCC,
+	0xF0F0F0F0F0F0F0F0,
+	0xFF00FF00FF00FF00,
+	0xFFFF0000FFFF0000,
+	0xFFFFFFFF00000000,
+}
+
+func varFill(dst []uint64, x int) {
+	if x < 6 {
+		m := varMasks[x]
+		for i := range dst {
+			dst[i] = m
+		}
+		return
 	}
-	var t truth.TT
+	period := 1 << (x - 6 + 1)
+	half := 1 << (x - 6)
+	for i := range dst {
+		if i%period >= half {
+			dst[i] = ^uint64(0)
+		} else {
+			dst[i] = 0
+		}
+	}
+}
+
+// coneTT evaluates node n's function into its memo slot and returns the
+// slot. AND nodes fuse the fanin complements into the conjunction, so a
+// cone evaluation performs zero allocations and writes each word exactly
+// once.
+func (v *verifier) coneTT(n int32, wpk int) []uint64 {
+	s := v.s
+	slot := s.memoW[int(n)*wpk : int(n)*wpk+wpk]
+	if s.memoEp[n] == s.epoch {
+		return slot
+	}
 	switch {
 	case n == 0:
-		t = truth.New(k)
+		for i := range slot {
+			slot[i] = 0
+		}
 	case v.g.IsPI(n):
-		t = truth.Var(k, vm[n-1])
+		varFill(slot, s.vm[n-1])
 	default:
 		f0, f1 := v.g.Fanins(n)
-		t0 := v.coneTT(f0.Node(), vm, k, memo)
-		t1 := v.coneTT(f1.Node(), vm, k, memo)
+		t0 := v.coneTT(f0.Node(), wpk)
+		t1 := v.coneTT(f1.Node(), wpk)
+		var m0, m1 uint64
 		if f0.IsCompl() {
-			t0 = t0.Not()
+			m0 = ^uint64(0)
 		}
 		if f1.IsCompl() {
-			t1 = t1.Not()
+			m1 = ^uint64(0)
 		}
-		t = t0.And(t1)
+		for i := range slot {
+			slot[i] = (t0[i] ^ m0) & (t1[i] ^ m1)
+		}
 	}
-	memo[n] = t
-	return t
+	s.memoEp[n] = s.epoch
+	return slot
 }
 
 // verifiable reports whether the union support of the given nodes is
@@ -97,7 +203,7 @@ func (v *verifier) coneTT(n int32, vm []int, k int, memo map[int32]truth.TT) tru
 func (v *verifier) verifiable(nodes ...int32) bool {
 	var mask uint64
 	for _, n := range nodes {
-		mask |= v.sup[n]
+		mask |= v.s.sup[n]
 	}
 	return bits.OnesCount64(mask) <= exactVerifyMaxSupport
 }
@@ -106,43 +212,52 @@ func (v *verifier) verifiable(nodes ...int32) bool {
 // return is false when the union support is too large to verify, in which
 // case the caller must not merge.
 func (v *verifier) equal(a, b int32, compl bool) (eq, verified bool) {
-	mask := v.sup[a] | v.sup[b]
-	k := bits.OnesCount64(mask)
-	if k > exactVerifyMaxSupport {
+	mask := v.s.sup[a] | v.s.sup[b]
+	if bits.OnesCount64(mask) > exactVerifyMaxSupport {
 		return false, false
 	}
-	vm, k := varMap(mask)
-	memo := make(map[int32]truth.TT)
-	ta := v.coneTT(a, vm, k, memo)
-	tb := v.coneTT(b, vm, k, memo)
+	k := v.varMap(mask)
+	wpk := v.beginEval(k)
+	ta := v.coneTT(a, wpk)
+	tb := v.coneTT(b, wpk)
+	var mc uint64
 	if compl {
-		tb = tb.Not()
+		mc = ^uint64(0)
 	}
-	return ta.Equal(tb), true
+	for i := range ta {
+		if ta[i]^tb[i]^mc != 0 {
+			return false, true
+		}
+	}
+	return true, true
 }
 
 // andEquals proves n == outC ^ ((d0^i0) · (d1^i1)) exactly, with the same
 // support bound.
 func (v *verifier) andEquals(n, d0, d1 int32, i0, i1, outC bool) (eq, verified bool) {
-	mask := v.sup[n] | v.sup[d0] | v.sup[d1]
-	k := bits.OnesCount64(mask)
-	if k > exactVerifyMaxSupport {
+	mask := v.s.sup[n] | v.s.sup[d0] | v.s.sup[d1]
+	if bits.OnesCount64(mask) > exactVerifyMaxSupport {
 		return false, false
 	}
-	vm, k := varMap(mask)
-	memo := make(map[int32]truth.TT)
-	tn := v.coneTT(n, vm, k, memo)
-	t0 := v.coneTT(d0, vm, k, memo)
-	t1 := v.coneTT(d1, vm, k, memo)
+	k := v.varMap(mask)
+	wpk := v.beginEval(k)
+	tn := v.coneTT(n, wpk)
+	t0 := v.coneTT(d0, wpk)
+	t1 := v.coneTT(d1, wpk)
+	var m0, m1, mo uint64
 	if i0 {
-		t0 = t0.Not()
+		m0 = ^uint64(0)
 	}
 	if i1 {
-		t1 = t1.Not()
+		m1 = ^uint64(0)
 	}
-	t := t0.And(t1)
 	if outC {
-		t = t.Not()
+		mo = ^uint64(0)
 	}
-	return tn.Equal(t), true
+	for i := range tn {
+		if (t0[i]^m0)&(t1[i]^m1)^mo != tn[i] {
+			return false, true
+		}
+	}
+	return true, true
 }

@@ -15,11 +15,13 @@ import (
 // union support exceeds 16 inputs are conservatively skipped). All merges
 // are therefore exact; no SAT solver is needed.
 func MergeEquiv(g *aig.AIG, rng *rand.Rand) *aig.AIG {
+	ms := getMoveScratch()
+	defer putMoveScratch(ms)
 	var res *aig.SimResult
-	sim := aig.NewSimulator(g)
+	sim := ms.simulator(g)
 	exhaustive := g.NumPIs() <= 14
 	if exhaustive {
-		res = sim.SimulateWords(aig.ExhaustivePatterns(g.NumPIs()), aig.ExhaustiveWords(g.NumPIs()))
+		res = sim.SimulateWords(exhaustivePatterns(g.NumPIs()), aig.ExhaustiveWords(g.NumPIs()))
 	} else {
 		simRng := rand.New(rand.NewSource(rng.Int63()))
 		res = sim.SimulateWords(aig.RandomPatterns(g.NumPIs(), 256, simRng), 256)
@@ -28,6 +30,7 @@ func MergeEquiv(g *aig.AIG, rng *rand.Rand) *aig.AIG {
 	if !exhaustive {
 		ver = newVerifier(g)
 	}
+	defer ver.release()
 
 	type class struct {
 		rep      int32

@@ -2,7 +2,6 @@ package transform
 
 import (
 	"math/rand"
-	"sync"
 
 	"aigtimer/internal/aig"
 	"aigtimer/internal/truth"
@@ -27,6 +26,8 @@ func RefactorZ(g *aig.AIG, rng *rand.Rand) *aig.AIG {
 }
 
 func refactorImpl(g *aig.AIG, rng *rand.Rand, minGain int) *aig.AIG {
+	ms := getMoveScratch()
+	defer putMoveScratch(ms)
 	fo := g.FanoutCounts()
 	r := newRebuilder(g)
 	sav := newSavings(g)
@@ -47,14 +48,14 @@ func refactorImpl(g *aig.AIG, rng *rand.Rand, minGain int) *aig.AIG {
 			r.copyNode(n, f0, f1)
 			return
 		}
-		tt, ok := coneFunction(g, n, leaves)
+		tt, ok := coneFunction(g, n, leaves, &ms.cone)
 		if !ok {
 			r.copyNode(n, f0, f1)
 			return
 		}
 		saved := sav.compute(n, leaves, fo)
-		cost := refactorCost(tt)
-		if saved-cost < minGain {
+		prog := coneProg(tt)
+		if saved-prog.cost() < minGain {
 			r.copyNode(n, f0, f1)
 			return
 		}
@@ -62,32 +63,9 @@ func refactorImpl(g *aig.AIG, rng *rand.Rand, minGain int) *aig.AIG {
 		for i, leaf := range leaves {
 			ins[i] = r.m[leaf]
 		}
-		r.m[n] = truth.SynthesizeTT(r.nb, ins, tt)
+		r.m[n] = prog.replay(r.nb, ins)
 	})
 	return r.finish()
-}
-
-// refactorCostCache memoizes standalone synthesis costs of cone functions
-// (up to 8 variables = 4 words) across all refactor invocations.
-var refactorCostCache sync.Map // [5]uint64{words..., k} -> int
-
-// refactorCost returns the AND count of tt's factored form in isolation.
-func refactorCost(tt truth.TT) int {
-	var key [5]uint64
-	copy(key[:4], tt.W)
-	key[4] = uint64(tt.N)
-	if v, ok := refactorCostCache.Load(key); ok {
-		return v.(int)
-	}
-	sb := aig.NewBuilder(tt.N)
-	sins := make([]aig.Lit, tt.N)
-	for i := range sins {
-		sins[i] = sb.PI(i)
-	}
-	truth.SynthesizeTT(sb, sins, tt)
-	c := sb.NumAnds()
-	refactorCostCache.Store(key, c)
-	return c
 }
 
 // mffcLowerBound computes a fast per-node lower bound on the MFFC size:
@@ -189,42 +167,109 @@ func sortAsc(s []int32) {
 	}
 }
 
+// coneScratch holds the truth-table storage for one cone evaluation:
+// the visited node ids paired with word slots carved from a flat slab.
+// The cone interior is tiny (reconvCut absorbs at most 20 nodes), so
+// the memo is a linear id scan; the slab makes repeated evaluations
+// allocation-free once warm.
+type coneScratch struct {
+	ids  []int32
+	slab []uint64
+}
+
+func (cs *coneScratch) reset() {
+	cs.ids = cs.ids[:0]
+	cs.slab = cs.slab[:0]
+}
+
+// add registers node x and reserves its wpk-word slot, returning the
+// memo index. Growing the slab may move it, so slot slices must be
+// derived after the add that needs them.
+func (cs *coneScratch) add(x int32, wpk int) int {
+	cs.ids = append(cs.ids, x)
+	n := len(cs.slab)
+	if cap(cs.slab) >= n+wpk {
+		cs.slab = cs.slab[:n+wpk]
+	} else {
+		cs.slab = append(cs.slab, make([]uint64, wpk)...)
+	}
+	return len(cs.ids) - 1
+}
+
+func (cs *coneScratch) lookup(x int32) int {
+	for i, id := range cs.ids {
+		if id == x {
+			return i
+		}
+	}
+	return -1
+}
+
+func (cs *coneScratch) slot(i, wpk int) []uint64 {
+	return cs.slab[i*wpk : (i+1)*wpk]
+}
+
 // coneFunction evaluates node n's function over the given cut leaves by
-// truth-table propagation through the cone. It fails (ok=false) when the
-// cone reaches a non-leaf PI or the constant node, which indicates the cut
-// is not a complete boundary for n.
-func coneFunction(g *aig.AIG, n int32, leaves []int32) (truth.TT, bool) {
+// truth-table propagation through the cone, with all storage coming from
+// cs; the returned table aliases cs's slab and is valid only until the
+// scratch's next use. It fails (ok=false) when the cone reaches a
+// non-leaf PI or the constant node, which indicates the cut is not a
+// complete boundary for n. The word-level AND/complement steps mirror
+// truth.TT.And/Not exactly (plain full-word ops on replicated tables),
+// so the result is bit-identical to the allocating evaluation.
+func coneFunction(g *aig.AIG, n int32, leaves []int32, cs *coneScratch) (truth.TT, bool) {
 	k := len(leaves)
-	memo := make(map[int32]truth.TT, 2*k)
+	wpk := truth.Words(k)
+	cs.reset()
 	for i, l := range leaves {
-		memo[l] = truth.Var(k, i)
+		truth.VarInto(cs.slot(cs.add(l, wpk), wpk), k, i)
 	}
-	var eval func(x int32) (truth.TT, bool)
-	eval = func(x int32) (truth.TT, bool) {
-		if t, ok := memo[x]; ok {
-			return t, true
-		}
-		if !g.IsAnd(x) {
-			return truth.TT{}, false
-		}
-		f0, f1 := g.Fanins(x)
-		t0, ok := eval(f0.Node())
-		if !ok {
-			return truth.TT{}, false
-		}
-		t1, ok := eval(f1.Node())
-		if !ok {
-			return truth.TT{}, false
-		}
-		if f0.IsCompl() {
-			t0 = t0.Not()
-		}
-		if f1.IsCompl() {
-			t1 = t1.Not()
-		}
-		t := t0.And(t1)
-		memo[x] = t
-		return t, true
+	e := coneEval{g: g, cs: cs, wpk: wpk}
+	i, ok := e.eval(n)
+	if !ok {
+		return truth.TT{}, false
 	}
-	return eval(n)
+	return truth.TT{N: k, W: cs.slot(i, wpk)}, true
+}
+
+// coneEval is the recursive evaluator behind coneFunction; a named
+// method receiver keeps the recursion off the heap, where a recursive
+// closure value would escape per call.
+type coneEval struct {
+	g   *aig.AIG
+	cs  *coneScratch
+	wpk int
+}
+
+func (e *coneEval) eval(x int32) (int, bool) {
+	if i := e.cs.lookup(x); i >= 0 {
+		return i, true
+	}
+	if !e.g.IsAnd(x) {
+		return 0, false
+	}
+	f0, f1 := e.g.Fanins(x)
+	i0, ok := e.eval(f0.Node())
+	if !ok {
+		return 0, false
+	}
+	i1, ok := e.eval(f1.Node())
+	if !ok {
+		return 0, false
+	}
+	i := e.cs.add(x, e.wpk)
+	a := e.cs.slot(i0, e.wpk)
+	b := e.cs.slot(i1, e.wpk)
+	out := e.cs.slot(i, e.wpk)
+	var m0, m1 uint64
+	if f0.IsCompl() {
+		m0 = ^uint64(0)
+	}
+	if f1.IsCompl() {
+		m1 = ^uint64(0)
+	}
+	for w := range out {
+		out[w] = (a[w] ^ m0) & (b[w] ^ m1)
+	}
+	return i, true
 }

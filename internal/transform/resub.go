@@ -39,11 +39,13 @@ func resubImpl(g *aig.AIG, rng *rand.Rand, minGain int) *aig.AIG {
 
 	// Simulation signatures for screening.
 	simRng := rand.New(rand.NewSource(rng.Int63()))
+	ms := getMoveScratch()
+	defer putMoveScratch(ms)
 	var res *aig.SimResult
-	sim := aig.NewSimulator(g)
+	sim := ms.simulator(g)
 	exhaustive := g.NumPIs() <= 12
 	if exhaustive {
-		res = sim.SimulateWords(aig.ExhaustivePatterns(g.NumPIs()), aig.ExhaustiveWords(g.NumPIs()))
+		res = sim.SimulateWords(exhaustivePatterns(g.NumPIs()), aig.ExhaustiveWords(g.NumPIs()))
 	} else {
 		res = sim.SimulateWords(aig.RandomPatterns(g.NumPIs(), resubSimWords, simRng), resubSimWords)
 	}
@@ -51,6 +53,7 @@ func resubImpl(g *aig.AIG, rng *rand.Rand, minGain int) *aig.AIG {
 	if !exhaustive {
 		ver = newVerifier(g)
 	}
+	defer ver.release()
 
 	// Index nodes by signature for 0-resub lookups.
 	type sigClass struct{ rep int32 }

@@ -126,7 +126,9 @@ func TestPISupports(t *testing.T) {
 	n2 := b.And(n1, b.PI(2))
 	b.AddPO(n2)
 	g := b.Build()
-	sup := piSupports(g)
+	var s verScratch
+	piSupports(g, &s)
+	sup := s.sup
 	if sup[n1.Node()] != 0b011 || sup[n2.Node()] != 0b111 {
 		t.Fatalf("supports wrong: %b %b", sup[n1.Node()], sup[n2.Node()])
 	}

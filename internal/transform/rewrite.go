@@ -24,7 +24,9 @@ func RewriteZ(g *aig.AIG, rng *rand.Rand) *aig.AIG {
 }
 
 func rewriteImpl(g *aig.AIG, rng *rand.Rand, minGain int) *aig.AIG {
-	cuts := cut.Enumerate(g, cut.Params{K: 4, MaxCuts: 8})
+	ms := getMoveScratch()
+	defer putMoveScratch(ms)
+	cuts := ms.enumerate(g, cut.Params{K: 4, MaxCuts: 8})
 	fo := g.FanoutCounts()
 	sav := newSavings(g)
 	r := newRebuilder(g)
@@ -59,8 +61,7 @@ func rewriteImpl(g *aig.AIG, rng *rand.Rand, minGain int) *aig.AIG {
 		for i, leaf := range chosen.c.Leaves {
 			ins[i] = r.m[leaf]
 		}
-		tt := truth.FromUint16K(chosen.c.Table, len(chosen.c.Leaves))
-		r.m[n] = truth.SynthesizeTT(r.nb, ins, tt)
+		r.m[n] = cutProg(chosen.c.Table, len(chosen.c.Leaves)).replay(r.nb, ins)
 	})
 	return r.finish()
 }
@@ -74,7 +75,9 @@ func rewriteImpl(g *aig.AIG, rng *rand.Rand, minGain int) *aig.AIG {
 // industry transformation combinations.
 func Expand(g *aig.AIG, rng *rand.Rand) *aig.AIG {
 	const prob = 0.2
-	cuts := cut.Enumerate(g, cut.Params{K: 4, MaxCuts: 8})
+	ms := getMoveScratch()
+	defer putMoveScratch(ms)
+	cuts := ms.enumerate(g, cut.Params{K: 4, MaxCuts: 8})
 	r := newRebuilder(g)
 	g.TopoForEachAnd(func(n int32, f0, f1 aig.Lit) {
 		if rng.Float64() >= prob {

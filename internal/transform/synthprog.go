@@ -1,0 +1,110 @@
+package transform
+
+import (
+	"sync"
+	"sync/atomic"
+
+	"aigtimer/internal/aig"
+	"aigtimer/internal/truth"
+)
+
+// Synthesis-program caching. truth.SynthesizeTT's emission sequence is a
+// pure function of the truth table: the ISOP covers, the cost comparison
+// (measured in standalone builders), and the factoring tree depend on
+// nothing but the table, so the AND calls it issues — and therefore the
+// structure it creates in any builder — are identical on every call.
+// Rewrite and refactor re-derive that sequence from scratch for every
+// accepted node of every move, which is where the bulk of the move
+// path's allocation (ISOP cube covers, truth-table temporaries, scratch
+// cost builders) came from. A synthProg captures the sequence once as
+// the dedup'd AND list of a standalone synthesis and replays it through
+// the target builder's structural hashing, which produces bit-identical
+// results: replay performs exactly the create-or-find operations the
+// direct call sequence would, in the same order.
+
+// synthProg is one replayable synthesis: the AND nodes SynthesizeTT
+// creates for the function over fresh inputs, in creation order, with
+// fanins referring to the standalone graph (node 0 the constant, nodes
+// 1..k the inputs, k+1.. the ops), plus the output literal.
+type synthProg struct {
+	k   int
+	ops [][2]aig.Lit
+	out aig.Lit
+}
+
+// buildSynthProg records the synthesis of tt by running it against a
+// standalone builder and reading back the dedup'd AND list.
+func buildSynthProg(tt truth.TT) *synthProg {
+	sb := aig.NewBuilder(tt.N)
+	ins := make([]aig.Lit, tt.N)
+	for i := range ins {
+		ins[i] = sb.PI(i)
+	}
+	out := truth.SynthesizeTT(sb, ins, tt)
+	g := sb.Build()
+	p := &synthProg{k: tt.N, out: out}
+	if n := g.NumAnds(); n > 0 {
+		p.ops = make([][2]aig.Lit, 0, n)
+		for x := g.FirstAnd(); x < int32(g.NumNodes()); x++ {
+			f0, f1 := g.Fanins(x)
+			p.ops = append(p.ops, [2]aig.Lit{f0, f1})
+		}
+	}
+	return p
+}
+
+// cost returns the standalone AND count of the synthesis — what a
+// scratch-builder run of SynthesizeTT would report as NumAnds.
+func (p *synthProg) cost() int { return len(p.ops) }
+
+// replay emits the program into b over the given inputs and returns the
+// output literal, bit-identical to truth.SynthesizeTT(b, ins, tt).
+func (p *synthProg) replay(b *aig.Builder, ins []aig.Lit) aig.Lit {
+	var buf [192]aig.Lit
+	m := buf[:]
+	if need := 1 + p.k + len(p.ops); need > len(m) {
+		m = make([]aig.Lit, need)
+	}
+	m[0] = aig.ConstFalse
+	copy(m[1:], ins)
+	tr := func(f aig.Lit) aig.Lit { return m[f.Node()].NotIf(f.IsCompl()) }
+	base := 1 + p.k
+	for i, op := range p.ops {
+		m[base+i] = b.And(tr(op[0]), tr(op[1]))
+	}
+	return tr(p.out)
+}
+
+// synthProgTab caches programs for cut functions (k ≤ 4, 16-bit padded
+// tables), indexed flat by (k, table): rewriting probes it once per cut
+// per node per move. Racing fills build identical programs, so a plain
+// atomic pointer suffices.
+var synthProgTab [5 << 16]atomic.Pointer[synthProg]
+
+// cutProg returns the synthesis program of a ≤4-leaf cut function.
+func cutProg(table uint16, k int) *synthProg {
+	slot := &synthProgTab[k<<16|int(table)]
+	p := slot.Load()
+	if p == nil {
+		p = buildSynthProg(truth.FromUint16K(table, k))
+		slot.Store(p)
+	}
+	return p
+}
+
+// coneProgCache caches programs for reconvergence-driven cone functions
+// (k ≤ 8, tables up to 4 words), keyed by the padded words and width.
+var coneProgCache sync.Map // [5]uint64 -> *synthProg
+
+// coneProg returns the synthesis program of a cone function.
+func coneProg(tt truth.TT) *synthProg {
+	var key [5]uint64
+	copy(key[:4], tt.W)
+	key[4] = uint64(tt.N)
+	if v, ok := coneProgCache.Load(key); ok {
+		return v.(*synthProg)
+	}
+	p := buildSynthProg(tt)
+	coneProgCache.Store(key, p)
+	return p
+}

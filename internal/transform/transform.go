@@ -2,10 +2,8 @@ package transform
 
 import (
 	"math/rand"
-	"sync"
 
 	"aigtimer/internal/aig"
-	"aigtimer/internal/truth"
 )
 
 // Func is a single AIG transformation.
@@ -173,24 +171,10 @@ func sortDesc(s []int32) {
 	}
 }
 
-// synthCost caches the standalone AND-node cost of implementing a k-leaf
-// cut function, shared across all rewrite invocations.
-var synthCostCache sync.Map // key uint32(k)<<16|table -> int
-
+// synthCost returns the standalone AND-node cost of implementing a
+// k-leaf cut function, served from the synthesis-program cache.
 func synthCost(table uint16, k int) int {
-	key := uint32(k)<<16 | uint32(table)
-	if v, ok := synthCostCache.Load(key); ok {
-		return v.(int)
-	}
-	sb := aig.NewBuilder(k)
-	ins := make([]aig.Lit, k)
-	for i := range ins {
-		ins[i] = sb.PI(i)
-	}
-	truth.SynthesizeTT(sb, ins, truth.FromUint16K(table, k))
-	c := sb.NumAnds()
-	synthCostCache.Store(key, c)
-	return c
+	return cutProg(table, k).cost()
 }
 
 // Named returns the transform with the given catalog name.

@@ -66,25 +66,35 @@ var varMasks = [6]uint64{
 
 // Var returns the projection table of variable v over n variables.
 func Var(n, v int) TT {
+	t := New(n)
+	VarInto(t.W, n, v)
+	return t
+}
+
+// VarInto fills w — which must hold Words(n) words — with the projection
+// table of variable v over n variables: the allocation-free form of Var
+// for callers that manage their own word storage. Every word is fully
+// overwritten, and the result is already in the replicated normal form
+// maskTop produces (the var masks are periodic within a word).
+func VarInto(w []uint64, n, v int) {
 	if v < 0 || v >= n {
 		panic(fmt.Sprintf("truth: variable %d out of range for %d vars", v, n))
 	}
-	t := New(n)
 	if v < 6 {
-		for i := range t.W {
-			t.W[i] = varMasks[v]
+		for i := range w {
+			w[i] = varMasks[v]
 		}
-	} else {
-		period := 1 << (v - 6 + 1)
-		half := 1 << (v - 6)
-		for i := range t.W {
-			if i%period >= half {
-				t.W[i] = ^uint64(0)
-			}
+		return
+	}
+	period := 1 << (v - 6 + 1)
+	half := 1 << (v - 6)
+	for i := range w {
+		if i%period >= half {
+			w[i] = ^uint64(0)
+		} else {
+			w[i] = 0
 		}
 	}
-	t.maskTop()
-	return t
 }
 
 // maskTop clears the insignificant high bits for tables under 6 variables.
