@@ -10,6 +10,7 @@
 //	aigopt -design EX54 -flow baseline -w-delay 1 -w-area 0.5 -out best.aag
 //	aigopt -design EX08 -flow ground-truth -sweep -shard host1:9610,host2:9610
 //	aigopt -suite EX08,EX54,EX60 -flow ground-truth -shard host1:9610
+//	aigopt -suite EX08,EX54 -flow ground-truth -hub 127.0.0.1:9620
 //	aigopt -suite EX08,EX54 -flow ground-truth -store sweeps.store
 package main
 
@@ -59,6 +60,7 @@ func main() {
 		sweep      = flag.Bool("sweep", false, "run the hyperparameter sweep (Fig. 5 grid) instead of a single optimization and print the Pareto front")
 		suite      = flag.String("suite", "", "comma-separated benchmark designs to sweep through one session (implies -sweep; mutually exclusive with -design/-in)")
 		shardAddrs = flag.String("shard", "", "comma-separated sweepd worker addresses; distributes -sweep/-suite across them (empty = local worker pool)")
+		hubAddr    = flag.String("hub", "", "sweephub coordinator address; submits -sweep/-suite to the resident hub fleet instead of dialing workers directly")
 		preseed    = flag.Bool("preseed", true, "push merged cache records to shard workers mid-sweep (recovers cross-worker duplicate evaluations; results unchanged)")
 		storePath  = flag.String("store", "", "persistent evaluation store file for -sweep/-suite: warm-start from past runs' records and flush this run's back (results unchanged)")
 		noTune     = flag.Bool("no-autotune", false, "disable the measurement pilot that fills unset cost knobs (batch bounds, workers, incremental threshold); explicit flags always pin their knob either way")
@@ -115,6 +117,9 @@ func main() {
 		if !*sweep && *suite == "" {
 			fatal(fmt.Errorf("aigopt: -store requires -sweep or -suite (single runs have no record store)"))
 		}
+		if *hubAddr != "" {
+			fatal(fmt.Errorf("aigopt: -store is incompatible with -hub (the hub owns the store; run sweephub -store instead)"))
+		}
 		s, err := eval.OpenStore(*storePath)
 		if err != nil {
 			fatal(err)
@@ -126,11 +131,14 @@ func main() {
 		fmt.Printf("store %s: %d records across %d (design, evaluator) keys\n", *storePath, s.Len(), s.NumKeys())
 		store = s
 	}
+	if *shardAddrs != "" && *hubAddr != "" {
+		fatal(fmt.Errorf("aigopt: -shard and -hub are mutually exclusive (the hub owns its own fleet)"))
+	}
 	if *suite != "" {
 		if *designName != "" || *inPath != "" {
 			fatal(fmt.Errorf("aigopt: -suite is mutually exclusive with -design and -in"))
 		}
-		runSuite(strings.Split(*suite, ","), ev, lib, p, *shardAddrs, *preseed, store, !*noTune)
+		runSuite(strings.Split(*suite, ","), ev, lib, p, *shardAddrs, *hubAddr, *preseed, store, !*noTune)
 		return
 	}
 	g, name, err := loadInput(*designName, *inPath)
@@ -138,11 +146,11 @@ func main() {
 		fatal(err)
 	}
 	if *sweep {
-		runSweep(g, name, ev, lib, p, *shardAddrs, *preseed, store, !*noTune)
+		runSweep(g, name, ev, lib, p, *shardAddrs, *hubAddr, *preseed, store, !*noTune)
 		return
 	}
-	if *shardAddrs != "" {
-		fatal(fmt.Errorf("aigopt: -shard requires -sweep or -suite (single runs have nothing to distribute)"))
+	if *shardAddrs != "" || *hubAddr != "" {
+		fatal(fmt.Errorf("aigopt: -shard/-hub require -sweep or -suite (single runs have nothing to distribute)"))
 	}
 	fmt.Printf("optimizing %s (%d PIs, %d POs, %d nodes, %d levels) with the %s flow\n",
 		name, g.NumPIs(), g.NumPOs(), g.NumAnds(), g.MaxLevel(), ev.Name())
@@ -218,14 +226,14 @@ func main() {
 // runSweep executes the Fig. 5 hyperparameter grid — locally, or
 // sharded across sweepd workers when addrs is non-empty — and prints
 // every grid point plus the ground-truth Pareto front.
-func runSweep(g *aig.AIG, name string, ev anneal.Evaluator, lib *cell.Library, base anneal.Params, addrs string, preseed bool, store *eval.Store, autotune bool) {
-	runSuiteEntries([]flows.SuiteEntry{{Name: name, G: g, Eval: ev}}, lib, base, addrs, preseed, store, autotune)
+func runSweep(g *aig.AIG, name string, ev anneal.Evaluator, lib *cell.Library, base anneal.Params, addrs, hub string, preseed bool, store *eval.Store, autotune bool) {
+	runSuiteEntries([]flows.SuiteEntry{{Name: name, G: g, Eval: ev}}, lib, base, addrs, hub, preseed, store, autotune)
 }
 
 // runSuite sweeps several benchmark designs through one session (one
 // worker connection and one base transfer per design when sharded,
 // instead of a reconnect per design).
-func runSuite(designs []string, ev anneal.Evaluator, lib *cell.Library, base anneal.Params, addrs string, preseed bool, store *eval.Store, autotune bool) {
+func runSuite(designs []string, ev anneal.Evaluator, lib *cell.Library, base anneal.Params, addrs, hub string, preseed bool, store *eval.Store, autotune bool) {
 	entries := make([]flows.SuiteEntry, 0, len(designs))
 	for _, name := range designs {
 		d, err := bench.ByName(strings.TrimSpace(name))
@@ -234,11 +242,11 @@ func runSuite(designs []string, ev anneal.Evaluator, lib *cell.Library, base ann
 		}
 		entries = append(entries, flows.SuiteEntry{Name: d.Name, G: d.Build(), Eval: ev})
 	}
-	runSuiteEntries(entries, lib, base, addrs, preseed, store, autotune)
+	runSuiteEntries(entries, lib, base, addrs, hub, preseed, store, autotune)
 }
 
 // runSuiteEntries is the shared sweep driver of -sweep and -suite.
-func runSuiteEntries(entries []flows.SuiteEntry, lib *cell.Library, base anneal.Params, addrs string, preseed bool, store *eval.Store, autotune bool) {
+func runSuiteEntries(entries []flows.SuiteEntry, lib *cell.Library, base anneal.Params, addrs, hub string, preseed bool, store *eval.Store, autotune bool) {
 	cfg := flows.DefaultSweep
 	cfg.Base = base
 	cfg.Store = store
@@ -254,7 +262,17 @@ func runSuiteEntries(entries []flows.SuiteEntry, lib *cell.Library, base anneal.
 		names[i] = e.Name
 	}
 	t0 := time.Now()
-	if addrs != "" {
+	if hub != "" {
+		fmt.Printf("sweeping %s with the %s flow: %d grid points x %d designs via hub %s\n",
+			strings.Join(names, ","), entries[0].Eval.Name(), len(grid), len(entries), hub)
+		rs, st, err = flows.SweepSuiteSharded(entries, lib, cfg, flows.ShardOptions{
+			Hub:     hub,
+			Preseed: preseed,
+			Logf: func(format string, args ...any) {
+				fmt.Fprintf(os.Stderr, format+"\n", args...)
+			},
+		})
+	} else if addrs != "" {
 		endpoints := strings.Split(addrs, ",")
 		fmt.Printf("sweeping %s with the %s flow: %d grid points x %d designs over %d workers (one session)\n",
 			strings.Join(names, ","), entries[0].Eval.Name(), len(grid), len(entries), len(endpoints))

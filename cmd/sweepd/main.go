@@ -14,11 +14,20 @@
 // Usage:
 //
 //	sweepd [-listen 127.0.0.1:9610] [-retain-mb 64] [-v]
+//	sweepd -hub 127.0.0.1:9620 [-name w0] [-retain-mb 64] [-v]
 //
 // The daemon prints "sweepd listening on <addr>" once bound (with
 // -listen :0, that line is how callers learn the port). It serves until
 // killed; a coordinator losing this worker mid-sweep simply reassigns
 // its grid points elsewhere.
+//
+// With -hub the daemon inverts the connection direction: instead of
+// listening, it registers with a resident sweephub coordinator and
+// serves whatever sessions the hub feeds it, dropping per-session state
+// at each session boundary. The connection is re-established (after a
+// short backoff) whenever it drops, so a restarted hub reassembles its
+// fleet without operator action; registering mid-sweep is fine — the
+// hub admits late joiners with the running session's full warm start.
 //
 // With -retain-mb the daemon keeps evaluation records across sessions
 // in an in-memory LRU pool (bounded to that many megabytes): a later
@@ -35,6 +44,7 @@ import (
 	"net"
 	"os"
 	"sync/atomic"
+	"time"
 
 	"aigtimer/internal/aig"
 	"aigtimer/internal/eval"
@@ -45,6 +55,8 @@ import (
 func main() {
 	var (
 		listen   = flag.String("listen", "127.0.0.1:9610", "address to serve shard sessions on (use :0 for an ephemeral port)")
+		hub      = flag.String("hub", "", "register with a sweephub coordinator at this address instead of listening")
+		name     = flag.String("name", "", "worker display name in hub logs and stats (default: the hub-side remote address)")
 		maxJobs  = flag.Int("max-jobs", 0, "exit before starting this many+1 jobs (0 = unlimited; a chaos/testing knob simulating a worker crash mid-job)")
 		retainMB = flag.Int("retain-mb", 0, "retain evaluation records across sessions in an LRU pool of this many megabytes (0 = no retention)")
 		verbose  = flag.Bool("v", false, "log per-session and per-job activity")
@@ -53,17 +65,23 @@ func main() {
 	log.SetPrefix("sweepd: ")
 	log.SetFlags(log.Ltime | log.Lmicroseconds)
 
+	var pool0 *eval.RecordPool
+	if *retainMB > 0 {
+		pool0 = eval.NewRecordPool(int64(*retainMB) << 20)
+	}
+
+	if *hub != "" {
+		serveHub(*hub, *name, pool0, maxJobs, verbose)
+		return
+	}
+
 	ln, err := net.Listen("tcp", *listen)
 	if err != nil {
 		log.Fatalf("listen %s: %v", *listen, err)
 	}
 	fmt.Printf("sweepd listening on %s\n", ln.Addr())
 
-	var pool *eval.RecordPool
-	if *retainMB > 0 {
-		pool = eval.NewRecordPool(int64(*retainMB) << 20)
-	}
-
+	pool := pool0
 	var jobs atomic.Int64
 	for {
 		conn, err := ln.Accept()
@@ -87,6 +105,34 @@ func main() {
 				log.Printf("retention pool: %d keys, %d records, %d bytes", keys, recs, bytes)
 			}
 		}(conn)
+	}
+}
+
+// serveHub registers with a sweephub and serves its sessions over one
+// resident connection, re-dialing with a short backoff whenever the
+// connection drops (hub restart, network blip). The -max-jobs crash
+// knob counts jobs across reconnects, same as across sessions.
+func serveHub(addr, name string, pool *eval.RecordPool, maxJobs *int, verbose *bool) {
+	var jobs atomic.Int64
+	for {
+		conn, err := net.DialTimeout("tcp", addr, 10*time.Second)
+		if err != nil {
+			log.Printf("hub %s: dial: %v (retrying)", addr, err)
+			time.Sleep(time.Second)
+			continue
+		}
+		fmt.Printf("sweepd registered with hub %s\n", addr)
+		runner := flows.NewShardRunner()
+		if pool != nil {
+			runner = flows.NewShardRunnerPooled(pool)
+		}
+		err = shard.RegisterWorker(conn, name, &crashableRunner{Runner: runner, jobs: &jobs, max: *maxJobs, verbose: *verbose})
+		if err != nil {
+			log.Printf("hub %s: session ended: %v (reconnecting)", addr, err)
+		} else {
+			log.Printf("hub %s: connection closed cleanly (reconnecting)", addr)
+		}
+		time.Sleep(time.Second)
 	}
 }
 

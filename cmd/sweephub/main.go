@@ -1,0 +1,107 @@
+// Command sweephub is the resident sweep coordinator: a daemon that
+// accepts sweep/suite submissions from many clients and executes them,
+// one session at a time, over an elastic fleet of sweepd workers.
+//
+// Workers connect with `sweepd -hub <addr>` and stay resident across
+// sessions: each session boundary drops their per-session state, and a
+// worker may register at any moment — one joining mid-sweep receives
+// the session's config, base graphs, and accumulated merged cache
+// records before its first job. Worker churn mid-job is absorbed by
+// requeueing on the survivors (or, with the fleet empty, by waiting
+// for the next registration). Clients submit with flows.ShardOptions.Hub
+// (aigopt/experiments wiring) and receive results that are
+// byte-identical to a local sweep of the same configuration.
+//
+// Usage:
+//
+//	sweephub [-listen 127.0.0.1:9620] [-store sweep.store] [-preseed]
+//	         [-max-attempts 3] [-job-timeout 0] [-flush-every 30s] [-v]
+//
+// The daemon prints "sweephub listening on <addr>" once bound (with
+// -listen :0, that line is how callers learn the port) and serves until
+// killed; SIGINT/SIGTERM shut it down cleanly, aborting the active
+// session and flushing the store.
+//
+// With -store the hub owns a persistent evaluation store: every
+// submission warm-starts from records earlier submissions merged for
+// the same (design, evaluator) pairs, and contributes its own back.
+// -store implies preseeding.
+package main
+
+import (
+	"flag"
+	"fmt"
+	"log"
+	"net"
+	"os"
+	"os/signal"
+	"sync/atomic"
+	"syscall"
+
+	"aigtimer/internal/eval"
+	"aigtimer/internal/shard"
+)
+
+func main() {
+	var (
+		listen      = flag.String("listen", "127.0.0.1:9620", "address to serve hub connections on (use :0 for an ephemeral port)")
+		storePath   = flag.String("store", "", "persistent evaluation store file; submissions warm-start from it and flush back to it (implies -preseed)")
+		flushEvery  = flag.Duration("flush-every", 0, "mid-session store flush cadence (0 = 30s)")
+		preseed     = flag.Bool("preseed", false, "push merged cache records to workers the moment they merge")
+		maxAttempts = flag.Int("max-attempts", 0, "per-job retry bound after worker-side errors (0 = 3)")
+		jobTimeout  = flag.Duration("job-timeout", 0, "per-job transport deadline; an expired worker counts as lost (0 = none)")
+		verbose     = flag.Bool("v", false, "log admissions, sessions, and scheduling events")
+	)
+	flag.Parse()
+	log.SetPrefix("sweephub: ")
+	log.SetFlags(log.Ltime | log.Lmicroseconds)
+
+	var store *eval.Store
+	if *storePath != "" {
+		s, err := eval.OpenStore(*storePath)
+		if err != nil {
+			log.Fatalf("store %s: %v", *storePath, err)
+		}
+		if rb := s.RecoveredBytes(); rb > 0 {
+			log.Printf("store %s: truncated %d bytes of damaged tail", *storePath, rb)
+		}
+		store = s
+	}
+
+	logf := func(string, ...any) {}
+	if *verbose {
+		logf = log.Printf
+	}
+	hub := shard.NewHub(shard.HubOptions{
+		MaxAttempts:     *maxAttempts,
+		JobTimeout:      *jobTimeout,
+		Preseed:         *preseed,
+		Store:           store,
+		StoreFlushEvery: *flushEvery,
+		Logf:            logf,
+	})
+
+	ln, err := net.Listen("tcp", *listen)
+	if err != nil {
+		log.Fatalf("listen %s: %v", *listen, err)
+	}
+	fmt.Printf("sweephub listening on %s\n", ln.Addr())
+
+	var shutdown atomic.Bool
+	sigc := make(chan os.Signal, 1)
+	signal.Notify(sigc, syscall.SIGINT, syscall.SIGTERM)
+	go func() {
+		sig := <-sigc
+		log.Printf("received %s, shutting down", sig)
+		shutdown.Store(true)
+		ln.Close() // unblocks ServeListener; main finishes the shutdown
+	}()
+
+	if err := hub.ServeListener(ln); err != nil && !shutdown.Load() {
+		log.Fatalf("accept: %v", err)
+	}
+	hub.Close()
+	if store != nil {
+		store.Close()
+	}
+}

@@ -16,10 +16,21 @@ import (
 
 // ShardOptions selects the worker fleet of a sharded sweep: TCP
 // endpoints of cmd/sweepd daemons, pre-established transports (tests,
-// in-process workers), or both.
+// in-process workers), or — instead of a fleet — a resident sweephub
+// that owns its own fleet (Hub/HubConn).
 type ShardOptions struct {
 	Endpoints []string
 	Conns     []io.ReadWriteCloser
+	// Hub, when set, submits the sweep to a resident cmd/sweephub
+	// coordinator at this address instead of running a one-shot session
+	// over Endpoints/Conns. The hub owns the worker fleet, the scheduling,
+	// and any persistent store (SweepConfig.Store is ignored — warm starts
+	// are the hub's); results remain byte-identical to a local sweep.
+	Hub string
+	// HubConn is Hub with an established transport (tests, in-process
+	// hubs): the submission travels over this connection. Takes
+	// precedence over Hub.
+	HubConn io.ReadWriteCloser
 	// MaxAttempts bounds per-job retries after worker-side errors
 	// (0 = the shard layer's default of 3).
 	MaxAttempts int
@@ -201,6 +212,7 @@ func (r *shardRunner) Configure(cfg shard.RunConfig) error {
 		lib = l
 	}
 	r.base = cfg.Base
+	r.warmed = make(map[*aig.AIG]bool)
 	r.stacks = make([]anneal.Evaluator, len(cfg.Entries))
 	r.cacheSeq = make([]int, len(cfg.Entries))
 	r.specHashes = make([]uint64, len(cfg.Entries))
@@ -295,6 +307,22 @@ func (r *shardRunner) CacheStats() eval.CacheStats {
 		}
 	}
 	return s
+}
+
+// EndSession implements shard.Runner, releasing every per-session
+// reference — evaluation stacks, the ground-truth evaluator, warm-start
+// and retention bookkeeping — so a resident worker's heap stays flat
+// across the sessions a hub feeds it. The cross-session record pool
+// (when present) survives: retention is exactly the state that is
+// supposed to outlive a session.
+func (r *shardRunner) EndSession() {
+	r.stacks = nil
+	r.gt = nil
+	r.warmed = make(map[*aig.AIG]bool)
+	r.cacheSeq = nil
+	r.specHashes = nil
+	r.keys = nil
+	r.imported = nil
 }
 
 // entryCache returns entry's stack as a *eval.Cached when it has one

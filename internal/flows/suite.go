@@ -5,6 +5,7 @@ import (
 	"fmt"
 	"runtime"
 	"sync"
+	"time"
 
 	"aigtimer/internal/aig"
 	"aigtimer/internal/anneal"
@@ -178,6 +179,11 @@ func flushSuiteStore(store *eval.Store, keys []*eval.StoreKey, stacks []anneal.E
 // value-transparent (see shard.Options.Preseed) and its effect shows up
 // in the returned Stats (SeedRecords, PrefilterHits, and a lower
 // CacheDuplicates), never in the results.
+//
+// With opts.Hub (or opts.HubConn) the suite is instead submitted to a
+// resident sweephub coordinator, which queues it behind other clients'
+// submissions and executes it over its own elastic fleet; results and
+// their byte-identity guarantee are unchanged.
 func SweepSuiteSharded(entries []SuiteEntry, lib *cell.Library, cfg SweepConfig, opts ShardOptions) ([]SuiteResult, *shard.Stats, error) {
 	grid := cfg.Grid()
 	if len(grid) == 0 {
@@ -227,12 +233,30 @@ func SweepSuiteSharded(entries []SuiteEntry, lib *cell.Library, cfg SweepConfig,
 			SeedOffset: j.Point.SeedOffset,
 		}
 	}
-	results, st, err := shard.Run(bases, rc, jobs, shard.Options{
-		Conns: opts.Conns, Endpoints: opts.Endpoints,
-		MaxAttempts: opts.MaxAttempts, Preseed: opts.Preseed,
-		Store: cfg.Store, StoreFlushEvery: opts.StoreFlushEvery,
-		OnJobDone: opts.OnJobDone, Logf: opts.Logf,
-	})
+	var results []shard.JobResult
+	var st *shard.Stats
+	if opts.HubConn != nil || opts.Hub != "" {
+		// Hub mode: the sweep is one submission to a resident coordinator
+		// that owns the fleet (and any store — cfg.Store stays local).
+		var hc *shard.HubClient
+		if opts.HubConn != nil {
+			hc, err = shard.NewHubClient(opts.HubConn, "flows-client")
+		} else {
+			hc, err = shard.DialHub(opts.Hub, "flows-client", 10*time.Second)
+		}
+		if err != nil {
+			return nil, nil, err
+		}
+		defer hc.Close()
+		results, st, err = hc.Submit(bases, rc, jobs)
+	} else {
+		results, st, err = shard.Run(bases, rc, jobs, shard.Options{
+			Conns: opts.Conns, Endpoints: opts.Endpoints,
+			MaxAttempts: opts.MaxAttempts, Preseed: opts.Preseed,
+			Store: cfg.Store, StoreFlushEvery: opts.StoreFlushEvery,
+			OnJobDone: opts.OnJobDone, Logf: opts.Logf,
+		})
+	}
 	if err != nil {
 		var jfe *shard.JobFailedError
 		if errors.As(err, &jfe) {

@@ -1,12 +1,10 @@
 package shard
 
 import (
-	"bufio"
 	"fmt"
 	"io"
 	"net"
 	"sync"
-	"sync/atomic"
 	"time"
 
 	"aigtimer/internal/aig"
@@ -39,23 +37,24 @@ type Options struct {
 	// It may be called concurrently from several worker goroutines.
 	OnJobDone func(jobIndex int, worker string)
 	// Preseed pushes merged cache records back out to workers mid-sweep:
-	// before each job dispatch, the worker receives every record of the
-	// job's entry that other workers contributed and it has not seen,
-	// installed behind the worker cache's prefilter
-	// (eval.Cached.ImportRecords). Results are unchanged — the prefilter
-	// only skips oracle work — but cross-worker duplicate evaluations
+	// the moment a result's fresh records merge, every other attached
+	// worker that has not seen them receives a push, installed behind the
+	// worker cache's prefilter (eval.Cached.ImportRecords). Pushes ride
+	// the connection's independent writer, overtaking queued job
+	// dispatches, so a worker imports them before its next job — mid-job
+	// when it is busy. Results are unchanged — the prefilter only skips
+	// oracle work — but cross-worker duplicate evaluations
 	// (Stats.CacheDuplicates) drop.
 	Preseed bool
 	// Store, when set, makes the run's merged knowledge durable: before
 	// dispatching, the coordinator loads the store's records for every
 	// session entry — keyed by eval.StoreKey, the (base-graph hash,
 	// evaluator-spec hash) pair — into the merged caches, where the
-	// preseed path pushes them to each worker before its first job of
-	// the entry (setting Store implies Preseed). Newly merged records
-	// are flushed back on a periodic ticker and once more when the run
-	// ends. Preseeded records pass through the worker caches'
-	// ImportRecords prefilter, so a warm start may only skip oracle
-	// calls, never change a result.
+	// preseed path pushes them to each worker at admission (setting
+	// Store implies Preseed). Newly merged records are flushed back on a
+	// periodic ticker and once more when the run ends. Preseeded records
+	// pass through the worker caches' ImportRecords prefilter, so a warm
+	// start may only skip oracle calls, never change a result.
 	Store *eval.Store
 	// StoreFlushEvery is the period of the mid-run store flush ticker;
 	// 0 means 30s. Flushes are idempotent (the store deduplicates by
@@ -84,7 +83,7 @@ type WorkerStats struct {
 // delta records for everything else), the retry/work-stealing activity,
 // the cluster-wide memo-cache merge, and the preseed traffic.
 type Stats struct {
-	BaseSends    int   // base-graph transfers (bases × worker sessions)
+	BaseSends    int   // base-graph transfers (bases × worker admissions)
 	BaseBytes    int64 // bytes of those transfers
 	DeltaRecords int   // graphs received as delta records
 	DeltaBytes   int64 // bytes of those records
@@ -125,6 +124,8 @@ type Stats struct {
 	StoreLoaded  int
 	StoreFlushed int
 
+	// Workers is indexed by admission order; on a hub session late
+	// joiners and rejoining workers append new entries.
 	Workers []WorkerStats
 }
 
@@ -153,26 +154,6 @@ func (e *JobFailedError) Error() string {
 		e.Job.Index, e.Job.Entry, e.Job.DelayWeight, e.Job.AreaWeight, e.Job.Decay, e.Attempts, e.Msg)
 }
 
-// meter counts raw transport bytes in both directions.
-type meter struct {
-	rwc        io.ReadWriteCloser
-	sent, recv *int64
-}
-
-func (m meter) Read(p []byte) (int, error) {
-	n, err := m.rwc.Read(p)
-	atomic.AddInt64(m.recv, int64(n))
-	return n, err
-}
-
-func (m meter) Write(p []byte) (int, error) {
-	n, err := m.rwc.Write(p)
-	atomic.AddInt64(m.sent, int64(n))
-	return n, err
-}
-
-func (m meter) Close() error { return m.rwc.Close() }
-
 // task is one schedulable job plus its retry state.
 type task struct {
 	job      JobSpec
@@ -180,27 +161,34 @@ type task struct {
 	exclude  map[int]bool // workers this job should avoid (they failed it)
 }
 
-// sched is the coordinator's work queue: pull-based (idle workers take
-// the next eligible job, so fast workers naturally steal load) with
-// requeue-on-failure.
+// sched is a session's work queue: pull-based (idle workers take the
+// next eligible job, so fast workers naturally steal load) with
+// requeue-on-failure. Workers join the live set at any time
+// (addWorker), which is what lets a hub admit late joiners mid-sweep.
 type sched struct {
 	mu        sync.Mutex
 	cond      *sync.Cond
 	queue     []*task
 	remaining int          // jobs not yet completed or abandoned
 	alive     map[int]bool // worker id -> still serving
+	aborted   bool
 }
 
-func newSched(jobs []JobSpec, workers int) *sched {
-	s := &sched{alive: make(map[int]bool, workers), remaining: len(jobs)}
+func newSched(jobs []JobSpec) *sched {
+	s := &sched{alive: make(map[int]bool), remaining: len(jobs)}
 	s.cond = sync.NewCond(&s.mu)
 	for _, j := range jobs {
 		s.queue = append(s.queue, &task{job: j})
 	}
-	for w := 0; w < workers; w++ {
-		s.alive[w] = true
-	}
 	return s
+}
+
+// addWorker admits worker id to the live set.
+func (s *sched) addWorker(id int) {
+	s.mu.Lock()
+	s.alive[id] = true
+	s.mu.Unlock()
+	s.cond.Broadcast()
 }
 
 // eligible reports whether worker id may take t: it must not be
@@ -219,12 +207,13 @@ func (s *sched) eligible(t *task, id int) bool {
 }
 
 // next blocks until a job is available for worker id (ok=true), or no
-// work will ever remain (ok=false).
+// work will ever remain (ok=false: every job resolved, or the session
+// aborted).
 func (s *sched) next(id int) (*task, bool) {
 	s.mu.Lock()
 	defer s.mu.Unlock()
 	for {
-		if s.remaining == 0 {
+		if s.remaining == 0 || s.aborted {
 			return nil, false
 		}
 		for i, t := range s.queue {
@@ -237,16 +226,22 @@ func (s *sched) next(id int) (*task, bool) {
 	}
 }
 
-// complete marks one job finished (successfully or abandoned).
-func (s *sched) complete() {
+// complete marks one job finished (successfully or abandoned) and
+// returns how many remain.
+func (s *sched) complete() int {
 	s.mu.Lock()
 	s.remaining--
+	n := s.remaining
 	s.mu.Unlock()
 	s.cond.Broadcast()
+	return n
 }
 
 // requeue puts a dispatched task back, optionally excluding the worker
-// that just failed it.
+// that just failed it. Exclusions referring to workers no longer alive
+// are pruned here as well: under churn (hub fleets, recycled ids) a
+// stale entry would both leak and skew eligible's every-live-worker-
+// excluded fallback.
 func (s *sched) requeue(t *task, excludeWorker int) {
 	s.mu.Lock()
 	if excludeWorker >= 0 {
@@ -255,19 +250,39 @@ func (s *sched) requeue(t *task, excludeWorker int) {
 		}
 		t.exclude[excludeWorker] = true
 	}
+	for id := range t.exclude {
+		if !s.alive[id] {
+			delete(t.exclude, id)
+		}
+	}
 	s.queue = append(s.queue, t)
 	s.mu.Unlock()
 	s.cond.Broadcast()
 }
 
-// workerDead removes a worker from the live set.
-func (s *sched) workerDead(id int) (remainingWorkers int) {
+// workerDead removes a worker from the live set, prunes its exclusion
+// entries from every queued task (a dead worker can never be retried
+// on, and a recycled id must not inherit its predecessor's
+// exclusions), and reports what remains: live workers and unresolved
+// jobs.
+func (s *sched) workerDead(id int) (remainingWorkers, remainingJobs int) {
 	s.mu.Lock()
 	delete(s.alive, id)
-	n := len(s.alive)
+	for _, t := range s.queue {
+		delete(t.exclude, id)
+	}
+	rw, rj := len(s.alive), s.remaining
 	s.mu.Unlock()
 	s.cond.Broadcast()
-	return n
+	return rw, rj
+}
+
+// abort wakes every waiter with no work; next returns !ok from here on.
+func (s *sched) abort() {
+	s.mu.Lock()
+	s.aborted = true
+	s.mu.Unlock()
+	s.cond.Broadcast()
 }
 
 // Run executes the session's jobs across the optioned workers and
@@ -280,47 +295,21 @@ func (s *sched) workerDead(id int) (remainingWorkers int) {
 //
 // Every base graph is shipped once per worker session, immediately
 // after the config; every graph coming back travels as an
-// aig.EncodeDelta record against its job's base (warm handoff). Workers
-// pull jobs one at a time, so load balance emerges from speed (work
-// stealing); a lost worker's in-flight job is requeued elsewhere, and a
-// job a worker reports failed is retried on other workers up to
-// MaxAttempts before the run reports a JobFailedError. Like the local
-// sweep, Run finishes every finishable job before returning the first
-// failure in job order.
+// aig.EncodeDelta record against its job's base (warm handoff). Each
+// connection runs an independent reader and writer goroutine, so seed
+// pushes and result uploads overlap job execution. Workers pull jobs
+// one at a time, so load balance emerges from speed (work stealing); a
+// lost worker's in-flight job is requeued elsewhere, and a job a worker
+// reports failed is retried on other workers up to MaxAttempts before
+// the run reports a JobFailedError. Like the local sweep, Run finishes
+// every finishable job before returning the first failure in job order.
 func Run(bases []*aig.AIG, cfg RunConfig, jobs []JobSpec, opts Options) ([]JobResult, *Stats, error) {
 	logf := opts.Logf
 	if logf == nil {
 		logf = func(string, ...any) {}
 	}
-	maxAttempts := opts.MaxAttempts
-	if maxAttempts <= 0 {
-		maxAttempts = 3
-	}
-	if len(jobs) == 0 {
-		return nil, nil, fmt.Errorf("shard: no jobs")
-	}
-	if len(bases) == 0 {
-		return nil, nil, fmt.Errorf("shard: no bases")
-	}
-	if len(cfg.Entries) == 0 {
-		return nil, nil, fmt.Errorf("shard: no entries")
-	}
-	for i, e := range cfg.Entries {
-		if e.Base < 0 || e.Base >= len(bases) {
-			return nil, nil, fmt.Errorf("shard: entry %d references base %d of %d", i, e.Base, len(bases))
-		}
-	}
-	for _, j := range jobs {
-		if j.Entry < 0 || j.Entry >= len(cfg.Entries) {
-			return nil, nil, fmt.Errorf("shard: job %d references entry %d of %d", j.Index, j.Entry, len(cfg.Entries))
-		}
-	}
-	// Recipe closures have no wire form; encodeConfig would silently
-	// drop them and workers would anneal with the default catalog,
-	// breaking the bit-identical contract. Refuse here, where the field
-	// is lost.
-	if cfg.Base.Recipes != nil {
-		return nil, nil, fmt.Errorf("shard: custom recipe catalogs cannot cross the wire (Base.Recipes must be nil)")
+	if _, err := validateRun(bases, cfg, jobs); err != nil {
+		return nil, nil, err
 	}
 
 	type workerConn struct {
@@ -354,340 +343,30 @@ func Run(bases []*aig.AIG, cfg RunConfig, jobs []JobSpec, opts Options) ([]JobRe
 		return nil, nil, fmt.Errorf("shard: no workers (need Conns or Endpoints)")
 	}
 
-	slotOf := make(map[int]int, len(jobs)) // job.Index -> position in jobs
-	for i, j := range jobs {
-		if _, dup := slotOf[j.Index]; dup {
-			for _, wc := range conns {
-				wc.rwc.Close()
-			}
-			return nil, nil, fmt.Errorf("shard: duplicate job index %d", j.Index)
+	s, err := newSession(bases, cfg, jobs, sessionOptions{
+		maxAttempts: opts.MaxAttempts,
+		preseed:     opts.Preseed,
+		store:       opts.Store, storeFlushEvery: opts.StoreFlushEvery,
+		onJobDone: opts.OnJobDone, logf: logf,
+	})
+	if err != nil {
+		for _, wc := range conns {
+			wc.rwc.Close()
 		}
-		slotOf[j.Index] = i
+		return nil, nil, err
 	}
-	cfgPayload := encodeConfig(cfg)
-	basePayloads := make([][]byte, len(bases))
-	for i, g := range bases {
-		p, err := encodeBase(uint32(i), g)
-		if err != nil {
-			for _, wc := range conns {
-				wc.rwc.Close()
-			}
-			return nil, nil, err
-		}
-		basePayloads[i] = p
+	workers := make([]*wireWorker, len(conns))
+	for i, wc := range conns {
+		workers[i] = newWireWorker(wc.name, wc.rwc, opts.JobTimeout)
+		s.attach(workers[i])
 	}
-
-	st := &Stats{Workers: make([]WorkerStats, len(conns))}
-	st.MergedCaches = make([]map[eval.CacheKey]eval.Metrics, len(cfg.Entries))
-	mergedLog := make([][]eval.CacheRecord, len(cfg.Entries))
-	for e := range st.MergedCaches {
-		st.MergedCaches[e] = make(map[eval.CacheKey]eval.Metrics)
+	results, st, err := s.wait()
+	// Wind the connections down (the polite byes release sent, drained,
+	// and flushed) and settle the whole-connection byte totals.
+	for _, w := range workers {
+		w.shutdown()
+		st.BytesSent += w.bytesOut.Load()
+		st.BytesReceived += w.bytesIn.Load()
 	}
-	// A persistent store warm-starts the merge: its records enter the
-	// merged caches exactly like worker contributions, so the ordinary
-	// preseed path pushes them to every worker before its first job of
-	// the entry — which is why a store implies preseeding.
-	preseed := opts.Preseed || opts.Store != nil
-	var storeKeys []eval.StoreKey
-	if opts.Store != nil {
-		storeKeys = make([]eval.StoreKey, len(cfg.Entries))
-		for e, ent := range cfg.Entries {
-			storeKeys[e] = eval.StoreKey{Design: bases[ent.Base].Hash(), Spec: ent.Eval.Hash()}
-			for _, rec := range opts.Store.Records(storeKeys[e]) {
-				if _, dup := st.MergedCaches[e][rec.Key()]; dup {
-					continue
-				}
-				st.MergedCaches[e][rec.Key()] = rec.M
-				mergedLog[e] = append(mergedLog[e], rec)
-				st.StoreLoaded++
-			}
-		}
-	}
-	// seen[id][e] is the set of structures worker id is known to hold
-	// for entry e; sent[id][e] is its high-water mark into mergedLog[e].
-	seen := make([][]map[eval.CacheKey]bool, len(conns))
-	sent := make([][]int, len(conns))
-	for id := range conns {
-		seen[id] = make([]map[eval.CacheKey]bool, len(cfg.Entries))
-		sent[id] = make([]int, len(cfg.Entries))
-		for e := range seen[id] {
-			seen[id][e] = make(map[eval.CacheKey]bool)
-		}
-	}
-	results := make([]JobResult, len(jobs))
-	gotResult := make([]bool, len(jobs))
-	jobErrs := make([]error, len(jobs))
-	s := newSched(jobs, len(conns))
-	var mu sync.Mutex // guards st (non-atomic fields), seed state, results, jobErrs
-
-	// flushStore appends every merged record to the store; Append
-	// deduplicates against what the store already holds, so passing the
-	// whole log each time needs no high-water bookkeeping and a crash
-	// between flushes loses at most one ticker period of new records.
-	var flushMu sync.Mutex
-	flushStore := func() {
-		if opts.Store == nil {
-			return
-		}
-		flushMu.Lock()
-		defer flushMu.Unlock()
-		for e := range cfg.Entries {
-			mu.Lock()
-			recs := append([]eval.CacheRecord(nil), mergedLog[e]...)
-			mu.Unlock()
-			added, err := opts.Store.Append(storeKeys[e], recs)
-			if err != nil {
-				logf("shard: store flush of entry %d failed: %v", e, err)
-				continue
-			}
-			mu.Lock()
-			st.StoreFlushed += added
-			mu.Unlock()
-		}
-	}
-	stopFlush := make(chan struct{})
-	var flushWG sync.WaitGroup
-	if opts.Store != nil {
-		period := opts.StoreFlushEvery
-		if period <= 0 {
-			period = 30 * time.Second
-		}
-		flushWG.Add(1)
-		go func() {
-			defer flushWG.Done()
-			tick := time.NewTicker(period)
-			defer tick.Stop()
-			for {
-				select {
-				case <-tick.C:
-					flushStore()
-				case <-stopFlush:
-					return
-				}
-			}
-		}()
-	}
-
-	var wg sync.WaitGroup
-	for id := range conns {
-		wg.Add(1)
-		go func(id int) {
-			defer wg.Done()
-			wc := conns[id]
-			st.Workers[id].Name = wc.name
-			m := meter{rwc: wc.rwc, sent: &st.BytesSent, recv: &st.BytesReceived}
-			defer m.Close()
-			br := bufio.NewReader(m)
-			bw := bufio.NewWriter(m)
-
-			// Writes mirror the read-deadline discipline below: a wedged
-			// worker that stops draining its socket would otherwise block
-			// a dispatch write forever once the transport buffer fills,
-			// holding this goroutine's job hostage. Armed before every
-			// write batch, expiry surfaces as a write error and the
-			// ordinary die/requeue path excludes the worker.
-			armWrite := func() {
-				if dl, ok := wc.rwc.(interface{ SetWriteDeadline(time.Time) error }); ok {
-					if opts.JobTimeout > 0 {
-						dl.SetWriteDeadline(time.Now().Add(opts.JobTimeout))
-					} else {
-						dl.SetWriteDeadline(time.Time{})
-					}
-				}
-			}
-
-			die := func(t *task, why error) {
-				logf("shard: worker %s lost: %v", wc.name, why)
-				mu.Lock()
-				st.WorkerLosses++
-				st.Workers[id].Lost = true
-				if t != nil {
-					st.Requeues++
-				}
-				mu.Unlock()
-				if t != nil {
-					s.requeue(t, -1) // dead workers need no exclusion entry
-				}
-				s.workerDead(id)
-			}
-
-			armWrite()
-			if err := writeMsg(bw, msgConfig, cfgPayload); err != nil {
-				die(nil, err)
-				return
-			}
-			for _, bp := range basePayloads {
-				if err := writeMsg(bw, msgBase, bp); err != nil {
-					die(nil, err)
-					return
-				}
-			}
-			if err := bw.Flush(); err != nil {
-				die(nil, err)
-				return
-			}
-			mu.Lock()
-			st.BaseSends += len(basePayloads)
-			for _, bp := range basePayloads {
-				st.BaseBytes += int64(len(bp))
-			}
-			mu.Unlock()
-
-			for {
-				t, ok := s.next(id)
-				if !ok {
-					// Drained: a polite bye, best-effort.
-					armWrite()
-					if writeMsg(bw, msgBye, nil) == nil {
-						bw.Flush()
-					}
-					return
-				}
-				e := t.job.Entry
-				// Preseed push: everything merged for this entry that the
-				// worker neither contributed nor received yet rides in the
-				// same flush as the job.
-				var seedPayload []byte
-				if preseed {
-					mu.Lock()
-					var pending []eval.CacheRecord
-					for _, rec := range mergedLog[e][sent[id][e]:] {
-						if !seen[id][e][rec.Key()] {
-							seen[id][e][rec.Key()] = true
-							pending = append(pending, rec)
-						}
-					}
-					sent[id][e] = len(mergedLog[e])
-					if len(pending) > 0 {
-						seedPayload = encodeSeed(e, pending)
-						st.SeedPushes++
-						st.SeedRecords += len(pending)
-						st.SeedBytes += int64(len(seedPayload))
-					}
-					st.JobSends++
-					mu.Unlock()
-				} else {
-					mu.Lock()
-					st.JobSends++
-					mu.Unlock()
-				}
-				armWrite()
-				if seedPayload != nil {
-					if err := writeMsg(bw, msgCacheSeed, seedPayload); err != nil {
-						die(t, err)
-						return
-					}
-				}
-				if err := writeMsg(bw, msgJob, encodeJob(t.job)); err != nil {
-					die(t, err)
-					return
-				}
-				if err := bw.Flush(); err != nil {
-					die(t, err)
-					return
-				}
-				if dl, ok := wc.rwc.(interface{ SetReadDeadline(time.Time) error }); ok {
-					if opts.JobTimeout > 0 {
-						dl.SetReadDeadline(time.Now().Add(opts.JobTimeout))
-					} else {
-						dl.SetReadDeadline(time.Time{})
-					}
-				}
-				typ, payload, err := readMsg(br)
-				if err != nil {
-					die(t, err)
-					return
-				}
-				switch typ {
-				case msgResult:
-					jr, recs, wire, err := decodeResult(bases[cfg.Entries[e].Base], payload)
-					if err != nil || jr.Index != t.job.Index {
-						if err == nil {
-							err = fmt.Errorf("shard: result for job %d while %d in flight", jr.Index, t.job.Index)
-						}
-						die(t, err)
-						return
-					}
-					jr.Entry = e
-					mu.Lock()
-					st.DeltaRecords += wire.deltaRecords
-					st.DeltaBytes += wire.deltaBytes
-					for _, rec := range recs {
-						seen[id][e][rec.Key()] = true
-						if _, dup := st.MergedCaches[e][rec.Key()]; dup {
-							st.CacheDuplicates++
-							continue
-						}
-						st.MergedCaches[e][rec.Key()] = rec.M
-						mergedLog[e] = append(mergedLog[e], rec)
-					}
-					st.CacheRecords += len(recs)
-					st.Workers[id].Jobs++
-					st.Workers[id].PrefilterHits = wire.prefilterHits
-					st.Workers[id].PrefilterRejected = wire.prefilterRejected
-					slot := slotOf[jr.Index]
-					results[slot] = jr
-					gotResult[slot] = true
-					mu.Unlock()
-					s.complete()
-					if opts.OnJobDone != nil {
-						opts.OnJobDone(jr.Index, wc.name)
-					}
-				case msgJobError:
-					idx, msg, derr := decodeJobError(payload)
-					if derr != nil || idx != t.job.Index {
-						if derr == nil {
-							derr = fmt.Errorf("shard: error for job %d while %d in flight", idx, t.job.Index)
-						}
-						die(t, derr)
-						return
-					}
-					t.attempts++
-					logf("shard: job %d failed on %s (attempt %d/%d): %s",
-						idx, wc.name, t.attempts, maxAttempts, msg)
-					if t.attempts >= maxAttempts {
-						mu.Lock()
-						jobErrs[slotOf[idx]] = &JobFailedError{Job: t.job, Attempts: t.attempts, Msg: msg}
-						mu.Unlock()
-						s.complete()
-						continue
-					}
-					mu.Lock()
-					st.Retries++
-					mu.Unlock()
-					s.requeue(t, id)
-				default:
-					die(t, fmt.Errorf("shard: unexpected message type %d", typ))
-					return
-				}
-			}
-		}(id)
-	}
-	wg.Wait()
-	close(stopFlush)
-	flushWG.Wait()
-	flushStore()
-
-	for id := range st.Workers {
-		st.PrefilterHits += st.Workers[id].PrefilterHits
-		st.PrefilterRejected += st.Workers[id].PrefilterRejected
-	}
-
-	// All workers returned. Anything neither resolved nor failed means
-	// the whole fleet was lost with work outstanding.
-	missing := 0
-	for i := range jobs {
-		if !gotResult[i] && jobErrs[i] == nil {
-			missing++
-		}
-	}
-	if missing > 0 {
-		return nil, st, fmt.Errorf("shard: all %d workers lost with %d jobs unfinished", len(conns), missing)
-	}
-	for i := range jobs {
-		if jobErrs[i] != nil {
-			return nil, st, jobErrs[i]
-		}
-	}
-	return results, st, nil
+	return results, st, err
 }

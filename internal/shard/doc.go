@@ -24,8 +24,11 @@
 //     as a full graph. Stats accounts for both transfer classes so
 //     tests can assert the split.
 //   - Preseeding only skips work. With Options.Preseed the coordinator
-//     pushes merged cache records to a worker before each job dispatch
-//     (msgCacheSeed). A pushed record never answers a cache lookup; it
+//     pushes merged cache records to workers the moment they merge
+//     (msgCacheSeed): the connection is full duplex, so a push lands
+//     while the worker is mid-job and is imported before its next one,
+//     rather than riding the next dispatch. A pushed record never
+//     answers a cache lookup; it
 //     may only substitute for an oracle evaluation whose result it
 //     already is (eval.Cached.ImportRecords documents the adoption and
 //     witnessed-collision-rejection rule). Records are scoped per
@@ -54,12 +57,40 @@
 //
 // The coordinator drives each worker over one connection (TCP to a
 // cmd/sweepd daemon, or any io.ReadWriteCloser — tests use in-process
-// pipes): config and bases first, then per worker an optional cache
-// seed plus one job at a time. Idle workers pull the next eligible job,
-// so load balance across heterogeneous workers is work stealing by
-// construction. Domain logic lives behind the Runner interface
-// (flows.NewShardRunner), keeping this package a pure
+// pipes), split into independent reader and writer goroutines: config
+// and bases lead, then job dispatches and cache-seed pushes queue on
+// the writer while results stream back through the reader — uploads
+// and pushes overlap job execution on both ends. Idle workers pull the
+// next eligible job, so load balance across heterogeneous workers is
+// work stealing by construction. Domain logic lives behind the Runner
+// interface (flows.NewShardRunner), keeping this package a pure
 // transport/scheduling layer.
+//
+// The worker side (Serve) mirrors the split — its reader applies
+// preseeds mid-job, an executor goroutine runs jobs, a writer streams
+// results — and distinguishes how a connection ends: msgBye or EOF
+// while idle between sessions is a clean exit; EOF before any session
+// was configured, or with a session open or jobs outstanding, is an
+// error. msgEndSession closes a session without closing the
+// connection: the worker drops its decoded bases and the Runner drops
+// per-session state (Runner.EndSession; cross-session retention pools
+// survive), leaving the connection idle for the next session.
+//
+// # Hub
+//
+// Run is session-scoped: the caller owns the fleet for one session.
+// Hub (cmd/sweephub) is the resident form — a daemon owning an elastic
+// fleet of registered workers (RegisterWorker, sweepd -hub) that
+// executes queued submissions from many clients (HubClient, msgSubmit)
+// one session at a time. Workers may register at any moment: one
+// admitted mid-sweep receives the running session's config, bases, and
+// accumulated merged cache records before its first job — exactly as
+// warm as a worker present from the start. Hub sessions are elastic:
+// losing every worker makes the session wait for the next registration
+// instead of failing. The hub forwards workers' result payloads to the
+// submitting client verbatim (never re-encoded), so the byte-identity
+// contract holds across the extra hop; with HubOptions.Store the hub
+// owns the persistent warm-start store for all submissions.
 //
 // Workers export their memo caches as eval.CacheRecord streams; the
 // coordinator merges them into Stats.MergedCaches (one map per entry),

@@ -1,0 +1,529 @@
+package shard
+
+import (
+	"bufio"
+	"fmt"
+	"io"
+	"net"
+	"sync"
+	"time"
+
+	"aigtimer/internal/aig"
+	"aigtimer/internal/eval"
+)
+
+// HubOptions configures a resident Hub.
+type HubOptions struct {
+	// MaxAttempts bounds per-job retries after worker-side errors
+	// (0 = the default of 3).
+	MaxAttempts int
+	// JobTimeout arms read/write deadlines on deadline-capable worker
+	// transports while a job is in flight (0 = none).
+	JobTimeout time.Duration
+	// Preseed pushes merged cache records to workers the moment they
+	// merge; see Options.Preseed. A Store implies it.
+	Preseed bool
+	// Store, when set, persists every submission's merged records and
+	// warm-starts later submissions that sweep the same (design,
+	// evaluator) pairs; the hub owns the flush cadence. See
+	// Options.Store.
+	Store *eval.Store
+	// StoreFlushEvery is the mid-run store flush cadence (0 = 30s).
+	StoreFlushEvery time.Duration
+	// OnJobDone, when set, is invoked as each grid point's result merges
+	// (session job index, worker name).
+	OnJobDone func(jobIndex int, worker string)
+	// Logf, when set, receives admission, scheduling, and failure events.
+	Logf func(format string, args ...any)
+}
+
+// Submission is one queued sweep session: its inputs, and — once the
+// hub has run it — its outcome.
+type Submission struct {
+	bases   []*aig.AIG
+	cfg     RunConfig
+	jobs    []JobSpec
+	keepRaw bool
+
+	done    chan struct{}
+	results []JobResult
+	raw     [][]byte // per-slot wire payloads when keepRaw
+	stats   *Stats
+	err     error
+}
+
+// Wait blocks until the hub has executed the submission and returns
+// its results in job order (shape and content identical to Run's) plus
+// the session's Stats.
+func (s *Submission) Wait() ([]JobResult, *Stats, error) {
+	<-s.done
+	return s.results, s.stats, s.err
+}
+
+// Hub is a resident sweep coordinator: a queue of submissions executed
+// one session at a time over an elastic worker fleet. Workers register
+// at any moment — a worker admitted mid-sweep receives the session
+// config, every base, and the accumulated merged cache records before
+// its first job (the same warm start a store-backed restart gets) —
+// and worker churn mid-job is absorbed by the requeue/exclusion
+// machinery. Between sessions workers wait in an idle pool with their
+// per-session state dropped (msgEndSession), so a fleet serves any
+// number of submissions without accumulating memory.
+//
+// Sessions are byte-transparent exactly like Run: for a fixed
+// submission the results are bit-identical to a local sweep, whatever
+// the fleet does.
+type Hub struct {
+	opts HubOptions
+	logf func(format string, args ...any)
+
+	mu     sync.Mutex
+	cond   *sync.Cond
+	idle   []*wireWorker
+	queue  []*Submission
+	active *session
+	closed bool
+
+	loopDone chan struct{}
+}
+
+// NewHub starts a hub with no workers and an empty queue.
+func NewHub(opts HubOptions) *Hub {
+	h := &Hub{opts: opts, logf: opts.Logf, loopDone: make(chan struct{})}
+	if h.logf == nil {
+		h.logf = func(string, ...any) {}
+	}
+	h.cond = sync.NewCond(&h.mu)
+	go h.loop()
+	return h
+}
+
+// Submit validates and enqueues one sweep session. The returned
+// Submission resolves when the hub has executed it (FIFO order).
+func (h *Hub) Submit(bases []*aig.AIG, cfg RunConfig, jobs []JobSpec) (*Submission, error) {
+	return h.submit(bases, cfg, jobs, false)
+}
+
+func (h *Hub) submit(bases []*aig.AIG, cfg RunConfig, jobs []JobSpec, keepRaw bool) (*Submission, error) {
+	if _, err := validateRun(bases, cfg, jobs); err != nil {
+		return nil, err
+	}
+	sub := &Submission{bases: bases, cfg: cfg, jobs: jobs, keepRaw: keepRaw, done: make(chan struct{})}
+	h.mu.Lock()
+	if h.closed {
+		h.mu.Unlock()
+		return nil, fmt.Errorf("shard: hub closed")
+	}
+	h.queue = append(h.queue, sub)
+	h.cond.Broadcast()
+	n := len(h.queue)
+	h.mu.Unlock()
+	h.logf("hub: submission queued (%d jobs, %d entries, queue depth %d)", len(jobs), len(cfg.Entries), n)
+	return sub, nil
+}
+
+// AddWorker admits a worker connection. If a session is running the
+// worker joins it immediately (late admission); otherwise it waits in
+// the idle pool for the next submission. The hub owns the connection
+// from here on.
+func (h *Hub) AddWorker(name string, rwc io.ReadWriteCloser) error {
+	h.mu.Lock()
+	if h.closed {
+		h.mu.Unlock()
+		rwc.Close()
+		return fmt.Errorf("shard: hub closed")
+	}
+	w := newWireWorker(name, rwc, h.opts.JobTimeout)
+	active := h.active
+	h.mu.Unlock()
+	h.logf("hub: worker %s registered", name)
+	if active != nil && active.attach(w) {
+		return nil
+	}
+	h.mu.Lock()
+	h.idle = append(h.idle, w)
+	h.cond.Broadcast()
+	h.mu.Unlock()
+	return nil
+}
+
+// release receives workers back from a finishing or churning session:
+// healthy ones return to the idle pool (their end-of-session marker is
+// already in their outbox), lost ones are torn down.
+func (h *Hub) release(w *wireWorker, healthy bool) {
+	if !healthy {
+		w.shutdown()
+		h.logf("hub: worker %s dropped", w.name)
+		return
+	}
+	h.mu.Lock()
+	if h.closed {
+		h.mu.Unlock()
+		w.enqueue(outFrame{msgBye, nil})
+		w.shutdown()
+		return
+	}
+	h.idle = append(h.idle, w)
+	h.cond.Broadcast()
+	h.mu.Unlock()
+}
+
+// loop executes queued submissions one at a time.
+func (h *Hub) loop() {
+	defer close(h.loopDone)
+	for {
+		h.mu.Lock()
+		for len(h.queue) == 0 && !h.closed {
+			h.cond.Wait()
+		}
+		if h.closed {
+			for _, sub := range h.queue {
+				sub.err = fmt.Errorf("shard: hub closed")
+				close(sub.done)
+			}
+			h.queue = nil
+			h.mu.Unlock()
+			return
+		}
+		sub := h.queue[0]
+		h.queue = h.queue[1:]
+		s, err := newSession(sub.bases, sub.cfg, sub.jobs, sessionOptions{
+			maxAttempts:     h.opts.MaxAttempts,
+			preseed:         h.opts.Preseed,
+			store:           h.opts.Store,
+			storeFlushEvery: h.opts.StoreFlushEvery,
+			elastic:         true,
+			keepRaw:         sub.keepRaw,
+			bytesOnDetach:   true,
+			onJobDone:       h.opts.OnJobDone,
+			onRelease:       h.release,
+			logf:            h.logf,
+		})
+		if err != nil {
+			// Already validated at Submit, so only payload encoding can
+			// fail here.
+			sub.err = err
+			close(sub.done)
+			h.mu.Unlock()
+			continue
+		}
+		h.active = s
+		idle := h.idle
+		h.idle = nil
+		h.mu.Unlock()
+
+		h.logf("hub: session started (%d jobs, %d idle workers)", len(sub.jobs), len(idle))
+		for _, w := range idle {
+			if w.failed() {
+				// The worker died while idle; drop it instead of charging
+				// the session a loss for a connection that was already gone.
+				w.shutdown()
+				h.logf("hub: worker %s dropped (died while idle)", w.name)
+				continue
+			}
+			s.attach(w)
+		}
+		results, st, runErr := s.wait()
+
+		h.mu.Lock()
+		h.active = nil
+		h.mu.Unlock()
+
+		sub.results, sub.stats, sub.err = results, st, runErr
+		if sub.keepRaw {
+			s.mu.Lock()
+			sub.raw = s.rawResults
+			s.mu.Unlock()
+		}
+		close(sub.done)
+		h.logf("hub: session finished (err=%v)", runErr)
+	}
+}
+
+// failAttached fails every worker still attached to s, unblocking
+// drive loops waiting on in-flight jobs; used on hub shutdown.
+func (s *session) failAttached(err error) {
+	s.mu.Lock()
+	ws := make([]*wireWorker, 0, len(s.attached))
+	for _, sw := range s.attached {
+		ws = append(ws, sw.w)
+	}
+	s.mu.Unlock()
+	for _, w := range ws {
+		w.fail(err)
+	}
+}
+
+// Close shuts the hub down: the active session (if any) aborts, queued
+// submissions resolve with an error, and every worker connection is
+// closed. Close blocks until the scheduler loop has exited.
+func (h *Hub) Close() error {
+	h.mu.Lock()
+	if h.closed {
+		h.mu.Unlock()
+		<-h.loopDone
+		return nil
+	}
+	h.closed = true
+	active := h.active
+	idle := h.idle
+	h.idle = nil
+	h.cond.Broadcast()
+	h.mu.Unlock()
+	if active != nil {
+		active.abort(fmt.Errorf("shard: hub closed"))
+		active.failAttached(fmt.Errorf("shard: hub closed"))
+	}
+	for _, w := range idle {
+		w.enqueue(outFrame{msgBye, nil})
+		w.shutdown()
+	}
+	<-h.loopDone
+	return nil
+}
+
+// ServeListener accepts hub connections (workers and clients alike)
+// until the listener closes; each connection is handled concurrently.
+func (h *Hub) ServeListener(ln net.Listener) error {
+	for {
+		conn, err := ln.Accept()
+		if err != nil {
+			return err
+		}
+		go func() {
+			if err := h.HandleConn(conn); err != nil {
+				h.logf("hub: connection from %s: %v", conn.RemoteAddr(), err)
+			}
+		}()
+	}
+}
+
+// prefixedConn replays bytes a handshake reader already buffered
+// before handing the transport to code that reads the raw connection.
+type prefixedConn struct {
+	io.Reader
+	io.ReadWriteCloser
+}
+
+func (p prefixedConn) Read(b []byte) (int, error) { return p.Reader.Read(b) }
+
+// HandleConn speaks the hub side of one connection: it reads the hello
+// and dispatches on the peer's role. Worker connections are handed to
+// the fleet (HandleConn returns immediately); client connections are
+// served until they disconnect (HandleConn blocks).
+func (h *Hub) HandleConn(conn net.Conn) error {
+	br := bufio.NewReader(conn)
+	typ, payload, err := readMsg(br)
+	if err != nil {
+		conn.Close()
+		return fmt.Errorf("shard: hub handshake: %w", err)
+	}
+	if typ != msgHello {
+		conn.Close()
+		return fmt.Errorf("shard: hub handshake: unexpected message type %d", typ)
+	}
+	role, name, err := decodeHello(payload)
+	if err != nil {
+		conn.Close()
+		return err
+	}
+	if name == "" {
+		name = conn.RemoteAddr().String()
+	}
+	switch role {
+	case roleWorker:
+		var rwc io.ReadWriteCloser = conn
+		if n := br.Buffered(); n > 0 {
+			// The handshake read may have buffered frames past the hello;
+			// replay them before the raw connection.
+			rwc = prefixedConn{
+				Reader:          io.MultiReader(io.LimitReader(br, int64(n)), conn),
+				ReadWriteCloser: conn,
+			}
+		}
+		return h.AddWorker(name, rwc)
+	case roleClient:
+		defer conn.Close()
+		return h.serveClient(name, conn, br)
+	default:
+		conn.Close()
+		return fmt.Errorf("shard: unknown hello role %d", role)
+	}
+}
+
+// serveClient executes a client's submissions in arrival order. Each
+// msgSubmit is answered with one msgSubmitResult per job — the
+// result's wire payload forwarded verbatim, so the client's decode
+// against its own structurally identical base reproduces the session's
+// results byte-for-byte — followed by a msgSubmitDone carrying the
+// outcome and stats.
+func (h *Hub) serveClient(name string, conn net.Conn, br *bufio.Reader) error {
+	bw := bufio.NewWriter(conn)
+	for {
+		typ, payload, err := readMsg(br)
+		if err != nil {
+			if err == io.EOF {
+				return nil
+			}
+			return fmt.Errorf("shard: client %s read: %w", name, err)
+		}
+		if typ != msgSubmit {
+			return fmt.Errorf("shard: client %s sent unexpected message type %d", name, typ)
+		}
+		bases, cfg, jobs, err := decodeSubmit(payload)
+		if err != nil {
+			return err
+		}
+		var raw [][]byte
+		var st *Stats
+		var runErr error
+		sub, err := h.submit(bases, cfg, jobs, true)
+		if err != nil {
+			st, runErr = &Stats{}, err
+		} else {
+			_, st, runErr = sub.Wait()
+			raw = sub.raw
+		}
+		for _, p := range raw {
+			if p == nil {
+				continue
+			}
+			if err := writeMsg(bw, msgSubmitResult, p); err != nil {
+				return fmt.Errorf("shard: client %s write: %w", name, err)
+			}
+		}
+		if st == nil {
+			st = &Stats{}
+		}
+		if err := writeMsg(bw, msgSubmitDone, encodeSubmitDone(runErr, st)); err != nil {
+			return fmt.Errorf("shard: client %s write: %w", name, err)
+		}
+		if err := bw.Flush(); err != nil {
+			return fmt.Errorf("shard: client %s flush: %w", name, err)
+		}
+	}
+}
+
+// HubClient submits sweep sessions to a remote Hub over one framed
+// connection and decodes the streamed results locally — against its
+// own base graphs, which is what keeps hub results byte-identical to
+// local ones.
+type HubClient struct {
+	conn io.ReadWriteCloser
+	br   *bufio.Reader
+	bw   *bufio.Writer
+	mu   sync.Mutex // one submission in flight per client connection
+}
+
+// NewHubClient performs the client handshake over an established
+// connection (tests use net.Pipe; DialHub is the TCP path).
+func NewHubClient(conn io.ReadWriteCloser, name string) (*HubClient, error) {
+	c := &HubClient{conn: conn, br: bufio.NewReader(conn), bw: bufio.NewWriter(conn)}
+	if err := writeMsg(c.bw, msgHello, encodeHello(roleClient, name)); err != nil {
+		conn.Close()
+		return nil, err
+	}
+	if err := c.bw.Flush(); err != nil {
+		conn.Close()
+		return nil, err
+	}
+	return c, nil
+}
+
+// DialHub connects to a hub's listen address as a submission client.
+func DialHub(addr, name string, timeout time.Duration) (*HubClient, error) {
+	d := net.Dialer{Timeout: timeout, KeepAlive: 15 * time.Second}
+	conn, err := d.Dial("tcp", addr)
+	if err != nil {
+		return nil, fmt.Errorf("shard: dialing hub %s: %w", addr, err)
+	}
+	return NewHubClient(conn, name)
+}
+
+// Submit runs one sweep session on the hub and blocks until it
+// resolves. Results come back in job order, bit-identical to what Run
+// (or a local sweep) would produce for the same submission.
+func (c *HubClient) Submit(bases []*aig.AIG, cfg RunConfig, jobs []JobSpec) ([]JobResult, *Stats, error) {
+	slotOf, err := validateRun(bases, cfg, jobs)
+	if err != nil {
+		return nil, nil, err
+	}
+	basePayloads := make([][]byte, len(bases))
+	for i, g := range bases {
+		p, err := encodeBase(uint32(i), g)
+		if err != nil {
+			return nil, nil, err
+		}
+		basePayloads[i] = p
+	}
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	if err := writeMsg(c.bw, msgSubmit, encodeSubmit(encodeConfig(cfg), basePayloads, jobs)); err != nil {
+		return nil, nil, fmt.Errorf("shard: submitting to hub: %w", err)
+	}
+	if err := c.bw.Flush(); err != nil {
+		return nil, nil, fmt.Errorf("shard: submitting to hub: %w", err)
+	}
+	results := make([]JobResult, len(jobs))
+	got := make([]bool, len(jobs))
+	for {
+		typ, payload, err := readMsg(c.br)
+		if err != nil {
+			return nil, nil, fmt.Errorf("shard: hub connection: %w", err)
+		}
+		switch typ {
+		case msgSubmitResult:
+			idx, err := resultIndex(payload)
+			if err != nil {
+				return nil, nil, err
+			}
+			slot, ok := slotOf[idx]
+			if !ok {
+				return nil, nil, fmt.Errorf("shard: hub returned result for unknown job index %d", idx)
+			}
+			e := jobs[slot].Entry
+			jr, _, _, err := decodeResult(bases[cfg.Entries[e].Base], payload)
+			if err != nil {
+				return nil, nil, err
+			}
+			jr.Entry = e
+			results[slot] = jr
+			got[slot] = true
+		case msgSubmitDone:
+			st, runErr, err := decodeSubmitDone(payload)
+			if err != nil {
+				return nil, nil, err
+			}
+			if runErr != nil {
+				return nil, st, runErr
+			}
+			for i := range got {
+				if !got[i] {
+					return nil, st, fmt.Errorf("shard: hub omitted a result for job index %d", jobs[i].Index)
+				}
+			}
+			return results, st, nil
+		default:
+			return nil, nil, fmt.Errorf("shard: unexpected hub message type %d", typ)
+		}
+	}
+}
+
+// Close closes the client connection.
+func (c *HubClient) Close() error { return c.conn.Close() }
+
+// RegisterWorker performs the worker handshake over an established
+// connection and serves jobs until the hub says bye or the transport
+// fails (same semantics as Serve; cmd/sweepd's -hub mode is the
+// production caller).
+func RegisterWorker(conn io.ReadWriteCloser, name string, runner Runner) error {
+	defer conn.Close()
+	bw := bufio.NewWriter(conn)
+	if err := writeMsg(bw, msgHello, encodeHello(roleWorker, name)); err != nil {
+		return fmt.Errorf("shard: worker handshake: %w", err)
+	}
+	if err := bw.Flush(); err != nil {
+		return fmt.Errorf("shard: worker handshake: %w", err)
+	}
+	return serveConn(conn, bufio.NewReader(conn), runner)
+}

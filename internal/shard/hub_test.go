@@ -1,0 +1,502 @@
+package shard
+
+import (
+	"bufio"
+	"fmt"
+	"net"
+	"reflect"
+	"sync"
+	"sync/atomic"
+	"testing"
+	"time"
+
+	"aigtimer/internal/aig"
+	"aigtimer/internal/eval"
+)
+
+// ---- sched lifecycle (bugfix: exclusion pruning) ----
+
+// A dead worker's exclusion entries must be pruned — both from queued
+// tasks (workerDead) and on requeue — so a recycled worker id does not
+// inherit its predecessor's exclusions and the every-live-worker-
+// excluded fallback judges only live workers.
+func TestSchedPrunesDeadWorkerExclusions(t *testing.T) {
+	s := newSched(testJobs(2))
+	s.addWorker(0)
+	s.addWorker(1)
+
+	t0, ok := s.next(0)
+	if !ok {
+		t.Fatal("no task for worker 0")
+	}
+	s.requeue(t0, 0) // worker 0 failed it
+	if !t0.exclude[0] {
+		t.Fatal("requeue did not record the exclusion")
+	}
+	s.workerDead(0)
+	if t0.exclude[0] {
+		t.Fatal("workerDead left the dead worker's exclusion on a queued task")
+	}
+
+	// A recycled id must start clean: the new worker 0 takes the task
+	// its predecessor failed without blocking.
+	s.addWorker(0)
+	got, ok := s.next(0)
+	if !ok || got == nil {
+		t.Fatal("recycled worker id got no task")
+	}
+
+	// requeue prunes exclusions of workers that died since they failed
+	// the task.
+	s.requeue(got, 1)
+	s.workerDead(1)
+	s.requeue(got, -1)
+	tt, ok := s.next(0)
+	if !ok {
+		t.Fatal("task vanished")
+	}
+	if tt.exclude[1] {
+		t.Fatal("requeue retained an exclusion for a dead worker")
+	}
+
+	// Fallback: when every live worker is excluded, anyone may retry.
+	tt.exclude = map[int]bool{0: true}
+	s.mu.Lock()
+	eligible := s.eligible(tt, 0)
+	s.mu.Unlock()
+	if !eligible {
+		t.Fatal("every-live-worker-excluded fallback did not fire")
+	}
+}
+
+// ---- Serve EOF semantics (bugfix: half-open vs orderly shutdown) ----
+
+// serveScript runs Serve against a scripted coordinator and returns
+// Serve's error.
+func serveScript(t *testing.T, script func(conn net.Conn, br *bufio.Reader, bw *bufio.Writer)) error {
+	t.Helper()
+	cc, wc := net.Pipe()
+	errc := make(chan error, 1)
+	go func() { errc <- Serve(wc, newFakeRunner()) }()
+	br := bufio.NewReader(cc)
+	bw := bufio.NewWriter(cc)
+	script(cc, br, bw)
+	select {
+	case err := <-errc:
+		return err
+	case <-time.After(10 * time.Second):
+		t.Fatal("Serve did not return")
+		return nil
+	}
+}
+
+func mustWrite(t *testing.T, bw *bufio.Writer, typ byte, payload []byte) {
+	t.Helper()
+	if err := writeMsg(bw, typ, payload); err != nil {
+		t.Fatal(err)
+	}
+	if err := bw.Flush(); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestServeEOFBeforeAnySession(t *testing.T) {
+	err := serveScript(t, func(conn net.Conn, br *bufio.Reader, bw *bufio.Writer) {
+		conn.Close()
+	})
+	if err == nil {
+		t.Fatal("EOF before any session reported as clean shutdown")
+	}
+}
+
+func TestServeEOFMidSession(t *testing.T) {
+	base := testAIG(11)
+	bp, _ := encodeBase(0, base)
+	err := serveScript(t, func(conn net.Conn, br *bufio.Reader, bw *bufio.Writer) {
+		mustWrite(t, bw, msgConfig, encodeConfig(testConfig()))
+		mustWrite(t, bw, msgBase, bp)
+		conn.Close()
+	})
+	if err == nil {
+		t.Fatal("mid-session EOF reported as clean shutdown")
+	}
+}
+
+func TestServeEOFIdleBetweenSessions(t *testing.T) {
+	base := testAIG(12)
+	bp, _ := encodeBase(0, base)
+	err := serveScript(t, func(conn net.Conn, br *bufio.Reader, bw *bufio.Writer) {
+		mustWrite(t, bw, msgConfig, encodeConfig(testConfig()))
+		mustWrite(t, bw, msgBase, bp)
+		mustWrite(t, bw, msgJob, encodeJob(testJobs(1)[0]))
+		typ, _, err := readMsg(br)
+		if err != nil || typ != msgResult {
+			t.Errorf("expected a result, got type %d err %v", typ, err)
+		}
+		mustWrite(t, bw, msgEndSession, nil)
+		conn.Close()
+	})
+	if err != nil {
+		t.Fatalf("idle EOF between sessions reported as error: %v", err)
+	}
+}
+
+func TestServeByeIsClean(t *testing.T) {
+	err := serveScript(t, func(conn net.Conn, br *bufio.Reader, bw *bufio.Writer) {
+		mustWrite(t, bw, msgConfig, encodeConfig(testConfig()))
+		mustWrite(t, bw, msgBye, nil)
+	})
+	if err != nil {
+		t.Fatalf("bye reported as error: %v", err)
+	}
+}
+
+// ---- hub protocol round trips ----
+
+func TestHelloRoundTrip(t *testing.T) {
+	role, name, err := decodeHello(encodeHello(roleWorker, "w-7"))
+	if err != nil || role != roleWorker || name != "w-7" {
+		t.Fatalf("hello round-trip: %v %d %q", err, role, name)
+	}
+	if _, _, err := decodeHello([]byte{99, roleWorker}); err == nil {
+		t.Fatal("wrong protocol version accepted in hello")
+	}
+}
+
+func TestSubmitRoundTrip(t *testing.T) {
+	cfg := testConfig()
+	jobs := testJobs(3)
+	base := testAIG(13)
+	bp, err := encodeBase(0, base)
+	if err != nil {
+		t.Fatal(err)
+	}
+	bases, gotCfg, gotJobs, err := decodeSubmit(encodeSubmit(encodeConfig(cfg), [][]byte{bp}, jobs))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(bases) != 1 || !bases[0].StructuralEqual(base) {
+		t.Fatal("submit bases did not round-trip")
+	}
+	if !reflect.DeepEqual(gotCfg.Entries, cfg.Entries) || !reflect.DeepEqual(gotJobs, jobs) {
+		t.Fatal("submit config/jobs did not round-trip")
+	}
+}
+
+func TestSubmitDoneRoundTrip(t *testing.T) {
+	st := &Stats{
+		BaseSends: 3, BaseBytes: 1000, DeltaRecords: 12, DeltaBytes: 2048,
+		JobSends: 9, Retries: 1, Requeues: 2, WorkerLosses: 1,
+		BytesSent: 4096, BytesReceived: 8192,
+		CacheRecords: 30, CacheDuplicates: 4,
+		SeedPushes: 5, SeedRecords: 17, SeedBytes: 512,
+		PrefilterHits: 6, PrefilterRejected: 1,
+		StoreLoaded: 2, StoreFlushed: 7,
+		MergedCaches: []map[eval.CacheKey]eval.Metrics{
+			{{FP: 1, SH: 2}: {DelayPS: 3.5, AreaUM2: -0.0}},
+			{},
+		},
+		Workers: []WorkerStats{
+			{Name: "a", Jobs: 4, PrefilterHits: 6, PrefilterRejected: 1},
+			{Name: "b", Jobs: 5, Lost: true},
+		},
+	}
+	got, runErr, err := decodeSubmitDone(encodeSubmitDone(nil, st))
+	if err != nil || runErr != nil {
+		t.Fatalf("ok outcome round-trip: %v %v", err, runErr)
+	}
+	if !reflect.DeepEqual(got, st) {
+		t.Fatalf("stats did not round-trip:\n got %+v\nwant %+v", got, st)
+	}
+
+	jfe := &JobFailedError{Job: testJobs(2)[1], Attempts: 3, Msg: "boom"}
+	_, runErr, err = decodeSubmitDone(encodeSubmitDone(jfe, st))
+	if err != nil {
+		t.Fatal(err)
+	}
+	got2, ok := runErr.(*JobFailedError)
+	if !ok || !reflect.DeepEqual(got2, jfe) {
+		t.Fatalf("JobFailedError did not round-trip: %#v", runErr)
+	}
+
+	_, runErr, err = decodeSubmitDone(encodeSubmitDone(fmt.Errorf("shard: hub closed"), st))
+	if err != nil || runErr == nil || runErr.Error() != "shard: hub closed" {
+		t.Fatalf("opaque error did not round-trip: %v %v", err, runErr)
+	}
+}
+
+// ---- hub sessions ----
+
+// pipeWorker starts an in-process worker (Serve over net.Pipe, no
+// handshake) and registers it with the hub.
+func pipeWorker(t *testing.T, h *Hub, name string, r *fakeRunner) {
+	t.Helper()
+	hubSide, workerSide := net.Pipe()
+	go Serve(workerSide, r)
+	if err := h.AddWorker(name, hubSide); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func waitFor(t *testing.T, what string, cond func() bool) {
+	t.Helper()
+	deadline := time.Now().Add(10 * time.Second)
+	for !cond() {
+		if time.Now().After(deadline) {
+			t.Fatalf("timed out waiting for %s", what)
+		}
+		time.Sleep(2 * time.Millisecond)
+	}
+}
+
+// A worker admitted mid-sweep must receive the session config, every
+// base, and the accumulated merged cache records before its first job —
+// and then complete jobs whose results are byte-identical to a local
+// run.
+func TestHubLateAdmissionWarmStart(t *testing.T) {
+	base := testAIG(20)
+	cfg := testConfig()
+	jobs := testJobs(6)
+	want := reference(t, base, cfg, jobs)
+
+	var done atomic.Int64
+	h := NewHub(HubOptions{Preseed: true, OnJobDone: func(int, string) { done.Add(1) }, Logf: t.Logf})
+	defer h.Close()
+
+	// Worker 0 completes one job, then wedges until released — the
+	// session cannot finish without the late joiner.
+	gate := make(chan struct{})
+	var releaseOnce sync.Once
+	release := func() { releaseOnce.Do(func() { close(gate) }) }
+	defer release()
+	r0 := newFakeRunner()
+	var r0Runs atomic.Int64
+	r0.onRun = func(JobSpec) {
+		if r0Runs.Add(1) >= 2 {
+			<-gate
+		}
+	}
+	pipeWorker(t, h, "w0", r0)
+
+	sub, err := h.Submit([]*aig.AIG{base}, cfg, jobs)
+	if err != nil {
+		t.Fatal(err)
+	}
+	waitFor(t, "first merged result", func() bool { return done.Load() >= 1 })
+
+	// Late admission: the session is mid-sweep (worker 0 wedged, 5 jobs
+	// unresolved). The joiner's first Run must already see the pushed
+	// warm start in its prefilter.
+	r1 := newFakeRunner()
+	var r1FirstJobPending int64 = -1
+	var r1Once sync.Once
+	r1.onRun = func(JobSpec) {
+		r1Once.Do(func() {
+			atomic.StoreInt64(&r1FirstJobPending, r1.CacheStats().Preseeded)
+		})
+	}
+	pipeWorker(t, h, "w1", r1)
+
+	waitFor(t, "late joiner contributing", func() bool { return done.Load() >= 2 })
+	release()
+
+	results, st, err := sub.Wait()
+	if err != nil {
+		t.Fatal(err)
+	}
+	for i := range jobs {
+		if results[i].TrueDelayPS != want[i].TrueDelayPS || results[i].TrueAreaUM2 != want[i].TrueAreaUM2 {
+			t.Fatalf("job %d true metrics differ", i)
+		}
+		if err := sameResult(results[i].Result, want[i].Result); err != nil {
+			t.Fatalf("job %d: %v", i, err)
+		}
+	}
+	if len(st.Workers) != 2 {
+		t.Fatalf("worker admissions = %d, want 2: %+v", len(st.Workers), st.Workers)
+	}
+	if st.Workers[1].Jobs == 0 {
+		t.Fatalf("late joiner completed no jobs: %+v", st.Workers)
+	}
+	// One config + one base per admission — the late joiner got the full
+	// preamble.
+	if st.BaseSends != 2 {
+		t.Fatalf("base sends = %d, want 2 (one per admission)", st.BaseSends)
+	}
+	if got := atomic.LoadInt64(&r1FirstJobPending); got <= 0 {
+		t.Fatalf("late joiner's first job started with %d pending preseed records, want > 0", got)
+	}
+	if st.SeedPushes == 0 || st.SeedRecords == 0 {
+		t.Fatalf("no warm-start seed traffic recorded: %+v", st)
+	}
+}
+
+// A seed pushed while a worker is mid-job must be imported before its
+// next job — concretely: while the worker's executor is still inside
+// Run, the pushed records land in its cache's prefilter.
+func TestSeedImportedMidJob(t *testing.T) {
+	base := testAIG(21)
+	cfg := testConfig()
+	jobs := testJobs(6)
+	want := reference(t, base, cfg, jobs)
+
+	rA, rB := newFakeRunner(), newFakeRunner()
+	started := make(chan struct{})
+	gate := make(chan struct{})
+	var releaseOnce sync.Once
+	release := func() { releaseOnce.Do(func() { close(gate) }) }
+	defer release()
+	var bOnce sync.Once
+	rB.onRun = func(JobSpec) {
+		bOnce.Do(func() {
+			close(started)
+			<-gate
+		})
+	}
+
+	var done atomic.Int64
+	conns, wait := startWorkers([]*fakeRunner{rA, rB})
+	type outcome struct {
+		results []JobResult
+		st      *Stats
+		err     error
+	}
+	resc := make(chan outcome, 1)
+	go func() {
+		results, st, err := Run([]*aig.AIG{base}, cfg, jobs, Options{
+			Conns: conns, Preseed: true,
+			OnJobDone: func(int, string) { done.Add(1) },
+		})
+		resc <- outcome{results, st, err}
+	}()
+
+	<-started // B is wedged inside its first job
+	waitFor(t, "a merged result from A", func() bool { return done.Load() >= 1 })
+	// A's fresh records fan out to B the moment they merge; B's reader
+	// imports them even though B's executor is still inside Run.
+	waitFor(t, "mid-job seed import on B", func() bool {
+		return rB.CacheStats().Preseeded > 0
+	})
+	release()
+
+	out := <-resc
+	if out.err != nil {
+		t.Fatal(out.err)
+	}
+	wait()
+	for i := range jobs {
+		if err := sameResult(out.results[i].Result, want[i].Result); err != nil {
+			t.Fatalf("job %d: %v", i, err)
+		}
+	}
+	if out.st.SeedPushes == 0 {
+		t.Fatalf("no seed pushes recorded: %+v", out.st)
+	}
+}
+
+// A resident worker connection serving several sequential sessions must
+// drop per-session state at each boundary (msgEndSession -> Runner.
+// EndSession), not accumulate it for the life of the connection.
+func TestHubSequentialSessionsDropState(t *testing.T) {
+	h := NewHub(HubOptions{Logf: t.Logf})
+	defer h.Close()
+	r := newFakeRunner()
+	pipeWorker(t, h, "w0", r)
+
+	const sessions = 3
+	for i := 0; i < sessions; i++ {
+		base := testAIG(int64(30 + i)) // a distinct base per session
+		cfg := testConfig()
+		jobs := testJobs(2)
+		want := reference(t, base, cfg, jobs)
+		sub, err := h.Submit([]*aig.AIG{base}, cfg, jobs)
+		if err != nil {
+			t.Fatal(err)
+		}
+		results, st, err := sub.Wait()
+		if err != nil {
+			t.Fatal(err)
+		}
+		for j := range jobs {
+			if err := sameResult(results[j].Result, want[j].Result); err != nil {
+				t.Fatalf("session %d job %d: %v", i, j, err)
+			}
+		}
+		if st.BaseSends != 1 || len(st.Workers) != 1 {
+			t.Fatalf("session %d stats implausible: %+v", i, st)
+		}
+		// The end-of-session marker trails the last result; wait for the
+		// worker to process it.
+		want_ := i + 1
+		waitFor(t, "session state drop", func() bool {
+			r.mu.Lock()
+			defer r.mu.Unlock()
+			return r.endSessions >= want_
+		})
+	}
+	r.mu.Lock()
+	defer r.mu.Unlock()
+	if r.endSessions != sessions {
+		t.Fatalf("EndSession calls = %d, want %d", r.endSessions, sessions)
+	}
+	if r.caches != nil {
+		t.Fatal("per-session caches survived the session boundary")
+	}
+}
+
+// The framed client path end to end: hello handshake, submission,
+// verbatim result forwarding, stats. Results decoded client-side must
+// be byte-identical to a local run.
+func TestHubClientEndToEnd(t *testing.T) {
+	base := testAIG(40)
+	cfg := testConfig()
+	jobs := testJobs(4)
+	want := reference(t, base, cfg, jobs)
+
+	h := NewHub(HubOptions{Preseed: true, Logf: t.Logf})
+	defer h.Close()
+
+	// Worker over the real handshake path (RegisterWorker -> HandleConn).
+	whub, wworker := net.Pipe()
+	go h.HandleConn(whub)
+	go RegisterWorker(wworker, "w0", newFakeRunner())
+
+	chub, cclient := net.Pipe()
+	go h.HandleConn(chub)
+	hc, err := NewHubClient(cclient, "test-client")
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer hc.Close()
+
+	results, st, err := hc.Submit([]*aig.AIG{base}, cfg, jobs)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for i := range jobs {
+		if results[i].Index != jobs[i].Index || results[i].Entry != jobs[i].Entry {
+			t.Fatalf("result %d misrouted: %+v", i, results[i])
+		}
+		if results[i].TrueDelayPS != want[i].TrueDelayPS || results[i].TrueAreaUM2 != want[i].TrueAreaUM2 {
+			t.Fatalf("job %d true metrics differ", i)
+		}
+		if err := sameResult(results[i].Result, want[i].Result); err != nil {
+			t.Fatalf("job %d: %v", i, err)
+		}
+	}
+	if st.JobSends < len(jobs) || len(st.Workers) != 1 {
+		t.Fatalf("stats implausible: %+v", st)
+	}
+
+	// A second submission over the same client connection reuses the
+	// resident worker (state dropped in between).
+	results2, _, err := hc.Submit([]*aig.AIG{base}, cfg, jobs)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for i := range jobs {
+		if err := sameResult(results2[i].Result, want[i].Result); err != nil {
+			t.Fatalf("second submission job %d: %v", i, err)
+		}
+	}
+}

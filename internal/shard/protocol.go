@@ -20,8 +20,12 @@ import (
 // Version 2 is the session protocol: a config names several (base,
 // evaluator) entries, every base ships once per worker, jobs reference
 // entries, and the coordinator may push merged cache records to workers
-// mid-sweep (msgCacheSeed).
-const protocolVersion = 2
+// mid-sweep (msgCacheSeed). Version 3 is the hub protocol: peers open
+// with a hello naming their role, clients submit whole sessions
+// (msgSubmit) and receive streamed results, and a worker connection
+// outlives a session (msgEndSession drops per-session state without
+// closing the transport).
+const protocolVersion = 3
 
 // maxPayload bounds one message; anything larger indicates a framing
 // desync or a hostile peer, not a real sweep artifact.
@@ -37,6 +41,19 @@ const (
 	msgResult    byte = 5 // worker -> coordinator: completed grid point
 	msgJobError  byte = 6 // worker -> coordinator: grid point failed
 	msgCacheSeed byte = 7 // coordinator -> worker: merged cache records to preseed
+
+	// Hub extensions (protocol v3).
+	msgHello        byte = 8  // peer -> hub: protocol version, role, display name
+	msgSubmit       byte = 9  // client -> hub: one full session (config + bases + jobs)
+	msgSubmitResult byte = 10 // hub -> client: one job's result payload, forwarded verbatim
+	msgSubmitDone   byte = 11 // hub -> client: submission outcome + session stats
+	msgEndSession   byte = 12 // hub -> worker: drop per-session state, stay connected
+)
+
+// Hello roles.
+const (
+	roleWorker byte = 1
+	roleClient byte = 2
 )
 
 // RunConfig is the session-wide configuration a coordinator installs on
@@ -712,4 +729,289 @@ func decodeResult(base *aig.AIG, payload []byte) (JobResult, []eval.CacheRecord,
 	}
 	jr.Result = r
 	return jr, recs, wire, nil
+}
+
+// ---- hub handshake ----
+
+// encodeHello opens a hub connection: the protocol version (checked
+// before anything else, so mismatched peers fail loudly at connect
+// time), the peer's role, and a display name for logs and stats.
+func encodeHello(role byte, name string) []byte {
+	b := []byte{protocolVersion, role}
+	return appendString(b, name)
+}
+
+func decodeHello(payload []byte) (role byte, name string, err error) {
+	if len(payload) < 2 {
+		return 0, "", fmt.Errorf("shard: truncated hello")
+	}
+	if payload[0] != protocolVersion {
+		return 0, "", fmt.Errorf("shard: hello protocol version %d, this hub speaks %d", payload[0], protocolVersion)
+	}
+	d := &dec{data: payload[2:]}
+	name = d.str("hello name")
+	return payload[1], name, d.err
+}
+
+// ---- submissions ----
+
+// encodeSubmit packs one whole session — the already-encoded config,
+// every base payload (in base-index order), and every job — into one
+// client message. Reusing the session payload encodings means the hub
+// re-ships them to workers byte-for-byte.
+func encodeSubmit(cfgPayload []byte, basePayloads [][]byte, jobs []JobSpec) []byte {
+	b := appendBytes(nil, cfgPayload)
+	b = appendUvarint(b, uint64(len(basePayloads)))
+	for _, bp := range basePayloads {
+		b = appendBytes(b, bp)
+	}
+	b = appendUvarint(b, uint64(len(jobs)))
+	for _, j := range jobs {
+		b = appendBytes(b, encodeJob(j))
+	}
+	return b
+}
+
+func decodeSubmit(payload []byte) ([]*aig.AIG, RunConfig, []JobSpec, error) {
+	d := &dec{data: payload}
+	cfgPayload := d.bytes("submit config")
+	if d.err != nil {
+		return nil, RunConfig{}, nil, d.err
+	}
+	cfg, err := decodeConfig(cfgPayload)
+	if err != nil {
+		return nil, RunConfig{}, nil, err
+	}
+	nb := d.uvarint("submit base count")
+	if d.err != nil {
+		return nil, RunConfig{}, nil, d.err
+	}
+	if nb > uint64(len(d.data)) {
+		return nil, RunConfig{}, nil, fmt.Errorf("shard: implausible submit base count %d", nb)
+	}
+	bases := make([]*aig.AIG, nb)
+	for i := range bases {
+		bp := d.bytes("submit base")
+		if d.err != nil {
+			return nil, RunConfig{}, nil, d.err
+		}
+		id, g, err := decodeBase(bp)
+		if err != nil {
+			return nil, RunConfig{}, nil, err
+		}
+		if int(id) != i {
+			return nil, RunConfig{}, nil, fmt.Errorf("shard: submit base %d carries id %d", i, id)
+		}
+		bases[i] = g
+	}
+	nj := d.uvarint("submit job count")
+	if d.err != nil {
+		return nil, RunConfig{}, nil, d.err
+	}
+	if nj > uint64(len(d.data)) {
+		return nil, RunConfig{}, nil, fmt.Errorf("shard: implausible submit job count %d", nj)
+	}
+	jobs := make([]JobSpec, nj)
+	for i := range jobs {
+		jp := d.bytes("submit job")
+		if d.err != nil {
+			return nil, RunConfig{}, nil, d.err
+		}
+		j, err := decodeJob(jp)
+		if err != nil {
+			return nil, RunConfig{}, nil, err
+		}
+		jobs[i] = j
+	}
+	if d.err == nil && len(d.data) != 0 {
+		return nil, RunConfig{}, nil, fmt.Errorf("shard: %d trailing submit bytes", len(d.data))
+	}
+	return bases, cfg, jobs, d.err
+}
+
+// resultIndex peeks the job index off a result payload without
+// decoding the rest — the client needs it to pick the base graph the
+// full decode runs against.
+func resultIndex(payload []byte) (int, error) {
+	v, n := binary.Uvarint(payload)
+	if n <= 0 {
+		return 0, fmt.Errorf("shard: truncated result index")
+	}
+	return int(v), nil
+}
+
+// Submission outcome kinds carried by msgSubmitDone.
+const (
+	submitOK        byte = 0
+	submitJobFailed byte = 1 // a JobFailedError, reconstructed field by field
+	submitError     byte = 2 // any other error, as a string
+)
+
+// encodeSubmitDone closes a submission: the outcome (success, a
+// JobFailedError with enough structure for the client to rebuild it,
+// or an opaque error string) followed by the session's Stats.
+func encodeSubmitDone(runErr error, st *Stats) []byte {
+	var b []byte
+	switch e := runErr.(type) {
+	case nil:
+		b = append(b, submitOK)
+	case *JobFailedError:
+		b = append(b, submitJobFailed)
+		b = appendBytes(b, encodeJob(e.Job))
+		b = appendUvarint(b, uint64(e.Attempts))
+		b = appendString(b, e.Msg)
+	default:
+		b = append(b, submitError)
+		b = appendString(b, runErr.Error())
+	}
+	return appendStats(b, st)
+}
+
+func decodeSubmitDone(payload []byte) (*Stats, error, error) {
+	if len(payload) < 1 {
+		return nil, nil, fmt.Errorf("shard: empty submit outcome")
+	}
+	d := &dec{data: payload[1:]}
+	var runErr error
+	switch payload[0] {
+	case submitOK:
+	case submitJobFailed:
+		jp := d.bytes("failed job")
+		attempts := int(d.uvarint("failed attempts"))
+		msg := d.str("failed message")
+		if d.err != nil {
+			return nil, nil, d.err
+		}
+		job, err := decodeJob(jp)
+		if err != nil {
+			return nil, nil, err
+		}
+		runErr = &JobFailedError{Job: job, Attempts: attempts, Msg: msg}
+	case submitError:
+		runErr = fmt.Errorf("%s", d.str("submission error"))
+	default:
+		return nil, nil, fmt.Errorf("shard: unknown submit outcome kind %d", payload[0])
+	}
+	st, err := decodeStats(d)
+	if err != nil {
+		return nil, nil, err
+	}
+	if len(d.data) != 0 {
+		return nil, nil, fmt.Errorf("shard: %d trailing submit outcome bytes", len(d.data))
+	}
+	return st, runErr, nil
+}
+
+// ---- stats ----
+
+// appendStats serializes a session's full Stats — scalars, the merged
+// caches (so a hub client sees the same cluster-wide memo view a local
+// coordinator would), and the per-worker breakdown.
+func appendStats(b []byte, st *Stats) []byte {
+	b = appendVarint(b, int64(st.BaseSends))
+	b = appendVarint(b, st.BaseBytes)
+	b = appendVarint(b, int64(st.DeltaRecords))
+	b = appendVarint(b, st.DeltaBytes)
+	b = appendVarint(b, int64(st.JobSends))
+	b = appendVarint(b, int64(st.Retries))
+	b = appendVarint(b, int64(st.Requeues))
+	b = appendVarint(b, int64(st.WorkerLosses))
+	b = appendVarint(b, st.BytesSent)
+	b = appendVarint(b, st.BytesReceived)
+	b = appendVarint(b, int64(st.CacheRecords))
+	b = appendVarint(b, int64(st.CacheDuplicates))
+	b = appendVarint(b, int64(st.SeedPushes))
+	b = appendVarint(b, int64(st.SeedRecords))
+	b = appendVarint(b, st.SeedBytes)
+	b = appendVarint(b, st.PrefilterHits)
+	b = appendVarint(b, st.PrefilterRejected)
+	b = appendVarint(b, int64(st.StoreLoaded))
+	b = appendVarint(b, int64(st.StoreFlushed))
+	b = appendUvarint(b, uint64(len(st.MergedCaches)))
+	for _, m := range st.MergedCaches {
+		b = appendUvarint(b, uint64(len(m)))
+		for k, v := range m {
+			b = appendU64(b, k.FP)
+			b = appendU64(b, k.SH)
+			b = appendF64(b, v.DelayPS)
+			b = appendF64(b, v.AreaUM2)
+		}
+	}
+	b = appendUvarint(b, uint64(len(st.Workers)))
+	for _, w := range st.Workers {
+		b = appendString(b, w.Name)
+		b = appendVarint(b, int64(w.Jobs))
+		b = appendBool(b, w.Lost)
+		b = appendVarint(b, w.PrefilterHits)
+		b = appendVarint(b, w.PrefilterRejected)
+	}
+	return b
+}
+
+func decodeStats(d *dec) (*Stats, error) {
+	st := &Stats{}
+	st.BaseSends = int(d.varint("base sends"))
+	st.BaseBytes = d.varint("base bytes")
+	st.DeltaRecords = int(d.varint("delta records"))
+	st.DeltaBytes = d.varint("delta bytes")
+	st.JobSends = int(d.varint("job sends"))
+	st.Retries = int(d.varint("retries"))
+	st.Requeues = int(d.varint("requeues"))
+	st.WorkerLosses = int(d.varint("worker losses"))
+	st.BytesSent = d.varint("bytes sent")
+	st.BytesReceived = d.varint("bytes received")
+	st.CacheRecords = int(d.varint("cache records"))
+	st.CacheDuplicates = int(d.varint("cache duplicates"))
+	st.SeedPushes = int(d.varint("seed pushes"))
+	st.SeedRecords = int(d.varint("seed records"))
+	st.SeedBytes = d.varint("seed bytes")
+	st.PrefilterHits = d.varint("prefilter hits")
+	st.PrefilterRejected = d.varint("prefilter rejected")
+	st.StoreLoaded = int(d.varint("store loaded"))
+	st.StoreFlushed = int(d.varint("store flushed"))
+	ne := d.uvarint("merged cache count")
+	if d.err != nil {
+		return nil, d.err
+	}
+	if ne > uint64(len(d.data))+1 {
+		return nil, fmt.Errorf("shard: implausible merged cache count %d", ne)
+	}
+	st.MergedCaches = make([]map[eval.CacheKey]eval.Metrics, ne)
+	for e := range st.MergedCaches {
+		nr := d.uvarint("merged record count")
+		if d.err != nil {
+			return nil, d.err
+		}
+		if nr > uint64(len(d.data)) {
+			return nil, fmt.Errorf("shard: implausible merged record count %d", nr)
+		}
+		m := make(map[eval.CacheKey]eval.Metrics, nr)
+		for i := uint64(0); i < nr; i++ {
+			var k eval.CacheKey
+			var v eval.Metrics
+			k.FP = d.u64("merged fp")
+			k.SH = d.u64("merged sh")
+			v.DelayPS = d.f64("merged delay")
+			v.AreaUM2 = d.f64("merged area")
+			m[k] = v
+		}
+		st.MergedCaches[e] = m
+	}
+	nw := d.uvarint("worker count")
+	if d.err != nil {
+		return nil, d.err
+	}
+	if nw > uint64(len(d.data))+1 {
+		return nil, fmt.Errorf("shard: implausible worker count %d", nw)
+	}
+	st.Workers = make([]WorkerStats, nw)
+	for i := range st.Workers {
+		w := &st.Workers[i]
+		w.Name = d.str("worker name")
+		w.Jobs = int(d.varint("worker jobs"))
+		w.Lost = d.boolean("worker lost")
+		w.PrefilterHits = d.varint("worker prefilter hits")
+		w.PrefilterRejected = d.varint("worker prefilter rejected")
+	}
+	return st, d.err
 }

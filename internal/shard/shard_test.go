@@ -56,6 +56,9 @@ type fakeRunner struct {
 	killAfter int
 	jobsRun   int
 	cacheSeq  []int
+
+	onRun       func(JobSpec) // when set, invoked at the start of every Run
+	endSessions int           // EndSession call count
 }
 
 func newFakeRunner() *fakeRunner {
@@ -63,16 +66,36 @@ func newFakeRunner() *fakeRunner {
 }
 
 func (r *fakeRunner) Configure(cfg RunConfig) error {
-	r.cfg = cfg
-	r.caches = make([]*eval.Cached, len(cfg.Entries))
-	r.cacheSeq = make([]int, len(cfg.Entries))
-	for i := range r.caches {
-		r.caches[i] = eval.NewCached(eval.AsOracle(levelsEval{}, 1))
+	caches := make([]*eval.Cached, len(cfg.Entries))
+	for i := range caches {
+		caches[i] = eval.NewCached(eval.AsOracle(levelsEval{}, 1))
 	}
+	r.mu.Lock()
+	r.cfg = cfg
+	r.caches = caches
+	r.cacheSeq = make([]int, len(cfg.Entries))
+	r.mu.Unlock()
 	return nil
 }
 
+// cache returns entry's cache under the lock; Preseed runs on the
+// serve loop's reader goroutine, concurrent with Run and EndSession.
+func (r *fakeRunner) cache(entry int) *eval.Cached {
+	r.mu.Lock()
+	defer r.mu.Unlock()
+	if entry < 0 || entry >= len(r.caches) {
+		return nil
+	}
+	return r.caches[entry]
+}
+
 func (r *fakeRunner) Run(base *aig.AIG, job JobSpec) (*WorkResult, error) {
+	r.mu.Lock()
+	hook := r.onRun
+	r.mu.Unlock()
+	if hook != nil {
+		hook(job)
+	}
 	r.mu.Lock()
 	if n := r.failTimes[job.Index]; n > 0 {
 		r.failTimes[job.Index] = n - 1
@@ -91,7 +114,7 @@ func (r *fakeRunner) Run(base *aig.AIG, job JobSpec) (*WorkResult, error) {
 	p := r.cfg.Base
 	p.DelayWeight, p.AreaWeight, p.DecayRate = job.DelayWeight, job.AreaWeight, job.Decay
 	p.Seed = r.cfg.Base.Seed + job.SeedOffset
-	res, err := anneal.Run(base, r.caches[job.Entry], p)
+	res, err := anneal.Run(base, r.cache(job.Entry), p)
 	if err != nil {
 		return nil, err
 	}
@@ -103,25 +126,37 @@ func (r *fakeRunner) Run(base *aig.AIG, job JobSpec) (*WorkResult, error) {
 }
 
 func (r *fakeRunner) CacheSnapshot(entry int) []eval.CacheRecord {
-	if entry >= len(r.caches) {
-		return nil
-	}
 	r.mu.Lock()
 	defer r.mu.Unlock()
+	if entry < 0 || entry >= len(r.caches) {
+		return nil
+	}
 	recs, seq := r.caches[entry].ExportSince(r.cacheSeq[entry])
 	r.cacheSeq[entry] = seq
 	return recs
 }
 
 func (r *fakeRunner) Preseed(entry int, recs []eval.CacheRecord) {
-	if entry < len(r.caches) {
-		r.caches[entry].ImportRecords(recs)
+	if c := r.cache(entry); c != nil {
+		c.ImportRecords(recs)
 	}
 }
 
+func (r *fakeRunner) EndSession() {
+	r.mu.Lock()
+	r.endSessions++
+	r.caches = nil
+	r.cacheSeq = nil
+	r.mu.Unlock()
+	r.warmed = map[*aig.AIG]bool{}
+}
+
 func (r *fakeRunner) CacheStats() eval.CacheStats {
+	r.mu.Lock()
+	caches := r.caches
+	r.mu.Unlock()
 	var s eval.CacheStats
-	for _, c := range r.caches {
+	for _, c := range caches {
 		cs := c.Stats()
 		s.Hits += cs.Hits
 		s.Misses += cs.Misses

@@ -1,0 +1,132 @@
+#!/usr/bin/env bash
+# hub_soak.sh — real-process soak of the sweephub service path.
+#
+# Builds sweephub, sweepd, and aigopt, then drives one sweep through a
+# live hub while the fleet churns:
+#
+#   - a resident hub (sweephub -listen :0), address parsed from its banner
+#   - a steady worker (sweepd -hub)
+#   - a crasher worker (sweepd -hub -max-jobs 2) that exits with a job
+#     in flight, exercising requeue-on-worker-loss
+#   - a late joiner admitted mid-sweep after the crasher dies,
+#     exercising warm-start admission
+#
+# The acceptance bar is the shard contract: the hub run's sweep table
+# must be byte-identical to a local (in-process pool) run of the same
+# configuration, the coordinator must report at least one lost worker,
+# and the hub must shut down cleanly on SIGTERM.
+#
+# Usage: scripts/hub_soak.sh [logdir]   (default: hub-soak-logs)
+set -euo pipefail
+cd "$(dirname "$0")/.."
+
+LOGDIR="${1:-hub-soak-logs}"
+mkdir -p "$LOGDIR"
+BIN="$LOGDIR/bin"
+mkdir -p "$BIN"
+
+SUITE=EX08,EX28
+FLOW=ground-truth
+ITERS=30
+
+echo "== building sweephub, sweepd, aigopt"
+go build -o "$BIN/sweephub" ./cmd/sweephub
+go build -o "$BIN/sweepd" ./cmd/sweepd
+go build -o "$BIN/aigopt" ./cmd/aigopt
+
+PIDS=()
+cleanup() {
+  for pid in "${PIDS[@]}"; do
+    kill "$pid" 2>/dev/null || true
+  done
+}
+trap cleanup EXIT
+
+"$BIN/sweephub" -listen 127.0.0.1:0 -preseed -v >"$LOGDIR/hub.log" 2>&1 &
+HUB_PID=$!
+PIDS+=("$HUB_PID")
+
+ADDR=
+for _ in $(seq 1 100); do
+  ADDR=$(sed -n 's/^sweephub listening on //p' "$LOGDIR/hub.log")
+  [ -n "$ADDR" ] && break
+  sleep 0.1
+done
+if [ -z "$ADDR" ]; then
+  echo "FAIL: hub never printed its listening banner" >&2
+  exit 1
+fi
+echo "== hub listening on $ADDR"
+
+"$BIN/sweepd" -hub "$ADDR" -name steady -v >"$LOGDIR/worker-steady.log" 2>&1 &
+PIDS+=("$!")
+"$BIN/sweepd" -hub "$ADDR" -name crasher -max-jobs 2 -v >"$LOGDIR/worker-crasher.log" 2>&1 &
+CRASH_PID=$!
+
+echo "== local reference sweep"
+"$BIN/aigopt" -suite "$SUITE" -flow "$FLOW" -iters "$ITERS" -no-autotune >"$LOGDIR/local.txt"
+
+echo "== hub sweep with fleet churn"
+"$BIN/aigopt" -suite "$SUITE" -flow "$FLOW" -iters "$ITERS" -no-autotune -hub "$ADDR" \
+  >"$LOGDIR/hub-run.txt" 2>"$LOGDIR/client.log" &
+CLIENT_PID=$!
+
+# The crasher exits (code 3) after starting its third job. Admit the
+# late joiner the moment it is gone, while its job is being requeued.
+set +e
+wait "$CRASH_PID"
+CRASH_CODE=$?
+set -e
+echo "== crasher exited with code $CRASH_CODE (want 3: -max-jobs fired mid-sweep)"
+if [ "$CRASH_CODE" -ne 3 ]; then
+  echo "FAIL: crasher did not exit via the -max-jobs crash knob" >&2
+  exit 1
+fi
+"$BIN/sweepd" -hub "$ADDR" -name late-joiner -v >"$LOGDIR/worker-late.log" 2>&1 &
+PIDS+=("$!")
+
+set +e
+wait "$CLIENT_PID"
+CLIENT_CODE=$?
+set -e
+if [ "$CLIENT_CODE" -ne 0 ]; then
+  echo "FAIL: hub client exited with code $CLIENT_CODE" >&2
+  cat "$LOGDIR/client.log" >&2
+  exit 1
+fi
+
+# Byte-identity: the sweep tables (every line printFront indents by two
+# spaces) must match exactly; timings and transfer stats are allowed to
+# differ, table values are not.
+grep -E '^  ' "$LOGDIR/local.txt" >"$LOGDIR/local.table"
+grep -E '^  ' "$LOGDIR/hub-run.txt" >"$LOGDIR/hub-run.table"
+if ! diff -u "$LOGDIR/local.table" "$LOGDIR/hub-run.table"; then
+  echo "FAIL: hub sweep table differs from the local reference" >&2
+  exit 1
+fi
+echo "== sweep tables byte-identical ($(wc -l <"$LOGDIR/local.table") lines)"
+
+LOST=$(sed -n 's/.*workers lost \([0-9]*\).*/\1/p' "$LOGDIR/hub-run.txt")
+if [ -z "$LOST" ] || [ "$LOST" -lt 1 ]; then
+  echo "FAIL: coordinator reported 'workers lost ${LOST:-<none>}', want >= 1" >&2
+  exit 1
+fi
+echo "== coordinator absorbed $LOST lost worker(s)"
+
+if ! grep -q "sweepd registered with hub" "$LOGDIR/worker-late.log"; then
+  echo "FAIL: late joiner never registered with the hub" >&2
+  exit 1
+fi
+echo "== late joiner registered"
+
+kill -TERM "$HUB_PID"
+set +e
+wait "$HUB_PID"
+HUB_CODE=$?
+set -e
+if [ "$HUB_CODE" -ne 0 ]; then
+  echo "FAIL: hub exited with code $HUB_CODE on SIGTERM, want clean shutdown" >&2
+  exit 1
+fi
+echo "== hub shut down cleanly"
+echo "PASS: hub soak complete; logs in $LOGDIR"
