@@ -306,6 +306,10 @@ func runSuiteEntries(entries []flows.SuiteEntry, lib *cell.Library, base anneal.
 		fmt.Printf("transfers: base %dx (%d B), %d delta records (%d B); jobs %d (requeued %d, retried %d); workers lost %d\n",
 			st.BaseSends, st.BaseBytes, st.DeltaRecords, st.DeltaBytes,
 			st.JobSends, st.Requeues, st.Retries, st.WorkerLosses)
+		if st.QueueDepth > 0 || st.Handoffs > 0 {
+			fmt.Printf("hub: queued behind %d submissions; %d workers donated to concurrent sessions\n",
+				st.QueueDepth, st.Handoffs)
+		}
 		fmt.Printf("merged cache: %d distinct structures from %d records (%d cross-worker duplicates)\n",
 			st.MergedStructures(), st.CacheRecords, st.CacheDuplicates)
 		if st.SeedPushes > 0 || st.PrefilterHits > 0 {

@@ -28,6 +28,10 @@
 // short backoff) whenever it drops, so a restarted hub reassembles its
 // fleet without operator action; registering mid-sweep is fine — the
 // hub admits late joiners with the running session's full warm start.
+// A hub running several submissions concurrently may also hand the
+// worker between sessions mid-sweep (a rebalance); to the daemon that
+// is indistinguishable from a session boundary followed by a late
+// admission.
 //
 // With -retain-mb the daemon keeps evaluation records across sessions
 // in an in-memory LRU pool (bounded to that many megabytes): a later

@@ -1,6 +1,13 @@
 // Command sweephub is the resident sweep coordinator: a daemon that
-// accepts sweep/suite submissions from many clients and executes them,
-// one session at a time, over an elastic fleet of sweepd workers.
+// accepts sweep/suite submissions from many clients and executes up to
+// -max-sessions of them concurrently, each over a disjoint partition of
+// an elastic fleet of sweepd workers. Partitions rebalance as
+// submissions arrive and finish and as workers join and die: a session
+// whose share shrank donates workers at their next job boundary, and
+// each donated worker re-enters the recipient session with the same
+// warm start a late joiner gets. -min-workers-per-session floors the
+// split — a later submission waits in the queue until the fleet can
+// keep every running session at the floor.
 //
 // Workers connect with `sweepd -hub <addr>` and stay resident across
 // sessions: each session boundary drops their per-session state, and a
@@ -15,6 +22,7 @@
 // Usage:
 //
 //	sweephub [-listen 127.0.0.1:9620] [-store sweep.store] [-preseed]
+//	         [-max-sessions 4] [-min-workers-per-session 1]
 //	         [-max-attempts 3] [-job-timeout 0] [-flush-every 30s] [-v]
 //
 // The daemon prints "sweephub listening on <addr>" once bound (with
@@ -50,6 +58,8 @@ func main() {
 		preseed     = flag.Bool("preseed", false, "push merged cache records to workers the moment they merge")
 		maxAttempts = flag.Int("max-attempts", 0, "per-job retry bound after worker-side errors (0 = 3)")
 		jobTimeout  = flag.Duration("job-timeout", 0, "per-job transport deadline; an expired worker counts as lost (0 = none)")
+		maxSessions = flag.Int("max-sessions", 0, "submissions run concurrently, each over a fleet partition (0 = 4; 1 = serial FIFO)")
+		minWorkers  = flag.Int("min-workers-per-session", 0, "partition floor: a later submission waits until the fleet can keep every session at this many workers (0 = 1)")
 		verbose     = flag.Bool("v", false, "log admissions, sessions, and scheduling events")
 	)
 	flag.Parse()
@@ -73,12 +83,14 @@ func main() {
 		logf = log.Printf
 	}
 	hub := shard.NewHub(shard.HubOptions{
-		MaxAttempts:     *maxAttempts,
-		JobTimeout:      *jobTimeout,
-		Preseed:         *preseed,
-		Store:           store,
-		StoreFlushEvery: *flushEvery,
-		Logf:            logf,
+		MaxAttempts:          *maxAttempts,
+		JobTimeout:           *jobTimeout,
+		Preseed:              *preseed,
+		Store:                store,
+		StoreFlushEvery:      *flushEvery,
+		MaxSessions:          *maxSessions,
+		MinWorkersPerSession: *minWorkers,
+		Logf:                 logf,
 	})
 
 	ln, err := net.Listen("tcp", *listen)

@@ -85,10 +85,11 @@ func TestSweepShardedViaHubByteIdentical(t *testing.T) {
 }
 
 // TestHubChaosTwoClients is the chaos acceptance test: two clients
-// submit overlapping suites to one hub while the fleet churns — a
-// worker joins late, one dies mid-sweep, a replacement rejoins — and
-// every entry of both suites must still come back byte-identical to a
-// local SweepSuite.
+// submit overlapping suites to one hub running them concurrently over
+// partitioned fleets while those fleets churn — a worker joins late,
+// one dies mid-sweep, a replacement rejoins — and every entry of both
+// suites must still come back byte-identical to a local SweepSuite and
+// to a serial (MaxSessions: 1) hub executing the same suites.
 func TestHubChaosTwoClients(t *testing.T) {
 	gA, gB := testAIG(62), testAIG(63)
 	lib := cell.Builtin()
@@ -112,7 +113,13 @@ func TestHubChaosTwoClients(t *testing.T) {
 	}
 
 	var done atomic.Int64
-	h := shard.NewHub(shard.HubOptions{Preseed: true, OnJobDone: func(int, string) { done.Add(1) }, Logf: t.Logf})
+	h := shard.NewHub(shard.HubOptions{
+		MaxSessions:          2, // both submissions run at once, each over a fleet partition
+		MinWorkersPerSession: 1,
+		Preseed:              true,
+		OnJobDone:            func(int, string) { done.Add(1) },
+		Logf:                 t.Logf,
+	})
 	defer h.Close()
 	kill1 := startHubWorker(h, "w1")
 
@@ -170,6 +177,32 @@ func TestHubChaosTwoClients(t *testing.T) {
 	for e := range suite2 {
 		if !bytes.Equal(CanonicalizeSweep(local2[e].Points), CanonicalizeSweep(r2.suite[e].Points)) {
 			t.Fatalf("client 2 entry %q differs from local SweepSuite", suite2[e].Name)
+		}
+	}
+
+	// Serial-hub leg: the same suites through a MaxSessions: 1 hub (the
+	// FIFO shape concurrent partitioning replaced) must match the
+	// chaos run byte for byte — the partition plan changes scheduling,
+	// never results.
+	hs := shard.NewHub(shard.HubOptions{MaxSessions: 1, Preseed: true, Logf: t.Logf})
+	defer hs.Close()
+	startHubWorker(hs, "serial")
+	serial1, _, err := SweepSuiteSharded(suite1, lib, cfg, ShardOptions{HubConn: hubClientConn(hs)})
+	if err != nil {
+		t.Fatal(err)
+	}
+	serial2, _, err := SweepSuiteSharded(suite2, lib, cfg, ShardOptions{HubConn: hubClientConn(hs)})
+	if err != nil {
+		t.Fatal(err)
+	}
+	for e := range suite1 {
+		if !bytes.Equal(CanonicalizeSweep(serial1[e].Points), CanonicalizeSweep(r1.suite[e].Points)) {
+			t.Fatalf("client 1 entry %q differs between serial and concurrent hubs", suite1[e].Name)
+		}
+	}
+	for e := range suite2 {
+		if !bytes.Equal(CanonicalizeSweep(serial2[e].Points), CanonicalizeSweep(r2.suite[e].Points)) {
+			t.Fatalf("client 2 entry %q differs between serial and concurrent hubs", suite2[e].Name)
 		}
 	}
 }

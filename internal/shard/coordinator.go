@@ -92,6 +92,16 @@ type Stats struct {
 	Requeues     int   // re-dispatches after a transport loss
 	WorkerLosses int   // worker sessions lost mid-sweep
 
+	// Hub scheduling accounting (zero for one-shot Run sessions).
+	// Handoffs counts workers this session donated to a concurrent
+	// submission mid-run: the partition scheduler shrank its target, a
+	// worker withdrew at a job boundary, and the hub re-admitted it
+	// elsewhere with a warm-start replay. QueueDepth is how many
+	// submissions (active or queued) were ahead of this one when it was
+	// enqueued — the client-visible measure of hub contention.
+	Handoffs   int
+	QueueDepth int
+
 	BytesSent     int64 // total transport bytes, coordinator -> workers
 	BytesReceived int64 // total transport bytes, workers -> coordinator
 
@@ -164,18 +174,22 @@ type task struct {
 // sched is a session's work queue: pull-based (idle workers take the
 // next eligible job, so fast workers naturally steal load) with
 // requeue-on-failure. Workers join the live set at any time
-// (addWorker), which is what lets a hub admit late joiners mid-sweep.
+// (addWorker), which is what lets a hub admit late joiners mid-sweep —
+// and leave it voluntarily when the session's partition target shrinks
+// (setTarget), which is what lets a hub move workers between
+// concurrent sessions without killing connections.
 type sched struct {
 	mu        sync.Mutex
 	cond      *sync.Cond
 	queue     []*task
 	remaining int          // jobs not yet completed or abandoned
 	alive     map[int]bool // worker id -> still serving
+	target    int          // partition size this session may hold; -1 = unlimited
 	aborted   bool
 }
 
 func newSched(jobs []JobSpec) *sched {
-	s := &sched{alive: make(map[int]bool), remaining: len(jobs)}
+	s := &sched{alive: make(map[int]bool), remaining: len(jobs), target: -1}
 	s.cond = sync.NewCond(&s.mu)
 	for _, j := range jobs {
 		s.queue = append(s.queue, &task{job: j})
@@ -187,6 +201,18 @@ func newSched(jobs []JobSpec) *sched {
 func (s *sched) addWorker(id int) {
 	s.mu.Lock()
 	s.alive[id] = true
+	s.mu.Unlock()
+	s.cond.Broadcast()
+}
+
+// setTarget bounds how many workers this session may keep (-1 =
+// unlimited). When the live set exceeds the target, surplus workers
+// withdraw themselves at their next job boundary (next returns
+// nextWithdrawn) — the withdrawing worker is idle by definition, so no
+// job ever needs requeueing for a rebalance.
+func (s *sched) setTarget(n int) {
+	s.mu.Lock()
+	s.target = n
 	s.mu.Unlock()
 	s.cond.Broadcast()
 }
@@ -206,20 +232,49 @@ func (s *sched) eligible(t *task, id int) bool {
 	return true
 }
 
-// next blocks until a job is available for worker id (ok=true), or no
-// work will ever remain (ok=false: every job resolved, or the session
-// aborted).
-func (s *sched) next(id int) (*task, bool) {
+// nextOutcome is next's verdict for one pull.
+type nextOutcome int
+
+const (
+	// nextJob: the returned task is the worker's next job.
+	nextJob nextOutcome = iota
+	// nextDone: no work will ever remain (every job resolved, or the
+	// session aborted); the worker should leave the session.
+	nextDone
+	// nextWithdrawn: the session holds more workers than its partition
+	// target allows, and this worker — idle at a job boundary — parked
+	// itself to be handed to another session. It has already left the
+	// live set and its exclusion entries are pruned, exactly as if it
+	// had died, but its connection is healthy.
+	nextWithdrawn
+)
+
+// next blocks until a job is available for worker id (nextJob), no
+// work will ever remain (nextDone), or the worker withdraws to honor a
+// shrunken partition target (nextWithdrawn).
+func (s *sched) next(id int) (*task, nextOutcome) {
 	s.mu.Lock()
 	defer s.mu.Unlock()
 	for {
 		if s.remaining == 0 || s.aborted {
-			return nil, false
+			return nil, nextDone
+		}
+		if s.target >= 0 && len(s.alive) > s.target && s.alive[id] {
+			// Surplus under the current target: withdraw. Pruning this
+			// id's exclusions mirrors workerDead — the id may be recycled
+			// by a later admission (here or elsewhere), and a recycled id
+			// must not inherit its predecessor's exclusions.
+			delete(s.alive, id)
+			for _, t := range s.queue {
+				delete(t.exclude, id)
+			}
+			s.cond.Broadcast()
+			return nil, nextWithdrawn
 		}
 		for i, t := range s.queue {
 			if s.eligible(t, id) {
 				s.queue = append(s.queue[:i], s.queue[i+1:]...)
-				return t, true
+				return t, nextJob
 			}
 		}
 		s.cond.Wait()

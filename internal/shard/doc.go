@@ -81,16 +81,46 @@
 // Run is session-scoped: the caller owns the fleet for one session.
 // Hub (cmd/sweephub) is the resident form — a daemon owning an elastic
 // fleet of registered workers (RegisterWorker, sweepd -hub) that
-// executes queued submissions from many clients (HubClient, msgSubmit)
-// one session at a time. Workers may register at any moment: one
-// admitted mid-sweep receives the running session's config, bases, and
-// accumulated merged cache records before its first job — exactly as
-// warm as a worker present from the start. Hub sessions are elastic:
+// executes queued submissions from many clients (HubClient, msgSubmit),
+// up to HubOptions.MaxSessions of them concurrently, each over a
+// disjoint partition of the fleet. Workers may register at any moment:
+// one admitted mid-sweep receives the running session's config, bases,
+// and accumulated merged cache records before its first job — exactly
+// as warm as a worker present from the start. Hub sessions are elastic:
 // losing every worker makes the session wait for the next registration
 // instead of failing. The hub forwards workers' result payloads to the
 // submitting client verbatim (never re-encoded), so the byte-identity
 // contract holds across the extra hop; with HubOptions.Store the hub
 // owns the persistent warm-start store for all submissions.
+//
+// Partitions are planned by a pure policy (planPartitions) and applied
+// after every scheduling event — submission arrival or completion,
+// worker registration, loss, or handoff. The applied state keeps these
+// invariants (partition_test.go asserts them after every event of
+// randomized schedules):
+//
+//   - Disjointness. A worker serves exactly one session at any
+//     instant, or waits in the idle pool — never both, never two.
+//   - Proportional share by queue age. Sessions ordered oldest-first
+//     get nonincreasing worker targets; an equal split's remainder
+//     goes to the oldest. A submission never watches a younger one
+//     hold more of the fleet.
+//   - No starvation. With at least as many workers as sessions, every
+//     session's target is at least HubOptions.MinWorkersPerSession;
+//     under scarcity the oldest sessions hold the floor while the
+//     youngest wait at zero (the empty-partition wait — the same
+//     elastic wait as an empty fleet). A queued submission is admitted
+//     within the same scheduling event that frees its capacity.
+//   - Job-boundary handoffs. A session whose target shrank donates
+//     workers only between jobs (sched withdrawal), never mid-job; the
+//     donated worker's per-session state is dropped (msgEndSession)
+//     and the recipient re-admits it through the full warm-start
+//     preamble. Stats.Handoffs counts the donations.
+//
+// Because rebalancing only moves workers — and every evaluation layer
+// is value-transparent — the partition plan never changes any result:
+// a submission's bytes are identical whether the hub ran it alone,
+// concurrently, or across any sequence of mid-sweep rebalances.
 //
 // Workers export their memo caches as eval.CacheRecord streams; the
 // coordinator merges them into Stats.MergedCaches (one map per entry),

@@ -33,6 +33,16 @@ type HubOptions struct {
 	// OnJobDone, when set, is invoked as each grid point's result merges
 	// (session job index, worker name).
 	OnJobDone func(jobIndex int, worker string)
+	// MaxSessions caps how many submissions run concurrently, each over
+	// a disjoint partition of the fleet (0 = 4). 1 restores the serial
+	// FIFO hub: one session at a time over the whole fleet.
+	MaxSessions int
+	// MinWorkersPerSession is the partition floor (0 = 1): a second or
+	// later submission is admitted only when the fleet can keep every
+	// running session at this floor after the split. The first
+	// submission always starts — even with an empty fleet it waits
+	// elastically for the first registration.
+	MinWorkersPerSession int
 	// Logf, when set, receives admission, scheduling, and failure events.
 	Logf func(format string, args ...any)
 }
@@ -44,6 +54,10 @@ type Submission struct {
 	cfg     RunConfig
 	jobs    []JobSpec
 	keepRaw bool
+
+	// queueDepth is how many submissions (active or queued) were ahead
+	// at enqueue time; surfaced as Stats.QueueDepth.
+	queueDepth int
 
 	done    chan struct{}
 	results []JobResult
@@ -60,46 +74,74 @@ func (s *Submission) Wait() ([]JobResult, *Stats, error) {
 	return s.results, s.stats, s.err
 }
 
+// activeSession is one running submission plus the hub's view of its
+// partition: which workers it currently owns and how many the last
+// plan allotted it.
+type activeSession struct {
+	s   *session
+	sub *Submission
+	seq int // admission order; active stays sorted by it (oldest first)
+
+	// assigned is this session's partition — the workers attached to it
+	// right now, updated under Hub.mu at attach and release. Partitions
+	// are disjoint: a worker is in at most one session's assigned set,
+	// or in the idle pool, never both.
+	assigned map[*wireWorker]bool
+	target   int // worker count the last plan allotted
+}
+
 // Hub is a resident sweep coordinator: a queue of submissions executed
-// one session at a time over an elastic worker fleet. Workers register
-// at any moment — a worker admitted mid-sweep receives the session
-// config, every base, and the accumulated merged cache records before
-// its first job (the same warm start a store-backed restart gets) —
-// and worker churn mid-job is absorbed by the requeue/exclusion
-// machinery. Between sessions workers wait in an idle pool with their
-// per-session state dropped (msgEndSession), so a fleet serves any
-// number of submissions without accumulating memory.
+// over an elastic worker fleet, up to MaxSessions of them concurrently,
+// each over a disjoint partition of the fleet (planPartitions). Workers
+// register at any moment — a worker admitted mid-sweep receives the
+// session config, every base, and the accumulated merged cache records
+// before its first job (the same warm start a store-backed restart
+// gets) — and worker churn mid-job is absorbed by the requeue/exclusion
+// machinery. As submissions arrive and finish the partitions rebalance:
+// a session whose share shrank donates workers at their next job
+// boundary (never mid-job), and each donated worker re-enters the
+// recipient through the same warm-start admission path. Between
+// assignments workers wait in an idle pool with their per-session state
+// dropped (msgEndSession), so a fleet serves any number of submissions
+// without accumulating memory.
 //
 // Sessions are byte-transparent exactly like Run: for a fixed
 // submission the results are bit-identical to a local sweep, whatever
-// the fleet does.
+// the fleet or the partition plan does.
 type Hub struct {
-	opts HubOptions
-	logf func(format string, args ...any)
+	opts        HubOptions
+	logf        func(format string, args ...any)
+	maxSessions int
+	minPer      int
 
 	mu     sync.Mutex
-	cond   *sync.Cond
 	idle   []*wireWorker
 	queue  []*Submission
-	active *session
+	active []*activeSession // admission order: oldest first
+	seq    int
 	closed bool
 
-	loopDone chan struct{}
+	closeWG sync.WaitGroup // one per-session waiter goroutine each
 }
 
 // NewHub starts a hub with no workers and an empty queue.
 func NewHub(opts HubOptions) *Hub {
-	h := &Hub{opts: opts, logf: opts.Logf, loopDone: make(chan struct{})}
+	h := &Hub{opts: opts, logf: opts.Logf, maxSessions: opts.MaxSessions, minPer: opts.MinWorkersPerSession}
 	if h.logf == nil {
 		h.logf = func(string, ...any) {}
 	}
-	h.cond = sync.NewCond(&h.mu)
-	go h.loop()
+	if h.maxSessions <= 0 {
+		h.maxSessions = 4
+	}
+	if h.minPer < 1 {
+		h.minPer = 1
+	}
 	return h
 }
 
 // Submit validates and enqueues one sweep session. The returned
-// Submission resolves when the hub has executed it (FIFO order).
+// Submission resolves when the hub has executed it; submissions are
+// admitted in arrival order, up to MaxSessions concurrently.
 func (h *Hub) Submit(bases []*aig.AIG, cfg RunConfig, jobs []JobSpec) (*Submission, error) {
 	return h.submit(bases, cfg, jobs, false)
 }
@@ -114,18 +156,17 @@ func (h *Hub) submit(bases []*aig.AIG, cfg RunConfig, jobs []JobSpec, keepRaw bo
 		h.mu.Unlock()
 		return nil, fmt.Errorf("shard: hub closed")
 	}
+	sub.queueDepth = len(h.active) + len(h.queue)
 	h.queue = append(h.queue, sub)
-	h.cond.Broadcast()
-	n := len(h.queue)
+	h.logf("hub: submission queued (%d jobs, %d entries, %d ahead)", len(jobs), len(cfg.Entries), sub.queueDepth)
+	h.scheduleLocked()
 	h.mu.Unlock()
-	h.logf("hub: submission queued (%d jobs, %d entries, queue depth %d)", len(jobs), len(cfg.Entries), n)
 	return sub, nil
 }
 
-// AddWorker admits a worker connection. If a session is running the
-// worker joins it immediately (late admission); otherwise it waits in
-// the idle pool for the next submission. The hub owns the connection
-// from here on.
+// AddWorker admits a worker connection into the fleet; the scheduler
+// immediately hands it to the neediest session (late admission) or
+// parks it in the idle pool. The hub owns the connection from here on.
 func (h *Hub) AddWorker(name string, rwc io.ReadWriteCloser) error {
 	h.mu.Lock()
 	if h.closed {
@@ -134,29 +175,125 @@ func (h *Hub) AddWorker(name string, rwc io.ReadWriteCloser) error {
 		return fmt.Errorf("shard: hub closed")
 	}
 	w := newWireWorker(name, rwc, h.opts.JobTimeout)
-	active := h.active
-	h.mu.Unlock()
-	h.logf("hub: worker %s registered", name)
-	if active != nil && active.attach(w) {
-		return nil
-	}
-	h.mu.Lock()
 	h.idle = append(h.idle, w)
-	h.cond.Broadcast()
+	h.logf("hub: worker %s registered", name)
+	h.scheduleLocked()
 	h.mu.Unlock()
 	return nil
 }
 
-// release receives workers back from a finishing or churning session:
-// healthy ones return to the idle pool (their end-of-session marker is
-// already in their outbox), lost ones are torn down.
-func (h *Hub) release(w *wireWorker, healthy bool) {
+// fleetLocked is the usable fleet size: idle workers plus every active
+// session's partition. Callers hold h.mu.
+func (h *Hub) fleetLocked() int {
+	n := len(h.idle)
+	for _, as := range h.active {
+		n += len(as.assigned)
+	}
+	return n
+}
+
+// scheduleLocked is the hub's one scheduling step, run under h.mu
+// after every event that can change the plan: a submission arriving, a
+// worker registering, a worker released (handoff, session end, or
+// loss), a session completing. It culls dead idle connections, admits
+// queued submissions while the cap and the floor allow, retargets
+// every active session from planPartitions, and attaches idle workers
+// to sessions under target, oldest first. Sessions over target shed
+// the surplus themselves: their sched target makes workers withdraw at
+// the next job boundary, which re-enters this function via releaseFrom.
+func (h *Hub) scheduleLocked() {
+	if h.closed {
+		return
+	}
+	live := h.idle[:0]
+	for _, w := range h.idle {
+		if w.failed() {
+			// Died while idle; drop it rather than charging a session a
+			// loss for a connection that was already gone. Shutdown of a
+			// failed worker only reaps its loops — do it off the lock.
+			h.logf("hub: worker %s dropped (died while idle)", w.name)
+			go w.shutdown()
+			continue
+		}
+		live = append(live, w)
+	}
+	h.idle = live
+
+	for len(h.queue) > 0 && canAdmit(h.fleetLocked(), len(h.active), h.maxSessions, h.minPer) {
+		sub := h.queue[0]
+		h.queue = h.queue[1:]
+		h.startLocked(sub)
+	}
+
+	targets := planPartitions(h.fleetLocked(), len(h.active), h.minPer)
+	for i, as := range h.active {
+		as.target = targets[i]
+		as.s.sched.setTarget(targets[i])
+	}
+	for i, as := range h.active {
+		for len(as.assigned) < targets[i] && len(h.idle) > 0 {
+			w := h.idle[0]
+			h.idle = h.idle[1:]
+			if !as.s.attach(w) {
+				// The session finished between planning and attach; the
+				// worker stays idle and the completion path reschedules.
+				h.idle = append(h.idle, w)
+				break
+			}
+			as.assigned[w] = true
+			h.logf("hub: worker %s -> session #%d (%d/%d)", w.name, as.seq, len(as.assigned), targets[i])
+		}
+	}
+}
+
+// startLocked promotes one queued submission to an active session.
+// Callers hold h.mu.
+func (h *Hub) startLocked(sub *Submission) {
+	as := &activeSession{sub: sub, seq: h.seq, assigned: make(map[*wireWorker]bool)}
+	h.seq++
+	s, err := newSession(sub.bases, sub.cfg, sub.jobs, sessionOptions{
+		maxAttempts:     h.opts.MaxAttempts,
+		preseed:         h.opts.Preseed,
+		store:           h.opts.Store,
+		storeFlushEvery: h.opts.StoreFlushEvery,
+		elastic:         true,
+		keepRaw:         sub.keepRaw,
+		bytesOnDetach:   true,
+		onJobDone:       h.opts.OnJobDone,
+		onRelease:       func(w *wireWorker, healthy bool) { h.releaseFrom(as, w, healthy) },
+		logf:            h.logf,
+	})
+	if err != nil {
+		// Already validated at Submit, so only payload encoding can
+		// fail here.
+		sub.err = err
+		close(sub.done)
+		return
+	}
+	as.s = s
+	h.active = append(h.active, as)
+	h.closeWG.Add(1)
+	go h.awaitSession(as)
+	h.logf("hub: session #%d started (%d jobs, %d active, %d queued)",
+		as.seq, len(sub.jobs), len(h.active), len(h.queue))
+}
+
+// releaseFrom receives a worker back from one session's partition:
+// healthy ones (session done with it, or a rebalance handoff — the
+// end-of-session marker is already in their outbox) return to the idle
+// pool and the plan re-runs, typically re-admitting the worker into
+// the session that is under target; lost ones are torn down and the
+// shrunken fleet replanned.
+func (h *Hub) releaseFrom(as *activeSession, w *wireWorker, healthy bool) {
+	h.mu.Lock()
+	delete(as.assigned, w)
 	if !healthy {
+		h.scheduleLocked()
+		h.mu.Unlock()
 		w.shutdown()
 		h.logf("hub: worker %s dropped", w.name)
 		return
 	}
-	h.mu.Lock()
 	if h.closed {
 		h.mu.Unlock()
 		w.enqueue(outFrame{msgBye, nil})
@@ -164,80 +301,35 @@ func (h *Hub) release(w *wireWorker, healthy bool) {
 		return
 	}
 	h.idle = append(h.idle, w)
-	h.cond.Broadcast()
+	h.scheduleLocked()
 	h.mu.Unlock()
 }
 
-// loop executes queued submissions one at a time.
-func (h *Hub) loop() {
-	defer close(h.loopDone)
-	for {
-		h.mu.Lock()
-		for len(h.queue) == 0 && !h.closed {
-			h.cond.Wait()
-		}
-		if h.closed {
-			for _, sub := range h.queue {
-				sub.err = fmt.Errorf("shard: hub closed")
-				close(sub.done)
-			}
-			h.queue = nil
-			h.mu.Unlock()
-			return
-		}
-		sub := h.queue[0]
-		h.queue = h.queue[1:]
-		s, err := newSession(sub.bases, sub.cfg, sub.jobs, sessionOptions{
-			maxAttempts:     h.opts.MaxAttempts,
-			preseed:         h.opts.Preseed,
-			store:           h.opts.Store,
-			storeFlushEvery: h.opts.StoreFlushEvery,
-			elastic:         true,
-			keepRaw:         sub.keepRaw,
-			bytesOnDetach:   true,
-			onJobDone:       h.opts.OnJobDone,
-			onRelease:       h.release,
-			logf:            h.logf,
-		})
-		if err != nil {
-			// Already validated at Submit, so only payload encoding can
-			// fail here.
-			sub.err = err
-			close(sub.done)
-			h.mu.Unlock()
-			continue
-		}
-		h.active = s
-		idle := h.idle
-		h.idle = nil
-		h.mu.Unlock()
-
-		h.logf("hub: session started (%d jobs, %d idle workers)", len(sub.jobs), len(idle))
-		for _, w := range idle {
-			if w.failed() {
-				// The worker died while idle; drop it instead of charging
-				// the session a loss for a connection that was already gone.
-				w.shutdown()
-				h.logf("hub: worker %s dropped (died while idle)", w.name)
-				continue
-			}
-			s.attach(w)
-		}
-		results, st, runErr := s.wait()
-
-		h.mu.Lock()
-		h.active = nil
-		h.mu.Unlock()
-
-		sub.results, sub.stats, sub.err = results, st, runErr
-		if sub.keepRaw {
-			s.mu.Lock()
-			sub.raw = s.rawResults
-			s.mu.Unlock()
-		}
-		close(sub.done)
-		h.logf("hub: session finished (err=%v)", runErr)
+// awaitSession resolves one active session's submission when the
+// session finishes, removes it from the active set, and reschedules —
+// freeing its partition for the queue within the same tick.
+func (h *Hub) awaitSession(as *activeSession) {
+	defer h.closeWG.Done()
+	results, st, runErr := as.s.wait()
+	st.QueueDepth = as.sub.queueDepth
+	sub := as.sub
+	sub.results, sub.stats, sub.err = results, st, runErr
+	if sub.keepRaw {
+		as.s.mu.Lock()
+		sub.raw = as.s.rawResults
+		as.s.mu.Unlock()
 	}
+	h.mu.Lock()
+	for i, other := range h.active {
+		if other == as {
+			h.active = append(h.active[:i], h.active[i+1:]...)
+			break
+		}
+	}
+	h.scheduleLocked()
+	h.mu.Unlock()
+	close(sub.done)
+	h.logf("hub: session #%d finished (err=%v)", as.seq, runErr)
 }
 
 // failAttached fails every worker still attached to s, unblocking
@@ -254,31 +346,37 @@ func (s *session) failAttached(err error) {
 	}
 }
 
-// Close shuts the hub down: the active session (if any) aborts, queued
-// submissions resolve with an error, and every worker connection is
-// closed. Close blocks until the scheduler loop has exited.
+// Close shuts the hub down: active sessions abort, queued submissions
+// resolve with an error, and every worker connection is closed. Close
+// blocks until every session waiter has exited.
 func (h *Hub) Close() error {
 	h.mu.Lock()
 	if h.closed {
 		h.mu.Unlock()
-		<-h.loopDone
+		h.closeWG.Wait()
 		return nil
 	}
 	h.closed = true
-	active := h.active
+	active := append([]*activeSession(nil), h.active...)
 	idle := h.idle
 	h.idle = nil
-	h.cond.Broadcast()
+	queued := h.queue
+	h.queue = nil
 	h.mu.Unlock()
-	if active != nil {
-		active.abort(fmt.Errorf("shard: hub closed"))
-		active.failAttached(fmt.Errorf("shard: hub closed"))
+	err := fmt.Errorf("shard: hub closed")
+	for _, sub := range queued {
+		sub.err = err
+		close(sub.done)
+	}
+	for _, as := range active {
+		as.s.abort(err)
+		as.s.failAttached(err)
 	}
 	for _, w := range idle {
 		w.enqueue(outFrame{msgBye, nil})
 		w.shutdown()
 	}
-	<-h.loopDone
+	h.closeWG.Wait()
 	return nil
 }
 

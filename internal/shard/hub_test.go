@@ -25,8 +25,8 @@ func TestSchedPrunesDeadWorkerExclusions(t *testing.T) {
 	s.addWorker(0)
 	s.addWorker(1)
 
-	t0, ok := s.next(0)
-	if !ok {
+	t0, out := s.next(0)
+	if out != nextJob {
 		t.Fatal("no task for worker 0")
 	}
 	s.requeue(t0, 0) // worker 0 failed it
@@ -41,8 +41,8 @@ func TestSchedPrunesDeadWorkerExclusions(t *testing.T) {
 	// A recycled id must start clean: the new worker 0 takes the task
 	// its predecessor failed without blocking.
 	s.addWorker(0)
-	got, ok := s.next(0)
-	if !ok || got == nil {
+	got, out := s.next(0)
+	if out != nextJob || got == nil {
 		t.Fatal("recycled worker id got no task")
 	}
 
@@ -51,8 +51,8 @@ func TestSchedPrunesDeadWorkerExclusions(t *testing.T) {
 	s.requeue(got, 1)
 	s.workerDead(1)
 	s.requeue(got, -1)
-	tt, ok := s.next(0)
-	if !ok {
+	tt, out := s.next(0)
+	if out != nextJob {
 		t.Fatal("task vanished")
 	}
 	if tt.exclude[1] {
@@ -187,6 +187,7 @@ func TestSubmitDoneRoundTrip(t *testing.T) {
 	st := &Stats{
 		BaseSends: 3, BaseBytes: 1000, DeltaRecords: 12, DeltaBytes: 2048,
 		JobSends: 9, Retries: 1, Requeues: 2, WorkerLosses: 1,
+		Handoffs: 2, QueueDepth: 3,
 		BytesSent: 4096, BytesReceived: 8192,
 		CacheRecords: 30, CacheDuplicates: 4,
 		SeedPushes: 5, SeedRecords: 17, SeedBytes: 512,
@@ -228,14 +229,17 @@ func TestSubmitDoneRoundTrip(t *testing.T) {
 // ---- hub sessions ----
 
 // pipeWorker starts an in-process worker (Serve over net.Pipe, no
-// handshake) and registers it with the hub.
-func pipeWorker(t *testing.T, h *Hub, name string, r *fakeRunner) {
+// handshake), registers it with the hub, and returns an idempotent
+// kill closure that crashes its transport.
+func pipeWorker(t *testing.T, h *Hub, name string, r *fakeRunner) func() {
 	t.Helper()
 	hubSide, workerSide := net.Pipe()
 	go Serve(workerSide, r)
 	if err := h.AddWorker(name, hubSide); err != nil {
 		t.Fatal(err)
 	}
+	var once sync.Once
+	return func() { once.Do(func() { workerSide.Close() }) }
 }
 
 func waitFor(t *testing.T, what string, cond func() bool) {

@@ -1,0 +1,84 @@
+package shard
+
+// This file is the hub's partition scheduler: the pure policy deciding
+// how many workers each concurrent session may hold (planPartitions)
+// and when a queued submission may be admitted alongside the running
+// ones (canAdmit). The hub applies a plan by setting each session's
+// sched target and attaching idle workers to sessions under target;
+// surplus workers withdraw themselves at job boundaries (sched.next's
+// nextWithdrawn) and re-enter the idle pool, so a rebalance never
+// interrupts a job and never re-encodes a result — partitioning only
+// changes which worker evaluates, never what is evaluated.
+//
+// Invariants the plan guarantees (and partition_test.go asserts):
+//
+//   - sum(targets) <= fleet: partitions are disjoint — a worker serves
+//     exactly one session at any instant.
+//   - Monotone by queue age: targets[i] >= targets[i+1] when sessions
+//     are ordered oldest-first. Remainder workers (and, under
+//     scarcity, the whole fleet) go to the oldest submissions, which
+//     is the "proportional share by queue age" policy: a submission
+//     never watches a younger one hold more of the fleet.
+//   - No starvation in abundance: with fleet >= sessions (and
+//     minPer == 1), every session's target is >= 1.
+//   - Scarcity concentrates rather than fragments: when
+//     fleet < sessions*minPer, the oldest sessions get minPer each
+//     while the youngest wait at 0 — below the floor a session would
+//     thrash, and an elastic session waiting at 0 is exactly the
+//     empty-fleet wait the session engine already survives. Leftover
+//     workers (fewer than minPer) top up the oldest session instead
+//     of idling.
+
+// planPartitions returns the per-session worker targets for `sessions`
+// active submissions ordered oldest-first, dividing a fleet of `fleet`
+// workers with a floor of minPer workers per session (minPer < 1 is
+// treated as 1). The slice always has len == sessions; entries may be
+// 0 only under scarcity (fleet < sessions*minPer).
+func planPartitions(fleet, sessions, minPer int) []int {
+	if minPer < 1 {
+		minPer = 1
+	}
+	targets := make([]int, sessions)
+	if sessions == 0 || fleet <= 0 {
+		return targets
+	}
+	if fleet >= sessions*minPer {
+		base, extra := fleet/sessions, fleet%sessions
+		for i := range targets {
+			targets[i] = base
+			if i < extra {
+				targets[i]++
+			}
+		}
+		return targets
+	}
+	left := fleet
+	for i := range targets {
+		if left < minPer {
+			break
+		}
+		targets[i] = minPer
+		left -= minPer
+	}
+	targets[0] += left
+	return targets
+}
+
+// canAdmit reports whether a queued submission may start alongside
+// `active` running sessions given `fleet` attached workers, a cap of
+// maxSessions concurrent sessions, and a floor of minPer workers per
+// session. The first submission is always admitted — even with an
+// empty fleet, it waits elastically for the first registration, which
+// preserves the serial hub's submit-before-workers semantics. A later
+// one starts only when the fleet can keep every running session at its
+// floor after the split, so admission never induces the scarcity mode
+// planPartitions has to resolve by starving the youngest.
+func canAdmit(fleet, active, maxSessions, minPer int) bool {
+	if minPer < 1 {
+		minPer = 1
+	}
+	if active >= maxSessions {
+		return false
+	}
+	return active == 0 || fleet >= (active+1)*minPer
+}

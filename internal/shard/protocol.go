@@ -24,8 +24,9 @@ import (
 // with a hello naming their role, clients submit whole sessions
 // (msgSubmit) and receive streamed results, and a worker connection
 // outlives a session (msgEndSession drops per-session state without
-// closing the transport).
-const protocolVersion = 3
+// closing the transport). Version 4 extends the submit-done stats with
+// the partition scheduler's accounting (Handoffs, QueueDepth).
+const protocolVersion = 4
 
 // maxPayload bounds one message; anything larger indicates a framing
 // desync or a hostile peer, not a real sweep artifact.
@@ -916,6 +917,8 @@ func appendStats(b []byte, st *Stats) []byte {
 	b = appendVarint(b, int64(st.Retries))
 	b = appendVarint(b, int64(st.Requeues))
 	b = appendVarint(b, int64(st.WorkerLosses))
+	b = appendVarint(b, int64(st.Handoffs))
+	b = appendVarint(b, int64(st.QueueDepth))
 	b = appendVarint(b, st.BytesSent)
 	b = appendVarint(b, st.BytesReceived)
 	b = appendVarint(b, int64(st.CacheRecords))
@@ -958,6 +961,8 @@ func decodeStats(d *dec) (*Stats, error) {
 	st.Retries = int(d.varint("retries"))
 	st.Requeues = int(d.varint("requeues"))
 	st.WorkerLosses = int(d.varint("worker losses"))
+	st.Handoffs = int(d.varint("handoffs"))
+	st.QueueDepth = int(d.varint("queue depth"))
 	st.BytesSent = d.varint("bytes sent")
 	st.BytesReceived = d.varint("bytes received")
 	st.CacheRecords = int(d.varint("cache records"))

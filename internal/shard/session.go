@@ -588,8 +588,20 @@ func (s *session) drive(sw *sessionWorker) {
 	defer s.driveWG.Done()
 	w := sw.w
 	for {
-		t, ok := s.sched.next(sw.id)
-		if !ok {
+		t, out := s.sched.next(sw.id)
+		if out != nextJob {
+			if out == nextWithdrawn {
+				// Rebalance handoff: the partition target shrank and this
+				// worker — idle at a job boundary — is donated back to the
+				// hub, which re-admits it into the session that needed it.
+				// The release path below is identical to session end
+				// (msgEndSession, then the hub's pool), so the recipient's
+				// attach gives it a full warm-start preamble.
+				s.mu.Lock()
+				s.st.Handoffs++
+				s.mu.Unlock()
+				s.logf("shard: worker %s withdrawn for rebalancing", w.name)
+			}
 			s.release(sw)
 			return
 		}

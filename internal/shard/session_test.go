@@ -2,6 +2,7 @@ package shard
 
 import (
 	"io"
+	"net"
 	"sync"
 	"testing"
 
@@ -198,4 +199,131 @@ func TestPreseedRecoversDuplicates(t *testing.T) {
 	if on.CacheDuplicates >= off.CacheDuplicates {
 		t.Fatalf("preseeding did not lower duplicates: on=%d off=%d", on.CacheDuplicates, off.CacheDuplicates)
 	}
+}
+
+// ---- partition withdrawal (sched + session) ----
+
+// TestSchedWithdrawalPrunesExclusions is the focused unit test over
+// the withdrawal path's exclusion-set pruning: a worker that withdraws
+// for rebalancing must scrub its id from every queued task's exclusion
+// set — exactly like a death — so a recycled id does not inherit its
+// predecessor's exclusions, and a completed schedule must end the
+// session (nextDone) before any withdrawal fires.
+func TestSchedWithdrawalPrunesExclusions(t *testing.T) {
+	s := newSched(testJobs(3))
+	s.addWorker(0)
+	s.addWorker(1)
+
+	t0, out := s.next(0)
+	if out != nextJob || t0 == nil {
+		t.Fatal("worker 0 got no task")
+	}
+	s.requeue(t0, 0) // worker 0 failed it: queued with worker 0 excluded
+	if !t0.exclude[0] {
+		t.Fatal("requeue did not record the exclusion")
+	}
+
+	// Shrinking the target below the live count turns worker 0's next
+	// pull into a withdrawal, not a job.
+	s.setTarget(1)
+	if tk, out := s.next(0); out != nextWithdrawn || tk != nil {
+		t.Fatalf("surplus worker pulled (%v, %d), want a withdrawal", tk, out)
+	}
+	if t0.exclude[0] {
+		t.Fatal("withdrawal left the worker's exclusion on a queued task")
+	}
+
+	// The hub re-admits donated workers as fresh sessionWorkers, but the
+	// sched must tolerate a recycled id regardless: readmitted worker 0
+	// may take the very task its predecessor failed.
+	s.setTarget(2)
+	s.addWorker(0)
+	if got, out := s.next(0); out != nextJob || got == nil {
+		t.Fatalf("readmitted worker got (%v, %d), want a job", got, out)
+	}
+
+	// An exhausted schedule ends the session even under a zero target:
+	// nextDone outranks nextWithdrawn.
+	for i := 0; i < 3; i++ {
+		s.complete()
+	}
+	s.setTarget(0)
+	if _, out := s.next(1); out != nextDone {
+		t.Fatalf("completed schedule returned outcome %d, want session end", out)
+	}
+}
+
+// TestSessionEmptyPartitionWaits covers the empty-partition wait path
+// the same way the empty-fleet wait is covered: an elastic session
+// whose partition target drops to zero releases its worker (which
+// withdraws at a job boundary, never mid-job) and then waits with jobs
+// outstanding instead of failing; raising the target and re-admitting
+// the same connection replays the full warm-start preamble and the
+// session completes byte-identically, with the handoff on the books.
+func TestSessionEmptyPartitionWaits(t *testing.T) {
+	base := testAIG(45)
+	cfg := testConfig()
+	jobs := testJobs(4)
+	want := reference(t, base, cfg, jobs)
+
+	released := make(chan *wireWorker, 2)
+	s, err := newSession([]*aig.AIG{base}, cfg, jobs, sessionOptions{
+		elastic: true,
+		onRelease: func(w *wireWorker, healthy bool) {
+			if healthy {
+				released <- w
+			}
+		},
+		logf: t.Logf,
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+
+	r := newFakeRunner()
+	hubSide, workerSide := net.Pipe()
+	go Serve(workerSide, r)
+	w := newWireWorker("w0", hubSide, 0)
+	if !s.attach(w) {
+		t.Fatal("attach failed")
+	}
+
+	// Empty the partition: the worker must come back through the
+	// release path with the session still unresolved.
+	s.sched.setTarget(0)
+	ww := <-released
+	if ww != w {
+		t.Fatal("released a worker that was never attached")
+	}
+	select {
+	case <-s.done:
+		t.Fatal("session resolved with an empty partition and jobs outstanding")
+	default:
+	}
+
+	// Rebalance back: target first, then re-admission — the hub's
+	// scheduleLocked does the same — so the returning worker is not
+	// immediately withdrawn again.
+	s.sched.setTarget(1)
+	if !s.attach(w) {
+		t.Fatal("re-admission failed")
+	}
+	results, st, err := s.wait()
+	if err != nil {
+		t.Fatal(err)
+	}
+	for i := range want {
+		if err := sameResult(results[i].Result, want[i].Result); err != nil {
+			t.Fatalf("job %d after empty-partition wait: %v", i, err)
+		}
+	}
+	if st.Handoffs != 1 {
+		t.Fatalf("handoffs = %d, want 1", st.Handoffs)
+	}
+	// Two admissions of the same connection: the preamble went out both
+	// times (the worker dropped its per-session state at msgEndSession).
+	if st.BaseSends != 2 || len(st.Workers) != 2 {
+		t.Fatalf("base sends %d / worker records %d, want 2/2 (full warm-start replay on re-admission)", st.BaseSends, len(st.Workers))
+	}
+	w.shutdown()
 }
