@@ -370,6 +370,41 @@ func BenchmarkIncrementalEval(b *testing.B) {
 	}
 }
 
+// BenchmarkSignoffEval measures one pooled full signoff evaluation of
+// EX08 at several intra-evaluation lane counts (concurrent dual-effort
+// mapping, level-parallel cut enumeration, per-corner STA). Results are
+// bit-identical at every lane count — the parallel_test differential
+// suite proves it — so this benchmark is purely about latency, and
+// about the steady state staying allocation-free.
+func BenchmarkSignoffEval(b *testing.B) {
+	designs, _, _ := fixtures(b)
+	g := designs["EX08"]
+	lib := cell.Builtin()
+	for _, par := range []int{1, 2, 4, 8} {
+		b.Run("par-"+itoa(par), func(b *testing.B) {
+			pool := signoff.NewPoolParallel(par)
+			defer pool.Close()
+			// Warm to the zero-allocation steady state before timing.
+			for i := 0; i < 2; i++ {
+				_, st, err := pool.EvaluateState(g, lib)
+				if err != nil {
+					b.Fatal(err)
+				}
+				st.Release()
+			}
+			b.ReportAllocs()
+			b.ResetTimer()
+			for i := 0; i < b.N; i++ {
+				_, st, err := pool.EvaluateState(g, lib)
+				if err != nil {
+					b.Fatal(err)
+				}
+				st.Release()
+			}
+		})
+	}
+}
+
 // BenchmarkAblation covers the design choices called out in DESIGN.md.
 func BenchmarkAblation(b *testing.B) {
 	designs, _, _ := fixtures(b)

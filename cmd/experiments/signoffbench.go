@@ -1,0 +1,273 @@
+package main
+
+import (
+	"encoding/json"
+	"fmt"
+	"math/rand"
+	"os"
+	"runtime"
+	"time"
+
+	"aigtimer/internal/aig"
+	"aigtimer/internal/anneal"
+	"aigtimer/internal/bench"
+	"aigtimer/internal/cell"
+	"aigtimer/internal/flows"
+	"aigtimer/internal/signoff"
+	"aigtimer/internal/transform"
+)
+
+// signoffBenchRow is one measured (GOMAXPROCS, parallelism) cell of the
+// intra-evaluation parallelism grid: the latency of a single full
+// signoff evaluation and of a single incremental (delta) re-evaluation,
+// with speedups relative to the parallelism-1 cell at the same
+// GOMAXPROCS.
+type signoffBenchRow struct {
+	GOMAXPROCS   int     `json:"gomaxprocs"`
+	Parallelism  int     `json:"parallelism"`
+	FullEvalUS   float64 `json:"full_eval_us"`
+	DeltaEvalUS  float64 `json:"delta_eval_us"`
+	SpeedupFull  float64 `json:"speedup_full_over_par1"`
+	SpeedupDelta float64 `json:"speedup_delta_over_par1"`
+}
+
+// signoffBenchReport is the BENCH_signoff.json artifact: the latency
+// grid plus the fixed-seed annealer trajectory check proving the lane
+// count changes no bits. NumCPU records the measuring machine's real
+// core count — on a single-core box every speedup is honestly ~1x and
+// the grid only demonstrates that parallelism does not hurt, so readers
+// (and the delta tooling) must interpret the rows against it.
+type signoffBenchReport struct {
+	Design              string            `json:"design"`
+	NumCPU              int               `json:"num_cpu"`
+	Seed                int64             `json:"seed"`
+	Iterations          int               `json:"iterations"`
+	Rows                []signoffBenchRow `json:"rows"`
+	TrajectoryIdentical bool              `json:"trajectory_identical"`
+	BestCost            float64           `json:"best_cost"`
+}
+
+// signoffBenchReps bounds the timed repetitions per grid cell.
+const signoffBenchReps = 24
+
+// runBenchSignoff measures single-evaluation latency of the signoff
+// pipeline across GOMAXPROCS {1,2,8} x parallelism {1,2,4,8} on EX08,
+// asserting at every cell that the parallel result is bit-identical to
+// the sequential pipeline's, then runs the fixed-seed annealer at lane
+// counts 1 and 4 and asserts the trajectories are byte-identical. The
+// grid rows land in BENCH_signoff.json and (with -append) in the perf
+// trajectory as the first gomaxprocs>1 records.
+func runBenchSignoff(cfg config) error {
+	d, err := bench.ByName("EX08")
+	if err != nil {
+		return err
+	}
+	g := d.Build()
+	lib := cell.Builtin()
+
+	// Sequential reference once; every grid cell must reproduce it.
+	refFull, err := signoff.Evaluate(g, lib)
+	if err != nil {
+		return err
+	}
+	// Delta workload: tracked transform moves against g, with the
+	// sequential pooled path as the per-candidate reference.
+	rng := rand.New(rand.NewSource(cfg.seed))
+	recipes := transform.Recipes()
+	type cand struct {
+		next *aig.AIG
+		d    *aig.Delta
+		ref  signoff.Result
+	}
+	seqPool := signoff.NewPool()
+	_, seqAnchor, err := seqPool.EvaluateState(g, lib)
+	if err != nil {
+		return err
+	}
+	cands := make([]cand, 16)
+	for i := range cands {
+		next, dl := recipes[i%len(recipes)].ApplyTracked(g, rng)
+		r, st, err := seqAnchor.EvaluateDelta(next, dl)
+		if err != nil {
+			return fmt.Errorf("bench-signoff: sequential delta reference %d: %w", i, err)
+		}
+		st.Release()
+		cands[i] = cand{next: next, d: dl, ref: r}
+	}
+
+	report := signoffBenchReport{
+		Design: d.Name, NumCPU: runtime.NumCPU(),
+		Seed: cfg.seed, Iterations: cfg.saIters,
+	}
+	prevProcs := runtime.GOMAXPROCS(0)
+	defer runtime.GOMAXPROCS(prevProcs)
+	fmt.Printf("single-evaluation latency on %s (%d CPU core(s) available):\n", d.Name, report.NumCPU)
+	fmt.Println("  gomaxprocs  par   full eval      delta eval    speedup(full)  speedup(delta)")
+	for _, gmp := range []int{1, 2, 8} {
+		runtime.GOMAXPROCS(gmp)
+		var base signoffBenchRow
+		for _, par := range []int{1, 2, 4, 8} {
+			pool := signoff.NewPoolParallel(par)
+			// Warm: the zero-allocation steady state is what we time.
+			for i := 0; i < 2; i++ {
+				r, st, err := pool.EvaluateState(g, lib)
+				if err != nil {
+					return fmt.Errorf("bench-signoff: gomaxprocs=%d par=%d: %w", gmp, par, err)
+				}
+				if r.DelayPS != refFull.DelayPS || r.AreaUM2 != refFull.AreaUM2 || r.Corner != refFull.Corner {
+					return fmt.Errorf("bench-signoff: gomaxprocs=%d par=%d: full result diverged from sequential", gmp, par)
+				}
+				st.Release()
+			}
+			t0 := time.Now()
+			for i := 0; i < signoffBenchReps; i++ {
+				_, st, err := pool.EvaluateState(g, lib)
+				if err != nil {
+					return err
+				}
+				st.Release()
+			}
+			fullUS := float64(time.Since(t0).Microseconds()) / signoffBenchReps
+
+			_, anchor, err := pool.EvaluateState(g, lib)
+			if err != nil {
+				return err
+			}
+			for _, c := range cands { // warm + bit-identity per candidate
+				r, st, err := anchor.EvaluateDelta(c.next, c.d)
+				if err != nil {
+					return fmt.Errorf("bench-signoff: gomaxprocs=%d par=%d delta: %w", gmp, par, err)
+				}
+				if r.DelayPS != c.ref.DelayPS || r.AreaUM2 != c.ref.AreaUM2 || r.Corner != c.ref.Corner {
+					return fmt.Errorf("bench-signoff: gomaxprocs=%d par=%d: delta result diverged from sequential", gmp, par)
+				}
+				st.Release()
+			}
+			t0 = time.Now()
+			for i := 0; i < signoffBenchReps; i++ {
+				_, st, err := anchor.EvaluateDelta(cands[i%len(cands)].next, cands[i%len(cands)].d)
+				if err != nil {
+					return err
+				}
+				st.Release()
+			}
+			deltaUS := float64(time.Since(t0).Microseconds()) / signoffBenchReps
+			anchor.Release()
+			pool.Close()
+
+			row := signoffBenchRow{
+				GOMAXPROCS: gmp, Parallelism: par,
+				FullEvalUS: fullUS, DeltaEvalUS: deltaUS,
+			}
+			if par == 1 {
+				base = row
+				row.SpeedupFull, row.SpeedupDelta = 1, 1
+			} else {
+				row.SpeedupFull = base.FullEvalUS / fullUS
+				row.SpeedupDelta = base.DeltaEvalUS / deltaUS
+			}
+			report.Rows = append(report.Rows, row)
+			fmt.Printf("  %10d  %3d  %8.0f us   %8.0f us   %10.2fx   %10.2fx\n",
+				gmp, par, row.FullEvalUS, row.DeltaEvalUS, row.SpeedupFull, row.SpeedupDelta)
+		}
+	}
+	runtime.GOMAXPROCS(prevProcs)
+
+	// Fixed-seed annealer at lane counts 1 and 4: the knob must change
+	// cost only, never a bit of the trajectory.
+	base := anneal.Params{
+		Iterations:  cfg.saIters,
+		StartTemp:   0.05,
+		DecayRate:   0.97,
+		DelayWeight: 1,
+		AreaWeight:  0.5,
+		Seed:        cfg.seed,
+		BatchSize:   anneal.EffectiveBatchSize(0),
+		CacheMode:   anneal.CacheOn,
+	}
+	var runs []*anneal.Result
+	for _, par := range []int{1, 4} {
+		gt := flows.NewGroundTruth(lib)
+		gt.Parallelism = par
+		res, err := anneal.Run(g, gt, base)
+		gt.Close()
+		if err != nil {
+			return fmt.Errorf("bench-signoff: anneal par=%d: %w", par, err)
+		}
+		runs = append(runs, res)
+	}
+	report.TrajectoryIdentical = sameTrajectory(runs[0], runs[1])
+	report.BestCost = runs[0].BestCost
+	fmt.Printf("fixed-seed anneal (%d iters): best cost %.16f at par 1 and 4; trajectories identical: %v\n",
+		base.Iterations, report.BestCost, report.TrajectoryIdentical)
+	if !report.TrajectoryIdentical {
+		return fmt.Errorf("bench-signoff: trajectories diverged between parallelism 1 and 4")
+	}
+	if report.NumCPU == 1 {
+		fmt.Println("note: 1 CPU core — speedups reflect scheduling overhead only; multi-core runners demonstrate the scaling")
+	}
+
+	out, err := json.MarshalIndent(report, "", "  ")
+	if err != nil {
+		return err
+	}
+	dir := cfg.outDir
+	if dir == "" {
+		dir = "."
+	}
+	if err := os.MkdirAll(dir, 0o755); err != nil {
+		return err
+	}
+	path := dir + "/BENCH_signoff.json"
+	if err := os.WriteFile(path, append(out, '\n'), 0o644); err != nil {
+		return err
+	}
+	fmt.Printf("(wrote %s)\n", path)
+	if cfg.append != "" {
+		if err := appendSignoffTrajectory(cfg.append, report); err != nil {
+			return err
+		}
+		fmt.Printf("(appended to %s)\n", cfg.append)
+	}
+	return nil
+}
+
+// appendSignoffTrajectory appends one compact JSONL record per grid
+// cell, reusing the anneal trajectory schema: EvalSeconds carries the
+// single full-evaluation latency, ItersPerSec its reciprocal (full
+// evaluations per second), Speedup the within-GOMAXPROCS gain over
+// parallelism 1, and BestCost the fixed-seed anneal check's cost — the
+// cross-PR bit-identity anchor.
+func appendSignoffTrajectory(path string, report signoffBenchReport) error {
+	f, err := os.OpenFile(path, os.O_APPEND|os.O_CREATE|os.O_WRONLY, 0o644)
+	if err != nil {
+		return err
+	}
+	defer f.Close()
+	date := time.Now().UTC().Format("2006-01-02")
+	enc := json.NewEncoder(f)
+	for _, row := range report.Rows {
+		fullSec := row.FullEvalUS / 1e6
+		rec := trajectoryRecord{
+			Date:       date,
+			Design:     report.Design,
+			Iterations: report.Iterations,
+			GOMAXPROCS: row.GOMAXPROCS,
+			Config:     fmt.Sprintf("signoff-par%d", row.Parallelism),
+			ItersPerSec: func() float64 {
+				if fullSec <= 0 {
+					return 0
+				}
+				return 1 / fullSec
+			}(),
+			EvalSeconds: fullSec,
+			MoveSeconds: row.DeltaEvalUS / 1e6,
+			Speedup:     row.SpeedupFull,
+			BestCost:    report.BestCost,
+		}
+		if err := enc.Encode(rec); err != nil {
+			return err
+		}
+	}
+	return nil
+}

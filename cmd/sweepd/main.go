@@ -151,6 +151,14 @@ type crashableRunner struct {
 	verbose bool
 }
 
+func (r *crashableRunner) Configure(cfg shard.RunConfig) error {
+	if r.verbose {
+		log.Printf("session config: %d entries, batch=%d workers=%d eval-parallelism=%d",
+			len(cfg.Entries), cfg.Base.BatchSize, cfg.Base.Workers, cfg.Base.Parallelism)
+	}
+	return r.Runner.Configure(cfg)
+}
+
 func (r *crashableRunner) Run(base *aig.AIG, job shard.JobSpec) (*shard.WorkResult, error) {
 	if n := r.jobs.Add(1); r.max > 0 && n > int64(r.max) {
 		log.Printf("reached -max-jobs %d, crashing with job %d in flight", r.max, job.Index)

@@ -1,0 +1,130 @@
+// Package crew provides a small pool of persistent worker goroutines
+// for deterministic fork-join parallelism inside one evaluation.
+//
+// A Crew owns a fixed number of lanes. Run(n, r) executes tasks
+// 0..n-1 by static block partitioning: lane l runs exactly the
+// contiguous range [l*n/lanes, (l+1)*n/lanes), the calling goroutine
+// participates as lane 0, and Run returns only when every task has
+// finished. The partition is a pure function of (n, lanes), so the
+// lane that executes a given task — and with it any per-lane retained
+// storage the task touches — is deterministic run to run. That is the
+// property the signoff evaluation pipeline builds on: per-lane arenas
+// reach a steady high-water mark and then serve every subsequent
+// evaluation allocation-free, which dynamic work stealing would break.
+//
+// Workers park on a channel between calls, so a Run costs two
+// synchronizations per extra lane and no goroutine creation; Run
+// itself performs no heap allocations. A Crew serves one Run at a
+// time (calls must not overlap), but different Crews are independent,
+// so concurrent evaluations each hold their own.
+package crew
+
+import (
+	"runtime"
+	"sync"
+)
+
+// Runner is one fork-join workload. Do is called exactly once per task
+// index in 0..n-1; task order within a lane is ascending, and tasks of
+// different lanes run concurrently, so Do must only touch shared state
+// that is safe under that partition (per-task slots, per-lane scratch,
+// read-only inputs).
+type Runner interface {
+	Do(task, lane int)
+}
+
+// Crew is a reusable set of worker lanes; see the package comment.
+// Create with New, release with Close.
+type Crew struct {
+	lanes   int
+	sh      *shared
+	cleanup runtime.Cleanup
+}
+
+// shared is the dispatch state the workers retain. It deliberately
+// does not reference the Crew, so an abandoned Crew becomes
+// unreachable and its GC cleanup can stop the workers (a safety net —
+// owners should still Close explicitly).
+type shared struct {
+	r    Runner
+	n    int
+	wake []chan struct{}
+	done sync.WaitGroup
+	quit chan struct{}
+}
+
+// New starts a crew with the given number of lanes (>= 2: lane 0 is
+// the caller, so a one-lane crew would be a plain loop).
+func New(lanes int) *Crew {
+	if lanes < 2 {
+		panic("crew: need at least 2 lanes")
+	}
+	sh := &shared{
+		wake: make([]chan struct{}, lanes-1),
+		quit: make(chan struct{}),
+	}
+	for i := range sh.wake {
+		sh.wake[i] = make(chan struct{}, 1)
+		go worker(sh, i+1)
+	}
+	c := &Crew{lanes: lanes, sh: sh}
+	c.cleanup = runtime.AddCleanup(c, func(quit chan struct{}) { close(quit) }, sh.quit)
+	return c
+}
+
+// Lanes returns the number of lanes, including the caller's lane 0.
+func (c *Crew) Lanes() int { return c.lanes }
+
+// block is the static partition: lane l's task range for n tasks.
+func block(n, lanes, lane int) (lo, hi int) {
+	return lane * n / lanes, (lane + 1) * n / lanes
+}
+
+// worker parks until woken, runs its lane's block, and reports done.
+// The channel receive orders the reads of sh.r and sh.n after Run's
+// writes; done.Done orders the lane's effects before Run's return.
+func worker(sh *shared, lane int) {
+	lanes := len(sh.wake) + 1
+	for {
+		select {
+		case <-sh.quit:
+			return
+		case <-sh.wake[lane-1]:
+			lo, hi := block(sh.n, lanes, lane)
+			for t := lo; t < hi; t++ {
+				sh.r.Do(t, lane)
+			}
+			sh.done.Done()
+		}
+	}
+}
+
+// Run executes tasks 0..n-1 across all lanes and returns when every
+// task has finished. The caller's goroutine runs lane 0's block. Run
+// must not be called concurrently on one Crew, and r.Do must not call
+// back into the same Crew.
+func (c *Crew) Run(n int, r Runner) {
+	sh := c.sh
+	sh.r, sh.n = r, n
+	sh.done.Add(len(sh.wake))
+	for _, w := range sh.wake {
+		w <- struct{}{}
+	}
+	lo, hi := block(n, c.lanes, 0)
+	for t := lo; t < hi; t++ {
+		r.Do(t, 0)
+	}
+	sh.done.Wait()
+	sh.r = nil
+}
+
+// Close stops the worker goroutines. The crew must be idle (no Run in
+// flight); Close is idempotent.
+func (c *Crew) Close() {
+	if c.sh == nil {
+		return
+	}
+	c.cleanup.Stop()
+	close(c.sh.quit)
+	c.sh = nil
+}

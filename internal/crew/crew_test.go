@@ -1,0 +1,114 @@
+package crew
+
+import (
+	"sync/atomic"
+	"testing"
+)
+
+// countRunner records which lane ran each task and bumps a counter.
+type countRunner struct {
+	lanes []int32
+	runs  atomic.Int64
+}
+
+func (r *countRunner) Do(task, lane int) {
+	r.lanes[task] = int32(lane)
+	r.runs.Add(1)
+}
+
+func TestRunCoversEveryTaskOnce(t *testing.T) {
+	for _, lanes := range []int{2, 3, 8} {
+		c := New(lanes)
+		for _, n := range []int{0, 1, lanes - 1, lanes, 57, 256} {
+			r := &countRunner{lanes: make([]int32, n)}
+			for i := range r.lanes {
+				r.lanes[i] = -1
+			}
+			c.Run(n, r)
+			if got := r.runs.Load(); got != int64(n) {
+				t.Fatalf("lanes=%d n=%d: %d Do calls, want %d", lanes, n, got, n)
+			}
+			for task, lane := range r.lanes {
+				if lane < 0 || int(lane) >= lanes {
+					t.Fatalf("lanes=%d n=%d: task %d ran on lane %d", lanes, n, task, lane)
+				}
+			}
+		}
+		c.Close()
+	}
+}
+
+func TestPartitionDeterministicAndContiguous(t *testing.T) {
+	c := New(4)
+	defer c.Close()
+	const n = 97
+	first := make([]int32, n)
+	r := &countRunner{lanes: first}
+	c.Run(n, r)
+	// Lane assignment must match the documented block formula and be
+	// identical on every subsequent Run.
+	for task := 0; task < n; task++ {
+		want := int32(-1)
+		for lane := 0; lane < 4; lane++ {
+			if lo, hi := block(n, 4, lane); task >= lo && task < hi {
+				want = int32(lane)
+			}
+		}
+		if first[task] != want {
+			t.Fatalf("task %d on lane %d, want %d", task, first[task], want)
+		}
+	}
+	for rep := 0; rep < 10; rep++ {
+		again := &countRunner{lanes: make([]int32, n)}
+		c.Run(n, again)
+		for task := range first {
+			if again.lanes[task] != first[task] {
+				t.Fatalf("rep %d: task %d moved from lane %d to %d",
+					rep, task, first[task], again.lanes[task])
+			}
+		}
+	}
+}
+
+func TestBlocksPartitionRange(t *testing.T) {
+	for _, lanes := range []int{2, 3, 5, 8} {
+		for n := 0; n <= 3*lanes+1; n++ {
+			next := 0
+			for lane := 0; lane < lanes; lane++ {
+				lo, hi := block(n, lanes, lane)
+				if lo != next || hi < lo {
+					t.Fatalf("lanes=%d n=%d lane=%d: block [%d,%d) after %d", lanes, n, lane, lo, hi, next)
+				}
+				next = hi
+			}
+			if next != n {
+				t.Fatalf("lanes=%d n=%d: blocks cover [0,%d), want [0,%d)", lanes, n, next, n)
+			}
+		}
+	}
+}
+
+func TestRunZeroAllocs(t *testing.T) {
+	c := New(4)
+	defer c.Close()
+	r := &countRunner{lanes: make([]int32, 64)}
+	c.Run(64, r) // warm
+	if avg := testing.AllocsPerRun(100, func() { c.Run(64, r) }); avg != 0 {
+		t.Fatalf("Run allocates %v per call, want 0", avg)
+	}
+}
+
+func TestCloseIdempotent(t *testing.T) {
+	c := New(2)
+	c.Close()
+	c.Close()
+}
+
+func TestNewRejectsSingleLane(t *testing.T) {
+	defer func() {
+		if recover() == nil {
+			t.Fatal("New(1) did not panic")
+		}
+	}()
+	New(1)
+}

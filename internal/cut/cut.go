@@ -93,7 +93,7 @@ func (a *Arena) allocCuts(n int) []Cut {
 		}
 		blk := a.cutBlocks[a.cutActive]
 		if cap(blk)-len(blk) >= n {
-			s := blk[len(blk):len(blk):len(blk)+n]
+			s := blk[len(blk) : len(blk) : len(blk)+n]
 			a.cutBlocks[a.cutActive] = blk[: len(blk)+n : cap(blk)]
 			return s
 		}
@@ -113,7 +113,7 @@ func (a *Arena) allocLeaves(n int) []int32 {
 		}
 		blk := a.leafBlocks[a.leafActive]
 		if cap(blk)-len(blk) >= n {
-			s := blk[len(blk):len(blk):len(blk)+n]
+			s := blk[len(blk) : len(blk) : len(blk)+n]
 			a.leafBlocks[a.leafActive] = blk[: len(blk)+n : cap(blk)]
 			return s
 		}
@@ -187,7 +187,7 @@ func (s *Scratch) ensureCand(n int) {
 func (s *Scratch) candSlot() []int32 {
 	n := len(s.candLeaves)
 	s.candLeaves = s.candLeaves[:n+4]
-	return s.candLeaves[n:n:n+4]
+	return s.candLeaves[n : n : n+4]
 }
 
 // trivialTable is the projection of a single leaf: variable 0 padded to
@@ -311,6 +311,29 @@ func EnumerateDual(g *aig.AIG, pLow, pHigh Params) (low, high [][]Cut) {
 // kept lists are written into low and high (each of length g.NumNodes())
 // with all retained slices carved from a; see EnumerateArena.
 func EnumerateDualArena(g *aig.AIG, pLow, pHigh Params, low, high [][]Cut, a *Arena, s *Scratch) {
+	if cap(s.isPrefix) < g.NumNodes() {
+		s.isPrefix = make([]bool, g.NumNodes())
+	}
+	isPrefix := s.isPrefix[:g.NumNodes()]
+	SeedDual(g, pLow, pHigh, low, high, isPrefix, a)
+	for i := int(g.FirstAnd()); i < g.NumNodes(); i++ {
+		DualNode(g, pLow, pHigh, low, high, isPrefix, int32(i), a, s)
+	}
+}
+
+// SeedDual validates a dual-enumeration parameter pair and seeds the
+// base case: the constant node's and the PIs' entries of both lists
+// (leaf storage from a) plus the corresponding isPrefix entries.
+// isPrefix[n] records that low[n] minus its trivial cut is a prefix of
+// high[n] — true for almost every node (both filters walk the same
+// sorted candidates, the low one just stops earlier), and the ticket to
+// building a node's tagged fanin union without any leaf scanning; PIs
+// and the constant hold trivially (identical single-cut lists). low,
+// high, and isPrefix must all have length g.NumNodes(). SeedDual plus a
+// DualNode call per AND node in any fanin-cone-respecting order is
+// exactly EnumerateDualArena; callers that level-parallelize the node
+// loop use these pieces directly.
+func SeedDual(g *aig.AIG, pLow, pHigh Params, low, high [][]Cut, isPrefix []bool, a *Arena) {
 	if pLow.K != pHigh.K {
 		panic("cut: EnumerateDual requires equal K")
 	}
@@ -322,53 +345,50 @@ func EnumerateDualArena(g *aig.AIG, pLow, pHigh Params, low, high [][]Cut, a *Ar
 	}
 	Seed(g, low, a)
 	Seed(g, high, a)
-	// isPrefix[n] records that low[n] minus its trivial cut is a prefix
-	// of high[n] — true for almost every node (both filters walk the
-	// same sorted candidates, the low one just stops earlier), and the
-	// ticket to building the tagged union without any leaf scanning.
-	// PIs and the constant hold trivially (identical single-cut lists).
-	if cap(s.isPrefix) < g.NumNodes() {
-		s.isPrefix = make([]bool, g.NumNodes())
-	}
-	isPrefix := s.isPrefix[:g.NumNodes()]
 	for i := range isPrefix {
 		isPrefix[i] = i < int(g.FirstAnd())
 	}
-	for i := int(g.FirstAnd()); i < g.NumNodes(); i++ {
-		n := int32(i)
-		f0, f1 := g.Fanins(n)
-		s.u0 = unionCuts(low[f0.Node()], high[f0.Node()], isPrefix[f0.Node()], s.u0[:0])
-		s.u1 = unionCuts(low[f1.Node()], high[f1.Node()], isPrefix[f1.Node()], s.u1[:0])
-		s.ensureCand(len(s.u0) * len(s.u1))
-		s.poolLow, s.poolHigh = s.poolLow[:0], s.poolHigh[:0]
-		for _, ta := range s.u0 {
-			for _, tb := range s.u1 {
-				toLow := ta.inLow && tb.inLow
-				toHigh := ta.inHigh && tb.inHigh
-				if !toLow && !toHigh {
-					continue
-				}
-				leaves, ok := mergeLeaves(ta.c.Leaves, tb.c.Leaves, pLow.K, s.candSlot())
-				if !ok {
-					continue
-				}
-				c := Cut{Leaves: leaves, Table: mergeTables(ta.c, tb.c, leaves, f0.IsCompl(), f1.IsCompl())}
-				if toLow {
-					s.poolLow = append(s.poolLow, c)
-				}
-				if toHigh {
-					s.poolHigh = append(s.poolHigh, c)
-				}
+}
+
+// DualNode runs the dual-budget merge for one AND node n, reading only
+// the fanins' entries of low/high/isPrefix and writing only node n's.
+// Kept cuts go to a, working buffers come from s. Calls for nodes with
+// disjoint fanin cones are independent as long as each caller owns its
+// own a and s, which is what lets a level of the graph be enumerated in
+// parallel with results identical to the sequential loop.
+func DualNode(g *aig.AIG, pLow, pHigh Params, low, high [][]Cut, isPrefix []bool, n int32, a *Arena, s *Scratch) {
+	f0, f1 := g.Fanins(n)
+	s.u0 = unionCuts(low[f0.Node()], high[f0.Node()], isPrefix[f0.Node()], s.u0[:0])
+	s.u1 = unionCuts(low[f1.Node()], high[f1.Node()], isPrefix[f1.Node()], s.u1[:0])
+	s.ensureCand(len(s.u0) * len(s.u1))
+	s.poolLow, s.poolHigh = s.poolLow[:0], s.poolHigh[:0]
+	for _, ta := range s.u0 {
+		for _, tb := range s.u1 {
+			toLow := ta.inLow && tb.inLow
+			toHigh := ta.inHigh && tb.inHigh
+			if !toLow && !toHigh {
+				continue
+			}
+			leaves, ok := mergeLeaves(ta.c.Leaves, tb.c.Leaves, pLow.K, s.candSlot())
+			if !ok {
+				continue
+			}
+			c := Cut{Leaves: leaves, Table: mergeTables(ta.c, tb.c, leaves, f0.IsCompl(), f1.IsCompl())}
+			if toLow {
+				s.poolLow = append(s.poolLow, c)
+			}
+			if toHigh {
+				s.poolHigh = append(s.poolHigh, c)
 			}
 		}
-		kl := filter(s.poolLow, pLow.MaxCuts, s.keep[:0])
-		s.keep = kl
-		low[n] = a.copyKept(kl, n)
-		kh := filter(s.poolHigh, pHigh.MaxCuts, s.keep[:0])
-		s.keep = kh
-		high[n] = a.copyKept(kh, n)
-		isPrefix[n] = cutsArePrefix(low[n], high[n])
 	}
+	kl := filter(s.poolLow, pLow.MaxCuts, s.keep[:0])
+	s.keep = kl
+	low[n] = a.copyKept(kl, n)
+	kh := filter(s.poolHigh, pHigh.MaxCuts, s.keep[:0])
+	s.keep = kh
+	high[n] = a.copyKept(kh, n)
+	isPrefix[n] = cutsArePrefix(low[n], high[n])
 }
 
 // cutsArePrefix reports whether lo minus its trailing trivial cut is a

@@ -70,6 +70,7 @@ func TestAutoTunePinnedKnobs(t *testing.T) {
 	p.Iterations = 8
 	p.BatchMin, p.BatchMax = 2, 4
 	p.Workers = 3
+	p.Parallelism = 2
 	p.IncrementalThreshold = 0.5
 
 	tuned, rep, err := anneal.AutoTune(g, gt, p)
@@ -77,10 +78,11 @@ func TestAutoTunePinnedKnobs(t *testing.T) {
 		t.Fatal(err)
 	}
 	if tuned.BatchMin != p.BatchMin || tuned.BatchMax != p.BatchMax ||
-		tuned.Workers != p.Workers || tuned.IncrementalThreshold != p.IncrementalThreshold {
+		tuned.Workers != p.Workers || tuned.Parallelism != p.Parallelism ||
+		tuned.IncrementalThreshold != p.IncrementalThreshold {
 		t.Fatalf("pinned params rewritten: %+v vs %+v", tuned, p)
 	}
-	if rep.TunedBatch || rep.TunedWorkers || rep.TunedThreshold {
+	if rep.TunedBatch || rep.TunedWorkers || rep.TunedParallelism || rep.TunedThreshold {
 		t.Fatalf("pinned knobs reported as tuned: %+v", rep)
 	}
 	if rep.PilotIterations != 0 {

@@ -223,6 +223,7 @@ func SweepSuiteSharded(entries []SuiteEntry, lib *cell.Library, cfg SweepConfig,
 	// running slightly off-tune for later entries costs time, not bits.)
 	base := cfg.tunedBase(entries[0].G, entries[0].Eval)
 	base.BatchSize = anneal.EffectiveBatchSize(base.BatchSize)
+	base.Parallelism = anneal.EffectiveParallelism(base.Parallelism)
 	rc := shard.RunConfig{Base: base, Entries: specs, Library: libBytes}
 	sj := suiteJobList(len(entries), grid)
 	jobs := make([]shard.JobSpec, len(sj))

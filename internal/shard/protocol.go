@@ -25,8 +25,10 @@ import (
 // (msgSubmit) and receive streamed results, and a worker connection
 // outlives a session (msgEndSession drops per-session state without
 // closing the transport). Version 4 extends the submit-done stats with
-// the partition scheduler's accounting (Handoffs, QueueDepth).
-const protocolVersion = 4
+// the partition scheduler's accounting (Handoffs, QueueDepth). Version
+// 5 adds the intra-evaluation parallelism knob to the config message,
+// pinned coordinator-side so every worker runs the same lane count.
+const protocolVersion = 5
 
 // maxPayload bounds one message; anything larger indicates a framing
 // desync or a hostile peer, not a real sweep artifact.
@@ -326,6 +328,7 @@ func encodeConfig(cfg RunConfig) []byte {
 	b = appendVarint(b, int64(p.CacheMaxEntries))
 	b = appendVarint(b, int64(p.Incremental))
 	b = appendF64(b, p.IncrementalThreshold)
+	b = appendVarint(b, int64(p.Parallelism))
 	// Evaluator specs are deduplicated into a table — a suite sweeping
 	// many designs under one ML flow ships its (potentially large) model
 	// blobs once, not once per entry; entries reference specs by index
@@ -393,6 +396,7 @@ func decodeConfig(payload []byte) (RunConfig, error) {
 	cfg.Base.CacheMaxEntries = int(d.varint("cache max entries"))
 	cfg.Base.Incremental = anneal.IncrementalMode(d.varint("incremental mode"))
 	cfg.Base.IncrementalThreshold = d.f64("incremental threshold")
+	cfg.Base.Parallelism = int(d.varint("parallelism"))
 	numSpecs := d.uvarint("spec count")
 	if d.err != nil {
 		return RunConfig{}, d.err

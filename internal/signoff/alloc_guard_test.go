@@ -1,0 +1,89 @@
+package signoff
+
+import (
+	"math/rand"
+	"testing"
+
+	"aigtimer/internal/aig"
+	"aigtimer/internal/cell"
+)
+
+// TestParallelFullEvalZeroAllocs pins the zero-allocation contract of
+// the parallel pooled full evaluation: once the pool's per-lane
+// arenas, per-effort scratches, and per-corner buffers are warm, a
+// full EvaluateState + Release cycle allocates nothing — the same
+// guarantee the sequential pooled path has had since the arena work.
+func TestParallelFullEvalZeroAllocs(t *testing.T) {
+	lib := cell.Builtin()
+	rng := rand.New(rand.NewSource(21))
+	g := randomAIG(rng, 8, 300, 5)
+	pool := NewPoolParallel(2)
+	defer pool.Close()
+	// Warm: two passes so every carcass in the freelist cycle has
+	// reached its high-water mark.
+	for i := 0; i < 2; i++ {
+		_, st, err := pool.EvaluateState(g, lib)
+		if err != nil {
+			t.Fatal(err)
+		}
+		st.Release()
+	}
+	avg := testing.AllocsPerRun(100, func() {
+		_, st, err := pool.EvaluateState(g, lib)
+		if err != nil {
+			t.Fatal(err)
+		}
+		st.Release()
+	})
+	if avg != 0 {
+		t.Fatalf("parallel full evaluation allocates %v per run, want 0", avg)
+	}
+}
+
+// TestParallelDeltaEvalZeroAllocs pins the same contract for the
+// parallel delta path: concurrent per-effort remaps plus seeded
+// corner-parallel STA, allocation-free once warm.
+func TestParallelDeltaEvalZeroAllocs(t *testing.T) {
+	lib := cell.Builtin()
+	rng := rand.New(rand.NewSource(22))
+	g := randomAIG(rng, 8, 250, 4)
+	pool := NewPoolParallel(2)
+	defer pool.Close()
+	_, anchor, err := pool.EvaluateState(g, lib)
+	if err != nil {
+		t.Fatal(err)
+	}
+	// Pre-generate rebased candidates so the measured loop does no
+	// graph construction of its own.
+	type cand struct {
+		next *aig.AIG
+		d    *aig.Delta
+	}
+	cands := make([]cand, 32)
+	for i := range cands {
+		next, d := aig.Rebase(g, mutateParallel(g, rng))
+		cands[i] = cand{next, d}
+	}
+	// Warm every candidate once (sizes differ slightly; the scratch
+	// high-water mark must cover them all).
+	for _, c := range cands {
+		_, st, err := anchor.EvaluateDelta(c.next, c.d)
+		if err != nil {
+			t.Fatal(err)
+		}
+		st.Release()
+	}
+	i := 0
+	avg := testing.AllocsPerRun(100, func() {
+		c := cands[i%len(cands)]
+		i++
+		_, st, err := anchor.EvaluateDelta(c.next, c.d)
+		if err != nil {
+			t.Fatal(err)
+		}
+		st.Release()
+	})
+	if avg != 0 {
+		t.Fatalf("parallel delta evaluation allocates %v per run, want 0", avg)
+	}
+}

@@ -1,0 +1,396 @@
+package signoff
+
+import (
+	"aigtimer/internal/aig"
+	"aigtimer/internal/cell"
+	"aigtimer/internal/cut"
+	"aigtimer/internal/sta"
+	"aigtimer/internal/techmap"
+)
+
+// Parallel evaluation orchestration. A pool built with NewPoolParallel
+// runs each evaluation's three independent axes concurrently on the
+// scratch's worker crew — (1) per-level cut enumeration, (2) per-level
+// dual-effort match selection, (3) the two efforts' mapping tails
+// followed by every (effort, corner) STA pass — with results
+// bit-identical to the sequential path. Identity holds by
+// construction, not by tolerance:
+//
+//   - every task runs the same per-node/per-corner code the sequential
+//     loop runs (cut.DualNode, techmap's SelectNode, sta's Corner);
+//   - tasks within a phase are data-independent (a node's merge and
+//     selection read only strictly-lower nodes, which the level
+//     decomposition orders before it; corners share only read-only
+//     state), so execution order cannot matter;
+//   - every merge folds in a fixed order (efforts then corners
+//     ascending, the final pick in effort order), and errors are
+//     reported exactly as the sequential pass would: lowest node index
+//     for selection, lowest corner index per effort, with effort 0's
+//     whole pipeline outranking effort 1's.
+//
+// Storage ownership is per-lane (enumeration arenas and scratches,
+// candidate buffers) or per-effort/per-corner (mapping scratches, STA
+// results, dirty buffers), all retained on the EvalState/evalScratch
+// carcasses, so the steady state allocates nothing — the same
+// contract the sequential pooled path has.
+
+// minParallelLevel is the level population below which enumeration and
+// selection run inline on the caller's lane: a crew dispatch costs two
+// synchronizations per lane, which narrow levels (the top of the cone)
+// cannot amortize. A fixed constant, so the lane->node assignment —
+// and with it each lane's arena high-water mark — stays deterministic.
+const minParallelLevel = 16
+
+// growI32 returns b resized to n entries, contents unspecified.
+func growI32(b []int32, n int) []int32 {
+	if cap(b) < n {
+		return make([]int32, n)
+	}
+	return b[:n]
+}
+
+// selErr records one lane's first (lowest-node) selection failure.
+type selErr struct {
+	node int32
+	err  error
+}
+
+// ensureLanes sizes the per-lane buffers and clears the error slots.
+func (sc *evalScratch) ensureLanes(lanes int) {
+	for len(sc.enum) < lanes {
+		sc.enum = append(sc.enum, cut.Scratch{})
+	}
+	for len(sc.selErrs) < 2*lanes {
+		sc.selErrs = append(sc.selErrs, selErr{})
+	}
+	for i := range sc.selErrs {
+		sc.selErrs[i] = selErr{}
+	}
+}
+
+// growStaErrs sizes and clears the per-(effort, corner) error slots.
+func (sc *evalScratch) growStaErrs(numCorners int) {
+	for e := range sc.staErrs {
+		if cap(sc.staErrs[e]) < numCorners {
+			sc.staErrs[e] = make([]error, numCorners)
+		}
+		sc.staErrs[e] = sc.staErrs[e][:numCorners]
+		for ci := range sc.staErrs[e] {
+			sc.staErrs[e][ci] = nil
+		}
+	}
+}
+
+// selError folds the lanes' selection errors for one effort into the
+// error the sequential pass would have returned: the one at the lowest
+// node index (lanes own disjoint node sets, so ties are impossible).
+func (sc *evalScratch) selError(e int) error {
+	var best selErr
+	for l := 0; l*2+e < len(sc.selErrs); l++ {
+		s := sc.selErrs[l*2+e]
+		if s.err != nil && (best.err == nil || s.node < best.node) {
+			best = s
+		}
+	}
+	return best.err
+}
+
+// levelize builds the level decomposition of g's AND nodes into sc's
+// CSR buffers: order groups the nodes by logic level with ascending
+// index within a level, levelOff[b]..levelOff[b+1] delimits level b+1
+// (AND levels start at 1). Returns the number of AND levels. Computed
+// here rather than via g.Levels() so the parallel path touches no
+// lazily cached state on the graph.
+func (sc *evalScratch) levelize(g *aig.AIG) int {
+	n := g.NumNodes()
+	first := int(g.FirstAnd())
+	sc.levelOf = growI32(sc.levelOf, n)
+	lv := sc.levelOf
+	for i := 0; i < first; i++ {
+		lv[i] = 0
+	}
+	maxLevel := int32(0)
+	for i := first; i < n; i++ {
+		f0, f1 := g.Fanins(int32(i))
+		l := lv[f0.Node()]
+		if l1 := lv[f1.Node()]; l1 > l {
+			l = l1
+		}
+		l++
+		lv[i] = l
+		if l > maxLevel {
+			maxLevel = l
+		}
+	}
+	numLevels := int(maxLevel)
+	sc.cursor = growI32(sc.cursor, numLevels+1)
+	cnt := sc.cursor
+	for i := range cnt {
+		cnt[i] = 0
+	}
+	for i := first; i < n; i++ {
+		cnt[lv[i]]++
+	}
+	sc.levelOff = growI32(sc.levelOff, numLevels+1)
+	off := sc.levelOff
+	run := int32(0)
+	for b := 0; b < numLevels; b++ {
+		off[b] = run
+		run += cnt[b+1]
+	}
+	off[numLevels] = run
+	for l := 1; l <= numLevels; l++ {
+		cnt[l] = off[l-1]
+	}
+	sc.order = growI32(sc.order, n-first)
+	ord := sc.order
+	for i := first; i < n; i++ {
+		l := lv[i]
+		ord[cnt[l]] = int32(i)
+		cnt[l]++
+	}
+	return numLevels
+}
+
+// enumRunner is phase A: task t merges the dual cut sets of the
+// current level's t-th node, on lane `lane`'s arena and scratch.
+type enumRunner struct {
+	g    *aig.AIG
+	st   *EvalState
+	sc   *evalScratch
+	base int
+}
+
+func (r *enumRunner) Do(task, lane int) {
+	n := r.sc.order[r.base+task]
+	cut.DualNode(r.g, efforts[0].Cut, efforts[1].Cut, r.st.cutbufs[0], r.st.cutbufs[1],
+		r.sc.isPrefix, n, &r.st.arenas[lane], &r.sc.enum[lane])
+}
+
+// selRunner is phase B1: task t selects implementations for effort
+// t&1 of the current level's (t/2)-th node; interleaving the efforts
+// keeps the static block partition balanced across both.
+type selRunner struct {
+	sc   *evalScratch
+	base int
+}
+
+func (r *selRunner) Do(task, lane int) {
+	e := task & 1
+	n := r.sc.order[r.base+task>>1]
+	if err := r.sc.mps[e].SelectNode(n, lane); err != nil {
+		slot := &r.sc.selErrs[lane*2+e]
+		if slot.err == nil || n < slot.node {
+			slot.node, slot.err = n, err
+		}
+	}
+}
+
+// tailRunner is phase B2: task e finishes effort e's mapping (area
+// recovery, netlist emission) and begins its signoff run.
+type tailRunner struct {
+	st *EvalState
+	sc *evalScratch
+}
+
+func (r *tailRunner) Do(task, lane int) {
+	nl, ms, err := r.sc.mps[task].Finish()
+	if err != nil {
+		r.sc.tailErrs[task] = err
+		return
+	}
+	r.sc.nls[task], r.sc.mss[task] = nl, ms
+	r.sc.runs[task] = sta.BeginSignoff(nl, sta.SignoffParams{}, r.st.srs[task])
+}
+
+// deltaRunner is the delta path's phase D1: task e remaps effort e
+// incrementally and begins its seeded signoff run.
+type deltaRunner struct {
+	prev *EvalState
+	next *aig.AIG
+	d    *aig.Delta
+	ns   *EvalState
+	sc   *evalScratch
+}
+
+func (r *deltaRunner) Do(task, lane int) {
+	e := task
+	nl, ms, nm, err := techmap.RemapInto(r.prev.maps[e], r.next, r.d, &r.ns.arenas[e], r.ns.maps[e], &r.sc.tm[e])
+	if err != nil {
+		r.sc.tailErrs[e] = err
+		return
+	}
+	r.sc.nls[e], r.sc.mss[e] = nl, ms
+	r.sc.runs[e] = sta.BeginSignoffUpdate(r.prev.srs[e], nl, nm, sta.SignoffParams{}, r.ns.srs[e], &r.sc.sta[e])
+}
+
+// cornerRunner is phase B3/D2: task t analyzes corner t>>1 of effort
+// t&1; interleaving keeps both efforts' corners spread across lanes.
+type cornerRunner struct {
+	sc *evalScratch
+}
+
+func (r *cornerRunner) Do(task, lane int) {
+	e, ci := task&1, task>>1
+	r.sc.staErrs[e][ci] = r.sc.runs[e].Corner(ci)
+}
+
+// runLevel dispatches one level's tasks: crew-wide when the level is
+// wide enough to amortize the dispatch, inline on lane 0 otherwise.
+func (sc *evalScratch) runLevel(n int, r interface {
+	Do(task, lane int)
+}) {
+	if n < minParallelLevel {
+		for t := 0; t < n; t++ {
+			r.Do(t, 0)
+		}
+		return
+	}
+	sc.crew.Run(n, r)
+}
+
+// evaluateFullParallel is evaluateInto's parallel body: per-level dual
+// cut enumeration (A), per-level dual-effort selection (B1), the two
+// mapping tails (B2), and every (effort, corner) STA pass (B3), joined
+// by a deterministic effort/corner-ordered merge.
+func evaluateFullParallel(g *aig.AIG, lib *cell.Library, st *EvalState, sc *evalScratch) (Result, error) {
+	lanes := sc.crew.Lanes()
+	st.g = g
+	st.ensureArenas(lanes)
+	n := g.NumNodes()
+	st.cutbufs[0] = growCutLists(st.cutbufs[0], n)
+	st.cutbufs[1] = growCutLists(st.cutbufs[1], n)
+	sc.ensureLanes(lanes)
+	numLevels := sc.levelize(g)
+	if cap(sc.isPrefix) < n {
+		sc.isPrefix = make([]bool, n)
+	}
+	sc.isPrefix = sc.isPrefix[:n]
+	cut.SeedDual(g, efforts[0].Cut, efforts[1].Cut, st.cutbufs[0], st.cutbufs[1], sc.isPrefix, &st.arenas[0])
+
+	// Phase A: cut enumeration, level by level.
+	er := &sc.enumRun
+	*er = enumRunner{g: g, st: st, sc: sc}
+	for b := 0; b < numLevels; b++ {
+		lo, hi := int(sc.levelOff[b]), int(sc.levelOff[b+1])
+		er.base = lo
+		sc.runLevel(hi-lo, er)
+	}
+
+	// Phase B1: dual-effort match selection, level by level.
+	var err error
+	sc.mps[0], err = techmap.BeginMappingWithCuts(g, lib, efforts[0], st.cutbufs[0], st.maps[0], &sc.tm[0], lanes)
+	if err != nil {
+		return Result{}, err
+	}
+	sc.mps[1], err = techmap.BeginMappingWithCuts(g, lib, efforts[1], st.cutbufs[1], st.maps[1], &sc.tm[1], lanes)
+	if err != nil {
+		return Result{}, err
+	}
+	selr := &sc.selRun
+	*selr = selRunner{sc: sc}
+	for b := 0; b < numLevels; b++ {
+		lo, hi := int(sc.levelOff[b]), int(sc.levelOff[b+1])
+		selr.base = lo
+		sc.runLevel(2*(hi-lo), selr)
+	}
+	if err0 := sc.selError(0); err0 != nil {
+		return Result{}, err0
+	}
+	if err1 := sc.selError(1); err1 != nil {
+		// Sequential order runs effort 0's tail and corners before
+		// effort 1's selection and may surface an earlier error.
+		nl, ms, err := sc.mps[0].Finish()
+		if err != nil {
+			return Result{}, err
+		}
+		sr, err := sta.SignoffInto(nl, sta.SignoffParams{}, st.srs[0])
+		if err != nil {
+			return Result{}, err
+		}
+		st.maps[0], st.srs[0] = ms, sr
+		return Result{}, err1
+	}
+
+	// Phase B2: the two mapping tails.
+	sc.tailErrs = [2]error{}
+	tr := &sc.tailRun
+	*tr = tailRunner{st: st, sc: sc}
+	sc.crew.Run(2, tr)
+	if err := sc.tailErrs[0]; err != nil {
+		return Result{}, err
+	}
+	if err := sc.tailErrs[1]; err != nil {
+		for ci := 0; ci < sc.runs[0].NumCorners(); ci++ {
+			if cerr := sc.runs[0].Corner(ci); cerr != nil {
+				return Result{}, cerr
+			}
+		}
+		return Result{}, err
+	}
+
+	// Phase B3: every (effort, corner) pass, then the ordered merge.
+	nc := sc.runs[0].NumCorners()
+	sc.growStaErrs(nc)
+	cr := &sc.cornerRun
+	*cr = cornerRunner{sc: sc}
+	sc.crew.Run(2*nc, cr)
+	best := Result{}
+	for e := 0; e < 2; e++ {
+		for ci := 0; ci < nc; ci++ {
+			if err := sc.staErrs[e][ci]; err != nil {
+				return Result{}, err
+			}
+		}
+		sr := sc.runs[e].Finish()
+		st.maps[e], st.srs[e] = sc.mss[e], sr
+		best = pick(best, e, sc.nls[e], sr)
+	}
+	return best, nil
+}
+
+// evaluateDeltaParallel is EvaluateDelta's parallel body: both efforts
+// remap and seed their signoff runs concurrently (D1), then every
+// (effort, corner) pass runs (D2), with the same ordered merge and
+// sequential error precedence as the full path.
+func evaluateDeltaParallel(s *EvalState, next *aig.AIG, d *aig.Delta, ns *EvalState, sc *evalScratch) (Result, *EvalState, error) {
+	ns.ensureArenas(2)
+	sc.tailErrs = [2]error{}
+	dr := &sc.deltaRun
+	*dr = deltaRunner{prev: s, next: next, d: d, ns: ns, sc: sc}
+	sc.crew.Run(2, dr)
+	if err := sc.tailErrs[0]; err != nil {
+		ns.Release()
+		return Result{}, nil, err
+	}
+	if err := sc.tailErrs[1]; err != nil {
+		// Sequential order runs effort 0's corner passes before effort
+		// 1's remap and may surface an earlier error.
+		for ci := 0; ci < sc.runs[0].NumCorners(); ci++ {
+			if cerr := sc.runs[0].Corner(ci); cerr != nil {
+				ns.Release()
+				return Result{}, nil, cerr
+			}
+		}
+		ns.Release()
+		return Result{}, nil, err
+	}
+	nc := sc.runs[0].NumCorners()
+	sc.growStaErrs(nc)
+	cr := &sc.cornerRun
+	*cr = cornerRunner{sc: sc}
+	sc.crew.Run(2*nc, cr)
+	best := Result{}
+	for e := 0; e < 2; e++ {
+		for ci := 0; ci < nc; ci++ {
+			if err := sc.staErrs[e][ci]; err != nil {
+				ns.Release()
+				return Result{}, nil, err
+			}
+		}
+		sr := sc.runs[e].Finish()
+		ns.maps[e], ns.srs[e] = sc.mss[e], sr
+		best = pick(best, e, sc.nls[e], sr)
+	}
+	return best, ns, nil
+}

@@ -1,0 +1,225 @@
+package signoff
+
+import (
+	"math/rand"
+	"testing"
+
+	"aigtimer/internal/aig"
+	"aigtimer/internal/cell"
+	"aigtimer/internal/netlist"
+)
+
+// mutateParallel rebuilds g with cone-local redundant restructurings,
+// the kind of change annealer moves produce (mirrors the techmap and
+// eval differential harnesses).
+func mutateParallel(g *aig.AIG, rng *rand.Rand) *aig.AIG {
+	nb := aig.NewBuilder(g.NumPIs())
+	m := make([]aig.Lit, g.NumNodes())
+	m[0] = aig.ConstFalse
+	for i := 1; i <= g.NumPIs(); i++ {
+		m[i] = nb.PI(i - 1)
+	}
+	g.TopoForEachAnd(func(n int32, f0, f1 aig.Lit) {
+		a := m[f0.Node()].NotIf(f0.IsCompl())
+		c := m[f1.Node()].NotIf(f1.IsCompl())
+		switch rng.Intn(12) {
+		case 0:
+			m[n] = nb.Or(a.Not(), c.Not()).Not()
+		case 1:
+			m[n] = nb.And(c, a)
+		default:
+			m[n] = nb.And(a, c)
+		}
+	})
+	for _, po := range g.POs() {
+		nb.AddPO(m[po.Node()].NotIf(po.IsCompl()))
+	}
+	return nb.Build().Compact()
+}
+
+// mustEqualNetlists compares two netlists gate for gate (cells, input
+// nets, output nets, POs) — structural bit-identity, no tolerance.
+func mustEqualNetlists(t *testing.T, ctx string, na, nb *netlist.Netlist) {
+	t.Helper()
+	if na.NumPIs != nb.NumPIs || len(na.Gates) != len(nb.Gates) || len(na.POs) != len(nb.POs) {
+		t.Fatalf("%s: netlist shape differs: PIs %d/%d gates %d/%d POs %d/%d",
+			ctx, na.NumPIs, nb.NumPIs, len(na.Gates), len(nb.Gates), len(na.POs), len(nb.POs))
+	}
+	for gi := range na.Gates {
+		ga, gb := &na.Gates[gi], &nb.Gates[gi]
+		if ga.Cell != gb.Cell || ga.Output != gb.Output || len(ga.Inputs) != len(gb.Inputs) {
+			t.Fatalf("%s: gate %d differs", ctx, gi)
+		}
+		for j := range ga.Inputs {
+			if ga.Inputs[j] != gb.Inputs[j] {
+				t.Fatalf("%s: gate %d input %d differs", ctx, gi, j)
+			}
+		}
+	}
+	for i := range na.POs {
+		if na.POs[i] != nb.POs[i] {
+			t.Fatalf("%s: PO %d differs", ctx, i)
+		}
+	}
+}
+
+// mustEqualResults asserts two evaluation results are bit-identical:
+// metrics, governing corner, and the chosen netlist structure.
+func mustEqualResults(t *testing.T, ctx string, seq, par Result) {
+	t.Helper()
+	if seq.DelayPS != par.DelayPS || seq.AreaUM2 != par.AreaUM2 || seq.Corner != par.Corner {
+		t.Fatalf("%s: results differ: seq {%.17g %.17g %s} par {%.17g %.17g %s}",
+			ctx, seq.DelayPS, seq.AreaUM2, seq.Corner, par.DelayPS, par.AreaUM2, par.Corner)
+	}
+	mustEqualNetlists(t, ctx, seq.Netlist, par.Netlist)
+}
+
+// mustEqualStates compares the retained per-effort STA results of two
+// evaluations bit for bit — every corner's arrival and slew at every
+// net, not just the headline metrics.
+func mustEqualStates(t *testing.T, ctx string, seq, par *EvalState) {
+	t.Helper()
+	for e := 0; e < 2; e++ {
+		a, b := seq.srs[e], par.srs[e]
+		if a.WorstDelayPS != b.WorstDelayPS || a.WorstCorner != b.WorstCorner ||
+			a.AreaUM2 != b.AreaUM2 || len(a.Corners) != len(b.Corners) {
+			t.Fatalf("%s: effort %d signoff summary differs", ctx, e)
+		}
+		for ci := range a.Corners {
+			ca, cb := &a.Corners[ci], &b.Corners[ci]
+			if ca.MaxDelayPS != cb.MaxDelayPS || ca.CriticalPO != cb.CriticalPO || ca.Corner != cb.Corner {
+				t.Fatalf("%s: effort %d corner %d summary differs", ctx, e, ci)
+			}
+			for i := range ca.ArrivalPS {
+				if ca.ArrivalPS[i] != cb.ArrivalPS[i] || ca.SlewPS[i] != cb.SlewPS[i] {
+					t.Fatalf("%s: effort %d corner %d net %d values differ", ctx, e, ci, i)
+				}
+			}
+		}
+		mustEqualNetlists(t, ctx, seq.maps[e].Netlist(), par.maps[e].Netlist())
+	}
+}
+
+// TestParallelFullMatchesSequential drives full evaluations through
+// parallel pools at several lane counts and asserts bit-identity with
+// the sequential path — headline result, both efforts' netlists, and
+// every corner's per-net arrivals and slews. Run under -race this also
+// proves the phase decomposition is data-race-free.
+func TestParallelFullMatchesSequential(t *testing.T) {
+	lib := cell.Builtin()
+	rng := rand.New(rand.NewSource(7))
+	shapes := [][3]int{{4, 40, 2}, {8, 150, 4}, {10, 400, 6}, {6, 90, 40}}
+	for _, par := range []int{2, 8} {
+		pool := NewPoolParallel(par)
+		for si, sh := range shapes {
+			g := randomAIG(rng, sh[0], sh[1], sh[2])
+			seqR, seqSt, err := EvaluateState(g, lib)
+			if err != nil {
+				t.Fatalf("sequential: %v", err)
+			}
+			parR, parSt, err := pool.EvaluateState(g, lib)
+			if err != nil {
+				t.Fatalf("par=%d shape %d: %v", par, si, err)
+			}
+			mustEqualResults(t, "full", seqR, parR)
+			mustEqualStates(t, "full", seqSt, parSt)
+			// Second pass through the same pool exercises the warm
+			// (fully recycled) carcasses.
+			parSt.Release()
+			parR2, parSt2, err := pool.EvaluateState(g, lib)
+			if err != nil {
+				t.Fatalf("par=%d shape %d warm: %v", par, si, err)
+			}
+			mustEqualResults(t, "full-warm", seqR, parR2)
+			mustEqualStates(t, "full-warm", seqSt, parSt2)
+			parSt2.Release()
+		}
+		pool.Close()
+	}
+}
+
+// TestParallelDeltaMatchesSequential walks a chain of cone-local
+// mutations, evaluating every delta through a sequential pool and
+// parallel pools side by side, asserting each step's result and
+// retained state are bit-identical. This covers the concurrent remap +
+// seeded corner-parallel SignoffUpdate path end to end.
+func TestParallelDeltaMatchesSequential(t *testing.T) {
+	lib := cell.Builtin()
+	for _, par := range []int{2, 8} {
+		rng := rand.New(rand.NewSource(11))
+		seqPool := NewPool()
+		parPool := NewPoolParallel(par)
+		g := randomAIG(rng, 8, 200, 5)
+		seqR, seqSt, err := seqPool.EvaluateState(g, lib)
+		if err != nil {
+			t.Fatal(err)
+		}
+		parR, parSt, err := parPool.EvaluateState(g, lib)
+		if err != nil {
+			t.Fatal(err)
+		}
+		mustEqualResults(t, "anchor", seqR, parR)
+		cur := g
+		for step := 0; step < 12; step++ {
+			raw := mutateParallel(cur, rng)
+			next, d := aig.Rebase(cur, raw)
+			nseqR, nseqSt, err := seqSt.EvaluateDelta(next, d)
+			if err != nil {
+				t.Fatalf("par=%d step %d sequential delta: %v", par, step, err)
+			}
+			nparR, nparSt, err := parSt.EvaluateDelta(next, d)
+			if err != nil {
+				t.Fatalf("par=%d step %d parallel delta: %v", par, step, err)
+			}
+			mustEqualResults(t, "delta", nseqR, nparR)
+			mustEqualStates(t, "delta", nseqSt, nparSt)
+			seqSt.Release()
+			parSt.Release()
+			cur, seqSt, parSt = next, nseqSt, nparSt
+		}
+		seqSt.Release()
+		parSt.Release()
+		parPool.Close()
+	}
+}
+
+// FuzzParallelSignoff feeds fuzz-chosen graph shapes and seeds through
+// a 3-lane pool and asserts bit-identity with the sequential pipeline,
+// full and delta.
+func FuzzParallelSignoff(f *testing.F) {
+	f.Add(int64(1), uint8(6), uint8(80), uint8(3))
+	f.Add(int64(99), uint8(12), uint8(200), uint8(8))
+	f.Add(int64(1234), uint8(2), uint8(15), uint8(1))
+	lib := cell.Builtin()
+	pool := NewPoolParallel(3)
+	f.Fuzz(func(t *testing.T, seed int64, pis, ands, pos uint8) {
+		rng := rand.New(rand.NewSource(seed))
+		// Clamp into randomAIG's supported range (its PO picker reaches
+		// up to 40 literals back, so keep at least that many).
+		g := randomAIG(rng, 1+int(pis)%16, 40+int(ands), 1+int(pos)%8)
+		seqR, seqSt, err := EvaluateState(g, lib)
+		if err != nil {
+			t.Skip() // unmatchable graphs are not this fuzzer's subject
+		}
+		parR, parSt, err := pool.EvaluateState(g, lib)
+		if err != nil {
+			t.Fatalf("parallel errored where sequential succeeded: %v", err)
+		}
+		mustEqualResults(t, "fuzz-full", seqR, parR)
+		mustEqualStates(t, "fuzz-full", seqSt, parSt)
+		raw := mutateParallel(g, rng)
+		next, d := aig.Rebase(g, raw)
+		dseqR, dseqSt, err1 := seqSt.EvaluateDelta(next, d)
+		dparR, dparSt, err2 := parSt.EvaluateDelta(next, d)
+		if (err1 == nil) != (err2 == nil) {
+			t.Fatalf("delta error mismatch: seq %v par %v", err1, err2)
+		}
+		if err1 == nil {
+			mustEqualResults(t, "fuzz-delta", dseqR, dparR)
+			mustEqualStates(t, "fuzz-delta", dseqSt, dparSt)
+			dparSt.Release()
+			_ = dseqSt
+		}
+		parSt.Release()
+	})
+}

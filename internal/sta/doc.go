@@ -32,4 +32,12 @@
 // analyzing the new netlist from scratch — which is what entitles
 // signoff.EvaluateDelta to feed them into trajectories that must match
 // full evaluation.
+//
+// Corners are independent by construction, and BeginSignoff /
+// BeginSignoffUpdate expose that: they split a multi-corner run into a
+// shared setup plus per-corner Corner steps that callers may execute on
+// separate goroutines, each against caller-owned scratch. Finish stitches
+// the per-corner results together in corner order, so a parallel run is
+// bit-identical to the sequential Signoff / SignoffUpdate it decomposes —
+// the entry points signoff's parallel evaluation pool drives.
 package sta

@@ -122,65 +122,11 @@ func SignoffUpdate(prev *SignoffResult, nl *netlist.Netlist, prevOf netlist.NetM
 // allocations here. The result is bit-identical to SignoffUpdate's; the
 // caller must guarantee nothing references recycle anymore.
 func SignoffUpdateInto(prev *SignoffResult, nl *netlist.Netlist, prevOf netlist.NetMap, p SignoffParams, recycle *SignoffResult, sc *Scratch) (*SignoffResult, error) {
-	p = p.withDefaults()
-	if !seedable(prev, nl, prevOf, p) {
-		return SignoffInto(nl, p, recycle)
-	}
-	if sc == nil {
-		sc = &Scratch{}
-	}
-	res := recycleSignoff(recycle, nl.NumNets(), len(p.Corners))
-	res.Netlist, res.AreaUM2, res.InputSlewPS = nl, nl.AreaUM2(), p.InputSlewPS
-	netLoads(nl, res.LoadsFF)
-	// The frontier seed is corner-independent: correspondence and loads.
-	sc.seed = growBools(sc.seed, len(nl.Gates))
-	seed := sc.seed
-	for gi := range nl.Gates {
-		out := nl.Gates[gi].Output
-		pn := prevOf[out]
-		seed[gi] = pn < 0 || res.LoadsFF[out] != prev.LoadsFF[pn]
-	}
-	sc.dirty = growBools(sc.dirty, len(nl.Gates))
-	dirty := sc.dirty
-	for ci, corner := range p.Corners {
-		pc := &prev.Corners[ci]
-		cr := &res.Corners[ci]
-		cr.Corner = corner
-		for i := 0; i < nl.NumPIs; i++ {
-			cr.SlewPS[i] = p.InputSlewPS
-		}
-		for gi := range nl.Gates {
-			dirty[gi] = seed[gi]
-			out := nl.Gates[gi].Output
-			if pn := prevOf[out]; pn >= 0 {
-				cr.ArrivalPS[out] = pc.ArrivalPS[pn]
-				cr.SlewPS[out] = pc.SlewPS[pn]
-			}
-		}
-		for gi := range nl.Gates {
-			if !dirty[gi] {
-				continue
-			}
-			out := nl.Gates[gi].Output
-			arr, slew, err := gateCornerEval(nl, cr.ArrivalPS, cr.SlewPS, gi, corner, p.InputSlewPS, res.LoadsFF)
-			if err != nil {
-				return nil, err
-			}
-			if arr != cr.ArrivalPS[out] || slew != cr.SlewPS[out] {
-				cr.ArrivalPS[out] = arr
-				cr.SlewPS[out] = slew
-				for _, ri := range nl.Fanouts(out) {
-					dirty[ri] = true
-				}
-			}
-		}
-		for i, po := range nl.POs {
-			if a := cr.ArrivalPS[po]; cr.CriticalPO < 0 || a > cr.MaxDelayPS {
-				cr.MaxDelayPS = a
-				cr.CriticalPO = i
-			}
+	r := BeginSignoffUpdate(prev, nl, prevOf, p, recycle, sc)
+	for ci := 0; ci < r.NumCorners(); ci++ {
+		if err := r.Corner(ci); err != nil {
+			return nil, err
 		}
 	}
-	res.aggregate()
-	return res, nil
+	return r.Finish(), nil
 }

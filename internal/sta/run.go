@@ -1,0 +1,136 @@
+package sta
+
+import (
+	"aigtimer/internal/netlist"
+)
+
+// SignoffRun is an in-flight signoff analysis split into independently
+// runnable corner passes, the stepwise face of SignoffInto and
+// SignoffUpdateInto: Begin does the corner-independent work (loads,
+// frontier seeding, defaulting), the caller invokes Corner once per
+// corner index, and Finish derives the governing-corner summary.
+// Driven sequentially in corner order it is bit-identical to the Into
+// entry points — they are implemented on top of it. Its reason to
+// exist is that corners are data-independent by construction (they
+// share only read-only state: the netlist, the loads, the seed flags,
+// the previous result), so a caller may run Corner calls concurrently
+// on distinct goroutines and still get the sequential answer; each
+// corner writes only its own CornerResult and its own dirty buffer.
+// The deterministic merge is Finish plus the caller's error ordering:
+// Finish folds corners in list order, so the aggregate never depends
+// on completion order.
+type SignoffRun struct {
+	res    *SignoffResult
+	nl     *netlist.Netlist
+	p      SignoffParams
+	prev   *SignoffResult
+	prevOf netlist.NetMap
+	sc     *Scratch
+	full   bool
+}
+
+// BeginSignoff starts a stepwise full signoff of nl, recycling a dead
+// result's storage (nil allocates fresh; see SignoffInto). It also
+// warms the netlist's lazily built fanout index so concurrent Corner
+// calls touch only immutable state.
+func BeginSignoff(nl *netlist.Netlist, p SignoffParams, recycle *SignoffResult) SignoffRun {
+	p = p.withDefaults()
+	res := recycleSignoff(recycle, nl.NumNets(), len(p.Corners))
+	res.Netlist, res.AreaUM2, res.InputSlewPS = nl, nl.AreaUM2(), p.InputSlewPS
+	netLoads(nl, res.LoadsFF)
+	return SignoffRun{res: res, nl: nl, p: p, full: true}
+}
+
+// BeginSignoffUpdate starts a stepwise incremental signoff of nl seeded
+// from prev through the prevOf correspondence (see SignoffUpdateInto
+// for the seeding contract and recycle/sc recycling; sc may be nil to
+// allocate fresh). A prev that cannot seed this analysis degrades to
+// BeginSignoff — the run is then a full one, still corner-steppable.
+// prevOf and prev must stay unmodified until the last Corner call
+// returns.
+func BeginSignoffUpdate(prev *SignoffResult, nl *netlist.Netlist, prevOf netlist.NetMap, p SignoffParams, recycle *SignoffResult, sc *Scratch) SignoffRun {
+	p = p.withDefaults()
+	if !seedable(prev, nl, prevOf, p) {
+		return BeginSignoff(nl, p, recycle)
+	}
+	if sc == nil {
+		sc = &Scratch{}
+	}
+	res := recycleSignoff(recycle, nl.NumNets(), len(p.Corners))
+	res.Netlist, res.AreaUM2, res.InputSlewPS = nl, nl.AreaUM2(), p.InputSlewPS
+	netLoads(nl, res.LoadsFF)
+	// The frontier seed is corner-independent: correspondence and loads.
+	sc.seed = growBools(sc.seed, len(nl.Gates))
+	seed := sc.seed
+	for gi := range nl.Gates {
+		out := nl.Gates[gi].Output
+		pn := prevOf[out]
+		seed[gi] = pn < 0 || res.LoadsFF[out] != prev.LoadsFF[pn]
+	}
+	sc.growCornerDirty(len(p.Corners), len(nl.Gates))
+	return SignoffRun{res: res, nl: nl, p: p, prev: prev, prevOf: prevOf, sc: sc}
+}
+
+// NumCorners returns the number of corner passes the run analyzes.
+func (r *SignoffRun) NumCorners() int { return len(r.p.Corners) }
+
+// Corner analyzes corner index ci (full pass or seeded repropagation,
+// matching how the run began). Distinct corner indices may run
+// concurrently; a given index must run exactly once. The returned
+// error is this corner's analysis failure — when collecting from
+// concurrent corners, the caller picks the lowest-index error to match
+// the sequential contract.
+func (r *SignoffRun) Corner(ci int) error {
+	cr := &r.res.Corners[ci]
+	corner := r.p.Corners[ci]
+	if r.full {
+		return analyzeCorner(r.nl, cr, corner, r.p.InputSlewPS, r.res.LoadsFF)
+	}
+	nl := r.nl
+	pc := &r.prev.Corners[ci]
+	cr.Corner = corner
+	for i := 0; i < nl.NumPIs; i++ {
+		cr.SlewPS[i] = r.p.InputSlewPS
+	}
+	seed, dirty := r.sc.seed, r.sc.cornerDirty[ci]
+	for gi := range nl.Gates {
+		dirty[gi] = seed[gi]
+		out := nl.Gates[gi].Output
+		if pn := r.prevOf[out]; pn >= 0 {
+			cr.ArrivalPS[out] = pc.ArrivalPS[pn]
+			cr.SlewPS[out] = pc.SlewPS[pn]
+		}
+	}
+	for gi := range nl.Gates {
+		if !dirty[gi] {
+			continue
+		}
+		out := nl.Gates[gi].Output
+		arr, slew, err := gateCornerEval(nl, cr.ArrivalPS, cr.SlewPS, gi, corner, r.p.InputSlewPS, r.res.LoadsFF)
+		if err != nil {
+			return err
+		}
+		if arr != cr.ArrivalPS[out] || slew != cr.SlewPS[out] {
+			cr.ArrivalPS[out] = arr
+			cr.SlewPS[out] = slew
+			for _, ri := range nl.Fanouts(out) {
+				dirty[ri] = true
+			}
+		}
+	}
+	for i, po := range nl.POs {
+		if a := cr.ArrivalPS[po]; cr.CriticalPO < 0 || a > cr.MaxDelayPS {
+			cr.MaxDelayPS = a
+			cr.CriticalPO = i
+		}
+	}
+	return nil
+}
+
+// Finish aggregates the per-corner results into the governing-corner
+// summary and returns the completed result. Call it only after every
+// Corner call has returned without error.
+func (r *SignoffRun) Finish() *SignoffResult {
+	r.res.aggregate()
+	return r.res
+}

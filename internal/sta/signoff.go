@@ -71,17 +71,13 @@ func Signoff(nl *netlist.Netlist, p SignoffParams) (*SignoffResult, error) {
 // zeroed exactly like fresh allocations. The caller must guarantee
 // nothing references recycle anymore.
 func SignoffInto(nl *netlist.Netlist, p SignoffParams, recycle *SignoffResult) (*SignoffResult, error) {
-	p = p.withDefaults()
-	res := recycleSignoff(recycle, nl.NumNets(), len(p.Corners))
-	res.Netlist, res.AreaUM2, res.InputSlewPS = nl, nl.AreaUM2(), p.InputSlewPS
-	netLoads(nl, res.LoadsFF)
-	for ci, corner := range p.Corners {
-		if err := analyzeCorner(nl, &res.Corners[ci], corner, p.InputSlewPS, res.LoadsFF); err != nil {
+	r := BeginSignoff(nl, p, recycle)
+	for ci := 0; ci < r.NumCorners(); ci++ {
+		if err := r.Corner(ci); err != nil {
 			return nil, err
 		}
 	}
-	res.aggregate()
-	return res, nil
+	return r.Finish(), nil
 }
 
 // withDefaults fills the zero-value fields; Signoff and SignoffUpdate

@@ -95,6 +95,9 @@ type Scratch struct {
 	memo   [2][]netlist.NetID
 	nm     netlist.NetMap
 	cands  []impl
+	// xcands are candidate buffers for lanes 1+ of a parallel selection
+	// (lane 0 uses cands); see BeginMappingWithCuts.
+	xcands [][]impl
 	cuts   cut.Scratch
 	// m is the pipeline's mapper for the in-flight call. It lives here
 	// rather than on the caller's stack because its address flows into
@@ -107,6 +110,21 @@ type Scratch struct {
 func (sc *Scratch) mapper() *mapper {
 	sc.m = mapper{}
 	return &sc.m
+}
+
+// candBuf returns the candidate buffer owned by the given lane.
+func (sc *Scratch) candBuf(lane int) *[]impl {
+	if lane == 0 {
+		return &sc.cands
+	}
+	return &sc.xcands[lane-1]
+}
+
+// growLanes makes candidate buffers for lanes 1..lanes-1 available.
+func (sc *Scratch) growLanes(lanes int) {
+	for len(sc.xcands) < lanes-1 {
+		sc.xcands = append(sc.xcands, nil)
+	}
 }
 
 // growImpls returns b resized to n, contents unspecified.
@@ -173,65 +191,75 @@ func (m *mapper) selectImpls(from int32) error {
 	if from < m.g.FirstAnd() {
 		from = m.g.FirstAnd()
 	}
-	var firstErr error
 	for i := int(from); i < m.g.NumNodes(); i++ {
-		n := int32(i)
-		for ph := pos; ph <= neg; ph++ {
-			best := impl{kind: kindNone, arrival: math.Inf(1)}
-			for ci, c := range m.cuts[n] {
-				if c.IsTrivial(n) || len(c.Leaves) == 0 {
-					continue
-				}
-				tbl := c.Table
-				if ph == neg {
-					tbl = ^tbl
-				}
-				for _, cand := range m.cutCandidates(c, ci, tbl) {
-					if better(cand, best) {
-						best = cand
-					}
-				}
-			}
-			m.sc.direct[n][ph] = best
+		if err := m.selectNode(int32(i), &m.sc.cands); err != nil {
+			return err
 		}
-		// Relax with the inverter alternative: phase ph via INV over the
-		// direct impl of the opposite phase.
-		for ph := pos; ph <= neg; ph++ {
-			best := m.sc.direct[n][ph]
-			other := m.sc.direct[n][1-ph]
-			if other.kind != kindNone {
-				cand := impl{
-					kind:    kindInv,
-					arrival: other.arrival + m.invDelay(),
-					area:    m.lib.Inverter().AreaUM2,
-				}
+	}
+	return nil
+}
+
+// selectNode chooses the best implementation for both phases of the AND
+// node n, writing m.sc.direct[n] and m.impls[n] and reading only the
+// impls of nodes inside n's cuts' leaf sets (all strictly below n).
+// Candidates accumulate in *buf; distinct nodes computed with distinct
+// buffers are independent, which is what lets a level of the graph be
+// selected in parallel with results identical to the sequential loop.
+func (m *mapper) selectNode(n int32, buf *[]impl) error {
+	for ph := pos; ph <= neg; ph++ {
+		best := impl{kind: kindNone, arrival: math.Inf(1)}
+		for ci, c := range m.cuts[n] {
+			if c.IsTrivial(n) || len(c.Leaves) == 0 {
+				continue
+			}
+			tbl := c.Table
+			if ph == neg {
+				tbl = ^tbl
+			}
+			for _, cand := range m.cutCandidates(c, ci, tbl, buf) {
 				if better(cand, best) {
 					best = cand
 				}
 			}
-			if best.kind == kindNone {
-				firstErr = fmt.Errorf("techmap: node %d phase %d unmatchable with library %s", n, ph, m.lib.Name)
-				return firstErr
-			}
-			m.impls[n][ph] = best
 		}
+		m.sc.direct[n][ph] = best
 	}
-	return firstErr
+	// Relax with the inverter alternative: phase ph via INV over the
+	// direct impl of the opposite phase.
+	for ph := pos; ph <= neg; ph++ {
+		best := m.sc.direct[n][ph]
+		other := m.sc.direct[n][1-ph]
+		if other.kind != kindNone {
+			cand := impl{
+				kind:    kindInv,
+				arrival: other.arrival + m.invDelay(),
+				area:    m.lib.Inverter().AreaUM2,
+			}
+			if better(cand, best) {
+				best = cand
+			}
+		}
+		if best.kind == kindNone {
+			return fmt.Errorf("techmap: node %d phase %d unmatchable with library %s", n, ph, m.lib.Name)
+		}
+		m.impls[n][ph] = best
+	}
+	return nil
 }
 
 // cutCandidates yields all realizations of the table tbl over cut c —
 // tie cells for constants, wires for projections, and library matches —
-// in the Scratch candidate buffer (valid until the next call).
-func (m *mapper) cutCandidates(c cut.Cut, ci int, tbl uint16) []impl {
-	out := m.sc.cands[:0]
+// in *buf (valid until the next call with the same buffer).
+func (m *mapper) cutCandidates(c cut.Cut, ci int, tbl uint16, buf *[]impl) []impl {
+	out := (*buf)[:0]
 	switch tbl {
 	case 0:
 		out = append(out, impl{kind: kindTie, tieVal: false, area: m.lib.Tie(false).AreaUM2})
-		m.sc.cands = out
+		*buf = out
 		return out
 	case 0xFFFF:
 		out = append(out, impl{kind: kindTie, tieVal: true, area: m.lib.Tie(true).AreaUM2})
-		m.sc.cands = out
+		*buf = out
 		return out
 	}
 	for j := range c.Leaves {
@@ -251,7 +279,7 @@ func (m *mapper) cutCandidates(c cut.Cut, ci int, tbl uint16) []impl {
 	for _, match := range m.lib.Matches(tbl, len(c.Leaves)) {
 		out = append(out, m.evalMatch(c, ci, match))
 	}
-	m.sc.cands = out
+	*buf = out
 	return out
 }
 
